@@ -1,0 +1,66 @@
+// Shared helpers of the figure-reproduction benches: canonical trace
+// construction (paper parameters) and paper-vs-measured reporting.
+
+#ifndef WATCHMAN_BENCH_BENCH_COMMON_H_
+#define WATCHMAN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "storage/schemas.h"
+#include "trace/trace.h"
+#include "util/table.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+
+namespace watchman {
+namespace bench {
+
+/// Canonical seeds: fixed so every bench reproduces the same traces.
+constexpr uint64_t kTpcdSeed = 9601;
+constexpr uint64_t kSetQuerySeed = 9602;
+constexpr size_t kTraceQueries = 17000;
+
+struct BenchWorkload {
+  Database db;
+  Trace trace;
+};
+
+inline BenchWorkload MakeTpcd() {
+  BenchWorkload w{MakeTpcdDatabase(), Trace()};
+  WorkloadMix mix = MakeTpcdWorkload(w.db);
+  TraceGenOptions opts;
+  opts.num_queries = kTraceQueries;
+  opts.seed = kTpcdSeed;
+  w.trace = mix.GenerateTrace(opts);
+  return w;
+}
+
+inline BenchWorkload MakeSetQuery() {
+  BenchWorkload w{MakeSetQueryDatabase(), Trace()};
+  WorkloadMix mix = MakeSetQueryWorkload(w.db);
+  TraceGenOptions opts;
+  opts.num_queries = kTraceQueries;
+  opts.seed = kSetQuerySeed;
+  w.trace = mix.GenerateTrace(opts);
+  return w;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================\n");
+}
+
+inline void PrintTable(const std::string& caption, const ResultTable& table) {
+  std::printf("\n%s\n%s", caption.c_str(), table.ToText().c_str());
+}
+
+inline void PrintShapeCheck(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "OK" : "MISS", claim.c_str());
+}
+
+}  // namespace bench
+}  // namespace watchman
+
+#endif  // WATCHMAN_BENCH_BENCH_COMMON_H_

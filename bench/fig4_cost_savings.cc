@@ -1,0 +1,112 @@
+// Reproduces paper Figure 4: cost savings ratio vs cache size
+// (0.1%..5% of database size) for LNC-RA, LNC-R (K=4), vanilla LRU and
+// the infinite cache, on both traces.
+//
+// Paper headline numbers: LNC-RA beats LRU's CSR by ~4x on TPC-D and
+// ~2.3x on Set Query on average, with the maximal improvement at the
+// smallest cache (4.7x TPC-D, 7x Set Query); LNC-A improves LNC-R by 32%
+// (TPC-D) and 6% (Set Query) on average; CSR converges to the
+// infinite-cache bound faster than HR.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+#include "util/string_util.h"
+
+namespace watchman {
+namespace {
+
+const std::vector<double> kCachePercents{0.1, 0.2, 0.5, 1.0, 2.0,
+                                         3.0, 4.0, 5.0};
+
+CacheSizeSweep MakeSweep(const bench::BenchWorkload& w) {
+  CacheSizeSweep sweep(w.trace, w.db.total_bytes());
+  PolicyConfig lnc_ra;
+  lnc_ra.kind = PolicyKind::kLncRA;
+  lnc_ra.k = 4;
+  sweep.AddPolicy(lnc_ra);
+  PolicyConfig lnc_r;
+  lnc_r.kind = PolicyKind::kLncR;
+  lnc_r.k = 4;
+  sweep.AddPolicy(lnc_r);
+  PolicyConfig lru;
+  lru.kind = PolicyKind::kLru;
+  sweep.AddPolicy(lru);
+  PolicyConfig inf;
+  inf.kind = PolicyKind::kInfinite;
+  sweep.AddPolicy(inf);
+  for (double pct : kCachePercents) sweep.AddCachePercent(pct);
+  sweep.Run();
+  return sweep;
+}
+
+double Mean(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+void RunPanel(const char* label, const bench::BenchWorkload& w,
+              double paper_avg_ratio, double paper_max_ratio) {
+  CacheSizeSweep sweep = MakeSweep(w);
+  bench::PrintTable(std::string(label) + ": cost savings ratio",
+                    sweep.CsrTable());
+
+  const std::vector<double> vs_lru = sweep.CsrRatioVersus("lru");
+  std::printf("  lnc-ra / lru CSR ratio per size:");
+  for (double r : vs_lru) std::printf(" %.2f", r);
+  std::printf("\n  average %.2fx (paper ~%.1fx), max %.2fx (paper ~%.1fx)\n",
+              Mean(vs_lru), paper_avg_ratio,
+              *std::max_element(vs_lru.begin(), vs_lru.end()),
+              paper_max_ratio);
+
+  // LNC-A's contribution: LNC-RA over LNC-R.
+  const std::vector<double> vs_lnc_r = sweep.CsrRatioVersus("lnc-r(k=4)");
+  std::printf("  lnc-ra / lnc-r CSR ratio per size:");
+  for (double r : vs_lnc_r) std::printf(" %.2f", r);
+  std::printf("\n  average improvement from admission: %+.1f%%\n",
+              (Mean(vs_lnc_r) - 1.0) * 100.0);
+
+  const auto& cells = sweep.cells();
+  const size_t n = kCachePercents.size();
+  // Marginal sets can thrash right at the profit boundary, so individual
+  // sizes may dip slightly; require the ordering up to a 10% relative
+  // tolerance (see EXPERIMENTS.md for the exact per-size numbers).
+  bool ordered = true;
+  for (size_t s = 0; s < n; ++s) {
+    const double ra = cells[0 * n + s].result.cost_savings_ratio;
+    const double r = cells[1 * n + s].result.cost_savings_ratio;
+    const double lru = cells[2 * n + s].result.cost_savings_ratio;
+    ordered = ordered && ra >= 0.9 * r && r >= lru;
+  }
+  bench::PrintShapeCheck(
+      "LNC-RA >= LNC-R (within 10%) >= LRU at every cache size", ordered);
+  bench::PrintShapeCheck(
+      "admission helps where it matters most (smallest cache)",
+      vs_lnc_r.front() > 1.0);
+  bench::PrintShapeCheck("improvement maximal at smallest cache",
+                         vs_lru.front() >=
+                             *std::max_element(vs_lru.begin(),
+                                               vs_lru.end()) - 1e-9);
+  bench::PrintShapeCheck(
+      "LNC-RA within 10% of infinite-cache CSR at 5% cache",
+      cells[0 * n + (n - 1)].result.cost_savings_ratio >
+          0.9 * cells[3 * n + (n - 1)].result.cost_savings_ratio);
+}
+
+}  // namespace
+}  // namespace watchman
+
+int main() {
+  using namespace watchman;
+  bench::PrintHeader(
+      "Figure 4: cost savings ratios vs cache size (plus section 6 "
+      "summary claims)");
+  const bench::BenchWorkload tpcd = bench::MakeTpcd();
+  RunPanel("TPC-D", tpcd, 4.0, 4.7);
+  const bench::BenchWorkload sq = bench::MakeSetQuery();
+  RunPanel("Set Query", sq, 2.3, 7.0);
+  return 0;
+}

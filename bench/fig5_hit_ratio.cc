@@ -1,0 +1,74 @@
+// Reproduces paper Figure 5: hit ratio vs cache size (0.1%..5% of
+// database size) for LNC-RA, LNC-R (K=4), vanilla LRU and the infinite
+// cache. The ordering matches Figure 4, and hit ratios converge to the
+// infinite-cache bound more slowly than cost savings ratios.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/experiment.h"
+
+namespace watchman {
+namespace {
+
+const std::vector<double> kCachePercents{0.1, 0.2, 0.5, 1.0, 2.0,
+                                         3.0, 4.0, 5.0};
+
+void RunPanel(const char* label, const bench::BenchWorkload& w) {
+  CacheSizeSweep sweep(w.trace, w.db.total_bytes());
+  PolicyConfig lnc_ra;
+  lnc_ra.kind = PolicyKind::kLncRA;
+  lnc_ra.k = 4;
+  sweep.AddPolicy(lnc_ra);
+  PolicyConfig lnc_r;
+  lnc_r.kind = PolicyKind::kLncR;
+  lnc_r.k = 4;
+  sweep.AddPolicy(lnc_r);
+  PolicyConfig lru;
+  lru.kind = PolicyKind::kLru;
+  sweep.AddPolicy(lru);
+  PolicyConfig inf;
+  inf.kind = PolicyKind::kInfinite;
+  sweep.AddPolicy(inf);
+  for (double pct : kCachePercents) sweep.AddCachePercent(pct);
+  sweep.Run();
+
+  bench::PrintTable(std::string(label) + ": hit ratio", sweep.HrTable());
+
+  const auto& cells = sweep.cells();
+  const size_t n = kCachePercents.size();
+  bool ordered = true;
+  for (size_t s = 0; s < n; ++s) {
+    ordered = ordered &&
+              cells[0 * n + s].result.hit_ratio >=
+                  cells[2 * n + s].result.hit_ratio;
+  }
+  bench::PrintShapeCheck("LNC-RA HR >= LRU HR at every cache size", ordered);
+
+  // CSR converges faster than HR: at 1% cache, LNC-RA's CSR should be a
+  // larger fraction of its infinite-cache value than its HR.
+  const size_t idx_1pct = 3;
+  const double csr_frac =
+      cells[0 * n + idx_1pct].result.cost_savings_ratio /
+      cells[3 * n + (n - 1)].result.cost_savings_ratio;
+  const double hr_frac = cells[0 * n + idx_1pct].result.hit_ratio /
+                         cells[3 * n + (n - 1)].result.hit_ratio;
+  std::printf("  at 1%% cache: CSR at %.0f%% of max, HR at %.0f%% of max\n",
+              csr_frac * 100.0, hr_frac * 100.0);
+  bench::PrintShapeCheck("CSR converges faster than HR",
+                         csr_frac > hr_frac);
+}
+
+}  // namespace
+}  // namespace watchman
+
+int main() {
+  using namespace watchman;
+  bench::PrintHeader("Figure 5: hit ratios vs cache size");
+  const bench::BenchWorkload tpcd = bench::MakeTpcd();
+  RunPanel("TPC-D", tpcd);
+  const bench::BenchWorkload sq = bench::MakeSetQuery();
+  RunPanel("Set Query", sq);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// google-benchmark micro benches: per-reference cost of each policy and
+// of the core data structures, at realistic cache occupancy.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "cache/query_descriptor.h"
+#include "cache/ref_history.h"
+#include "sim/policy_config.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace watchman {
+namespace {
+
+std::vector<QueryDescriptor> MakeDescriptors(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryDescriptor> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryDescriptor d;
+    d.query_id = "select agg from rel where param\x1f" +
+                 std::to_string(rng.NextBounded(n / 2 + 1));
+    d.signature = ComputeSignature(d.query_id);
+    d.result_bytes = 64 + rng.NextBounded(4096);
+    d.cost = 100 + rng.NextBounded(20000);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void BM_CacheReference(benchmark::State& state, PolicyKind kind) {
+  const auto descriptors = MakeDescriptors(4096, 42);
+  PolicyConfig config;
+  config.kind = kind;
+  config.k = 4;
+  std::unique_ptr<QueryCache> cache = MakeCache(config, 1 << 20);
+  Timestamp now = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(
+        cache->Reference(descriptors[i % descriptors.size()], now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_LruReference(benchmark::State& state) {
+  BM_CacheReference(state, PolicyKind::kLru);
+}
+void BM_LruKReference(benchmark::State& state) {
+  BM_CacheReference(state, PolicyKind::kLruK);
+}
+void BM_LncRReference(benchmark::State& state) {
+  BM_CacheReference(state, PolicyKind::kLncR);
+}
+void BM_LncRaReference(benchmark::State& state) {
+  BM_CacheReference(state, PolicyKind::kLncRA);
+}
+void BM_GdsReference(benchmark::State& state) {
+  BM_CacheReference(state, PolicyKind::kGds);
+}
+BENCHMARK(BM_LruReference);
+BENCHMARK(BM_LruKReference);
+BENCHMARK(BM_LncRReference);
+BENCHMARK(BM_LncRaReference);
+BENCHMARK(BM_GdsReference);
+
+void BM_SignatureCompute(benchmark::State& state) {
+  const std::string text =
+      "select l_returnflag l_linestatus sum(l_quantity) from lineitem "
+      "where l_shipdate <= date '1998-09-02' group by l_returnflag";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSignature(text));
+  }
+}
+BENCHMARK(BM_SignatureCompute);
+
+void BM_CompressQueryId(benchmark::State& state) {
+  const std::string text =
+      "SELECT   o_orderpriority, COUNT(*)\nFROM orders, lineitem\n"
+      "WHERE o_orderdate >= DATE '1995-04-01'\nGROUP BY o_orderpriority";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressQueryId(text));
+  }
+}
+BENCHMARK(BM_CompressQueryId);
+
+void BM_ReferenceHistoryRecord(benchmark::State& state) {
+  ReferenceHistory h(static_cast<size_t>(state.range(0)));
+  Timestamp t = 0;
+  for (auto _ : state) {
+    h.Record(++t);
+    benchmark::DoNotOptimize(h.EstimateRate(t + 1));
+  }
+}
+BENCHMARK(BM_ReferenceHistoryRecord)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BufferPoolReference(benchmark::State& state) {
+  BufferPool pool(3840, 25600);
+  Rng rng(7);
+  // Mixed scan/random workload.
+  PageId scan = 0;
+  for (auto _ : state) {
+    PageId p;
+    if (rng.NextBool(0.7)) {
+      p = scan++ % 25600;
+    } else {
+      p = static_cast<PageId>(rng.NextBounded(25600));
+    }
+    benchmark::DoNotOptimize(pool.Reference(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BufferPoolReference);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000)->Arg(1 << 30);
+
+}  // namespace
+}  // namespace watchman
+
+BENCHMARK_MAIN();

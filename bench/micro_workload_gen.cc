@@ -1,0 +1,71 @@
+// google-benchmark micro benches of the workload layer: trace
+// generation throughput and per-event costs.
+
+#include <benchmark/benchmark.h>
+
+#include "storage/schemas.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+
+namespace watchman {
+namespace {
+
+void BM_TpcdTraceGeneration(benchmark::State& state) {
+  Database db = MakeTpcdDatabase();
+  WorkloadMix mix = MakeTpcdWorkload(db);
+  TraceGenOptions opts;
+  opts.num_queries = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    Trace t = mix.GenerateTrace(opts);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TpcdTraceGeneration)->Arg(1000)->Arg(17000);
+
+void BM_SetQueryTraceGeneration(benchmark::State& state) {
+  Database db = MakeSetQueryDatabase();
+  WorkloadMix mix = MakeSetQueryWorkload(db);
+  TraceGenOptions opts;
+  opts.num_queries = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    Trace t = mix.GenerateTrace(opts);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetQueryTraceGeneration)->Arg(1000)->Arg(17000);
+
+void BM_TemplateProperties(benchmark::State& state) {
+  Database db = MakeTpcdDatabase();
+  WorkloadMix mix = MakeTpcdWorkload(db);
+  uint64_t instance = 0;
+  for (auto _ : state) {
+    const QueryTemplate& tmpl = mix.tmpl(instance % mix.num_templates());
+    benchmark::DoNotOptimize(
+        tmpl.Properties(instance % tmpl.instance_space()));
+    ++instance;
+  }
+}
+BENCHMARK(BM_TemplateProperties);
+
+void BM_TraceSummarize(benchmark::State& state) {
+  Database db = MakeTpcdDatabase();
+  WorkloadMix mix = MakeTpcdWorkload(db);
+  TraceGenOptions opts;
+  opts.num_queries = 17000;
+  const Trace trace = mix.GenerateTrace(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.Summarize().num_distinct_queries);
+  }
+}
+BENCHMARK(BM_TraceSummarize);
+
+}  // namespace
+}  // namespace watchman
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Quickstart: wire WATCHMAN in front of a (mock) warehouse executor.
+//
+// The library is used exactly as the paper describes (section 3): link
+// it with your application, hand it an executor callback, and submit
+// query text. WATCHMAN compresses the text into a query ID, serves
+// repeats from the retrieved-set cache, and uses the LNC-RA profit
+// logic to decide what stays cached.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "watchman/watchman.h"
+
+using watchman::Status;
+using watchman::StatusOr;
+using watchman::Watchman;
+
+int main() {
+  // A stand-in for the DBMS: count the executions and charge a cost.
+  int executions = 0;
+  auto executor =
+      [&executions](const std::string& query)
+      -> StatusOr<Watchman::ExecutionResult> {
+    ++executions;
+    // Pretend the warehouse scanned 12,000 blocks and produced a small
+    // aggregate result. A real integration would run the query and
+    // report the optimizer's (or the statistics') cost.
+    Watchman::ExecutionResult result;
+    result.payload = "region=EU revenue=1,240,551 orders=8,412 [" + query +
+                     "]";
+    result.cost = 12000;
+    return result;
+  };
+
+  Watchman::Options options;
+  options.capacity_bytes = 4 << 20;  // 4 MiB of retrieved sets
+  options.k = 4;                     // history depth (paper default)
+  Watchman cache(std::move(options), executor);
+
+  const std::string query =
+      "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+      "WHERE o_orderdate >= DATE '1995-04-01' GROUP BY o_orderpriority";
+
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<std::string> result = cache.Query(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run %d: %s (executions so far: %d)\n", i + 1,
+                result->c_str(), executions);
+  }
+
+  // Differently formatted but equivalent text hits the same entry.
+  StatusOr<std::string> reformatted = cache.Query(
+      "select   o_orderpriority, count( * )\nfrom orders,lineitem\n"
+      "where o_orderdate >= date '1995-04-01' group by o_orderpriority");
+  if (!reformatted.ok()) return 1;
+
+  std::printf("\nafter 6 submissions: %d execution(s), hit ratio %.2f, "
+              "cost savings ratio %.2f\n",
+              executions, cache.hit_ratio(), cache.cost_savings_ratio());
+  std::printf("cached sets: %zu, bytes used: %llu / %llu\n",
+              cache.cached_set_count(),
+              static_cast<unsigned long long>(cache.used_bytes()),
+              static_cast<unsigned long long>(cache.capacity_bytes()));
+  return 0;
+}

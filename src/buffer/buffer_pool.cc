@@ -1,0 +1,112 @@
+#include "buffer/buffer_pool.h"
+
+#include <cassert>
+
+namespace watchman {
+
+BufferPool::BufferPool(uint32_t capacity_pages, uint32_t num_pages)
+    : capacity_(capacity_pages),
+      prev_(num_pages, kNil),
+      next_(num_pages, kNil),
+      resident_(num_pages, 0) {
+  assert(capacity_pages > 0);
+  assert(num_pages > 0);
+}
+
+void BufferPool::Unlink(PageId page) {
+  const uint32_t p = prev_[page];
+  const uint32_t n = next_[page];
+  if (p != kNil) next_[p] = n; else head_ = n;
+  if (n != kNil) prev_[n] = p; else tail_ = p;
+  prev_[page] = kNil;
+  next_[page] = kNil;
+}
+
+void BufferPool::LinkMru(PageId page) {
+  prev_[page] = kNil;
+  next_[page] = head_;
+  if (head_ != kNil) prev_[head_] = page;
+  head_ = page;
+  if (tail_ == kNil) tail_ = page;
+}
+
+void BufferPool::LinkLru(PageId page) {
+  next_[page] = kNil;
+  prev_[page] = tail_;
+  if (tail_ != kNil) next_[tail_] = page;
+  tail_ = page;
+  if (head_ == kNil) head_ = page;
+}
+
+bool BufferPool::Reference(PageId page) {
+  assert(page < resident_.size());
+  ++stats_.references;
+  if (resident_[page]) {
+    ++stats_.hits;
+    Unlink(page);
+    LinkMru(page);
+    return true;
+  }
+  if (resident_count_ >= capacity_) {
+    // Evict the LRU page.
+    const uint32_t victim = tail_;
+    assert(victim != kNil);
+    Unlink(victim);
+    resident_[victim] = 0;
+    --resident_count_;
+    ++stats_.evictions;
+  }
+  resident_[page] = 1;
+  ++resident_count_;
+  LinkMru(page);
+  return false;
+}
+
+void BufferPool::Demote(PageId page) {
+  assert(page < resident_.size());
+  if (!resident_[page]) return;
+  ++stats_.demotions;
+  Unlink(page);
+  LinkLru(page);
+}
+
+bool BufferPool::IsResident(PageId page) const {
+  assert(page < resident_.size());
+  return resident_[page] != 0;
+}
+
+Status BufferPool::CheckInvariants() const {
+  uint32_t count = 0;
+  uint32_t walker = head_;
+  uint32_t prev = kNil;
+  while (walker != kNil) {
+    if (!resident_[walker]) {
+      return Status::Internal("non-resident page on LRU chain");
+    }
+    if (prev_[walker] != prev) {
+      return Status::Internal("broken prev link");
+    }
+    prev = walker;
+    walker = next_[walker];
+    if (++count > resident_.size()) {
+      return Status::Internal("cycle in LRU chain");
+    }
+  }
+  if (prev != tail_ && !(head_ == kNil && tail_ == kNil)) {
+    return Status::Internal("tail does not terminate chain");
+  }
+  if (count != resident_count_) {
+    return Status::Internal("resident count mismatch");
+  }
+  if (resident_count_ > capacity_) {
+    return Status::Internal("pool over capacity");
+  }
+  uint32_t resident_flags = 0;
+  for (uint8_t r : resident_) resident_flags += r;
+  if (resident_flags != resident_count_) {
+    return Status::Internal("resident bitmap mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace watchman

@@ -1,0 +1,85 @@
+#include "buffer/buffer_sim.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/query_descriptor.h"
+
+namespace watchman {
+
+BufferSimResult RunBufferSimulation(const Database& db,
+                                    const WorkloadMix& mix,
+                                    const Trace& trace,
+                                    const BufferSimOptions& options) {
+  const uint32_t num_pages = static_cast<uint32_t>(db.total_pages());
+  const uint32_t pool_pages =
+      static_cast<uint32_t>(options.pool_bytes / kPageBytes);
+  BufferPool pool(pool_pages, num_pages);
+  QueryRefTracker tracker(num_pages);
+
+  LncOptions cache_opts = options.cache_options;
+  cache_opts.capacity_bytes = options.cache_bytes;
+  LncCache cache(cache_opts);
+
+  // Page ranges of every currently cached retrieved set, so evictions
+  // can release their contribution to the redundancy counters.
+  std::unordered_map<std::string, std::vector<PageRange>> cached_ranges;
+  cache.SetEvictionListener([&](const QueryDescriptor& d) {
+    auto it = cached_ranges.find(d.query_id);
+    if (it == cached_ranges.end()) return;
+    tracker.OnResultEvicted(it->second);
+    cached_ranges.erase(it);
+  });
+
+  BufferSimResult result;
+  for (const QueryEvent& e : trace) {
+    const QueryDescriptor desc = QueryDescriptor::FromEvent(e);
+    const bool hit = cache.Reference(desc, e.timestamp);
+    if (hit) continue;  // served from the retrieved-set cache: no I/O
+
+    const QueryTemplate* tmpl = mix.FindTemplate(e.template_id);
+    assert(tmpl != nullptr);
+    const std::vector<PageRange> ranges = tmpl->PageAccesses(e.instance);
+
+    ++result.executed_queries;
+    tracker.RecordFirstExecution(e.query_id, ranges);
+    for (const PageRange& r : ranges) {
+      for (PageId p = r.begin; p < r.end; ++p) {
+        pool.Reference(p);
+        ++result.total_page_refs;
+      }
+    }
+
+    // Did the miss result in the retrieved set being admitted?
+    if (cache.Contains(e.query_id) && !cached_ranges.contains(e.query_id)) {
+      cached_ranges.emplace(e.query_id, ranges);
+      tracker.OnResultCached(ranges);
+      if (options.hints_enabled) {
+        // Hint (paper section 3): after caching a retrieved set,
+        // WATCHMAN tells the buffer manager to move the p0-redundant
+        // pages to the end of its LRU chain. Only the pages of the
+        // just-cached query changed redundancy, so the hint carries
+        // those; at p0 = 0 every page of every cached query is demoted
+        // right after it was read and the modified LRU degenerates to
+        // MRU (paper Figure 7).
+        ++result.hints_sent;
+        for (const PageRange& r : ranges) {
+          for (PageId p = r.begin; p < r.end; ++p) {
+            if (pool.IsResident(p) && tracker.IsRedundant(p, options.p0)) {
+              pool.Demote(p);
+              ++result.pages_demoted;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  result.buffer = pool.stats();
+  result.cache = cache.stats();
+  return result;
+}
+
+}  // namespace watchman

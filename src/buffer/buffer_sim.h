@@ -1,0 +1,57 @@
+// The buffer-manager interaction simulation (paper section 3 testbed and
+// Figure 7): a WATCHMAN retrieved-set cache runs in front of a page-LRU
+// buffer pool. Queries whose retrieved sets hit the WATCHMAN cache do
+// not execute and generate no page references; executing queries replay
+// their page accesses through the pool. Whenever WATCHMAN caches a
+// retrieved set it sends a hint, and the pool demotes the p0-redundant
+// pages of that query to the end of its LRU chain.
+
+#ifndef WATCHMAN_BUFFER_BUFFER_SIM_H_
+#define WATCHMAN_BUFFER_BUFFER_SIM_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/query_ref_tracker.h"
+#include "cache/lnc_cache.h"
+#include "storage/database.h"
+#include "trace/trace.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+
+/// Configuration of one buffer-interaction run.
+struct BufferSimOptions {
+  /// Buffer pool size in bytes (paper: 15 MB).
+  uint64_t pool_bytes = 15ull << 20;
+  /// WATCHMAN cache size in bytes (paper: 15 MB).
+  uint64_t cache_bytes = 15ull << 20;
+  /// Hint threshold p0 in [0, 1]; pages with at least this fraction of
+  /// their query reference set cached are demoted.
+  double p0 = 1.0;
+  /// Whether hints are sent at all; false = the plain-LRU baseline.
+  bool hints_enabled = true;
+  /// WATCHMAN policy configuration.
+  LncOptions cache_options;
+};
+
+/// Results of one run.
+struct BufferSimResult {
+  BufferStats buffer;
+  CacheStats cache;
+  uint64_t executed_queries = 0;
+  uint64_t total_page_refs = 0;
+  uint64_t hints_sent = 0;
+  uint64_t pages_demoted = 0;
+};
+
+/// Runs the trace (generated from `mix` over `db`) through the combined
+/// WATCHMAN + buffer-pool simulation.
+BufferSimResult RunBufferSimulation(const Database& db,
+                                    const WorkloadMix& mix,
+                                    const Trace& trace,
+                                    const BufferSimOptions& options);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_BUFFER_BUFFER_SIM_H_

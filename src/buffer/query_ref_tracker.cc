@@ -1,0 +1,59 @@
+#include "buffer/query_ref_tracker.h"
+
+#include <cassert>
+
+namespace watchman {
+
+QueryRefTracker::QueryRefTracker(uint32_t num_pages)
+    : ref_count_(num_pages, 0), cached_count_(num_pages, 0) {}
+
+void QueryRefTracker::RecordFirstExecution(
+    const std::string& query_id, const std::vector<PageRange>& ranges) {
+  auto [it, inserted] = seen_.insert(query_id);
+  (void)it;
+  if (!inserted) return;
+  for (const PageRange& r : ranges) {
+    for (PageId p = r.begin; p < r.end; ++p) {
+      assert(p < ref_count_.size());
+      ++ref_count_[p];
+    }
+  }
+}
+
+bool QueryRefTracker::Seen(const std::string& query_id) const {
+  return seen_.contains(query_id);
+}
+
+void QueryRefTracker::OnResultCached(const std::vector<PageRange>& ranges) {
+  for (const PageRange& r : ranges) {
+    for (PageId p = r.begin; p < r.end; ++p) {
+      assert(p < cached_count_.size());
+      ++cached_count_[p];
+    }
+  }
+}
+
+void QueryRefTracker::OnResultEvicted(const std::vector<PageRange>& ranges) {
+  for (const PageRange& r : ranges) {
+    for (PageId p = r.begin; p < r.end; ++p) {
+      assert(cached_count_[p] > 0);
+      --cached_count_[p];
+    }
+  }
+}
+
+double QueryRefTracker::RedundancyFraction(PageId page) const {
+  assert(page < ref_count_.size());
+  if (ref_count_[page] == 0) return 0.0;
+  return static_cast<double>(cached_count_[page]) /
+         static_cast<double>(ref_count_[page]);
+}
+
+bool QueryRefTracker::IsRedundant(PageId page, double p) const {
+  assert(page < ref_count_.size());
+  if (ref_count_[page] == 0) return false;
+  return static_cast<double>(cached_count_[page]) >=
+         p * static_cast<double>(ref_count_[page]);
+}
+
+}  // namespace watchman

@@ -1,0 +1,61 @@
+// Query reference sets and p-redundancy (paper section 3).
+//
+// For every buffered page the simulation maintains its "query reference
+// set": the distinct queries that have referenced the page. A page is
+// p-redundant if at least a fraction p of its query reference set is
+// currently cached by WATCHMAN. Rather than materializing the sets, the
+// tracker keeps two counters per page -- |reference set| and how many of
+// those queries are currently cached -- which is sufficient to evaluate
+// p-redundancy exactly, and is one of the compressed representations the
+// paper says it is investigating.
+
+#ifndef WATCHMAN_BUFFER_QUERY_REF_TRACKER_H_
+#define WATCHMAN_BUFFER_QUERY_REF_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace watchman {
+
+/// Tracks per-page query reference sets as counters.
+class QueryRefTracker {
+ public:
+  explicit QueryRefTracker(uint32_t num_pages);
+
+  /// Records that distinct query `query_id` references `ranges` (call
+  /// once per distinct query, on its first execution).
+  void RecordFirstExecution(const std::string& query_id,
+                            const std::vector<PageRange>& ranges);
+
+  /// True if this query's first execution was already recorded.
+  bool Seen(const std::string& query_id) const;
+
+  /// The retrieved set of a query covering `ranges` became cached /
+  /// evicted: adjusts the cached-count of every covered page.
+  void OnResultCached(const std::vector<PageRange>& ranges);
+  void OnResultEvicted(const std::vector<PageRange>& ranges);
+
+  /// Fraction of `page`'s query reference set currently cached
+  /// (0 when the page has never been referenced).
+  double RedundancyFraction(PageId page) const;
+
+  /// True if at least a fraction `p` of the page's reference set is
+  /// cached. A page with an empty reference set is never redundant.
+  bool IsRedundant(PageId page, double p) const;
+
+  uint32_t reference_count(PageId page) const { return ref_count_[page]; }
+  uint32_t cached_count(PageId page) const { return cached_count_[page]; }
+
+ private:
+  std::vector<uint32_t> ref_count_;
+  std::vector<uint32_t> cached_count_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_BUFFER_QUERY_REF_TRACKER_H_

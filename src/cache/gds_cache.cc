@@ -1,0 +1,41 @@
+#include "cache/gds_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace watchman {
+
+GdsCache::GdsCache(uint64_t capacity_bytes)
+    : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
+
+double GdsCache::HValue(const QueryDescriptor& d) const {
+  return inflation_ + static_cast<double>(d.cost) /
+                          static_cast<double>(std::max<uint64_t>(
+                              d.result_bytes, 1));
+}
+
+void GdsCache::OnHit(Entry* entry, Timestamp /*now*/) {
+  entry->gds_h = HValue(entry->desc);
+}
+
+void GdsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  if (d.result_bytes > capacity_bytes()) {
+    CountTooLargeRejection();
+    return;
+  }
+  if (d.result_bytes > available_bytes()) {
+    auto victims = SelectVictims(
+        d.result_bytes - available_bytes(),
+        [](Entry* e) { return std::make_pair(e->gds_h, e->history.last()); });
+    double max_evicted_h = inflation_;
+    for (Entry* victim : victims) {
+      max_evicted_h = std::max(max_evicted_h, victim->gds_h);
+      EvictEntry(victim);
+    }
+    inflation_ = max_evicted_h;
+  }
+  Entry* entry = InsertEntry(d, now);
+  entry->gds_h = HValue(d);
+}
+
+}  // namespace watchman

@@ -1,0 +1,38 @@
+// GreedyDual-Size (Cao & Irani, 1997) over retrieved sets: a later
+// cost/size-aware policy included as a context baseline beyond the
+// paper. Each set carries H = L + cost/size; the set with minimal H is
+// evicted and L inflates to the evicted H, which ages unreferenced sets
+// without timestamps.
+
+#ifndef WATCHMAN_CACHE_GDS_CACHE_H_
+#define WATCHMAN_CACHE_GDS_CACHE_H_
+
+#include <string>
+
+#include "cache/query_cache.h"
+
+namespace watchman {
+
+/// GreedyDual-Size replacement, no admission control.
+class GdsCache : public QueryCache {
+ public:
+  explicit GdsCache(uint64_t capacity_bytes);
+
+  std::string name() const override { return "gds"; }
+
+  /// Current inflation value L (monotonically non-decreasing).
+  double inflation() const { return inflation_; }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+
+ private:
+  double HValue(const QueryDescriptor& d) const;
+
+  double inflation_ = 0.0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_GDS_CACHE_H_

@@ -1,0 +1,30 @@
+#include "cache/lcs_cache.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace watchman {
+
+LcsCache::LcsCache(uint64_t capacity_bytes)
+    : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
+
+void LcsCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+
+void LcsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  if (d.result_bytes > capacity_bytes()) {
+    CountTooLargeRejection();
+    return;
+  }
+  if (d.result_bytes > available_bytes()) {
+    auto victims = SelectVictims(
+        d.result_bytes - available_bytes(), [](Entry* e) {
+          // Largest first; ties broken least-recently-used first.
+          return std::make_pair(
+              ~uint64_t{0} - e->desc.result_bytes, e->history.last());
+        });
+    for (Entry* victim : victims) EvictEntry(victim);
+  }
+  InsertEntry(d, now);
+}
+
+}  // namespace watchman

@@ -1,0 +1,29 @@
+// LCS (Largest Cached Set first): evicts the largest retrieved sets
+// first, the replacement policy the ADMS project found strongest among
+// the classic ones (paper section 5). Size-aware but cost- and
+// rate-oblivious.
+
+#ifndef WATCHMAN_CACHE_LCS_CACHE_H_
+#define WATCHMAN_CACHE_LCS_CACHE_H_
+
+#include <string>
+
+#include "cache/query_cache.h"
+
+namespace watchman {
+
+/// Largest-set-first replacement, no admission control.
+class LcsCache : public QueryCache {
+ public:
+  explicit LcsCache(uint64_t capacity_bytes);
+
+  std::string name() const override { return "lcs"; }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LCS_CACHE_H_

@@ -1,0 +1,27 @@
+#include "cache/lfu_cache.h"
+
+#include <utility>
+
+namespace watchman {
+
+LfuCache::LfuCache(uint64_t capacity_bytes)
+    : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
+
+void LfuCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+
+void LfuCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  if (d.result_bytes > capacity_bytes()) {
+    CountTooLargeRejection();
+    return;
+  }
+  if (d.result_bytes > available_bytes()) {
+    auto victims = SelectVictims(
+        d.result_bytes - available_bytes(), [](Entry* e) {
+          return std::make_pair(e->cached_refs, e->history.last());
+        });
+    for (Entry* victim : victims) EvictEntry(victim);
+  }
+  InsertEntry(d, now);
+}
+
+}  // namespace watchman

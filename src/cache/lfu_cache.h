@@ -1,0 +1,28 @@
+// LFU over retrieved sets: evicts the set with the fewest references
+// received while cached (ties broken least-recently-used). One of the
+// baselines discussed in the paper's related work (ADMS experiments).
+
+#ifndef WATCHMAN_CACHE_LFU_CACHE_H_
+#define WATCHMAN_CACHE_LFU_CACHE_H_
+
+#include <string>
+
+#include "cache/query_cache.h"
+
+namespace watchman {
+
+/// Least-frequently-used replacement, no admission control.
+class LfuCache : public QueryCache {
+ public:
+  explicit LfuCache(uint64_t capacity_bytes);
+
+  std::string name() const override { return "lfu"; }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LFU_CACHE_H_

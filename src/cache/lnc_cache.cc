@@ -1,0 +1,181 @@
+#include "cache/lnc_cache.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace watchman {
+
+LncCache::LncCache(const LncOptions& options)
+    : QueryCache(Options{options.capacity_bytes, options.k}),
+      opts_(options) {}
+
+std::string LncCache::name() const {
+  std::string base = opts_.admission ? "lnc-ra" : "lnc-r";
+  return base + "(k=" + std::to_string(k()) + ")";
+}
+
+std::optional<double> LncCache::Rate(const ReferenceHistory& history,
+                                     Timestamp now) const {
+  Timestamp eval_time = now;
+  if (opts_.aging_period > 0) {
+    // Reduced-overhead mode: profits are evaluated against the last
+    // refresh tick, so between ticks the estimates stay frozen.
+    eval_time = std::max(aging_tick_, history.empty() ? 0 : history.last());
+  }
+  return history.EstimateRate(eval_time);
+}
+
+double LncCache::EntryProfit(const Entry& entry, Timestamp now) const {
+  assert(entry.desc.result_bytes > 0);
+  const double cost_per_byte =
+      static_cast<double>(entry.desc.cost) /
+      static_cast<double>(entry.desc.result_bytes);
+  const auto rate = Rate(entry.history, now);
+  if (!rate.has_value()) return cost_per_byte;
+  return *rate * cost_per_byte;
+}
+
+double LncCache::MinCachedProfit(Timestamp now) {
+  double min_profit = std::numeric_limits<double>::infinity();
+  for (Entry* e : AllEntries()) {
+    min_profit = std::min(min_profit, EntryProfit(*e, now));
+  }
+  return min_profit;
+}
+
+std::vector<QueryCache::Entry*> LncCache::SelectCandidates(
+    uint64_t bytes_needed, Timestamp now) {
+  return SelectVictims(bytes_needed, [this, now](Entry* e) {
+    // Bucket R_i: i = number of recorded references (capped at K by the
+    // history window). Lower buckets are evicted first; ascending profit
+    // within a bucket.
+    return std::make_pair(e->history.size(), EntryProfit(*e, now));
+  });
+}
+
+double LncCache::ListProfit(const std::vector<Entry*>& list,
+                            Timestamp now) const {
+  double rate_cost_sum = 0.0;
+  double size_sum = 0.0;
+  for (const Entry* e : list) {
+    const auto rate = Rate(e->history, now);
+    // Candidates are cached, so they carry at least one past reference;
+    // a missing rate can only mean the entry was inserted at `now`
+    // itself. Fall back to its e-profit contribution.
+    const double lambda = rate.has_value()
+                              ? *rate
+                              : 1.0 / static_cast<double>(
+                                          e->desc.result_bytes);
+    rate_cost_sum += lambda * static_cast<double>(e->desc.cost);
+    size_sum += static_cast<double>(e->desc.result_bytes);
+  }
+  assert(size_sum > 0.0);
+  return rate_cost_sum / size_sum;
+}
+
+double LncCache::ListEstimatedProfit(const std::vector<Entry*>& list) const {
+  double cost_sum = 0.0;
+  double size_sum = 0.0;
+  for (const Entry* e : list) {
+    cost_sum += static_cast<double>(e->desc.cost);
+    size_sum += static_cast<double>(e->desc.result_bytes);
+  }
+  assert(size_sum > 0.0);
+  return cost_sum / size_sum;
+}
+
+void LncCache::OnHit(Entry* /*entry*/, Timestamp now) { MaybeSweep(now); }
+
+void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  MaybeSweep(now);
+  if (d.result_bytes > capacity_bytes() || d.result_bytes == 0) {
+    CountTooLargeRejection();
+    return;
+  }
+
+  // Reconstruct the reference information for RS_i: retained history if
+  // available, then record the current reference.
+  ReferenceHistory history(k());
+  bool had_retained = false;
+  if (opts_.retain_reference_info) {
+    if (RetainedInfo* info = retained_.Find(d.query_id)) {
+      history = info->history;
+      had_retained = true;
+    }
+  }
+  history.Record(now);
+
+  // Figure 1: when the set fits into free space it is cached without an
+  // admission test.
+  if (d.result_bytes <= available_bytes()) {
+    InsertEntry(d, now, &history);
+    if (had_retained) retained_.Remove(d.query_id);
+    return;
+  }
+
+  const uint64_t bytes_needed = d.result_bytes - available_bytes();
+  std::vector<Entry*> candidates = SelectCandidates(bytes_needed, now);
+
+  bool admit = true;
+  if (opts_.admission) {
+    // LNC-A (Figure 1): with reference information compare profits,
+    // otherwise compare estimated profits.
+    const auto rate = Rate(history, now);
+    if (rate.has_value()) {
+      const double profit_rs = *rate * static_cast<double>(d.cost) /
+                               static_cast<double>(d.result_bytes);
+      admit = profit_rs > ListProfit(candidates, now);
+    } else {
+      const double e_profit_rs = static_cast<double>(d.cost) /
+                                 static_cast<double>(d.result_bytes);
+      admit = e_profit_rs > ListEstimatedProfit(candidates);
+    }
+  }
+
+  if (admit) {
+    for (Entry* victim : candidates) EvictEntry(victim);
+    InsertEntry(d, now, &history);
+    if (opts_.retain_reference_info) retained_.Remove(d.query_id);
+  } else {
+    CountAdmissionRejection();
+    if (opts_.retain_reference_info) {
+      // Section 2.4 (last paragraph): sets the admission algorithm
+      // rejects also retain their reference information, so a set that
+      // is initially rejected can be admitted once enough references
+      // accumulate.
+      RetainedInfo info;
+      info.history = history;
+      info.result_bytes = d.result_bytes;
+      info.cost = d.cost;
+      retained_.Put(d.query_id, std::move(info));
+    }
+  }
+}
+
+void LncCache::OnEvict(const Entry& entry) { RetainEntryInfo(entry); }
+
+void LncCache::RetainEntryInfo(const Entry& entry) {
+  if (!opts_.retain_reference_info) return;
+  RetainedInfo info;
+  info.history = entry.history;
+  info.result_bytes = entry.desc.result_bytes;
+  info.cost = entry.desc.cost;
+  retained_.Put(entry.desc.query_id, std::move(info));
+}
+
+void LncCache::MaybeSweep(Timestamp now) {
+  if (opts_.aging_period > 0 && now >= aging_tick_ + opts_.aging_period) {
+    aging_tick_ = now;
+  }
+  if (!opts_.retain_reference_info) return;
+  if (++references_since_sweep_ < opts_.sweep_interval) return;
+  references_since_sweep_ = 0;
+  if (retained_.empty()) return;
+  const double min_profit = MinCachedProfit(now);
+  if (std::isinf(min_profit)) return;
+  retained_.SweepBelowProfit(min_profit, now);
+}
+
+}  // namespace watchman

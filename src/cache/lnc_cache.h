@@ -1,0 +1,120 @@
+// LNC-R / LNC-RA: the paper's cache replacement and admission algorithms
+// (Figure 1).
+//
+// Replacement (LNC-R): victims are selected in the order
+// R_1 < R_2 < ... < R_K, where R_i holds the cached sets with exactly i
+// recorded references arranged by ascending profit
+//
+//   profit(RS_i) = lambda_i * c_i / s_i ,   lambda_i = K / (t - t_K).
+//
+// Sets with fewer references are replaced earlier because their rate
+// estimates are less reliable (paper section 2.1).
+//
+// Admission (LNC-A): a missed set RS_i with candidate victim list
+// C = LNC-R(s_i) is admitted only if profit(RS_i) > profit(C); for sets
+// with no past reference information the estimated profit
+// e-profit = c_i / s_i is used on both sides (eqs. 4-8). Per Figure 1, a
+// set that fits into the available free space is cached without an
+// admission test.
+//
+// Retained reference information (section 2.4): timestamps, size and cost
+// of evicted and admission-rejected sets are retained, and dropped when
+// their profit falls below the least profit among all cached sets.
+
+#ifndef WATCHMAN_CACHE_LNC_CACHE_H_
+#define WATCHMAN_CACHE_LNC_CACHE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/query_cache.h"
+#include "cache/retained_info.h"
+
+namespace watchman {
+
+/// Configuration of the LNC family.
+struct LncOptions {
+  uint64_t capacity_bytes = 0;
+
+  /// Reference-history depth K (paper experiments use K = 4).
+  size_t k = 4;
+
+  /// Enables the LNC-A admission algorithm; with it the cache is LNC-RA,
+  /// without it plain LNC-R (which admits everything that fits).
+  bool admission = true;
+
+  /// Enables retained reference information (section 2.4).
+  bool retain_reference_info = true;
+
+  /// Sweep the retained store (profit drop rule) every this many
+  /// references.
+  uint64_t sweep_interval = 64;
+
+  /// Profit evaluation mode. In exact mode profits are evaluated with
+  /// the decision-time clock (the reference behaviour). With a non-zero
+  /// aging period, rate estimates are refreshed only every `aging_period`
+  /// (the paper's "updated ... at fixed time periods" reduced-overhead
+  /// variant); see the ablation bench.
+  Duration aging_period = 0;
+};
+
+/// The integrated LNC cache (LNC-R when admission is disabled, LNC-RA
+/// when enabled).
+class LncCache : public QueryCache {
+ public:
+  explicit LncCache(const LncOptions& options);
+
+  std::string name() const override;
+
+  /// Profit of a cached entry at time `now` (exposed for tests and the
+  /// retained-info drop rule): lambda * c / s, with e-profit = c / s as
+  /// the fallback when no rate estimate exists yet.
+  double EntryProfit(const Entry& entry, Timestamp now) const;
+
+  /// Least profit among all cached sets at `now`; +infinity for an empty
+  /// cache (nothing constrains the retained store then).
+  double MinCachedProfit(Timestamp now);
+
+  size_t retained_count() const { return retained_.size(); }
+  uint64_t retained_metadata_bytes() const {
+    return retained_.ApproxMetadataBytes();
+  }
+
+  const LncOptions& options() const { return opts_; }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnEvict(const Entry& entry) override;
+
+ private:
+  /// lambda estimate honouring the aging mode: exact mode uses `now`,
+  /// aging mode uses the last refresh tick.
+  std::optional<double> Rate(const ReferenceHistory& history,
+                             Timestamp now) const;
+
+  /// The LNC-R candidate-selection function (Figure 1): a minimal list of
+  /// victims in (reference-count bucket, ascending profit) order whose
+  /// sizes sum to at least `bytes_needed`.
+  std::vector<Entry*> SelectCandidates(uint64_t bytes_needed, Timestamp now);
+
+  /// Aggregate profit of a candidate list (eq. 5); requires rates.
+  double ListProfit(const std::vector<Entry*>& list, Timestamp now) const;
+
+  /// Aggregate estimated profit of a candidate list (eq. 8).
+  double ListEstimatedProfit(const std::vector<Entry*>& list) const;
+
+  void RetainEntryInfo(const Entry& entry);
+  void MaybeSweep(Timestamp now);
+
+  LncOptions opts_;
+  ProfitRetainedStore retained_;
+  uint64_t references_since_sweep_ = 0;
+  /// Aging mode: the clock value profits are currently evaluated at.
+  Timestamp aging_tick_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LNC_CACHE_H_

@@ -1,0 +1,72 @@
+#include "cache/lnc_star.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace watchman {
+
+StaticSelection LncStarSelect(const std::vector<StaticSet>& sets,
+                              uint64_t capacity) {
+  std::vector<size_t> order(sets.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&sets](size_t a, size_t b) {
+    const double da = sets[a].probability * sets[a].cost /
+                      static_cast<double>(sets[a].size);
+    const double db = sets[b].probability * sets[b].cost /
+                      static_cast<double>(sets[b].size);
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+  StaticSelection sel;
+  for (size_t idx : order) {
+    if (sel.used_bytes + sets[idx].size > capacity) break;
+    sel.chosen.push_back(idx);
+    sel.used_bytes += sets[idx].size;
+    sel.expected_saving += sets[idx].probability * sets[idx].cost;
+  }
+  std::sort(sel.chosen.begin(), sel.chosen.end());
+  return sel;
+}
+
+StaticSelection OptimalSelect(const std::vector<StaticSet>& sets,
+                              uint64_t capacity) {
+  assert(sets.size() <= 24 && "exhaustive solver limited to small n");
+  const size_t n = sets.size();
+  StaticSelection best;
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    uint64_t bytes = 0;
+    double saving = 0.0;
+    bool feasible = true;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        bytes += sets[i].size;
+        if (bytes > capacity) {
+          feasible = false;
+          break;
+        }
+        saving += sets[i].probability * sets[i].cost;
+      }
+    }
+    if (!feasible) continue;
+    if (saving > best.expected_saving) {
+      best.expected_saving = saving;
+      best.used_bytes = bytes;
+      best.chosen.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+double ExpectedMissCost(const std::vector<StaticSet>& sets,
+                        const StaticSelection& selection) {
+  double total = 0.0;
+  for (const StaticSet& s : sets) total += s.probability * s.cost;
+  return total - selection.expected_saving;
+}
+
+}  // namespace watchman

@@ -1,0 +1,52 @@
+// LNC*: the static, greedy cache-content selection of paper section 2.3,
+// and an exact 0/1 knapsack solver used to test Theorem 1 on small
+// instances.
+//
+// The optimal static cache contents minimize the expected cost of misses
+//   min sum_{i not in I*} p_i * c_i   s.t.  sum_{i in I*} s_i <= S,
+// equivalently maximize sum_{i in I*} p_i * c_i. This is NP-complete in
+// general; under the assumption that sizes are small relative to S the
+// greedy LNC* (sort by p_i * c_i / s_i descending, take items until the
+// capacity is violated) is optimal (Theorem 1).
+
+#ifndef WATCHMAN_CACHE_LNC_STAR_H_
+#define WATCHMAN_CACHE_LNC_STAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace watchman {
+
+/// One retrieved set in the static model.
+struct StaticSet {
+  double probability = 0.0;  // stationary reference probability p_i
+  double cost = 0.0;         // execution cost c_i
+  uint64_t size = 0;         // retrieved-set size s_i
+};
+
+/// Result of a static selection.
+struct StaticSelection {
+  std::vector<size_t> chosen;  // indices into the input vector
+  double expected_saving = 0.0;  // sum of p_i * c_i over chosen
+  uint64_t used_bytes = 0;
+};
+
+/// Greedy LNC*: sorts by p*c/s descending and assigns items from the
+/// start of the list until the capacity constraint would be violated
+/// (the paper's construction stops at the first violation).
+StaticSelection LncStarSelect(const std::vector<StaticSet>& sets,
+                              uint64_t capacity);
+
+/// Exact optimum by exhaustive search; exponential, for n <= ~24 only.
+StaticSelection OptimalSelect(const std::vector<StaticSet>& sets,
+                              uint64_t capacity);
+
+/// Expected per-reference miss cost of a selection:
+/// sum_{i not chosen} p_i * c_i.
+double ExpectedMissCost(const std::vector<StaticSet>& sets,
+                        const StaticSelection& selection);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LNC_STAR_H_

@@ -1,0 +1,26 @@
+#include "cache/lru_cache.h"
+
+namespace watchman {
+
+LruCache::LruCache(uint64_t capacity_bytes)
+    : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
+
+void LruCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {
+  // Recency is read from the reference history; nothing else to do.
+}
+
+void LruCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  if (d.result_bytes > capacity_bytes()) {
+    CountTooLargeRejection();
+    return;
+  }
+  if (d.result_bytes > available_bytes()) {
+    auto victims = SelectVictims(
+        d.result_bytes - available_bytes(),
+        [](Entry* e) { return e->history.last(); });
+    for (Entry* victim : victims) EvictEntry(victim);
+  }
+  InsertEntry(d, now);
+}
+
+}  // namespace watchman

@@ -1,0 +1,28 @@
+// Vanilla LRU over retrieved sets: the paper's primary baseline.
+// Admits every set that fits in the cache at all and evicts
+// least-recently-used sets until there is room.
+
+#ifndef WATCHMAN_CACHE_LRU_CACHE_H_
+#define WATCHMAN_CACHE_LRU_CACHE_H_
+
+#include <string>
+
+#include "cache/query_cache.h"
+
+namespace watchman {
+
+/// Least-recently-used replacement, no admission control.
+class LruCache : public QueryCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes);
+
+  std::string name() const override { return "lru"; }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LRU_CACHE_H_

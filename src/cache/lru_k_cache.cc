@@ -1,0 +1,64 @@
+#include "cache/lru_k_cache.h"
+
+#include <utility>
+
+namespace watchman {
+
+LruKCache::LruKCache(const LruKOptions& options)
+    : QueryCache(Options{options.capacity_bytes, options.k}),
+      opts_(options),
+      retained_(options.retained_timeout) {}
+
+std::string LruKCache::name() const {
+  return "lru-" + std::to_string(k());
+}
+
+void LruKCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+
+void LruKCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
+  if (++references_since_sweep_ >= opts_.sweep_interval) {
+    references_since_sweep_ = 0;
+    retained_.SweepExpired(now);
+  }
+  if (d.result_bytes > capacity_bytes()) {
+    CountTooLargeRejection();
+    return;
+  }
+  // Restore any retained reference history and record this reference.
+  ReferenceHistory history(k());
+  if (opts_.retain_history) {
+    if (RetainedInfo* info = retained_.Find(d.query_id)) {
+      history = info->history;
+      retained_.Remove(d.query_id);
+    }
+  }
+  history.Record(now);
+
+  if (d.result_bytes > available_bytes()) {
+    // Backward K-distance order: sets with fewer than K references
+    // first (LRU among them), then by oldest K-th most recent
+    // reference.
+    auto victims = SelectVictims(
+        d.result_bytes - available_bytes(), [this](Entry* e) {
+          const bool full = e->history.size() >= k();
+          // recent(size-1) is the oldest retained timestamp = the K-th
+          // most recent once the window is full.
+          const Timestamp key_time =
+              full ? e->history.recent(k() - 1) : e->history.last();
+          return std::make_pair(full ? 1 : 0, key_time);
+        });
+    for (Entry* victim : victims) EvictEntry(victim);
+  }
+  InsertEntry(d, now, &history);
+}
+
+void LruKCache::OnEvict(const Entry& entry) {
+  if (!opts_.retain_history) return;
+  RetainedInfo info;
+  info.history = entry.history;
+  info.result_bytes = entry.desc.result_bytes;
+  info.cost = entry.desc.cost;
+  retained_.Put(entry.desc.query_id, std::move(info));
+}
+
+}  // namespace watchman

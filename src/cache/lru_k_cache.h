@@ -1,0 +1,51 @@
+// LRU-K [OOW93] at retrieved-set granularity, used for the paper's
+// Figure 3 comparison ("impact of K"). The victim is the set with the
+// oldest K-th most recent reference; sets with fewer than K recorded
+// references have infinite backward K-distance and are evicted first
+// (among themselves, least-recently-used first). Reference histories of
+// evicted sets are retained with a timeout (Five Minute Rule default).
+
+#ifndef WATCHMAN_CACHE_LRU_K_CACHE_H_
+#define WATCHMAN_CACHE_LRU_K_CACHE_H_
+
+#include <string>
+
+#include "cache/query_cache.h"
+#include "cache/retained_info.h"
+
+namespace watchman {
+
+/// LRU-K replacement, no admission control.
+class LruKCache : public QueryCache {
+ public:
+  struct LruKOptions {
+    uint64_t capacity_bytes = 0;
+    size_t k = 2;
+    /// Whether histories of evicted sets are retained.
+    bool retain_history = true;
+    /// Retained-history timeout (Five Minute Rule).
+    Duration retained_timeout = 5 * kMinute;
+    /// Sweep the retained store every this many references.
+    uint64_t sweep_interval = 64;
+  };
+
+  explicit LruKCache(const LruKOptions& options);
+
+  std::string name() const override;
+
+  size_t retained_count() const { return retained_.size(); }
+
+ protected:
+  void OnHit(Entry* entry, Timestamp now) override;
+  void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnEvict(const Entry& entry) override;
+
+ private:
+  LruKOptions opts_;
+  TimeoutRetainedStore retained_;
+  uint64_t references_since_sweep_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_LRU_K_CACHE_H_

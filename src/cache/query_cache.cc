@@ -1,0 +1,149 @@
+#include "cache/query_cache.h"
+
+#include <cassert>
+
+namespace watchman {
+
+QueryCache::QueryCache(const Options& options)
+    : capacity_(options.capacity_bytes), k_(options.k == 0 ? 1 : options.k) {
+  assert(capacity_ > 0);
+}
+
+bool QueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
+  assert(now >= last_reference_time_);
+  last_reference_time_ = now;
+  ++stats_.lookups;
+  Entry* entry = FindEntry(d);
+  if (entry != nullptr) {
+    // A hit saves the stored execution cost of the query (the
+    // descriptor's cost may be unknown to callers on the hit path).
+    ++stats_.hits;
+    stats_.cost_total += entry->desc.cost;
+    stats_.cost_saved += entry->desc.cost;
+    entry->history.Record(now);
+    ++entry->cached_refs;
+    OnHit(entry, now);
+    return true;
+  }
+  stats_.cost_total += d.cost;
+  OnMiss(d, now);
+  return false;
+}
+
+bool QueryCache::Contains(const std::string& query_id) const {
+  const Signature sig = ComputeSignature(query_id);
+  auto it = index_.find(sig.value);
+  if (it == index_.end()) return false;
+  for (const auto& entry : it->second) {
+    if (entry->desc.query_id == query_id) return true;
+  }
+  return false;
+}
+
+bool QueryCache::Erase(const std::string& query_id) {
+  QueryDescriptor probe;
+  probe.query_id = query_id;
+  probe.signature = ComputeSignature(query_id);
+  Entry* entry = FindEntry(probe);
+  if (entry == nullptr) return false;
+  EvictEntry(entry);
+  return true;
+}
+
+QueryCache::Entry* QueryCache::FindEntry(const QueryDescriptor& d) {
+  auto it = index_.find(d.signature.value);
+  if (it == index_.end()) return nullptr;
+  for (auto& entry : it->second) {
+    if (entry->desc.query_id == d.query_id) return entry.get();
+  }
+  return nullptr;
+}
+
+QueryCache::Entry* QueryCache::InsertEntry(const QueryDescriptor& d,
+                                           Timestamp now,
+                                           const ReferenceHistory* history) {
+  assert(d.result_bytes <= available_bytes());
+  assert(FindEntry(d) == nullptr);
+  auto entry = std::make_unique<Entry>();
+  entry->desc = d;
+  if (history != nullptr) {
+    entry->history = *history;
+  } else {
+    entry->history = ReferenceHistory(k_);
+    entry->history.Record(now);
+  }
+  entry->inserted_at = now;
+  Entry* raw = entry.get();
+  index_[d.signature.value].push_back(std::move(entry));
+  used_ += d.result_bytes;
+  ++entry_count_;
+  ++stats_.insertions;
+  stats_.bytes_inserted += d.result_bytes;
+  return raw;
+}
+
+void QueryCache::EvictEntry(Entry* entry) {
+  assert(entry != nullptr);
+  OnEvict(*entry);
+  if (eviction_listener_) eviction_listener_(entry->desc);
+  auto it = index_.find(entry->desc.signature.value);
+  assert(it != index_.end());
+  auto& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].get() == entry) {
+      used_ -= entry->desc.result_bytes;
+      --entry_count_;
+      ++stats_.evictions;
+      stats_.bytes_evicted += entry->desc.result_bytes;
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+      if (bucket.empty()) index_.erase(it);
+      return;
+    }
+  }
+  assert(false && "entry not found in its signature bucket");
+}
+
+std::vector<QueryCache::Entry*> QueryCache::AllEntries() {
+  std::vector<Entry*> out;
+  out.reserve(entry_count_);
+  for (auto& [sig, bucket] : index_) {
+    for (auto& entry : bucket) out.push_back(entry.get());
+  }
+  return out;
+}
+
+Status QueryCache::CheckInvariants() const {
+  uint64_t bytes = 0;
+  size_t count = 0;
+  for (const auto& [sig, bucket] : index_) {
+    if (bucket.empty()) {
+      return Status::Internal("empty signature bucket left in index");
+    }
+    for (const auto& entry : bucket) {
+      if (entry->desc.signature.value != sig) {
+        return Status::Internal("entry stored under wrong signature");
+      }
+      bytes += entry->desc.result_bytes;
+      ++count;
+    }
+  }
+  if (bytes != used_) {
+    return Status::Internal("used byte accounting mismatch");
+  }
+  if (count != entry_count_) {
+    return Status::Internal("entry count mismatch");
+  }
+  if (used_ > capacity_) {
+    return Status::Internal("cache over capacity");
+  }
+  if (stats_.hits > stats_.lookups) {
+    return Status::Internal("hits exceed lookups");
+  }
+  if (stats_.cost_saved > stats_.cost_total) {
+    return Status::Internal("saved cost exceeds total cost");
+  }
+  return Status::OK();
+}
+
+}  // namespace watchman

@@ -1,0 +1,200 @@
+// QueryCache: the common machinery of all retrieved-set cache policies.
+//
+// A cache maps query IDs to cached retrieved sets under a byte-capacity
+// budget. Lookup uses a 64-bit signature prefilter followed by an exact
+// query-ID match (paper section 3). Subclasses implement the replacement
+// (and optionally admission) decisions; the base class owns the index,
+// byte accounting and statistics so that every policy measures cost
+// savings ratio and hit ratio identically.
+
+#ifndef WATCHMAN_CACHE_QUERY_CACHE_H_
+#define WATCHMAN_CACHE_QUERY_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/query_descriptor.h"
+#include "cache/ref_history.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace watchman {
+
+/// Counters every cache maintains; CSR = cost_saved / cost_total and
+/// HR = hits / lookups reproduce the paper's metrics (eqs. 1 and 17).
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Misses the admission policy declined to cache.
+  uint64_t admission_rejections = 0;
+  /// Misses whose retrieved set exceeds the entire cache capacity.
+  uint64_t too_large_rejections = 0;
+  uint64_t cost_total = 0;
+  uint64_t cost_saved = 0;
+  uint64_t bytes_inserted = 0;
+  uint64_t bytes_evicted = 0;
+
+  double hit_ratio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  double cost_savings_ratio() const {
+    return cost_total == 0 ? 0.0
+                           : static_cast<double>(cost_saved) /
+                                 static_cast<double>(cost_total);
+  }
+};
+
+/// Abstract retrieved-set cache. Thread-compatible (external
+/// synchronization required), like the paper's library design.
+class QueryCache {
+ public:
+  /// Common configuration of all policies.
+  struct Options {
+    /// Cache capacity in bytes. Must be > 0.
+    uint64_t capacity_bytes = 0;
+    /// Reference-history depth K (paper's K; policies that only use the
+    /// last reference run with K = 1).
+    size_t k = 1;
+  };
+
+  explicit QueryCache(const Options& options);
+  virtual ~QueryCache() = default;
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Processes one reference to query `d` at time `now` (non-decreasing
+  /// across calls). Returns true if the retrieved set was served from
+  /// cache. On a miss the policy decides admission and eviction.
+  bool Reference(const QueryDescriptor& d, Timestamp now);
+
+  /// True if the retrieved set of `query_id` is currently cached.
+  bool Contains(const std::string& query_id) const;
+
+  /// Removes the retrieved set of `query_id` from the cache (cache
+  /// coherence: the warehouse manager invalidates sets affected by an
+  /// update, paper section 3). Fires the eviction listener and the
+  /// OnEvict hook like a replacement eviction. Returns true if an entry
+  /// was removed.
+  bool Erase(const std::string& query_id);
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t available_bytes() const { return capacity_ - used_; }
+  size_t entry_count() const { return entry_count_; }
+  size_t k() const { return k_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Policy name for reports ("lru", "lnc-ra", ...).
+  virtual std::string name() const = 0;
+
+  /// Registers a callback invoked whenever an entry is evicted (used by
+  /// the buffer-hint machinery to track which retrieved sets are
+  /// resident). Admission rejections do not fire it.
+  void SetEvictionListener(
+      std::function<void(const QueryDescriptor&)> listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+  /// Verifies internal accounting (byte totals, entry counts, capacity
+  /// bound). Used by tests and debug assertions.
+  Status CheckInvariants() const;
+
+ protected:
+  /// A cached retrieved set and its bookkeeping.
+  struct Entry {
+    QueryDescriptor desc;
+    ReferenceHistory history;
+    /// References received while cached (used by LFU).
+    uint64_t cached_refs = 0;
+    Timestamp inserted_at = 0;
+    /// GreedyDual-Size inflated value (used by GdsCache only).
+    double gds_h = 0.0;
+  };
+
+  /// Hook invoked after the base records a cache hit (history already
+  /// updated).
+  virtual void OnHit(Entry* entry, Timestamp now) = 0;
+
+  /// Hook invoked on a miss; the policy performs admission, eviction and
+  /// insertion via the protected helpers.
+  virtual void OnMiss(const QueryDescriptor& d, Timestamp now) = 0;
+
+  /// Hook invoked just before an entry leaves the cache (for retained
+  /// reference information).
+  virtual void OnEvict(const Entry& entry) { (void)entry; }
+
+  /// Inserts a new entry; there must be room (checked). If `history` is
+  /// non-null its contents seed the entry's reference history (retained
+  /// reference information); otherwise the entry starts with the single
+  /// reference at `now`.
+  Entry* InsertEntry(const QueryDescriptor& d, Timestamp now,
+                     const ReferenceHistory* history = nullptr);
+
+  /// Evicts `entry` (calls OnEvict first).
+  void EvictEntry(Entry* entry);
+
+  /// Returns pointers to all entries; invalidated by insert/evict.
+  std::vector<Entry*> AllEntries();
+
+  /// Selects victims in ascending `key` order until their sizes sum to at
+  /// least `bytes_needed`. Does not evict. `KeyFn` maps Entry* to a
+  /// strict-weak-ordered key (double, pair, tuple...).
+  template <typename KeyFn>
+  std::vector<Entry*> SelectVictims(uint64_t bytes_needed, KeyFn key_fn) {
+    using Key = decltype(key_fn(static_cast<Entry*>(nullptr)));
+    std::vector<std::pair<Key, Entry*>> heap;
+    heap.reserve(entry_count_);
+    for (auto& [sig, bucket] : index_) {
+      for (auto& entry : bucket) {
+        heap.emplace_back(key_fn(entry.get()), entry.get());
+      }
+    }
+    auto greater = [](const std::pair<Key, Entry*>& a,
+                      const std::pair<Key, Entry*>& b) {
+      return b.first < a.first;
+    };
+    std::make_heap(heap.begin(), heap.end(), greater);
+    std::vector<Entry*> victims;
+    uint64_t freed = 0;
+    while (freed < bytes_needed && !heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      Entry* e = heap.back().second;
+      heap.pop_back();
+      victims.push_back(e);
+      freed += e->desc.result_bytes;
+    }
+    return victims;
+  }
+
+  /// Records an admission rejection in the stats.
+  void CountAdmissionRejection() { ++stats_.admission_rejections; }
+  void CountTooLargeRejection() { ++stats_.too_large_rejections; }
+
+ private:
+  Entry* FindEntry(const QueryDescriptor& d);
+
+  uint64_t capacity_;
+  size_t k_;
+  uint64_t used_ = 0;
+  size_t entry_count_ = 0;
+  CacheStats stats_;
+  Timestamp last_reference_time_ = 0;
+  /// signature -> entries with that signature (exact match resolves
+  /// collisions, mirroring the paper's lookup design).
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<Entry>>> index_;
+  std::function<void(const QueryDescriptor&)> eviction_listener_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_QUERY_CACHE_H_

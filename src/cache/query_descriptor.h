@@ -1,0 +1,43 @@
+// The immutable facts the cache manager knows about a query / retrieved
+// set: its ID (and signature), the retrieved-set size and the execution
+// cost of the query (paper section 2.1).
+
+#ifndef WATCHMAN_CACHE_QUERY_DESCRIPTOR_H_
+#define WATCHMAN_CACHE_QUERY_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/query_event.h"
+#include "util/hash.h"
+
+namespace watchman {
+
+/// Descriptor of a retrieved set offered to (or held by) the cache.
+struct QueryDescriptor {
+  /// Compressed query ID; the exact-match cache key.
+  std::string query_id;
+
+  /// 64-bit signature over the query ID (lookup prefilter, paper §3).
+  Signature signature;
+
+  /// Size s_i of the retrieved set, in bytes.
+  uint64_t result_bytes = 0;
+
+  /// Execution cost c_i of the query, in logical block reads.
+  uint64_t cost = 0;
+
+  /// Builds a descriptor from a trace event (computes the signature).
+  static QueryDescriptor FromEvent(const QueryEvent& e) {
+    QueryDescriptor d;
+    d.query_id = e.query_id;
+    d.signature = ComputeSignature(e.query_id);
+    d.result_bytes = e.result_bytes;
+    d.cost = e.cost_block_reads;
+    return d;
+  }
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_QUERY_DESCRIPTOR_H_

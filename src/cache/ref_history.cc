@@ -1,0 +1,55 @@
+#include "cache/ref_history.h"
+
+#include <cassert>
+
+namespace watchman {
+
+ReferenceHistory::ReferenceHistory(size_t k) : ring_(k == 0 ? 1 : k, 0) {
+  assert(k >= 1);
+}
+
+void ReferenceHistory::Record(Timestamp t) {
+  assert(size_ == 0 || t >= last());
+  ring_[next_] = t;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+Timestamp ReferenceHistory::last() const {
+  assert(size_ > 0);
+  const size_t idx = (next_ + ring_.size() - 1) % ring_.size();
+  return ring_[idx];
+}
+
+Timestamp ReferenceHistory::oldest() const {
+  assert(size_ > 0);
+  const size_t idx = (next_ + ring_.size() - size_) % ring_.size();
+  return ring_[idx];
+}
+
+Timestamp ReferenceHistory::recent(size_t i) const {
+  assert(i < size_);
+  const size_t idx = (next_ + ring_.size() - 1 - i) % ring_.size();
+  return ring_[idx];
+}
+
+std::optional<double> ReferenceHistory::EstimateRate(Timestamp now) const {
+  if (size_ == 0) return std::nullopt;
+  const Timestamp t_k = oldest();
+  if (now <= t_k) {
+    // The only information is the reference happening right now; the
+    // paper handles this case via the estimated profit instead.
+    if (size_ == 1) return std::nullopt;
+    // Multiple references at the same instant: treat the window as one
+    // microsecond wide rather than dividing by zero.
+    return static_cast<double>(size_);
+  }
+  return static_cast<double>(size_) / static_cast<double>(now - t_k);
+}
+
+void ReferenceHistory::Clear() {
+  next_ = 0;
+  size_ = 0;
+}
+
+}  // namespace watchman

@@ -1,0 +1,64 @@
+// Sliding-window reference history: the last K reference timestamps of a
+// retrieved set, and the reference-rate estimate of paper equation (3):
+//
+//   lambda_i = K / (t - t_K)
+//
+// where t is the current time and t_K the K-th most recent reference.
+// When fewer than K references are recorded, the maximal available number
+// is used (paper section 2.1). Including the current time ages sets that
+// are no longer referenced.
+
+#ifndef WATCHMAN_CACHE_REF_HISTORY_H_
+#define WATCHMAN_CACHE_REF_HISTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace watchman {
+
+/// Fixed-capacity ring of the most recent K reference timestamps.
+class ReferenceHistory {
+ public:
+  /// `k` must be >= 1.
+  explicit ReferenceHistory(size_t k = 1);
+
+  /// Records a reference at time `t` (non-decreasing across calls).
+  void Record(Timestamp t);
+
+  /// Number of recorded references, capped at K.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t k() const { return ring_.size(); }
+
+  /// Most recent reference time; history must be non-empty.
+  Timestamp last() const;
+
+  /// Oldest retained reference time (the "t_K" of eq. 3 when full);
+  /// history must be non-empty.
+  Timestamp oldest() const;
+
+  /// The i-th most recent timestamp, i in [0, size).
+  Timestamp recent(size_t i) const;
+
+  /// Reference-rate estimate lambda = size / (now - oldest), in
+  /// references per microsecond. Returns nullopt when no rate can be
+  /// estimated: no references, or the only information is a reference at
+  /// `now` itself (the paper's "first retrieval" case that falls back to
+  /// the estimated profit).
+  std::optional<double> EstimateRate(Timestamp now) const;
+
+  /// Discards all recorded references.
+  void Clear();
+
+ private:
+  std::vector<Timestamp> ring_;
+  size_t next_ = 0;   // slot that the next Record() writes
+  size_t size_ = 0;   // number of valid entries, <= ring_.size()
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_REF_HISTORY_H_

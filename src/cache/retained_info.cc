@@ -1,0 +1,69 @@
+#include "cache/retained_info.h"
+
+#include <cassert>
+
+namespace watchman {
+
+RetainedInfo* RetainedInfoStore::Find(const std::string& query_id) {
+  auto it = map_.find(query_id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void RetainedInfoStore::Put(const std::string& query_id, RetainedInfo info) {
+  map_[query_id] = std::move(info);
+}
+
+void RetainedInfoStore::Remove(const std::string& query_id) {
+  map_.erase(query_id);
+}
+
+uint64_t RetainedInfoStore::ApproxMetadataBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [id, info] : map_) {
+    bytes += id.size() + sizeof(RetainedInfo) +
+             info.history.k() * sizeof(Timestamp);
+  }
+  return bytes;
+}
+
+double RetainedProfit(const RetainedInfo& info, Timestamp now) {
+  assert(info.result_bytes > 0);
+  const auto rate = info.history.EstimateRate(now);
+  const double cost_per_byte = static_cast<double>(info.cost) /
+                               static_cast<double>(info.result_bytes);
+  if (!rate.has_value()) return cost_per_byte;
+  return *rate * cost_per_byte;
+}
+
+size_t ProfitRetainedStore::SweepBelowProfit(double min_cached_profit,
+                                             Timestamp now) {
+  size_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (RetainedProfit(it->second, now) < min_cached_profit) {
+      it = map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+size_t TimeoutRetainedStore::SweepExpired(Timestamp now) {
+  size_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    const ReferenceHistory& h = it->second.history;
+    if (!h.empty() && h.last() + timeout_ < now) {
+      it = map_.erase(it);
+      ++dropped;
+    } else if (h.empty()) {
+      it = map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace watchman

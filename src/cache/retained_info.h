@@ -1,0 +1,92 @@
+// Retained reference information (paper section 2.4).
+//
+// When a retrieved set is evicted (or rejected by admission), its
+// reference timestamps, size and cost are retained so that a later
+// re-reference starts from real rate information instead of from scratch
+// -- the fix for the LRU-K-style starvation problem. Two drop policies
+// are provided:
+//
+//  * ProfitRetainedStore -- the paper's rule: a retained record is
+//    dropped whenever its profit falls below the least profit among all
+//    cached retrieved sets (evaluated during sweeps). Self-scales with
+//    cache pressure.
+//  * TimeoutRetainedStore -- the [OOW93] alternative: records expire a
+//    fixed period after their last reference (Five Minute Rule default),
+//    used by the LRU-K baseline.
+
+#ifndef WATCHMAN_CACHE_RETAINED_INFO_H_
+#define WATCHMAN_CACHE_RETAINED_INFO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cache/ref_history.h"
+#include "util/clock.h"
+
+namespace watchman {
+
+/// Metadata retained for a non-cached retrieved set.
+struct RetainedInfo {
+  ReferenceHistory history;
+  uint64_t result_bytes = 0;
+  uint64_t cost = 0;
+};
+
+/// Base map of query ID -> RetainedInfo.
+class RetainedInfoStore {
+ public:
+  virtual ~RetainedInfoStore() = default;
+
+  /// Returns mutable info for `query_id`, or nullptr.
+  RetainedInfo* Find(const std::string& query_id);
+
+  /// Inserts or replaces the record for `query_id`.
+  void Put(const std::string& query_id, RetainedInfo info);
+
+  /// Drops the record for `query_id` if present.
+  void Remove(const std::string& query_id);
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Total bytes of metadata retained (approximate; used to report the
+  /// self-scaling behaviour the paper describes).
+  uint64_t ApproxMetadataBytes() const;
+
+ protected:
+  std::unordered_map<std::string, RetainedInfo> map_;
+};
+
+/// Paper policy: drop records whose profit (lambda * cost / size, with
+/// e-profit fallback when no rate is available) is below
+/// `min_cached_profit`.
+class ProfitRetainedStore : public RetainedInfoStore {
+ public:
+  /// Removes every record whose profit at time `now` is smaller than
+  /// `min_cached_profit`. Returns the number of dropped records.
+  size_t SweepBelowProfit(double min_cached_profit, Timestamp now);
+};
+
+/// [OOW93] policy: drop records not referenced for `timeout`.
+class TimeoutRetainedStore : public RetainedInfoStore {
+ public:
+  explicit TimeoutRetainedStore(Duration timeout) : timeout_(timeout) {}
+
+  /// Removes every record whose last reference is older than the
+  /// timeout. Returns the number of dropped records.
+  size_t SweepExpired(Timestamp now);
+
+  Duration timeout() const { return timeout_; }
+
+ private:
+  Duration timeout_;
+};
+
+/// Profit of a retained record at time `now`: lambda * c / s, falling
+/// back to c / s when no rate estimate is available.
+double RetainedProfit(const RetainedInfo& info, Timestamp now);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_RETAINED_INFO_H_

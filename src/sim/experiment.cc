@@ -1,0 +1,107 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace watchman {
+
+CacheSizeSweep::CacheSizeSweep(const Trace& trace, uint64_t database_bytes)
+    : trace_(trace), database_bytes_(database_bytes) {
+  assert(database_bytes_ > 0);
+}
+
+void CacheSizeSweep::AddPolicy(const PolicyConfig& config) {
+  policies_.push_back(config);
+}
+
+void CacheSizeSweep::AddCachePercent(double percent) {
+  assert(percent > 0.0);
+  cache_percents_.push_back(percent);
+}
+
+void CacheSizeSweep::Run() {
+  cells_.clear();
+  for (const PolicyConfig& policy : policies_) {
+    for (double pct : cache_percents_) {
+      SweepCell cell;
+      cell.config = policy;
+      cell.capacity_bytes = static_cast<uint64_t>(
+          std::llround(static_cast<double>(database_bytes_) * pct / 100.0));
+      cell.capacity_bytes = std::max<uint64_t>(cell.capacity_bytes, 1);
+      cell.result = RunSimulation(trace_, policy, cell.capacity_bytes);
+      cells_.push_back(std::move(cell));
+    }
+  }
+}
+
+ResultTable CacheSizeSweep::MetricTable(double(RunResult::*metric),
+                                        double scale) const {
+  std::vector<std::string> header{"policy"};
+  for (double pct : cache_percents_) {
+    header.push_back(FormatDouble(pct, 1) + "%");
+  }
+  ResultTable table(std::move(header));
+  const size_t num_sizes = cache_percents_.size();
+  for (size_t p = 0; p < policies_.size(); ++p) {
+    std::vector<double> values;
+    values.reserve(num_sizes);
+    for (size_t s = 0; s < num_sizes; ++s) {
+      values.push_back(cells_[p * num_sizes + s].result.*metric * scale);
+    }
+    table.AddNumericRow(PolicyName(policies_[p]), values,
+                        scale == 1.0 ? 3 : 1);
+  }
+  return table;
+}
+
+ResultTable CacheSizeSweep::CsrTable() const {
+  return MetricTable(&RunResult::cost_savings_ratio, 1.0);
+}
+
+ResultTable CacheSizeSweep::HrTable() const {
+  return MetricTable(&RunResult::hit_ratio, 1.0);
+}
+
+ResultTable CacheSizeSweep::UsedSpaceTable() const {
+  return MetricTable(&RunResult::used_space_fraction, 100.0);
+}
+
+std::vector<double> CacheSizeSweep::CsrRatioVersus(
+    const std::string& baseline) const {
+  const size_t num_sizes = cache_percents_.size();
+  size_t base_index = policies_.size();
+  for (size_t p = 0; p < policies_.size(); ++p) {
+    if (PolicyName(policies_[p]) == baseline) {
+      base_index = p;
+      break;
+    }
+  }
+  assert(base_index < policies_.size() && "baseline policy not in sweep");
+  std::vector<double> ratios;
+  ratios.reserve(num_sizes);
+  for (size_t s = 0; s < num_sizes; ++s) {
+    const double base =
+        cells_[base_index * num_sizes + s].result.cost_savings_ratio;
+    const double first = cells_[s].result.cost_savings_ratio;
+    ratios.push_back(base == 0.0 ? 0.0 : first / base);
+  }
+  return ratios;
+}
+
+std::vector<RunResult> SweepK(const Trace& trace, PolicyKind kind,
+                              const std::vector<size_t>& ks,
+                              uint64_t capacity_bytes) {
+  std::vector<RunResult> results;
+  results.reserve(ks.size());
+  for (size_t k : ks) {
+    PolicyConfig config;
+    config.kind = kind;
+    config.k = k;
+    results.push_back(RunSimulation(trace, config, capacity_bytes));
+  }
+  return results;
+}
+
+}  // namespace watchman

@@ -1,0 +1,76 @@
+// Experiment harness: cache-size / K sweeps over multiple policies with
+// paper-style result tables. Every figure-reproduction bench is a thin
+// wrapper over these helpers.
+
+#ifndef WATCHMAN_SIM_EXPERIMENT_H_
+#define WATCHMAN_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/table.h"
+
+namespace watchman {
+
+/// One (policy, cache size) measurement within a sweep.
+struct SweepCell {
+  PolicyConfig config;
+  uint64_t capacity_bytes = 0;
+  RunResult result;
+};
+
+/// A full sweep: policies x cache sizes over one trace.
+class CacheSizeSweep {
+ public:
+  /// `database_bytes` converts absolute capacities to the paper's
+  /// "% of database size" axis.
+  CacheSizeSweep(const Trace& trace, uint64_t database_bytes);
+
+  /// Adds a policy to compare.
+  void AddPolicy(const PolicyConfig& config);
+
+  /// Adds a cache size as a percentage of the database size.
+  void AddCachePercent(double percent);
+
+  /// Runs all (policy, size) combinations.
+  void Run();
+
+  const std::vector<SweepCell>& cells() const { return cells_; }
+
+  /// Cost-savings-ratio table: rows = policies, cols = cache sizes.
+  ResultTable CsrTable() const;
+  /// Hit-ratio table.
+  ResultTable HrTable() const;
+  /// Used-space (1 - external fragmentation) table, in percent.
+  ResultTable UsedSpaceTable() const;
+
+  /// Ratio of the first policy's CSR to the named baseline's, per size
+  /// (the paper's "LNC-RA improves LRU by a factor of ..." numbers).
+  std::vector<double> CsrRatioVersus(const std::string& baseline) const;
+
+  uint64_t database_bytes() const { return database_bytes_; }
+  const std::vector<double>& cache_percents() const {
+    return cache_percents_;
+  }
+
+ private:
+  ResultTable MetricTable(double (RunResult::*metric), double scale) const;
+
+  const Trace& trace_;
+  uint64_t database_bytes_;
+  std::vector<PolicyConfig> policies_;
+  std::vector<double> cache_percents_;
+  std::vector<SweepCell> cells_;
+};
+
+/// Runs one policy over a range of K values at a fixed cache size
+/// (paper Figure 3) and returns the CSR per K.
+std::vector<RunResult> SweepK(const Trace& trace, PolicyKind kind,
+                              const std::vector<size_t>& ks,
+                              uint64_t capacity_bytes);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SIM_EXPERIMENT_H_

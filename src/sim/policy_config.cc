@@ -1,0 +1,100 @@
+#include "sim/policy_config.h"
+
+#include "cache/gds_cache.h"
+#include "cache/lcs_cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lnc_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/lru_k_cache.h"
+
+namespace watchman {
+
+std::string PolicyName(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kLru:
+      return "lru";
+    case PolicyKind::kLruK:
+      return "lru-" + std::to_string(config.k);
+    case PolicyKind::kLfu:
+      return "lfu";
+    case PolicyKind::kLcs:
+      return "lcs";
+    case PolicyKind::kGds:
+      return "gds";
+    case PolicyKind::kLncR:
+      return "lnc-r(k=" + std::to_string(config.k) + ")";
+    case PolicyKind::kLncRA:
+      return "lnc-ra(k=" + std::to_string(config.k) + ")";
+    case PolicyKind::kInfinite:
+      return "inf";
+  }
+  return "?";
+}
+
+std::unique_ptr<QueryCache> MakeCache(const PolicyConfig& config,
+                                      uint64_t capacity_bytes) {
+  switch (config.kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruCache>(capacity_bytes);
+    case PolicyKind::kLruK: {
+      LruKCache::LruKOptions opts;
+      opts.capacity_bytes = capacity_bytes;
+      opts.k = config.k;
+      opts.retain_history = config.retain_reference_info;
+      return std::make_unique<LruKCache>(opts);
+    }
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuCache>(capacity_bytes);
+    case PolicyKind::kLcs:
+      return std::make_unique<LcsCache>(capacity_bytes);
+    case PolicyKind::kGds:
+      return std::make_unique<GdsCache>(capacity_bytes);
+    case PolicyKind::kLncR: {
+      LncOptions opts;
+      opts.capacity_bytes = capacity_bytes;
+      opts.k = config.k;
+      opts.admission = false;
+      opts.retain_reference_info = config.retain_reference_info;
+      opts.aging_period = config.aging_period;
+      return std::make_unique<LncCache>(opts);
+    }
+    case PolicyKind::kLncRA: {
+      LncOptions opts;
+      opts.capacity_bytes = capacity_bytes;
+      opts.k = config.k;
+      opts.admission = true;
+      opts.retain_reference_info = config.retain_reference_info;
+      opts.aging_period = config.aging_period;
+      return std::make_unique<LncCache>(opts);
+    }
+    case PolicyKind::kInfinite:
+      return std::make_unique<LruCache>(uint64_t{1} << 62);
+  }
+  return nullptr;
+}
+
+StatusOr<PolicyConfig> ParsePolicy(const std::string& name) {
+  PolicyConfig config;
+  if (name == "lru") {
+    config.kind = PolicyKind::kLru;
+  } else if (name == "lru-k") {
+    config.kind = PolicyKind::kLruK;
+  } else if (name == "lfu") {
+    config.kind = PolicyKind::kLfu;
+  } else if (name == "lcs") {
+    config.kind = PolicyKind::kLcs;
+  } else if (name == "gds") {
+    config.kind = PolicyKind::kGds;
+  } else if (name == "lnc-r") {
+    config.kind = PolicyKind::kLncR;
+  } else if (name == "lnc-ra") {
+    config.kind = PolicyKind::kLncRA;
+  } else if (name == "inf") {
+    config.kind = PolicyKind::kInfinite;
+  } else {
+    return Status::InvalidArgument("unknown policy: " + name);
+  }
+  return config;
+}
+
+}  // namespace watchman

@@ -1,0 +1,51 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+
+#include "cache/query_descriptor.h"
+
+namespace watchman {
+
+RunResult RunSimulation(const Trace& trace, const PolicyConfig& config,
+                        uint64_t capacity_bytes) {
+  std::unique_ptr<QueryCache> cache = MakeCache(config, capacity_bytes);
+  assert(cache != nullptr);
+
+  double unused_sum = 0.0;
+  uint64_t samples = 0;
+  bool steady = false;
+
+  for (const QueryEvent& e : trace) {
+    const QueryDescriptor desc = QueryDescriptor::FromEvent(e);
+    cache->Reference(desc, e.timestamp);
+    // Steady state begins once the cache has had to make a replacement
+    // or admission decision under pressure.
+    if (!steady) {
+      const CacheStats& s = cache->stats();
+      steady = s.evictions > 0 || s.admission_rejections > 0 ||
+               s.too_large_rejections > 0;
+    }
+    if (steady && config.kind != PolicyKind::kInfinite) {
+      unused_sum += static_cast<double>(cache->available_bytes()) /
+                    static_cast<double>(cache->capacity_bytes());
+      ++samples;
+    }
+  }
+
+  RunResult result;
+  result.policy_name = PolicyName(config);
+  result.capacity_bytes = capacity_bytes;
+  result.stats = cache->stats();
+  result.cost_savings_ratio = result.stats.cost_savings_ratio();
+  result.hit_ratio = result.stats.hit_ratio();
+  result.fragmentation_samples = samples;
+  if (samples > 0) {
+    result.external_fragmentation =
+        unused_sum / static_cast<double>(samples);
+  }
+  result.used_space_fraction = 1.0 - result.external_fragmentation;
+  return result;
+}
+
+}  // namespace watchman

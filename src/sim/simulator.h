@@ -1,0 +1,39 @@
+// Trace-driven cache simulation: replays a workload trace through a
+// cache policy and records the paper's metrics -- cost savings ratio,
+// hit ratio (eqs. 1 and 17) and external cache fragmentation (average
+// fraction of unused cache space, section 4.1).
+
+#ifndef WATCHMAN_SIM_SIMULATOR_H_
+#define WATCHMAN_SIM_SIMULATOR_H_
+
+#include <string>
+
+#include "sim/policy_config.h"
+#include "trace/trace.h"
+
+namespace watchman {
+
+/// Outcome of one simulation run.
+struct RunResult {
+  std::string policy_name;
+  uint64_t capacity_bytes = 0;
+  CacheStats stats;
+  double cost_savings_ratio = 0.0;
+  double hit_ratio = 0.0;
+  /// Average fraction of unused cache space over the steady state
+  /// (samples taken after the cache first had to replace or reject).
+  double external_fragmentation = 0.0;
+  /// Average fraction of used cache space, 1 - fragmentation.
+  double used_space_fraction = 1.0;
+  /// Number of steady-state fragmentation samples.
+  uint64_t fragmentation_samples = 0;
+};
+
+/// Replays `trace` through a cache built from `config` and returns the
+/// aggregated metrics.
+RunResult RunSimulation(const Trace& trace, const PolicyConfig& config,
+                        uint64_t capacity_bytes);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SIM_SIMULATOR_H_

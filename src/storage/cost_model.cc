@@ -1,0 +1,55 @@
+#include "storage/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace watchman {
+
+uint64_t CostModel::ScanCost(const Relation& r) { return r.num_pages(); }
+
+uint64_t CostModel::SelectCost(const Relation& r, double selectivity,
+                               AccessPath path) {
+  assert(selectivity >= 0.0 && selectivity <= 1.0);
+  switch (path) {
+    case AccessPath::kFullScan:
+      return r.num_pages();
+    case AccessPath::kClusteredIndex: {
+      const double pages = std::ceil(
+          selectivity * static_cast<double>(r.num_pages()));
+      return kIndexDescentReads + static_cast<uint64_t>(pages);
+    }
+    case AccessPath::kUnclusteredIndex: {
+      const double rows =
+          std::ceil(selectivity * static_cast<double>(r.row_count()));
+      // One page read per qualifying row, never worse than a full scan.
+      const uint64_t fetches = static_cast<uint64_t>(rows);
+      return kIndexDescentReads + std::min(fetches, r.num_pages());
+    }
+  }
+  return r.num_pages();
+}
+
+uint64_t CostModel::HashJoinCost(const Relation& inner) {
+  return inner.num_pages();
+}
+
+uint64_t CostModel::IndexJoinCost(uint64_t outer_rows, const Relation& inner,
+                                  double match_fraction) {
+  assert(match_fraction >= 0.0 && match_fraction <= 1.0);
+  const double probes = static_cast<double>(outer_rows) * match_fraction;
+  const uint64_t reads =
+      static_cast<uint64_t>(std::ceil(probes)) *
+      (kIndexDescentReads + 1);
+  // An index join never costs more than rescanning the inner per
+  // outer page would; cap at a generous multiple of the inner size.
+  return std::min(reads, 10 * inner.num_pages());
+}
+
+uint64_t CostModel::SortCost(uint64_t pages) { return 3 * pages; }
+
+uint64_t CostModel::AggregateCost(uint64_t input_pages, bool pipelined) {
+  return pipelined ? 0 : 2 * input_pages;
+}
+
+}  // namespace watchman

@@ -1,0 +1,59 @@
+// Analytic I/O cost model.
+//
+// All costs are logical block reads against a cold buffer (paper
+// section 4.1: "the execution cost of each query is given by the number of
+// disk block reads which would be done if no buffers were available"),
+// which makes the cost of a query a pure function of the plan and the
+// database -- independent of buffer state and therefore stable across
+// repeated executions of the same query.
+
+#ifndef WATCHMAN_STORAGE_COST_MODEL_H_
+#define WATCHMAN_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace watchman {
+
+/// How a selection over a relation is evaluated.
+enum class AccessPath {
+  kFullScan,          // read every page
+  kClusteredIndex,    // read only the qualifying fraction of pages
+  kUnclusteredIndex,  // one page read per qualifying row (capped at scan)
+};
+
+/// Stateless cost functions composed by the workload templates.
+class CostModel {
+ public:
+  /// B+-tree descent cost charged per index lookup.
+  static constexpr uint64_t kIndexDescentReads = 3;
+
+  /// Cost of scanning the whole relation.
+  static uint64_t ScanCost(const Relation& r);
+
+  /// Cost of a selection with the given selectivity in [0, 1].
+  static uint64_t SelectCost(const Relation& r, double selectivity,
+                             AccessPath path);
+
+  /// Cost of joining an outer input of `outer_pages` (already computed,
+  /// e.g. by a selection) with relation `inner` via hash join: the inner
+  /// is scanned once; the outer was already charged by its producer.
+  static uint64_t HashJoinCost(const Relation& inner);
+
+  /// Cost of an index nested-loop join probing `inner` once per outer row.
+  static uint64_t IndexJoinCost(uint64_t outer_rows, const Relation& inner,
+                                double match_fraction);
+
+  /// Cost of sorting `pages` pages of intermediate data (two-pass
+  /// external sort: read + write + read).
+  static uint64_t SortCost(uint64_t pages);
+
+  /// Extra cost of a grouped aggregation over `input_pages` pages of
+  /// intermediate data when it does not fit a pipelined hash aggregate.
+  static uint64_t AggregateCost(uint64_t input_pages, bool pipelined);
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_COST_MODEL_H_

@@ -1,0 +1,30 @@
+#include "storage/database.h"
+
+namespace watchman {
+
+Database::Database(std::string name) : name_(std::move(name)) {}
+
+Status Database::AddRelation(Relation relation) {
+  for (const Relation& r : relations_) {
+    if (r.name() == relation.name()) {
+      return Status::AlreadyExists("relation exists: " + relation.name());
+    }
+  }
+  const uint64_t pages = relation.num_pages();
+  relation.set_pages(PageRange{next_page_,
+                               next_page_ + static_cast<PageId>(pages)});
+  next_page_ += static_cast<PageId>(pages);
+  total_bytes_ += relation.total_bytes();
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+StatusOr<const Relation*> Database::FindRelation(
+    const std::string& name) const {
+  for (const Relation& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return Status::NotFound("no such relation: " + name);
+}
+
+}  // namespace watchman

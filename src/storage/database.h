@@ -1,0 +1,47 @@
+// A database: a set of relations laid out over a contiguous global page
+// space. Used by the workload generators (cost model inputs) and the
+// buffer-manager experiment (page-level access traces).
+
+#ifndef WATCHMAN_STORAGE_DATABASE_H_
+#define WATCHMAN_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace watchman {
+
+/// Owns relations and assigns them disjoint page ranges in add order.
+class Database {
+ public:
+  explicit Database(std::string name);
+
+  /// Adds a relation; fails if a relation with that name already exists.
+  Status AddRelation(Relation relation);
+
+  const std::string& name() const { return name_; }
+  size_t num_relations() const { return relations_.size(); }
+  const Relation& relation(size_t i) const { return relations_[i]; }
+
+  /// Looks up a relation by name.
+  StatusOr<const Relation*> FindRelation(const std::string& name) const;
+
+  /// Sum of relation sizes in bytes.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Total number of pages across relations.
+  uint64_t total_pages() const { return next_page_; }
+
+ private:
+  std::string name_;
+  std::vector<Relation> relations_;
+  uint64_t total_bytes_ = 0;
+  PageId next_page_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_DATABASE_H_

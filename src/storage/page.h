@@ -1,0 +1,43 @@
+// Page/block model of the synthetic warehouse.
+//
+// The paper's query execution costs are expressed in logical block reads
+// ("the number of disk block reads which would be done if no buffers were
+// available"), so the storage layer only needs sizes, page counts and
+// contiguous page ranges -- no actual tuple storage.
+
+#ifndef WATCHMAN_STORAGE_PAGE_H_
+#define WATCHMAN_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace watchman {
+
+/// Fixed page (disk block) size of the simulated warehouse, in bytes.
+/// 4 KiB matches the era's typical database block size.
+constexpr uint64_t kPageBytes = 4096;
+
+/// Global page identifier (relations occupy disjoint contiguous ranges).
+using PageId = uint32_t;
+
+/// A half-open, contiguous range of global page IDs [begin, end).
+struct PageRange {
+  PageId begin = 0;
+  PageId end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool Contains(PageId p) const { return p >= begin && p < end; }
+
+  bool operator==(const PageRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// Number of pages needed to hold `bytes` bytes.
+constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_PAGE_H_

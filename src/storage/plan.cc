@@ -1,0 +1,308 @@
+#include "storage/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace watchman {
+
+namespace {
+
+void Indent(std::string* out, int depth);
+void RenderChild(const PlanNode* child, std::string* out, int depth);
+
+class ScanNode : public PlanNode {
+ public:
+  explicit ScanNode(const Relation& relation) : relation_(relation) {}
+
+  PlanProperties Properties() const override {
+    PlanProperties p;
+    p.output_rows = static_cast<double>(relation_.row_count());
+    p.row_bytes = static_cast<double>(relation_.row_bytes());
+    p.block_reads = CostModel::ScanCost(relation_);
+    return p;
+  }
+
+  std::string Describe() const override {
+    return "Scan(" + relation_.name() + ")";
+  }
+
+ private:
+  const Relation& relation_;
+};
+
+class IndexSelectNode : public PlanNode {
+ public:
+  IndexSelectNode(const Relation& relation, double selectivity,
+                  AccessPath path)
+      : relation_(relation), selectivity_(selectivity), path_(path) {
+    assert(selectivity_ >= 0.0 && selectivity_ <= 1.0);
+  }
+
+  PlanProperties Properties() const override {
+    PlanProperties p;
+    p.output_rows =
+        static_cast<double>(relation_.row_count()) * selectivity_;
+    p.row_bytes = static_cast<double>(relation_.row_bytes());
+    p.block_reads = CostModel::SelectCost(relation_, selectivity_, path_);
+    return p;
+  }
+
+  std::string Describe() const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "IndexSelect(%s, sel=%.4g)",
+                  relation_.name().c_str(), selectivity_);
+    return buf;
+  }
+
+ private:
+  const Relation& relation_;
+  double selectivity_;
+  AccessPath path_;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanRef child, double selectivity)
+      : child_(std::move(child)), selectivity_(selectivity) {
+    assert(selectivity_ >= 0.0 && selectivity_ <= 1.0);
+  }
+
+  PlanProperties Properties() const override {
+    PlanProperties p = child_->Properties();
+    p.output_rows *= selectivity_;
+    return p;
+  }
+
+  std::string Describe() const override {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "Filter(sel=%.4g)", selectivity_);
+    return buf;
+  }
+
+  const PlanNode* child() const { return child_.get(); }
+
+ private:
+  PlanRef child_;
+  double selectivity_;
+
+  void RenderInto(std::string* out, int depth) const override {
+    Indent(out, depth);
+    out->append(Describe());
+    out->push_back('\n');
+    RenderChild(child(), out, depth + 1);
+  }
+};
+
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanRef probe, const Relation& build, double match_fraction,
+               double output_row_bytes)
+      : probe_(std::move(probe)),
+        build_(build),
+        match_fraction_(match_fraction),
+        output_row_bytes_(output_row_bytes) {}
+
+  PlanProperties Properties() const override {
+    const PlanProperties probe = probe_->Properties();
+    PlanProperties p;
+    p.output_rows = probe.output_rows * match_fraction_;
+    p.row_bytes = output_row_bytes_;
+    p.block_reads = probe.block_reads + CostModel::HashJoinCost(build_);
+    return p;
+  }
+
+  std::string Describe() const override {
+    return "HashJoin(build=" + build_.name() + ")";
+  }
+
+  const PlanNode* child() const { return probe_.get(); }
+
+ private:
+  PlanRef probe_;
+  const Relation& build_;
+  double match_fraction_;
+  double output_row_bytes_;
+
+  void RenderInto(std::string* out, int depth) const override {
+    Indent(out, depth);
+    out->append(Describe());
+    out->push_back('\n');
+    RenderChild(child(), out, depth + 1);
+  }
+};
+
+class IndexJoinNode : public PlanNode {
+ public:
+  IndexJoinNode(PlanRef outer, const Relation& inner, double match_fraction,
+                double output_row_bytes)
+      : outer_(std::move(outer)),
+        inner_(inner),
+        match_fraction_(match_fraction),
+        output_row_bytes_(output_row_bytes) {}
+
+  PlanProperties Properties() const override {
+    const PlanProperties outer = outer_->Properties();
+    PlanProperties p;
+    p.output_rows = outer.output_rows * match_fraction_;
+    p.row_bytes = output_row_bytes_;
+    p.block_reads =
+        outer.block_reads +
+        CostModel::IndexJoinCost(
+            static_cast<uint64_t>(std::ceil(outer.output_rows)), inner_,
+            match_fraction_);
+    return p;
+  }
+
+  std::string Describe() const override {
+    return "IndexJoin(inner=" + inner_.name() + ")";
+  }
+
+  const PlanNode* child() const { return outer_.get(); }
+
+ private:
+  PlanRef outer_;
+  const Relation& inner_;
+  double match_fraction_;
+  double output_row_bytes_;
+
+  void RenderInto(std::string* out, int depth) const override {
+    Indent(out, depth);
+    out->append(Describe());
+    out->push_back('\n');
+    RenderChild(child(), out, depth + 1);
+  }
+};
+
+class SortNode : public PlanNode {
+ public:
+  explicit SortNode(PlanRef child) : child_(std::move(child)) {}
+
+  PlanProperties Properties() const override {
+    PlanProperties p = child_->Properties();
+    const uint64_t pages = PagesForBytes(
+        static_cast<uint64_t>(std::ceil(p.output_bytes())));
+    p.block_reads += CostModel::SortCost(pages);
+    return p;
+  }
+
+  std::string Describe() const override { return "Sort"; }
+
+  const PlanNode* child() const { return child_.get(); }
+
+ private:
+  PlanRef child_;
+
+  void RenderInto(std::string* out, int depth) const override {
+    Indent(out, depth);
+    out->append(Describe());
+    out->push_back('\n');
+    RenderChild(child(), out, depth + 1);
+  }
+};
+
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanRef child, uint64_t groups, double row_bytes)
+      : child_(std::move(child)), groups_(groups), row_bytes_(row_bytes) {}
+
+  PlanProperties Properties() const override {
+    const PlanProperties in = child_->Properties();
+    PlanProperties p;
+    p.output_rows = std::min(static_cast<double>(groups_), in.output_rows);
+    p.row_bytes = row_bytes_;
+    const uint64_t group_pages = PagesForBytes(
+        static_cast<uint64_t>(std::ceil(p.output_bytes())));
+    p.block_reads =
+        in.block_reads +
+        CostModel::AggregateCost(group_pages, /*pipelined=*/groups_ <= 128);
+    return p;
+  }
+
+  std::string Describe() const override {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "Aggregate(groups=%llu)",
+                  static_cast<unsigned long long>(groups_));
+    return buf;
+  }
+
+  const PlanNode* child() const { return child_.get(); }
+
+ private:
+  PlanRef child_;
+  uint64_t groups_;
+  double row_bytes_;
+
+  void RenderInto(std::string* out, int depth) const override {
+    Indent(out, depth);
+    out->append(Describe());
+    out->push_back('\n');
+    RenderChild(child(), out, depth + 1);
+  }
+};
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void RenderChild(const PlanNode* child, std::string* out, int depth) {
+  const std::string sub = child->Render();
+  for (size_t pos = 0; pos < sub.size();) {
+    const size_t next = sub.find('\n', pos);
+    Indent(out, depth);
+    out->append(sub, pos, next - pos + 1);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+
+void PlanNode::RenderInto(std::string* out, int depth) const {
+  Indent(out, depth);
+  out->append(Describe());
+  out->push_back('\n');
+}
+
+std::string PlanNode::Render() const {
+  std::string out;
+  RenderInto(&out, 0);
+  return out;
+}
+
+PlanRef Scan(const Relation& relation) {
+  return std::make_shared<ScanNode>(relation);
+}
+
+PlanRef IndexSelect(const Relation& relation, double selectivity,
+                    AccessPath path) {
+  return std::make_shared<IndexSelectNode>(relation, selectivity, path);
+}
+
+PlanRef Filter(PlanRef child, double selectivity) {
+  return std::make_shared<FilterNode>(std::move(child), selectivity);
+}
+
+PlanRef HashJoin(PlanRef probe, const Relation& build,
+                 double match_fraction, double output_row_bytes) {
+  return std::make_shared<HashJoinNode>(std::move(probe), build,
+                                        match_fraction, output_row_bytes);
+}
+
+PlanRef IndexJoin(PlanRef outer, const Relation& inner,
+                  double match_fraction, double output_row_bytes) {
+  return std::make_shared<IndexJoinNode>(std::move(outer), inner,
+                                         match_fraction, output_row_bytes);
+}
+
+PlanRef Sort(PlanRef child) {
+  return std::make_shared<SortNode>(std::move(child));
+}
+
+PlanRef Aggregate(PlanRef child, uint64_t groups, double row_bytes) {
+  return std::make_shared<AggregateNode>(std::move(child), groups,
+                                         row_bytes);
+}
+
+}  // namespace watchman

@@ -1,0 +1,87 @@
+// Physical plan trees.
+//
+// The paper derives query costs from execution (buffer block reads under
+// a cold buffer). This module gives the synthetic warehouse the same
+// notion analytically: a query is a small physical plan -- scans,
+// selections, joins, sorts, aggregations -- and its cost is the block
+// reads the plan performs. Workload templates can either use the raw
+// CostModel helpers or build a Plan; the plan form also yields output
+// cardinalities, which drive retrieved-set sizes.
+
+#ifndef WATCHMAN_STORAGE_PLAN_H_
+#define WATCHMAN_STORAGE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/cost_model.h"
+#include "storage/relation.h"
+
+namespace watchman {
+
+/// Cardinality and cost of (a subtree of) a plan.
+struct PlanProperties {
+  /// Rows flowing out of the operator.
+  double output_rows = 0.0;
+  /// Bytes per output row.
+  double row_bytes = 0.0;
+  /// Cumulative block reads of the subtree.
+  uint64_t block_reads = 0;
+
+  double output_bytes() const { return output_rows * row_bytes; }
+};
+
+/// A node of a physical plan. Plans are immutable trees built bottom-up
+/// through the factory functions below.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Computes cardinality and cumulative cost.
+  virtual PlanProperties Properties() const = 0;
+
+  /// One-line operator description ("HashJoin(lineitem, orders)").
+  virtual std::string Describe() const = 0;
+
+  /// Renders the whole tree, one operator per line, indented.
+  std::string Render() const;
+
+ private:
+  virtual void RenderInto(std::string* out, int depth) const;
+};
+
+using PlanRef = std::shared_ptr<const PlanNode>;
+
+/// Leaf: full scan of a relation.
+PlanRef Scan(const Relation& relation);
+
+/// Leaf: selection via the given access path with selectivity in [0,1].
+PlanRef IndexSelect(const Relation& relation, double selectivity,
+                    AccessPath path);
+
+/// Filter: keeps a fraction of the child's rows; no extra I/O (applied
+/// on the fly).
+PlanRef Filter(PlanRef child, double selectivity);
+
+/// Hash join: child (probe side, already costed) joined with `build`
+/// (scanned once). `match_fraction` scales the output cardinality
+/// relative to probe rows.
+PlanRef HashJoin(PlanRef probe, const Relation& build,
+                 double match_fraction, double output_row_bytes);
+
+/// Index nested-loop join: probes `inner`'s index once per outer row.
+PlanRef IndexJoin(PlanRef outer, const Relation& inner,
+                  double match_fraction, double output_row_bytes);
+
+/// Sort of the child's output (two-pass external sort cost model).
+PlanRef Sort(PlanRef child);
+
+/// Grouped aggregation to `groups` output rows of `row_bytes` each;
+/// pipelined when the group table is small.
+PlanRef Aggregate(PlanRef child, uint64_t groups, double row_bytes);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_PLAN_H_

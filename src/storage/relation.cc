@@ -1,0 +1,15 @@
+#include "storage/relation.h"
+
+#include <cassert>
+
+namespace watchman {
+
+Relation::Relation(std::string name, uint64_t row_count, uint32_t row_bytes)
+    : name_(std::move(name)), row_count_(row_count), row_bytes_(row_bytes) {
+  assert(!name_.empty());
+  assert(row_count_ > 0);
+  assert(row_bytes_ > 0);
+  assert(row_bytes_ <= kPageBytes);
+}
+
+}  // namespace watchman

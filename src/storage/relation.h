@@ -1,0 +1,45 @@
+// A relation of the synthetic warehouse: cardinality, tuple width and the
+// contiguous page range it occupies.
+
+#ifndef WATCHMAN_STORAGE_RELATION_H_
+#define WATCHMAN_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace watchman {
+
+/// Immutable description of one stored relation.
+class Relation {
+ public:
+  Relation(std::string name, uint64_t row_count, uint32_t row_bytes);
+
+  const std::string& name() const { return name_; }
+  uint64_t row_count() const { return row_count_; }
+  uint32_t row_bytes() const { return row_bytes_; }
+
+  /// Total stored bytes (rows are packed; no slack modelled).
+  uint64_t total_bytes() const { return row_count_ * row_bytes_; }
+
+  /// Number of pages the relation occupies.
+  uint64_t num_pages() const { return PagesForBytes(total_bytes()); }
+
+  /// Rows that fit in one page.
+  uint64_t rows_per_page() const { return kPageBytes / row_bytes_; }
+
+  /// Global page range; assigned when the relation joins a Database.
+  const PageRange& pages() const { return pages_; }
+  void set_pages(PageRange range) { pages_ = range; }
+
+ private:
+  std::string name_;
+  uint64_t row_count_;
+  uint32_t row_bytes_;
+  PageRange pages_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_RELATION_H_

@@ -1,0 +1,79 @@
+#include "storage/schemas.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace watchman {
+
+Database MakeTpcdDatabase() {
+  // TPC-D scale factor 0.03: cardinalities are the spec's SF=1 values
+  // scaled by 0.03; row widths follow the spec's average tuple sizes.
+  Database db("tpcd");
+  Status st;
+  st = db.AddRelation(Relation("region", 5, 124));
+  assert(st.ok());
+  st = db.AddRelation(Relation("nation", 25, 128));
+  assert(st.ok());
+  st = db.AddRelation(Relation("supplier", 300, 159));
+  assert(st.ok());
+  st = db.AddRelation(Relation("customer", 4500, 179));
+  assert(st.ok());
+  st = db.AddRelation(Relation("part", 6000, 155));
+  assert(st.ok());
+  st = db.AddRelation(Relation("partsupp", 24000, 144));
+  assert(st.ok());
+  st = db.AddRelation(Relation("orders", 45000, 104));
+  assert(st.ok());
+  st = db.AddRelation(Relation("lineitem", 180000, 112));
+  assert(st.ok());
+  (void)st;
+  return db;
+}
+
+Database MakeSetQueryDatabase() {
+  // Set Query's single BENCH relation, halved from the suggested
+  // 1M x 200 B to 500k x 200 B = 100 MB as in the paper.
+  Database db("setquery");
+  Status st = db.AddRelation(Relation("bench", 500000, 200));
+  assert(st.ok());
+  (void)st;
+  return db;
+}
+
+Database MakeBufferExperimentDatabase() {
+  // 14 relations, 100 MB total. A few small, frequently re-scanned
+  // relations (they fit the 15 MB buffer pool and give LRU its baseline
+  // hit ratio) plus progressively larger relations that thrash the pool.
+  Database db("buffer_exp");
+  struct Spec {
+    const char* name;
+    uint64_t rows;
+    uint32_t width;
+  };
+  // Sizes (MB): 0.5, 0.75, 1, 1, 1.5, 2, 3, 4, 6, 8, 10, 14, 22, 26.25
+  // -> ~100 MB total.
+  const Spec specs[] = {
+      {"dim_a", 5000, 100},      // 0.5 MB
+      {"dim_b", 7500, 100},      // 0.75 MB
+      {"dim_c", 10000, 100},     // 1 MB
+      {"dim_d", 8000, 125},      // 1 MB
+      {"dim_e", 12000, 125},     // 1.5 MB
+      {"dim_f", 16000, 125},     // 2 MB
+      {"mid_a", 30000, 100},     // 3 MB
+      {"mid_b", 40000, 100},     // 4 MB
+      {"mid_c", 60000, 100},     // 6 MB
+      {"mid_d", 80000, 100},     // 8 MB
+      {"fact_a", 100000, 100},   // 10 MB
+      {"fact_b", 140000, 100},   // 14 MB
+      {"fact_c", 220000, 100},   // 22 MB
+      {"fact_d", 262500, 100},   // 26.25 MB
+  };
+  for (const Spec& s : specs) {
+    Status st = db.AddRelation(Relation(s.name, s.rows, s.width));
+    assert(st.ok());
+    (void)st;
+  }
+  return db;
+}
+
+}  // namespace watchman

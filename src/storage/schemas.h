@@ -1,0 +1,30 @@
+// Benchmark database schemas, scaled as in the paper (section 4.1):
+// TPC-D at 30 MB total and Set Query at 100 MB total (sizes exclude
+// indices), plus the 14-relation / 100 MB database of the buffer-manager
+// experiment.
+
+#ifndef WATCHMAN_STORAGE_SCHEMAS_H_
+#define WATCHMAN_STORAGE_SCHEMAS_H_
+
+#include "storage/database.h"
+
+namespace watchman {
+
+/// TPC-D at scale factor ~0.03 (paper: 30 MB database).
+/// Relations: region, nation, supplier, customer, part, partsupp,
+/// orders, lineitem with spec row widths and SF-scaled cardinalities.
+Database MakeTpcdDatabase();
+
+/// Set Query benchmark scaled to 100 MB: BENCH(500 000 rows x 200 B)
+/// with the KSEQ / K500K .. K2 indexed column structure modelled in the
+/// workload layer.
+Database MakeSetQueryDatabase();
+
+/// The buffer-interaction experiment database: 14 relations of total
+/// size 100 MB (paper section 4.2, "Interaction with the Buffer
+/// Manager"), with a mix of small hot and large cold relations.
+Database MakeBufferExperimentDatabase();
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_STORAGE_SCHEMAS_H_

@@ -1,0 +1,49 @@
+// The trace record. The paper's traces record, for each of 17 000 queries:
+// a timestamp of the retrieval time, the query ID, the size of the
+// retrieved set and the execution cost of the query (number of buffer
+// block reads). We additionally carry the template id / instance number so
+// experiments can report per-template statistics; the cache algorithms
+// never look at them.
+
+#ifndef WATCHMAN_TRACE_QUERY_EVENT_H_
+#define WATCHMAN_TRACE_QUERY_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace watchman {
+
+/// Identifies a query template within a workload (e.g. TPC-D Q1..Q17).
+using TemplateId = uint32_t;
+
+/// One query submission in a workload trace.
+struct QueryEvent {
+  /// Simulated submission time.
+  Timestamp timestamp = 0;
+
+  /// Compressed query ID (paper section 3); the cache key.
+  std::string query_id;
+
+  /// Size of the retrieved set in bytes.
+  uint64_t result_bytes = 0;
+
+  /// Execution cost: logical block reads needed to evaluate the query
+  /// against a cold buffer (paper section 4.1 makes the cost
+  /// buffer-state independent this way).
+  uint64_t cost_block_reads = 0;
+
+  /// Originating template, for reporting only.
+  TemplateId template_id = 0;
+
+  /// Instance number of the template's parameter choice, for reporting.
+  uint64_t instance = 0;
+
+  /// Workload class (0 unless a multi-class workload), for reporting.
+  uint32_t query_class = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_TRACE_QUERY_EVENT_H_

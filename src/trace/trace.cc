@@ -1,0 +1,72 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace watchman {
+
+Status Trace::Append(QueryEvent event) {
+  if (event.query_id.empty()) {
+    return Status::InvalidArgument("query ID must not be empty");
+  }
+  if (!events_.empty() && event.timestamp < events_.back().timestamp) {
+    return Status::InvalidArgument("trace timestamps must be non-decreasing");
+  }
+  events_.push_back(std::move(event));
+  return Status::OK();
+}
+
+TraceSummary Trace::Summarize() const {
+  TraceSummary s;
+  s.num_events = events_.size();
+  if (events_.empty()) return s;
+
+  std::unordered_map<std::string, uint64_t> first_seen_cost;
+  first_seen_cost.reserve(events_.size());
+
+  s.min_result_bytes = events_.front().result_bytes;
+  s.min_cost = events_.front().cost_block_reads;
+  double result_sum = 0.0;
+  double cost_sum = 0.0;
+
+  for (const QueryEvent& e : events_) {
+    auto [it, inserted] = first_seen_cost.try_emplace(e.query_id,
+                                                      e.cost_block_reads);
+    if (inserted) {
+      s.distinct_result_bytes += e.result_bytes;
+    } else {
+      ++s.repeat_references;
+      s.repeat_cost += e.cost_block_reads;
+    }
+    s.total_cost += e.cost_block_reads;
+    s.min_result_bytes = std::min(s.min_result_bytes, e.result_bytes);
+    s.max_result_bytes = std::max(s.max_result_bytes, e.result_bytes);
+    s.min_cost = std::min(s.min_cost, e.cost_block_reads);
+    s.max_cost = std::max(s.max_cost, e.cost_block_reads);
+    result_sum += static_cast<double>(e.result_bytes);
+    cost_sum += static_cast<double>(e.cost_block_reads);
+  }
+  s.num_distinct_queries = first_seen_cost.size();
+  s.mean_result_bytes = result_sum / static_cast<double>(events_.size());
+  s.mean_cost = cost_sum / static_cast<double>(events_.size());
+  s.first_timestamp = events_.front().timestamp;
+  s.last_timestamp = events_.back().timestamp;
+  if (s.total_cost > 0) {
+    s.max_cost_savings_ratio = static_cast<double>(s.repeat_cost) /
+                               static_cast<double>(s.total_cost);
+  }
+  s.max_hit_ratio = static_cast<double>(s.repeat_references) /
+                    static_cast<double>(events_.size());
+  return s;
+}
+
+Trace Trace::Prefix(size_t n) const {
+  Trace out;
+  out.name_ = name_;
+  const size_t count = std::min(n, events_.size());
+  out.events_.assign(events_.begin(),
+                     events_.begin() + static_cast<ptrdiff_t>(count));
+  return out;
+}
+
+}  // namespace watchman

@@ -1,0 +1,76 @@
+// An in-memory workload trace plus summary statistics over it.
+
+#ifndef WATCHMAN_TRACE_TRACE_H_
+#define WATCHMAN_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/query_event.h"
+#include "util/status.h"
+
+namespace watchman {
+
+/// Aggregate statistics of a trace; see Trace::Summarize().
+struct TraceSummary {
+  uint64_t num_events = 0;
+  uint64_t num_distinct_queries = 0;
+  /// Sum of result_bytes over distinct queries: the cache size at which
+  /// an infinite cache would hold every retrieved set (paper Figure 2).
+  uint64_t distinct_result_bytes = 0;
+  uint64_t total_cost = 0;
+  /// Cost of references that repeat an earlier query (upper bound on
+  /// savings: infinite-cache CSR = repeat_cost / total_cost).
+  uint64_t repeat_cost = 0;
+  uint64_t repeat_references = 0;
+  double max_cost_savings_ratio = 0.0;
+  double max_hit_ratio = 0.0;
+  uint64_t min_result_bytes = 0;
+  uint64_t max_result_bytes = 0;
+  double mean_result_bytes = 0.0;
+  uint64_t min_cost = 0;
+  uint64_t max_cost = 0;
+  double mean_cost = 0.0;
+  Timestamp first_timestamp = 0;
+  Timestamp last_timestamp = 0;
+};
+
+/// An ordered sequence of query events (timestamps non-decreasing).
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Appends an event. Returns InvalidArgument if the timestamp
+  /// decreases or the query ID is empty.
+  Status Append(QueryEvent event);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const QueryEvent& operator[](size_t i) const { return events_[i]; }
+
+  std::vector<QueryEvent>::const_iterator begin() const {
+    return events_.begin();
+  }
+  std::vector<QueryEvent>::const_iterator end() const {
+    return events_.end();
+  }
+
+  /// Optional human-readable workload name ("tpcd", "setquery", ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Computes aggregate statistics in one pass.
+  TraceSummary Summarize() const;
+
+  /// Returns a copy containing only the first `n` events.
+  Trace Prefix(size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<QueryEvent> events_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_TRACE_TRACE_H_

@@ -1,0 +1,152 @@
+#include "trace/trace_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace watchman {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'T', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    std::memcpy(v, data_ + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    std::memcpy(v, data_ + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetBytes(std::string* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status WriteTraceBinary(const Trace& trace, const std::string& path) {
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  PutU32(&buf, kVersion);
+  PutU32(&buf, static_cast<uint32_t>(trace.name().size()));
+  buf.append(trace.name());
+  PutU64(&buf, trace.size());
+  for (const QueryEvent& e : trace) {
+    PutU64(&buf, e.timestamp);
+    PutU32(&buf, static_cast<uint32_t>(e.query_id.size()));
+    buf.append(e.query_id);
+    PutU64(&buf, e.result_bytes);
+    PutU64(&buf, e.cost_block_reads);
+    PutU32(&buf, e.template_id);
+    PutU64(&buf, e.instance);
+    PutU32(&buf, e.query_class);
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Trace> ReadTraceBinary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return Status::IOError("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  Reader r(data.data(), data.size());
+
+  std::string magic;
+  if (!r.GetBytes(&magic, 4) || std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic in trace file: " + path);
+  }
+  uint32_t version = 0;
+  if (!r.GetU32(&version) || version != kVersion) {
+    return Status::Corruption("unsupported trace version");
+  }
+  uint32_t name_len = 0;
+  if (!r.GetU32(&name_len)) return Status::Corruption("truncated header");
+  std::string name;
+  if (!r.GetBytes(&name, name_len)) {
+    return Status::Corruption("truncated trace name");
+  }
+  uint64_t count = 0;
+  if (!r.GetU64(&count)) return Status::Corruption("truncated record count");
+
+  Trace trace;
+  trace.set_name(name);
+  for (uint64_t i = 0; i < count; ++i) {
+    QueryEvent e;
+    uint32_t id_len = 0;
+    if (!r.GetU64(&e.timestamp) || !r.GetU32(&id_len) ||
+        !r.GetBytes(&e.query_id, id_len) || !r.GetU64(&e.result_bytes) ||
+        !r.GetU64(&e.cost_block_reads) || !r.GetU32(&e.template_id) ||
+        !r.GetU64(&e.instance) || !r.GetU32(&e.query_class)) {
+      return Status::Corruption("truncated record in trace file");
+    }
+    Status st = trace.Append(std::move(e));
+    if (!st.ok()) return st;
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes in trace file");
+  }
+  return trace;
+}
+
+Status WriteTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << "timestamp,query_id,result_bytes,cost_block_reads,template_id,"
+          "instance,class\n";
+  for (const QueryEvent& e : trace) {
+    // Query IDs contain a 0x1f separator; replace it for CSV readability.
+    std::string printable = e.query_id;
+    for (char& c : printable) {
+      if (c == '\x1f') c = '~';
+    }
+    file << e.timestamp << ',' << printable << ',' << e.result_bytes << ','
+         << e.cost_block_reads << ',' << e.template_id << ',' << e.instance
+         << ',' << e.query_class << '\n';
+  }
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace watchman

@@ -1,0 +1,26 @@
+// Trace serialization: a versioned binary format (compact, lossless) and
+// a CSV export for offline analysis.
+
+#ifndef WATCHMAN_TRACE_TRACE_IO_H_
+#define WATCHMAN_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "trace/trace.h"
+#include "util/status.h"
+
+namespace watchman {
+
+/// Writes `trace` to `path` in the WTRC binary format (v1).
+Status WriteTraceBinary(const Trace& trace, const std::string& path);
+
+/// Reads a WTRC binary trace; validates magic, version and record counts.
+StatusOr<Trace> ReadTraceBinary(const std::string& path);
+
+/// Writes a CSV with header
+/// `timestamp,query_id,result_bytes,cost_block_reads,template_id,instance,class`.
+Status WriteTraceCsv(const Trace& trace, const std::string& path);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_TRACE_TRACE_IO_H_

@@ -1,0 +1,49 @@
+// Simulated time.
+//
+// All timestamps in the library are integer microseconds on a simulated
+// clock. Reference-rate estimates (paper eq. 3) divide a reference count
+// by an elapsed time, so the unit only has to be consistent.
+
+#ifndef WATCHMAN_UTIL_CLOCK_H_
+#define WATCHMAN_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace watchman {
+
+/// A point in simulated time, in microseconds since the simulation epoch.
+using Timestamp = uint64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = uint64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+
+/// A monotonically advancing simulated clock.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  Timestamp now() const { return now_; }
+
+  /// Advances the clock by `d` and returns the new time.
+  Timestamp Advance(Duration d) {
+    now_ += d;
+    return now_;
+  }
+
+  /// Moves the clock to `t`; `t` must not be in the past.
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_CLOCK_H_

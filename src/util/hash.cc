@@ -1,0 +1,41 @@
+#include "util/hash.h"
+
+namespace watchman {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint32_t Fnv1a32(std::string_view data) {
+  uint32_t hash = 0x811c9dc5U;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x01000193U;
+  }
+  return hash;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+Signature ComputeSignature(std::string_view query_id) {
+  return Signature{Mix64(Fnv1a64(query_id))};
+}
+
+}  // namespace watchman

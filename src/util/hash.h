@@ -1,0 +1,40 @@
+// Hashing utilities: FNV-1a and a 64-bit mix hash used for query
+// signatures (paper section 3: a signature per cache entry is computed as
+// a hash over the query ID so that only entries with a matching signature
+// need a full comparison).
+
+#ifndef WATCHMAN_UTIL_HASH_H_
+#define WATCHMAN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace watchman {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+uint64_t Fnv1a64(std::string_view data);
+
+/// 32-bit FNV-1a over an arbitrary byte string.
+uint32_t Fnv1a32(std::string_view data);
+
+/// Stafford/SplitMix-style 64-bit finalizer; good avalanche behaviour.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes (boost::hash_combine-style, 64-bit).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// A query signature: 64-bit prefilter for exact query-ID matching.
+struct Signature {
+  uint64_t value = 0;
+
+  bool operator==(const Signature& other) const {
+    return value == other.value;
+  }
+};
+
+/// Computes the signature of a (compressed) query ID.
+Signature ComputeSignature(std::string_view query_id);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_HASH_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logging to stderr. The library is quiet by default;
+// benches and examples raise the level when narrating progress.
+
+#ifndef WATCHMAN_UTIL_LOGGING_H_
+#define WATCHMAN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace watchman {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style one-shot log line; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define WATCHMAN_LOG(level)                                            \
+  if (static_cast<int>(::watchman::LogLevel::k##level) <               \
+      static_cast<int>(::watchman::GetLogLevel()))                     \
+    ::watchman::internal::NullStream();                                \
+  else                                                                 \
+    ::watchman::internal::LogMessage(::watchman::LogLevel::k##level,   \
+                                     __FILE__, __LINE__)               \
+        .stream()
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+// Conjunct-order query normalization.
+//
+// The paper's cache lookup uses an exact query-ID match and notes
+// (sections 3 and 6) that the hit ratio could be improved by testing
+// special cases of query equivalence, but that full equivalence testing
+// is NP-hard and the known rewrite-based methods are too expensive; it
+// calls for "a simpler method for WATCHMAN". This module implements
+// such a method: a syntactic canonical form that is
+//
+//   * cheap -- one tokenization pass plus a sort of the WHERE conjuncts,
+//   * sound -- two queries mapping to the same canonical form are
+//     equivalent (only commutative constructs are reordered),
+//   * usefully complete -- it identifies queries that differ in
+//     formatting, letter case, or the order of top-level AND-ed
+//     predicates and of IN-list members, which covers the common way
+//     drill-down tools permute generated SQL.
+//
+// It deliberately does not attempt containment, arithmetic rewriting or
+// OR-normalization: those are where the NP-hardness lives.
+
+#ifndef WATCHMAN_UTIL_QUERY_NORMALIZER_H_
+#define WATCHMAN_UTIL_QUERY_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace watchman {
+
+/// Canonicalizes `query_text` into a normalized query ID:
+/// 1. compresses delimiters and folds case (CompressQueryId),
+/// 2. sorts the top-level AND conjuncts of each WHERE clause,
+/// 3. sorts the members of IN (...) lists.
+/// Queries equivalent under those commutativity rules map to the same
+/// string; everything else is preserved verbatim.
+std::string NormalizeQuery(std::string_view query_text);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_QUERY_NORMALIZER_H_

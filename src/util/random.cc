@@ -1,0 +1,139 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchman {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xf0f0f0f0f0f0f0f0ULL); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of 1/x^theta; handles the theta == 1 singularity.
+  if (std::abs(theta_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::abs(theta_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) {
+  if (n_ == 1) return 0;
+  if (theta_ == 0.0) return rng->NextBounded(n_);
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  assert(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  assert(total > 0.0);
+}
+
+size_t DiscreteDistribution::Next(Rng* rng) const {
+  const double target = rng->NextDouble() * cumulative_.back();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double DiscreteDistribution::Probability(size_t i) const {
+  assert(i < cumulative_.size());
+  const double prev = i == 0 ? 0.0 : cumulative_[i - 1];
+  return (cumulative_[i] - prev) / cumulative_.back();
+}
+
+}  // namespace watchman

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All stochastic behaviour in the library flows through Rng so that traces
+// and experiments are exactly reproducible from a seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+// excellent statistical quality for simulation purposes.
+
+#ifndef WATCHMAN_UTIL_RANDOM_H_
+#define WATCHMAN_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace watchman {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double NextExponential(double rate);
+
+  /// Creates an independent generator derived from this one's stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(n, theta) distribution over {0, ..., n-1} where
+/// rank r has probability proportional to 1 / (r+1)^theta.
+///
+/// Uses the rejection-inversion method of Hormann & Derflinger, which needs
+/// O(1) time per sample and no O(n) precomputed table, so it scales to the
+/// huge template-instance spaces the paper's workloads require.
+class ZipfGenerator {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (theta = 0 degenerates to uniform).
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws one sample (a rank in [0, n)); rank 0 is most popular.
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// Draws an index from an explicit discrete distribution given by
+/// (unnormalized, non-negative) weights. O(log n) per sample via a
+/// precomputed cumulative table.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  size_t Next(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+  /// Normalized probability of index i.
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> cumulative_;  // strictly increasing, last = total
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_RANDOM_H_

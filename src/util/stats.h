@@ -1,0 +1,73 @@
+// Lightweight statistics helpers used by the metrics and experiment code.
+
+#ifndef WATCHMAN_UTIL_STATS_H_
+#define WATCHMAN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace watchman {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi) with out-of-range clamping.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket.
+  double Quantile(double q) const;
+
+  std::string ToString(size_t max_rows = 16) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_STATS_H_

@@ -1,0 +1,100 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace watchman {
+
+namespace {
+
+bool IsDelimiter(char c) {
+  switch (c) {
+    case ' ':
+    case '\t':
+    case '\n':
+    case '\r':
+    case ',':
+    case '(':
+    case ')':
+    case ';':
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr char kSeparator = '\x1f';
+
+}  // namespace
+
+std::string CompressQueryId(std::string_view query_text) {
+  std::string out;
+  out.reserve(query_text.size());
+  bool in_delim_run = false;
+  for (char c : query_text) {
+    if (IsDelimiter(c)) {
+      in_delim_run = true;
+      continue;
+    }
+    if (in_delim_run && !out.empty()) out.push_back(kSeparator);
+    in_delim_run = false;
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace watchman

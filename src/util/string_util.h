@@ -1,0 +1,39 @@
+// String helpers, including the query-ID compression described in the
+// paper (section 3): a query ID is the query string with every delimiter
+// run substituted by a single special character.
+
+#ifndef WATCHMAN_UTIL_STRING_UTIL_H_
+#define WATCHMAN_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace watchman {
+
+/// Compresses a query string into a query ID: runs of SQL delimiters
+/// (whitespace, commas, parentheses, semicolons) collapse into a single
+/// US (0x1f) separator; letters are lower-cased. Two queries differing
+/// only in formatting map to the same ID.
+std::string CompressQueryId(std::string_view query_text);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins parts with a delimiter string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Formats a byte count with a binary-unit suffix ("16.1 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a double with fixed precision (printf "%.*f").
+std::string FormatDouble(double value, int precision);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_STRING_UTIL_H_

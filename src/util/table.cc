@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace watchman {
+
+ResultTable::ResultTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void ResultTable::AddNumericRow(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string ResultTable::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string ResultTable::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += escape(row[c]);
+    }
+    out += "\n";
+  };
+  render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+Status ResultTable::WriteCsv(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << ToCsv();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace watchman

@@ -1,0 +1,47 @@
+// Result-table formatting for the benchmark harnesses: every figure/table
+// reproduction prints an aligned text table and can also emit CSV.
+
+#ifndef WATCHMAN_UTIL_TABLE_H_
+#define WATCHMAN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace watchman {
+
+/// An in-memory rectangular table of strings with a header row.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell from a double with `precision` digits.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Renders an aligned, pipe-separated text table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_TABLE_H_

@@ -1,0 +1,192 @@
+#include "watchman/payload_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace watchman {
+
+// ------------------------------------------------ MemoryPayloadStore
+
+Status MemoryPayloadStore::Put(const std::string& key,
+                               const std::string& payload) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    live_bytes_ -= it->second.size();
+    it->second = payload;
+  } else {
+    map_.emplace(key, payload);
+  }
+  live_bytes_ += payload.size();
+  return Status::OK();
+}
+
+StatusOr<std::string> MemoryPayloadStore::Get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("no payload for: " + key);
+  return it->second;
+}
+
+bool MemoryPayloadStore::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  live_bytes_ -= it->second.size();
+  map_.erase(it);
+  return true;
+}
+
+bool MemoryPayloadStore::Contains(const std::string& key) const {
+  return map_.contains(key);
+}
+
+// -------------------------------------------------- FilePayloadStore
+
+StatusOr<std::unique_ptr<FilePayloadStore>> FilePayloadStore::Open(
+    const std::string& path, const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open payload log: " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<FilePayloadStore>(
+      new FilePayloadStore(path, options, fd));
+}
+
+FilePayloadStore::FilePayloadStore(std::string path, const Options& options,
+                                   int fd)
+    : path_(std::move(path)), options_(options), fd_(fd) {}
+
+FilePayloadStore::~FilePayloadStore() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+Status FilePayloadStore::AppendRecord(const std::string& key,
+                                      const std::string& payload,
+                                      Slot* slot) {
+  // Record layout: u32 key length, u32 payload length, key, payload.
+  std::string header(8, '\0');
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  const uint32_t plen = static_cast<uint32_t>(payload.size());
+  std::memcpy(header.data(), &klen, 4);
+  std::memcpy(header.data() + 4, &plen, 4);
+
+  const uint64_t record_offset = file_bytes_;
+  std::string record = header + key + payload;
+  ssize_t written = ::pwrite(fd_, record.data(), record.size(),
+                             static_cast<off_t>(record_offset));
+  if (written < 0 || static_cast<size_t>(written) != record.size()) {
+    return Status::IOError("short write to payload log");
+  }
+  file_bytes_ += record.size();
+  slot->offset = record_offset + 8 + key.size();
+  slot->length = payload.size();
+  return Status::OK();
+}
+
+Status FilePayloadStore::Put(const std::string& key,
+                             const std::string& payload) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Old record becomes garbage.
+    garbage_bytes_ += 8 + key.size() + it->second.length;
+    live_bytes_ -= it->second.length;
+  }
+  Slot slot;
+  WATCHMAN_RETURN_IF_ERROR(AppendRecord(key, payload, &slot));
+  index_[key] = slot;
+  live_bytes_ += payload.size();
+  return MaybeCompact();
+}
+
+StatusOr<std::string> FilePayloadStore::Get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no payload for: " + key);
+  std::string out;
+  out.resize(it->second.length);
+  const ssize_t got = ::pread(fd_, out.data(), out.size(),
+                              static_cast<off_t>(it->second.offset));
+  if (got < 0 || static_cast<size_t>(got) != out.size()) {
+    return Status::IOError("short read from payload log");
+  }
+  return out;
+}
+
+bool FilePayloadStore::Erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  garbage_bytes_ += 8 + key.size() + it->second.length;
+  live_bytes_ -= it->second.length;
+  index_.erase(it);
+  // Compaction failures here would lose nothing but space; ignore the
+  // status (cache payloads are rebuildable).
+  MaybeCompact();
+  return true;
+}
+
+bool FilePayloadStore::Contains(const std::string& key) const {
+  return index_.contains(key);
+}
+
+Status FilePayloadStore::MaybeCompact() {
+  if (file_bytes_ == 0 ||
+      static_cast<double>(garbage_bytes_) <
+          options_.compaction_ratio * static_cast<double>(file_bytes_)) {
+    return Status::OK();
+  }
+  // Rewrite live records into a fresh log.
+  const std::string tmp_path = path_ + ".compact";
+  const int new_fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                            0644);
+  if (new_fd < 0) return Status::IOError("cannot open compaction log");
+
+  uint64_t new_offset = 0;
+  std::unordered_map<std::string, Slot> new_index;
+  new_index.reserve(index_.size());
+  for (const auto& [key, slot] : index_) {
+    std::string payload;
+    payload.resize(slot.length);
+    const ssize_t got = ::pread(fd_, payload.data(), payload.size(),
+                                static_cast<off_t>(slot.offset));
+    if (got < 0 || static_cast<size_t>(got) != payload.size()) {
+      ::close(new_fd);
+      ::unlink(tmp_path.c_str());
+      return Status::IOError("compaction read failed");
+    }
+    std::string header(8, '\0');
+    const uint32_t klen = static_cast<uint32_t>(key.size());
+    const uint32_t plen = static_cast<uint32_t>(payload.size());
+    std::memcpy(header.data(), &klen, 4);
+    std::memcpy(header.data() + 4, &plen, 4);
+    const std::string record = header + key + payload;
+    const ssize_t written = ::pwrite(new_fd, record.data(), record.size(),
+                                     static_cast<off_t>(new_offset));
+    if (written < 0 || static_cast<size_t>(written) != record.size()) {
+      ::close(new_fd);
+      ::unlink(tmp_path.c_str());
+      return Status::IOError("compaction write failed");
+    }
+    new_index[key] = Slot{new_offset + 8 + key.size(), payload.size()};
+    new_offset += record.size();
+  }
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::close(new_fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("compaction rename failed");
+  }
+  ::close(fd_);
+  fd_ = new_fd;
+  index_ = std::move(new_index);
+  file_bytes_ = new_offset;
+  garbage_bytes_ = 0;
+  ++compactions_;
+  return Status::OK();
+}
+
+}  // namespace watchman

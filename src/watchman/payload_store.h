@@ -1,0 +1,116 @@
+// Retrieved-set payload storage.
+//
+// The paper (section 3): "In general, retrieved sets may be stored
+// either in main memory or on secondary storage. The current version of
+// WATCHMAN stores all retrieved sets in main memory primarily to
+// simplify storage management." This module provides both: the
+// main-memory store the paper used, and a log-structured secondary-
+// storage store with in-memory index and automatic compaction, so large
+// caches need not live in RAM.
+
+#ifndef WATCHMAN_WATCHMAN_PAYLOAD_STORE_H_
+#define WATCHMAN_WATCHMAN_PAYLOAD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace watchman {
+
+/// Keyed blob storage for retrieved-set payloads.
+class PayloadStore {
+ public:
+  virtual ~PayloadStore() = default;
+
+  /// Stores (or replaces) the payload under `key`.
+  virtual Status Put(const std::string& key, const std::string& payload) = 0;
+
+  /// Fetches the payload; NotFound if absent.
+  virtual StatusOr<std::string> Get(const std::string& key) = 0;
+
+  /// Drops the payload; returns true if it existed.
+  virtual bool Erase(const std::string& key) = 0;
+
+  virtual bool Contains(const std::string& key) const = 0;
+  virtual size_t count() const = 0;
+
+  /// Total bytes of live payloads.
+  virtual uint64_t payload_bytes() const = 0;
+};
+
+/// The paper's main-memory store.
+class MemoryPayloadStore : public PayloadStore {
+ public:
+  Status Put(const std::string& key, const std::string& payload) override;
+  StatusOr<std::string> Get(const std::string& key) override;
+  bool Erase(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t count() const override { return map_.size(); }
+  uint64_t payload_bytes() const override { return live_bytes_; }
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+  uint64_t live_bytes_ = 0;
+};
+
+/// Secondary-storage store: an append-only log file with an in-memory
+/// index. Deletions leave garbage in the log; when garbage exceeds
+/// `compaction_ratio` of the file, live records are rewritten to a new
+/// log (single-threaded, crash-safety out of scope -- this is cache
+/// state and fully rebuildable).
+class FilePayloadStore : public PayloadStore {
+ public:
+  struct Options {
+    /// Compact when garbage_bytes > compaction_ratio * file_bytes.
+    double compaction_ratio = 0.5;
+  };
+
+  /// Creates/truncates the log at `path`.
+  static StatusOr<std::unique_ptr<FilePayloadStore>> Open(
+      const std::string& path, const Options& options);
+  static StatusOr<std::unique_ptr<FilePayloadStore>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  ~FilePayloadStore() override;
+
+  Status Put(const std::string& key, const std::string& payload) override;
+  StatusOr<std::string> Get(const std::string& key) override;
+  bool Erase(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  size_t count() const override { return index_.size(); }
+  uint64_t payload_bytes() const override { return live_bytes_; }
+
+  uint64_t file_bytes() const { return file_bytes_; }
+  uint64_t garbage_bytes() const { return garbage_bytes_; }
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  struct Slot {
+    uint64_t offset = 0;  // offset of the payload bytes
+    uint64_t length = 0;
+  };
+
+  FilePayloadStore(std::string path, const Options& options, int fd);
+
+  Status AppendRecord(const std::string& key, const std::string& payload,
+                      Slot* slot);
+  Status MaybeCompact();
+
+  std::string path_;
+  Options options_;
+  int fd_;
+  std::unordered_map<std::string, Slot> index_;
+  uint64_t file_bytes_ = 0;
+  uint64_t live_bytes_ = 0;
+  uint64_t garbage_bytes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WATCHMAN_PAYLOAD_STORE_H_

@@ -1,0 +1,32 @@
+#include "watchman/warehouse.h"
+
+#include "util/hash.h"
+
+namespace watchman {
+
+std::string SynthesizePayload(uint64_t seed, uint64_t bytes) {
+  std::string payload;
+  payload.resize(bytes);
+  uint64_t state = Mix64(seed ^ 0x9a71d00dULL);
+  size_t i = 0;
+  while (i < payload.size()) {
+    state = Mix64(state + 0x9e3779b97f4a7c15ULL);
+    for (int b = 0; b < 8 && i < payload.size(); ++b, ++i) {
+      payload[i] = static_cast<char>((state >> (8 * b)) & 0xff);
+    }
+  }
+  return payload;
+}
+
+Watchman::ExecutionResult SimulatedWarehouse::Execute(
+    const QueryEvent& event) {
+  ++executions_;
+  total_block_reads_ += event.cost_block_reads;
+  Watchman::ExecutionResult result;
+  result.payload = SynthesizePayload(
+      HashCombine(event.template_id, event.instance), event.result_bytes);
+  result.cost = event.cost_block_reads;
+  return result;
+}
+
+}  // namespace watchman

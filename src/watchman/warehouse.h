@@ -1,0 +1,46 @@
+// SimulatedWarehouse: a query executor backed by the synthetic workload
+// layer. It stands in for the Oracle 7 warehouse of the paper's testbed:
+// executing a query produces a deterministic payload of the instance's
+// retrieved-set size and charges the instance's block-read cost.
+
+#ifndef WATCHMAN_WATCHMAN_WAREHOUSE_H_
+#define WATCHMAN_WATCHMAN_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/query_event.h"
+#include "util/status.h"
+#include "watchman/watchman.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+
+/// Executes trace events against nothing at all -- it synthesizes the
+/// payload a real warehouse would have produced, with bookkeeping for
+/// the total simulated work.
+class SimulatedWarehouse {
+ public:
+  SimulatedWarehouse() = default;
+
+  /// Executes `event`'s query: returns a payload of exactly
+  /// event.result_bytes deterministic bytes and the event's cost.
+  Watchman::ExecutionResult Execute(const QueryEvent& event);
+
+  /// Total block reads performed by actual executions.
+  uint64_t total_block_reads() const { return total_block_reads_; }
+  /// Number of queries actually executed (cache misses).
+  uint64_t executions() const { return executions_; }
+
+ private:
+  uint64_t total_block_reads_ = 0;
+  uint64_t executions_ = 0;
+};
+
+/// Deterministic filler payload of `bytes` bytes derived from `seed`;
+/// repeated executions of the same query produce identical payloads.
+std::string SynthesizePayload(uint64_t seed, uint64_t bytes);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WATCHMAN_WAREHOUSE_H_

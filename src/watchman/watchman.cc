@@ -1,0 +1,144 @@
+#include "watchman/watchman.h"
+
+#include <cassert>
+#include <utility>
+
+#include "cache/query_descriptor.h"
+#include "util/hash.h"
+#include "util/query_normalizer.h"
+#include "util/string_util.h"
+
+namespace watchman {
+
+Watchman::Watchman(Options options, Executor executor)
+    : options_(std::move(options)), executor_(std::move(executor)) {
+  assert(executor_ != nullptr);
+  LncOptions lnc;
+  lnc.capacity_bytes = options_.capacity_bytes;
+  lnc.k = options_.k;
+  lnc.admission = options_.admission;
+  lnc.retain_reference_info = options_.retain_reference_info;
+  cache_ = std::make_unique<LncCache>(lnc);
+  if (options_.payload_store != nullptr) {
+    payloads_ = std::move(options_.payload_store);
+  } else {
+    payloads_ = std::make_unique<MemoryPayloadStore>();
+  }
+  cache_->SetEvictionListener([this](const QueryDescriptor& d) {
+    payloads_->Erase(d.query_id);
+    ForgetDependencies(d.query_id);
+  });
+}
+
+Timestamp Watchman::NowTick() {
+  if (options_.clock) return options_.clock();
+  return ++internal_clock_;
+}
+
+std::string Watchman::MakeQueryId(const std::string& query_text) const {
+  return options_.normalize_queries ? NormalizeQuery(query_text)
+                                    : CompressQueryId(query_text);
+}
+
+void Watchman::ForgetDependencies(const std::string& query_id) {
+  auto it = reads_.find(query_id);
+  if (it == reads_.end()) return;
+  for (const std::string& relation : it->second) {
+    auto dep = dependents_.find(relation);
+    if (dep == dependents_.end()) continue;
+    dep->second.erase(query_id);
+    if (dep->second.empty()) dependents_.erase(dep);
+  }
+  reads_.erase(it);
+}
+
+StatusOr<std::string> Watchman::Query(const std::string& query_text) {
+  const std::string query_id = MakeQueryId(query_text);
+  if (query_id.empty()) {
+    return Status::InvalidArgument("query text contains no tokens");
+  }
+  const Timestamp now = NowTick();
+
+  // Fast path: payload already cached. The cache's Reference() both
+  // detects the hit and updates the reference history, but it needs the
+  // descriptor (size/cost); for a cached set those are the stored ones.
+  if (payloads_->Contains(query_id)) {
+    StatusOr<std::string> payload = payloads_->Get(query_id);
+    if (!payload.ok()) return payload.status();
+    QueryDescriptor desc;
+    desc.query_id = query_id;
+    desc.signature = ComputeSignature(query_id);
+    desc.result_bytes = payload->size();
+    desc.cost = 0;  // hits are credited the stored cost by the cache
+    const bool hit = cache_->Reference(desc, now);
+    assert(hit);
+    (void)hit;
+    return payload;
+  }
+
+  // Miss: execute, then offer the retrieved set to the cache.
+  StatusOr<ExecutionResult> executed = executor_(query_text);
+  if (!executed.ok()) return executed.status();
+
+  QueryDescriptor desc;
+  desc.query_id = query_id;
+  desc.signature = ComputeSignature(query_id);
+  desc.result_bytes = executed->payload.size();
+  desc.cost = executed->cost;
+  if (desc.result_bytes == 0) {
+    // Empty retrieved sets are returned but not cached (nothing to
+    // store; the cache rejects zero-size sets anyway).
+    cache_->Reference(desc, now);
+    return std::move(executed->payload);
+  }
+  const bool hit = cache_->Reference(desc, now);
+  assert(!hit);
+  (void)hit;
+  if (cache_->Contains(query_id)) {
+    Status stored = payloads_->Put(query_id, executed->payload);
+    if (!stored.ok()) {
+      // Storage failure: keep the cache metadata consistent by
+      // dropping the entry; serve the fresh result regardless.
+      cache_->Erase(query_id);
+      return std::move(executed->payload);
+    }
+    if (!executed->relations.empty()) {
+      reads_[query_id] = executed->relations;
+      for (const std::string& relation : executed->relations) {
+        dependents_[relation].insert(query_id);
+      }
+    }
+    if (admission_listener_) admission_listener_(query_id);
+  }
+  return std::move(executed->payload);
+}
+
+bool Watchman::IsCached(const std::string& query_text) const {
+  return cache_->Contains(MakeQueryId(query_text));
+}
+
+bool Watchman::Invalidate(const std::string& query_text) {
+  const std::string query_id = MakeQueryId(query_text);
+  const bool erased = cache_->Erase(query_id);
+  if (erased) ++invalidations_;
+  return erased;
+}
+
+size_t Watchman::InvalidateRelation(const std::string& relation) {
+  auto it = dependents_.find(relation);
+  if (it == dependents_.end()) return 0;
+  // Erasing mutates dependents_ via the eviction listener; copy first.
+  const std::vector<std::string> ids(it->second.begin(), it->second.end());
+  size_t dropped = 0;
+  for (const std::string& id : ids) {
+    if (cache_->Erase(id)) ++dropped;
+  }
+  invalidations_ += dropped;
+  return dropped;
+}
+
+void Watchman::SetAdmissionListener(AdmissionListener listener) {
+  admission_listener_ = std::move(listener);
+}
+
+}  // namespace watchman

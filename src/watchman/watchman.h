@@ -1,0 +1,137 @@
+// Watchman: the public library API.
+//
+// The paper (section 3) implements WATCHMAN as a library of routines
+// linked with an application such as a data warehouse manager. This
+// facade reproduces that design: the application submits query text and
+// an executor callback; Watchman compresses the text into a query ID,
+// looks the retrieved set up by signature + exact match, returns the
+// cached payload on a hit, and on a miss invokes the executor, records
+// the cost, and offers the retrieved set to the LNC-RA admission policy.
+//
+// Beyond the paper's base design the facade also provides:
+//  * query normalization (section 6 future work): an optional canonical
+//    form that identifies queries differing in predicate order;
+//  * cache coherence (section 3): executors may report the relations a
+//    query touched, and InvalidateRelation() evicts the dependent sets
+//    when the warehouse is updated;
+//  * pluggable payload storage (section 3): retrieved sets live in main
+//    memory by default, or on secondary storage via FilePayloadStore.
+
+#ifndef WATCHMAN_WATCHMAN_WATCHMAN_H_
+#define WATCHMAN_WATCHMAN_WATCHMAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/lnc_cache.h"
+#include "util/clock.h"
+#include "util/status.h"
+#include "watchman/payload_store.h"
+
+namespace watchman {
+
+/// Top-level cache manager.
+class Watchman {
+ public:
+  /// What a query execution produces: the retrieved set (payload), the
+  /// execution cost in logical block reads, and optionally the
+  /// relations the query read (enables invalidation). The cost may come
+  /// from a query optimizer or from DBMS performance statistics
+  /// (paper section 2.1).
+  struct ExecutionResult {
+    std::string payload;
+    uint64_t cost = 1;
+    std::vector<std::string> relations;
+  };
+
+  /// Executes a query against the underlying warehouse.
+  using Executor =
+      std::function<StatusOr<ExecutionResult>(const std::string& query_text)>;
+
+  /// Receives the query ID of every newly cached retrieved set -- the
+  /// hook the buffer-manager hint channel attaches to (paper §3).
+  using AdmissionListener = std::function<void(const std::string& query_id)>;
+
+  struct Options {
+    /// Cache capacity for retrieved-set payloads, in bytes.
+    uint64_t capacity_bytes = 64ull << 20;
+    /// Reference-history depth K.
+    size_t k = 4;
+    /// LNC-A admission control (disable for plain LNC-R).
+    bool admission = true;
+    /// Retained reference information (section 2.4).
+    bool retain_reference_info = true;
+    /// Use the conjunct-order canonical form instead of the plain
+    /// compressed query ID (catches reordered WHERE predicates).
+    bool normalize_queries = false;
+    /// Payload storage; defaults to MemoryPayloadStore.
+    std::unique_ptr<PayloadStore> payload_store;
+    /// Clock used for reference timestamps; defaults to an internal
+    /// monotonic counter advanced by 1 microsecond per query, which is
+    /// sufficient for rate estimation in single-threaded use. Supply a
+    /// simulation clock for reproducible experiments.
+    std::function<Timestamp()> clock;
+  };
+
+  /// `executor` must be valid for the lifetime of the Watchman.
+  Watchman(Options options, Executor executor);
+
+  /// Looks up the retrieved set of `query_text`, executing the query on
+  /// a miss. Returns the payload (from cache or fresh). Errors from the
+  /// executor propagate unchanged; failed executions are not cached.
+  StatusOr<std::string> Query(const std::string& query_text);
+
+  /// True if the retrieved set of `query_text` is currently cached.
+  bool IsCached(const std::string& query_text) const;
+
+  /// Cache coherence: drops the retrieved set of `query_text`.
+  /// Returns true if it was cached.
+  bool Invalidate(const std::string& query_text);
+
+  /// Cache coherence: drops every cached retrieved set whose execution
+  /// reported reading `relation`. Returns the number of sets dropped.
+  size_t InvalidateRelation(const std::string& relation);
+
+  /// Registers the admission listener (replaces any previous one).
+  void SetAdmissionListener(AdmissionListener listener);
+
+  const CacheStats& stats() const { return cache_->stats(); }
+  uint64_t used_bytes() const { return cache_->used_bytes(); }
+  uint64_t capacity_bytes() const { return cache_->capacity_bytes(); }
+  size_t cached_set_count() const { return cache_->entry_count(); }
+  size_t retained_info_count() const { return cache_->retained_count(); }
+  uint64_t invalidations() const { return invalidations_; }
+  const PayloadStore& payload_store() const { return *payloads_; }
+
+  double cost_savings_ratio() const {
+    return cache_->stats().cost_savings_ratio();
+  }
+  double hit_ratio() const { return cache_->stats().hit_ratio(); }
+
+ private:
+  Timestamp NowTick();
+  std::string MakeQueryId(const std::string& query_text) const;
+  void ForgetDependencies(const std::string& query_id);
+
+  Options options_;
+  Executor executor_;
+  std::unique_ptr<LncCache> cache_;
+  std::unique_ptr<PayloadStore> payloads_;
+  /// relation -> query IDs of cached sets that read it.
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      dependents_;
+  /// query ID -> relations it read (only for cached sets).
+  std::unordered_map<std::string, std::vector<std::string>> reads_;
+  AdmissionListener admission_listener_;
+  Timestamp internal_clock_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WATCHMAN_WATCHMAN_H_

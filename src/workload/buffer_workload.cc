@@ -1,0 +1,182 @@
+#include "workload/buffer_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <string>
+
+#include "storage/cost_model.h"
+#include "util/hash.h"
+
+namespace watchman {
+
+BufferQueryTemplate::BufferQueryTemplate(TemplateId id, Spec spec,
+                                         std::vector<Access> accesses)
+    : ParamQueryTemplate(id, std::move(spec)),
+      accesses_(std::move(accesses)) {
+  assert(!accesses_.empty());
+  for ([[maybe_unused]] const Access& a : accesses_) {
+    assert(a.relation != nullptr);
+    assert(a.fraction > 0.0 && a.fraction <= 1.0);
+  }
+}
+
+std::vector<PageRange> BufferQueryTemplate::PageAccesses(
+    uint64_t instance) const {
+  std::vector<PageRange> out;
+  out.reserve(accesses_.size());
+  uint32_t salt = 0x0ff5e7;
+  for (const Access& a : accesses_) {
+    const PageRange all = a.relation->pages();
+    if (a.fraction >= 1.0) {
+      out.push_back(all);
+      continue;
+    }
+    const uint32_t total = all.size();
+    uint32_t span = std::max<uint32_t>(
+        1,
+        static_cast<uint32_t>(static_cast<double>(total) * a.fraction));
+    span = std::min(span, total);
+    const uint32_t offset = static_cast<uint32_t>(
+        Mix64(InstanceHash(instance) + salt) % (total - span + 1));
+    out.push_back(PageRange{all.begin + offset, all.begin + offset + span});
+    salt += 0x9e37;
+  }
+  return out;
+}
+
+WorkloadMix MakeBufferWorkload(const Database& db) {
+  WorkloadMix mix("buffer_exp");
+  TemplateId next_id = 1;
+
+  auto relation = [&db](const char* name) -> const Relation& {
+    auto r = db.FindRelation(name);
+    assert(r.ok());
+    return **r;
+  };
+
+  const Relation& mid_a = relation("mid_a");
+  const Relation& mid_b = relation("mid_b");
+
+  // Detail joins (hot, uncached): dim x mid_a x mid_b star joins with
+  // effectively unbounded parameter spaces. Large retrieved sets + low
+  // cost-per-byte -> LNC-A rejects them, so they always execute.
+  const char* dims[] = {"dim_a", "dim_b", "dim_c",
+                        "dim_d", "dim_e", "dim_f"};
+  for (const char* dim_name : dims) {
+    const Relation& dim = relation(dim_name);
+    ParamQueryTemplate::Spec spec;
+    spec.name = std::string("detail_") + dim_name;
+    spec.instance_space = uint64_t{1} << 30;
+    spec.weight = 0.58 / 6.0;
+    spec.base_cost = dim.num_pages() + mid_a.num_pages() * 2 / 3 +
+                     mid_b.num_pages() * 2 / 3;
+    spec.base_result_bytes = 16384;
+    spec.result_log_spread = 0.7;
+    spec.text_template = std::string("select detail rows from ") + dim_name +
+                         " mid_a mid_b where params = %llu";
+    mix.Add(std::make_unique<BufferQueryTemplate>(
+        next_id++, std::move(spec),
+        std::vector<BufferQueryTemplate::Access>{
+            {&dim, 1.0}, {&mid_a, 0.65}, {&mid_b, 0.65}}));
+  }
+
+  // Flood aggregates (cached): full scans of the colder mid/fact
+  // relations; small expensive results that LNC-RA caches, after which
+  // the flooded pages become p-redundant.
+  struct FloodSpec {
+    const char* rel;
+    uint64_t instances;
+  };
+  const FloodSpec floods[] = {{"mid_c", 380},
+                              {"mid_d", 380},
+                              {"fact_a", 450},
+                              {"fact_b", 450}};
+  for (const FloodSpec& f : floods) {
+    const Relation& rel = relation(f.rel);
+    ParamQueryTemplate::Spec spec;
+    spec.name = std::string("agg_") + f.rel;
+    spec.instance_space = f.instances;
+    spec.weight = 0.22 / 4.0;
+    spec.zipf_theta = 0.3;
+    spec.base_cost = rel.num_pages() + CostModel::AggregateCost(2, false);
+    spec.base_result_bytes = 512;
+    spec.text_template = std::string("select group sums from ") + f.rel +
+                         " where params = %llu group by keys";
+    mix.Add(std::make_unique<BufferQueryTemplate>(
+        next_id++, std::move(spec),
+        std::vector<BufferQueryTemplate::Access>{{&rel, 1.0}}));
+  }
+
+  // Dimension aggregates (cached): a small class that gives the hot
+  // pages a small non-zero redundancy fraction.
+  const char* agg_dims[] = {"dim_a", "dim_c", "dim_e"};
+  for (const char* dim_name : agg_dims) {
+    const Relation& dim = relation(dim_name);
+    ParamQueryTemplate::Spec spec;
+    spec.name = std::string("agg_") + dim_name;
+    spec.instance_space = 3000;
+    spec.weight = 0.05 / 3.0;
+    spec.base_cost = dim.num_pages();
+    spec.base_result_bytes = 512;
+    spec.text_template = std::string("select dim summary from ") + dim_name +
+                         " where params = %llu";
+    mix.Add(std::make_unique<BufferQueryTemplate>(
+        next_id++, std::move(spec),
+        std::vector<BufferQueryTemplate::Access>{{&dim, 1.0}}));
+  }
+
+  // Mid summaries (cached): a steady stream of new cacheable aggregates
+  // over the hot mid relations. At moderate p0 their pages' redundancy
+  // fraction stays low (the many uncached detail joins dominate the
+  // reference sets); as p0 approaches zero, every admission demotes the
+  // hot working set and the modified LRU degenerates toward MRU.
+  {
+    ParamQueryTemplate::Spec spec;
+    spec.name = "sum_mid";
+    spec.instance_space = 3000;
+    spec.weight = 0.05;
+    spec.base_cost = mid_a.num_pages() + mid_b.num_pages();
+    spec.base_result_bytes = 512;
+    spec.text_template =
+        "select mid summary from mid_a mid_b where params = %llu";
+    mix.Add(std::make_unique<BufferQueryTemplate>(
+        next_id++, std::move(spec),
+        std::vector<BufferQueryTemplate::Access>{{&mid_a, 1.0},
+                                                 {&mid_b, 1.0}}));
+  }
+
+  // Cold selections (uncached): one-shot ranges over the big facts and
+  // occasionally the flood relations (diversifying the redundancy
+  // fractions of flood pages).
+  struct ColdSpec {
+    const char* rel;
+    double fraction;
+    double weight;
+  };
+  const ColdSpec colds[] = {{"fact_c", 0.02, 0.03},
+                            {"fact_d", 0.02, 0.03},
+                            {"mid_c", 0.05, 0.02},
+                            {"fact_a", 0.03, 0.02}};
+  for (const ColdSpec& c : colds) {
+    const Relation& rel = relation(c.rel);
+    ParamQueryTemplate::Spec spec;
+    spec.name = std::string("sel_") + c.rel;
+    spec.instance_space = uint64_t{1} << 30;
+    spec.weight = c.weight;
+    spec.base_cost = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(rel.num_pages()) *
+                                 c.fraction));
+    spec.base_result_bytes = 8192;
+    spec.result_log_spread = 0.5;
+    spec.text_template = std::string("select rows from ") + c.rel +
+                         " where range = %llu";
+    mix.Add(std::make_unique<BufferQueryTemplate>(
+        next_id++, std::move(spec),
+        std::vector<BufferQueryTemplate::Access>{{&rel, c.fraction}}));
+  }
+
+  return mix;
+}
+
+}  // namespace watchman

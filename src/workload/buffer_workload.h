@@ -1,0 +1,60 @@
+// The workload of the buffer-manager interaction experiment (paper
+// section 4.2, Figure 7): 17 000 queries against 14 relations of total
+// size 100 MB, generating tens of millions of page references. Templates
+// declare the pages they touch so the simulator can replay the physical
+// access pattern of queries that miss the WATCHMAN cache.
+//
+// The mix creates the regime the hint mechanism targets:
+//  * detail joins -- never-repeating star joins over the dimension
+//    relations and the two hot mid relations; their large retrieved sets
+//    are rejected by LNC-A, so they always execute. Their pages are the
+//    buffer pool's useful working set (~13 MB vs the 15 MB pool).
+//  * flood aggregates -- full scans of the colder mid/fact relations
+//    whose small, expensive results are highly cacheable. Each first
+//    execution floods the pool; afterwards the result sits in the
+//    WATCHMAN cache, so the flooded pages are dead -- exactly the
+//    p-redundant pages hints demote.
+//  * dimension aggregates -- a small cached class over the dimensions,
+//    giving hot pages a small (but non-zero) redundancy fraction, so
+//    aggressive thresholds (p0 -> 0) start demoting the working set and
+//    the modified LRU degenerates toward MRU.
+//  * cold selections -- one-shot range reads of the big fact relations;
+//    inherent misses.
+
+#ifndef WATCHMAN_WORKLOAD_BUFFER_WORKLOAD_H_
+#define WATCHMAN_WORKLOAD_BUFFER_WORKLOAD_H_
+
+#include <vector>
+
+#include "storage/database.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+
+/// A template that reads a fixed fraction of each listed relation.
+class BufferQueryTemplate : public ParamQueryTemplate {
+ public:
+  struct Access {
+    const Relation* relation = nullptr;
+    /// 1.0 -> full scan; < 1.0 -> a contiguous range of that fraction at
+    /// an instance-determined offset.
+    double fraction = 1.0;
+  };
+
+  BufferQueryTemplate(TemplateId id, Spec spec, std::vector<Access> accesses);
+
+  std::vector<PageRange> PageAccesses(uint64_t instance) const override;
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+
+ private:
+  std::vector<Access> accesses_;
+};
+
+/// Builds the buffer-experiment mix over MakeBufferExperimentDatabase().
+/// The database must outlive the mix.
+WorkloadMix MakeBufferWorkload(const Database& db);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_BUFFER_WORKLOAD_H_

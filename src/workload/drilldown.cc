@@ -1,0 +1,79 @@
+#include "workload/drilldown.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace watchman {
+
+Trace GenerateDrillDownTrace(const DrillDownOptions& options) {
+  assert(options.depth >= 1);
+  assert(options.fanout >= 1);
+  assert(options.roots >= 1);
+
+  Rng rng(options.seed);
+  ZipfGenerator root_zipf(options.roots, options.root_theta);
+  Trace trace;
+  trace.set_name("drilldown");
+
+  Timestamp now = 0;
+  const double rate = 1.0 / static_cast<double>(options.mean_interarrival);
+
+  // Session state: current node id and level; node 0-at-level-l spaces
+  // are disjoint by construction of the path encoding.
+  bool in_session = false;
+  uint64_t node = 0;
+  uint32_t level = 0;
+
+  char buf[160];
+  size_t emitted = 0;
+  while (emitted < options.num_queries) {
+    now += static_cast<Duration>(
+        std::llround(rng.NextExponential(rate)) + 1);
+
+    if (!in_session) {
+      node = root_zipf.Next(&rng);
+      level = 0;
+      in_session = true;
+    } else {
+      // Refine: append a child choice to the path encoding.
+      const uint64_t child = rng.NextBounded(options.fanout);
+      node = node * options.fanout + child;
+      ++level;
+    }
+
+    const double decay = std::pow(options.cost_decay, level);
+    const double growth = std::pow(options.result_growth, level);
+    const uint64_t cost = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(static_cast<double>(options.root_cost) * decay)));
+    const uint64_t result = std::max<uint64_t>(
+        8, static_cast<uint64_t>(std::llround(
+               static_cast<double>(options.root_result_bytes) * growth)));
+
+    std::snprintf(buf, sizeof(buf),
+                  "select drilldown level %u node %llu summary", level,
+                  static_cast<unsigned long long>(node));
+    QueryEvent e;
+    e.timestamp = now;
+    e.query_id = CompressQueryId(buf);
+    e.result_bytes = result;
+    e.cost_block_reads = cost;
+    e.template_id = 200 + level;
+    e.instance = node;
+    e.query_class = 0;
+    Status st = trace.Append(std::move(e));
+    assert(st.ok());
+    (void)st;
+    ++emitted;
+
+    const bool can_descend = level + 1 < options.depth;
+    in_session = can_descend && rng.NextBool(options.descend_probability);
+  }
+  return trace;
+}
+
+}  // namespace watchman

@@ -1,0 +1,56 @@
+// Drill-down session generator.
+//
+// DSS users follow a hierarchical "drill-down analysis" pattern (paper
+// section 1): a query on each level refines some query on the previous
+// level. This generator makes the pattern explicit: a session starts at
+// a coarse summary (level 0) and descends a refinement tree; queries at
+// shallow levels are shared across many sessions (and therefore repeat),
+// deep levels are effectively unique. Result sizes shrink and costs stay
+// high toward the root, the regime in which retrieved-set caching pays
+// off most.
+
+#ifndef WATCHMAN_WORKLOAD_DRILLDOWN_H_
+#define WATCHMAN_WORKLOAD_DRILLDOWN_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/clock.h"
+
+namespace watchman {
+
+/// Options of the drill-down session stream.
+struct DrillDownOptions {
+  size_t num_queries = 17000;
+  uint64_t seed = 11;
+  Duration mean_interarrival = 10 * kSecond;
+
+  /// Depth of the refinement hierarchy (levels 0..depth-1).
+  uint32_t depth = 4;
+  /// Children per node: level l has roots * fanout^l distinct queries.
+  uint32_t fanout = 8;
+  /// Number of level-0 root summaries.
+  uint32_t roots = 12;
+  /// Probability that a session refines one level deeper (vs. ending).
+  double descend_probability = 0.75;
+  /// Zipf skew when picking a root (popular reports dominate).
+  double root_theta = 0.8;
+
+  /// Cost of a level-0 query in block reads; deeper levels get cheaper
+  /// as predicates narrow (factor per level).
+  uint64_t root_cost = 24000;
+  double cost_decay = 0.55;
+  /// Result bytes at level 0; deeper levels return more detail rows.
+  uint64_t root_result_bytes = 256;
+  double result_growth = 4.0;
+};
+
+/// Generates a drill-down trace. Node numbering is deterministic: the
+/// level-l node reached from root r by child choices c_1..c_l is shared
+/// by every session that makes the same choices, so shallow nodes
+/// repeat across sessions.
+Trace GenerateDrillDownTrace(const DrillDownOptions& options);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_DRILLDOWN_H_

@@ -1,0 +1,109 @@
+#include "workload/multiclass_workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace watchman {
+
+namespace {
+
+QueryEvent MakeEvent(Timestamp t, uint32_t query_class,
+                     const std::string& text, uint64_t instance,
+                     uint64_t result_bytes, uint64_t cost) {
+  QueryEvent e;
+  e.timestamp = t;
+  e.query_id = CompressQueryId(text);
+  e.result_bytes = result_bytes;
+  e.cost_block_reads = cost;
+  e.template_id = 100 + query_class;
+  e.instance = instance;
+  e.query_class = query_class;
+  return e;
+}
+
+}  // namespace
+
+Trace GenerateMulticlassTrace(const MulticlassOptions& options) {
+  Rng rng(options.seed);
+  Trace trace;
+  trace.set_name("multiclass");
+
+  ZipfGenerator dashboard_zipf(options.dashboard_instances,
+                               options.dashboard_theta);
+  DiscreteDistribution class_dist({options.dashboard_weight,
+                                   options.burst_weight,
+                                   options.report_weight});
+
+  Timestamp now = 0;
+  const double rate = 1.0 / static_cast<double>(options.mean_interarrival);
+
+  // Burst state: remaining references and the active burst instance.
+  int burst_remaining = 0;
+  uint64_t burst_instance = 0;
+  uint64_t next_burst_instance = 0;
+
+  // Report schedule: reports cycle with a fixed period, touring the
+  // instance space so every re-reference gap is roughly report_period.
+  uint64_t report_cursor = 0;
+
+  char buf[128];
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    now += static_cast<Duration>(
+        std::llround(rng.NextExponential(rate)) + 1);
+
+    uint32_t cls;
+    if (burst_remaining > 0) {
+      cls = 1;  // finish the running burst first
+    } else {
+      cls = static_cast<uint32_t>(class_dist.Next(&rng));
+    }
+
+    Status st;
+    switch (cls) {
+      case 0: {
+        const uint64_t inst = dashboard_zipf.Next(&rng);
+        std::snprintf(buf, sizeof(buf),
+                      "select dashboard panel %llu refresh",
+                      static_cast<unsigned long long>(inst));
+        st = trace.Append(MakeEvent(now, 0, buf, inst, /*result=*/512,
+                                    /*cost=*/6000));
+        break;
+      }
+      case 1: {
+        if (burst_remaining == 0) {
+          burst_instance = next_burst_instance++;
+          burst_remaining =
+              static_cast<int>(rng.UniformInt(options.burst_min,
+                                              options.burst_max));
+        }
+        --burst_remaining;
+        std::snprintf(buf, sizeof(buf),
+                      "select exploration drill %llu detail",
+                      static_cast<unsigned long long>(burst_instance));
+        st = trace.Append(MakeEvent(now, 1, buf, burst_instance,
+                                    /*result=*/8192, /*cost=*/3000));
+        break;
+      }
+      default: {
+        const uint64_t inst = report_cursor;
+        report_cursor = (report_cursor + 1) % options.report_instances;
+        std::snprintf(buf, sizeof(buf),
+                      "select weekly report %llu totals",
+                      static_cast<unsigned long long>(inst));
+        st = trace.Append(MakeEvent(now, 2, buf, inst, /*result=*/1024,
+                                    /*cost=*/20000));
+        break;
+      }
+    }
+    assert(st.ok());
+    (void)st;
+  }
+  return trace;
+}
+
+}  // namespace watchman

@@ -1,0 +1,55 @@
+// Multi-class workloads: the paper's future-work item (section 6).
+//
+// The paper conjectures that K > 1 matters most when the query stream
+// mixes classes with different reference characteristics, citing
+// [OOW93]. This generator produces such a stream:
+//
+//  * class 0, "dashboards": a stable, strongly skewed set of popular
+//    aggregate queries (steady references; any policy caches them);
+//  * class 1, "exploration bursts": a freshly parameterized query is
+//    referenced a few times in quick succession and then never again --
+//    to a K = 1 policy a burst looks like a hot query, while the K-th
+//    reference time exposes it as transient;
+//  * class 2, "periodic reports": moderately many report queries
+//    re-referenced at long, regular periods -- their last reference is
+//    always old (LRU evicts them) but their rate is steady and their
+//    cost high.
+
+#ifndef WATCHMAN_WORKLOAD_MULTICLASS_WORKLOAD_H_
+#define WATCHMAN_WORKLOAD_MULTICLASS_WORKLOAD_H_
+
+#include "trace/trace.h"
+#include "util/clock.h"
+
+namespace watchman {
+
+/// Options of the multi-class stream.
+struct MulticlassOptions {
+  size_t num_queries = 17000;
+  uint64_t seed = 7;
+  Duration mean_interarrival = 10 * kSecond;
+
+  /// Mix fractions (normalized internally).
+  double dashboard_weight = 0.40;
+  double burst_weight = 0.35;
+  double report_weight = 0.25;
+
+  /// Dashboard instance space and skew.
+  uint64_t dashboard_instances = 60;
+  double dashboard_theta = 0.9;
+
+  /// Burst length range (references to the same fresh query).
+  int burst_min = 2;
+  int burst_max = 4;
+
+  /// Report instance count and re-reference period.
+  uint64_t report_instances = 150;
+  Duration report_period = 30 * kMinute;
+};
+
+/// Generates the multi-class trace.
+Trace GenerateMulticlassTrace(const MulticlassOptions& options);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_MULTICLASS_WORKLOAD_H_

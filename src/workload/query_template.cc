@@ -1,0 +1,80 @@
+#include "workload/query_template.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace watchman {
+
+QueryTemplate::QueryTemplate(TemplateId id, std::string name,
+                             uint64_t instance_space, double weight,
+                             double zipf_theta)
+    : id_(id),
+      name_(std::move(name)),
+      instance_space_(instance_space),
+      weight_(weight),
+      zipf_theta_(zipf_theta) {
+  assert(instance_space_ >= 1);
+  assert(weight_ > 0.0);
+  assert(zipf_theta_ >= 0.0);
+}
+
+std::string QueryTemplate::QueryText(uint64_t instance) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "select %s instance %llu", name_.c_str(),
+                static_cast<unsigned long long>(instance));
+  return buf;
+}
+
+std::vector<PageRange> QueryTemplate::PageAccesses(uint64_t) const {
+  return {};
+}
+
+uint64_t QueryTemplate::InstanceHash(uint64_t instance) const {
+  return Mix64(HashCombine(Mix64(id_ + 0x9e37), instance));
+}
+
+double QueryTemplate::SignedUnit(uint64_t instance, uint32_t salt) const {
+  const uint64_t h = Mix64(InstanceHash(instance) + salt);
+  // 53 high bits -> [0, 1) -> [-1, 1].
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit * 2.0 - 1.0;
+}
+
+ParamQueryTemplate::ParamQueryTemplate(TemplateId id, Spec spec)
+    : QueryTemplate(id, spec.name, spec.instance_space, spec.weight,
+                    spec.zipf_theta),
+      spec_(std::move(spec)) {
+  assert(spec_.base_cost >= 1);
+  assert(spec_.base_result_bytes >= 1);
+  assert(spec_.cost_jitter >= 0.0 && spec_.cost_jitter < 1.0);
+  assert(spec_.result_log_spread >= 0.0);
+}
+
+InstanceProperties ParamQueryTemplate::Properties(uint64_t instance) const {
+  InstanceProperties p;
+  const double cost_scale =
+      1.0 + spec_.cost_jitter * SignedUnit(instance, 0xc057);
+  p.cost_block_reads = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(static_cast<double>(spec_.base_cost) * cost_scale)));
+  const double size_scale =
+      std::exp(spec_.result_log_spread * SignedUnit(instance, 0x512e));
+  p.result_bytes = std::max<uint64_t>(
+      8, static_cast<uint64_t>(std::llround(
+             static_cast<double>(spec_.base_result_bytes) * size_scale)));
+  return p;
+}
+
+std::string ParamQueryTemplate::QueryText(uint64_t instance) const {
+  if (spec_.text_template.empty()) return QueryTemplate::QueryText(instance);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), spec_.text_template.c_str(),
+                static_cast<unsigned long long>(instance));
+  return buf;
+}
+
+}  // namespace watchman

@@ -1,0 +1,120 @@
+// Query templates: the unit of workload composition.
+//
+// The paper's traces run 17 000 instances of benchmark query templates
+// with randomly generated parameters; because the parameter spaces differ
+// by many orders of magnitude (order of 10 to order of 10^15), templates
+// with small spaces repeat frequently (high summarization levels) while
+// templates with huge spaces never repeat -- the "drill-down analysis"
+// distribution. A template here exposes its instance space, a popularity
+// weight, a skew parameter for instance selection, and deterministic
+// per-instance properties (result size, execution cost, referenced
+// pages), so that repeated executions of the same instance are
+// indistinguishable -- exactly what a trace collected from a real DBMS
+// provides.
+
+#ifndef WATCHMAN_WORKLOAD_QUERY_TEMPLATE_H_
+#define WATCHMAN_WORKLOAD_QUERY_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "trace/query_event.h"
+
+namespace watchman {
+
+/// Deterministic properties of one template instance.
+struct InstanceProperties {
+  uint64_t result_bytes = 0;
+  uint64_t cost_block_reads = 0;
+};
+
+/// Abstract query template.
+class QueryTemplate {
+ public:
+  QueryTemplate(TemplateId id, std::string name, uint64_t instance_space,
+                double weight, double zipf_theta);
+  virtual ~QueryTemplate() = default;
+
+  TemplateId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of distinct parameter bindings.
+  uint64_t instance_space() const { return instance_space_; }
+
+  /// Relative probability of drawing this template.
+  double weight() const { return weight_; }
+
+  /// Zipf skew over instances (0 = uniform). Instance 0 is most popular.
+  double zipf_theta() const { return zipf_theta_; }
+
+  /// Deterministic properties of `instance` (same instance -> same
+  /// result size and cost, as a DBMS trace would show).
+  virtual InstanceProperties Properties(uint64_t instance) const = 0;
+
+  /// SQL-flavoured query text for `instance`; compressed into the query
+  /// ID by the trace generator.
+  virtual std::string QueryText(uint64_t instance) const;
+
+  /// Pages referenced when this instance executes (buffer-manager
+  /// experiment); empty by default.
+  virtual std::vector<PageRange> PageAccesses(uint64_t instance) const;
+
+  /// Workload class for multi-class experiments; 0 by default.
+  virtual uint32_t QueryClass() const { return 0; }
+
+ protected:
+  /// Deterministic 64-bit hash of (template id, instance), the seed of
+  /// all per-instance variation.
+  uint64_t InstanceHash(uint64_t instance) const;
+
+  /// Deterministic value in [-1, 1] derived from the instance.
+  double SignedUnit(uint64_t instance, uint32_t salt) const;
+
+ private:
+  TemplateId id_;
+  std::string name_;
+  uint64_t instance_space_;
+  double weight_;
+  double zipf_theta_;
+};
+
+/// A template configured entirely by a parameter block: base cost and
+/// result size with deterministic per-instance jitter. Sufficient for
+/// most benchmark templates; templates with structured instance spaces
+/// subclass QueryTemplate directly.
+class ParamQueryTemplate : public QueryTemplate {
+ public:
+  struct Spec {
+    std::string name;
+    uint64_t instance_space = 1;
+    double weight = 1.0;
+    double zipf_theta = 0.0;
+    /// Base execution cost in block reads.
+    uint64_t base_cost = 1;
+    /// Relative +/- jitter of the cost across instances (0 = constant).
+    double cost_jitter = 0.0;
+    /// Base retrieved-set size in bytes.
+    uint64_t base_result_bytes = 64;
+    /// Log-scale spread of the result size: the size is multiplied by
+    /// exp(u * spread) with u in [-1, 1] (0 = constant).
+    double result_log_spread = 0.0;
+    /// printf-style text template; "%llu" receives the instance.
+    std::string text_template;
+  };
+
+  ParamQueryTemplate(TemplateId id, Spec spec);
+
+  InstanceProperties Properties(uint64_t instance) const override;
+  std::string QueryText(uint64_t instance) const override;
+
+  const Spec& spec() const { return spec_; }
+
+ private:
+  Spec spec_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_QUERY_TEMPLATE_H_

@@ -1,0 +1,217 @@
+#include "workload/setquery_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "storage/cost_model.h"
+
+namespace watchman {
+
+const std::vector<SetQueryColumn>& SetQueryColumns() {
+  // Set Query's K-columns; K500K/K250K/K100K/K40K are subsumed into the
+  // selection templates (their per-value counts are tiny), while the
+  // aggregation templates use the low-cardinality columns below.
+  static const std::vector<SetQueryColumn> kColumns = {
+      {"k2", 2},   {"k4", 4},     {"k5", 5},
+      {"k10", 10}, {"k25", 25},   {"k100", 100},
+  };
+  return kColumns;
+}
+
+namespace {
+
+/// Selects the cheaper of a full scan and an unclustered index probe for
+/// a predicate with the given selectivity, as a 1996 optimizer would.
+uint64_t CountAccessCost(const Relation& bench, double selectivity) {
+  const uint64_t scan = CostModel::SelectCost(bench, selectivity,
+                                              AccessPath::kFullScan);
+  const uint64_t index = CostModel::SelectCost(
+      bench, selectivity, AccessPath::kUnclusteredIndex);
+  return std::min(scan, index);
+}
+
+/// SQ1: COUNT(*) WHERE K<col> = v. Instance decodes to (column, value)
+/// with low-cardinality columns (coarse summaries) at the popular ranks.
+class CountTemplate : public QueryTemplate {
+ public:
+  CountTemplate(TemplateId id, const Relation& bench, double weight,
+                double theta)
+      : QueryTemplate(id, "sq_count", TotalInstances(), weight, theta),
+        bench_(bench) {}
+
+  InstanceProperties Properties(uint64_t instance) const override {
+    const auto [col, value] = Decode(instance);
+    (void)value;
+    const double selectivity =
+        1.0 / static_cast<double>(SetQueryColumns()[col].cardinality);
+    InstanceProperties p;
+    p.cost_block_reads = CountAccessCost(bench_, selectivity);
+    p.result_bytes = 64;
+    return p;
+  }
+
+  std::string QueryText(uint64_t instance) const override {
+    const auto [col, value] = Decode(instance);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "select count(*) from bench where %s = %llu",
+                  SetQueryColumns()[col].name,
+                  static_cast<unsigned long long>(value));
+    return buf;
+  }
+
+  static uint64_t TotalInstances() {
+    uint64_t total = 0;
+    for (const auto& c : SetQueryColumns()) total += c.cardinality;
+    return total;
+  }
+
+ private:
+  /// Instance -> (column index, value); columns in cardinality order, so
+  /// rank 0..1 are the two K2 counts, etc.
+  static std::pair<size_t, uint64_t> Decode(uint64_t instance) {
+    uint64_t offset = instance;
+    const auto& cols = SetQueryColumns();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (offset < cols[i].cardinality) return {i, offset};
+      offset -= cols[i].cardinality;
+    }
+    assert(false && "instance out of range");
+    return {0, 0};
+  }
+
+  const Relation& bench_;
+};
+
+/// SQ3: SUM(...) GROUP BY K<col> with a selection condition; result size
+/// grows with the group-by cardinality.
+class GroupSumTemplate : public QueryTemplate {
+ public:
+  GroupSumTemplate(TemplateId id, const Relation& bench, double weight,
+                   double theta, uint64_t conditions)
+      : QueryTemplate(id, "sq_sum", SetQueryColumns().size() * conditions,
+                      weight, theta),
+        bench_(bench),
+        conditions_(conditions) {}
+
+  InstanceProperties Properties(uint64_t instance) const override {
+    const size_t col = instance % SetQueryColumns().size();
+    const uint64_t groups = SetQueryColumns()[col].cardinality;
+    InstanceProperties p;
+    const uint64_t group_pages = PagesForBytes(groups * 40);
+    p.cost_block_reads = CostModel::ScanCost(bench_) +
+                         CostModel::AggregateCost(group_pages,
+                                                  /*pipelined=*/groups <= 100);
+    p.result_bytes = std::max<uint64_t>(80, groups * 40);
+    return p;
+  }
+
+  std::string QueryText(uint64_t instance) const override {
+    const size_t col = instance % SetQueryColumns().size();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "select %s sum(kseq) from bench where cond = %llu "
+                  "group by %s",
+                  SetQueryColumns()[col].name,
+                  static_cast<unsigned long long>(instance /
+                                                  SetQueryColumns().size()),
+                  SetQueryColumns()[col].name);
+    return buf;
+  }
+
+ private:
+  const Relation& bench_;
+  uint64_t conditions_;
+};
+
+}  // namespace
+
+WorkloadMix MakeSetQueryWorkload(const Database& db) {
+  auto bench_or = db.FindRelation("bench");
+  assert(bench_or.ok());
+  const Relation& bench = **bench_or;
+
+  WorkloadMix mix("setquery");
+  TemplateId next_id = 1;
+
+  // SQ1: single-condition counts; coarse (cheap-to-repeat) summaries at
+  // popular ranks. Expensive scans, 64-byte results.
+  mix.Add(std::make_unique<CountTemplate>(next_id++, bench,
+                                          /*weight=*/0.33, /*theta=*/0.0));
+
+  // SQ2: two-condition counts (AND/OR of two K-columns); the paper's
+  // enlarged parameterization -> 2500 instances.
+  mix.Add(std::make_unique<ParamQueryTemplate>(
+      next_id++,
+      ParamQueryTemplate::Spec{
+          .name = "sq_count2",
+          .instance_space = 300,
+          .weight = 0.15,
+          .base_cost = CostModel::ScanCost(bench),
+          .cost_jitter = 0.02,
+          .base_result_bytes = 64,
+          .text_template = "select count(*) from bench where pair = %llu"}));
+
+  // SQ3: grouped sums over a K-column with a selection condition.
+  mix.Add(std::make_unique<GroupSumTemplate>(next_id++, bench,
+                                             /*weight=*/0.12, /*theta=*/0.0,
+                                             /*conditions=*/40));
+
+  // SQ4: multi-condition row selections returning tuples: inexpensive
+  // (most selective index drives the access) but with large retrieved
+  // sets; effectively never repeats.
+  mix.Add(std::make_unique<ParamQueryTemplate>(
+      next_id++,
+      ParamQueryTemplate::Spec{
+          .name = "sq_select",
+          .instance_space = 100000,
+          .weight = 0.08,
+          .base_cost = CostModel::SelectCost(
+              bench, /*selectivity=*/0.004, AccessPath::kUnclusteredIndex),
+          .cost_jitter = 0.5,
+          .base_result_bytes = 4096,
+          .result_log_spread = 1.2,
+          .text_template =
+              "select * from bench where k500k k100 k25 k10 = %llu"}));
+
+  // SQ5: KSEQ-range projections (clustered ranges returning rows):
+  // the benchmark's inexpensive queries; huge instance space, so the
+  // sizeable retrieved sets are pure cache pollution.
+  mix.Add(std::make_unique<ParamQueryTemplate>(
+      next_id++,
+      ParamQueryTemplate::Spec{
+          .name = "sq_range",
+          .instance_space = 1000000,
+          .weight = 0.22,
+          .base_cost = CostModel::SelectCost(
+              bench, /*selectivity=*/0.0012, AccessPath::kClusteredIndex),
+          .cost_jitter = 0.8,
+          .base_result_bytes = 2048,
+          .result_log_spread = 0.9,
+          .text_template =
+              "select kseq k500k from bench where kseq between %llu and b"}));
+
+  // SQ6: multi-condition report queries (scan + sort), small results,
+  // popular reports repeat.
+  mix.Add(std::make_unique<ParamQueryTemplate>(
+      next_id++,
+      ParamQueryTemplate::Spec{
+          .name = "sq_report",
+          .instance_space = 120,
+          .weight = 0.10,
+          .base_cost = CostModel::ScanCost(bench) +
+                       CostModel::SortCost(CostModel::ScanCost(bench) / 10),
+          .cost_jitter = 0.03,
+          .base_result_bytes = 512,
+          .text_template =
+              "select k10 k25 count sum from bench where conds = %llu "
+              "group by k10 k25 order by sum"}));
+
+  assert(mix.num_templates() == 6);
+  return mix;
+}
+
+}  // namespace watchman

@@ -1,0 +1,36 @@
+// The Set Query workload of the paper's evaluation (section 4.1): a
+// 100 MB BENCH relation with the benchmark's K-column structure
+// (K2, K4, K5, K10, K25, K100, K1K, ... KSEQ) and six template families
+// -- counts, multi-condition counts, grouped sums, multi-condition row
+// selections, KSEQ-range reports and top-style reports. The paper
+// modified the benchmark's parameterization to enlarge the instance
+// space and model the drill-down distribution; weights and skews here do
+// the same. Counts and sums over low-cardinality columns are expensive
+// full scans with tiny results, while selections and range reports are
+// inexpensive index accesses, which is why the Set Query cost
+// distribution is more skewed than TPC-D's (paper Figure 2 discussion).
+
+#ifndef WATCHMAN_WORKLOAD_SETQUERY_WORKLOAD_H_
+#define WATCHMAN_WORKLOAD_SETQUERY_WORKLOAD_H_
+
+#include "storage/database.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+
+/// One indexed K-column of BENCH.
+struct SetQueryColumn {
+  const char* name;
+  uint64_t cardinality;
+};
+
+/// The modelled K-columns (scaled to the 500k-row BENCH).
+const std::vector<SetQueryColumn>& SetQueryColumns();
+
+/// Builds the Set Query mix over the scaled 100 MB database
+/// (pass MakeSetQueryDatabase()).
+WorkloadMix MakeSetQueryWorkload(const Database& db);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_SETQUERY_WORKLOAD_H_

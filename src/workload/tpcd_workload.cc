@@ -1,0 +1,205 @@
+#include "workload/tpcd_workload.h"
+
+#include <cassert>
+#include <memory>
+
+#include "storage/cost_model.h"
+
+namespace watchman {
+
+namespace {
+
+uint64_t Pages(const Database& db, const char* relation) {
+  auto rel = db.FindRelation(relation);
+  assert(rel.ok());
+  return CostModel::ScanCost(**rel);
+}
+
+}  // namespace
+
+WorkloadMix MakeTpcdWorkload(const Database& db) {
+  const uint64_t lineitem = Pages(db, "lineitem");
+  const uint64_t orders = Pages(db, "orders");
+  const uint64_t partsupp = Pages(db, "partsupp");
+  const uint64_t part = Pages(db, "part");
+  const uint64_t customer = Pages(db, "customer");
+  const uint64_t supplier = Pages(db, "supplier");
+  const uint64_t nation = Pages(db, "nation");
+  const uint64_t region = Pages(db, "region");
+
+  WorkloadMix mix("tpcd");
+  TemplateId next_id = 1;
+  auto add = [&mix, &next_id](ParamQueryTemplate::Spec spec) {
+    mix.Add(std::make_unique<ParamQueryTemplate>(next_id++, std::move(spec)));
+  };
+
+  // Q1: pricing summary report. DELTA in [60, 120] -> 61 instances.
+  // Full lineitem scan, 4 summary groups.
+  add({.name = "tpcd_q1",
+       .instance_space = 61,
+       .base_cost = lineitem,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 480,
+       .text_template =
+           "select returnflag linestatus sum_qty from lineitem where "
+           "shipdate <= date - %llu group by returnflag linestatus"});
+  // Q2: minimum cost supplier. size x type x region -> 1250 instances.
+  // part/partsupp/supplier join; small top-list result.
+  add({.name = "tpcd_q2",
+       .instance_space = 1250,
+       .weight = 1.1,
+       .base_cost = part + partsupp + supplier + nation + region,
+       .cost_jitter = 0.05,
+       .base_result_bytes = 2048,
+       .result_log_spread = 0.8,
+       .text_template =
+           "select acctbal name from part partsupp supplier where "
+           "size type region = %llu order by acctbal"});
+  // Q3: shipping priority. segment x date -> 155 instances. Top-10 rows.
+  add({.name = "tpcd_q3",
+       .instance_space = 155,
+       .base_cost = customer + orders + lineitem,
+       .cost_jitter = 0.03,
+       .base_result_bytes = 800,
+       .text_template =
+           "select orderkey revenue from customer orders lineitem "
+           "where segment date = %llu order by revenue"});
+  // Q4: order priority checking. 58 date intervals.
+  add({.name = "tpcd_q4",
+       .instance_space = 58,
+       .base_cost = orders + lineitem,
+       .cost_jitter = 0.03,
+       .base_result_bytes = 320,
+       .text_template =
+           "select orderpriority count from orders lineitem where "
+           "orderdate = %llu group by orderpriority"});
+  // Q5: local supplier volume. region x year -> 25 instances.
+  add({.name = "tpcd_q5",
+       .instance_space = 25,
+       .base_cost = customer + orders + lineitem + supplier + nation + region,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 400,
+       .text_template =
+           "select nation revenue from customer orders lineitem supplier "
+           "nation region where region year = %llu"});
+  // Q6: forecasting revenue change. year x discount x quantity -> 80.
+  add({.name = "tpcd_q6",
+       .instance_space = 80,
+       .base_cost = lineitem,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 64,
+       .text_template =
+           "select sum revenue from lineitem where year discount "
+           "quantity = %llu"});
+  // Q7: volume shipping. ordered nation pairs -> 600 instances.
+  add({.name = "tpcd_q7",
+       .instance_space = 600,
+       .base_cost = customer + orders + lineitem + supplier + nation,
+       .cost_jitter = 0.04,
+       .base_result_bytes = 320,
+       .text_template =
+           "select suppnation custnation year revenue from supplier "
+           "lineitem orders customer nation where pair = %llu"});
+  // Q8: national market share. nation x region x type -> 18750.
+  add({.name = "tpcd_q8",
+       .instance_space = 18750,
+       .base_cost = customer + orders + lineitem + supplier + part + nation +
+                    region,
+       .cost_jitter = 0.04,
+       .base_result_bytes = 160,
+       .text_template =
+           "select year mktshare from part supplier lineitem orders "
+           "customer nation region where nation region type = %llu"});
+  // Q9: product type profit. 92 part colors.
+  add({.name = "tpcd_q9",
+       .instance_space = 92,
+       .base_cost = part + partsupp + lineitem + orders + supplier + nation +
+                    CostModel::SortCost(3),
+       .cost_jitter = 0.03,
+       .base_result_bytes = 10500,
+       .text_template =
+           "select nation year profit from part supplier lineitem "
+           "partsupp orders nation where color = %llu group by nation year"});
+  // Q10: returned item reporting. 24 date quarters. Top-20 customers.
+  add({.name = "tpcd_q10",
+       .instance_space = 24,
+       .base_cost = customer + orders + lineitem + nation,
+       .cost_jitter = 0.03,
+       .base_result_bytes = 4096,
+       .text_template =
+           "select custkey name revenue from customer orders lineitem "
+           "nation where returnflag quarter = %llu order by revenue"});
+  // Q11: important stock identification. 25 nations; large list result,
+  // relatively cheap (no lineitem access).
+  add({.name = "tpcd_q11",
+       .instance_space = 25,
+       .base_cost = partsupp + supplier + nation,
+       .cost_jitter = 0.05,
+       .base_result_bytes = 8192,
+       .result_log_spread = 0.3,
+       .text_template =
+           "select partkey value from partsupp supplier nation where "
+           "nation = %llu group by partkey having value > fraction"});
+  // Q12: shipping modes and order priority. shipmode pair x year -> 105.
+  add({.name = "tpcd_q12",
+       .instance_space = 105,
+       .base_cost = orders + lineitem,
+       .cost_jitter = 0.03,
+       .base_result_bytes = 128,
+       .text_template =
+           "select shipmode counts from orders lineitem where shipmode "
+           "year = %llu group by shipmode"});
+  // Q13: customer distribution. word pairs -> 16 instances.
+  add({.name = "tpcd_q13",
+       .instance_space = 16,
+       .base_cost = customer + orders,
+       .cost_jitter = 0.03,
+       .base_result_bytes = 1200,
+       .text_template =
+           "select c_count custdist from customer orders where words = "
+           "%llu group by c_count"});
+  // Q14: promotion effect. 60 months.
+  add({.name = "tpcd_q14",
+       .instance_space = 60,
+       .base_cost = lineitem + part,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 64,
+       .text_template =
+           "select promo_revenue from lineitem part where month = %llu"});
+  // Q15: top supplier. 20 quarters; evaluates a revenue view over
+  // lineitem twice (create + max + join).
+  add({.name = "tpcd_q15",
+       .instance_space = 20,
+       .base_cost = 2 * lineitem + supplier,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 750,
+       .text_template =
+           "select suppkey name total_revenue from supplier revenue "
+           "where quarter = %llu"});
+  // Q16: parts/supplier relationship. brand x type x size combinations:
+  // effectively unbounded (order of 10^9 bindings) -> never repeats.
+  add({.name = "tpcd_q16",
+       .instance_space = uint64_t{1} << 30,
+       .weight = 1.3,
+       .base_cost = part + partsupp + supplier,
+       .cost_jitter = 0.05,
+       .base_result_bytes = 6144,
+       .result_log_spread = 0.9,
+       .text_template =
+           "select brand type size suppcount from partsupp part where "
+           "brand type sizes = %llu group by brand type size"});
+  // Q17: small-quantity-order revenue. brand x container -> 1000.
+  add({.name = "tpcd_q17",
+       .instance_space = 1000,
+       .base_cost = lineitem + part,
+       .cost_jitter = 0.02,
+       .base_result_bytes = 64,
+       .text_template =
+           "select avg_yearly from lineitem part where brand container "
+           "= %llu"});
+
+  assert(mix.num_templates() == 17);
+  return mix;
+}
+
+}  // namespace watchman

@@ -1,0 +1,24 @@
+// The TPC-D workload of the paper's evaluation (section 4.1): a 30 MB
+// database and 17 query templates (the two update templates are
+// excluded) instantiated with random parameters. Instance-space sizes
+// follow the spec's parameter intervals and range from tens to over 10^9
+// bindings, so high-summarization templates repeat frequently while
+// low-summarization templates never repeat -- the drill-down
+// distribution.
+
+#ifndef WATCHMAN_WORKLOAD_TPCD_WORKLOAD_H_
+#define WATCHMAN_WORKLOAD_TPCD_WORKLOAD_H_
+
+#include "storage/database.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+
+/// Builds the 17-template TPC-D mix over the scaled 30 MB database.
+/// Costs are derived from the analytic cost model over the schema in
+/// `db` (pass MakeTpcdDatabase()).
+WorkloadMix MakeTpcdWorkload(const Database& db);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_TPCD_WORKLOAD_H_

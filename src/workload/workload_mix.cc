@@ -1,0 +1,87 @@
+#include "workload/workload_mix.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace watchman {
+
+WorkloadMix::WorkloadMix(std::string name) : name_(std::move(name)) {}
+
+void WorkloadMix::Add(std::unique_ptr<QueryTemplate> tmpl) {
+  assert(tmpl != nullptr);
+  assert(FindTemplate(tmpl->id()) == nullptr);
+  templates_.push_back(std::move(tmpl));
+  template_sampler_.reset();
+  instance_samplers_.clear();
+}
+
+const QueryTemplate* WorkloadMix::FindTemplate(TemplateId id) const {
+  for (const auto& t : templates_) {
+    if (t->id() == id) return t.get();
+  }
+  return nullptr;
+}
+
+void WorkloadMix::EnsureSamplers() const {
+  if (template_sampler_ != nullptr) return;
+  std::vector<double> weights;
+  weights.reserve(templates_.size());
+  instance_samplers_.clear();
+  instance_samplers_.reserve(templates_.size());
+  for (const auto& t : templates_) {
+    weights.push_back(t->weight());
+    instance_samplers_.emplace_back(t->instance_space(), t->zipf_theta());
+  }
+  template_sampler_ = std::make_unique<DiscreteDistribution>(weights);
+}
+
+WorkloadMix::Draw WorkloadMix::DrawQuery(Rng* rng) const {
+  assert(!templates_.empty());
+  EnsureSamplers();
+  Draw draw;
+  draw.template_index = template_sampler_->Next(rng);
+  draw.instance = instance_samplers_[draw.template_index].Next(rng);
+  return draw;
+}
+
+QueryEvent WorkloadMix::MakeEvent(size_t template_index, uint64_t instance,
+                                  Timestamp t) const {
+  const QueryTemplate& tmpl = *templates_[template_index];
+  const InstanceProperties props = tmpl.Properties(instance);
+  QueryEvent e;
+  e.timestamp = t;
+  e.query_id = CompressQueryId(tmpl.QueryText(instance));
+  e.result_bytes = props.result_bytes;
+  e.cost_block_reads = props.cost_block_reads;
+  e.template_id = tmpl.id();
+  e.instance = instance;
+  e.query_class = tmpl.QueryClass();
+  return e;
+}
+
+Trace WorkloadMix::GenerateTrace(const TraceGenOptions& options) const {
+  assert(!templates_.empty());
+  Rng rng(options.seed);
+  Trace trace;
+  trace.set_name(name_);
+  Timestamp now = 0;
+  const double rate =
+      1.0 / static_cast<double>(options.mean_interarrival);
+  Draw draw;
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    now += static_cast<Duration>(
+        std::llround(rng.NextExponential(rate)) + 1);
+    if (i == 0 || !rng.NextBool(options.repeat_probability)) {
+      draw = DrawQuery(&rng);
+    }
+    Status st = trace.Append(MakeEvent(draw.template_index, draw.instance,
+                                       now));
+    assert(st.ok());
+    (void)st;
+  }
+  return trace;
+}
+
+}  // namespace watchman

@@ -1,0 +1,79 @@
+// WorkloadMix: a set of query templates plus the trace generator that
+// draws from them, reproducing the paper's trace collection (section
+// 4.1): 17 000 queries, each a random instance of a random template,
+// with Poisson arrivals.
+
+#ifndef WATCHMAN_WORKLOAD_WORKLOAD_MIX_H_
+#define WATCHMAN_WORKLOAD_WORKLOAD_MIX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "workload/query_template.h"
+
+namespace watchman {
+
+/// Options of trace generation.
+struct TraceGenOptions {
+  /// Number of queries in the trace (paper: 17 000).
+  size_t num_queries = 17000;
+  /// PRNG seed; the same seed reproduces the trace exactly.
+  uint64_t seed = 42;
+  /// Mean of the exponential inter-arrival time.
+  Duration mean_interarrival = 10 * kSecond;
+  /// Probability that a query repeats the immediately preceding one
+  /// (an analyst re-examining a result). Short bursts are what make
+  /// histories deeper than one reference informative: a K = 1 rate
+  /// estimate mistakes a burst for a hot query.
+  double repeat_probability = 0.0;
+};
+
+/// A weighted collection of query templates.
+class WorkloadMix {
+ public:
+  explicit WorkloadMix(std::string name);
+
+  WorkloadMix(WorkloadMix&&) = default;
+  WorkloadMix& operator=(WorkloadMix&&) = default;
+
+  /// Adds a template; IDs must be unique within the mix.
+  void Add(std::unique_ptr<QueryTemplate> tmpl);
+
+  const std::string& name() const { return name_; }
+  size_t num_templates() const { return templates_.size(); }
+  const QueryTemplate& tmpl(size_t i) const { return *templates_[i]; }
+
+  /// Finds a template by ID; nullptr if absent.
+  const QueryTemplate* FindTemplate(TemplateId id) const;
+
+  /// Draws one (template, instance) pair.
+  struct Draw {
+    size_t template_index = 0;
+    uint64_t instance = 0;
+  };
+  Draw DrawQuery(Rng* rng) const;
+
+  /// Builds the QueryEvent for a (template, instance) at `t`.
+  QueryEvent MakeEvent(size_t template_index, uint64_t instance,
+                       Timestamp t) const;
+
+  /// Generates a full trace.
+  Trace GenerateTrace(const TraceGenOptions& options) const;
+
+ private:
+  void EnsureSamplers() const;
+
+  std::string name_;
+  std::vector<std::unique_ptr<QueryTemplate>> templates_;
+  // Lazily built samplers (rebuilt when templates change).
+  mutable std::unique_ptr<DiscreteDistribution> template_sampler_;
+  mutable std::vector<ZipfGenerator> instance_samplers_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_WORKLOAD_WORKLOAD_MIX_H_

@@ -1,0 +1,109 @@
+#include "buffer/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(4, 100);
+  EXPECT_FALSE(pool.Reference(7));
+  EXPECT_TRUE(pool.Reference(7));
+  EXPECT_EQ(pool.stats().references, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_TRUE(pool.IsResident(7));
+}
+
+TEST(BufferPoolTest, EvictsLruWhenFull) {
+  BufferPool pool(3, 100);
+  pool.Reference(1);
+  pool.Reference(2);
+  pool.Reference(3);
+  pool.Reference(1);  // 2 is now LRU
+  pool.Reference(4);  // evicts 2
+  EXPECT_TRUE(pool.IsResident(1));
+  EXPECT_FALSE(pool.IsResident(2));
+  EXPECT_TRUE(pool.IsResident(3));
+  EXPECT_TRUE(pool.IsResident(4));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolTest, DemoteMakesPageNextVictim) {
+  BufferPool pool(3, 100);
+  pool.Reference(1);
+  pool.Reference(2);
+  pool.Reference(3);
+  pool.Demote(3);     // 3 (most recent) demoted to the LRU end
+  pool.Reference(4);  // evicts 3, not 1
+  EXPECT_FALSE(pool.IsResident(3));
+  EXPECT_TRUE(pool.IsResident(1));
+  EXPECT_EQ(pool.stats().demotions, 1u);
+}
+
+TEST(BufferPoolTest, DemoteNonResidentIsNoop) {
+  BufferPool pool(3, 100);
+  pool.Reference(1);
+  pool.Demote(50);
+  EXPECT_EQ(pool.stats().demotions, 0u);
+  EXPECT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(BufferPoolTest, ReferencePromotesDemotedPage) {
+  BufferPool pool(3, 100);
+  pool.Reference(1);
+  pool.Reference(2);
+  pool.Reference(3);
+  pool.Demote(3);
+  pool.Reference(3);  // hit: back to MRU
+  pool.Reference(4);  // evicts 1 (true LRU again)
+  EXPECT_TRUE(pool.IsResident(3));
+  EXPECT_FALSE(pool.IsResident(1));
+}
+
+TEST(BufferPoolTest, ResidentCountNeverExceedsCapacity) {
+  BufferPool pool(16, 1000);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    pool.Reference(static_cast<PageId>(rng.NextBounded(1000)));
+    ASSERT_LE(pool.resident_count(), 16u);
+  }
+  EXPECT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(BufferPoolTest, RandomizedInvariantsWithDemotions) {
+  BufferPool pool(32, 500);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const PageId p = static_cast<PageId>(rng.NextBounded(500));
+    if (rng.NextBool(0.2)) {
+      pool.Demote(p);
+    } else {
+      pool.Reference(p);
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(pool.CheckInvariants().ok()) << "iteration " << i;
+    }
+  }
+  EXPECT_TRUE(pool.CheckInvariants().ok());
+}
+
+TEST(BufferPoolTest, SequentialFloodEvictsEverything) {
+  BufferPool pool(10, 1000);
+  for (PageId p = 0; p < 10; ++p) pool.Reference(p);
+  for (PageId p = 100; p < 120; ++p) pool.Reference(p);  // flood
+  for (PageId p = 0; p < 10; ++p) EXPECT_FALSE(pool.IsResident(p));
+}
+
+TEST(BufferPoolTest, HitRatioComputation) {
+  BufferPool pool(10, 100);
+  pool.Reference(1);
+  pool.Reference(1);
+  pool.Reference(1);
+  pool.Reference(2);
+  EXPECT_DOUBLE_EQ(pool.stats().hit_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,104 @@
+// Integration tests of the combined WATCHMAN + buffer-pool simulation.
+
+#include "buffer/buffer_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schemas.h"
+#include "workload/buffer_workload.h"
+
+namespace watchman {
+namespace {
+
+class BufferSimTest : public testing::Test {
+ protected:
+  BufferSimTest()
+      : db_(MakeBufferExperimentDatabase()), mix_(MakeBufferWorkload(db_)) {
+    TraceGenOptions opts;
+    opts.num_queries = 1500;  // keep unit tests fast
+    opts.seed = 17;
+    trace_ = mix_.GenerateTrace(opts);
+  }
+
+  Database db_;
+  WorkloadMix mix_;
+  Trace trace_;
+};
+
+TEST_F(BufferSimTest, CacheHitsSuppressPageReferences) {
+  BufferSimOptions opts;
+  opts.hints_enabled = false;
+  const BufferSimResult r = RunBufferSimulation(db_, mix_, trace_, opts);
+  EXPECT_GT(r.cache.hits, 0u);
+  EXPECT_EQ(r.executed_queries + r.cache.hits, trace_.size());
+  EXPECT_GT(r.total_page_refs, 0u);
+  EXPECT_EQ(r.buffer.references, r.total_page_refs);
+}
+
+TEST_F(BufferSimTest, HintsOffSendsNoHints) {
+  BufferSimOptions opts;
+  opts.hints_enabled = false;
+  const BufferSimResult r = RunBufferSimulation(db_, mix_, trace_, opts);
+  EXPECT_EQ(r.hints_sent, 0u);
+  EXPECT_EQ(r.pages_demoted, 0u);
+  EXPECT_EQ(r.buffer.demotions, 0u);
+}
+
+TEST_F(BufferSimTest, HintsFireOnAdmissions) {
+  BufferSimOptions opts;
+  opts.p0 = 0.5;
+  const BufferSimResult r = RunBufferSimulation(db_, mix_, trace_, opts);
+  EXPECT_GT(r.hints_sent, 0u);
+  EXPECT_GT(r.pages_demoted, 0u);
+  EXPECT_EQ(r.buffer.demotions, r.pages_demoted);
+}
+
+TEST_F(BufferSimTest, PageRefStreamIdenticalAcrossThresholds) {
+  // Hints only reorder the LRU chain; the reference stream (and the
+  // WATCHMAN cache behaviour) must be identical for every p0.
+  BufferSimOptions a;
+  a.p0 = 0.9;
+  BufferSimOptions b;
+  b.p0 = 0.1;
+  const BufferSimResult ra = RunBufferSimulation(db_, mix_, trace_, a);
+  const BufferSimResult rb = RunBufferSimulation(db_, mix_, trace_, b);
+  EXPECT_EQ(ra.total_page_refs, rb.total_page_refs);
+  EXPECT_EQ(ra.executed_queries, rb.executed_queries);
+  EXPECT_EQ(ra.cache.hits, rb.cache.hits);
+  EXPECT_EQ(ra.cache.insertions, rb.cache.insertions);
+}
+
+TEST_F(BufferSimTest, LowerThresholdDemotesMore) {
+  BufferSimOptions high;
+  high.p0 = 0.9;
+  BufferSimOptions low;
+  low.p0 = 0.1;
+  const BufferSimResult rh = RunBufferSimulation(db_, mix_, trace_, high);
+  const BufferSimResult rl = RunBufferSimulation(db_, mix_, trace_, low);
+  EXPECT_GE(rl.pages_demoted, rh.pages_demoted);
+}
+
+TEST_F(BufferSimTest, DeterministicAcrossRuns) {
+  BufferSimOptions opts;
+  opts.p0 = 0.6;
+  const BufferSimResult a = RunBufferSimulation(db_, mix_, trace_, opts);
+  const BufferSimResult b = RunBufferSimulation(db_, mix_, trace_, opts);
+  EXPECT_EQ(a.buffer.hits, b.buffer.hits);
+  EXPECT_EQ(a.pages_demoted, b.pages_demoted);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+}
+
+TEST_F(BufferSimTest, SmallerPoolLowersHitRatio) {
+  BufferSimOptions big;
+  big.hints_enabled = false;
+  big.pool_bytes = 15ull << 20;
+  BufferSimOptions small;
+  small.hints_enabled = false;
+  small.pool_bytes = 2ull << 20;
+  const BufferSimResult rb = RunBufferSimulation(db_, mix_, trace_, big);
+  const BufferSimResult rs = RunBufferSimulation(db_, mix_, trace_, small);
+  EXPECT_GT(rb.buffer.hit_ratio(), rs.buffer.hit_ratio());
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,71 @@
+#include "buffer/query_ref_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+TEST(QueryRefTrackerTest, FirstExecutionCountsOnce) {
+  QueryRefTracker tracker(100);
+  tracker.RecordFirstExecution("q1", {{0, 10}});
+  tracker.RecordFirstExecution("q1", {{0, 10}});  // duplicate ignored
+  EXPECT_EQ(tracker.reference_count(5), 1u);
+  EXPECT_TRUE(tracker.Seen("q1"));
+  EXPECT_FALSE(tracker.Seen("q2"));
+}
+
+TEST(QueryRefTrackerTest, OverlappingQueriesAccumulate) {
+  QueryRefTracker tracker(100);
+  tracker.RecordFirstExecution("q1", {{0, 10}});
+  tracker.RecordFirstExecution("q2", {{5, 15}});
+  EXPECT_EQ(tracker.reference_count(3), 1u);
+  EXPECT_EQ(tracker.reference_count(7), 2u);
+  EXPECT_EQ(tracker.reference_count(12), 1u);
+  EXPECT_EQ(tracker.reference_count(20), 0u);
+}
+
+TEST(QueryRefTrackerTest, RedundancyFractionTracksCaching) {
+  QueryRefTracker tracker(100);
+  tracker.RecordFirstExecution("q1", {{0, 10}});
+  tracker.RecordFirstExecution("q2", {{0, 10}});
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(5), 0.0);
+  tracker.OnResultCached({{0, 10}});  // q1 cached
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(5), 0.5);
+  tracker.OnResultCached({{0, 10}});  // q2 cached
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(5), 1.0);
+  tracker.OnResultEvicted({{0, 10}});
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(5), 0.5);
+}
+
+TEST(QueryRefTrackerTest, IsRedundantThresholds) {
+  QueryRefTracker tracker(100);
+  tracker.RecordFirstExecution("a", {{0, 4}});
+  tracker.RecordFirstExecution("b", {{0, 4}});
+  tracker.RecordFirstExecution("c", {{0, 4}});
+  tracker.OnResultCached({{0, 4}});
+  tracker.OnResultCached({{0, 4}});
+  // 2 of 3 cached -> fraction 0.667.
+  EXPECT_TRUE(tracker.IsRedundant(1, 0.6));
+  EXPECT_TRUE(tracker.IsRedundant(1, 2.0 / 3.0));
+  EXPECT_FALSE(tracker.IsRedundant(1, 0.7));
+  EXPECT_TRUE(tracker.IsRedundant(1, 0.0));
+}
+
+TEST(QueryRefTrackerTest, UnreferencedPageNeverRedundant) {
+  QueryRefTracker tracker(100);
+  // Even at p0 = 0 a page with an empty reference set is not demoted.
+  EXPECT_FALSE(tracker.IsRedundant(42, 0.0));
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(42), 0.0);
+}
+
+TEST(QueryRefTrackerTest, MultiRangeQueries) {
+  QueryRefTracker tracker(100);
+  tracker.RecordFirstExecution("join", {{0, 5}, {50, 55}});
+  tracker.OnResultCached({{0, 5}, {50, 55}});
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(2), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(52), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.RedundancyFraction(10), 0.0);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,264 @@
+// Tests of LNC-R / LNC-A / LNC-RA (paper Figure 1 semantics).
+
+#include "cache/lnc_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  QueryDescriptor d;
+  d.query_id = id;
+  d.signature = ComputeSignature(id);
+  d.result_bytes = bytes;
+  d.cost = cost;
+  return d;
+}
+
+LncOptions Opts(uint64_t capacity, size_t k = 4, bool admission = true,
+                bool retain = true) {
+  LncOptions o;
+  o.capacity_bytes = capacity;
+  o.k = k;
+  o.admission = admission;
+  o.retain_reference_info = retain;
+  return o;
+}
+
+TEST(LncCacheTest, NamesReflectConfiguration) {
+  EXPECT_EQ(LncCache(Opts(100, 4, true)).name(), "lnc-ra(k=4)");
+  EXPECT_EQ(LncCache(Opts(100, 2, false)).name(), "lnc-r(k=2)");
+}
+
+TEST(LncCacheTest, CachesFreelyWhileSpaceAvailable) {
+  // Figure 1: a set that fits into free space is cached without an
+  // admission test -- even a terrible one.
+  LncCache cache(Opts(1000));
+  EXPECT_FALSE(cache.Reference(Desc("cheap_big", 900, 1), 1));
+  EXPECT_TRUE(cache.Contains("cheap_big"));
+}
+
+TEST(LncCacheTest, EvictsLowestProfitFirst) {
+  LncCache cache(Opts(300, /*k=*/1, /*admission=*/false));
+  // Same sizes and reference patterns; profit ordering reduces to cost.
+  cache.Reference(Desc("low", 100, 10), 1 * kSecond);
+  cache.Reference(Desc("high", 100, 10000), 2 * kSecond);
+  cache.Reference(Desc("mid", 100, 1000), 3 * kSecond);
+  cache.Reference(Desc("new", 100, 500), 10 * kSecond);
+  EXPECT_FALSE(cache.Contains("low"));
+  EXPECT_TRUE(cache.Contains("high"));
+  EXPECT_TRUE(cache.Contains("mid"));
+  EXPECT_TRUE(cache.Contains("new"));
+}
+
+TEST(LncCacheTest, ProfitConsidersSize) {
+  // Equal cost and rate: the larger set has lower profit = lambda*c/s
+  // and is evicted first.
+  LncCache cache(Opts(400, 1, false));
+  cache.Reference(Desc("big", 300, 1000), 1 * kSecond);
+  cache.Reference(Desc("small", 100, 1000), 2 * kSecond);
+  cache.Reference(Desc("new", 250, 1000), 10 * kSecond);
+  EXPECT_FALSE(cache.Contains("big"));
+  EXPECT_TRUE(cache.Contains("small"));
+}
+
+TEST(LncCacheTest, ProfitConsidersReferenceRate) {
+  LncCache cache(Opts(200, 4, false));
+  // "hot" referenced 4 times, "cold" once; equal cost/size.
+  cache.Reference(Desc("hot", 100, 100), 1 * kSecond);
+  cache.Reference(Desc("cold", 100, 100), 2 * kSecond);
+  cache.Reference(Desc("hot", 100, 100), 3 * kSecond);
+  cache.Reference(Desc("hot", 100, 100), 5 * kSecond);
+  cache.Reference(Desc("hot", 100, 100), 7 * kSecond);
+  cache.Reference(Desc("new", 100, 100), 8 * kSecond);
+  EXPECT_TRUE(cache.Contains("hot"));
+  EXPECT_FALSE(cache.Contains("cold"));
+}
+
+TEST(LncCacheTest, FewerReferencesEvictedFirstDespiteProfit) {
+  // Paper: R_1 < R_2 < ... < R_K -- a set with a single recorded
+  // reference is evicted before sets with more references even when its
+  // profit is higher.
+  LncCache cache(Opts(200, 4, false, /*retain=*/false));
+  cache.Reference(Desc("seen_twice", 100, 10), 1 * kSecond);
+  cache.Reference(Desc("seen_twice", 100, 10), 2 * kSecond);
+  // Enormous profit but only one reference.
+  cache.Reference(Desc("one_shot", 100, 1000000), 3 * kSecond);
+  cache.Reference(Desc("new", 100, 10), 4 * kSecond);
+  EXPECT_TRUE(cache.Contains("seen_twice"));
+  EXPECT_FALSE(cache.Contains("one_shot"));
+}
+
+TEST(LncCacheTest, AdmissionRejectsLowEstimatedProfit) {
+  LncCache cache(Opts(300, 4, /*admission=*/true));
+  // Fill with high cost-per-byte sets.
+  cache.Reference(Desc("a", 100, 10000), 1 * kSecond);
+  cache.Reference(Desc("b", 100, 10000), 2 * kSecond);
+  cache.Reference(Desc("c", 100, 10000), 3 * kSecond);
+  // First-seen set with terrible e-profit: rejected.
+  cache.Reference(Desc("junk", 150, 10), 4 * kSecond);
+  EXPECT_FALSE(cache.Contains("junk"));
+  EXPECT_EQ(cache.stats().admission_rejections, 1u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(LncCacheTest, AdmissionAcceptsHighEstimatedProfit) {
+  LncCache cache(Opts(300, 4, true));
+  cache.Reference(Desc("a", 100, 10), 1 * kSecond);
+  cache.Reference(Desc("b", 100, 10), 2 * kSecond);
+  cache.Reference(Desc("c", 100, 10), 3 * kSecond);
+  // e-profit far above the candidates': admitted.
+  cache.Reference(Desc("gem", 150, 100000), 4 * kSecond);
+  EXPECT_TRUE(cache.Contains("gem"));
+}
+
+TEST(LncCacheTest, LncRWithoutAdmissionAlwaysCaches) {
+  LncCache cache(Opts(300, 4, /*admission=*/false));
+  cache.Reference(Desc("a", 100, 10000), 1 * kSecond);
+  cache.Reference(Desc("b", 100, 10000), 2 * kSecond);
+  cache.Reference(Desc("c", 100, 10000), 3 * kSecond);
+  cache.Reference(Desc("junk", 150, 10), 4 * kSecond);
+  EXPECT_TRUE(cache.Contains("junk"));
+  EXPECT_EQ(cache.stats().admission_rejections, 0u);
+}
+
+TEST(LncCacheTest, RejectedSetAdmittedOnceReferencesAccumulate) {
+  // Section 2.4 (last paragraph): an initially rejected set retains its
+  // reference information and can be admitted later, once its measured
+  // rate proves it profitable.
+  LncCache cache(Opts(300, 4, true, true));
+  // Residents: high e-profit but *stale* -- their measured rate decays.
+  cache.Reference(Desc("a", 100, 5000), 1 * kSecond);
+  cache.Reference(Desc("b", 100, 5000), 2 * kSecond);
+  cache.Reference(Desc("c", 100, 5000), 3 * kSecond);
+  // "riser" has modest e-profit -> rejected at first sight.
+  cache.Reference(Desc("riser", 120, 600), 4 * kSecond);
+  EXPECT_FALSE(cache.Contains("riser"));
+  // It keeps being referenced frequently; residents are never touched
+  // again. Eventually profit(riser) exceeds the candidates' profit.
+  bool admitted = false;
+  Timestamp t = 5 * kSecond;
+  for (int i = 0; i < 50 && !admitted; ++i) {
+    t += kSecond;
+    cache.Reference(Desc("riser", 120, 600), t);
+    admitted = cache.Contains("riser");
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST(LncCacheTest, EvictedSetReentersWithHistory) {
+  LncCache cache(Opts(200, 4, false, /*retain=*/true));
+  cache.Reference(Desc("x", 100, 100), 1 * kSecond);
+  cache.Reference(Desc("x", 100, 100), 2 * kSecond);
+  cache.Reference(Desc("x", 100, 100), 3 * kSecond);
+  cache.Reference(Desc("y", 100, 100), 4 * kSecond);
+  cache.Reference(Desc("z", 100, 100), 5 * kSecond);  // evicts someone
+  EXPECT_GT(cache.retained_count(), 0u);
+  // When x is re-referenced it returns with >= 3 recorded references,
+  // placing it in a later eviction bucket than 1-reference sets.
+  cache.Reference(Desc("x", 100, 100), 6 * kSecond);
+  cache.Reference(Desc("w", 100, 100), 7 * kSecond);
+  EXPECT_TRUE(cache.Contains("x"));
+}
+
+TEST(LncCacheTest, TooLargeAndZeroSizeRejected) {
+  LncCache cache(Opts(100));
+  EXPECT_FALSE(cache.Reference(Desc("huge", 500, 10), 1));
+  EXPECT_FALSE(cache.Reference(Desc("empty", 0, 10), 2));
+  EXPECT_EQ(cache.stats().too_large_rejections, 2u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(LncCacheTest, NeverExceedsCapacityUnderChurn) {
+  LncCache cache(Opts(1000, 4, true, true));
+  Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += kSecond;
+    cache.Reference(
+        Desc("q" + std::to_string(i % 37), 50 + (i % 13) * 30,
+             10 + (i % 7) * 300),
+        t);
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+    ASSERT_TRUE(cache.CheckInvariants().ok());
+  }
+}
+
+TEST(LncCacheTest, MinCachedProfitInfinityWhenEmpty) {
+  LncCache cache(Opts(100));
+  EXPECT_TRUE(std::isinf(cache.MinCachedProfit(10)));
+}
+
+TEST(LncCacheTest, EntryProfitMatchesFormula) {
+  LncCache cache(Opts(1000, 4, false));
+  cache.Reference(Desc("q", 200, 1000), 1 * kSecond);
+  cache.Reference(Desc("q", 200, 1000), 3 * kSecond);
+  // lambda at t=5s: 2 refs / (5s - 1s) = 0.5 per second; profit =
+  // lambda * c / s with lambda in per-microsecond units.
+  const double lambda = 2.0 / double(4 * kSecond);
+  const double expected = lambda * 1000.0 / 200.0;
+  EXPECT_NEAR(cache.MinCachedProfit(5 * kSecond), expected, 1e-12);
+}
+
+TEST(LncCacheTest, RetainedInfoSweptWhenProfitBelowCached) {
+  LncOptions o = Opts(200, 4, false, true);
+  o.sweep_interval = 1;  // sweep on every reference
+  LncCache cache(o);
+  // Two very hot, expensive residents.
+  for (int i = 0; i < 4; ++i) {
+    cache.Reference(Desc("hot1", 100, 100000), (2 * i + 1) * kSecond);
+    cache.Reference(Desc("hot2", 100, 100000), (2 * i + 2) * kSecond);
+  }
+  // A worthless set cycles through: retained info is created on
+  // eviction but must be dropped by the profit rule soon after.
+  cache.Reference(Desc("junk", 100, 1), 20 * kSecond);
+  // Referencing hot sets triggers sweeps; junk's profit (tiny cost,
+  // aging rate) is far below the hot residents' minimum.
+  cache.Reference(Desc("hot1", 100, 100000), 21 * kSecond);
+  cache.Reference(Desc("hot2", 100, 100000), 22 * kSecond);
+  EXPECT_EQ(cache.retained_count(), 0u);
+}
+
+TEST(LncCacheTest, AgingModeStillCorrectlyBounded) {
+  LncOptions o = Opts(500, 4, true, true);
+  o.aging_period = 30 * kSecond;
+  LncCache cache(o);
+  Timestamp t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += kSecond;
+    cache.Reference(Desc("q" + std::to_string(i % 23), 60, 100 + i % 900),
+                    t);
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+class LncCacheKParamTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(LncCacheKParamTest, ChurnInvariantsAcrossK) {
+  LncCache cache(Opts(2000, GetParam(), true, true));
+  Timestamp t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += 500 * kMillisecond;
+    cache.Reference(
+        Desc("k" + std::to_string((i * 7) % 71), 40 + (i % 29) * 11,
+             5 + (i % 11) * 120),
+        t);
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.lookups, 1000u);
+  EXPECT_GT(s.hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, LncCacheKParamTest,
+                         testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace watchman

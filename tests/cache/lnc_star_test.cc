@@ -1,0 +1,132 @@
+// Tests of the static LNC* selection and the Theorem 1 property: when
+// retrieved sets are small relative to the cache, the greedy density
+// ordering is (near-)optimal.
+
+#include "cache/lnc_star.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+TEST(LncStarTest, EmptyInput) {
+  StaticSelection sel = LncStarSelect({}, 100);
+  EXPECT_TRUE(sel.chosen.empty());
+  EXPECT_DOUBLE_EQ(sel.expected_saving, 0.0);
+}
+
+TEST(LncStarTest, PicksByDensity) {
+  // Densities p*c/s: a: 0.02, b: 0.06, c: 0.01.
+  std::vector<StaticSet> sets{
+      {0.2, 10.0, 100},
+      {0.3, 20.0, 100},
+      {0.1, 10.0, 100},
+  };
+  StaticSelection sel = LncStarSelect(sets, 200);
+  ASSERT_EQ(sel.chosen.size(), 2u);
+  EXPECT_EQ(sel.chosen[0], 0u);
+  EXPECT_EQ(sel.chosen[1], 1u);
+  EXPECT_DOUBLE_EQ(sel.expected_saving, 0.2 * 10.0 + 0.3 * 20.0);
+  EXPECT_EQ(sel.used_bytes, 200u);
+}
+
+TEST(LncStarTest, StopsAtFirstViolation) {
+  // The paper's construction assigns items from the density-sorted list
+  // until the capacity would be violated -- it does not skip past the
+  // violating item even when a later, smaller item would still fit.
+  std::vector<StaticSet> sets{
+      {0.9, 100.0, 80},   // density 1.125: taken (80/100 used)
+      {0.4, 100.0, 40},   // density 1.0: would overflow -> stop
+      {0.05, 100.0, 10},  // density 0.5: would fit, but never reached
+  };
+  StaticSelection sel = LncStarSelect(sets, 100);
+  ASSERT_EQ(sel.chosen.size(), 1u);
+  EXPECT_EQ(sel.chosen[0], 0u);
+}
+
+TEST(OptimalSelectTest, SolvesSmallKnapsackExactly) {
+  std::vector<StaticSet> sets{
+      {1.0, 60.0, 10},
+      {1.0, 100.0, 20},
+      {1.0, 120.0, 30},
+  };
+  // Classic knapsack: capacity 50 -> items 2 and 3 (220).
+  StaticSelection sel = OptimalSelect(sets, 50);
+  EXPECT_DOUBLE_EQ(sel.expected_saving, 220.0);
+  ASSERT_EQ(sel.chosen.size(), 2u);
+  EXPECT_EQ(sel.chosen[0], 1u);
+  EXPECT_EQ(sel.chosen[1], 2u);
+}
+
+TEST(ExpectedMissCostTest, ComplementOfSavings) {
+  std::vector<StaticSet> sets{
+      {0.5, 10.0, 10},
+      {0.5, 30.0, 10},
+  };
+  StaticSelection sel = LncStarSelect(sets, 10);  // takes index 1
+  EXPECT_DOUBLE_EQ(ExpectedMissCost(sets, sel), 0.5 * 10.0);
+}
+
+TEST(LncStarTest, GreedyEqualsOptimalWhenSizesUniform) {
+  // With equal sizes, density order is exactly optimal.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<StaticSet> sets;
+    for (int i = 0; i < 12; ++i) {
+      sets.push_back({rng.NextDouble(), 1.0 + rng.NextDouble() * 99.0, 10});
+    }
+    const uint64_t capacity = 10 * (1 + rng.NextBounded(11));
+    StaticSelection greedy = LncStarSelect(sets, capacity);
+    StaticSelection optimal = OptimalSelect(sets, capacity);
+    EXPECT_NEAR(greedy.expected_saving, optimal.expected_saving, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+// Theorem 1 (property sweep): when item sizes are small relative to the
+// cache, the greedy solution's expected saving is within a vanishing
+// factor of the exact optimum -- the paper's near-full-cache argument.
+class LncStarApproxTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(LncStarApproxTest, GreedyNearOptimalForSmallItems) {
+  const uint64_t max_size = GetParam();
+  Rng rng(1000 + max_size);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<StaticSet> sets;
+    for (int i = 0; i < 16; ++i) {
+      sets.push_back({rng.NextDouble(),
+                      1.0 + rng.NextDouble() * 999.0,
+                      1 + rng.NextBounded(max_size)});
+    }
+    // Selective capacity: the 16 items total ~8*max_size on average.
+    const uint64_t capacity = 6 * max_size;
+    StaticSelection greedy = LncStarSelect(sets, capacity);
+    StaticSelection optimal = OptimalSelect(sets, capacity);
+    ASSERT_GT(optimal.expected_saving, 0.0);
+    // Greedy loses at most one item's worth of density near the
+    // boundary; with small items that is a small relative loss.
+    EXPECT_GE(greedy.expected_saving, 0.8 * optimal.expected_saving)
+        << "trial " << trial << " max_size " << max_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, LncStarApproxTest,
+                         testing::Values(4, 8, 16, 32));
+
+TEST(LncStarTest, GreedyFillsNearlyAllSpaceWithSmallItems) {
+  Rng rng(77);
+  std::vector<StaticSet> sets;
+  for (int i = 0; i < 200; ++i) {
+    sets.push_back({rng.NextDouble(), 1.0 + rng.NextDouble() * 99.0,
+                    1 + rng.NextBounded(16)});
+  }
+  const uint64_t capacity = 400;
+  StaticSelection sel = LncStarSelect(sets, capacity);
+  // The assumption behind eq. (11): nearly all cache space is usable.
+  EXPECT_GE(sel.used_bytes, capacity - 16);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,217 @@
+// Behavioural tests of the baseline replacement policies: LRU, LRU-K,
+// LFU, LCS and GreedyDual-Size.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/gds_cache.h"
+#include "cache/lcs_cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/lru_k_cache.h"
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  QueryDescriptor d;
+  d.query_id = id;
+  d.signature = ComputeSignature(id);
+  d.result_bytes = bytes;
+  d.cost = cost;
+  return d;
+}
+
+// ---------------------------------------------------------------- LRU
+
+TEST(LruTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.Reference(Desc("a", 100, 1), 1);
+  cache.Reference(Desc("b", 100, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);
+  cache.Reference(Desc("a", 100, 1), 4);  // touch a -> b is LRU
+  cache.Reference(Desc("d", 100, 1), 5);  // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+}
+
+TEST(LruTest, EvictsMultipleForLargeInsert) {
+  LruCache cache(300);
+  cache.Reference(Desc("a", 100, 1), 1);
+  cache.Reference(Desc("b", 100, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);
+  cache.Reference(Desc("big", 200, 1), 4);  // evicts a and b, keeps c
+  EXPECT_TRUE(cache.Contains("big"));
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_LE(cache.used_bytes(), 300u);
+}
+
+TEST(LruTest, NameIsLru) {
+  LruCache cache(100);
+  EXPECT_EQ(cache.name(), "lru");
+}
+
+// -------------------------------------------------------------- LRU-K
+
+LruKCache MakeLruK(uint64_t capacity, size_t k) {
+  LruKCache::LruKOptions opts;
+  opts.capacity_bytes = capacity;
+  opts.k = k;
+  return LruKCache(opts);
+}
+
+TEST(LruKTest, PrefersEvictingSetsWithoutKReferences) {
+  LruKCache cache = MakeLruK(300, 2);
+  // "hot" has two references, "cold1"/"cold2" only one each.
+  cache.Reference(Desc("hot", 100, 1), 1);
+  cache.Reference(Desc("hot", 100, 1), 2);
+  cache.Reference(Desc("cold1", 100, 1), 3);
+  cache.Reference(Desc("cold2", 100, 1), 4);
+  // Inserting another set must evict a cold one, not hot -- even though
+  // hot's last reference is the oldest.
+  cache.Reference(Desc("new", 100, 1), 5);
+  EXPECT_TRUE(cache.Contains("hot"));
+  EXPECT_FALSE(cache.Contains("cold1"));  // LRU among the <K bucket
+}
+
+TEST(LruKTest, EvictsByOldestKthReference) {
+  LruKCache cache = MakeLruK(200, 2);
+  cache.Reference(Desc("x", 100, 1), 1);
+  cache.Reference(Desc("x", 100, 1), 10);   // x: 2nd ref at 10, K-dist base 1
+  cache.Reference(Desc("y", 100, 1), 2);
+  cache.Reference(Desc("y", 100, 1), 20);   // y: K-th recent = 2
+  // Both have K refs; x's K-th most recent (1) < y's (2) -> evict x.
+  cache.Reference(Desc("z", 100, 1), 30);
+  EXPECT_FALSE(cache.Contains("x"));
+  EXPECT_TRUE(cache.Contains("y"));
+}
+
+TEST(LruKTest, RetainedHistorySurvivesEviction) {
+  LruKCache cache = MakeLruK(200, 2);
+  cache.Reference(Desc("a", 100, 1), 1 * kSecond);
+  cache.Reference(Desc("a", 100, 1), 2 * kSecond);
+  cache.Reference(Desc("b", 100, 1), 3 * kSecond);
+  cache.Reference(Desc("c", 100, 1), 4 * kSecond);  // evicts someone
+  EXPECT_GT(cache.retained_count(), 0u);
+  // Re-referencing a restores its history: with 2 prior references it
+  // should instantly outrank the 1-reference entries.
+  cache.Reference(Desc("a", 100, 1), 5 * kSecond);
+  cache.Reference(Desc("d", 100, 1), 6 * kSecond);
+  EXPECT_TRUE(cache.Contains("a"));
+}
+
+TEST(LruKTest, RetainedHistoryExpiresAfterTimeout) {
+  LruKCache::LruKOptions opts;
+  opts.capacity_bytes = 200;
+  opts.k = 2;
+  opts.retained_timeout = 5 * kMinute;
+  opts.sweep_interval = 1;
+  LruKCache cache(opts);
+  cache.Reference(Desc("a", 100, 1), 1 * kMinute);
+  cache.Reference(Desc("b", 100, 1), 2 * kMinute);
+  cache.Reference(Desc("c", 100, 1), 3 * kMinute);  // evicts a, retains
+  EXPECT_GT(cache.retained_count(), 0u);
+  // 10+ minutes later every old record has expired; at most the record
+  // retained by the very last eviction (which happens after the sweep)
+  // can remain.
+  cache.Reference(Desc("d", 100, 1), 13 * kMinute);
+  cache.Reference(Desc("e", 100, 1), 14 * kMinute);
+  EXPECT_LE(cache.retained_count(), 1u);
+}
+
+TEST(LruKTest, NameIncludesK) {
+  LruKCache cache = MakeLruK(100, 3);
+  EXPECT_EQ(cache.name(), "lru-3");
+}
+
+// ---------------------------------------------------------------- LFU
+
+TEST(LfuTest, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(300);
+  cache.Reference(Desc("popular", 100, 1), 1);
+  cache.Reference(Desc("popular", 100, 1), 2);
+  cache.Reference(Desc("popular", 100, 1), 3);
+  cache.Reference(Desc("rare", 100, 1), 4);
+  cache.Reference(Desc("other", 100, 1), 5);
+  cache.Reference(Desc("new", 100, 1), 6);  // evicts rare (ties: LRU)
+  EXPECT_TRUE(cache.Contains("popular"));
+  EXPECT_FALSE(cache.Contains("rare"));
+}
+
+TEST(LfuTest, TiesBrokenByRecency) {
+  LfuCache cache(200);
+  cache.Reference(Desc("a", 100, 1), 1);
+  cache.Reference(Desc("b", 100, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);  // a and b tie at 1 ref; a older
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+// ---------------------------------------------------------------- LCS
+
+TEST(LcsTest, EvictsLargestFirst) {
+  LcsCache cache(1000);
+  cache.Reference(Desc("small", 100, 1), 1);
+  cache.Reference(Desc("large", 600, 1), 2);
+  cache.Reference(Desc("mid", 250, 1), 3);
+  cache.Reference(Desc("new", 300, 1), 4);  // must evict "large" only
+  EXPECT_FALSE(cache.Contains("large"));
+  EXPECT_TRUE(cache.Contains("small"));
+  EXPECT_TRUE(cache.Contains("mid"));
+  EXPECT_TRUE(cache.Contains("new"));
+}
+
+TEST(LcsTest, RecencyBreaksSizeTies) {
+  LcsCache cache(300);
+  cache.Reference(Desc("a", 150, 1), 1);
+  cache.Reference(Desc("b", 150, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);  // evicts a (same size, older)
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+// ---------------------------------------------------------------- GDS
+
+TEST(GdsTest, PrefersKeepingHighValueSmallSets) {
+  GdsCache cache(300);
+  // H = L + cost/size: "gem" has much higher H than "dud".
+  cache.Reference(Desc("gem", 100, 10000), 1);
+  cache.Reference(Desc("dud", 100, 10), 2);
+  cache.Reference(Desc("mid", 100, 1000), 3);
+  cache.Reference(Desc("new", 100, 500), 4);  // evicts dud (min H)
+  EXPECT_TRUE(cache.Contains("gem"));
+  EXPECT_FALSE(cache.Contains("dud"));
+}
+
+TEST(GdsTest, InflationRises) {
+  GdsCache cache(200);
+  cache.Reference(Desc("a", 100, 100), 1);
+  cache.Reference(Desc("b", 100, 200), 2);
+  EXPECT_DOUBLE_EQ(cache.inflation(), 0.0);
+  cache.Reference(Desc("c", 100, 300), 3);  // eviction inflates L
+  EXPECT_GT(cache.inflation(), 0.0);
+  const double l1 = cache.inflation();
+  cache.Reference(Desc("d", 100, 400), 4);
+  EXPECT_GE(cache.inflation(), l1);  // monotone non-decreasing
+}
+
+TEST(GdsTest, AgingEventuallyEvictsFormerlyValuableSets) {
+  GdsCache cache(200);
+  cache.Reference(Desc("old_gem", 100, 5000), 1);
+  // A stream of moderately valuable sets keeps inflating L; without
+  // further references old_gem's H stays fixed and is eventually lowest.
+  Timestamp t = 1;
+  for (int i = 0; i < 100 && cache.Contains("old_gem"); ++i) {
+    cache.Reference(Desc("s" + std::to_string(i), 100, 2000), ++t);
+    cache.Reference(Desc("s" + std::to_string(i), 100, 2000), ++t);
+  }
+  EXPECT_FALSE(cache.Contains("old_gem"));
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,150 @@
+// Tests of the shared QueryCache machinery (index, accounting, stats,
+// signatures, eviction listener), exercised through LruCache.
+
+#include "cache/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  QueryDescriptor d;
+  d.query_id = id;
+  d.signature = ComputeSignature(id);
+  d.result_bytes = bytes;
+  d.cost = cost;
+  return d;
+}
+
+TEST(QueryCacheTest, MissThenHit) {
+  LruCache cache(1000);
+  EXPECT_FALSE(cache.Reference(Desc("a", 100, 10), 1));
+  EXPECT_TRUE(cache.Reference(Desc("a", 100, 10), 2));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+}
+
+TEST(QueryCacheTest, ByteAccounting) {
+  LruCache cache(1000);
+  cache.Reference(Desc("a", 300, 1), 1);
+  cache.Reference(Desc("b", 200, 1), 2);
+  EXPECT_EQ(cache.used_bytes(), 500u);
+  EXPECT_EQ(cache.available_bytes(), 500u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+TEST(QueryCacheTest, CostAccountingUsesStoredCostOnHits) {
+  LruCache cache(1000);
+  cache.Reference(Desc("a", 100, 50), 1);
+  // Hit with a descriptor that does not carry the cost (e.g. the
+  // library facade's hit path): the stored cost is credited.
+  QueryDescriptor d = Desc("a", 100, 0);
+  EXPECT_TRUE(cache.Reference(d, 2));
+  EXPECT_EQ(cache.stats().cost_total, 100u);  // 50 miss + 50 hit
+  EXPECT_EQ(cache.stats().cost_saved, 50u);
+  EXPECT_DOUBLE_EQ(cache.stats().cost_savings_ratio(), 0.5);
+}
+
+TEST(QueryCacheTest, TooLargeSetRejected) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Reference(Desc("big", 500, 10), 1));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().too_large_rejections, 1u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+TEST(QueryCacheTest, NeverExceedsCapacity) {
+  LruCache cache(1000);
+  Timestamp t = 0;
+  for (int i = 0; i < 200; ++i) {
+    cache.Reference(Desc("q" + std::to_string(i), 90 + (i % 40), 5), ++t);
+    EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+TEST(QueryCacheTest, SignatureCollisionsResolvedByExactMatch) {
+  // Force two distinct query IDs into the same signature bucket by
+  // constructing descriptors with identical signatures.
+  LruCache cache(1000);
+  QueryDescriptor a = Desc("query one", 100, 1);
+  QueryDescriptor b = Desc("query two", 100, 1);
+  b.signature = a.signature;  // simulate a collision
+  EXPECT_FALSE(cache.Reference(a, 1));
+  EXPECT_FALSE(cache.Reference(b, 2));  // not a false hit
+  EXPECT_TRUE(cache.Reference(a, 3));
+  EXPECT_TRUE(cache.Reference(b, 4));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+TEST(QueryCacheTest, EvictionListenerFires) {
+  LruCache cache(250);
+  std::vector<std::string> evicted;
+  cache.SetEvictionListener([&evicted](const QueryDescriptor& d) {
+    evicted.push_back(d.query_id);
+  });
+  cache.Reference(Desc("a", 100, 1), 1);
+  cache.Reference(Desc("b", 100, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);  // evicts "a" (LRU)
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+}
+
+TEST(QueryCacheTest, StatsBytesFlows) {
+  LruCache cache(250);
+  cache.Reference(Desc("a", 100, 1), 1);
+  cache.Reference(Desc("b", 100, 1), 2);
+  cache.Reference(Desc("c", 100, 1), 3);
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.bytes_inserted, 300u);
+  EXPECT_EQ(s.bytes_evicted, 100u);
+  EXPECT_EQ(cache.used_bytes(), 200u);
+}
+
+TEST(QueryCacheTest, HitRatioAndCsrEmptyCache) {
+  LruCache cache(100);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(cache.stats().cost_savings_ratio(), 0.0);
+}
+
+TEST(QueryCacheTest, EraseRemovesEntryAndFiresListener) {
+  LruCache cache(1000);
+  std::vector<std::string> evicted;
+  cache.SetEvictionListener([&evicted](const QueryDescriptor& d) {
+    evicted.push_back(d.query_id);
+  });
+  cache.Reference(Desc("a", 100, 10), 1);
+  cache.Reference(Desc("b", 100, 10), 2);
+  EXPECT_TRUE(cache.Erase("a"));
+  EXPECT_FALSE(cache.Erase("a"));      // already gone
+  EXPECT_FALSE(cache.Erase("nope"));   // never cached
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+TEST(QueryCacheTest, ErasedEntryCanBeReinserted) {
+  LruCache cache(1000);
+  cache.Reference(Desc("a", 100, 10), 1);
+  cache.Erase("a");
+  EXPECT_FALSE(cache.Reference(Desc("a", 100, 10), 2));  // miss again
+  EXPECT_TRUE(cache.Contains("a"));
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,150 @@
+#include "cache/ref_history.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+TEST(ReferenceHistoryTest, StartsEmpty) {
+  ReferenceHistory h(4);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.k(), 4u);
+  EXPECT_FALSE(h.EstimateRate(100).has_value());
+}
+
+TEST(ReferenceHistoryTest, RecordsUpToK) {
+  ReferenceHistory h(3);
+  h.Record(10);
+  h.Record(20);
+  EXPECT_EQ(h.size(), 2u);
+  h.Record(30);
+  h.Record(40);
+  EXPECT_EQ(h.size(), 3u);  // capped at K
+  EXPECT_EQ(h.last(), 40u);
+  EXPECT_EQ(h.oldest(), 20u);  // 10 rolled out of the window
+}
+
+TEST(ReferenceHistoryTest, RecentAccessor) {
+  ReferenceHistory h(4);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.recent(0), 3u);
+  EXPECT_EQ(h.recent(1), 2u);
+  EXPECT_EQ(h.recent(2), 1u);
+}
+
+TEST(ReferenceHistoryTest, RateMatchesPaperFormula) {
+  // lambda = K / (t - t_K): 3 references, oldest at 100, now = 400
+  // -> 3 / 300 references per microsecond.
+  ReferenceHistory h(4);
+  h.Record(100);
+  h.Record(200);
+  h.Record(250);
+  auto rate = h.EstimateRate(400);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(*rate, 3.0 / 300.0);
+}
+
+TEST(ReferenceHistoryTest, RateUsesWindowOldestWhenFull) {
+  ReferenceHistory h(2);
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);  // 100 rolls out: window = {200, 300}
+  auto rate = h.EstimateRate(400);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(*rate, 2.0 / 200.0);
+}
+
+TEST(ReferenceHistoryTest, AgingReducesRate) {
+  // Without new references the estimate decays as time passes --
+  // eq. 3 includes the current time precisely for this aging effect.
+  ReferenceHistory h(4);
+  h.Record(100);
+  h.Record(200);
+  const double early = *h.EstimateRate(300);
+  const double late = *h.EstimateRate(3000);
+  EXPECT_GT(early, late);
+}
+
+TEST(ReferenceHistoryTest, SingleReferenceAtNowHasNoRate) {
+  // The "first retrieval" case: the only information is the reference
+  // happening right now -> no rate, the caller must use e-profit.
+  ReferenceHistory h(4);
+  h.Record(500);
+  EXPECT_FALSE(h.EstimateRate(500).has_value());
+  // But a strictly later evaluation time yields a rate.
+  EXPECT_TRUE(h.EstimateRate(501).has_value());
+}
+
+TEST(ReferenceHistoryTest, SimultaneousReferencesGuarded) {
+  ReferenceHistory h(4);
+  h.Record(500);
+  h.Record(500);
+  auto rate = h.EstimateRate(500);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(*rate, 2.0);  // treated as a 1-microsecond window
+}
+
+TEST(ReferenceHistoryTest, ClearResets) {
+  ReferenceHistory h(4);
+  h.Record(1);
+  h.Record(2);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.EstimateRate(10).has_value());
+}
+
+TEST(ReferenceHistoryTest, KOneBehavesLikeLastReference) {
+  ReferenceHistory h(1);
+  h.Record(100);
+  h.Record(900);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.last(), 900u);
+  EXPECT_EQ(h.oldest(), 900u);
+  EXPECT_DOUBLE_EQ(*h.EstimateRate(1000), 1.0 / 100.0);
+}
+
+TEST(ReferenceHistoryTest, CopySemantics) {
+  ReferenceHistory a(3);
+  a.Record(10);
+  a.Record(20);
+  ReferenceHistory b = a;
+  b.Record(30);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(a.last(), 20u);
+  EXPECT_EQ(b.last(), 30u);
+}
+
+class ReferenceHistoryKSweepTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ReferenceHistoryKSweepTest, WindowInvariants) {
+  const size_t k = GetParam();
+  ReferenceHistory h(k);
+  Timestamp t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += 7;
+    h.Record(t);
+    EXPECT_LE(h.size(), k);
+    EXPECT_EQ(h.size(), std::min<size_t>(k, static_cast<size_t>(i + 1)));
+    EXPECT_EQ(h.last(), t);
+    EXPECT_LE(h.oldest(), h.last());
+    // recent() is strictly non-increasing going back in time.
+    for (size_t j = 1; j < h.size(); ++j) {
+      EXPECT_GE(h.recent(j - 1), h.recent(j));
+    }
+    auto rate = h.EstimateRate(t + 1);
+    ASSERT_TRUE(rate.has_value());
+    // size/(t+1-oldest) by definition.
+    EXPECT_DOUBLE_EQ(*rate, static_cast<double>(h.size()) /
+                                static_cast<double>(t + 1 - h.oldest()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, ReferenceHistoryKSweepTest,
+                         testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,107 @@
+#include "cache/retained_info.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+RetainedInfo Info(std::initializer_list<Timestamp> refs, uint64_t bytes,
+                  uint64_t cost, size_t k = 4) {
+  RetainedInfo info;
+  info.history = ReferenceHistory(k);
+  for (Timestamp t : refs) info.history.Record(t);
+  info.result_bytes = bytes;
+  info.cost = cost;
+  return info;
+}
+
+TEST(RetainedInfoStoreTest, PutFindRemove) {
+  ProfitRetainedStore store;
+  EXPECT_EQ(store.Find("a"), nullptr);
+  store.Put("a", Info({10}, 100, 50));
+  ASSERT_NE(store.Find("a"), nullptr);
+  EXPECT_EQ(store.Find("a")->cost, 50u);
+  EXPECT_EQ(store.size(), 1u);
+  store.Remove("a");
+  EXPECT_EQ(store.Find("a"), nullptr);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(RetainedInfoStoreTest, PutReplaces) {
+  ProfitRetainedStore store;
+  store.Put("a", Info({10}, 100, 50));
+  store.Put("a", Info({10, 20}, 100, 70));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Find("a")->cost, 70u);
+  EXPECT_EQ(store.Find("a")->history.size(), 2u);
+}
+
+TEST(RetainedInfoStoreTest, MetadataBytesGrowWithEntries) {
+  ProfitRetainedStore store;
+  const uint64_t empty = store.ApproxMetadataBytes();
+  store.Put("some-query-id", Info({1, 2, 3}, 100, 50));
+  EXPECT_GT(store.ApproxMetadataBytes(), empty);
+}
+
+TEST(RetainedProfitTest, UsesRateWhenAvailable) {
+  // 2 refs, oldest 100; at now=300: lambda = 2/200, c/s = 2
+  // -> profit 0.02.
+  const RetainedInfo info = Info({100, 200}, 50, 100);
+  EXPECT_DOUBLE_EQ(RetainedProfit(info, 300), (2.0 / 200.0) * 2.0);
+}
+
+TEST(RetainedProfitTest, FallsBackToEProfit) {
+  // A single reference at exactly `now` has no rate: e-profit = c/s.
+  const RetainedInfo info = Info({300}, 50, 100);
+  EXPECT_DOUBLE_EQ(RetainedProfit(info, 300), 2.0);
+}
+
+TEST(RetainedProfitTest, AgesOverTime) {
+  const RetainedInfo info = Info({100, 200}, 50, 100);
+  EXPECT_GT(RetainedProfit(info, 300), RetainedProfit(info, 3000));
+}
+
+TEST(ProfitRetainedStoreTest, SweepDropsOnlyBelowThreshold) {
+  ProfitRetainedStore store;
+  store.Put("low", Info({100}, 1000, 10));    // profit ~ 1e-5-ish
+  store.Put("high", Info({100, 900}, 10, 10000));
+  const double threshold =
+      (RetainedProfit(*store.Find("low"), 1000) +
+       RetainedProfit(*store.Find("high"), 1000)) / 2.0;
+  const size_t dropped = store.SweepBelowProfit(threshold, 1000);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(store.Find("low"), nullptr);
+  ASSERT_NE(store.Find("high"), nullptr);
+}
+
+TEST(ProfitRetainedStoreTest, SweepKeepsEqualProfit) {
+  ProfitRetainedStore store;
+  store.Put("x", Info({100}, 100, 100));
+  const double profit = RetainedProfit(*store.Find("x"), 500);
+  // Strictly-below semantics: equal profit survives.
+  EXPECT_EQ(store.SweepBelowProfit(profit, 500), 0u);
+  ASSERT_NE(store.Find("x"), nullptr);
+}
+
+TEST(TimeoutRetainedStoreTest, SweepExpiresOldRecords) {
+  TimeoutRetainedStore store(5 * kMinute);
+  store.Put("old", Info({1 * kMinute}, 10, 10));
+  store.Put("fresh", Info({9 * kMinute}, 10, 10));
+  const size_t dropped = store.SweepExpired(10 * kMinute);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(store.Find("old"), nullptr);
+  EXPECT_NE(store.Find("fresh"), nullptr);
+}
+
+TEST(TimeoutRetainedStoreTest, BoundaryExactTimeoutSurvives) {
+  TimeoutRetainedStore store(5 * kMinute);
+  store.Put("edge", Info({5 * kMinute}, 10, 10));
+  // last + timeout == now -> not strictly older -> kept.
+  EXPECT_EQ(store.SweepExpired(10 * kMinute), 0u);
+  EXPECT_NE(store.Find("edge"), nullptr);
+  // One microsecond later it expires.
+  EXPECT_EQ(store.SweepExpired(10 * kMinute + 1), 1u);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,148 @@
+// Differential tests: the production cache implementations against
+// small, obviously correct reference models on randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lnc_cache.h"
+#include "cache/lru_cache.h"
+#include "cache/query_descriptor.h"
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  QueryDescriptor d;
+  d.query_id = id;
+  d.signature = ComputeSignature(id);
+  d.result_bytes = bytes;
+  d.cost = cost;
+  return d;
+}
+
+/// Textbook LRU over variable-size items: ordered list, most recent at
+/// the front; evict from the back until the new item fits.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(uint64_t capacity) : capacity_(capacity) {}
+
+  bool Reference(const std::string& id, uint64_t bytes) {
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (bytes > capacity_) return false;  // too large: not cached
+    while (used_ + bytes > capacity_) {
+      const auto& [victim_id, victim_bytes] = order_.back();
+      used_ -= victim_bytes;
+      index_.erase(victim_id);
+      order_.pop_back();
+    }
+    order_.emplace_front(id, bytes);
+    index_[id] = order_.begin();
+    used_ += bytes;
+    return false;
+  }
+
+  bool Contains(const std::string& id) const { return index_.contains(id); }
+  uint64_t used() const { return used_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<std::pair<std::string, uint64_t>> order_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, uint64_t>>::iterator>
+      index_;
+};
+
+class LruDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(LruDifferentialTest, MatchesReferenceModelExactly) {
+  const uint64_t capacity = 2000;
+  Rng rng(GetParam());
+  LruCache cache(capacity);
+  ReferenceLru model(capacity);
+
+  Timestamp now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ++now;
+    const std::string id = "q" + std::to_string(rng.NextBounded(300));
+    // Sizes must be a deterministic function of the id (a retrieved
+    // set's size never changes between references).
+    const uint64_t bytes = 50 + (Fnv1a64(id) % 400);
+    const bool hit_model = model.Reference(id, bytes);
+    const bool hit_cache = cache.Reference(Desc(id, bytes, 10), now);
+    ASSERT_EQ(hit_cache, hit_model) << "step " << i << " id " << id;
+    ASSERT_EQ(cache.used_bytes(), model.used()) << "step " << i;
+  }
+  // Final content identical.
+  for (int q = 0; q < 300; ++q) {
+    const std::string id = "q" + std::to_string(q);
+    ASSERT_EQ(cache.Contains(id), model.Contains(id)) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruDifferentialTest,
+                         testing::Values(1, 2, 3, 5, 8, 13));
+
+/// A hand-checkable micro-trace through every policy knob of LNC-RA,
+/// asserting the externally visible decisions step by step.
+TEST(LncScriptedTest, FigureOneWalkthrough) {
+  LncOptions opts;
+  opts.capacity_bytes = 250;
+  opts.k = 2;
+  opts.admission = true;
+  opts.retain_reference_info = true;
+  opts.sweep_interval = 1000000;  // no sweeps during the script
+  LncCache cache(opts);
+
+  auto ref = [&](const char* id, uint64_t bytes, uint64_t cost,
+                 Timestamp sec) {
+    return cache.Reference(Desc(id, bytes, cost), sec * kSecond);
+  };
+
+  // t=1..2: two sets fill the cache via the free-space rule (no
+  // admission test, Figure 1 middle case).
+  EXPECT_FALSE(ref("a", 100, 1000, 1));
+  EXPECT_FALSE(ref("b", 100, 1000, 2));
+  EXPECT_EQ(cache.entry_count(), 2u);
+
+  // t=3: 60% of space left is 50 bytes; "c" (100 B) does not fit; its
+  // e-profit 2000/100=20 beats the candidate list (profit of "a", the
+  // lowest-profit victim) -> admitted, "a" evicted and retained.
+  EXPECT_FALSE(ref("c", 100, 2000, 3));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.retained_count(), 1u);
+
+  // t=4: "junk" with e-profit 1/100 = 0.01 loses against any candidate
+  // -> rejected, reference info retained.
+  EXPECT_FALSE(ref("junk", 100, 1, 4));
+  EXPECT_FALSE(cache.Contains("junk"));
+  EXPECT_EQ(cache.stats().admission_rejections, 1u);
+  EXPECT_EQ(cache.retained_count(), 2u);
+
+  // t=5: "a" returns. Its retained info (1 ref at t=1) plus this
+  // reference gives lambda = 2/(4s); profit = lambda*1000/100 vs the
+  // candidates -- "b" has 1 old ref (t=2), lambda_b = 1/(3s), profit_b
+  // = lambda_b * 10. profit_a (5) > profit_b (3.33) -> admitted.
+  EXPECT_FALSE(ref("a", 100, 1000, 5));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+
+  // t=6: hits update histories only.
+  EXPECT_TRUE(ref("a", 100, 1000, 6));
+  EXPECT_TRUE(ref("c", 100, 2000, 6));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace watchman

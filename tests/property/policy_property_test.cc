@@ -1,0 +1,153 @@
+// Parameterized property sweep: every cache policy must satisfy the
+// structural invariants on every workload, at several cache sizes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "cache/query_descriptor.h"
+#include "sim/policy_config.h"
+#include "storage/schemas.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+
+namespace watchman {
+namespace {
+
+enum class WorkloadKind { kTpcd, kSetQuery };
+
+const Trace& GetTrace(WorkloadKind kind) {
+  static const Trace tpcd = [] {
+    Database db = MakeTpcdDatabase();
+    TraceGenOptions opts;
+    opts.num_queries = 2500;
+    opts.seed = 31;
+    return MakeTpcdWorkload(db).GenerateTrace(opts);
+  }();
+  static const Trace sq = [] {
+    Database db = MakeSetQueryDatabase();
+    TraceGenOptions opts;
+    opts.num_queries = 2500;
+    opts.seed = 32;
+    return MakeSetQueryWorkload(db).GenerateTrace(opts);
+  }();
+  return kind == WorkloadKind::kTpcd ? tpcd : sq;
+}
+
+using Param = std::tuple<PolicyKind, WorkloadKind, double /*cache pct*/>;
+
+class PolicyPropertyTest : public testing::TestWithParam<Param> {};
+
+TEST_P(PolicyPropertyTest, StructuralInvariantsHoldThroughout) {
+  const auto [kind, workload, pct] = GetParam();
+  const Trace& trace = GetTrace(workload);
+  const uint64_t db_bytes =
+      workload == WorkloadKind::kTpcd ? (30ull << 20) : (100ull << 20);
+  const uint64_t capacity =
+      std::max<uint64_t>(1024, static_cast<uint64_t>(db_bytes * pct / 100));
+
+  PolicyConfig config;
+  config.kind = kind;
+  config.k = 4;
+  std::unique_ptr<QueryCache> cache = MakeCache(config, capacity);
+
+  uint64_t manual_hits = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const QueryEvent& e = trace[i];
+    const QueryDescriptor d = QueryDescriptor::FromEvent(e);
+    const bool was_cached = cache->Contains(e.query_id);
+    const bool hit = cache->Reference(d, e.timestamp);
+    // A hit is reported exactly when the set was cached beforehand.
+    ASSERT_EQ(hit, was_cached) << "event " << i;
+    if (hit) ++manual_hits;
+    ASSERT_LE(cache->used_bytes(), cache->capacity_bytes());
+    if (i % 500 == 0) {
+      ASSERT_TRUE(cache->CheckInvariants().ok()) << "event " << i;
+    }
+  }
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+
+  const CacheStats& s = cache->stats();
+  EXPECT_EQ(s.lookups, trace.size());
+  EXPECT_EQ(s.hits, manual_hits);
+  EXPECT_LE(s.cost_saved, s.cost_total);
+  EXPECT_EQ(s.bytes_inserted - s.bytes_evicted, cache->used_bytes());
+  EXPECT_LE(s.hits + s.insertions + s.admission_rejections +
+                s.too_large_rejections,
+            s.lookups);
+}
+
+TEST_P(PolicyPropertyTest, RunsAreDeterministic) {
+  const auto [kind, workload, pct] = GetParam();
+  const Trace& trace = GetTrace(workload);
+  const uint64_t capacity = static_cast<uint64_t>(1e6 * pct);
+
+  PolicyConfig config;
+  config.kind = kind;
+  auto run = [&]() {
+    std::unique_ptr<QueryCache> cache = MakeCache(config, capacity);
+    for (const QueryEvent& e : trace) {
+      cache->Reference(QueryDescriptor::FromEvent(e), e.timestamp);
+    }
+    return cache->stats();
+  };
+  const CacheStats a = run();
+  const CacheStats b = run();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.cost_saved, b.cost_saved);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyPropertyTest,
+    testing::Combine(
+        testing::Values(PolicyKind::kLru, PolicyKind::kLruK,
+                        PolicyKind::kLfu, PolicyKind::kLcs, PolicyKind::kGds,
+                        PolicyKind::kLncR, PolicyKind::kLncRA),
+        testing::Values(WorkloadKind::kTpcd, WorkloadKind::kSetQuery),
+        testing::Values(0.2, 1.0, 5.0)),
+    [](const testing::TestParamInfo<Param>& info) {
+      PolicyConfig config;
+      config.kind = std::get<0>(info.param);
+      std::string name = PolicyName(config);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      name += std::get<1>(info.param) == WorkloadKind::kTpcd ? "_tpcd"
+                                                             : "_sq";
+      name += "_pct" + std::to_string(static_cast<int>(
+                           std::get<2>(info.param) * 10));
+      return name;
+    });
+
+// LNC-specific cross-policy property: admission never makes the cache
+// exceed capacity and rejections only happen under pressure.
+class LncPressureTest : public testing::TestWithParam<double> {};
+
+TEST_P(LncPressureTest, RejectionsOnlyUnderPressure) {
+  const Trace& trace = GetTrace(WorkloadKind::kTpcd);
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  const uint64_t capacity =
+      static_cast<uint64_t>((30ull << 20) * GetParam() / 100);
+  std::unique_ptr<QueryCache> cache = MakeCache(config, capacity);
+  for (const QueryEvent& e : trace) {
+    const uint64_t avail_before = cache->available_bytes();
+    const uint64_t rejections_before =
+        cache->stats().admission_rejections;
+    cache->Reference(QueryDescriptor::FromEvent(e), e.timestamp);
+    if (cache->stats().admission_rejections > rejections_before) {
+      // Figure 1: admission is only consulted when the set does not fit
+      // into the available space.
+      ASSERT_LT(avail_before, e.result_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pressure, LncPressureTest,
+                         testing::Values(0.1, 0.5, 2.0));
+
+}  // namespace
+}  // namespace watchman

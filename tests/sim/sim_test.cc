@@ -1,0 +1,150 @@
+// Tests of the policy factory, simulator and experiment harness.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/policy_config.h"
+#include "sim/simulator.h"
+#include "storage/schemas.h"
+#include "workload/tpcd_workload.h"
+
+namespace watchman {
+namespace {
+
+Trace SmallTpcdTrace() {
+  static const Trace trace = [] {
+    Database db = MakeTpcdDatabase();
+    WorkloadMix mix = MakeTpcdWorkload(db);
+    TraceGenOptions opts;
+    opts.num_queries = 3000;
+    opts.seed = 123;
+    return mix.GenerateTrace(opts);
+  }();
+  return trace;
+}
+
+TEST(PolicyConfigTest, NamesAreStable) {
+  EXPECT_EQ(PolicyName({PolicyKind::kLru}), "lru");
+  EXPECT_EQ(PolicyName({PolicyKind::kLruK, 2}), "lru-2");
+  EXPECT_EQ(PolicyName({PolicyKind::kLfu}), "lfu");
+  EXPECT_EQ(PolicyName({PolicyKind::kLcs}), "lcs");
+  EXPECT_EQ(PolicyName({PolicyKind::kGds}), "gds");
+  EXPECT_EQ(PolicyName({PolicyKind::kLncR, 4}), "lnc-r(k=4)");
+  EXPECT_EQ(PolicyName({PolicyKind::kLncRA, 4}), "lnc-ra(k=4)");
+  EXPECT_EQ(PolicyName({PolicyKind::kInfinite}), "inf");
+}
+
+TEST(PolicyConfigTest, FactoryProducesEveryKind) {
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kLruK, PolicyKind::kLfu,
+        PolicyKind::kLcs, PolicyKind::kGds, PolicyKind::kLncR,
+        PolicyKind::kLncRA, PolicyKind::kInfinite}) {
+    PolicyConfig config;
+    config.kind = kind;
+    auto cache = MakeCache(config, 1 << 20);
+    ASSERT_NE(cache, nullptr);
+    if (kind == PolicyKind::kInfinite) {
+      // The infinite cache is an unbounded LRU under the hood.
+      EXPECT_EQ(cache->name(), "lru");
+      EXPECT_GT(cache->capacity_bytes(), uint64_t{1} << 60);
+    } else {
+      EXPECT_EQ(cache->name(), PolicyName(config));
+    }
+  }
+}
+
+TEST(PolicyConfigTest, ParseRoundTrip) {
+  for (const char* name :
+       {"lru", "lru-k", "lfu", "lcs", "gds", "lnc-r", "lnc-ra", "inf"}) {
+    auto parsed = ParsePolicy(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+  }
+  EXPECT_FALSE(ParsePolicy("bogus").ok());
+}
+
+TEST(SimulatorTest, InfiniteCacheNeverMissesRepeats) {
+  const Trace trace = SmallTpcdTrace();
+  PolicyConfig inf;
+  inf.kind = PolicyKind::kInfinite;
+  const RunResult r = RunSimulation(trace, inf, 1);
+  const TraceSummary s = trace.Summarize();
+  EXPECT_DOUBLE_EQ(r.hit_ratio, s.max_hit_ratio);
+  EXPECT_DOUBLE_EQ(r.cost_savings_ratio, s.max_cost_savings_ratio);
+}
+
+TEST(SimulatorTest, BiggerCacheNeverHurtsLnc) {
+  const Trace trace = SmallTpcdTrace();
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  const RunResult small = RunSimulation(trace, config, 50 << 10);
+  const RunResult large = RunSimulation(trace, config, 2 << 20);
+  EXPECT_GE(large.cost_savings_ratio, small.cost_savings_ratio);
+}
+
+TEST(SimulatorTest, MetricsWithinBounds) {
+  const Trace trace = SmallTpcdTrace();
+  for (PolicyKind kind : {PolicyKind::kLru, PolicyKind::kLncR,
+                          PolicyKind::kLncRA, PolicyKind::kGds}) {
+    PolicyConfig config;
+    config.kind = kind;
+    const RunResult r = RunSimulation(trace, config, 200 << 10);
+    EXPECT_GE(r.cost_savings_ratio, 0.0);
+    EXPECT_LE(r.cost_savings_ratio, 1.0);
+    EXPECT_GE(r.hit_ratio, 0.0);
+    EXPECT_LE(r.hit_ratio, 1.0);
+    EXPECT_GE(r.external_fragmentation, 0.0);
+    EXPECT_LE(r.external_fragmentation, 1.0);
+    EXPECT_NEAR(r.used_space_fraction + r.external_fragmentation, 1.0,
+                1e-12);
+  }
+}
+
+TEST(SimulatorTest, DeterministicResults) {
+  const Trace trace = SmallTpcdTrace();
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  const RunResult a = RunSimulation(trace, config, 100 << 10);
+  const RunResult b = RunSimulation(trace, config, 100 << 10);
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+  EXPECT_EQ(a.stats.evictions, b.stats.evictions);
+  EXPECT_DOUBLE_EQ(a.external_fragmentation, b.external_fragmentation);
+}
+
+TEST(ExperimentTest, SweepProducesAllCells) {
+  const Trace trace = SmallTpcdTrace();
+  CacheSizeSweep sweep(trace, 30 << 20);
+  sweep.AddPolicy({PolicyKind::kLncRA});
+  sweep.AddPolicy({PolicyKind::kLru});
+  sweep.AddCachePercent(0.5);
+  sweep.AddCachePercent(1.0);
+  sweep.AddCachePercent(2.0);
+  sweep.Run();
+  EXPECT_EQ(sweep.cells().size(), 6u);
+  const ResultTable csr = sweep.CsrTable();
+  EXPECT_EQ(csr.num_rows(), 2u);
+  EXPECT_EQ(csr.num_cols(), 4u);  // label + 3 sizes
+}
+
+TEST(ExperimentTest, RatioVersusBaseline) {
+  const Trace trace = SmallTpcdTrace();
+  CacheSizeSweep sweep(trace, 30 << 20);
+  sweep.AddPolicy({PolicyKind::kLncRA});
+  sweep.AddPolicy({PolicyKind::kLru});
+  sweep.AddCachePercent(0.5);
+  sweep.Run();
+  const auto ratios = sweep.CsrRatioVersus("lru");
+  ASSERT_EQ(ratios.size(), 1u);
+  EXPECT_GT(ratios[0], 1.0);  // LNC-RA beats LRU on the TPC-D trace
+}
+
+TEST(ExperimentTest, SweepKReturnsOneResultPerK) {
+  const Trace trace = SmallTpcdTrace();
+  const auto results =
+      SweepK(trace, PolicyKind::kLncRA, {1, 2, 4}, 150 << 10);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].policy_name, "lnc-ra(k=1)");
+  EXPECT_EQ(results[2].policy_name, "lnc-ra(k=4)");
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,137 @@
+#include "storage/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schemas.h"
+
+namespace watchman {
+namespace {
+
+class PlanTest : public testing::Test {
+ protected:
+  PlanTest() : db_(MakeTpcdDatabase()) {}
+
+  const Relation& Rel(const char* name) {
+    auto r = db_.FindRelation(name);
+    EXPECT_TRUE(r.ok());
+    return **r;
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanTest, ScanPropertiesMatchRelation) {
+  const Relation& lineitem = Rel("lineitem");
+  const PlanProperties p = Scan(lineitem)->Properties();
+  EXPECT_DOUBLE_EQ(p.output_rows, static_cast<double>(lineitem.row_count()));
+  EXPECT_DOUBLE_EQ(p.row_bytes, static_cast<double>(lineitem.row_bytes()));
+  EXPECT_EQ(p.block_reads, lineitem.num_pages());
+}
+
+TEST_F(PlanTest, IndexSelectReducesRowsAndCost) {
+  const Relation& orders = Rel("orders");
+  const PlanProperties full = Scan(orders)->Properties();
+  const PlanProperties sel =
+      IndexSelect(orders, 0.01, AccessPath::kClusteredIndex)->Properties();
+  EXPECT_LT(sel.output_rows, full.output_rows);
+  EXPECT_LT(sel.block_reads, full.block_reads);
+  EXPECT_NEAR(sel.output_rows, full.output_rows * 0.01, 1.0);
+}
+
+TEST_F(PlanTest, FilterReducesRowsNotCost) {
+  const Relation& orders = Rel("orders");
+  const PlanProperties base = Scan(orders)->Properties();
+  const PlanProperties filtered =
+      Filter(Scan(orders), 0.25)->Properties();
+  EXPECT_DOUBLE_EQ(filtered.output_rows, base.output_rows * 0.25);
+  EXPECT_EQ(filtered.block_reads, base.block_reads);
+}
+
+TEST_F(PlanTest, HashJoinAddsBuildScan) {
+  const Relation& lineitem = Rel("lineitem");
+  const Relation& orders = Rel("orders");
+  const PlanProperties probe = Scan(lineitem)->Properties();
+  const PlanProperties join =
+      HashJoin(Scan(lineitem), orders, 0.5, 64.0)->Properties();
+  EXPECT_EQ(join.block_reads, probe.block_reads + orders.num_pages());
+  EXPECT_DOUBLE_EQ(join.output_rows, probe.output_rows * 0.5);
+  EXPECT_DOUBLE_EQ(join.row_bytes, 64.0);
+}
+
+TEST_F(PlanTest, IndexJoinCostScalesWithOuterRows) {
+  const Relation& orders = Rel("orders");
+  const Relation& customer = Rel("customer");
+  const PlanRef small_outer =
+      IndexSelect(orders, 0.001, AccessPath::kClusteredIndex);
+  const PlanRef big_outer =
+      IndexSelect(orders, 0.05, AccessPath::kClusteredIndex);
+  const uint64_t small_cost =
+      IndexJoin(small_outer, customer, 1.0, 80.0)->Properties().block_reads;
+  const uint64_t big_cost =
+      IndexJoin(big_outer, customer, 1.0, 80.0)->Properties().block_reads;
+  EXPECT_LT(small_cost, big_cost);
+}
+
+TEST_F(PlanTest, SortAddsExternalSortCost) {
+  const Relation& lineitem = Rel("lineitem");
+  const PlanProperties base = Scan(lineitem)->Properties();
+  const PlanProperties sorted = Sort(Scan(lineitem))->Properties();
+  const uint64_t pages = PagesForBytes(
+      static_cast<uint64_t>(base.output_bytes()));
+  EXPECT_EQ(sorted.block_reads, base.block_reads + 3 * pages);
+  EXPECT_DOUBLE_EQ(sorted.output_rows, base.output_rows);
+}
+
+TEST_F(PlanTest, AggregateShrinksOutput) {
+  const Relation& lineitem = Rel("lineitem");
+  const PlanProperties agg =
+      Aggregate(Scan(lineitem), 4, 120.0)->Properties();
+  EXPECT_DOUBLE_EQ(agg.output_rows, 4.0);
+  EXPECT_DOUBLE_EQ(agg.row_bytes, 120.0);
+  // Small group table -> pipelined, no extra cost.
+  EXPECT_EQ(agg.block_reads, lineitem.num_pages());
+}
+
+TEST_F(PlanTest, LargeAggregationPaysMaterialization) {
+  const Relation& lineitem = Rel("lineitem");
+  const PlanProperties small =
+      Aggregate(Scan(lineitem), 100, 40.0)->Properties();
+  const PlanProperties large =
+      Aggregate(Scan(lineitem), 100000, 40.0)->Properties();
+  EXPECT_GT(large.block_reads, small.block_reads);
+}
+
+TEST_F(PlanTest, Tpcq3StyleCompositePlan) {
+  // Q3-style: customer |x| orders |x| lineitem -> aggregate -> sort.
+  const Relation& customer = Rel("customer");
+  const Relation& orders = Rel("orders");
+  const Relation& lineitem = Rel("lineitem");
+  PlanRef plan = Filter(Scan(customer), 0.2);
+  plan = HashJoin(plan, orders, 10.0, 48.0);   // each customer ~10 orders
+  plan = HashJoin(plan, lineitem, 4.0, 56.0);  // each order ~4 items
+  plan = Aggregate(plan, 10, 80.0);
+  plan = Sort(plan);
+  const PlanProperties p = plan->Properties();
+  // Cost must cover all three relation scans.
+  EXPECT_GE(p.block_reads, customer.num_pages() + orders.num_pages() +
+                               lineitem.num_pages());
+  EXPECT_DOUBLE_EQ(p.output_rows, 10.0);
+  // And the retrieved set is tiny -- the paper's core premise.
+  EXPECT_LT(p.output_bytes(), 1024.0);
+}
+
+TEST_F(PlanTest, RenderShowsTreeStructure) {
+  const Relation& orders = Rel("orders");
+  const Relation& customer = Rel("customer");
+  PlanRef plan = Aggregate(HashJoin(Scan(orders), customer, 1.0, 64.0),
+                           25, 40.0);
+  const std::string text = plan->Render();
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("Scan(orders)"), std::string::npos);
+  // Child is indented under the parent.
+  EXPECT_LT(text.find("Aggregate"), text.find("HashJoin"));
+}
+
+}  // namespace
+}  // namespace watchman

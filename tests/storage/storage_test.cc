@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "storage/cost_model.h"
+#include "storage/database.h"
+#include "storage/page.h"
+#include "storage/relation.h"
+#include "storage/schemas.h"
+
+namespace watchman {
+namespace {
+
+TEST(PageTest, PagesForBytes) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageBytes), 1u);
+  EXPECT_EQ(PagesForBytes(kPageBytes + 1), 2u);
+  EXPECT_EQ(PagesForBytes(10 * kPageBytes), 10u);
+}
+
+TEST(PageRangeTest, SizeAndContains) {
+  PageRange r{10, 20};
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_TRUE((PageRange{5, 5}).empty());
+}
+
+TEST(RelationTest, DerivedQuantities) {
+  Relation r("lineitem", 180000, 112);
+  EXPECT_EQ(r.total_bytes(), 180000u * 112u);
+  EXPECT_EQ(r.num_pages(), PagesForBytes(180000u * 112u));
+  EXPECT_EQ(r.rows_per_page(), kPageBytes / 112);
+}
+
+TEST(DatabaseTest, AssignsDisjointPageRanges) {
+  Database db("test");
+  ASSERT_TRUE(db.AddRelation(Relation("a", 100, 100)).ok());
+  ASSERT_TRUE(db.AddRelation(Relation("b", 200, 100)).ok());
+  ASSERT_TRUE(db.AddRelation(Relation("c", 300, 100)).ok());
+  PageId next = 0;
+  for (size_t i = 0; i < db.num_relations(); ++i) {
+    const PageRange& pr = db.relation(i).pages();
+    EXPECT_EQ(pr.begin, next);
+    EXPECT_EQ(pr.size(), db.relation(i).num_pages());
+    next = pr.end;
+  }
+  EXPECT_EQ(db.total_pages(), next);
+}
+
+TEST(DatabaseTest, RejectsDuplicateNames) {
+  Database db("test");
+  ASSERT_TRUE(db.AddRelation(Relation("a", 100, 100)).ok());
+  EXPECT_EQ(db.AddRelation(Relation("a", 5, 5)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, FindRelation) {
+  Database db("test");
+  ASSERT_TRUE(db.AddRelation(Relation("orders", 100, 100)).ok());
+  auto found = db.FindRelation("orders");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name(), "orders");
+  EXPECT_EQ(db.FindRelation("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, TotalBytesAccumulates) {
+  Database db("test");
+  ASSERT_TRUE(db.AddRelation(Relation("a", 10, 100)).ok());
+  ASSERT_TRUE(db.AddRelation(Relation("b", 20, 50)).ok());
+  EXPECT_EQ(db.total_bytes(), 10u * 100u + 20u * 50u);
+}
+
+TEST(CostModelTest, ScanCostIsPageCount) {
+  Relation r("t", 4096, 100);  // 4096*100 bytes = 100 pages
+  EXPECT_EQ(CostModel::ScanCost(r), r.num_pages());
+}
+
+TEST(CostModelTest, ClusteredIndexScalesWithSelectivity) {
+  Relation r("t", 40960, 100);  // 1000 pages
+  const uint64_t full = CostModel::SelectCost(r, 1.0,
+                                              AccessPath::kClusteredIndex);
+  const uint64_t tenth = CostModel::SelectCost(r, 0.1,
+                                               AccessPath::kClusteredIndex);
+  EXPECT_GT(full, tenth);
+  EXPECT_EQ(tenth, CostModel::kIndexDescentReads + 100);
+}
+
+TEST(CostModelTest, UnclusteredIndexCappedByScan) {
+  Relation r("t", 40960, 100);  // 1000 pages, 40960 rows
+  // selectivity high enough that row fetches would exceed a scan
+  const uint64_t cost = CostModel::SelectCost(
+      r, 0.5, AccessPath::kUnclusteredIndex);
+  EXPECT_EQ(cost, CostModel::kIndexDescentReads + r.num_pages());
+  // very selective: 41 rows
+  const uint64_t cheap = CostModel::SelectCost(
+      r, 0.001, AccessPath::kUnclusteredIndex);
+  EXPECT_EQ(cheap, CostModel::kIndexDescentReads + 41);
+}
+
+TEST(CostModelTest, FullScanIgnoresSelectivity) {
+  Relation r("t", 4096, 100);
+  EXPECT_EQ(CostModel::SelectCost(r, 0.001, AccessPath::kFullScan),
+            r.num_pages());
+}
+
+TEST(CostModelTest, SortAndAggregate) {
+  EXPECT_EQ(CostModel::SortCost(100), 300u);
+  EXPECT_EQ(CostModel::AggregateCost(100, /*pipelined=*/true), 0u);
+  EXPECT_EQ(CostModel::AggregateCost(100, /*pipelined=*/false), 200u);
+}
+
+TEST(CostModelTest, IndexJoinBounded) {
+  Relation inner("inner", 4096, 100);  // 100 pages
+  const uint64_t few = CostModel::IndexJoinCost(10, inner, 1.0);
+  EXPECT_EQ(few, 10u * (CostModel::kIndexDescentReads + 1));
+  // Enormous outer is capped.
+  const uint64_t capped = CostModel::IndexJoinCost(1000000, inner, 1.0);
+  EXPECT_EQ(capped, 10 * inner.num_pages());
+}
+
+TEST(SchemaTest, TpcdTotalsNearPaperSize) {
+  Database db = MakeTpcdDatabase();
+  EXPECT_EQ(db.num_relations(), 8u);
+  // Paper: 30 MB database (excluding indices).
+  EXPECT_NEAR(static_cast<double>(db.total_bytes()), 30e6, 2e6);
+  ASSERT_TRUE(db.FindRelation("lineitem").ok());
+  ASSERT_TRUE(db.FindRelation("orders").ok());
+}
+
+TEST(SchemaTest, SetQueryTotalsNearPaperSize) {
+  Database db = MakeSetQueryDatabase();
+  EXPECT_EQ(db.num_relations(), 1u);
+  // Paper: 100 MB database.
+  EXPECT_NEAR(static_cast<double>(db.total_bytes()), 100e6, 2e6);
+}
+
+TEST(SchemaTest, BufferExperimentDatabaseMatchesPaperSetup) {
+  Database db = MakeBufferExperimentDatabase();
+  // Paper: 14 relations of total size 100 MB.
+  EXPECT_EQ(db.num_relations(), 14u);
+  EXPECT_NEAR(static_cast<double>(db.total_bytes()), 100e6, 3e6);
+}
+
+TEST(SchemaTest, LineitemDominatesTpcd) {
+  Database db = MakeTpcdDatabase();
+  auto lineitem = db.FindRelation("lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  EXPECT_GT((*lineitem)->total_bytes() * 2, db.total_bytes());
+}
+
+}  // namespace
+}  // namespace watchman

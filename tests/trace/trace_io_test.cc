@@ -1,0 +1,144 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+Trace MakeTrace(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Trace t;
+  t.set_name("roundtrip");
+  Timestamp now = 0;
+  for (size_t i = 0; i < n; ++i) {
+    now += rng.NextBounded(1000) + 1;
+    QueryEvent e;
+    e.timestamp = now;
+    e.query_id = "query\x1fnumber\x1f" + std::to_string(rng.NextBounded(50));
+    e.result_bytes = rng.NextBounded(1 << 20);
+    e.cost_block_reads = rng.NextBounded(100000);
+    e.template_id = static_cast<TemplateId>(rng.NextBounded(20));
+    e.instance = rng.Next();
+    e.query_class = static_cast<uint32_t>(rng.NextBounded(3));
+    EXPECT_TRUE(t.Append(std::move(e)).ok());
+  }
+  return t;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIoTest, BinaryRoundTripPreservesEverything) {
+  const Trace original = MakeTrace(500, 77);
+  const std::string path = TempPath("trace_roundtrip.wtrc");
+  ASSERT_TRUE(WriteTraceBinary(original, path).ok());
+
+  StatusOr<Trace> loaded = ReadTraceBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->name(), original.name());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].timestamp, original[i].timestamp);
+    EXPECT_EQ((*loaded)[i].query_id, original[i].query_id);
+    EXPECT_EQ((*loaded)[i].result_bytes, original[i].result_bytes);
+    EXPECT_EQ((*loaded)[i].cost_block_reads, original[i].cost_block_reads);
+    EXPECT_EQ((*loaded)[i].template_id, original[i].template_id);
+    EXPECT_EQ((*loaded)[i].instance, original[i].instance);
+    EXPECT_EQ((*loaded)[i].query_class, original[i].query_class);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.set_name("empty");
+  const std::string path = TempPath("trace_empty.wtrc");
+  ASSERT_TRUE(WriteTraceBinary(empty, path).ok());
+  StatusOr<Trace> loaded = ReadTraceBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->name(), "empty");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  StatusOr<Trace> loaded = ReadTraceBinary("/nonexistent/file.wtrc");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(TraceIoTest, BadMagicDetected) {
+  const std::string path = TempPath("trace_bad_magic.wtrc");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOPE and some more bytes to make it non-trivial";
+  }
+  StatusOr<Trace> loaded = ReadTraceBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncationDetected) {
+  const Trace original = MakeTrace(50, 99);
+  const std::string path = TempPath("trace_trunc.wtrc");
+  ASSERT_TRUE(WriteTraceBinary(original, path).ok());
+  // Truncate the file by a few bytes.
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() - 7));
+  }
+  StatusOr<Trace> loaded = ReadTraceBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TrailingGarbageDetected) {
+  const Trace original = MakeTrace(10, 3);
+  const std::string path = TempPath("trace_trailing.wtrc");
+  ASSERT_TRUE(WriteTraceBinary(original, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  StatusOr<Trace> loaded = ReadTraceBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, CsvExportHasHeaderAndRows) {
+  const Trace original = MakeTrace(20, 5);
+  const std::string path = TempPath("trace_export.csv");
+  ASSERT_TRUE(WriteTraceCsv(original, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "timestamp,query_id,result_bytes,cost_block_reads,template_id,"
+            "instance,class");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    // Separator characters must have been made printable.
+    EXPECT_EQ(line.find('\x1f'), std::string::npos);
+  }
+  EXPECT_EQ(rows, 20);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace watchman

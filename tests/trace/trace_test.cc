@@ -1,0 +1,110 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+QueryEvent Ev(Timestamp t, const std::string& id, uint64_t bytes,
+              uint64_t cost) {
+  QueryEvent e;
+  e.timestamp = t;
+  e.query_id = id;
+  e.result_bytes = bytes;
+  e.cost_block_reads = cost;
+  return e;
+}
+
+TEST(TraceTest, AppendKeepsOrder) {
+  Trace t;
+  EXPECT_TRUE(t.Append(Ev(1, "a", 10, 5)).ok());
+  EXPECT_TRUE(t.Append(Ev(2, "b", 10, 5)).ok());
+  EXPECT_TRUE(t.Append(Ev(2, "c", 10, 5)).ok());  // equal timestamps fine
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].query_id, "a");
+  EXPECT_EQ(t[2].query_id, "c");
+}
+
+TEST(TraceTest, RejectsDecreasingTimestamps) {
+  Trace t;
+  ASSERT_TRUE(t.Append(Ev(5, "a", 10, 5)).ok());
+  Status st = t.Append(Ev(4, "b", 10, 5));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceTest, RejectsEmptyQueryId) {
+  Trace t;
+  EXPECT_EQ(t.Append(Ev(1, "", 10, 5)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, EmptySummary) {
+  Trace t;
+  TraceSummary s = t.Summarize();
+  EXPECT_EQ(s.num_events, 0u);
+  EXPECT_EQ(s.num_distinct_queries, 0u);
+  EXPECT_DOUBLE_EQ(s.max_cost_savings_ratio, 0.0);
+}
+
+TEST(TraceTest, SummaryCountsDistinctAndRepeats) {
+  Trace t;
+  ASSERT_TRUE(t.Append(Ev(1, "a", 100, 10)).ok());
+  ASSERT_TRUE(t.Append(Ev(2, "b", 200, 30)).ok());
+  ASSERT_TRUE(t.Append(Ev(3, "a", 100, 10)).ok());
+  ASSERT_TRUE(t.Append(Ev(4, "a", 100, 10)).ok());
+  TraceSummary s = t.Summarize();
+  EXPECT_EQ(s.num_events, 4u);
+  EXPECT_EQ(s.num_distinct_queries, 2u);
+  EXPECT_EQ(s.repeat_references, 2u);
+  EXPECT_EQ(s.distinct_result_bytes, 300u);
+  EXPECT_EQ(s.total_cost, 60u);
+  EXPECT_EQ(s.repeat_cost, 20u);
+  EXPECT_DOUBLE_EQ(s.max_cost_savings_ratio, 20.0 / 60.0);
+  EXPECT_DOUBLE_EQ(s.max_hit_ratio, 0.5);
+}
+
+TEST(TraceTest, SummaryMinMaxMean) {
+  Trace t;
+  ASSERT_TRUE(t.Append(Ev(1, "a", 100, 10)).ok());
+  ASSERT_TRUE(t.Append(Ev(9, "b", 300, 50)).ok());
+  TraceSummary s = t.Summarize();
+  EXPECT_EQ(s.min_result_bytes, 100u);
+  EXPECT_EQ(s.max_result_bytes, 300u);
+  EXPECT_DOUBLE_EQ(s.mean_result_bytes, 200.0);
+  EXPECT_EQ(s.min_cost, 10u);
+  EXPECT_EQ(s.max_cost, 50u);
+  EXPECT_DOUBLE_EQ(s.mean_cost, 30.0);
+  EXPECT_EQ(s.first_timestamp, 1u);
+  EXPECT_EQ(s.last_timestamp, 9u);
+}
+
+TEST(TraceTest, PrefixCopiesLeadingEvents) {
+  Trace t;
+  t.set_name("full");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append(Ev(i + 1, "q" + std::to_string(i), 8, 1)).ok());
+  }
+  Trace p = t.Prefix(3);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.name(), "full");
+  EXPECT_EQ(p[2].query_id, "q2");
+  // Prefix longer than trace returns whole trace.
+  EXPECT_EQ(t.Prefix(100).size(), 10u);
+}
+
+TEST(TraceTest, IterationVisitsAllEvents) {
+  Trace t;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Append(Ev(i, "q" + std::to_string(i), 8, 1)).ok());
+  }
+  int count = 0;
+  for (const QueryEvent& e : t) {
+    EXPECT_EQ(e.query_id, "q" + std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace watchman

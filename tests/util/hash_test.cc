@@ -1,0 +1,61 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace watchman {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Reference values of FNV-1a 64-bit.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1a32KnownVectors) {
+  EXPECT_EQ(Fnv1a32(""), 0x811c9dc5U);
+  EXPECT_EQ(Fnv1a32("a"), 0xe40c292cU);
+}
+
+TEST(HashTest, Mix64ChangesValue) {
+  // 0 is the (only known) fixed point of the SplitMix64 finalizer.
+  EXPECT_EQ(Mix64(0), 0u);
+  EXPECT_NE(Mix64(1), 1u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(123456789), Mix64(123456789));
+}
+
+TEST(HashTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(SignatureTest, EqualQueryIdsEqualSignatures) {
+  EXPECT_EQ(ComputeSignature("select count from bench"),
+            ComputeSignature("select count from bench"));
+}
+
+TEST(SignatureTest, DistinctQueryIdsRarelyCollide) {
+  std::set<uint64_t> signatures;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    signatures.insert(
+        ComputeSignature("query text number " + std::to_string(i)).value);
+  }
+  // With 64-bit signatures, 20k keys should essentially never collide.
+  EXPECT_EQ(signatures.size(), static_cast<size_t>(n));
+}
+
+TEST(SignatureTest, SensitiveToSingleCharacter) {
+  EXPECT_NE(ComputeSignature("select a").value,
+            ComputeSignature("select b").value);
+}
+
+}  // namespace
+}  // namespace watchman

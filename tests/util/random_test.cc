@@ -1,0 +1,173 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace watchman {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<int>(bound), n / 100);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(19);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfTest, DegeneratesToUniformAtThetaZero) {
+  Rng rng(23);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 80);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(29);
+  ZipfGenerator zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(31);
+  for (double theta : {0.5, 0.86, 1.0, 1.3}) {
+    ZipfGenerator zipf(1000, theta);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(zipf.Next(&rng), 1000u);
+    }
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(37);
+  ZipfGenerator zipf(100, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfTest, Theta1MatchesHarmonicDistribution) {
+  Rng rng(41);
+  const uint64_t n_items = 50;
+  ZipfGenerator zipf(n_items, 1.0);
+  std::vector<int> counts(n_items, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(&rng)];
+  double harmonic = 0.0;
+  for (uint64_t r = 1; r <= n_items; ++r) harmonic += 1.0 / double(r);
+  // Check the head of the distribution against 1/(r * H_n).
+  for (uint64_t r = 1; r <= 5; ++r) {
+    const double expected = n / (double(r) * harmonic);
+    EXPECT_NEAR(counts[r - 1], expected, expected * 0.1)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HugeInstanceSpaceWorks) {
+  Rng rng(43);
+  ZipfGenerator zipf(uint64_t{1} << 40, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), uint64_t{1} << 40);
+  }
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  Rng rng(47);
+  DiscreteDistribution dist({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Next(&rng)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.01);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.015);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.015);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverDrawn) {
+  Rng rng(53);
+  DiscreteDistribution dist({0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(dist.Next(&rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, ProbabilityNormalizes) {
+  DiscreteDistribution dist({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Probability(2), 0.5);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,106 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace watchman {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::CapacityExceeded("e"), StatusCode::kCapacityExceeded,
+       "CapacityExceeded"},
+      {Status::IOError("f"), StatusCode::kIOError, "IOError"},
+      {Status::Corruption("g"), StatusCode::kCorruption, "Corruption"},
+      {Status::NotSupported("h"), StatusCode::kNotSupported, "NotSupported"},
+      {Status::Internal("i"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("missing relation");
+  EXPECT_EQ(s.ToString(), "NotFound: missing relation");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("gone"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string(1000, 'x'));
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  WATCHMAN_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Internal("reached after macro");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UseReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseReturnIfError(1).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace watchman

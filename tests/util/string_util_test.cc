@@ -1,0 +1,90 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+TEST(CompressQueryIdTest, CollapsesDelimiterRuns) {
+  const std::string a = CompressQueryId("SELECT  *  FROM   bench");
+  const std::string b = CompressQueryId("select * from bench");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CompressQueryIdTest, EquivalentFormattingsMapToSameId) {
+  const std::string a =
+      CompressQueryId("SELECT count(*) FROM bench WHERE k2 = 1");
+  const std::string b =
+      CompressQueryId("select count ( * )\n\tfrom bench\nwhere k2=1");
+  // Note: "k2=1" vs "k2 = 1" differ after compression (no delimiter
+  // between k2 and =); only delimiter runs collapse.
+  EXPECT_NE(a, b);
+  const std::string c =
+      CompressQueryId("select  count( * )  from  bench  where  k2  =  1");
+  EXPECT_EQ(a, c);
+}
+
+TEST(CompressQueryIdTest, LowercasesLetters) {
+  EXPECT_EQ(CompressQueryId("ABC"), "abc");
+}
+
+TEST(CompressQueryIdTest, NoLeadingOrTrailingSeparator) {
+  const std::string id = CompressQueryId("  select x  ");
+  EXPECT_FALSE(id.empty());
+  EXPECT_NE(id.front(), '\x1f');
+  EXPECT_NE(id.back(), '\x1f');
+}
+
+TEST(CompressQueryIdTest, EmptyAndAllDelimiters) {
+  EXPECT_EQ(CompressQueryId(""), "");
+  EXPECT_EQ(CompressQueryId("   \t\n,,(())"), "");
+}
+
+TEST(CompressQueryIdTest, DistinctQueriesStayDistinct) {
+  EXPECT_NE(CompressQueryId("select a from t"),
+            CompressQueryId("select b from t"));
+}
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split(",a,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(HumanBytesTest, Formats) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KiB");
+  EXPECT_EQ(HumanBytes(16882469), "16.1 MiB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} << 30), "3.0 GiB");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.91824, 2), "0.92");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("lnc-ra(k=4)", "lnc-ra"));
+  EXPECT_FALSE(StartsWith("lnc", "lnc-ra"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace watchman {
+namespace {
+
+TEST(ResultTableTest, TextRenderingContainsCells) {
+  ResultTable t({"policy", "0.1%", "1%"});
+  t.AddRow({"lru", "0.07", "0.31"});
+  t.AddRow({"lnc-ra", "0.33", "0.58"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  EXPECT_NE(text.find("lnc-ra"), std::string::npos);
+  EXPECT_NE(text.find("0.33"), std::string::npos);
+}
+
+TEST(ResultTableTest, TextColumnsAligned) {
+  ResultTable t({"a", "b"});
+  t.AddRow({"xxxxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  std::istringstream lines(t.ToText());
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(ResultTableTest, NumericRowFormatsPrecision) {
+  ResultTable t({"name", "v1", "v2"});
+  t.AddNumericRow("row", {0.12345, 0.98765}, 3);
+  EXPECT_EQ(t.row(0)[1], "0.123");
+  EXPECT_EQ(t.row(0)[2], "0.988");
+}
+
+TEST(ResultTableTest, CsvEscapesSpecialCells) {
+  ResultTable t({"name", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ResultTableTest, CsvRowCount) {
+  ResultTable t({"h1"});
+  t.AddRow({"r1"});
+  t.AddRow({"r2"});
+  std::istringstream lines(t.ToCsv());
+  int count = 0;
+  std::string line;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 3);  // header + 2 rows
+}
+
+TEST(ResultTableTest, WriteCsvToFile) {
+  ResultTable t({"x"});
+  t.AddRow({"1"});
+  const std::string path = testing::TempDir() + "/watchman_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "x\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(ResultTableTest, WriteCsvBadPathFails) {
+  ResultTable t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,160 @@
+// Tests of cache coherence (invalidation) and the facade's extended
+// options: normalization and secondary-storage payloads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+StatusOr<Watchman::ExecutionResult> Execute(
+    const std::string& text, uint64_t cost,
+    std::vector<std::string> relations) {
+  Watchman::ExecutionResult r;
+  r.payload = "rows for: " + text;
+  r.cost = cost;
+  r.relations = std::move(relations);
+  return r;
+}
+
+TEST(CoherenceTest, InvalidateSingleQuery) {
+  int executions = 0;
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    ++executions;
+    return Execute(text, 100, {});
+  });
+  ASSERT_TRUE(wm.Query("select sum(v) from sales").ok());
+  ASSERT_TRUE(wm.Query("select sum(v) from sales").ok());
+  EXPECT_EQ(executions, 1);
+  EXPECT_TRUE(wm.Invalidate("select sum(v) from sales"));
+  EXPECT_FALSE(wm.IsCached("select sum(v) from sales"));
+  ASSERT_TRUE(wm.Query("select sum(v) from sales").ok());
+  EXPECT_EQ(executions, 2);  // re-executed after invalidation
+  EXPECT_EQ(wm.invalidations(), 1u);
+  EXPECT_FALSE(wm.Invalidate("never seen"));
+}
+
+TEST(CoherenceTest, InvalidateRelationEvictsDependents) {
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    if (text.find("lineitem") != std::string::npos) {
+      return Execute(text, 100, {"lineitem", "orders"});
+    }
+    return Execute(text, 100, {"customer"});
+  });
+  ASSERT_TRUE(wm.Query("select a from lineitem q1").ok());
+  ASSERT_TRUE(wm.Query("select b from lineitem q2").ok());
+  ASSERT_TRUE(wm.Query("select c from customer q3").ok());
+  EXPECT_EQ(wm.cached_set_count(), 3u);
+
+  EXPECT_EQ(wm.InvalidateRelation("lineitem"), 2u);
+  EXPECT_FALSE(wm.IsCached("select a from lineitem q1"));
+  EXPECT_FALSE(wm.IsCached("select b from lineitem q2"));
+  EXPECT_TRUE(wm.IsCached("select c from customer q3"));
+  // Unknown relation is a no-op.
+  EXPECT_EQ(wm.InvalidateRelation("nation"), 0u);
+  // Repeating the update finds nothing left.
+  EXPECT_EQ(wm.InvalidateRelation("lineitem"), 0u);
+}
+
+TEST(CoherenceTest, DependencyIndexSurvivesEvictions) {
+  // When the cache evicts a set for capacity, its dependency edges must
+  // disappear so InvalidateRelation does not double-count.
+  Watchman::Options opts;
+  opts.capacity_bytes = 4096;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    Watchman::ExecutionResult r;
+    r.payload = std::string(1500, 'p');
+    r.cost = 1000;
+    r.relations = {"shared"};
+    (void)text;
+    return StatusOr<Watchman::ExecutionResult>(std::move(r));
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(wm.Query("select slice " + std::to_string(i)).ok());
+  }
+  // Capacity fits only 2 sets of 1500 bytes; invalidation must reflect
+  // what is actually cached.
+  EXPECT_LE(wm.InvalidateRelation("shared"), 2u);
+}
+
+TEST(CoherenceTest, RetainedHistorySpeedsReadmissionAfterInvalidation) {
+  // Invalidation keeps the reference history (the reference pattern is
+  // still valid; only the payload changed), so a hot invalidated query
+  // comes back with its rate estimate intact.
+  Timestamp now = 0;
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  opts.clock = [&now] { return now += kSecond; };
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    return Execute(text, 5000, {"facts"});
+  });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(wm.Query("select hot aggregate from facts").ok());
+  }
+  EXPECT_EQ(wm.InvalidateRelation("facts"), 1u);
+  EXPECT_GT(wm.retained_info_count(), 0u);
+}
+
+TEST(NormalizationOptionTest, ReorderedPredicatesHitSameEntry) {
+  int executions = 0;
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  opts.normalize_queries = true;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    ++executions;
+    return Execute(text, 100, {});
+  });
+  ASSERT_TRUE(
+      wm.Query("select * from t where a = 1 and b = 2 and c = 3").ok());
+  ASSERT_TRUE(
+      wm.Query("select * from t where c = 3 and a = 1 and b = 2").ok());
+  ASSERT_TRUE(
+      wm.Query("SELECT * FROM t WHERE b = 2 AND c = 3 AND a = 1").ok());
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(wm.stats().hits, 2u);
+}
+
+TEST(NormalizationOptionTest, OffByDefault) {
+  int executions = 0;
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    ++executions;
+    return Execute(text, 100, {});
+  });
+  ASSERT_TRUE(wm.Query("select * from t where a = 1 and b = 2").ok());
+  ASSERT_TRUE(wm.Query("select * from t where b = 2 and a = 1").ok());
+  EXPECT_EQ(executions, 2);  // exact match only, like the paper's base
+}
+
+TEST(FileBackedWatchmanTest, PayloadsOnSecondaryStorage) {
+  auto store = FilePayloadStore::Open(testing::TempDir() +
+                                      "/watchman_facade_payloads.log");
+  ASSERT_TRUE(store.ok());
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  opts.payload_store = std::move(store).value();
+  int executions = 0;
+  Watchman wm(std::move(opts), [&](const std::string& text) {
+    ++executions;
+    return Execute(text, 2000, {});
+  });
+  ASSERT_TRUE(wm.Query("select report 1").ok());
+  auto repeat = wm.Query("select report 1");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(*repeat, "rows for: select report 1");
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(wm.payload_store().count(), wm.cached_set_count());
+}
+
+}  // namespace
+}  // namespace watchman

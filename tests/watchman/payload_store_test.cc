@@ -1,0 +1,139 @@
+#include "watchman/payload_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+template <typename T>
+std::unique_ptr<PayloadStore> MakeStore();
+
+template <>
+std::unique_ptr<PayloadStore> MakeStore<MemoryPayloadStore>() {
+  return std::make_unique<MemoryPayloadStore>();
+}
+
+int g_file_store_counter = 0;
+
+template <>
+std::unique_ptr<PayloadStore> MakeStore<FilePayloadStore>() {
+  const std::string path = testing::TempDir() + "/watchman_payloads_" +
+                           std::to_string(g_file_store_counter++) + ".log";
+  auto store = FilePayloadStore::Open(path);
+  EXPECT_TRUE(store.ok());
+  return std::move(store).value();
+}
+
+template <typename T>
+class PayloadStoreTest : public testing::Test {
+ protected:
+  PayloadStoreTest() : store_(MakeStore<T>()) {}
+  std::unique_ptr<PayloadStore> store_;
+};
+
+using StoreTypes = testing::Types<MemoryPayloadStore, FilePayloadStore>;
+TYPED_TEST_SUITE(PayloadStoreTest, StoreTypes);
+
+TYPED_TEST(PayloadStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(this->store_->Put("k1", "hello world").ok());
+  auto got = this->store_->Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello world");
+  EXPECT_TRUE(this->store_->Contains("k1"));
+  EXPECT_EQ(this->store_->count(), 1u);
+  EXPECT_EQ(this->store_->payload_bytes(), 11u);
+}
+
+TYPED_TEST(PayloadStoreTest, GetMissingFails) {
+  auto got = this->store_->Get("nope");
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TYPED_TEST(PayloadStoreTest, PutReplaces) {
+  ASSERT_TRUE(this->store_->Put("k", "short").ok());
+  ASSERT_TRUE(this->store_->Put("k", "a considerably longer value").ok());
+  auto got = this->store_->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "a considerably longer value");
+  EXPECT_EQ(this->store_->count(), 1u);
+  EXPECT_EQ(this->store_->payload_bytes(), 27u);
+}
+
+TYPED_TEST(PayloadStoreTest, EraseRemoves) {
+  ASSERT_TRUE(this->store_->Put("k", "v").ok());
+  EXPECT_TRUE(this->store_->Erase("k"));
+  EXPECT_FALSE(this->store_->Erase("k"));
+  EXPECT_FALSE(this->store_->Contains("k"));
+  EXPECT_EQ(this->store_->payload_bytes(), 0u);
+}
+
+TYPED_TEST(PayloadStoreTest, BinaryPayloadsSurvive) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  ASSERT_TRUE(this->store_->Put("bin", binary).ok());
+  auto got = this->store_->Get("bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, binary);
+}
+
+TYPED_TEST(PayloadStoreTest, ManyKeysStressAndAccounting) {
+  Rng rng(5);
+  uint64_t expected_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value(rng.NextBounded(2000), 'x');
+    ASSERT_TRUE(this->store_->Put(key, value).ok());
+    expected_bytes += value.size();
+  }
+  EXPECT_EQ(this->store_->count(), 500u);
+  EXPECT_EQ(this->store_->payload_bytes(), expected_bytes);
+  // Spot-check a few reads.
+  for (int i = 0; i < 500; i += 97) {
+    EXPECT_TRUE(this->store_->Get("key" + std::to_string(i)).ok());
+  }
+}
+
+TEST(FilePayloadStoreTest, CompactionReclaimsGarbage) {
+  const std::string path = testing::TempDir() + "/watchman_compact.log";
+  FilePayloadStore::Options opts;
+  opts.compaction_ratio = 0.4;
+  auto store_or = FilePayloadStore::Open(path, opts);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+  // Write then delete lots of payloads to accumulate garbage.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store
+                      .Put("victim" + std::to_string(i),
+                           std::string(1000, 'a' + (round % 26)))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(store.Put("keeper", "important payload").ok());
+  EXPECT_GT(store.compactions(), 0u);
+  // File size is bounded by live data plus sub-threshold garbage.
+  EXPECT_LT(store.file_bytes(), 200 * 1024u);
+  auto keeper = store.Get("keeper");
+  ASSERT_TRUE(keeper.ok());
+  EXPECT_EQ(*keeper, "important payload");
+  // All victims still readable after compactions.
+  for (int i = 0; i < 50; ++i) {
+    auto got = store.Get("victim" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got->size(), 1000u);
+  }
+}
+
+TEST(FilePayloadStoreTest, OpenFailsOnBadPath) {
+  auto store = FilePayloadStore::Open("/nonexistent-dir-xyz/p.log");
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace watchman

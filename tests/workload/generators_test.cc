@@ -1,0 +1,186 @@
+// Tests of the drill-down, multiclass and buffer-experiment generators.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/schemas.h"
+#include "workload/buffer_workload.h"
+#include "workload/drilldown.h"
+#include "workload/multiclass_workload.h"
+
+namespace watchman {
+namespace {
+
+TEST(DrillDownTest, GeneratesRequestedLength) {
+  DrillDownOptions opts;
+  opts.num_queries = 1000;
+  const Trace t = GenerateDrillDownTrace(opts);
+  EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(DrillDownTest, ShallowLevelsRepeatDeepLevelsDoNot) {
+  DrillDownOptions opts;
+  opts.num_queries = 8000;
+  const Trace t = GenerateDrillDownTrace(opts);
+  // Count repeats per level (template_id = 200 + level).
+  std::unordered_map<uint32_t, uint64_t> refs;
+  std::unordered_map<uint32_t, std::unordered_set<std::string>> distinct;
+  for (const QueryEvent& e : t) {
+    ++refs[e.template_id];
+    distinct[e.template_id].insert(e.query_id);
+  }
+  const double root_repeat =
+      1.0 - static_cast<double>(distinct[200].size()) /
+                static_cast<double>(refs[200]);
+  const uint32_t deepest = 200 + opts.depth - 1;
+  ASSERT_GT(refs[deepest], 0u);
+  const double deep_repeat =
+      1.0 - static_cast<double>(distinct[deepest].size()) /
+                static_cast<double>(refs[deepest]);
+  EXPECT_GT(root_repeat, 0.9);   // 12 roots referenced thousands of times
+  EXPECT_LT(deep_repeat, 0.35);  // deep refinements rarely repeat
+}
+
+TEST(DrillDownTest, CostsShrinkAndResultsGrowWithDepth) {
+  DrillDownOptions opts;
+  opts.num_queries = 2000;
+  const Trace t = GenerateDrillDownTrace(opts);
+  std::unordered_map<uint32_t, QueryEvent> sample;
+  for (const QueryEvent& e : t) sample.emplace(e.template_id, e);
+  ASSERT_TRUE(sample.contains(200));
+  ASSERT_TRUE(sample.contains(201));
+  EXPECT_GT(sample[200].cost_block_reads, sample[201].cost_block_reads);
+  EXPECT_LT(sample[200].result_bytes, sample[201].result_bytes);
+}
+
+TEST(DrillDownTest, DeterministicGivenSeed) {
+  DrillDownOptions opts;
+  opts.num_queries = 500;
+  const Trace a = GenerateDrillDownTrace(opts);
+  const Trace b = GenerateDrillDownTrace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query_id, b[i].query_id);
+  }
+}
+
+TEST(MulticlassTest, MixesThreeClasses) {
+  MulticlassOptions opts;
+  opts.num_queries = 5000;
+  const Trace t = GenerateMulticlassTrace(opts);
+  std::unordered_map<uint32_t, uint64_t> per_class;
+  for (const QueryEvent& e : t) ++per_class[e.query_class];
+  EXPECT_EQ(per_class.size(), 3u);
+  // Bursts emit 2-4 events per class-1 draw, so the burst class is
+  // over-represented relative to its draw weight; the others shrink
+  // proportionally. Expected class-1 inflation factor ~3.
+  EXPECT_GT(per_class[1], per_class[0]);
+  const double w_eff = opts.dashboard_weight /
+                       (opts.dashboard_weight + 3.0 * opts.burst_weight +
+                        opts.report_weight);
+  EXPECT_NEAR(static_cast<double>(per_class[0]) / 5000.0, w_eff, 0.05);
+}
+
+TEST(MulticlassTest, BurstsAreConsecutiveAndUnrepeated) {
+  MulticlassOptions opts;
+  opts.num_queries = 6000;
+  const Trace t = GenerateMulticlassTrace(opts);
+  // Burst instances: every reference to a burst query is part of one
+  // consecutive run (never re-referenced later).
+  std::unordered_map<std::string, std::pair<size_t, size_t>> spans;
+  std::unordered_map<std::string, uint64_t> counts;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].query_class != 1) continue;
+    auto [it, inserted] = spans.try_emplace(t[i].query_id, i, i);
+    if (!inserted) it->second.second = i;
+    ++counts[t[i].query_id];
+  }
+  for (const auto& [id, span] : spans) {
+    const uint64_t n = counts[id];
+    // All n references of a burst lie within a window only as wide as
+    // the interleaving allows; re-use after the burst never happens, so
+    // the span is small.
+    EXPECT_LE(span.second - span.first, n + 2u) << id;
+  }
+}
+
+TEST(MulticlassTest, ReportsArePeriodic) {
+  MulticlassOptions opts;
+  opts.num_queries = 8000;
+  const Trace t = GenerateMulticlassTrace(opts);
+  // The report class cycles through its instances; each instance's
+  // references are spaced by about a full tour.
+  std::unordered_map<uint64_t, uint64_t> counts;
+  uint64_t report_refs = 0;
+  for (const QueryEvent& e : t) {
+    if (e.query_class != 2) continue;
+    ++counts[e.instance];
+    ++report_refs;
+  }
+  ASSERT_GT(report_refs, 1000u);
+  // Tours cover all instances nearly evenly.
+  uint64_t min_c = ~uint64_t{0}, max_c = 0;
+  for (const auto& [inst, c] : counts) {
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+  }
+  EXPECT_LE(max_c - min_c, 1u);
+}
+
+TEST(BufferWorkloadTest, MatchesPaperScale) {
+  Database db = MakeBufferExperimentDatabase();
+  WorkloadMix mix = MakeBufferWorkload(db);
+  TraceGenOptions opts;
+  opts.num_queries = 2000;
+  opts.seed = 3;
+  const Trace t = mix.GenerateTrace(opts);
+  // Page references scale to >1000 pages/query on average (paper: 17000
+  // queries -> more than 26 million references).
+  uint64_t total_pages = 0;
+  for (const QueryEvent& e : t) {
+    const QueryTemplate* tmpl = mix.FindTemplate(e.template_id);
+    ASSERT_NE(tmpl, nullptr);
+    for (const PageRange& r : tmpl->PageAccesses(e.instance)) {
+      total_pages += r.size();
+    }
+  }
+  EXPECT_GT(total_pages / t.size(), 700u);
+}
+
+TEST(BufferWorkloadTest, PageAccessesWithinDatabase) {
+  Database db = MakeBufferExperimentDatabase();
+  WorkloadMix mix = MakeBufferWorkload(db);
+  for (size_t i = 0; i < mix.num_templates(); ++i) {
+    const QueryTemplate& tmpl = mix.tmpl(i);
+    for (uint64_t inst : {0ull, 123ull, 999999ull}) {
+      for (const PageRange& r :
+           tmpl.PageAccesses(inst % tmpl.instance_space())) {
+        EXPECT_LT(r.begin, r.end);
+        EXPECT_LE(r.end, db.total_pages());
+      }
+    }
+  }
+}
+
+TEST(BufferWorkloadTest, RangeAccessesAreDeterministicPerInstance) {
+  Database db = MakeBufferExperimentDatabase();
+  WorkloadMix mix = MakeBufferWorkload(db);
+  for (size_t i = 0; i < mix.num_templates(); ++i) {
+    const QueryTemplate& tmpl = mix.tmpl(i);
+    const uint64_t inst = 42 % tmpl.instance_space();
+    EXPECT_EQ(tmpl.PageAccesses(inst), tmpl.PageAccesses(inst));
+  }
+}
+
+TEST(BufferWorkloadTest, DetailJoinsTouchThreeRelations) {
+  Database db = MakeBufferExperimentDatabase();
+  WorkloadMix mix = MakeBufferWorkload(db);
+  const QueryTemplate* detail = mix.FindTemplate(1);
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->PageAccesses(7).size(), 3u);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,280 @@
+// Tests of the workload layer: templates, mixes, trace generation and
+// the benchmark workload definitions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/schemas.h"
+#include "workload/query_template.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+#include "workload/workload_mix.h"
+
+namespace watchman {
+namespace {
+
+ParamQueryTemplate::Spec BasicSpec() {
+  ParamQueryTemplate::Spec spec;
+  spec.name = "t";
+  spec.instance_space = 100;
+  spec.base_cost = 500;
+  spec.cost_jitter = 0.1;
+  spec.base_result_bytes = 1000;
+  spec.result_log_spread = 0.5;
+  return spec;
+}
+
+TEST(ParamQueryTemplateTest, PropertiesAreDeterministic) {
+  ParamQueryTemplate t(1, BasicSpec());
+  for (uint64_t inst : {0ull, 7ull, 99ull}) {
+    const InstanceProperties a = t.Properties(inst);
+    const InstanceProperties b = t.Properties(inst);
+    EXPECT_EQ(a.result_bytes, b.result_bytes);
+    EXPECT_EQ(a.cost_block_reads, b.cost_block_reads);
+  }
+}
+
+TEST(ParamQueryTemplateTest, JitterStaysInBounds) {
+  ParamQueryTemplate t(1, BasicSpec());
+  for (uint64_t inst = 0; inst < 100; ++inst) {
+    const InstanceProperties p = t.Properties(inst);
+    EXPECT_GE(p.cost_block_reads, 450u);
+    EXPECT_LE(p.cost_block_reads, 550u);
+    // result in [1000*e^-0.5, 1000*e^0.5]
+    EXPECT_GE(p.result_bytes, 606u);
+    EXPECT_LE(p.result_bytes, 1649u);
+  }
+}
+
+TEST(ParamQueryTemplateTest, DistinctInstancesDistinctText) {
+  ParamQueryTemplate::Spec spec = BasicSpec();
+  spec.text_template = "select x from t where p = %llu";
+  ParamQueryTemplate t(1, spec);
+  EXPECT_NE(t.QueryText(1), t.QueryText(2));
+  EXPECT_EQ(t.QueryText(5), t.QueryText(5));
+}
+
+TEST(ParamQueryTemplateTest, ZeroJitterIsConstant) {
+  ParamQueryTemplate::Spec spec = BasicSpec();
+  spec.cost_jitter = 0.0;
+  spec.result_log_spread = 0.0;
+  ParamQueryTemplate t(1, spec);
+  for (uint64_t inst = 0; inst < 20; ++inst) {
+    EXPECT_EQ(t.Properties(inst).cost_block_reads, 500u);
+    EXPECT_EQ(t.Properties(inst).result_bytes, 1000u);
+  }
+}
+
+TEST(WorkloadMixTest, DrawsRespectWeights) {
+  WorkloadMix mix("m");
+  ParamQueryTemplate::Spec heavy = BasicSpec();
+  heavy.name = "heavy";
+  heavy.weight = 9.0;
+  ParamQueryTemplate::Spec light = BasicSpec();
+  light.name = "light";
+  light.weight = 1.0;
+  mix.Add(std::make_unique<ParamQueryTemplate>(1, heavy));
+  mix.Add(std::make_unique<ParamQueryTemplate>(2, light));
+  Rng rng(5);
+  int heavy_count = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.DrawQuery(&rng).template_index == 0) ++heavy_count;
+  }
+  EXPECT_NEAR(heavy_count, n * 0.9, n * 0.02);
+}
+
+TEST(WorkloadMixTest, FindTemplateById) {
+  WorkloadMix mix("m");
+  mix.Add(std::make_unique<ParamQueryTemplate>(42, BasicSpec()));
+  EXPECT_NE(mix.FindTemplate(42), nullptr);
+  EXPECT_EQ(mix.FindTemplate(41), nullptr);
+}
+
+TEST(WorkloadMixTest, TraceIsDeterministicGivenSeed) {
+  WorkloadMix mix("m");
+  mix.Add(std::make_unique<ParamQueryTemplate>(1, BasicSpec()));
+  TraceGenOptions opts;
+  opts.num_queries = 200;
+  opts.seed = 99;
+  const Trace a = mix.GenerateTrace(opts);
+  const Trace b = mix.GenerateTrace(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].query_id, b[i].query_id);
+    EXPECT_EQ(a[i].cost_block_reads, b[i].cost_block_reads);
+  }
+  opts.seed = 100;
+  const Trace c = mix.GenerateTrace(opts);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size() && !any_different; ++i) {
+    any_different = a[i].query_id != c[i].query_id;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkloadMixTest, TimestampsStrictlyIncrease) {
+  WorkloadMix mix("m");
+  mix.Add(std::make_unique<ParamQueryTemplate>(1, BasicSpec()));
+  TraceGenOptions opts;
+  opts.num_queries = 500;
+  const Trace t = mix.GenerateTrace(opts);
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].timestamp, t[i - 1].timestamp);
+  }
+}
+
+TEST(WorkloadMixTest, RepeatProbabilityCreatesBursts) {
+  WorkloadMix mix("m");
+  ParamQueryTemplate::Spec spec = BasicSpec();
+  spec.instance_space = 1000000;  // repeats only come from bursts
+  mix.Add(std::make_unique<ParamQueryTemplate>(1, spec));
+  TraceGenOptions opts;
+  opts.num_queries = 2000;
+  opts.repeat_probability = 0.3;
+  const Trace t = mix.GenerateTrace(opts);
+  size_t immediate_repeats = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i].query_id == t[i - 1].query_id) ++immediate_repeats;
+  }
+  EXPECT_NEAR(static_cast<double>(immediate_repeats), 600.0, 90.0);
+}
+
+TEST(WorkloadMixTest, SameInstanceSameEventProperties) {
+  WorkloadMix mix("m");
+  mix.Add(std::make_unique<ParamQueryTemplate>(1, BasicSpec()));
+  const QueryEvent a = mix.MakeEvent(0, 17, 1000);
+  const QueryEvent b = mix.MakeEvent(0, 17, 2000);
+  EXPECT_EQ(a.query_id, b.query_id);
+  EXPECT_EQ(a.result_bytes, b.result_bytes);
+  EXPECT_EQ(a.cost_block_reads, b.cost_block_reads);
+  EXPECT_NE(a.timestamp, b.timestamp);
+}
+
+// ------------------------------------------------------ TPC-D workload
+
+class TpcdWorkloadTest : public testing::Test {
+ protected:
+  TpcdWorkloadTest() : db_(MakeTpcdDatabase()), mix_(MakeTpcdWorkload(db_)) {}
+  Database db_;
+  WorkloadMix mix_;
+};
+
+TEST_F(TpcdWorkloadTest, HasSeventeenTemplates) {
+  // The paper excludes the two update templates and uses the other 17.
+  EXPECT_EQ(mix_.num_templates(), 17u);
+}
+
+TEST_F(TpcdWorkloadTest, InstanceSpacesSpanOrdersOfMagnitude) {
+  uint64_t min_space = ~uint64_t{0};
+  uint64_t max_space = 0;
+  for (size_t i = 0; i < mix_.num_templates(); ++i) {
+    min_space = std::min(min_space, mix_.tmpl(i).instance_space());
+    max_space = std::max(max_space, mix_.tmpl(i).instance_space());
+  }
+  EXPECT_LE(min_space, 100u);          // high summarization levels
+  EXPECT_GE(max_space, 1000000000u);   // effectively never repeats
+}
+
+TEST_F(TpcdWorkloadTest, AllTemplatesJoinHeavy) {
+  // Every TPC-D query template performs joins / relation scans: costs
+  // are at least several hundred block reads.
+  for (size_t i = 0; i < mix_.num_templates(); ++i) {
+    const InstanceProperties p = mix_.tmpl(i).Properties(0);
+    EXPECT_GT(p.cost_block_reads, 500u) << mix_.tmpl(i).name();
+  }
+}
+
+TEST_F(TpcdWorkloadTest, ResultsAreSmallRelativeToDatabase) {
+  for (size_t i = 0; i < mix_.num_templates(); ++i) {
+    const InstanceProperties p = mix_.tmpl(i).Properties(3);
+    EXPECT_LT(p.result_bytes, db_.total_bytes() / 100)
+        << mix_.tmpl(i).name();
+  }
+}
+
+TEST_F(TpcdWorkloadTest, TraceHasDrillDownLocality) {
+  TraceGenOptions opts;
+  opts.num_queries = 17000;
+  opts.seed = 1;
+  const Trace trace = mix_.GenerateTrace(opts);
+  const TraceSummary s = trace.Summarize();
+  // High reference locality (paper Figure 2 discussion).
+  EXPECT_GT(s.max_hit_ratio, 0.6);
+  EXPECT_GT(s.max_cost_savings_ratio, 0.6);
+  // But thousands of queries never repeat.
+  EXPECT_GT(s.num_distinct_queries, 3000u);
+}
+
+TEST_F(TpcdWorkloadTest, QueryIdsAreCompressed) {
+  TraceGenOptions opts;
+  opts.num_queries = 50;
+  const Trace trace = mix_.GenerateTrace(opts);
+  for (const QueryEvent& e : trace) {
+    EXPECT_EQ(e.query_id.find(' '), std::string::npos);
+    EXPECT_EQ(e.query_id.find('('), std::string::npos);
+  }
+}
+
+// -------------------------------------------------- Set Query workload
+
+class SetQueryWorkloadTest : public testing::Test {
+ protected:
+  SetQueryWorkloadTest()
+      : db_(MakeSetQueryDatabase()), mix_(MakeSetQueryWorkload(db_)) {}
+  Database db_;
+  WorkloadMix mix_;
+};
+
+TEST_F(SetQueryWorkloadTest, HasSixTemplateFamilies) {
+  EXPECT_EQ(mix_.num_templates(), 6u);
+}
+
+TEST_F(SetQueryWorkloadTest, CostDistributionMoreSkewedThanTpcd) {
+  // Paper: "the distribution of query execution costs is more skewed in
+  // the Set Query benchmark" -- expensive scans coexist with cheap
+  // index-based selections.
+  TraceGenOptions opts;
+  opts.num_queries = 5000;
+  const Trace trace = mix_.GenerateTrace(opts);
+  const TraceSummary s = trace.Summarize();
+  EXPECT_GT(s.max_cost, 100u * s.min_cost);
+}
+
+TEST_F(SetQueryWorkloadTest, CountQueriesReturnTinyResults) {
+  const QueryTemplate* counts = mix_.FindTemplate(1);
+  ASSERT_NE(counts, nullptr);
+  for (uint64_t inst = 0; inst < counts->instance_space(); inst += 13) {
+    EXPECT_LE(counts->Properties(inst).result_bytes, 64u);
+  }
+}
+
+TEST_F(SetQueryWorkloadTest, CountCostsDependOnColumnCardinality) {
+  const QueryTemplate* counts = mix_.FindTemplate(1);
+  ASSERT_NE(counts, nullptr);
+  // Instance 0 is a K2 count (full scan); the last instances are K100
+  // counts (index-assisted, cheaper).
+  const uint64_t coarse = counts->Properties(0).cost_block_reads;
+  const uint64_t fine =
+      counts->Properties(counts->instance_space() - 1).cost_block_reads;
+  EXPECT_GT(coarse, fine);
+}
+
+TEST_F(SetQueryWorkloadTest, TraceMatchesPaperInfiniteCacheShape) {
+  TraceGenOptions opts;
+  opts.num_queries = 17000;
+  opts.seed = 9602;
+  const Trace trace = mix_.GenerateTrace(opts);
+  const TraceSummary s = trace.Summarize();
+  // Paper Figure 2: CSR 0.92, HR 0.65, 16.1 MB distinct result bytes.
+  EXPECT_NEAR(s.max_cost_savings_ratio, 0.92, 0.04);
+  EXPECT_NEAR(s.max_hit_ratio, 0.65, 0.05);
+  EXPECT_NEAR(static_cast<double>(s.distinct_result_bytes), 16.1e6, 4e6);
+}
+
+}  // namespace
+}  // namespace watchman

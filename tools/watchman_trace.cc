@@ -1,0 +1,148 @@
+// watchman_trace: generate, summarize and convert workload traces.
+//
+// Usage:
+//   watchman_trace generate <tpcd|setquery|multiclass|drilldown|buffer>
+//                  <out.wtrc> [num_queries] [seed]
+//   watchman_trace summarize <trace.wtrc>
+//   watchman_trace export-csv <trace.wtrc> <out.csv>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "storage/schemas.h"
+#include "trace/trace_io.h"
+#include "util/string_util.h"
+#include "workload/buffer_workload.h"
+#include "workload/drilldown.h"
+#include "workload/multiclass_workload.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+
+namespace {
+
+using namespace watchman;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  watchman_trace generate <tpcd|setquery|multiclass|drilldown|"
+      "buffer> <out.wtrc> [num_queries] [seed]\n"
+      "  watchman_trace summarize <trace.wtrc>\n"
+      "  watchman_trace export-csv <trace.wtrc> <out.csv>\n");
+  return 2;
+}
+
+StatusOr<Trace> Generate(const std::string& workload, size_t num_queries,
+                         uint64_t seed) {
+  TraceGenOptions gen;
+  gen.num_queries = num_queries;
+  gen.seed = seed;
+  if (workload == "tpcd") {
+    Database db = MakeTpcdDatabase();
+    return MakeTpcdWorkload(db).GenerateTrace(gen);
+  }
+  if (workload == "setquery") {
+    Database db = MakeSetQueryDatabase();
+    return MakeSetQueryWorkload(db).GenerateTrace(gen);
+  }
+  if (workload == "buffer") {
+    Database db = MakeBufferExperimentDatabase();
+    return MakeBufferWorkload(db).GenerateTrace(gen);
+  }
+  if (workload == "multiclass") {
+    MulticlassOptions opts;
+    opts.num_queries = num_queries;
+    opts.seed = seed;
+    return GenerateMulticlassTrace(opts);
+  }
+  if (workload == "drilldown") {
+    DrillDownOptions opts;
+    opts.num_queries = num_queries;
+    opts.seed = seed;
+    return GenerateDrillDownTrace(opts);
+  }
+  return Status::InvalidArgument("unknown workload: " + workload);
+}
+
+int Summarize(const std::string& path) {
+  StatusOr<Trace> trace = ReadTraceBinary(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const TraceSummary s = trace->Summarize();
+  std::printf("trace        : %s (%s)\n", path.c_str(),
+              trace->name().c_str());
+  std::printf("queries      : %llu (%llu distinct)\n",
+              static_cast<unsigned long long>(s.num_events),
+              static_cast<unsigned long long>(s.num_distinct_queries));
+  std::printf("result bytes : min %llu, mean %.0f, max %llu; distinct "
+              "total %s\n",
+              static_cast<unsigned long long>(s.min_result_bytes),
+              s.mean_result_bytes,
+              static_cast<unsigned long long>(s.max_result_bytes),
+              HumanBytes(s.distinct_result_bytes).c_str());
+  std::printf("cost (reads) : min %llu, mean %.0f, max %llu\n",
+              static_cast<unsigned long long>(s.min_cost), s.mean_cost,
+              static_cast<unsigned long long>(s.max_cost));
+  std::printf("upper bounds : HR %.3f, CSR %.3f (infinite cache)\n",
+              s.max_hit_ratio, s.max_cost_savings_ratio);
+  std::printf("span         : %.1f hours of simulated time\n",
+              static_cast<double>(s.last_timestamp - s.first_timestamp) /
+                  static_cast<double>(kSecond) / 3600.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "generate") {
+    if (argc < 4) return Usage();
+    const std::string workload = argv[2];
+    const std::string out = argv[3];
+    const size_t num_queries =
+        argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 17000;
+    const uint64_t seed =
+        argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5])) : 42;
+    watchman::StatusOr<watchman::Trace> trace =
+        Generate(workload, num_queries, seed);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    watchman::Status st = watchman::WriteTraceBinary(*trace, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu events to %s\n", trace->size(), out.c_str());
+    return 0;
+  }
+  if (command == "summarize") {
+    return Summarize(argv[2]);
+  }
+  if (command == "export-csv") {
+    if (argc < 4) return Usage();
+    watchman::StatusOr<watchman::Trace> trace =
+        watchman::ReadTraceBinary(argv[2]);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    watchman::Status st = watchman::WriteTraceCsv(*trace, argv[3]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", trace->size(), argv[3]);
+    return 0;
+  }
+  return Usage();
+}

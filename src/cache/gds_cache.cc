@@ -1,7 +1,6 @@
 #include "cache/gds_cache.h"
 
 #include <algorithm>
-#include <utility>
 
 namespace watchman {
 
@@ -16,6 +15,7 @@ double GdsCache::HValue(const QueryDescriptor& d) const {
 
 void GdsCache::OnHit(Entry* entry, Timestamp /*now*/) {
   entry->gds_h = HValue(entry->desc);
+  by_h_.Update(entry, 0, entry->gds_h, entry->history.last());
 }
 
 void GdsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
@@ -24,9 +24,7 @@ void GdsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
     return;
   }
   if (d.result_bytes > available_bytes()) {
-    auto victims = SelectVictims(
-        d.result_bytes - available_bytes(),
-        [](Entry* e) { return std::make_pair(e->gds_h, e->history.last()); });
+    auto victims = CollectVictims(by_h_, d.result_bytes - available_bytes());
     double max_evicted_h = inflation_;
     for (Entry* victim : victims) {
       max_evicted_h = std::max(max_evicted_h, victim->gds_h);
@@ -34,8 +32,25 @@ void GdsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
     }
     inflation_ = max_evicted_h;
   }
-  Entry* entry = InsertEntry(d, now);
-  entry->gds_h = HValue(d);
+  InsertEntry(d, now);
+}
+
+void GdsCache::OnInsert(Entry* entry, Timestamp /*now*/) {
+  entry->gds_h = HValue(entry->desc);
+  by_h_.Add(entry, 0, entry->gds_h, entry->history.last());
+}
+
+void GdsCache::OnEvict(Entry* entry) { by_h_.Remove(entry); }
+
+Status GdsCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  for (const auto& item : by_h_) {
+    if (item.key.primary != item.node->gds_h) {
+      return Status::Internal("gds index key out of date");
+    }
+    bytes += item.node->desc.result_bytes;
+  }
+  return CheckIndexAccounting("gds index", by_h_.size(), bytes);
 }
 
 }  // namespace watchman

@@ -3,6 +3,10 @@
 // paper. Each set carries H = L + cost/size; the set with minimal H is
 // evicted and L inflates to the evicted H, which ages unreferenced sets
 // without timestamps.
+//
+// Eviction order is an incrementally maintained ordered index keyed by
+// (H, last reference time); a hit re-keys the entry in O(log n). The
+// inflation trick makes H static between touches, so the index is exact.
 
 #ifndef WATCHMAN_CACHE_GDS_CACHE_H_
 #define WATCHMAN_CACHE_GDS_CACHE_H_
@@ -26,11 +30,15 @@ class GdsCache : public QueryCache {
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
 
  private:
   double HValue(const QueryDescriptor& d) const;
 
   double inflation_ = 0.0;
+  VictimIndex by_h_;
 };
 
 }  // namespace watchman

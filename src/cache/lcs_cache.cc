@@ -1,14 +1,15 @@
 #include "cache/lcs_cache.h"
 
-#include <cstdint>
-#include <utility>
-
 namespace watchman {
 
 LcsCache::LcsCache(uint64_t capacity_bytes)
     : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
 
-void LcsCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+void LcsCache::OnHit(Entry* entry, Timestamp /*now*/) {
+  // Size is immutable; only the recency tie-break changes.
+  by_size_.Update(entry, 0, -static_cast<double>(entry->desc.result_bytes),
+                  entry->history.last());
+}
 
 void LcsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   if (d.result_bytes > capacity_bytes()) {
@@ -16,15 +17,27 @@ void LcsCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
     return;
   }
   if (d.result_bytes > available_bytes()) {
-    auto victims = SelectVictims(
-        d.result_bytes - available_bytes(), [](Entry* e) {
-          // Largest first; ties broken least-recently-used first.
-          return std::make_pair(
-              ~uint64_t{0} - e->desc.result_bytes, e->history.last());
-        });
+    auto victims =
+        CollectVictims(by_size_, d.result_bytes - available_bytes());
     for (Entry* victim : victims) EvictEntry(victim);
   }
   InsertEntry(d, now);
+}
+
+void LcsCache::OnInsert(Entry* entry, Timestamp /*now*/) {
+  // Largest first: descending size, ties least-recently-used first.
+  by_size_.Add(entry, 0, -static_cast<double>(entry->desc.result_bytes),
+               entry->history.last());
+}
+
+void LcsCache::OnEvict(Entry* entry) { by_size_.Remove(entry); }
+
+Status LcsCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  for (const auto& item : by_size_) {
+    bytes += item.node->desc.result_bytes;
+  }
+  return CheckIndexAccounting("lcs index", by_size_.size(), bytes);
 }
 
 }  // namespace watchman

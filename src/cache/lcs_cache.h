@@ -2,6 +2,10 @@
 // first, the replacement policy the ADMS project found strongest among
 // the classic ones (paper section 5). Size-aware but cost- and
 // rate-oblivious.
+//
+// Eviction order is an incrementally maintained ordered index keyed by
+// (descending size, last reference time); a hit re-keys the entry in
+// O(log n).
 
 #ifndef WATCHMAN_CACHE_LCS_CACHE_H_
 #define WATCHMAN_CACHE_LCS_CACHE_H_
@@ -22,6 +26,12 @@ class LcsCache : public QueryCache {
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
+
+ private:
+  VictimIndex by_size_;
 };
 
 }  // namespace watchman

@@ -1,13 +1,22 @@
 #include "cache/lfu_cache.h"
 
-#include <utility>
-
 namespace watchman {
 
 LfuCache::LfuCache(uint64_t capacity_bytes)
     : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
 
-void LfuCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+void LfuCache::Rekey(Entry* entry, bool already_indexed) {
+  const double refs = static_cast<double>(entry->cached_refs);
+  if (already_indexed) {
+    by_frequency_.Update(entry, 0, refs, entry->history.last());
+  } else {
+    by_frequency_.Add(entry, 0, refs, entry->history.last());
+  }
+}
+
+void LfuCache::OnHit(Entry* entry, Timestamp /*now*/) {
+  Rekey(entry, /*already_indexed=*/true);
+}
 
 void LfuCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   if (d.result_bytes > capacity_bytes()) {
@@ -15,13 +24,29 @@ void LfuCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
     return;
   }
   if (d.result_bytes > available_bytes()) {
-    auto victims = SelectVictims(
-        d.result_bytes - available_bytes(), [](Entry* e) {
-          return std::make_pair(e->cached_refs, e->history.last());
-        });
+    auto victims =
+        CollectVictims(by_frequency_, d.result_bytes - available_bytes());
     for (Entry* victim : victims) EvictEntry(victim);
   }
   InsertEntry(d, now);
+}
+
+void LfuCache::OnInsert(Entry* entry, Timestamp /*now*/) {
+  Rekey(entry, /*already_indexed=*/false);
+}
+
+void LfuCache::OnEvict(Entry* entry) { by_frequency_.Remove(entry); }
+
+Status LfuCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  for (const auto& item : by_frequency_) {
+    if (item.key.primary !=
+        static_cast<double>(item.node->cached_refs)) {
+      return Status::Internal("lfu index key out of date");
+    }
+    bytes += item.node->desc.result_bytes;
+  }
+  return CheckIndexAccounting("lfu index", by_frequency_.size(), bytes);
 }
 
 }  // namespace watchman

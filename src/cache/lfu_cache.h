@@ -1,6 +1,10 @@
 // LFU over retrieved sets: evicts the set with the fewest references
 // received while cached (ties broken least-recently-used). One of the
 // baselines discussed in the paper's related work (ADMS experiments).
+//
+// Eviction order is an incrementally maintained ordered index keyed by
+// (cached reference count, last reference time); a hit re-keys the
+// entry in O(log n).
 
 #ifndef WATCHMAN_CACHE_LFU_CACHE_H_
 #define WATCHMAN_CACHE_LFU_CACHE_H_
@@ -21,6 +25,14 @@ class LfuCache : public QueryCache {
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
+
+ private:
+  void Rekey(Entry* entry, bool already_indexed);
+
+  VictimIndex by_frequency_;
 };
 
 }  // namespace watchman

@@ -46,13 +46,11 @@ double LncCache::MinCachedProfit(Timestamp now) {
 }
 
 std::vector<QueryCache::Entry*> LncCache::SelectCandidates(
-    uint64_t bytes_needed, Timestamp now) {
-  return SelectVictims(bytes_needed, [this, now](Entry* e) {
-    // Bucket R_i: i = number of recorded references (capped at K by the
-    // history window). Lower buckets are evicted first; ascending profit
-    // within a bucket.
-    return std::make_pair(e->history.size(), EntryProfit(*e, now));
-  });
+    uint64_t bytes_needed) {
+  // Bucket R_i: i = number of recorded references (capped at K by the
+  // history window). Lower buckets are evicted first; ascending profit
+  // within a bucket. The index maintains exactly this order.
+  return CollectVictims(by_profit_, bytes_needed);
 }
 
 double LncCache::ListProfit(const std::vector<Entry*>& list,
@@ -86,7 +84,32 @@ double LncCache::ListEstimatedProfit(const std::vector<Entry*>& list) const {
   return cost_sum / size_sum;
 }
 
-void LncCache::OnHit(Entry* /*entry*/, Timestamp now) { MaybeSweep(now); }
+void LncCache::RekeyEntry(Entry* entry, Timestamp now, bool already_indexed) {
+  const uint32_t bucket = static_cast<uint32_t>(entry->history.size());
+  const double profit = EntryProfit(*entry, now);
+  if (already_indexed) {
+    by_profit_.Update(entry, bucket, profit, 0);
+  } else {
+    by_profit_.Add(entry, bucket, profit, 0);
+  }
+}
+
+void LncCache::RefreshSomeProfits(Timestamp now) {
+  if (refresh_queue_.empty() || opts_.sweep_interval == 0) return;
+  const size_t batch =
+      (entry_count() + opts_.sweep_interval - 1) / opts_.sweep_interval;
+  for (size_t i = 0; i < batch && !refresh_queue_.empty(); ++i) {
+    Entry* e = refresh_queue_.front();
+    RekeyEntry(e, now, /*already_indexed=*/true);
+    refresh_queue_.MoveToBack(e);
+  }
+}
+
+void LncCache::OnHit(Entry* entry, Timestamp now) {
+  RekeyEntry(entry, now, /*already_indexed=*/true);
+  refresh_queue_.MoveToBack(entry);
+  MaybeSweep(now);
+}
 
 void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   MaybeSweep(now);
@@ -116,7 +139,7 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   }
 
   const uint64_t bytes_needed = d.result_bytes - available_bytes();
-  std::vector<Entry*> candidates = SelectCandidates(bytes_needed, now);
+  std::vector<Entry*> candidates = SelectCandidates(bytes_needed);
 
   bool admit = true;
   if (opts_.admission) {
@@ -154,7 +177,30 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   }
 }
 
-void LncCache::OnEvict(const Entry& entry) { RetainEntryInfo(entry); }
+void LncCache::OnInsert(Entry* entry, Timestamp now) {
+  RekeyEntry(entry, now, /*already_indexed=*/false);
+  refresh_queue_.PushBack(entry);
+}
+
+void LncCache::OnEvict(Entry* entry) {
+  by_profit_.Remove(entry);
+  refresh_queue_.Remove(entry);
+  RetainEntryInfo(*entry);
+}
+
+Status LncCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  for (const auto& item : by_profit_) {
+    if (item.key.bucket != item.node->history.size()) {
+      return Status::Internal("lnc index bucket out of date");
+    }
+    bytes += item.node->desc.result_bytes;
+  }
+  if (refresh_queue_.size() != entry_count()) {
+    return Status::Internal("lnc refresh queue entry count mismatch");
+  }
+  return CheckIndexAccounting("lnc index", by_profit_.size(), bytes);
+}
 
 void LncCache::RetainEntryInfo(const Entry& entry) {
   if (!opts_.retain_reference_info) return;
@@ -169,9 +215,13 @@ void LncCache::MaybeSweep(Timestamp now) {
   if (opts_.aging_period > 0 && now >= aging_tick_ + opts_.aging_period) {
     aging_tick_ = now;
   }
-  if (!opts_.retain_reference_info) return;
+  // Rate aging: refresh a bounded batch of index keys per reference, so
+  // sets that stopped being referenced sink toward the eviction end
+  // without any reference paying for a full-index walk.
+  RefreshSomeProfits(now);
   if (++references_since_sweep_ < opts_.sweep_interval) return;
   references_since_sweep_ = 0;
+  if (!opts_.retain_reference_info) return;
   if (retained_.empty()) return;
   const double min_profit = MinCachedProfit(now);
   if (std::isinf(min_profit)) return;

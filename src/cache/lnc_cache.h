@@ -20,6 +20,19 @@
 // Retained reference information (section 2.4): timestamps, size and cost
 // of evicted and admission-rejected sets are retained, and dropped when
 // their profit falls below the least profit among all cached sets.
+//
+// Victim order is an incrementally maintained ordered index keyed by
+// (reference-count bucket, profit). A reference re-keys the touched
+// entry with its profit at that instant; untouched entries keep the
+// profit of their last re-keying and are refreshed round-robin -- every
+// reference re-keys ceil(n / sweep_interval) of the longest-unrefreshed
+// entries, so each entry's rate estimate ages within ~sweep_interval
+// references without ever stalling a reference on a full-index walk.
+// This is the paper's reduced-overhead profit maintenance ("updated ...
+// at fixed time periods") applied to the index: selection walks the
+// index in O(victims * log n) instead of re-heapifying every cached
+// set, while the admission comparisons of Figure 1 still evaluate exact
+// decision-time profits.
 
 #ifndef WATCHMAN_CACHE_LNC_CACHE_H_
 #define WATCHMAN_CACHE_LNC_CACHE_H_
@@ -47,8 +60,9 @@ struct LncOptions {
   /// Enables retained reference information (section 2.4).
   bool retain_reference_info = true;
 
-  /// Sweep the retained store (profit drop rule) every this many
-  /// references.
+  /// Rate-aging horizon: every entry's profit key is refreshed within
+  /// this many references (spread round-robin), and the retained store
+  /// is swept at the same cadence.
   uint64_t sweep_interval = 64;
 
   /// Profit evaluation mode. In exact mode profits are evaluated with
@@ -76,7 +90,7 @@ class LncCache : public QueryCache {
   /// cache (nothing constrains the retained store then).
   double MinCachedProfit(Timestamp now);
 
-  size_t retained_count() const { return retained_.size(); }
+  size_t retained_count() const override { return retained_.size(); }
   uint64_t retained_metadata_bytes() const {
     return retained_.ApproxMetadataBytes();
   }
@@ -86,7 +100,9 @@ class LncCache : public QueryCache {
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
-  void OnEvict(const Entry& entry) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
 
  private:
   /// lambda estimate honouring the aging mode: exact mode uses `now`,
@@ -96,14 +112,21 @@ class LncCache : public QueryCache {
 
   /// The LNC-R candidate-selection function (Figure 1): a minimal list of
   /// victims in (reference-count bucket, ascending profit) order whose
-  /// sizes sum to at least `bytes_needed`.
-  std::vector<Entry*> SelectCandidates(uint64_t bytes_needed, Timestamp now);
+  /// sizes sum to at least `bytes_needed` -- a walk of the profit index.
+  std::vector<Entry*> SelectCandidates(uint64_t bytes_needed);
 
   /// Aggregate profit of a candidate list (eq. 5); requires rates.
   double ListProfit(const std::vector<Entry*>& list, Timestamp now) const;
 
   /// Aggregate estimated profit of a candidate list (eq. 8).
   double ListEstimatedProfit(const std::vector<Entry*>& list) const;
+
+  /// (Re-)keys `entry` in the profit index with its profit at `now`.
+  void RekeyEntry(Entry* entry, Timestamp now, bool already_indexed);
+
+  /// Re-keys the ceil(n / sweep_interval) longest-unrefreshed entries
+  /// with their profit at `now` (incremental rate aging).
+  void RefreshSomeProfits(Timestamp now);
 
   void RetainEntryInfo(const Entry& entry);
   void MaybeSweep(Timestamp now);
@@ -113,6 +136,10 @@ class LncCache : public QueryCache {
   uint64_t references_since_sweep_ = 0;
   /// Aging mode: the clock value profits are currently evaluated at.
   Timestamp aging_tick_ = 0;
+  /// Victim order: (reference-count bucket, profit at last re-keying).
+  VictimIndex by_profit_;
+  /// Round-robin rate-aging order: front = refreshed longest ago.
+  VictimList refresh_queue_;
 };
 
 }  // namespace watchman

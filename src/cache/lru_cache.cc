@@ -5,8 +5,8 @@ namespace watchman {
 LruCache::LruCache(uint64_t capacity_bytes)
     : QueryCache(Options{capacity_bytes, /*k=*/1}) {}
 
-void LruCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {
-  // Recency is read from the reference history; nothing else to do.
+void LruCache::OnHit(Entry* entry, Timestamp /*now*/) {
+  recency_.MoveToBack(entry);
 }
 
 void LruCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
@@ -15,12 +15,33 @@ void LruCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
     return;
   }
   if (d.result_bytes > available_bytes()) {
-    auto victims = SelectVictims(
-        d.result_bytes - available_bytes(),
-        [](Entry* e) { return e->history.last(); });
+    auto victims =
+        CollectVictims(recency_, d.result_bytes - available_bytes());
     for (Entry* victim : victims) EvictEntry(victim);
   }
   InsertEntry(d, now);
+}
+
+void LruCache::OnInsert(Entry* entry, Timestamp /*now*/) {
+  recency_.PushBack(entry);
+}
+
+void LruCache::OnEvict(Entry* entry) { recency_.Remove(entry); }
+
+Status LruCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  size_t count = 0;
+  Timestamp prev = 0;
+  for (const Entry* e = recency_.front(); e != nullptr;
+       e = VictimList::Next(e)) {
+    bytes += e->desc.result_bytes;
+    ++count;
+    if (e->history.last() < prev) {
+      return Status::Internal("lru list out of recency order");
+    }
+    prev = e->history.last();
+  }
+  return CheckIndexAccounting("lru list", count, bytes);
 }
 
 }  // namespace watchman

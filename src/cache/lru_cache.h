@@ -1,6 +1,9 @@
 // Vanilla LRU over retrieved sets: the paper's primary baseline.
 // Admits every set that fits in the cache at all and evicts
 // least-recently-used sets until there is room.
+//
+// Recency order is an intrusive list (front = least recently used), so
+// hits and victim selection are O(1) per entry touched.
 
 #ifndef WATCHMAN_CACHE_LRU_CACHE_H_
 #define WATCHMAN_CACHE_LRU_CACHE_H_
@@ -21,6 +24,13 @@ class LruCache : public QueryCache {
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
+
+ private:
+  /// Front = next victim (least recently used), back = most recent.
+  VictimList recency_;
 };
 
 }  // namespace watchman

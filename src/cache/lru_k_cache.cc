@@ -1,6 +1,7 @@
 #include "cache/lru_k_cache.h"
 
 #include <utility>
+#include <vector>
 
 namespace watchman {
 
@@ -13,7 +14,24 @@ std::string LruKCache::name() const {
   return "lru-" + std::to_string(k());
 }
 
-void LruKCache::OnHit(Entry* /*entry*/, Timestamp /*now*/) {}
+Timestamp LruKCache::KthRecent(const Entry& entry) const {
+  // recent(size-1) is the oldest retained timestamp = the K-th most
+  // recent once the window is full.
+  return entry.history.recent(k() - 1);
+}
+
+void LruKCache::OnHit(Entry* entry, Timestamp /*now*/) {
+  if (full_.Contains(entry)) {
+    full_.Update(entry, 0, 0.0, KthRecent(*entry));
+  } else if (entry->history.size() >= k()) {
+    // This reference completed the history window: graduate from the
+    // partial list into the full index.
+    partial_.Remove(entry);
+    full_.Add(entry, 0, 0.0, KthRecent(*entry));
+  } else {
+    partial_.MoveToBack(entry);
+  }
+}
 
 void LruKCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   if (++references_since_sweep_ >= opts_.sweep_interval) {
@@ -35,30 +53,67 @@ void LruKCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   history.Record(now);
 
   if (d.result_bytes > available_bytes()) {
-    // Backward K-distance order: sets with fewer than K references
-    // first (LRU among them), then by oldest K-th most recent
-    // reference.
-    auto victims = SelectVictims(
-        d.result_bytes - available_bytes(), [this](Entry* e) {
-          const bool full = e->history.size() >= k();
-          // recent(size-1) is the oldest retained timestamp = the K-th
-          // most recent once the window is full.
-          const Timestamp key_time =
-              full ? e->history.recent(k() - 1) : e->history.last();
-          return std::make_pair(full ? 1 : 0, key_time);
-        });
+    // Backward K-distance order: the partial list (sets with fewer than
+    // K references, LRU among them), then the full index by oldest K-th
+    // most recent reference.
+    uint64_t bytes_needed = d.result_bytes - available_bytes();
+    std::vector<Entry*> victims = CollectVictims(partial_, bytes_needed);
+    uint64_t freed = 0;
+    for (const Entry* v : victims) freed += v->desc.result_bytes;
+    if (freed < bytes_needed) {
+      for (Entry* v : CollectVictims(full_, bytes_needed - freed)) {
+        victims.push_back(v);
+      }
+    }
     for (Entry* victim : victims) EvictEntry(victim);
   }
   InsertEntry(d, now, &history);
 }
 
-void LruKCache::OnEvict(const Entry& entry) {
+void LruKCache::OnInsert(Entry* entry, Timestamp /*now*/) {
+  if (entry->history.size() >= k()) {
+    full_.Add(entry, 0, 0.0, KthRecent(*entry));
+  } else {
+    partial_.PushBack(entry);
+  }
+}
+
+void LruKCache::OnEvict(Entry* entry) {
+  if (full_.Contains(entry)) {
+    full_.Remove(entry);
+  } else {
+    partial_.Remove(entry);
+  }
   if (!opts_.retain_history) return;
   RetainedInfo info;
-  info.history = entry.history;
-  info.result_bytes = entry.desc.result_bytes;
-  info.cost = entry.desc.cost;
-  retained_.Put(entry.desc.query_id, std::move(info));
+  info.history = entry->history;
+  info.result_bytes = entry->desc.result_bytes;
+  info.cost = entry->desc.cost;
+  retained_.Put(entry->desc.query_id, std::move(info));
+}
+
+Status LruKCache::CheckPolicyIndex() const {
+  uint64_t bytes = 0;
+  size_t count = 0;
+  for (const Entry* e = partial_.front(); e != nullptr;
+       e = VictimList::Next(e)) {
+    if (e->history.size() >= k()) {
+      return Status::Internal("full-history entry on the partial list");
+    }
+    bytes += e->desc.result_bytes;
+    ++count;
+  }
+  for (const auto& item : full_) {
+    if (item.node->history.size() < k()) {
+      return Status::Internal("partial-history entry in the full index");
+    }
+    if (item.key.secondary != KthRecent(*item.node)) {
+      return Status::Internal("lru-k index key out of date");
+    }
+    bytes += item.node->desc.result_bytes;
+    ++count;
+  }
+  return CheckIndexAccounting("lru-k index", count, bytes);
 }
 
 }  // namespace watchman

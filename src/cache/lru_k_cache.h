@@ -4,6 +4,12 @@
 // references have infinite backward K-distance and are evicted first
 // (among themselves, least-recently-used first). Reference histories of
 // evicted sets are retained with a timeout (Five Minute Rule default).
+//
+// Eviction order is maintained incrementally in two buckets: sets with
+// fewer than K references live on an intrusive recency list (O(1) per
+// touch), sets with a full history in an ordered index keyed by their
+// K-th most recent reference (O(log n) re-key per hit). Victim
+// selection walks the partial list first, then the full index.
 
 #ifndef WATCHMAN_CACHE_LRU_K_CACHE_H_
 #define WATCHMAN_CACHE_LRU_K_CACHE_H_
@@ -33,17 +39,27 @@ class LruKCache : public QueryCache {
 
   std::string name() const override;
 
-  size_t retained_count() const { return retained_.size(); }
+  size_t retained_count() const override { return retained_.size(); }
 
  protected:
   void OnHit(Entry* entry, Timestamp now) override;
   void OnMiss(const QueryDescriptor& d, Timestamp now) override;
-  void OnEvict(const Entry& entry) override;
+  void OnInsert(Entry* entry, Timestamp now) override;
+  void OnEvict(Entry* entry) override;
+  Status CheckPolicyIndex() const override;
 
  private:
+  /// The K-th most recent reference of a full-history entry.
+  Timestamp KthRecent(const Entry& entry) const;
+
   LruKOptions opts_;
   TimeoutRetainedStore retained_;
   uint64_t references_since_sweep_ = 0;
+  /// Entries with fewer than K recorded references: infinite backward
+  /// K-distance, evicted first, LRU among themselves. Front = victim.
+  VictimList partial_;
+  /// Entries with K recorded references, keyed by KthRecent().
+  VictimIndex full_;
 };
 
 }  // namespace watchman

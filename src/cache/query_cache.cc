@@ -1,8 +1,22 @@
 #include "cache/query_cache.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace watchman {
+
+void CacheStats::Accumulate(const CacheStats& other) {
+  lookups += other.lookups;
+  hits += other.hits;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  admission_rejections += other.admission_rejections;
+  too_large_rejections += other.too_large_rejections;
+  cost_total += other.cost_total;
+  cost_saved += other.cost_saved;
+  bytes_inserted += other.bytes_inserted;
+  bytes_evicted += other.bytes_evicted;
+}
 
 QueryCache::QueryCache(const Options& options)
     : capacity_(options.capacity_bytes), k_(options.k == 0 ? 1 : options.k) {
@@ -10,10 +24,23 @@ QueryCache::QueryCache(const Options& options)
 }
 
 bool QueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
-  assert(now >= last_reference_time_);
+  return ReferenceImpl(d, now, /*probe_only=*/false);
+}
+
+bool QueryCache::TryReferenceCached(const QueryDescriptor& d, Timestamp now) {
+  return ReferenceImpl(d, now, /*probe_only=*/true);
+}
+
+bool QueryCache::ReferenceImpl(const QueryDescriptor& d, Timestamp now,
+                               bool probe_only) {
+  Entry* entry = FindEntry(d);
+  if (entry == nullptr && probe_only) return false;
+  // Tolerate slightly out-of-order timestamps (concurrent callers race
+  // into a shard with independently drawn clock ticks) by clamping
+  // forward; per-entry histories stay monotone.
+  now = std::max(now, last_reference_time_);
   last_reference_time_ = now;
   ++stats_.lookups;
-  Entry* entry = FindEntry(d);
   if (entry != nullptr) {
     // A hit saves the stored execution cost of the query (the
     // descriptor's cost may be unknown to callers on the hit path).
@@ -23,11 +50,19 @@ bool QueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
     entry->history.Record(now);
     ++entry->cached_refs;
     OnHit(entry, now);
-    return true;
+  } else {
+    stats_.cost_total += d.cost;
+    if (d.result_bytes == 0) {
+      // Zero-size retrieved sets are uncacheable under every policy
+      // (there is nothing to store; an entry without a payload would be
+      // a phantom that hits forever).
+      CountTooLargeRejection();
+    } else {
+      OnMiss(d, now);
+    }
   }
-  stats_.cost_total += d.cost;
-  OnMiss(d, now);
-  return false;
+  assert(CheckInvariants().ok());
+  return entry != nullptr;
 }
 
 bool QueryCache::Contains(const std::string& query_id) const {
@@ -79,12 +114,13 @@ QueryCache::Entry* QueryCache::InsertEntry(const QueryDescriptor& d,
   ++entry_count_;
   ++stats_.insertions;
   stats_.bytes_inserted += d.result_bytes;
+  OnInsert(raw, now);
   return raw;
 }
 
 void QueryCache::EvictEntry(Entry* entry) {
   assert(entry != nullptr);
-  OnEvict(*entry);
+  OnEvict(entry);
   if (eviction_listener_) eviction_listener_(entry->desc);
   auto it = index_.find(entry->desc.signature.value);
   assert(it != index_.end());
@@ -111,6 +147,44 @@ std::vector<QueryCache::Entry*> QueryCache::AllEntries() {
     for (auto& entry : bucket) out.push_back(entry.get());
   }
   return out;
+}
+
+std::vector<QueryCache::Entry*> QueryCache::CollectVictims(
+    const VictimList& list, uint64_t bytes_needed) {
+  std::vector<Entry*> victims;
+  uint64_t freed = 0;
+  for (Entry* e = list.front(); e != nullptr && freed < bytes_needed;
+       e = VictimList::Next(e)) {
+    victims.push_back(e);
+    freed += e->desc.result_bytes;
+  }
+  return victims;
+}
+
+std::vector<QueryCache::Entry*> QueryCache::CollectVictims(
+    const VictimIndex& index, uint64_t bytes_needed) {
+  std::vector<Entry*> victims;
+  uint64_t freed = 0;
+  for (auto it = index.begin(); it != index.end() && freed < bytes_needed;
+       ++it) {
+    victims.push_back(it->node);
+    freed += it->node->desc.result_bytes;
+  }
+  return victims;
+}
+
+Status QueryCache::CheckIndexAccounting(const char* index_name,
+                                        size_t indexed_entries,
+                                        uint64_t indexed_bytes) const {
+  if (indexed_entries != entry_count_) {
+    return Status::Internal(std::string(index_name) +
+                            " entry count mismatch");
+  }
+  if (indexed_bytes != used_) {
+    return Status::Internal(std::string(index_name) +
+                            " byte total mismatch");
+  }
+  return Status::OK();
 }
 
 Status QueryCache::CheckInvariants() const {
@@ -143,7 +217,7 @@ Status QueryCache::CheckInvariants() const {
   if (stats_.cost_saved > stats_.cost_total) {
     return Status::Internal("saved cost exceeds total cost");
   }
-  return Status::OK();
+  return CheckPolicyIndex();
 }
 
 }  // namespace watchman

@@ -6,11 +6,16 @@
 // (and optionally admission) decisions; the base class owns the index,
 // byte accounting and statistics so that every policy measures cost
 // savings ratio and hit ratio identically.
+//
+// Victim selection is driven by a policy-maintained eviction index (see
+// victim_index.h): the base notifies the policy when entries enter and
+// leave the cache (OnInsert / OnEvict) and the policy keeps its entries
+// in eviction order incrementally, so a miss walks the index instead of
+// rebuilding a heap over all entries.
 
 #ifndef WATCHMAN_CACHE_QUERY_CACHE_H_
 #define WATCHMAN_CACHE_QUERY_CACHE_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +25,7 @@
 
 #include "cache/query_descriptor.h"
 #include "cache/ref_history.h"
+#include "cache/victim_index.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -51,10 +57,14 @@ struct CacheStats {
                            : static_cast<double>(cost_saved) /
                                  static_cast<double>(cost_total);
   }
+
+  /// Accumulates `other` into this (per-shard stats aggregation).
+  void Accumulate(const CacheStats& other);
 };
 
 /// Abstract retrieved-set cache. Thread-compatible (external
-/// synchronization required), like the paper's library design.
+/// synchronization required), like the paper's library design; see
+/// ShardedQueryCache for the synchronized, partitioned front-end.
 class QueryCache {
  public:
   /// Common configuration of all policies.
@@ -72,10 +82,20 @@ class QueryCache {
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
-  /// Processes one reference to query `d` at time `now` (non-decreasing
-  /// across calls). Returns true if the retrieved set was served from
-  /// cache. On a miss the policy decides admission and eviction.
+  /// Processes one reference to query `d` at time `now`. Returns true if
+  /// the retrieved set was served from cache. On a miss the policy
+  /// decides admission and eviction. Timestamps are expected to be
+  /// non-decreasing across calls; a slightly older `now` (concurrent
+  /// callers racing into different shards) is clamped forward rather
+  /// than rejected.
   bool Reference(const QueryDescriptor& d, Timestamp now);
+
+  /// Hit-only probe: when `d` is cached, records the reference exactly
+  /// like Reference() and returns true; otherwise leaves the cache and
+  /// its statistics untouched (no lookup is counted) and returns false.
+  /// Lets a caller that must materialize the miss outside the cache lock
+  /// (Watchman::Execute) split the lookup from the later offer.
+  bool TryReferenceCached(const QueryDescriptor& d, Timestamp now);
 
   /// True if the retrieved set of `query_id` is currently cached.
   bool Contains(const std::string& query_id) const;
@@ -89,13 +109,19 @@ class QueryCache {
 
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
-  uint64_t available_bytes() const { return capacity_ - used_; }
+  uint64_t available_bytes() const {
+    return used_ >= capacity_ ? 0 : capacity_ - used_;
+  }
   size_t entry_count() const { return entry_count_; }
   size_t k() const { return k_; }
   const CacheStats& stats() const { return stats_; }
 
   /// Policy name for reports ("lru", "lnc-ra", ...).
   virtual std::string name() const = 0;
+
+  /// Entries in the policy's retained-information store (0 for policies
+  /// without one).
+  virtual size_t retained_count() const { return 0; }
 
   /// Registers a callback invoked whenever an entry is evicted (used by
   /// the buffer-hint machinery to track which retrieved sets are
@@ -106,7 +132,8 @@ class QueryCache {
   }
 
   /// Verifies internal accounting (byte totals, entry counts, capacity
-  /// bound). Used by tests and debug assertions.
+  /// bound) and cross-checks the policy's victim index against it. Used
+  /// by tests and debug assertions.
   Status CheckInvariants() const;
 
  protected:
@@ -119,24 +146,42 @@ class QueryCache {
     Timestamp inserted_at = 0;
     /// GreedyDual-Size inflated value (used by GdsCache only).
     double gds_h = 0.0;
+    /// Victim-index hooks: intrusive-list linkage and the ordered-index
+    /// key handle (see victim_index.h). Maintained by the policy.
+    Entry* vprev = nullptr;
+    Entry* vnext = nullptr;
+    VictimKey vkey;
   };
 
+  using VictimList = IntrusiveVictimList<Entry>;
+  using VictimIndex = OrderedVictimIndex<Entry>;
+
   /// Hook invoked after the base records a cache hit (history already
-  /// updated).
+  /// updated); the policy re-keys the entry in its victim index.
   virtual void OnHit(Entry* entry, Timestamp now) = 0;
 
   /// Hook invoked on a miss; the policy performs admission, eviction and
   /// insertion via the protected helpers.
   virtual void OnMiss(const QueryDescriptor& d, Timestamp now) = 0;
 
-  /// Hook invoked just before an entry leaves the cache (for retained
-  /// reference information).
-  virtual void OnEvict(const Entry& entry) { (void)entry; }
+  /// Hook invoked by InsertEntry after the base bookkeeping; the policy
+  /// adds the entry to its victim index.
+  virtual void OnInsert(Entry* entry, Timestamp now) = 0;
+
+  /// Hook invoked just before an entry leaves the cache; the policy
+  /// removes it from its victim index (and may retain reference
+  /// information).
+  virtual void OnEvict(Entry* entry) = 0;
+
+  /// Cross-checks the policy's victim index against the base accounting:
+  /// every cached entry indexed exactly once, index byte total equal to
+  /// used_bytes(). Called by CheckInvariants().
+  virtual Status CheckPolicyIndex() const = 0;
 
   /// Inserts a new entry; there must be room (checked). If `history` is
   /// non-null its contents seed the entry's reference history (retained
   /// reference information); otherwise the entry starts with the single
-  /// reference at `now`.
+  /// reference at `now`. Invokes OnInsert.
   Entry* InsertEntry(const QueryDescriptor& d, Timestamp now,
                      const ReferenceHistory* history = nullptr);
 
@@ -146,41 +191,29 @@ class QueryCache {
   /// Returns pointers to all entries; invalidated by insert/evict.
   std::vector<Entry*> AllEntries();
 
-  /// Selects victims in ascending `key` order until their sizes sum to at
-  /// least `bytes_needed`. Does not evict. `KeyFn` maps Entry* to a
-  /// strict-weak-ordered key (double, pair, tuple...).
-  template <typename KeyFn>
-  std::vector<Entry*> SelectVictims(uint64_t bytes_needed, KeyFn key_fn) {
-    using Key = decltype(key_fn(static_cast<Entry*>(nullptr)));
-    std::vector<std::pair<Key, Entry*>> heap;
-    heap.reserve(entry_count_);
-    for (auto& [sig, bucket] : index_) {
-      for (auto& entry : bucket) {
-        heap.emplace_back(key_fn(entry.get()), entry.get());
-      }
-    }
-    auto greater = [](const std::pair<Key, Entry*>& a,
-                      const std::pair<Key, Entry*>& b) {
-      return b.first < a.first;
-    };
-    std::make_heap(heap.begin(), heap.end(), greater);
-    std::vector<Entry*> victims;
-    uint64_t freed = 0;
-    while (freed < bytes_needed && !heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), greater);
-      Entry* e = heap.back().second;
-      heap.pop_back();
-      victims.push_back(e);
-      freed += e->desc.result_bytes;
-    }
-    return victims;
-  }
+  /// Walks `list` front-to-back collecting victims until their sizes sum
+  /// to at least `bytes_needed`. Does not evict.
+  static std::vector<Entry*> CollectVictims(const VictimList& list,
+                                            uint64_t bytes_needed);
+
+  /// Walks `index` in ascending key order collecting victims until their
+  /// sizes sum to at least `bytes_needed`. Does not evict.
+  static std::vector<Entry*> CollectVictims(const VictimIndex& index,
+                                            uint64_t bytes_needed);
+
+  /// Shared tail of CheckPolicyIndex(): compares a policy index's walked
+  /// totals against the base accounting (every cached entry indexed
+  /// exactly once, bytes equal to used_bytes()).
+  Status CheckIndexAccounting(const char* index_name, size_t indexed_entries,
+                              uint64_t indexed_bytes) const;
 
   /// Records an admission rejection in the stats.
   void CountAdmissionRejection() { ++stats_.admission_rejections; }
   void CountTooLargeRejection() { ++stats_.too_large_rejections; }
 
  private:
+  bool ReferenceImpl(const QueryDescriptor& d, Timestamp now,
+                     bool probe_only);
   Entry* FindEntry(const QueryDescriptor& d);
 
   uint64_t capacity_;

@@ -1,0 +1,124 @@
+#include "cache/sharded_query_cache.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/sharding.h"
+
+namespace watchman {
+
+ShardedQueryCache::ShardedQueryCache(const Options& options,
+                                     const ShardFactory& factory)
+    : capacity_(options.capacity_bytes) {
+  assert(factory != nullptr);
+  size_t n = NormalizeShardCount(options.num_shards);
+  // Every shard must own at least one byte of the budget (policies
+  // reject a zero-capacity cache); a tiny capacity caps the fan-out.
+  while (n > 1 && capacity_ < n) n >>= 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->cache = factory(ShardCapacity(capacity_, n, i));
+    assert(shard->cache != nullptr);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t ShardedQueryCache::ShardIndexOf(uint64_t signature) const {
+  return ShardOfSignature(signature, shards_.size());
+}
+
+bool ShardedQueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
+  Shard& shard = *shards_[ShardIndexOf(d.signature.value)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache->Reference(d, now);
+}
+
+bool ShardedQueryCache::TryReferenceCached(const QueryDescriptor& d,
+                                           Timestamp now) {
+  Shard& shard = *shards_[ShardIndexOf(d.signature.value)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache->TryReferenceCached(d, now);
+}
+
+bool ShardedQueryCache::Contains(const std::string& query_id) const {
+  const Signature sig = ComputeSignature(query_id);
+  const Shard& shard = *shards_[ShardIndexOf(sig.value)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache->Contains(query_id);
+}
+
+bool ShardedQueryCache::Erase(const std::string& query_id) {
+  const Signature sig = ComputeSignature(query_id);
+  Shard& shard = *shards_[ShardIndexOf(sig.value)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.cache->Erase(query_id);
+}
+
+void ShardedQueryCache::SetEvictionListener(
+    std::function<void(const QueryDescriptor&)> listener) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache->SetEvictionListener(listener);
+  }
+}
+
+CacheStats ShardedQueryCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.Accumulate(shard->cache->stats());
+  }
+  return total;
+}
+
+uint64_t ShardedQueryCache::used_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache->used_bytes();
+  }
+  return total;
+}
+
+size_t ShardedQueryCache::entry_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache->entry_count();
+  }
+  return total;
+}
+
+size_t ShardedQueryCache::retained_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache->retained_count();
+  }
+  return total;
+}
+
+std::string ShardedQueryCache::name() const {
+  std::lock_guard<std::mutex> lock(shards_[0]->mu);
+  std::string base = shards_[0]->cache->name();
+  if (shards_.size() > 1) {
+    base += "x" + std::to_string(shards_.size());
+  }
+  return base;
+}
+
+Status ShardedQueryCache::CheckInvariants() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    Status st = shards_[i]->cache->CheckInvariants();
+    if (!st.ok()) {
+      return Status::Internal("shard " + std::to_string(i) + ": " +
+                              st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace watchman

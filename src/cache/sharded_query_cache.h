@@ -1,0 +1,107 @@
+// ShardedQueryCache: a thread-safe, hash-partitioned front-end over the
+// (thread-compatible) QueryCache policies.
+//
+// Entries are partitioned by query signature across N independent
+// policy instances, each guarded by its own mutex, so lookups on
+// different shards never contend. Each shard runs the full replacement
+// and admission machinery over its slice of the capacity; with one
+// shard the behaviour (every hit, eviction and statistic) is identical
+// to the wrapped unsharded policy, which the differential tests assert.
+//
+// Cache coherence works across shards: Erase() routes by the query ID's
+// signature, so the Watchman facade can invalidate any cached set no
+// matter which shard holds it.
+
+#ifndef WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
+#define WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/query_cache.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace watchman {
+
+/// Thread-safe sharded cache of retrieved sets.
+class ShardedQueryCache {
+ public:
+  /// Builds one policy instance with the given byte capacity; invoked
+  /// once per shard at construction.
+  using ShardFactory =
+      std::function<std::unique_ptr<QueryCache>(uint64_t capacity_bytes)>;
+
+  struct Options {
+    /// Total capacity in bytes, split across the shards.
+    uint64_t capacity_bytes = 0;
+    /// Requested shard count; normalized to a power of two in [1, 1024]
+    /// and reduced if needed so every shard owns at least one byte.
+    size_t num_shards = 1;
+  };
+
+  ShardedQueryCache(const Options& options, const ShardFactory& factory);
+
+  ShardedQueryCache(const ShardedQueryCache&) = delete;
+  ShardedQueryCache& operator=(const ShardedQueryCache&) = delete;
+
+  /// Processes one reference to `d` (see QueryCache::Reference) under
+  /// the owning shard's lock.
+  bool Reference(const QueryDescriptor& d, Timestamp now);
+
+  /// Hit-only probe (see QueryCache::TryReferenceCached): records the
+  /// reference and returns true when cached, touches nothing otherwise.
+  bool TryReferenceCached(const QueryDescriptor& d, Timestamp now);
+
+  /// True if the retrieved set of `query_id` is currently cached.
+  bool Contains(const std::string& query_id) const;
+
+  /// Invalidates the retrieved set of `query_id` on whichever shard
+  /// holds it. Returns true if an entry was removed.
+  bool Erase(const std::string& query_id);
+
+  /// Registers the eviction listener on every shard. The callback runs
+  /// under the evicting shard's lock; it must not call back into the
+  /// cache.
+  void SetEvictionListener(std::function<void(const QueryDescriptor&)>);
+
+  /// Statistics aggregated over all shards (a consistent per-shard
+  /// snapshot; shards are read under their locks one at a time).
+  CacheStats stats() const;
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const;
+  size_t entry_count() const;
+  size_t retained_count() const;
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Policy name of the wrapped caches, e.g. "lnc-ra(k=4)x8".
+  std::string name() const;
+
+  /// Direct access to one shard's policy (tests and benches; the caller
+  /// must synchronize externally or reach quiescence first).
+  QueryCache& shard(size_t i) { return *shards_[i]->cache; }
+  const QueryCache& shard(size_t i) const { return *shards_[i]->cache; }
+
+  /// Verifies every shard's invariants.
+  Status CheckInvariants() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<QueryCache> cache;
+  };
+
+  size_t ShardIndexOf(uint64_t signature) const;
+
+  uint64_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_

@@ -1,0 +1,154 @@
+// Policy-maintained victim indexes.
+//
+// Every replacement policy keeps its cached entries in an incrementally
+// maintained eviction order instead of re-heapifying all entries on each
+// miss: victim selection walks the index in ascending victim order and
+// stops as soon as enough bytes are covered, so a miss costs
+// O(victims * log n) (or O(victims) for the intrusive lists) rather than
+// O(n log n).
+//
+// Two structures cover all policies:
+//  * IntrusiveVictimList -- a doubly-linked list threaded through the
+//    entries themselves, for orders that a reference can only move to
+//    one end (pure recency: LRU, and the partial bucket of LRU-K).
+//  * OrderedVictimIndex -- a balanced-tree index over a composite key
+//    (bucket, primary, secondary, seq), for value orders that a
+//    reference re-keys in place (LFU counts, GreedyDual-Size H values,
+//    LCS sizes, LNC profits). The monotone `seq` makes keys unique and
+//    breaks exact ties in first-keyed-first-evicted order, matching the
+//    ascending-timestamp tie behaviour of the old heap selection.
+
+#ifndef WATCHMAN_CACHE_VICTIM_INDEX_H_
+#define WATCHMAN_CACHE_VICTIM_INDEX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <tuple>
+
+namespace watchman {
+
+/// Composite ordering key of an OrderedVictimIndex. Entries are evicted
+/// in ascending (bucket, primary, secondary, seq) order. `seq` is
+/// assigned by the index on every (re)keying; seq == 0 means "not
+/// currently in an ordered index".
+struct VictimKey {
+  uint32_t bucket = 0;
+  double primary = 0.0;
+  uint64_t secondary = 0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const VictimKey& a, const VictimKey& b) {
+    return std::tie(a.bucket, a.primary, a.secondary, a.seq) <
+           std::tie(b.bucket, b.primary, b.secondary, b.seq);
+  }
+};
+
+/// Intrusive doubly-linked list over nodes carrying `vprev` / `vnext`
+/// pointers. The front is the next victim; the back is the most
+/// recently touched node. All operations are O(1).
+template <typename Node>
+class IntrusiveVictimList {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+  Node* front() const { return head_; }
+  Node* back() const { return tail_; }
+  static Node* Next(const Node* n) { return n->vnext; }
+
+  void PushBack(Node* n) {
+    assert(n->vprev == nullptr && n->vnext == nullptr && n != head_);
+    n->vprev = tail_;
+    n->vnext = nullptr;
+    if (tail_ != nullptr) {
+      tail_->vnext = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+  }
+
+  void Remove(Node* n) {
+    assert(size_ > 0);
+    if (n->vprev != nullptr) {
+      n->vprev->vnext = n->vnext;
+    } else {
+      assert(head_ == n);
+      head_ = n->vnext;
+    }
+    if (n->vnext != nullptr) {
+      n->vnext->vprev = n->vprev;
+    } else {
+      assert(tail_ == n);
+      tail_ = n->vprev;
+    }
+    n->vprev = nullptr;
+    n->vnext = nullptr;
+    --size_;
+  }
+
+  void MoveToBack(Node* n) {
+    if (tail_ == n) return;
+    Remove(n);
+    PushBack(n);
+  }
+
+ private:
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Ordered victim index over nodes carrying a `vkey` member. The node's
+/// stored key is the handle for O(log n) removal, so no iterators need
+/// to be kept alive across mutations.
+template <typename Node>
+class OrderedVictimIndex {
+ public:
+  struct Item {
+    VictimKey key;
+    Node* node;
+    friend bool operator<(const Item& a, const Item& b) {
+      return a.key < b.key;  // seq makes keys unique
+    }
+  };
+  using const_iterator = typename std::set<Item>::const_iterator;
+
+  bool empty() const { return set_.empty(); }
+  size_t size() const { return set_.size(); }
+  const_iterator begin() const { return set_.begin(); }
+  const_iterator end() const { return set_.end(); }
+
+  bool Contains(const Node* n) const { return n->vkey.seq != 0; }
+
+  void Add(Node* n, uint32_t bucket, double primary, uint64_t secondary) {
+    assert(n->vkey.seq == 0 && "node already in an ordered index");
+    n->vkey = VictimKey{bucket, primary, secondary, ++next_seq_};
+    const bool inserted = set_.insert(Item{n->vkey, n}).second;
+    assert(inserted);
+    (void)inserted;
+  }
+
+  void Update(Node* n, uint32_t bucket, double primary, uint64_t secondary) {
+    Remove(n);
+    Add(n, bucket, primary, secondary);
+  }
+
+  void Remove(Node* n) {
+    assert(n->vkey.seq != 0 && "node not in the ordered index");
+    const size_t erased = set_.erase(Item{n->vkey, n});
+    assert(erased == 1);
+    (void)erased;
+    n->vkey = VictimKey{};
+  }
+
+ private:
+  std::set<Item> set_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_VICTIM_INDEX_H_

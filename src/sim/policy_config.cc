@@ -73,6 +73,17 @@ std::unique_ptr<QueryCache> MakeCache(const PolicyConfig& config,
   return nullptr;
 }
 
+std::unique_ptr<ShardedQueryCache> MakeShardedCache(
+    const PolicyConfig& config, uint64_t capacity_bytes, size_t num_shards) {
+  ShardedQueryCache::Options options;
+  options.capacity_bytes = capacity_bytes;
+  options.num_shards = num_shards;
+  return std::make_unique<ShardedQueryCache>(
+      options, [config](uint64_t shard_capacity) {
+        return MakeCache(config, shard_capacity);
+      });
+}
+
 StatusOr<PolicyConfig> ParsePolicy(const std::string& name) {
   PolicyConfig config;
   if (name == "lru") {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cache/query_cache.h"
+#include "cache/sharded_query_cache.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -43,6 +44,12 @@ std::string PolicyName(const PolicyConfig& config);
 /// an effectively unbounded LRU is returned.
 std::unique_ptr<QueryCache> MakeCache(const PolicyConfig& config,
                                       uint64_t capacity_bytes);
+
+/// Constructs a thread-safe sharded front-end running `config` on every
+/// shard (the factory the Watchman facade and the concurrency benches
+/// use). `num_shards` is normalized to a power of two.
+std::unique_ptr<ShardedQueryCache> MakeShardedCache(
+    const PolicyConfig& config, uint64_t capacity_bytes, size_t num_shards);
 
 /// Parses "lru", "lru-k", "lfu", "lcs", "gds", "lnc-r", "lnc-ra", "inf".
 StatusOr<PolicyConfig> ParsePolicy(const std::string& name);

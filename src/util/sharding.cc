@@ -1,0 +1,31 @@
+#include "util/sharding.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace watchman {
+
+size_t NormalizeShardCount(size_t requested) {
+  if (requested <= 1) return 1;
+  if (requested > kMaxShards) requested = kMaxShards;
+  size_t n = 1;
+  while (n < requested) n <<= 1;
+  return n;
+}
+
+size_t ShardOfSignature(uint64_t signature, size_t num_shards) {
+  assert(num_shards > 0 && (num_shards & (num_shards - 1)) == 0);
+  // Re-mix and take high bits: the unmixed low bits index the per-shard
+  // hash buckets.
+  return static_cast<size_t>(Mix64(signature) >> 32) & (num_shards - 1);
+}
+
+uint64_t ShardCapacity(uint64_t total, size_t num_shards, size_t shard) {
+  assert(shard < num_shards);
+  const uint64_t base = total / num_shards;
+  const uint64_t remainder = total % num_shards;
+  return base + (shard < remainder ? 1 : 0);
+}
+
+}  // namespace watchman

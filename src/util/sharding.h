@@ -1,0 +1,34 @@
+// Shard routing for signature-partitioned structures.
+//
+// A sharded cache partitions entries by their 64-bit query signature so
+// that independent shards can be locked independently. The signature is
+// already a hash, but its low bits also pick the bucket inside each
+// shard's hash index; routing therefore re-mixes the signature and uses
+// the high bits, so shard choice and bucket choice stay uncorrelated.
+
+#ifndef WATCHMAN_UTIL_SHARDING_H_
+#define WATCHMAN_UTIL_SHARDING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace watchman {
+
+/// Clamps a requested shard count into [1, kMaxShards] and rounds it up
+/// to a power of two, so routing is a mask instead of a modulo.
+size_t NormalizeShardCount(size_t requested);
+
+constexpr size_t kMaxShards = 1024;
+
+/// Maps a 64-bit signature to a shard in [0, num_shards).
+/// `num_shards` must be a power of two (see NormalizeShardCount).
+size_t ShardOfSignature(uint64_t signature, size_t num_shards);
+
+/// Splits `total` bytes across `num_shards` shards: every shard gets at
+/// least total / num_shards, the remainder goes to the first shards, so
+/// the per-shard capacities sum exactly to `total`.
+uint64_t ShardCapacity(uint64_t total, size_t num_shards, size_t shard);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_SHARDING_H_

@@ -28,7 +28,10 @@ class PayloadStore {
   /// Stores (or replaces) the payload under `key`.
   virtual Status Put(const std::string& key, const std::string& payload) = 0;
 
-  /// Fetches the payload; NotFound if absent.
+  /// Fetches the payload; NotFound if absent. Must be safe to call
+  /// concurrently with other Get() calls (Watchman serializes Get
+  /// against Put/Erase but lets payload fetches share a reader lock);
+  /// both built-in stores satisfy this.
   virtual StatusOr<std::string> Get(const std::string& key) = 0;
 
   /// Drops the payload; returns true if it existed.

@@ -13,26 +13,34 @@ namespace watchman {
 Watchman::Watchman(Options options, Executor executor)
     : options_(std::move(options)), executor_(std::move(executor)) {
   assert(executor_ != nullptr);
-  LncOptions lnc;
-  lnc.capacity_bytes = options_.capacity_bytes;
-  lnc.k = options_.k;
-  lnc.admission = options_.admission;
-  lnc.retain_reference_info = options_.retain_reference_info;
-  cache_ = std::make_unique<LncCache>(lnc);
+  PolicyConfig policy;
+  if (options_.policy.has_value()) {
+    policy = *options_.policy;
+  } else {
+    policy.kind =
+        options_.admission ? PolicyKind::kLncRA : PolicyKind::kLncR;
+    policy.k = options_.k;
+    policy.retain_reference_info = options_.retain_reference_info;
+  }
+  cache_ = MakeShardedCache(policy, options_.capacity_bytes,
+                            options_.num_shards);
   if (options_.payload_store != nullptr) {
     payloads_ = std::move(options_.payload_store);
   } else {
     payloads_ = std::make_unique<MemoryPayloadStore>();
   }
+  // Runs under the evicting shard's lock; touches only the payload and
+  // coherence state (never the cache), keeping the lock order
+  // shard -> payload/coherence acyclic.
   cache_->SetEvictionListener([this](const QueryDescriptor& d) {
-    payloads_->Erase(d.query_id);
+    ErasePayload(d.query_id);
     ForgetDependencies(d.query_id);
   });
 }
 
 Timestamp Watchman::NowTick() {
   if (options_.clock) return options_.clock();
-  return ++internal_clock_;
+  return internal_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::string Watchman::MakeQueryId(const std::string& query_text) const {
@@ -41,6 +49,7 @@ std::string Watchman::MakeQueryId(const std::string& query_text) const {
 }
 
 void Watchman::ForgetDependencies(const std::string& query_id) {
+  std::lock_guard<std::mutex> lock(coherence_mu_);
   auto it = reads_.find(query_id);
   if (it == reads_.end()) return;
   for (const std::string& relation : it->second) {
@@ -52,65 +61,198 @@ void Watchman::ForgetDependencies(const std::string& query_id) {
   reads_.erase(it);
 }
 
-StatusOr<std::string> Watchman::Query(const std::string& query_text) {
+void Watchman::RegisterDependencies(
+    const std::string& query_id, const std::vector<std::string>& relations) {
+  if (relations.empty()) return;
+  std::lock_guard<std::mutex> lock(coherence_mu_);
+  reads_[query_id] = relations;
+  for (const std::string& relation : relations) {
+    dependents_[relation].insert(query_id);
+  }
+}
+
+StatusOr<std::string> Watchman::GetPayload(const std::string& query_id) {
+  // Reader lock: payload fetches (the hit path) proceed concurrently.
+  std::shared_lock<std::shared_mutex> lock(payload_mu_);
+  return payloads_->Get(query_id);
+}
+
+bool Watchman::HasPayload(const std::string& query_id) const {
+  std::shared_lock<std::shared_mutex> lock(payload_mu_);
+  return payloads_->Contains(query_id);
+}
+
+Status Watchman::PutPayload(const std::string& query_id,
+                            const std::string& payload) {
+  std::unique_lock<std::shared_mutex> lock(payload_mu_);
+  return payloads_->Put(query_id, payload);
+}
+
+void Watchman::ErasePayload(const std::string& query_id) {
+  std::unique_lock<std::shared_mutex> lock(payload_mu_);
+  payloads_->Erase(query_id);
+}
+
+bool Watchman::InvalidatedSince(const std::string& query_id,
+                                const std::vector<std::string>& relations,
+                                uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(coherence_mu_);
+  auto invalidated_after = [epoch](const auto& map, const std::string& key) {
+    auto it = map.find(key);
+    return it != map.end() && it->second > epoch;
+  };
+  if (invalidated_after(query_invalidation_epoch_, query_id)) return true;
+  for (const std::string& relation : relations) {
+    if (invalidated_after(relation_invalidation_epoch_, relation)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Watchman::OfferToCache(const QueryDescriptor& desc,
+                            const ExecutionResult& result,
+                            uint64_t epoch_at_start, Timestamp now,
+                            bool record_reference) {
+  if (desc.result_bytes == 0) {
+    // Empty retrieved sets are returned but never cached (the cache
+    // rejects zero-size sets under every policy).
+    if (record_reference) cache_->Reference(desc, now);
+    return;
+  }
+  bool newly_admitted = false;
+  if (record_reference) {
+    newly_admitted = !cache_->Reference(desc, now);
+  }
+  if (!cache_->Contains(desc.query_id)) return;  // rejected or raced out
+  if (record_reference && !newly_admitted && HasPayload(desc.query_id)) {
+    // Deduplicated follower hitting the leader's already-published set:
+    // nothing left to publish.
+    return;
+  }
+  Status stored = PutPayload(desc.query_id, result.payload);
+  if (!stored.ok()) {
+    // Storage failure: keep the cache metadata consistent by dropping
+    // the entry; the caller still serves the fresh result.
+    cache_->Erase(desc.query_id);
+    return;
+  }
+  RegisterDependencies(desc.query_id, result.relations);
+  // Coherence check AFTER the dependencies are registered: an
+  // invalidation that lands before this point is detected here, and one
+  // that lands after will find the entry in dependents_ (or the cache
+  // itself, for per-query invalidation) and erase it -- no window in
+  // between.
+  if (InvalidatedSince(desc.query_id, result.relations, epoch_at_start)) {
+    // A relation this execution read was invalidated while the query
+    // ran outside the locks: the result reflects pre-update data, so it
+    // must not stay cached past the invalidation.
+    cache_->Erase(desc.query_id);
+    return;
+  }
+  if (!cache_->Contains(desc.query_id)) {
+    // Evicted concurrently before the payload and dependencies were
+    // published, so the eviction listener could not clean them up; undo
+    // both rather than leak them. (Should a racing re-admission publish
+    // in between, this undo costs it one re-execution on the next
+    // access, which re-publishes -- the hit path self-heals on a
+    // missing payload.)
+    ErasePayload(desc.query_id);
+    ForgetDependencies(desc.query_id);
+    return;
+  }
+  if (newly_admitted && admission_listener_) {
+    admission_listener_(desc.query_id);
+  }
+}
+
+StatusOr<std::string> Watchman::Execute(const std::string& query_text) {
   const std::string query_id = MakeQueryId(query_text);
   if (query_id.empty()) {
     return Status::InvalidArgument("query text contains no tokens");
   }
+  QueryDescriptor probe;
+  probe.query_id = query_id;
+  probe.signature = ComputeSignature(query_id);
   const Timestamp now = NowTick();
 
-  // Fast path: payload already cached. The cache's Reference() both
-  // detects the hit and updates the reference history, but it needs the
-  // descriptor (size/cost); for a cached set those are the stored ones.
-  if (payloads_->Contains(query_id)) {
-    StatusOr<std::string> payload = payloads_->Get(query_id);
-    if (!payload.ok()) return payload.status();
-    QueryDescriptor desc;
-    desc.query_id = query_id;
-    desc.signature = ComputeSignature(query_id);
-    desc.result_bytes = payload->size();
-    desc.cost = 0;  // hits are credited the stored cost by the cache
-    const bool hit = cache_->Reference(desc, now);
-    assert(hit);
-    (void)hit;
-    return payload;
+  // Fast path: the reference is recorded under the shard lock only when
+  // the set is cached (the stored descriptor supplies size and cost).
+  bool already_referenced = false;
+  if (cache_->TryReferenceCached(probe, now)) {
+    StatusOr<std::string> payload = GetPayload(query_id);
+    if (payload.ok()) return payload;
+    // The payload vanished between the reference and the fetch
+    // (concurrent eviction, or an undone racing publish); execute and
+    // re-publish below. This call's reference is already counted.
+    already_referenced = true;
   }
 
-  // Miss: execute, then offer the retrieved set to the cache.
-  StatusOr<ExecutionResult> executed = executor_(query_text);
-  if (!executed.ok()) return executed.status();
+  // Miss: execute the query with no lock held; concurrent misses on the
+  // same query ID share one warehouse execution. The leader offers the
+  // set to the cache and publishes the payload before the flight
+  // closes, so late arrivals find it on the fast path instead of
+  // re-executing. The in-flight guard keeps the invalidation-epoch
+  // records alive until every overlapping offer has checked them.
+  inflight_offers_.fetch_add(1, std::memory_order_acq_rel);
+  bool leader = false;
+  std::shared_ptr<const FlightOutcome> flight;
+  try {
+    flight = flights_.Do(
+        query_id,
+        [this, &query_text, &probe, now, already_referenced] {
+          auto out = std::make_shared<FlightOutcome>();
+          out->epoch_at_start =
+              invalidation_epoch_.load(std::memory_order_acquire);
+          out->result = executor_(query_text);
+          if (out->result.ok()) {
+            QueryDescriptor desc = probe;
+            desc.result_bytes = out->result->payload.size();
+            desc.cost = out->result->cost;
+            OfferToCache(desc, *out->result, out->epoch_at_start, now,
+                         /*record_reference=*/!already_referenced);
+          }
+          return std::shared_ptr<const FlightOutcome>(std::move(out));
+        },
+        &leader);
+  } catch (...) {
+    ReleaseInflightOffer();
+    throw;
+  }
+  if (flight != nullptr && flight->result.ok() && !leader) {
+    // A deduplicated follower still counts as one reference: normally a
+    // hit on the leader's freshly admitted set -- exactly the cost the
+    // shared execution saved -- and a fresh admission decision when the
+    // leader's offer was rejected. A caller whose fast-path reference
+    // already counted only repairs the payload.
+    QueryDescriptor desc = probe;
+    desc.result_bytes = flight->result->payload.size();
+    desc.cost = flight->result->cost;
+    OfferToCache(desc, *flight->result, flight->epoch_at_start, now,
+                 /*record_reference=*/!already_referenced);
+  }
+  ReleaseInflightOffer();
 
-  QueryDescriptor desc;
-  desc.query_id = query_id;
-  desc.signature = ComputeSignature(query_id);
-  desc.result_bytes = executed->payload.size();
-  desc.cost = executed->cost;
-  if (desc.result_bytes == 0) {
-    // Empty retrieved sets are returned but not cached (nothing to
-    // store; the cache rejects zero-size sets anyway).
-    cache_->Reference(desc, now);
-    return std::move(executed->payload);
+  if (flight == nullptr) {
+    // The leader's executor threw; it propagated the exception and the
+    // flight was released without a result.
+    return Status::Internal("query execution failed for a waiting caller");
   }
-  const bool hit = cache_->Reference(desc, now);
-  assert(!hit);
-  (void)hit;
-  if (cache_->Contains(query_id)) {
-    Status stored = payloads_->Put(query_id, executed->payload);
-    if (!stored.ok()) {
-      // Storage failure: keep the cache metadata consistent by
-      // dropping the entry; serve the fresh result regardless.
-      cache_->Erase(query_id);
-      return std::move(executed->payload);
+  if (!flight->result.ok()) return flight->result.status();
+  return flight->result->payload;
+}
+
+void Watchman::ReleaseInflightOffer() {
+  if (inflight_offers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last overlapping execution finished: every future flight will
+    // snapshot an epoch at least as new as anything recorded, so the
+    // per-relation records can no longer change a staleness check.
+    std::lock_guard<std::mutex> lock(coherence_mu_);
+    if (inflight_offers_.load(std::memory_order_acquire) == 0) {
+      relation_invalidation_epoch_.clear();
+      query_invalidation_epoch_.clear();
     }
-    if (!executed->relations.empty()) {
-      reads_[query_id] = executed->relations;
-      for (const std::string& relation : executed->relations) {
-        dependents_[relation].insert(query_id);
-      }
-    }
-    if (admission_listener_) admission_listener_(query_id);
   }
-  return std::move(executed->payload);
 }
 
 bool Watchman::IsCached(const std::string& query_text) const {
@@ -119,21 +261,41 @@ bool Watchman::IsCached(const std::string& query_text) const {
 
 bool Watchman::Invalidate(const std::string& query_text) {
   const std::string query_id = MakeQueryId(query_text);
+  // Stamp the epoch before erasing so an in-flight execution of this
+  // query that started earlier cannot re-cache its pre-update result.
+  const uint64_t epoch =
+      invalidation_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  {
+    std::lock_guard<std::mutex> lock(coherence_mu_);
+    query_invalidation_epoch_[query_id] = epoch;
+  }
   const bool erased = cache_->Erase(query_id);
-  if (erased) ++invalidations_;
+  if (erased) invalidations_.fetch_add(1, std::memory_order_relaxed);
   return erased;
 }
 
 size_t Watchman::InvalidateRelation(const std::string& relation) {
-  auto it = dependents_.find(relation);
-  if (it == dependents_.end()) return 0;
-  // Erasing mutates dependents_ via the eviction listener; copy first.
-  const std::vector<std::string> ids(it->second.begin(), it->second.end());
+  // Stamp the invalidation epoch first: any in-flight execution that
+  // read `relation` before this point will see the newer epoch when it
+  // tries to cache its (pre-update) result and discard it.
+  const uint64_t epoch =
+      invalidation_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Snapshot the dependent IDs, then erase without holding the
+  // coherence lock (Erase takes the shard lock and fires the listener,
+  // which re-acquires the coherence lock).
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(coherence_mu_);
+    relation_invalidation_epoch_[relation] = epoch;
+    auto it = dependents_.find(relation);
+    if (it == dependents_.end()) return 0;
+    ids.assign(it->second.begin(), it->second.end());
+  }
   size_t dropped = 0;
   for (const std::string& id : ids) {
     if (cache_->Erase(id)) ++dropped;
   }
-  invalidations_ += dropped;
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
   return dropped;
 }
 

@@ -6,30 +6,50 @@
 // an executor callback; Watchman compresses the text into a query ID,
 // looks the retrieved set up by signature + exact match, returns the
 // cached payload on a hit, and on a miss invokes the executor, records
-// the cost, and offers the retrieved set to the LNC-RA admission policy.
+// the cost, and offers the retrieved set to the configured admission
+// policy.
 //
 // Beyond the paper's base design the facade also provides:
+//  * any replacement policy (section 5's competitors included) via the
+//    PolicyConfig factory, defaulting to the paper's LNC-RA;
+//  * a thread-safe execution path: the cache is partitioned into
+//    signature-hashed shards with per-shard locks, warehouse executions
+//    run outside all shard locks, and concurrent identical missed
+//    queries are collapsed into a single execution (single-flight);
 //  * query normalization (section 6 future work): an optional canonical
 //    form that identifies queries differing in predicate order;
 //  * cache coherence (section 3): executors may report the relations a
 //    query touched, and InvalidateRelation() evicts the dependent sets
-//    when the warehouse is updated;
+//    when the warehouse is updated -- across all shards;
 //  * pluggable payload storage (section 3): retrieved sets live in main
 //    memory by default, or on secondary storage via FilePayloadStore.
+//
+// Threading model: Execute(), Query(), IsCached(), Invalidate(),
+// InvalidateRelation() and the statistics accessors may be called from
+// any thread. Configuration (SetAdmissionListener, construction options)
+// must happen before concurrent use. A user-supplied clock or payload
+// store must itself be thread-safe when Execute() is called
+// concurrently; the built-in defaults are.
 
 #ifndef WATCHMAN_WATCHMAN_WATCHMAN_H_
 #define WATCHMAN_WATCHMAN_WATCHMAN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
-#include "cache/lnc_cache.h"
+#include "cache/sharded_query_cache.h"
+#include "sim/policy_config.h"
 #include "util/clock.h"
+#include "util/single_flight.h"
 #include "util/status.h"
 #include "watchman/payload_store.h"
 
@@ -49,7 +69,9 @@ class Watchman {
     std::vector<std::string> relations;
   };
 
-  /// Executes a query against the underlying warehouse.
+  /// Executes a query against the underlying warehouse. May be invoked
+  /// from any thread that calls Execute(), but never twice concurrently
+  /// for the same query text (single-flight).
   using Executor =
       std::function<StatusOr<ExecutionResult>(const std::string& query_text)>;
 
@@ -66,6 +88,14 @@ class Watchman {
     bool admission = true;
     /// Retained reference information (section 2.4).
     bool retain_reference_info = true;
+    /// Replacement policy. When unset, an LNC policy is assembled from
+    /// the k / admission / retain_reference_info fields above; when set,
+    /// it wins and those legacy fields are ignored.
+    std::optional<PolicyConfig> policy;
+    /// Cache shards (normalized to a power of two). 1 keeps the exact
+    /// unsharded decision sequence; use >= number of worker threads for
+    /// concurrent serving.
+    size_t num_shards = 1;
     /// Use the conjunct-order canonical form instead of the plain
     /// compressed query ID (catches reordered WHERE predicates).
     bool normalize_queries = false;
@@ -73,8 +103,8 @@ class Watchman {
     std::unique_ptr<PayloadStore> payload_store;
     /// Clock used for reference timestamps; defaults to an internal
     /// monotonic counter advanced by 1 microsecond per query, which is
-    /// sufficient for rate estimation in single-threaded use. Supply a
-    /// simulation clock for reproducible experiments.
+    /// sufficient for rate estimation. Supply a simulation clock for
+    /// reproducible experiments.
     std::function<Timestamp()> clock;
   };
 
@@ -84,7 +114,16 @@ class Watchman {
   /// Looks up the retrieved set of `query_text`, executing the query on
   /// a miss. Returns the payload (from cache or fresh). Errors from the
   /// executor propagate unchanged; failed executions are not cached.
-  StatusOr<std::string> Query(const std::string& query_text);
+  ///
+  /// Thread-safe: the lookup takes only the owning shard's lock, the
+  /// miss executes with no lock held, and concurrent misses on the same
+  /// query share one execution.
+  StatusOr<std::string> Execute(const std::string& query_text);
+
+  /// Alias of Execute() (the paper-era name).
+  StatusOr<std::string> Query(const std::string& query_text) {
+    return Execute(query_text);
+  }
 
   /// True if the retrieved set of `query_text` is currently cached.
   bool IsCached(const std::string& query_text) const;
@@ -94,19 +133,24 @@ class Watchman {
   bool Invalidate(const std::string& query_text);
 
   /// Cache coherence: drops every cached retrieved set whose execution
-  /// reported reading `relation`. Returns the number of sets dropped.
+  /// reported reading `relation`, on whichever shards they live.
+  /// Returns the number of sets dropped.
   size_t InvalidateRelation(const std::string& relation);
 
-  /// Registers the admission listener (replaces any previous one).
+  /// Registers the admission listener (replaces any previous one). Call
+  /// before serving concurrently.
   void SetAdmissionListener(AdmissionListener listener);
 
-  const CacheStats& stats() const { return cache_->stats(); }
+  CacheStats stats() const { return cache_->stats(); }
   uint64_t used_bytes() const { return cache_->used_bytes(); }
   uint64_t capacity_bytes() const { return cache_->capacity_bytes(); }
   size_t cached_set_count() const { return cache_->entry_count(); }
   size_t retained_info_count() const { return cache_->retained_count(); }
-  uint64_t invalidations() const { return invalidations_; }
+  uint64_t invalidations() const { return invalidations_.load(); }
+  size_t num_shards() const { return cache_->num_shards(); }
+  std::string policy_name() const { return cache_->name(); }
   const PayloadStore& payload_store() const { return *payloads_; }
+  const ShardedQueryCache& cache() const { return *cache_; }
 
   double cost_savings_ratio() const {
     return cache_->stats().cost_savings_ratio();
@@ -114,22 +158,78 @@ class Watchman {
   double hit_ratio() const { return cache_->stats().hit_ratio(); }
 
  private:
+  /// What one single-flight execution produced, shared by all callers:
+  /// the executor's result and the invalidation epoch observed before
+  /// it ran (detects updates that raced with the execution).
+  struct FlightOutcome {
+    StatusOr<ExecutionResult> result = Status::Internal("not executed");
+    uint64_t epoch_at_start = 0;
+  };
+
   Timestamp NowTick();
   std::string MakeQueryId(const std::string& query_text) const;
   void ForgetDependencies(const std::string& query_id);
+  void RegisterDependencies(const std::string& query_id,
+                            const std::vector<std::string>& relations);
+
+  /// Records one reference for `desc` (unless this call's reference was
+  /// already counted on the fast path) and, when the set is cached,
+  /// publishes the payload and coherence bookkeeping. Drops the entry
+  /// again if any of its relations was invalidated after
+  /// `epoch_at_start` (the execution read pre-update data).
+  void OfferToCache(const QueryDescriptor& desc,
+                    const ExecutionResult& result, uint64_t epoch_at_start,
+                    Timestamp now, bool record_reference = true);
+
+  /// True if the query itself or any of `relations` was invalidated
+  /// after `epoch`.
+  bool InvalidatedSince(const std::string& query_id,
+                        const std::vector<std::string>& relations,
+                        uint64_t epoch) const;
+
+  /// Drops one in-flight-execution guard; when the last one goes, the
+  /// per-relation invalidation-epoch records are pruned (no overlapping
+  /// execution can reference them anymore).
+  void ReleaseInflightOffer();
+
+  StatusOr<std::string> GetPayload(const std::string& query_id);
+  bool HasPayload(const std::string& query_id) const;
+  Status PutPayload(const std::string& query_id, const std::string& payload);
+  void ErasePayload(const std::string& query_id);
 
   Options options_;
   Executor executor_;
-  std::unique_ptr<LncCache> cache_;
+  std::unique_ptr<ShardedQueryCache> cache_;
   std::unique_ptr<PayloadStore> payloads_;
+  /// Guards payloads_ (the built-in stores are not thread-safe):
+  /// concurrent Gets share the lock -- PayloadStore::Get must therefore
+  /// be safe to call concurrently with itself, which both built-in
+  /// stores are -- while Put/Erase are exclusive.
+  mutable std::shared_mutex payload_mu_;
+  /// Guards dependents_ / reads_. Lock order: shard lock, then this
+  /// (taken by the eviction listener); never call into the cache while
+  /// holding it.
+  mutable std::mutex coherence_mu_;
   /// relation -> query IDs of cached sets that read it.
   std::unordered_map<std::string, std::unordered_set<std::string>>
       dependents_;
   /// query ID -> relations it read (only for cached sets).
   std::unordered_map<std::string, std::vector<std::string>> reads_;
+  /// relation / query ID -> epoch of its latest invalidation (coherence
+  /// vs. in-flight executions); guarded by coherence_mu_, pruned when
+  /// no execution is in flight.
+  std::unordered_map<std::string, uint64_t> relation_invalidation_epoch_;
+  std::unordered_map<std::string, uint64_t> query_invalidation_epoch_;
   AdmissionListener admission_listener_;
-  Timestamp internal_clock_ = 0;
-  uint64_t invalidations_ = 0;
+  /// Collapses concurrent executions of the same missed query.
+  SingleFlight<std::string, std::shared_ptr<const FlightOutcome>> flights_;
+  std::atomic<Timestamp> internal_clock_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  /// Bumped by every relation invalidation.
+  std::atomic<uint64_t> invalidation_epoch_{0};
+  /// Executions currently between epoch snapshot and cache offer; the
+  /// relation-epoch records are pruned whenever this drains to zero.
+  std::atomic<int64_t> inflight_offers_{0};
 };
 
 }  // namespace watchman

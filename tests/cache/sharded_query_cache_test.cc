@@ -1,0 +1,196 @@
+// Tests of the thread-safe sharded cache front-end: routing,
+// aggregation, coherence across shards, and races between concurrent
+// references, probes and invalidations.
+
+#include "cache/sharded_query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "sim/policy_config.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  QueryDescriptor d;
+  d.query_id = id;
+  d.signature = ComputeSignature(id);
+  d.result_bytes = bytes;
+  d.cost = cost;
+  return d;
+}
+
+std::unique_ptr<ShardedQueryCache> MakeLru(uint64_t capacity,
+                                           size_t shards) {
+  ShardedQueryCache::Options options;
+  options.capacity_bytes = capacity;
+  options.num_shards = shards;
+  return std::make_unique<ShardedQueryCache>(
+      options, [](uint64_t shard_capacity) {
+        return std::make_unique<LruCache>(shard_capacity);
+      });
+}
+
+TEST(ShardedQueryCacheTest, NormalizesShardCountAndSplitsCapacity) {
+  auto cache = MakeLru(1000, 3);  // rounds up to 4 shards
+  EXPECT_EQ(cache->num_shards(), 4u);
+  EXPECT_EQ(cache->capacity_bytes(), 1000u);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < cache->num_shards(); ++i) {
+    sum += cache->shard(i).capacity_bytes();
+  }
+  EXPECT_EQ(sum, 1000u);
+  EXPECT_EQ(cache->name(), "lrux4");
+}
+
+TEST(ShardedQueryCacheTest, TinyCapacityCapsTheShardFanOut) {
+  // 100 bytes cannot feed 128 one-byte-plus shards; the shard count
+  // shrinks until every shard owns capacity.
+  auto cache = MakeLru(100, 128);
+  EXPECT_LE(cache->num_shards(), 64u);
+  for (size_t i = 0; i < cache->num_shards(); ++i) {
+    EXPECT_GE(cache->shard(i).capacity_bytes(), 1u);
+  }
+  cache->Reference(Desc("q", 1, 1), 1);
+  EXPECT_TRUE(cache->Contains("q"));
+}
+
+TEST(ShardedQueryCacheTest, ReferenceRoutesAndAggregates) {
+  auto cache = MakeLru(1 << 20, 8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "q" + std::to_string(i);
+    EXPECT_FALSE(cache->Reference(Desc(id, 100, 10), i + 1));
+    EXPECT_TRUE(cache->Contains(id));
+  }
+  EXPECT_TRUE(cache->Reference(Desc("q7", 100, 10), 300));
+  const CacheStats stats = cache->stats();
+  EXPECT_EQ(stats.lookups, 201u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 200u);
+  EXPECT_EQ(cache->entry_count(), 200u);
+  EXPECT_EQ(cache->used_bytes(), 200u * 100u);
+  // Entries actually spread across shards.
+  size_t populated = 0;
+  for (size_t i = 0; i < cache->num_shards(); ++i) {
+    if (cache->shard(i).entry_count() > 0) ++populated;
+  }
+  EXPECT_GT(populated, 1u);
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+}
+
+TEST(ShardedQueryCacheTest, EraseReachesTheOwningShard) {
+  auto cache = MakeLru(1 << 20, 8);
+  for (int i = 0; i < 64; ++i) {
+    cache->Reference(Desc("q" + std::to_string(i), 50, 5), i + 1);
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::string id = "q" + std::to_string(i);
+    EXPECT_TRUE(cache->Erase(id)) << id;
+    EXPECT_FALSE(cache->Contains(id)) << id;
+  }
+  EXPECT_FALSE(cache->Erase("q0"));
+  EXPECT_EQ(cache->entry_count(), 0u);
+  EXPECT_EQ(cache->used_bytes(), 0u);
+}
+
+TEST(ShardedQueryCacheTest, TryReferenceCachedProbesWithoutCounting) {
+  auto cache = MakeLru(1 << 20, 4);
+  EXPECT_FALSE(cache->TryReferenceCached(Desc("a", 100, 10), 1));
+  EXPECT_EQ(cache->stats().lookups, 0u);  // miss probes are free
+  cache->Reference(Desc("a", 100, 10), 2);
+  EXPECT_TRUE(cache->TryReferenceCached(Desc("a", 100, 10), 3));
+  const CacheStats stats = cache->stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ShardedQueryCacheTest, EvictionListenerFiresAcrossShards) {
+  auto cache = MakeLru(1 << 20, 8);
+  std::vector<std::string> evicted;
+  cache->SetEvictionListener(
+      [&evicted](const QueryDescriptor& d) { evicted.push_back(d.query_id); });
+  cache->Reference(Desc("a", 100, 10), 1);
+  cache->Reference(Desc("b", 100, 10), 2);
+  cache->Erase("a");
+  cache->Erase("b");
+  EXPECT_EQ(evicted.size(), 2u);
+}
+
+TEST(ShardedQueryCacheTest, LncShardsKeepPolicyMachinery) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  config.k = 4;
+  auto cache = MakeShardedCache(config, 64 << 10, 8);
+  EXPECT_EQ(cache->name(), "lnc-ra(k=4)x8");
+  Rng rng(7);
+  Timestamp t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 1000;
+    const std::string id = "q" + std::to_string(rng.NextBounded(300));
+    const uint64_t bytes = 64 + (Fnv1a64(id) % 2048);
+    cache->Reference(Desc(id, bytes, 100 + bytes), t);
+  }
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+  EXPECT_LE(cache->used_bytes(), cache->capacity_bytes());
+  EXPECT_GT(cache->stats().hits, 0u);
+  EXPECT_GT(cache->retained_count(), 0u);
+}
+
+// Concurrency stress: references, probes and invalidations race from
+// several threads; afterwards the aggregate accounting must balance and
+// every shard's invariants (index vs. bytes) must hold. Run under TSan
+// in CI.
+TEST(ShardedQueryCacheStressTest, ConcurrentReferenceEraseContains) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  config.k = 4;
+  auto cache = MakeShardedCache(config, 256 << 10, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kIdSpace = 512;
+  std::atomic<Timestamp> clock{0};
+  std::atomic<uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string id =
+            "q" + std::to_string(rng.NextBounded(kIdSpace));
+        const uint64_t bytes = 64 + (Fnv1a64(id) % 1024);
+        const Timestamp now = clock.fetch_add(1) + 1;
+        const uint32_t op = static_cast<uint32_t>(rng.NextBounded(100));
+        if (op < 80) {
+          cache->Reference(Desc(id, bytes, 10 + bytes / 8), now);
+          lookups.fetch_add(1);
+        } else if (op < 90) {
+          cache->TryReferenceCached(Desc(id, bytes, 10 + bytes / 8), now);
+        } else if (op < 95) {
+          cache->Contains(id);
+        } else {
+          cache->Erase(id);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+  const CacheStats stats = cache->stats();
+  EXPECT_GE(stats.lookups, lookups.load());  // probes may add hits
+  EXPECT_LE(stats.hits, stats.lookups);
+  EXPECT_LE(cache->used_bytes(), cache->capacity_bytes());
+  EXPECT_EQ(stats.bytes_inserted - stats.bytes_evicted,
+            cache->used_bytes());
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,142 @@
+// Differential test: a 1-shard ShardedQueryCache must match the
+// unsharded policy decision for decision -- same hit sequence, same
+// evictions, same byte accounting, bit-identical CSR and HR -- on the
+// canonical figure workloads (the fig2/fig5 trace generators and
+// seeds). The sharded front-end may only add routing and locking, never
+// change policy behaviour.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "cache/query_descriptor.h"
+#include "cache/sharded_query_cache.h"
+#include "sim/policy_config.h"
+#include "storage/schemas.h"
+#include "workload/setquery_workload.h"
+#include "workload/tpcd_workload.h"
+
+namespace watchman {
+namespace {
+
+enum class WorkloadKind { kTpcd, kSetQuery };
+
+// The canonical figure-bench seeds (bench_common.h) on a shortened
+// trace: same generators, same reference mix.
+const Trace& GetTrace(WorkloadKind kind) {
+  static const Trace tpcd = [] {
+    Database db = MakeTpcdDatabase();
+    TraceGenOptions opts;
+    opts.num_queries = 6000;
+    opts.seed = 9601;
+    return MakeTpcdWorkload(db).GenerateTrace(opts);
+  }();
+  static const Trace sq = [] {
+    Database db = MakeSetQueryDatabase();
+    TraceGenOptions opts;
+    opts.num_queries = 6000;
+    opts.seed = 9602;
+    return MakeSetQueryWorkload(db).GenerateTrace(opts);
+  }();
+  return kind == WorkloadKind::kTpcd ? tpcd : sq;
+}
+
+using Param = std::tuple<PolicyKind, WorkloadKind>;
+
+class ShardedDifferentialTest : public testing::TestWithParam<Param> {};
+
+TEST_P(ShardedDifferentialTest, OneShardMatchesUnshardedExactly) {
+  const auto [kind, workload] = GetParam();
+  const Trace& trace = GetTrace(workload);
+  const uint64_t db_bytes =
+      workload == WorkloadKind::kTpcd ? (30ull << 20) : (100ull << 20);
+  const uint64_t capacity = db_bytes / 100;  // 1% cache
+
+  PolicyConfig config;
+  config.kind = kind;
+  config.k = 4;
+  std::unique_ptr<QueryCache> unsharded = MakeCache(config, capacity);
+  std::unique_ptr<ShardedQueryCache> sharded =
+      MakeShardedCache(config, capacity, 1);
+  ASSERT_EQ(sharded->num_shards(), 1u);
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const QueryDescriptor d = QueryDescriptor::FromEvent(trace[i]);
+    const bool hit_unsharded = unsharded->Reference(d, trace[i].timestamp);
+    const bool hit_sharded = sharded->Reference(d, trace[i].timestamp);
+    ASSERT_EQ(hit_sharded, hit_unsharded) << "event " << i;
+    ASSERT_EQ(sharded->used_bytes(), unsharded->used_bytes())
+        << "event " << i;
+    ASSERT_EQ(sharded->entry_count(), unsharded->entry_count())
+        << "event " << i;
+  }
+
+  const CacheStats& a = unsharded->stats();
+  const CacheStats b = sharded->stats();
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.admission_rejections, b.admission_rejections);
+  EXPECT_EQ(a.too_large_rejections, b.too_large_rejections);
+  EXPECT_EQ(a.cost_total, b.cost_total);
+  EXPECT_EQ(a.cost_saved, b.cost_saved);
+  EXPECT_EQ(a.bytes_inserted, b.bytes_inserted);
+  EXPECT_EQ(a.bytes_evicted, b.bytes_evicted);
+  // CSR and HR bit-identical.
+  EXPECT_EQ(a.cost_savings_ratio(), b.cost_savings_ratio());
+  EXPECT_EQ(a.hit_ratio(), b.hit_ratio());
+  EXPECT_EQ(sharded->retained_count(), unsharded->retained_count());
+  EXPECT_TRUE(unsharded->CheckInvariants().ok());
+  EXPECT_TRUE(sharded->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ShardedDifferentialTest,
+    testing::Combine(
+        testing::Values(PolicyKind::kLru, PolicyKind::kLruK,
+                        PolicyKind::kLfu, PolicyKind::kLcs, PolicyKind::kGds,
+                        PolicyKind::kLncR, PolicyKind::kLncRA,
+                        PolicyKind::kInfinite),
+        testing::Values(WorkloadKind::kTpcd, WorkloadKind::kSetQuery)),
+    [](const testing::TestParamInfo<Param>& info) {
+      PolicyConfig config;
+      config.kind = std::get<0>(info.param);
+      std::string name = PolicyName(config);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      name += std::get<1>(info.param) == WorkloadKind::kTpcd ? "_tpcd"
+                                                             : "_sq";
+      return name;
+    });
+
+// Sanity on the multi-shard path with the paper policy: the aggregate
+// accounting balances and the per-shard invariants hold on a real
+// workload (decisions legitimately differ from the unsharded cache
+// because each shard manages a slice of the capacity).
+TEST(ShardedDifferentialTest, EightShardAggregateStaysConsistent) {
+  const Trace& trace = GetTrace(WorkloadKind::kTpcd);
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  config.k = 4;
+  auto cache = MakeShardedCache(config, (30ull << 20) / 100, 8);
+  uint64_t manual_hits = 0;
+  for (const QueryEvent& e : trace) {
+    if (cache->Reference(QueryDescriptor::FromEvent(e), e.timestamp)) {
+      ++manual_hits;
+    }
+  }
+  const CacheStats stats = cache->stats();
+  EXPECT_EQ(stats.lookups, trace.size());
+  EXPECT_EQ(stats.hits, manual_hits);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bytes_inserted - stats.bytes_evicted,
+            cache->used_bytes());
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,66 @@
+// Tests of shard-count normalization, signature routing and capacity
+// splitting.
+
+#include "util/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace watchman {
+namespace {
+
+TEST(ShardingTest, NormalizeShardCount) {
+  EXPECT_EQ(NormalizeShardCount(0), 1u);
+  EXPECT_EQ(NormalizeShardCount(1), 1u);
+  EXPECT_EQ(NormalizeShardCount(2), 2u);
+  EXPECT_EQ(NormalizeShardCount(3), 4u);
+  EXPECT_EQ(NormalizeShardCount(8), 8u);
+  EXPECT_EQ(NormalizeShardCount(9), 16u);
+  EXPECT_EQ(NormalizeShardCount(100000), kMaxShards);
+}
+
+TEST(ShardingTest, RoutingIsStableAndInRange) {
+  for (int i = 0; i < 1000; ++i) {
+    const Signature sig =
+        ComputeSignature("query " + std::to_string(i));
+    const size_t shard = ShardOfSignature(sig.value, 8);
+    EXPECT_LT(shard, 8u);
+    EXPECT_EQ(shard, ShardOfSignature(sig.value, 8));
+  }
+}
+
+TEST(ShardingTest, RoutingSpreadsSignatures) {
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const Signature sig = ComputeSignature("q" + std::to_string(i));
+    ++counts[ShardOfSignature(sig.value, 8)];
+  }
+  for (int c : counts) {
+    // Perfectly uniform would be 1000 per shard; demand rough balance.
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ShardingTest, ShardCapacitySumsToTotal) {
+  const uint64_t total = 1000003;  // prime: exercises the remainder
+  for (size_t n : {1, 2, 4, 8, 16}) {
+    uint64_t sum = 0;
+    uint64_t min_cap = total, max_cap = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t cap = ShardCapacity(total, n, i);
+      sum += cap;
+      min_cap = std::min(min_cap, cap);
+      max_cap = std::max(max_cap, cap);
+    }
+    EXPECT_EQ(sum, total) << n;
+    EXPECT_LE(max_cap - min_cap, 1u) << n;
+  }
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,63 @@
+// Tests of the single-flight execution group.
+
+#include "util/single_flight.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace watchman {
+namespace {
+
+TEST(SingleFlightTest, SequentialCallsEachExecute) {
+  SingleFlight<std::string, int> group;
+  int runs = 0;
+  auto fn = [&runs] { return ++runs; };
+  EXPECT_EQ(group.Do("k", fn), 1);
+  EXPECT_EQ(group.Do("k", fn), 2);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysDoNotShare) {
+  SingleFlight<std::string, int> group;
+  EXPECT_EQ(group.Do("a", [] { return 1; }), 1);
+  EXPECT_EQ(group.Do("b", [] { return 2; }), 2);
+}
+
+TEST(SingleFlightTest, ConcurrentCallersShareOneExecution) {
+  SingleFlight<std::string, int> group;
+  std::atomic<int> executions{0};
+  std::atomic<int> leaders{0};
+  constexpr int kThreads = 8;
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<int> results(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();
+      bool leader = false;
+      results[i] = group.Do(
+          "key",
+          [&executions] {
+            // Hold the flight open long enough for every thread to join.
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            return executions.fetch_add(1) + 41;
+          },
+          &leader);
+      if (leader) leaders.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(leaders.load(), 1);
+  for (int r : results) EXPECT_EQ(r, 41);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace watchman

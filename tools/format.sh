@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every C++ source in the repo with
+# clang-format, using the checked-in .clang-format.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=...)" >&2
+  exit 1
+fi
+
+mode="-i"
+if [[ "${1:-}" == "--check" ]]; then
+  mode="--dry-run -Werror"
+fi
+
+find src tests bench tools examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "$CLANG_FORMAT" $mode

@@ -1,0 +1,181 @@
+// Localhost throughput bench for the watchmand server stack.
+//
+// Starts a Watchman + WatchmanServer in-process on a loopback ephemeral
+// port, pre-fills a working set over the wire, then hammers it from 1,
+// 2, 4 and 8 client threads (one blocking connection each) with a
+// hit-heavy GET mix, plus a PING round for the pure framing/transport
+// floor. Reports requests/sec and mean round-trip latency; the daemon's
+// own per-op latency counters are printed at the end so the
+// cache-vs-transport split is visible.
+//
+// Usage: bench_micro_server [max_threads] [ms_per_point] [num_shards]
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "sim/policy_config.h"
+#include "util/random.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+std::string QueryText(size_t i) {
+  return "select agg from rel where param = " + std::to_string(i);
+}
+
+/// One measurement: `num_threads` clients issuing `op` round trips for
+/// ~`ms` wall milliseconds. Returns total requests/sec.
+double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
+                bool ping_only) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> failures{0};
+  std::barrier start(num_threads + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      WatchmanClient::Options options;
+      options.port = port;
+      auto client = WatchmanClient::Connect(options);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        start.arrive_and_wait();
+        return;
+      }
+      Rng rng(0xBEEF + t);
+      start.arrive_and_wait();
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        bool ok;
+        if (ping_only) {
+          ok = (*client)->Ping().ok();
+        } else {
+          ok = (*client)->Get(QueryText(rng.NextBounded(working_set))).ok();
+        }
+        if (!ok) {
+          failures.fetch_add(1);
+          break;
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  start.arrive_and_wait();
+  const auto begin = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "  (%llu request failures)\n",
+                 static_cast<unsigned long long>(failures.load()));
+  }
+  return static_cast<double>(total_ops.load()) / seconds;
+}
+
+int Run(int argc, char** argv) {
+  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int ms_per_point = argc > 2 ? std::atoi(argv[2]) : 400;
+  const size_t num_shards =
+      argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 8;
+  constexpr size_t kWorkingSet = 2048;
+
+  PolicyConfig policy;
+  policy.kind = PolicyKind::kLncRA;
+  policy.k = 4;
+  Watchman::Options options;
+  options.capacity_bytes = 256ull << 20;  // holds the whole working set
+  options.policy = policy;
+  options.num_shards = num_shards;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+
+  WatchmanServer::Options server_options;
+  server_options.port = 0;
+  server_options.num_workers = static_cast<size_t>(max_threads);
+  WatchmanServer server(&cache, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  // Pre-fill over the wire (miss-fill EXECUTEs).
+  {
+    WatchmanClient::Options copts;
+    copts.port = server.port();
+    auto client = WatchmanClient::Connect(copts);
+    if (!client.ok()) {
+      std::fprintf(stderr, "cannot connect: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(42);
+    for (size_t i = 0; i < kWorkingSet; ++i) {
+      auto filled = (*client)->Execute(
+          QueryText(i), std::string(64 + rng.NextBounded(1024), 'r'),
+          100 + rng.NextBounded(20000));
+      if (!filled.ok()) {
+        std::fprintf(stderr, "prefill failed: %s\n",
+                     filled.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("==============================================\n");
+  std::printf("watchmand loopback throughput (port %u, %zu shards, "
+              "%zu cached sets, hardware threads: %u)\n",
+              static_cast<unsigned>(server.port()), cache.num_shards(),
+              cache.cached_set_count(), std::thread::hardware_concurrency());
+  std::printf("==============================================\n");
+  for (const bool ping_only : {true, false}) {
+    std::printf("\n%s\n", ping_only
+                              ? "PING (transport + framing floor)"
+                              : "GET  (hit-heavy retrieved-set lookups)");
+    std::printf("  %-8s %14s %12s %10s\n", "threads", "requests/s",
+                "us/request", "scaling");
+    double base = 0.0;
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      const double rps =
+          RunPoint(server.port(), threads, ms_per_point, kWorkingSet,
+                   ping_only);
+      if (base == 0.0) base = rps;
+      std::printf("  %-8d %14.0f %12.2f %9.2fx\n", threads, rps,
+                  threads * 1e6 / rps, rps / base);
+    }
+  }
+
+  const WireStats stats = server.StatsSnapshot();
+  std::printf("\nserver-side per-op handler latency:\n");
+  for (const WireOpMetrics& op : stats.per_op) {
+    std::printf("  %-10s %12llu reqs   mean %8.2f us   max %10.2f us\n",
+                OpCodeName(static_cast<OpCode>(op.op)),
+                static_cast<unsigned long long>(op.requests),
+                op.latency_mean_us, op.latency_max_us);
+  }
+  std::printf("cache: HR %.3f over %llu lookups\n", stats.hit_ratio(),
+              static_cast<unsigned long long>(stats.lookups));
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace watchman
+
+int main(int argc, char** argv) { return watchman::Run(argc, argv); }

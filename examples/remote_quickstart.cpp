@@ -1,0 +1,118 @@
+// Remote quickstart: the quickstart scenario, but served by a watchmand
+// daemon over TCP instead of an in-process cache.
+//
+// The daemon owns no warehouse -- it is a shared retrieved-set cache.
+// Each front-end keeps its own executor; RemoteWatchman probes the
+// daemon first (GET) and on a miss runs the executor and offers the
+// result back (EXECUTE + miss-fill), so swapping `Watchman` for
+// `RemoteWatchman` changes nothing else in application code.
+//
+// By default this example starts a daemon in-process on an ephemeral
+// loopback port so it runs standalone; pass a port number to attach to
+// an already-running `watchmand` instead:
+//
+//   ./build/watchmand --port=9736 &
+//   ./build/example_remote_quickstart 9736
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "watchman/watchman.h"
+
+using watchman::RemoteWatchman;
+using watchman::Status;
+using watchman::StatusOr;
+using watchman::Watchman;
+using watchman::WatchmanClient;
+using watchman::WatchmanServer;
+using watchman::WireStats;
+
+int main(int argc, char** argv) {
+  // An in-process daemon, unless the caller pointed us at a real one.
+  std::unique_ptr<Watchman> daemon_cache;
+  std::unique_ptr<WatchmanServer> daemon;
+  uint16_t port = 0;
+  if (argc > 1) {
+    port = static_cast<uint16_t>(std::atoi(argv[1]));
+  } else {
+    Watchman::Options options;
+    options.capacity_bytes = 4 << 20;
+    options.num_shards = 4;
+    daemon_cache = std::make_unique<Watchman>(
+        std::move(options), WatchmanServer::MissFillExecutor());
+    daemon = std::make_unique<WatchmanServer>(daemon_cache.get(),
+                                              WatchmanServer::Options{});
+    if (!daemon->Start().ok()) {
+      std::fprintf(stderr, "cannot start in-process daemon\n");
+      return 1;
+    }
+    port = daemon->port();
+    std::printf("started in-process watchmand on 127.0.0.1:%u\n\n",
+                static_cast<unsigned>(port));
+  }
+
+  // This front-end's warehouse executor (a mock, as in the quickstart).
+  int executions = 0;
+  auto executor = [&executions](const std::string& query)
+      -> StatusOr<Watchman::ExecutionResult> {
+    ++executions;
+    Watchman::ExecutionResult result;
+    result.payload =
+        "region=EU revenue=1,240,551 orders=8,412 [" + query + "]";
+    result.cost = 12000;
+    result.relations = {"orders", "lineitem"};
+    return result;
+  };
+
+  WatchmanClient::Options client_options;
+  client_options.port = port;
+  auto remote = RemoteWatchman::Connect(client_options, executor);
+  if (!remote.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 remote.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string query =
+      "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+      "WHERE o_orderdate >= DATE '1995-04-01' GROUP BY o_orderpriority";
+
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<std::string> result = (*remote)->Query(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run %d: %s (local executions so far: %d)\n", i + 1,
+                result->c_str(), executions);
+  }
+
+  // The warehouse loaded new lineitem rows: every cached set that read
+  // the relation is dropped daemon-side, so the next query re-executes.
+  StatusOr<uint64_t> dropped = (*remote)->InvalidateRelation("lineitem");
+  if (!dropped.ok()) return 1;
+  std::printf("\nwarehouse update: invalidated %llu dependent set(s)\n",
+              static_cast<unsigned long long>(*dropped));
+  StatusOr<std::string> refreshed = (*remote)->Query(query);
+  if (!refreshed.ok()) return 1;
+  std::printf("after update: re-executed (local executions: %d)\n",
+              executions);
+
+  StatusOr<WireStats> stats = (*remote)->Stats();
+  if (!stats.ok()) return 1;
+  std::printf("\ndaemon stats: %llu lookups, %llu hits (HR %.2f), "
+              "CSR %.2f, %llu cached set(s), policy %s\n",
+              static_cast<unsigned long long>(stats->lookups),
+              static_cast<unsigned long long>(stats->hits),
+              stats->hit_ratio(), stats->cost_savings_ratio(),
+              static_cast<unsigned long long>(stats->entry_count),
+              stats->policy_name.c_str());
+  if (daemon != nullptr) daemon->Stop();
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace watchman {
+
+WatchmanClient::WatchmanClient(Options options)
+    : options_(std::move(options)) {}
+
+WatchmanClient::~WatchmanClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseLocked();
+}
+
+StatusOr<std::unique_ptr<WatchmanClient>> WatchmanClient::Connect(
+    const Options& options) {
+  std::unique_ptr<WatchmanClient> client(new WatchmanClient(options));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  WATCHMAN_RETURN_IF_ERROR(client->Dial());
+  return client;
+}
+
+void WatchmanClient::CloseLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status WatchmanClient::Dial() {
+  CloseLocked();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  const int attempts = options_.connect_attempts < 1
+                           ? 1
+                           : options_.connect_attempts;
+  int backoff_ms = options_.retry_backoff_ms;
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      last_error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return Status::OK();
+  }
+  return Status::IOError("cannot reach " + options_.host + ":" +
+                         std::to_string(options_.port) + " after " +
+                         std::to_string(attempts) + " attempts (" +
+                         last_error + ")");
+}
+
+Status WatchmanClient::SendAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> WatchmanClient::ReadFrameBody() {
+  char chunk[64 * 1024];
+  while (true) {
+    std::string_view body;
+    size_t frame_size = 0;
+    StatusOr<bool> extracted = ExtractFrame(inbuf_, options_.max_frame_bytes,
+                                            &body, &frame_size);
+    if (!extracted.ok()) return extracted.status();
+    if (*extracted) {
+      std::string out(body);
+      inbuf_.erase(0, frame_size);
+      return out;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed by the daemon");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<WireResponse> WatchmanClient::RoundTrip(const WireRequest& request) {
+  const std::string frame = EncodeRequest(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  // One redial: a pooled connection may have died since the last call.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      WATCHMAN_RETURN_IF_ERROR(Dial());
+    }
+    Status sent = SendAll(frame);
+    StatusOr<std::string> body =
+        sent.ok() ? ReadFrameBody() : StatusOr<std::string>(sent);
+    if (!body.ok()) {
+      CloseLocked();
+      if (attempt == 0) continue;
+      return body.status();
+    }
+    StatusOr<WireResponse> response = DecodeResponse(*body);
+    if (!response.ok()) {
+      // The stream is desynchronized; don't trust the connection.
+      CloseLocked();
+      return response.status();
+    }
+    if (response->op != request.op) {
+      CloseLocked();
+      return Status::Internal(
+          std::string("response op mismatch: sent ") +
+          OpCodeName(request.op) + ", got " + OpCodeName(response->op) +
+          (response->message.empty() ? "" : " (" + response->message + ")"));
+    }
+    return response;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status WatchmanClient::Ping() {
+  WireRequest request;
+  request.op = OpCode::kPing;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->code, response->message);
+}
+
+StatusOr<WatchmanClient::FetchResult> WatchmanClient::Get(
+    const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kGet;
+  request.query_text = query_text;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return FetchResult{std::move(response->payload), response->cache_hit};
+}
+
+StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
+    const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = query_text;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return FetchResult{std::move(response->payload), response->cache_hit};
+}
+
+StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
+    const std::string& query_text, const std::string& fill_payload,
+    uint64_t fill_cost, std::vector<std::string> fill_relations) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = query_text;
+  request.has_fill = true;
+  request.fill_payload = fill_payload;
+  request.fill_cost = fill_cost;
+  request.fill_relations = std::move(fill_relations);
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return FetchResult{std::move(response->payload), response->cache_hit};
+}
+
+StatusOr<uint64_t> WatchmanClient::Invalidate(const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kInvalidate;
+  request.query_text = query_text;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return response->dropped;
+}
+
+StatusOr<uint64_t> WatchmanClient::InvalidateRelation(
+    const std::string& relation) {
+  WireRequest request;
+  request.op = OpCode::kInvalidateRelation;
+  request.relation = relation;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return response->dropped;
+}
+
+StatusOr<WireStats> WatchmanClient::Stats() {
+  WireRequest request;
+  request.op = OpCode::kStats;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response->code != StatusCode::kOk) {
+    return StatusFromWire(response->code, response->message);
+  }
+  return std::move(response->stats);
+}
+
+// ------------------------------------------------------ RemoteWatchman
+
+RemoteWatchman::RemoteWatchman(std::unique_ptr<WatchmanClient> client,
+                               Watchman::Executor executor)
+    : client_(std::move(client)), executor_(std::move(executor)) {}
+
+StatusOr<std::unique_ptr<RemoteWatchman>> RemoteWatchman::Connect(
+    const WatchmanClient::Options& options, Watchman::Executor executor) {
+  StatusOr<std::unique_ptr<WatchmanClient>> client =
+      WatchmanClient::Connect(options);
+  if (!client.ok()) return client.status();
+  return std::make_unique<RemoteWatchman>(std::move(*client),
+                                          std::move(executor));
+}
+
+StatusOr<std::string> RemoteWatchman::Execute(const std::string& query_text) {
+  StatusOr<WatchmanClient::FetchResult> probe = client_->Get(query_text);
+  if (probe.ok()) return std::move(probe->payload);
+  if (probe.status().code() != StatusCode::kNotFound) return probe.status();
+
+  // Miss: materialize locally, then offer the result to the daemon. The
+  // daemon may answer with another client's concurrently filled set --
+  // same contract as the facade's single-flight.
+  StatusOr<Watchman::ExecutionResult> executed = executor_(query_text);
+  if (!executed.ok()) return executed.status();
+  StatusOr<WatchmanClient::FetchResult> filled =
+      client_->Execute(query_text, executed->payload, executed->cost,
+                       executed->relations);
+  if (!filled.ok()) {
+    // The offer failed (daemon restarted, connection dropped, ...), but
+    // the execution succeeded: serve the fresh result anyway, exactly
+    // like the local facade does when a cache offer cannot land.
+    return std::move(executed->payload);
+  }
+  return std::move(filled->payload);
+}
+
+}  // namespace watchman

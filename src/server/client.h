@@ -1,0 +1,151 @@
+// Blocking client library for watchmand.
+//
+// WatchmanClient owns one TCP connection and issues one request per
+// round trip; Connect() retries with exponential backoff, and a round
+// trip that hits a dead connection redials once before failing (the
+// ops are idempotent offers/probes, so a rare replay is safe). Calls
+// are serialized on an internal mutex, so a client may be shared
+// between threads, but one connection pays one round trip at a time --
+// throughput-minded callers (the bench, the integration tests) open a
+// client per thread.
+//
+// RemoteWatchman layers the Watchman query API on top: Execute() first
+// probes the daemon (GET), on a miss runs the local executor and offers
+// the result back (EXECUTE + miss-fill), so application code swaps a
+// local Watchman for a RemoteWatchman without restructuring -- same
+// Execute()/Query() signatures, same executor contract, and the
+// daemon-side cache counts one reference per call exactly like the
+// local facade.
+
+#ifndef WATCHMAN_SERVER_CLIENT_H_
+#define WATCHMAN_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+
+/// Blocking request/response client for one watchmand connection.
+class WatchmanClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Dial attempts before Connect()/redial gives up.
+    int connect_attempts = 5;
+    /// Backoff before the second attempt; doubles per further attempt.
+    int retry_backoff_ms = 20;
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  /// What a GET / EXECUTE round trip produced.
+  struct FetchResult {
+    std::string payload;
+    /// True when the daemon served the payload from its cache.
+    bool cache_hit = false;
+  };
+
+  /// Dials the daemon (with retry/backoff per `options`).
+  static StatusOr<std::unique_ptr<WatchmanClient>> Connect(
+      const Options& options);
+
+  ~WatchmanClient();
+
+  WatchmanClient(const WatchmanClient&) = delete;
+  WatchmanClient& operator=(const WatchmanClient&) = delete;
+
+  /// Liveness / framing check.
+  Status Ping();
+
+  /// Hit-only probe; NotFound on a miss.
+  StatusOr<FetchResult> Get(const std::string& query_text);
+
+  /// Full lookup executed daemon-side (requires the daemon to own an
+  /// executor; against a miss-fill daemon a miss returns NotFound).
+  StatusOr<FetchResult> Execute(const std::string& query_text);
+
+  /// Full lookup carrying the result this client computed for a miss:
+  /// on a daemon-side miss the fill is offered to the cache (admission,
+  /// coherence and all) and echoed back; on a hit the cached set wins
+  /// and the fill is discarded.
+  StatusOr<FetchResult> Execute(const std::string& query_text,
+                                const std::string& fill_payload,
+                                uint64_t fill_cost,
+                                std::vector<std::string> fill_relations = {});
+
+  /// Returns the number of retrieved sets dropped (0 or 1).
+  StatusOr<uint64_t> Invalidate(const std::string& query_text);
+
+  /// Returns the number of dependent retrieved sets dropped.
+  StatusOr<uint64_t> InvalidateRelation(const std::string& relation);
+
+  StatusOr<WireStats> Stats();
+
+ private:
+  explicit WatchmanClient(Options options);
+
+  /// (Re)connects fd_, with retry/backoff.
+  Status Dial();
+  /// Sends `request` and reads the matching response; redials once if
+  /// the connection turns out dead.
+  StatusOr<WireResponse> RoundTrip(const WireRequest& request);
+  Status SendAll(const std::string& bytes);
+  StatusOr<std::string> ReadFrameBody();
+  void CloseLocked();
+
+  Options options_;
+  std::mutex mu_;
+  int fd_ = -1;
+  /// Bytes received but not yet consumed as a frame.
+  std::string inbuf_;
+};
+
+/// Drop-in remote counterpart of the Watchman facade's query API.
+class RemoteWatchman {
+ public:
+  /// `executor` materializes misses locally (same contract as the
+  /// Watchman constructor's executor).
+  RemoteWatchman(std::unique_ptr<WatchmanClient> client,
+                 Watchman::Executor executor);
+
+  /// Dials and wraps in one step.
+  static StatusOr<std::unique_ptr<RemoteWatchman>> Connect(
+      const WatchmanClient::Options& options, Watchman::Executor executor);
+
+  /// Mirrors Watchman::Execute(): probe the daemon, on a miss run the
+  /// local executor and offer the result back. Executor errors
+  /// propagate unchanged; failed executions are not cached.
+  StatusOr<std::string> Execute(const std::string& query_text);
+
+  /// Alias of Execute() (the paper-era name).
+  StatusOr<std::string> Query(const std::string& query_text) {
+    return Execute(query_text);
+  }
+
+  StatusOr<uint64_t> Invalidate(const std::string& query_text) {
+    return client_->Invalidate(query_text);
+  }
+  StatusOr<uint64_t> InvalidateRelation(const std::string& relation) {
+    return client_->InvalidateRelation(relation);
+  }
+
+  /// Daemon-side counters.
+  StatusOr<WireStats> Stats() { return client_->Stats(); }
+
+  WatchmanClient& client() { return *client_; }
+
+ private:
+  std::unique_ptr<WatchmanClient> client_;
+  Watchman::Executor executor_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SERVER_CLIENT_H_

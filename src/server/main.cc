@@ -1,0 +1,233 @@
+// watchmand: the WATCHMAN cache daemon.
+//
+// Runs a Watchman facade behind the TCP server so many warehouse
+// front-ends share one retrieved-set cache. The daemon owns no
+// warehouse: clients attach the result they computed to EXECUTE
+// requests on a miss (see server/protocol.h), and the daemon runs the
+// configured policy's admission/replacement over them.
+//
+// Usage:
+//   watchmand [--policy=lnc-ra(k=4)] [--capacity=256m] [--shards=8]
+//             [--port=9736] [--host=127.0.0.1] [--workers=N]
+//             [--normalize] [--stats-interval=30] [--verbose]
+//
+// --capacity accepts plain bytes or k/m/g suffixes. --policy accepts
+// everything ParsePolicy does. SIGINT/SIGTERM shut down gracefully and
+// print a final stats report.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "sim/policy_config.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct Flags {
+  std::string policy = "lnc-ra(k=4)";
+  std::string capacity = "256m";
+  std::string host = "127.0.0.1";
+  size_t shards = 8;
+  uint16_t port = 9736;
+  size_t workers = 0;  // 0 = hardware concurrency
+  uint64_t stats_interval_s = 0;
+  bool normalize = false;
+  bool verbose = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--policy=<name>] [--capacity=<bytes|k|m|g>] "
+      "[--shards=<n>] [--port=<p>] [--host=<addr>] [--workers=<n>]\n"
+      "       [--normalize] [--stats-interval=<seconds>] [--verbose]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Strict decimal parse bounded by `max`; rejects garbage instead of
+/// silently misreading it (--port=abc must not bind a random port).
+bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty() || text.size() > 10) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > max) return false;
+  }
+  *out = value;
+  return true;
+}
+
+void PrintStats(const WireStats& stats) {
+  std::printf("---- watchmand stats ----\n");
+  std::printf("policy %s, %llu shards, %s / %s used, %llu cached sets\n",
+              stats.policy_name.c_str(),
+              static_cast<unsigned long long>(stats.num_shards),
+              HumanBytes(stats.used_bytes).c_str(),
+              HumanBytes(stats.capacity_bytes).c_str(),
+              static_cast<unsigned long long>(stats.entry_count));
+  std::printf(
+      "lookups %llu, hits %llu (HR %.3f), CSR %.3f, insertions %llu, "
+      "evictions %llu, invalidations %llu\n",
+      static_cast<unsigned long long>(stats.lookups),
+      static_cast<unsigned long long>(stats.hits), stats.hit_ratio(),
+      stats.cost_savings_ratio(),
+      static_cast<unsigned long long>(stats.insertions),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.invalidations));
+  std::printf(
+      "connections %llu accepted / %llu active, requests %llu, "
+      "rejected frames %llu\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_active),
+      static_cast<unsigned long long>(stats.requests_served),
+      static_cast<unsigned long long>(stats.frames_rejected));
+  for (const WireOpMetrics& op : stats.per_op) {
+    std::printf(
+        "  %-20s %10llu reqs %6llu errs   latency us mean %8.1f  min %8.1f"
+        "  max %8.1f\n",
+        OpCodeName(static_cast<OpCode>(op.op)),
+        static_cast<unsigned long long>(op.requests),
+        static_cast<unsigned long long>(op.errors), op.latency_mean_us,
+        op.latency_min_us, op.latency_max_us);
+  }
+  std::fflush(stdout);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "policy", &value)) {
+      flags.policy = value;
+    } else if (ParseFlag(arg, "capacity", &value)) {
+      flags.capacity = value;
+    } else if (ParseFlag(arg, "host", &value)) {
+      flags.host = value;
+    } else if (ParseFlag(arg, "shards", &value)) {
+      uint64_t shards = 0;
+      if (!ParseUint(value, 1024, &shards) || shards == 0) {
+        std::fprintf(stderr, "--shards: expected 1..1024, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.shards = static_cast<size_t>(shards);
+    } else if (ParseFlag(arg, "port", &value)) {
+      uint64_t port = 0;
+      if (!ParseUint(value, 65535, &port)) {
+        std::fprintf(stderr, "--port: expected 0..65535, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.port = static_cast<uint16_t>(port);
+    } else if (ParseFlag(arg, "workers", &value)) {
+      uint64_t workers = 0;
+      if (!ParseUint(value, 4096, &workers)) {
+        std::fprintf(stderr, "--workers: expected 0..4096, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.workers = static_cast<size_t>(workers);
+    } else if (ParseFlag(arg, "stats-interval", &value)) {
+      if (!ParseUint(value, 86400, &flags.stats_interval_s)) {
+        std::fprintf(stderr,
+                     "--stats-interval: expected seconds 0..86400, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--normalize") {
+      flags.normalize = true;
+    } else if (arg == "--verbose") {
+      flags.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  SetLogLevel(flags.verbose ? LogLevel::kDebug : LogLevel::kInfo);
+
+  StatusOr<PolicyConfig> policy = ParsePolicy(flags.policy);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "--policy: %s\n", policy.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<uint64_t> capacity = ParseByteSize(flags.capacity);
+  if (!capacity.ok()) {
+    std::fprintf(stderr, "--capacity: %s\n",
+                 capacity.status().ToString().c_str());
+    return 2;
+  }
+  Watchman::Options options;
+  options.capacity_bytes = *capacity;
+  options.policy = *policy;
+  options.num_shards = flags.shards;
+  options.normalize_queries = flags.normalize;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+
+  WatchmanServer::Options server_options;
+  server_options.bind_address = flags.host;
+  server_options.port = flags.port;
+  server_options.num_workers =
+      flags.workers != 0 ? flags.workers
+                         : std::max(4u, std::thread::hardware_concurrency());
+  WatchmanServer server(&cache, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("watchmand serving %s on %s:%u (%s capacity, %zu shards, "
+              "%zu workers)\n",
+              cache.policy_name().c_str(), flags.host.c_str(),
+              static_cast<unsigned>(server.port()),
+              HumanBytes(*capacity).c_str(), cache.num_shards(),
+              server_options.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  uint64_t ticks = 0;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ++ticks;
+    if (flags.stats_interval_s != 0 &&
+        ticks % (flags.stats_interval_s * 5) == 0) {
+      PrintStats(server.StatsSnapshot());
+    }
+  }
+  std::printf("\nshutting down...\n");
+  const WireStats final_stats = server.StatsSnapshot();
+  server.Stop();
+  PrintStats(final_stats);
+  return 0;
+}
+
+}  // namespace
+}  // namespace watchman
+
+int main(int argc, char** argv) { return watchman::Run(argc, argv); }

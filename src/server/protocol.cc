@@ -1,0 +1,396 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace watchman {
+namespace {
+
+// ------------------------------------------------------------- writer
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutStringList(std::string* out, const std::vector<std::string>& list) {
+  PutU32(out, static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) PutString(out, s);
+}
+
+// ------------------------------------------------------------- reader
+
+/// Cursor over a frame body; every read fails sticky on truncation.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double Double() { return std::bit_cast<double>(U64()); }
+
+  std::string String() {
+    const uint32_t len = U32();
+    if (!Require(len)) return {};
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<std::string> StringList() {
+    const uint32_t count = U32();
+    std::vector<std::string> out;
+    for (uint32_t i = 0; i < count && ok_; ++i) out.push_back(String());
+    return out;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Validates the shared (version, opcode) prologue.
+Status ReadPrologue(Reader* r, OpCode* op) {
+  const uint8_t version = r->U8();
+  const uint8_t raw_op = r->U8();
+  if (!r->ok()) return Status::Corruption("frame body shorter than prologue");
+  if (version != kWireVersion) {
+    return Status::NotSupported("wire version " + std::to_string(version) +
+                                " (expected " + std::to_string(kWireVersion) +
+                                ")");
+  }
+  if (!IsValidOpCode(raw_op)) {
+    return Status::InvalidArgument("unknown opcode " + std::to_string(raw_op));
+  }
+  *op = static_cast<OpCode>(raw_op);
+  return Status::OK();
+}
+
+Status FinishDecode(const Reader& r, const char* what) {
+  if (!r.ok()) return Status::Corruption(std::string("truncated ") + what);
+  if (!r.exhausted()) {
+    return Status::Corruption(std::string("trailing bytes after ") + what);
+  }
+  return Status::OK();
+}
+
+/// Wraps an encoded body into a frame (length prefix + body).
+std::string Frame(std::string body) {
+  std::string out;
+  out.reserve(4 + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  out += body;
+  return out;
+}
+
+void PutStats(std::string* out, const WireStats& s) {
+  PutU64(out, s.lookups);
+  PutU64(out, s.hits);
+  PutU64(out, s.insertions);
+  PutU64(out, s.evictions);
+  PutU64(out, s.admission_rejections);
+  PutU64(out, s.too_large_rejections);
+  PutU64(out, s.cost_total);
+  PutU64(out, s.cost_saved);
+  PutU64(out, s.bytes_inserted);
+  PutU64(out, s.bytes_evicted);
+  PutU64(out, s.used_bytes);
+  PutU64(out, s.capacity_bytes);
+  PutU64(out, s.entry_count);
+  PutU64(out, s.retained_count);
+  PutU64(out, s.invalidations);
+  PutU64(out, s.num_shards);
+  PutString(out, s.policy_name);
+  PutU64(out, s.connections_accepted);
+  PutU64(out, s.connections_active);
+  PutU64(out, s.requests_served);
+  PutU64(out, s.frames_rejected);
+  PutU32(out, static_cast<uint32_t>(s.per_op.size()));
+  for (const WireOpMetrics& m : s.per_op) {
+    PutU8(out, m.op);
+    PutU64(out, m.requests);
+    PutU64(out, m.errors);
+    PutU64(out, m.latency_count);
+    PutDouble(out, m.latency_mean_us);
+    PutDouble(out, m.latency_min_us);
+    PutDouble(out, m.latency_max_us);
+  }
+}
+
+WireStats ReadStats(Reader* r) {
+  WireStats s;
+  s.lookups = r->U64();
+  s.hits = r->U64();
+  s.insertions = r->U64();
+  s.evictions = r->U64();
+  s.admission_rejections = r->U64();
+  s.too_large_rejections = r->U64();
+  s.cost_total = r->U64();
+  s.cost_saved = r->U64();
+  s.bytes_inserted = r->U64();
+  s.bytes_evicted = r->U64();
+  s.used_bytes = r->U64();
+  s.capacity_bytes = r->U64();
+  s.entry_count = r->U64();
+  s.retained_count = r->U64();
+  s.invalidations = r->U64();
+  s.num_shards = r->U64();
+  s.policy_name = r->String();
+  s.connections_accepted = r->U64();
+  s.connections_active = r->U64();
+  s.requests_served = r->U64();
+  s.frames_rejected = r->U64();
+  const uint32_t ops = r->U32();
+  for (uint32_t i = 0; i < ops && r->ok(); ++i) {
+    WireOpMetrics m;
+    m.op = r->U8();
+    m.requests = r->U64();
+    m.errors = r->U64();
+    m.latency_count = r->U64();
+    m.latency_mean_us = r->Double();
+    m.latency_min_us = r->Double();
+    m.latency_max_us = r->Double();
+    s.per_op.push_back(m);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool IsValidOpCode(uint8_t raw) {
+  return raw >= 1 && raw <= kNumOpCodes;
+}
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPing:
+      return "ping";
+    case OpCode::kExecute:
+      return "execute";
+    case OpCode::kGet:
+      return "get";
+    case OpCode::kInvalidate:
+      return "invalidate";
+    case OpCode::kInvalidateRelation:
+      return "invalidate_relation";
+    case OpCode::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string body;
+  PutU8(&body, kWireVersion);
+  PutU8(&body, static_cast<uint8_t>(request.op));
+  switch (request.op) {
+    case OpCode::kPing:
+    case OpCode::kStats:
+      break;
+    case OpCode::kGet:
+    case OpCode::kInvalidate:
+      PutString(&body, request.query_text);
+      break;
+    case OpCode::kInvalidateRelation:
+      PutString(&body, request.relation);
+      break;
+    case OpCode::kExecute:
+      PutString(&body, request.query_text);
+      PutU8(&body, request.has_fill ? 1 : 0);
+      if (request.has_fill) {
+        PutString(&body, request.fill_payload);
+        PutU64(&body, request.fill_cost);
+        PutStringList(&body, request.fill_relations);
+      }
+      break;
+  }
+  return Frame(std::move(body));
+}
+
+StatusOr<WireRequest> DecodeRequest(std::string_view body) {
+  Reader r(body);
+  WireRequest request;
+  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &request.op));
+  switch (request.op) {
+    case OpCode::kPing:
+    case OpCode::kStats:
+      break;
+    case OpCode::kGet:
+    case OpCode::kInvalidate:
+      request.query_text = r.String();
+      break;
+    case OpCode::kInvalidateRelation:
+      request.relation = r.String();
+      break;
+    case OpCode::kExecute:
+      request.query_text = r.String();
+      request.has_fill = r.U8() != 0;
+      if (request.has_fill) {
+        request.fill_payload = r.String();
+        request.fill_cost = r.U64();
+        request.fill_relations = r.StringList();
+      }
+      break;
+  }
+  WATCHMAN_RETURN_IF_ERROR(FinishDecode(r, "request"));
+  return request;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string body;
+  PutU8(&body, kWireVersion);
+  PutU8(&body, static_cast<uint8_t>(response.op));
+  PutU8(&body, static_cast<uint8_t>(response.code));
+  PutString(&body, response.message);
+  switch (response.op) {
+    case OpCode::kPing:
+      break;
+    case OpCode::kExecute:
+    case OpCode::kGet:
+      PutU8(&body, response.cache_hit ? 1 : 0);
+      PutString(&body, response.payload);
+      break;
+    case OpCode::kInvalidate:
+    case OpCode::kInvalidateRelation:
+      PutU64(&body, response.dropped);
+      break;
+    case OpCode::kStats:
+      PutStats(&body, response.stats);
+      break;
+  }
+  return Frame(std::move(body));
+}
+
+StatusOr<WireResponse> DecodeResponse(std::string_view body) {
+  Reader r(body);
+  WireResponse response;
+  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &response.op));
+  const uint8_t raw_code = r.U8();
+  if (r.ok() && raw_code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(raw_code));
+  }
+  response.code = static_cast<StatusCode>(raw_code);
+  response.message = r.String();
+  switch (response.op) {
+    case OpCode::kPing:
+      break;
+    case OpCode::kExecute:
+    case OpCode::kGet:
+      response.cache_hit = r.U8() != 0;
+      response.payload = r.String();
+      break;
+    case OpCode::kInvalidate:
+    case OpCode::kInvalidateRelation:
+      response.dropped = r.U64();
+      break;
+    case OpCode::kStats:
+      response.stats = ReadStats(&r);
+      break;
+  }
+  WATCHMAN_RETURN_IF_ERROR(FinishDecode(r, "response"));
+  return response;
+}
+
+StatusOr<bool> ExtractFrame(std::string_view buffer, size_t max_frame_bytes,
+                            std::string_view* body, size_t* frame_size) {
+  if (buffer.size() < 4) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i])) << (8 * i);
+  }
+  if (len > max_frame_bytes) {
+    return Status::Corruption("frame body of " + std::to_string(len) +
+                              " bytes exceeds the " +
+                              std::to_string(max_frame_bytes) + " byte limit");
+  }
+  if (buffer.size() - 4 < len) return false;
+  *body = buffer.substr(4, len);
+  *frame_size = 4 + static_cast<size_t>(len);
+  return true;
+}
+
+Status StatusFromWire(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kCapacityExceeded:
+      return Status::CapacityExceeded(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+  }
+  return Status::Internal("unrepresentable wire status: " + message);
+}
+
+}  // namespace watchman

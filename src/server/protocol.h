@@ -1,0 +1,170 @@
+// watchmand wire protocol: length-prefixed binary framing shared by the
+// server, the client library and the CLI.
+//
+// A frame is a 4-byte little-endian body length followed by the body.
+// Every body starts with a version byte and an opcode byte; the
+// remaining fields are opcode-specific, encoded with fixed-width
+// little-endian integers and u32-length-prefixed strings. Doubles
+// travel as their IEEE-754 bit pattern in a u64.
+//
+// The protocol is deliberately dumb-pipe: requests carry everything the
+// daemon needs (notably EXECUTE's optional miss-fill -- the payload,
+// cost and relation list the client materialized when the daemon had a
+// miss), responses carry a status code + message mirroring util/status,
+// and both sides treat an oversized or short frame as corruption.
+// Encoding and decoding are pure functions over byte strings so the
+// whole layer is unit-testable without sockets.
+
+#ifndef WATCHMAN_SERVER_PROTOCOL_H_
+#define WATCHMAN_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace watchman {
+
+/// Protocol revision; bumped on any incompatible framing change. A
+/// decoder rejects bodies whose version byte differs.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Upper bound both sides place on one frame's body (guards the length
+/// prefix against garbage and bounds per-connection memory).
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Request operations.
+enum class OpCode : uint8_t {
+  kPing = 1,                // liveness / framing check
+  kExecute = 2,             // full cache lookup, miss filled server- or
+                            // client-side (see WireRequest::has_fill)
+  kGet = 3,                 // hit-only probe; NotFound on a miss
+  kInvalidate = 4,          // drop one query's retrieved set
+  kInvalidateRelation = 5,  // drop every set that read a relation
+  kStats = 6,               // cache + server counters snapshot
+};
+
+inline constexpr size_t kNumOpCodes = 6;
+
+/// True if `raw` encodes a known OpCode.
+bool IsValidOpCode(uint8_t raw);
+
+/// Stable lower-case name ("ping", "execute", ...).
+const char* OpCodeName(OpCode op);
+
+/// Index of `op` in dense per-op arrays (kPing -> 0, ...).
+inline size_t OpIndex(OpCode op) { return static_cast<size_t>(op) - 1; }
+
+/// A decoded request.
+struct WireRequest {
+  OpCode op = OpCode::kPing;
+  /// kExecute / kGet / kInvalidate: the query text (the daemon derives
+  /// the query ID exactly like the local facade).
+  std::string query_text;
+  /// kInvalidateRelation: the updated relation.
+  std::string relation;
+  /// kExecute: when true, the request carries the result the client
+  /// computed for a miss -- the daemon's executor serves it if (and only
+  /// if) the lookup actually misses.
+  bool has_fill = false;
+  std::string fill_payload;
+  uint64_t fill_cost = 1;
+  std::vector<std::string> fill_relations;
+};
+
+/// Latency/throughput counters for one opcode (STATS payload).
+struct WireOpMetrics {
+  uint8_t op = 0;
+  uint64_t requests = 0;
+  /// Responses with a status other than OK / NotFound (a miss is not an
+  /// error).
+  uint64_t errors = 0;
+  /// Handler latency in microseconds.
+  uint64_t latency_count = 0;
+  double latency_mean_us = 0.0;
+  double latency_min_us = 0.0;
+  double latency_max_us = 0.0;
+};
+
+/// The STATS response payload: the facade's cache counters plus the
+/// server's transport counters.
+struct WireStats {
+  // CacheStats, verbatim.
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t admission_rejections = 0;
+  uint64_t too_large_rejections = 0;
+  uint64_t cost_total = 0;
+  uint64_t cost_saved = 0;
+  uint64_t bytes_inserted = 0;
+  uint64_t bytes_evicted = 0;
+  // Facade gauges.
+  uint64_t used_bytes = 0;
+  uint64_t capacity_bytes = 0;
+  uint64_t entry_count = 0;
+  uint64_t retained_count = 0;
+  uint64_t invalidations = 0;
+  uint64_t num_shards = 0;
+  std::string policy_name;
+  // Server transport counters.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests_served = 0;
+  uint64_t frames_rejected = 0;
+  std::vector<WireOpMetrics> per_op;
+
+  double hit_ratio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  double cost_savings_ratio() const {
+    return cost_total == 0 ? 0.0
+                           : static_cast<double>(cost_saved) /
+                                 static_cast<double>(cost_total);
+  }
+};
+
+/// A decoded response. `op` echoes the request; `code`/`message` mirror
+/// the handler's Status; the remaining fields are op-specific.
+struct WireResponse {
+  OpCode op = OpCode::kPing;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// kExecute / kGet: true when the payload came from the cache rather
+  /// than a fill/execution.
+  bool cache_hit = false;
+  std::string payload;
+  /// kInvalidate / kInvalidateRelation: retrieved sets dropped.
+  uint64_t dropped = 0;
+  WireStats stats;
+};
+
+/// Encodes a complete frame (length prefix + body).
+std::string EncodeRequest(const WireRequest& request);
+std::string EncodeResponse(const WireResponse& response);
+
+/// Decodes a frame body (without the length prefix). Corruption on
+/// truncated/overlong bodies, NotSupported on a version mismatch,
+/// InvalidArgument on an unknown opcode.
+StatusOr<WireRequest> DecodeRequest(std::string_view body);
+StatusOr<WireResponse> DecodeResponse(std::string_view body);
+
+/// Streaming frame extraction: examines `buffer` (the bytes read so
+/// far) and, when a complete frame is present, points *body at its body
+/// bytes inside `buffer`, sets *frame_size to the total frame size
+/// (prefix + body) and returns true. Returns false when more bytes are
+/// needed, Corruption when the length prefix exceeds `max_frame_bytes`.
+StatusOr<bool> ExtractFrame(std::string_view buffer, size_t max_frame_bytes,
+                            std::string_view* body, size_t* frame_size);
+
+/// Rebuilds a Status from a wire (code, message) pair; OK for kOk.
+Status StatusFromWire(StatusCode code, const std::string& message);
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SERVER_PROTOCOL_H_

@@ -1,0 +1,408 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace watchman {
+namespace {
+
+/// The miss-fill the EXECUTE handler staged for the facade executor
+/// running on this worker thread. Single-flight runs the executor on
+/// the leader's thread, so the leader always sees its own fill;
+/// deduplicated followers share the leader's result, exactly like
+/// concurrent local callers.
+struct FillContext {
+  const WireRequest* request = nullptr;
+  bool consumed = false;
+};
+
+thread_local FillContext* t_fill = nullptr;
+
+/// Writes all of `data` to `fd`, riding out partial writes and EINTR.
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+WatchmanServer::WatchmanServer(Watchman* cache, Options options)
+    : cache_(cache), options_(std::move(options)) {}
+
+WatchmanServer::~WatchmanServer() { Stop(); }
+
+Watchman::Executor WatchmanServer::MissFillExecutor() {
+  return [](const std::string& query_text)
+             -> StatusOr<Watchman::ExecutionResult> {
+    FillContext* fill = t_fill;
+    if (fill == nullptr || fill->request == nullptr) {
+      return Status::NotFound("cache miss and no miss-fill attached: " +
+                              query_text);
+    }
+    fill->consumed = true;
+    Watchman::ExecutionResult result;
+    result.payload = fill->request->fill_payload;
+    result.cost = fill->request->fill_cost;
+    result.relations = fill->request->fill_relations;
+    return result;
+  };
+}
+
+Status WatchmanServer::Start() {
+  if (running_.load(std::memory_order_acquire) || listen_fd_ >= 0) {
+    return Status::Internal("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        "bind " + options_.bind_address + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  WATCHMAN_LOG(Info) << "watchmand listening on " << options_.bind_address
+                     << ":" << bound_port_ << " (" << workers << " workers)";
+  return Status::OK();
+}
+
+void WatchmanServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    // Set under queue_mu_: a worker that just evaluated the wait
+    // predicate (and is about to block) must not miss the notify.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  queue_cv_.notify_all();
+  // Wake the acceptor: shutdown() forces its poll/accept to return.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Unblock workers mid-read.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections accepted but never claimed by a worker.
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void WatchmanServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket shut down
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void WatchmanServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void WatchmanServer::ServeConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_.insert(fd);
+  }
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string inbuf;
+  std::string outbuf;
+  char chunk[64 * 1024];
+  bool keep_alive = true;
+  while (keep_alive && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    inbuf.append(chunk, static_cast<size_t>(n));
+
+    // Request batching: drain every complete frame before writing the
+    // batched responses back in one flush.
+    size_t consumed = 0;
+    while (keep_alive) {
+      std::string_view body;
+      size_t frame_size = 0;
+      StatusOr<bool> extracted =
+          ExtractFrame(std::string_view(inbuf).substr(consumed),
+                       options_.max_frame_bytes, &body, &frame_size);
+      if (!extracted.ok()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        WireResponse err;
+        err.code = StatusCode::kCorruption;
+        err.message = extracted.status().message();
+        outbuf += EncodeResponse(err);
+        keep_alive = false;  // framing is unrecoverable
+        break;
+      }
+      if (!*extracted) break;
+      keep_alive = HandleFrame(body, &outbuf);
+      consumed += frame_size;
+    }
+    inbuf.erase(0, consumed);
+    if (!outbuf.empty()) {
+      if (!WriteAll(fd, outbuf)) break;
+      outbuf.clear();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_.erase(fd);
+  }
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  ::close(fd);
+}
+
+bool WatchmanServer::HandleFrame(std::string_view body, std::string* out) {
+  StatusOr<WireRequest> request = DecodeRequest(body);
+  if (!request.ok()) {
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    WireResponse err;
+    err.code = request.status().code();
+    err.message = request.status().message();
+    *out += EncodeResponse(err);
+    // The stream decoded a frame but not a request; the peer speaks a
+    // different dialect, so drop it.
+    return false;
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  WireResponse response = Dispatch(*request);
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  RecordOp(request->op, response.code, latency_us);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  *out += EncodeResponse(response);
+  return true;
+}
+
+WireResponse WatchmanServer::Dispatch(const WireRequest& request) {
+  WireResponse response;
+  response.op = request.op;
+  switch (request.op) {
+    case OpCode::kPing:
+      break;
+    case OpCode::kGet: {
+      StatusOr<std::string> payload = cache_->GetCached(request.query_text);
+      if (payload.ok()) {
+        response.cache_hit = true;
+        response.payload = std::move(*payload);
+      } else {
+        response.code = payload.status().code();
+        response.message = payload.status().message();
+      }
+      break;
+    }
+    case OpCode::kExecute: {
+      FillContext fill;
+      if (request.has_fill) {
+        fill.request = &request;
+        t_fill = &fill;
+      }
+      // Approximate hit flag for executor-mode requests; fill-mode
+      // requests overwrite it below with the exact answer.
+      const bool cached_before =
+          request.has_fill ? false : cache_->IsCached(request.query_text);
+      StatusOr<std::string> payload = cache_->Execute(request.query_text);
+      if (!payload.ok() && request.has_fill && !fill.consumed &&
+          payload.status().code() == StatusCode::kNotFound) {
+        // NotFound with the fill unconsumed: this request was
+        // deduplicated behind a fill-less caller's flight and shared
+        // its miss without our fill ever being offered. The flight has
+        // closed, so one retry runs the executor with the fill staged.
+        // (Gated on NotFound so a daemon with a real warehouse executor
+        // never re-runs a query that failed for other reasons.)
+        payload = cache_->Execute(request.query_text);
+      }
+      t_fill = nullptr;
+      if (payload.ok()) {
+        response.cache_hit = request.has_fill ? !fill.consumed : cached_before;
+        response.payload = std::move(*payload);
+      } else {
+        response.code = payload.status().code();
+        response.message = payload.status().message();
+      }
+      break;
+    }
+    case OpCode::kInvalidate:
+      response.dropped = cache_->Invalidate(request.query_text) ? 1 : 0;
+      break;
+    case OpCode::kInvalidateRelation:
+      response.dropped = cache_->InvalidateRelation(request.relation);
+      break;
+    case OpCode::kStats:
+      response.stats = StatsSnapshot();
+      break;
+  }
+  return response;
+}
+
+void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
+  // A miss (NotFound) is an answered question, not a failure.
+  const bool is_error = code != StatusCode::kOk && code != StatusCode::kNotFound;
+  LockedOpCounters& slot = per_op_[OpIndex(op)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  ++slot.counters.requests;
+  if (is_error) ++slot.counters.errors;
+  slot.counters.latency_us.Add(latency_us);
+}
+
+WatchmanServer::OpCounters WatchmanServer::op_counters(OpCode op) const {
+  const LockedOpCounters& slot = per_op_[OpIndex(op)];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.counters;
+}
+
+WireStats WatchmanServer::StatsSnapshot() const {
+  WireStats out;
+  const CacheStats cache = cache_->stats();
+  out.lookups = cache.lookups;
+  out.hits = cache.hits;
+  out.insertions = cache.insertions;
+  out.evictions = cache.evictions;
+  out.admission_rejections = cache.admission_rejections;
+  out.too_large_rejections = cache.too_large_rejections;
+  out.cost_total = cache.cost_total;
+  out.cost_saved = cache.cost_saved;
+  out.bytes_inserted = cache.bytes_inserted;
+  out.bytes_evicted = cache.bytes_evicted;
+  out.used_bytes = cache_->used_bytes();
+  out.capacity_bytes = cache_->capacity_bytes();
+  out.entry_count = cache_->cached_set_count();
+  out.retained_count = cache_->retained_info_count();
+  out.invalidations = cache_->invalidations();
+  out.num_shards = cache_->num_shards();
+  out.policy_name = cache_->policy_name();
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_active = connections_active_.load(std::memory_order_relaxed);
+  out.requests_served = requests_served_.load(std::memory_order_relaxed);
+  out.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumOpCodes; ++i) {
+    const LockedOpCounters& slot = per_op_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    const OpCounters& counters = slot.counters;
+    if (counters.requests == 0) continue;
+    WireOpMetrics metrics;
+    metrics.op = static_cast<uint8_t>(i + 1);
+    metrics.requests = counters.requests;
+    metrics.errors = counters.errors;
+    metrics.latency_count = counters.latency_us.count();
+    metrics.latency_mean_us = counters.latency_us.mean();
+    metrics.latency_min_us = counters.latency_us.min();
+    metrics.latency_max_us = counters.latency_us.max();
+    out.per_op.push_back(metrics);
+  }
+  return out;
+}
+
+}  // namespace watchman

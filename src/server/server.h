@@ -1,0 +1,160 @@
+// WatchmanServer: the watchmand network front-end over a Watchman
+// facade.
+//
+// Architecture (connection-per-worker): one acceptor thread accepts TCP
+// connections on a loopback/interface address and hands them to a fixed
+// pool of worker threads; each worker owns one connection at a time and
+// serves it until the peer disconnects. Workers read into a
+// per-connection buffer, drain *every* complete frame in it before
+// flushing the batched responses in one write (request batching -- a
+// pipelining client pays one syscall round per burst, not per request),
+// and poll with a short timeout so Stop() is honored promptly.
+//
+// The request handlers call straight into the (thread-safe) Watchman
+// facade, so hits on different cache shards proceed in parallel across
+// workers and concurrent identical misses collapse into the facade's
+// single-flight. Per-op request/error/latency counters (util/stats
+// OnlineStats) are kept under a metrics mutex and surfaced through
+// both the STATS op and the StatsSnapshot() accessor.
+//
+// Miss-fill execution: a daemon has no warehouse of its own, so the
+// EXECUTE op may carry the result the *client* computed for a miss.
+// Construct the facade with MissFillExecutor() and the server routes
+// that client-supplied fill through the facade's normal executor path
+// (admission, single-flight, coherence epochs included). An embedder
+// that does own a warehouse can instead construct the facade with a
+// real executor; fills are then ignored by that executor and EXECUTE
+// without a fill executes server-side.
+
+#ifndef WATCHMAN_SERVER_SERVER_H_
+#define WATCHMAN_SERVER_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+
+/// Multi-threaded TCP server exposing a Watchman facade.
+class WatchmanServer {
+ public:
+  struct Options {
+    /// Address to bind (default loopback only).
+    std::string bind_address = "127.0.0.1";
+    /// Port to bind; 0 picks an ephemeral port, read it back via
+    /// port(). Tests and parallel CI runs should use 0.
+    uint16_t port = 0;
+    /// Worker threads == connections served concurrently; additional
+    /// accepted connections queue until a worker frees up.
+    size_t num_workers = 4;
+    /// Per-frame body size limit; larger length prefixes close the
+    /// connection as corrupt.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Poll timeout bounding how long Stop() can lag behind.
+    int poll_interval_ms = 50;
+  };
+
+  /// Per-op throughput/latency counters.
+  struct OpCounters {
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    OnlineStats latency_us;
+  };
+
+  /// `cache` must outlive the server.
+  WatchmanServer(Watchman* cache, Options options);
+  ~WatchmanServer();
+
+  WatchmanServer(const WatchmanServer&) = delete;
+  WatchmanServer& operator=(const WatchmanServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. Fails (IOError)
+  /// if the address cannot be bound; at most one successful Start() per
+  /// server instance.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, shuts down live connections,
+  /// joins all threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 after Start()).
+  uint16_t port() const { return bound_port_; }
+
+  /// Snapshot of cache + transport counters (the STATS op payload).
+  WireStats StatsSnapshot() const;
+
+  /// One op's counters (tests / embedders).
+  OpCounters op_counters(OpCode op) const;
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// An executor that serves the client-supplied miss-fill attached to
+  /// the EXECUTE request being handled on this thread, and fails with
+  /// NotFound when the request carried none. Pass to the Watchman
+  /// constructor when the daemon itself has no warehouse.
+  static Watchman::Executor MissFillExecutor();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Decodes and dispatches one frame body, appending the encoded
+  /// response to *out. Returns false when the connection must close
+  /// (undecodable request).
+  bool HandleFrame(std::string_view body, std::string* out);
+  WireResponse Dispatch(const WireRequest& request);
+  void RecordOp(OpCode op, StatusCode code, double latency_us);
+
+  Watchman* cache_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  /// Accepted connections awaiting a worker.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  /// Connections currently owned by a worker (shut down on Stop()).
+  std::mutex conns_mu_;
+  std::unordered_set<int> active_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+
+  /// One padded mutex per opcode: workers recording different ops
+  /// never contend, and the hot path takes exactly one uncontended
+  /// lock in the common case.
+  struct alignas(64) LockedOpCounters {
+    mutable std::mutex mu;
+    OpCounters counters;
+  };
+  std::array<LockedOpCounters, kNumOpCodes> per_op_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SERVER_SERVER_H_

@@ -1,5 +1,8 @@
 #include "sim/policy_config.h"
 
+#include <optional>
+#include <string_view>
+
 #include "cache/gds_cache.h"
 #include "cache/lcs_cache.h"
 #include "cache/lfu_cache.h"
@@ -84,26 +87,81 @@ std::unique_ptr<ShardedQueryCache> MakeShardedCache(
       });
 }
 
+namespace {
+
+/// Parses a strictly positive decimal k (at most 6 digits).
+bool ParseK(std::string_view digits, size_t* k) {
+  if (digits.empty() || digits.size() > 6) return false;
+  size_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  if (value == 0) return false;
+  *k = value;
+  return true;
+}
+
+}  // namespace
+
 StatusOr<PolicyConfig> ParsePolicy(const std::string& name) {
   PolicyConfig config;
-  if (name == "lru") {
+  const auto invalid = [&name] {
+    return Status::InvalidArgument(
+        "unknown policy: " + name +
+        " (expected lru, lru-k, lru-<k>, lfu, lcs, gds, lnc-r[(k=<k>)], "
+        "lnc-ra[(k=<k>)], inf)");
+  };
+
+  // Split off an explicit history depth: PolicyName() emits "lru-<k>"
+  // for LRU-K and "<base>(k=<k>)" for the LNC policies, and both must
+  // round-trip through this parser.
+  std::string base = name;
+  std::optional<size_t> k;
+  const size_t paren = name.find('(');
+  if (paren != std::string::npos) {
+    size_t parsed = 0;
+    if (name.back() != ')') return invalid();
+    const std::string_view inner(name.data() + paren + 1,
+                                 name.size() - paren - 2);
+    if (inner.substr(0, 2) != "k=" || !ParseK(inner.substr(2), &parsed)) {
+      return invalid();
+    }
+    base = name.substr(0, paren);
+    k = parsed;
+  } else if (name.size() > 4 && name.compare(0, 4, "lru-") == 0 &&
+             name != "lru-k") {
+    size_t parsed = 0;
+    if (!ParseK(std::string_view(name).substr(4), &parsed)) return invalid();
+    base = "lru-k";
+    k = parsed;
+  }
+
+  if (base == "lru") {
     config.kind = PolicyKind::kLru;
-  } else if (name == "lru-k") {
+  } else if (base == "lru-k") {
     config.kind = PolicyKind::kLruK;
-  } else if (name == "lfu") {
+  } else if (base == "lfu") {
     config.kind = PolicyKind::kLfu;
-  } else if (name == "lcs") {
+  } else if (base == "lcs") {
     config.kind = PolicyKind::kLcs;
-  } else if (name == "gds") {
+  } else if (base == "gds") {
     config.kind = PolicyKind::kGds;
-  } else if (name == "lnc-r") {
+  } else if (base == "lnc-r") {
     config.kind = PolicyKind::kLncR;
-  } else if (name == "lnc-ra") {
+  } else if (base == "lnc-ra") {
     config.kind = PolicyKind::kLncRA;
-  } else if (name == "inf") {
+  } else if (base == "inf") {
     config.kind = PolicyKind::kInfinite;
   } else {
-    return Status::InvalidArgument("unknown policy: " + name);
+    return invalid();
+  }
+  if (k.has_value()) {
+    if (config.kind != PolicyKind::kLruK && config.kind != PolicyKind::kLncR &&
+        config.kind != PolicyKind::kLncRA) {
+      return invalid();  // k makes no sense for history-less policies
+    }
+    config.k = *k;
   }
   return config;
 }

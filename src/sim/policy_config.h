@@ -51,7 +51,11 @@ std::unique_ptr<QueryCache> MakeCache(const PolicyConfig& config,
 std::unique_ptr<ShardedQueryCache> MakeShardedCache(
     const PolicyConfig& config, uint64_t capacity_bytes, size_t num_shards);
 
-/// Parses "lru", "lru-k", "lfu", "lcs", "gds", "lnc-r", "lnc-ra", "inf".
+/// Parses a policy name: "lru", "lru-k", "lfu", "lcs", "gds", "lnc-r",
+/// "lnc-ra", "inf", plus the parameterized forms PolicyName() emits --
+/// "lru-<k>", "lnc-r(k=<k>)", "lnc-ra(k=<k>)" with k in [1, 999999] --
+/// so ParsePolicy(PolicyName(c)) round-trips. Malformed or out-of-range
+/// k values are InvalidArgument.
 StatusOr<PolicyConfig> ParsePolicy(const std::string& name);
 
 }  // namespace watchman

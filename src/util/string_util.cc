@@ -87,6 +87,46 @@ std::string HumanBytes(uint64_t bytes) {
   return buf;
 }
 
+StatusOr<uint64_t> ParseByteSize(const std::string& text) {
+  size_t pos = 0;
+  uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(text[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("byte size overflows: " + text);
+    }
+    value = value * 10 + digit;
+    ++pos;
+  }
+  if (pos == 0) {
+    return Status::InvalidArgument("bad byte size: " + text);
+  }
+  std::string suffix = text.substr(pos);
+  for (char& c : suffix) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  int shift = 0;
+  if (suffix.empty() || suffix == "b") {
+    shift = 0;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    shift = 10;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    shift = 20;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    shift = 30;
+  } else {
+    return Status::InvalidArgument("bad byte size suffix: " + text);
+  }
+  if (shift != 0 && value > (UINT64_MAX >> shift)) {
+    return Status::InvalidArgument("byte size overflows: " + text);
+  }
+  value <<= shift;
+  if (value == 0) {
+    return Status::InvalidArgument("byte size must be positive: " + text);
+  }
+  return value;
+}
+
 std::string FormatDouble(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);

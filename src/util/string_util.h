@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace watchman {
 
 /// Compresses a query string into a query ID: runs of SQL delimiters
@@ -27,6 +29,12 @@ std::string Join(const std::vector<std::string>& parts,
 
 /// Formats a byte count with a binary-unit suffix ("16.1 MiB").
 std::string HumanBytes(uint64_t bytes);
+
+/// Parses a byte count from CLI text: plain digits or a binary-unit
+/// suffix -- "262144", "256k", "64m", "64mb", "64mib", "2g" (suffixes
+/// case-insensitive). InvalidArgument on malformed input, zero, or
+/// overflow. The inverse direction of HumanBytes.
+StatusOr<uint64_t> ParseByteSize(const std::string& text);
 
 /// Formats a double with fixed precision (printf "%.*f").
 std::string FormatDouble(double value, int precision);

@@ -255,6 +255,26 @@ void Watchman::ReleaseInflightOffer() {
   }
 }
 
+StatusOr<std::string> Watchman::GetCached(const std::string& query_text) {
+  const std::string query_id = MakeQueryId(query_text);
+  if (query_id.empty()) {
+    return Status::InvalidArgument("query text contains no tokens");
+  }
+  QueryDescriptor probe;
+  probe.query_id = query_id;
+  probe.signature = ComputeSignature(query_id);
+  if (!cache_->TryReferenceCached(probe, NowTick())) {
+    return Status::NotFound("not cached: " + query_id);
+  }
+  StatusOr<std::string> payload = GetPayload(query_id);
+  if (!payload.ok()) {
+    // Evicted between the reference and the fetch; report the miss (the
+    // recorded reference stands, matching a hit that raced an eviction).
+    return Status::NotFound("payload evicted concurrently: " + query_id);
+  }
+  return payload;
+}
+
 bool Watchman::IsCached(const std::string& query_text) const {
   return cache_->Contains(MakeQueryId(query_text));
 }

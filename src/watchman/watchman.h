@@ -125,6 +125,15 @@ class Watchman {
     return Execute(query_text);
   }
 
+  /// Hit-only probe: returns the cached retrieved set of `query_text`,
+  /// recording the reference exactly like a hit in Execute(); NotFound
+  /// -- with no lookup counted and nothing executed -- when the set is
+  /// absent. This is the daemon's GET op: a remote caller probes, and
+  /// on NotFound materializes the result itself and offers it back
+  /// through an Execute() miss-fill, so the two round trips together
+  /// count as one reference, like one local Execute().
+  StatusOr<std::string> GetCached(const std::string& query_text);
+
   /// True if the retrieved set of `query_text` is currently cached.
   bool IsCached(const std::string& query_text) const;
 

@@ -1,0 +1,317 @@
+// Wire-protocol serialization tests: pure byte-string round trips, no
+// sockets involved.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace watchman {
+namespace {
+
+/// Strips the length prefix of a complete frame, asserting coherence.
+std::string BodyOf(const std::string& frame) {
+  std::string_view body;
+  size_t frame_size = 0;
+  StatusOr<bool> ok =
+      ExtractFrame(frame, kDefaultMaxFrameBytes, &body, &frame_size);
+  EXPECT_TRUE(ok.ok() && *ok);
+  EXPECT_EQ(frame_size, frame.size());
+  return std::string(body);
+}
+
+TEST(ProtocolTest, PingRequestRoundTrip) {
+  WireRequest request;
+  request.op = OpCode::kPing;
+  auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, OpCode::kPing);
+}
+
+TEST(ProtocolTest, GetAndInvalidateRequestsCarryQueryText) {
+  for (OpCode op : {OpCode::kGet, OpCode::kInvalidate}) {
+    WireRequest request;
+    request.op = op;
+    request.query_text = "select count(*) from lineitem where l_tax > 0.05";
+    auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->query_text, request.query_text);
+  }
+}
+
+TEST(ProtocolTest, ExecuteRequestWithoutFill) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = "select 1";
+  auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, OpCode::kExecute);
+  EXPECT_EQ(decoded->query_text, "select 1");
+  EXPECT_FALSE(decoded->has_fill);
+}
+
+TEST(ProtocolTest, ExecuteRequestWithFillRoundTrips) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = "select sum(profit) from orders, lineitem";
+  request.has_fill = true;
+  request.fill_payload = std::string("binary\x00\x01\xffpayload", 16);
+  request.fill_cost = 123456789;
+  request.fill_relations = {"orders", "lineitem"};
+  auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->has_fill);
+  EXPECT_EQ(decoded->fill_payload, request.fill_payload);
+  EXPECT_EQ(decoded->fill_cost, request.fill_cost);
+  EXPECT_EQ(decoded->fill_relations, request.fill_relations);
+}
+
+TEST(ProtocolTest, InvalidateRelationRequestRoundTrips) {
+  WireRequest request;
+  request.op = OpCode::kInvalidateRelation;
+  request.relation = "lineitem";
+  auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->relation, "lineitem");
+}
+
+TEST(ProtocolTest, ResponsePayloadAndHitFlagRoundTrip) {
+  WireResponse response;
+  response.op = OpCode::kGet;
+  response.cache_hit = true;
+  response.payload = std::string(100000, 'x');
+  auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, OpCode::kGet);
+  EXPECT_EQ(decoded->code, StatusCode::kOk);
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_EQ(decoded->payload, response.payload);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesStatus) {
+  WireResponse response;
+  response.op = OpCode::kExecute;
+  response.code = StatusCode::kNotFound;
+  response.message = "cache miss and no miss-fill attached";
+  auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  const Status status = StatusFromWire(decoded->code, decoded->message);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), response.message);
+}
+
+TEST(ProtocolTest, EveryStatusCodeSurvivesTheWire) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kCapacityExceeded, StatusCode::kIOError,
+        StatusCode::kCorruption, StatusCode::kNotSupported,
+        StatusCode::kInternal}) {
+    WireResponse response;
+    response.op = OpCode::kPing;
+    response.code = code;
+    response.message = code == StatusCode::kOk ? "" : "context";
+    auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(StatusFromWire(decoded->code, decoded->message).code(), code);
+  }
+}
+
+TEST(ProtocolTest, InvalidateResponseCountRoundTrips) {
+  WireResponse response;
+  response.op = OpCode::kInvalidateRelation;
+  response.dropped = 42;
+  auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->dropped, 42u);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTripsAllFields) {
+  WireResponse response;
+  response.op = OpCode::kStats;
+  WireStats& s = response.stats;
+  s.lookups = 1000;
+  s.hits = 750;
+  s.insertions = 240;
+  s.evictions = 60;
+  s.admission_rejections = 10;
+  s.too_large_rejections = 2;
+  s.cost_total = 999999;
+  s.cost_saved = 888888;
+  s.bytes_inserted = 1 << 30;
+  s.bytes_evicted = 1 << 20;
+  s.used_bytes = 12345678;
+  s.capacity_bytes = 1ull << 33;
+  s.entry_count = 180;
+  s.retained_count = 97;
+  s.invalidations = 5;
+  s.num_shards = 8;
+  s.policy_name = "lnc-ra(k=4)x8";
+  s.connections_accepted = 17;
+  s.connections_active = 3;
+  s.requests_served = 1010;
+  s.frames_rejected = 1;
+  WireOpMetrics m;
+  m.op = static_cast<uint8_t>(OpCode::kExecute);
+  m.requests = 500;
+  m.errors = 4;
+  m.latency_count = 500;
+  m.latency_mean_us = 12.375;
+  m.latency_min_us = 0.5;
+  m.latency_max_us = 1875.25;
+  s.per_op.push_back(m);
+
+  auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  const WireStats& d = decoded->stats;
+  EXPECT_EQ(d.lookups, s.lookups);
+  EXPECT_EQ(d.hits, s.hits);
+  EXPECT_EQ(d.insertions, s.insertions);
+  EXPECT_EQ(d.evictions, s.evictions);
+  EXPECT_EQ(d.admission_rejections, s.admission_rejections);
+  EXPECT_EQ(d.too_large_rejections, s.too_large_rejections);
+  EXPECT_EQ(d.cost_total, s.cost_total);
+  EXPECT_EQ(d.cost_saved, s.cost_saved);
+  EXPECT_EQ(d.bytes_inserted, s.bytes_inserted);
+  EXPECT_EQ(d.bytes_evicted, s.bytes_evicted);
+  EXPECT_EQ(d.used_bytes, s.used_bytes);
+  EXPECT_EQ(d.capacity_bytes, s.capacity_bytes);
+  EXPECT_EQ(d.entry_count, s.entry_count);
+  EXPECT_EQ(d.retained_count, s.retained_count);
+  EXPECT_EQ(d.invalidations, s.invalidations);
+  EXPECT_EQ(d.num_shards, s.num_shards);
+  EXPECT_EQ(d.policy_name, s.policy_name);
+  EXPECT_EQ(d.connections_accepted, s.connections_accepted);
+  EXPECT_EQ(d.connections_active, s.connections_active);
+  EXPECT_EQ(d.requests_served, s.requests_served);
+  EXPECT_EQ(d.frames_rejected, s.frames_rejected);
+  ASSERT_EQ(d.per_op.size(), 1u);
+  EXPECT_EQ(d.per_op[0].op, m.op);
+  EXPECT_EQ(d.per_op[0].requests, m.requests);
+  EXPECT_EQ(d.per_op[0].errors, m.errors);
+  EXPECT_EQ(d.per_op[0].latency_count, m.latency_count);
+  // Doubles travel bit-exactly.
+  EXPECT_EQ(d.per_op[0].latency_mean_us, m.latency_mean_us);
+  EXPECT_EQ(d.per_op[0].latency_min_us, m.latency_min_us);
+  EXPECT_EQ(d.per_op[0].latency_max_us, m.latency_max_us);
+  EXPECT_DOUBLE_EQ(d.hit_ratio(), 0.75);
+}
+
+TEST(ProtocolTest, ExtractFrameNeedsCompletePrefixAndBody) {
+  const std::string frame = EncodeRequest(WireRequest{});
+  // Feed the frame byte by byte: no prefix of it except the whole thing
+  // extracts.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    std::string_view body;
+    size_t frame_size = 0;
+    auto extracted = ExtractFrame(frame.substr(0, len), kDefaultMaxFrameBytes,
+                                  &body, &frame_size);
+    ASSERT_TRUE(extracted.ok()) << len;
+    EXPECT_FALSE(*extracted) << len;
+  }
+  std::string_view body;
+  size_t frame_size = 0;
+  auto extracted =
+      ExtractFrame(frame, kDefaultMaxFrameBytes, &body, &frame_size);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_TRUE(*extracted);
+  EXPECT_EQ(frame_size, frame.size());
+}
+
+TEST(ProtocolTest, ExtractFrameLeavesTrailingBytesForTheNextFrame) {
+  WireRequest first;
+  first.op = OpCode::kGet;
+  first.query_text = "q1";
+  WireRequest second;
+  second.op = OpCode::kInvalidate;
+  second.query_text = "q2";
+  const std::string stream = EncodeRequest(first) + EncodeRequest(second);
+
+  std::string_view body;
+  size_t frame_size = 0;
+  auto extracted =
+      ExtractFrame(stream, kDefaultMaxFrameBytes, &body, &frame_size);
+  ASSERT_TRUE(extracted.ok() && *extracted);
+  auto decoded_first = DecodeRequest(body);
+  ASSERT_TRUE(decoded_first.ok());
+  EXPECT_EQ(decoded_first->query_text, "q1");
+
+  extracted = ExtractFrame(std::string_view(stream).substr(frame_size),
+                           kDefaultMaxFrameBytes, &body, &frame_size);
+  ASSERT_TRUE(extracted.ok() && *extracted);
+  auto decoded_second = DecodeRequest(body);
+  ASSERT_TRUE(decoded_second.ok());
+  EXPECT_EQ(decoded_second->query_text, "q2");
+}
+
+TEST(ProtocolTest, OversizedFrameIsCorruption) {
+  // A length prefix of 2 MiB against a 1 MiB limit.
+  std::string buffer;
+  const uint32_t huge = 2u << 20;
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  std::string_view body;
+  size_t frame_size = 0;
+  auto extracted = ExtractFrame(buffer, 1u << 20, &body, &frame_size);
+  ASSERT_FALSE(extracted.ok());
+  EXPECT_EQ(extracted.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, TruncatedBodyIsCorruption) {
+  const std::string frame = EncodeRequest([] {
+    WireRequest r;
+    r.op = OpCode::kGet;
+    r.query_text = "select * from nation";
+    return r;
+  }());
+  const std::string body = BodyOf(frame);
+  // Every strict prefix of the body must fail cleanly, never crash.
+  for (size_t len = 0; len < body.size(); ++len) {
+    auto decoded = DecodeRequest(body.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << len;
+  }
+}
+
+TEST(ProtocolTest, TrailingGarbageIsCorruption) {
+  std::string body = BodyOf(EncodeRequest(WireRequest{}));
+  body += "extra";
+  auto decoded = DecodeRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, VersionMismatchIsNotSupported) {
+  std::string body = BodyOf(EncodeRequest(WireRequest{}));
+  body[0] = static_cast<char>(kWireVersion + 1);
+  auto decoded = DecodeRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(ProtocolTest, UnknownOpcodeIsInvalidArgument) {
+  std::string body = BodyOf(EncodeRequest(WireRequest{}));
+  body[1] = static_cast<char>(0x7f);
+  auto decoded = DecodeRequest(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsValidOpCode(0x7f));
+  EXPECT_FALSE(IsValidOpCode(0));
+  EXPECT_TRUE(IsValidOpCode(static_cast<uint8_t>(OpCode::kStats)));
+}
+
+TEST(ProtocolTest, OpCodeNamesAreStable) {
+  EXPECT_STREQ(OpCodeName(OpCode::kPing), "ping");
+  EXPECT_STREQ(OpCodeName(OpCode::kExecute), "execute");
+  EXPECT_STREQ(OpCodeName(OpCode::kGet), "get");
+  EXPECT_STREQ(OpCodeName(OpCode::kInvalidate), "invalidate");
+  EXPECT_STREQ(OpCodeName(OpCode::kInvalidateRelation),
+               "invalidate_relation");
+  EXPECT_STREQ(OpCodeName(OpCode::kStats), "stats");
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,372 @@
+// Client/server integration tests over a loopback socket: the server
+// binds an ephemeral port (port 0) so parallel CI runs never collide,
+// and the "Server...Concurrent..." tests run under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+std::string PayloadFor(const std::string& text) {
+  return "payload(" + text + ")";
+}
+
+/// A local executor standing in for the client-side warehouse.
+Watchman::Executor CountingExecutor(std::atomic<int>* executions,
+                                    std::vector<std::string> relations = {}) {
+  return [executions, relations](const std::string& text)
+             -> StatusOr<Watchman::ExecutionResult> {
+    executions->fetch_add(1);
+    return Watchman::ExecutionResult{PayloadFor(text), 5000, relations};
+  };
+}
+
+class ServerIntegrationTest : public testing::Test {
+ protected:
+  void StartServer(size_t num_shards = 8, size_t num_workers = 8) {
+    Watchman::Options options;
+    options.capacity_bytes = 8 << 20;
+    options.num_shards = num_shards;
+    cache_ = std::make_unique<Watchman>(std::move(options),
+                                        WatchmanServer::MissFillExecutor());
+    WatchmanServer::Options server_options;
+    server_options.port = 0;  // ephemeral: parallel-safe in CI
+    server_options.num_workers = num_workers;
+    server_ = std::make_unique<WatchmanServer>(cache_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  WatchmanClient::Options ClientOptions() const {
+    WatchmanClient::Options options;
+    options.port = server_->port();
+    return options;
+  }
+
+  std::unique_ptr<WatchmanClient> MakeClient() {
+    auto client = WatchmanClient::Connect(ClientOptions());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<Watchman> cache_;
+  std::unique_ptr<WatchmanServer> server_;
+};
+
+TEST_F(ServerIntegrationTest, PingOnEphemeralPort) {
+  StartServer();
+  auto client = MakeClient();
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Ping().ok());  // connection is reusable
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+}
+
+TEST_F(ServerIntegrationTest, RemoteHitServedFromCache) {
+  StartServer();
+  std::atomic<int> executions{0};
+  auto remote = RemoteWatchman::Connect(ClientOptions(),
+                                        CountingExecutor(&executions));
+  ASSERT_TRUE(remote.ok());
+
+  const std::string query = "select sum(profit) from orders, lineitem";
+  for (int i = 0; i < 5; ++i) {
+    auto result = (*remote)->Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, PayloadFor(query));
+  }
+  // One client-side execution; the four repeats were remote cache hits.
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_TRUE(cache_->IsCached(query));
+  const CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.lookups, 5u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST_F(ServerIntegrationTest, MissWithoutFillReportsNotFound) {
+  StartServer();
+  auto client = MakeClient();
+  auto probe = client->Get("select 1 from dual");
+  ASSERT_FALSE(probe.ok());
+  EXPECT_EQ(probe.status().code(), StatusCode::kNotFound);
+  // EXECUTE without a fill against a miss-fill daemon is also a miss.
+  auto executed = client->Execute("select 1 from dual");
+  ASSERT_FALSE(executed.ok());
+  EXPECT_EQ(executed.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServerIntegrationTest, MissFillPopulatesAndHitFlagFlips) {
+  StartServer();
+  auto client = MakeClient();
+  const std::string query = "select o_orderkey from orders";
+  auto filled = client->Execute(query, "the retrieved set", 9000,
+                                {"orders"});
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_FALSE(filled->cache_hit);
+  EXPECT_EQ(filled->payload, "the retrieved set");
+  EXPECT_TRUE(cache_->IsCached(query));
+
+  auto again = client->Execute(query, "ignored stale fill", 1, {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->cache_hit);
+  // The cached set wins over the second request's fill.
+  EXPECT_EQ(again->payload, "the retrieved set");
+
+  auto got = client->Get(query);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->cache_hit);
+  EXPECT_EQ(got->payload, "the retrieved set");
+}
+
+TEST_F(ServerIntegrationTest, InvalidateRelationEvictsDependentSet) {
+  StartServer();
+  auto client = MakeClient();
+  ASSERT_TRUE(client
+                  ->Execute("select a from orders, lineitem", "set-a", 100,
+                            {"orders", "lineitem"})
+                  .ok());
+  ASSERT_TRUE(client
+                  ->Execute("select b from lineitem", "set-b", 100,
+                            {"lineitem"})
+                  .ok());
+  ASSERT_TRUE(
+      client->Execute("select c from region", "set-c", 100, {"region"}).ok());
+
+  // The warehouse updated lineitem: both dependent sets must go.
+  auto dropped = client->InvalidateRelation("lineitem");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 2u);
+  EXPECT_EQ(cache_->invalidations(), 2u);
+
+  EXPECT_EQ(client->Get("select a from orders, lineitem").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client->Get("select b from lineitem").status().code(),
+            StatusCode::kNotFound);
+  auto untouched = client->Get("select c from region");
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(untouched->payload, "set-c");
+
+  // Per-query invalidation over the wire.
+  auto one = client->Invalidate("select c from region");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+  EXPECT_FALSE(cache_->IsCached("select c from region"));
+}
+
+TEST_F(ServerIntegrationTest, StatsMatchTheLocalFacade) {
+  StartServer();
+  std::atomic<int> executions{0};
+  auto remote = RemoteWatchman::Connect(ClientOptions(),
+                                        CountingExecutor(&executions));
+  ASSERT_TRUE(remote.ok());
+  for (int i = 0; i < 3; ++i) {
+    for (int q = 0; q < 4; ++q) {
+      ASSERT_TRUE(
+          (*remote)->Execute("select " + std::to_string(q) + " from nation")
+              .ok());
+    }
+  }
+
+  auto stats = (*remote)->Stats();
+  ASSERT_TRUE(stats.ok());
+  const CacheStats local = cache_->stats();
+  EXPECT_EQ(stats->lookups, local.lookups);
+  EXPECT_EQ(stats->lookups, 12u);  // one reference per remote Execute
+  EXPECT_EQ(stats->hits, local.hits);
+  EXPECT_EQ(stats->hits, 8u);
+  EXPECT_EQ(stats->insertions, local.insertions);
+  EXPECT_EQ(stats->cost_total, local.cost_total);
+  EXPECT_EQ(stats->cost_saved, local.cost_saved);
+  EXPECT_EQ(stats->used_bytes, cache_->used_bytes());
+  EXPECT_EQ(stats->capacity_bytes, cache_->capacity_bytes());
+  EXPECT_EQ(stats->entry_count, cache_->cached_set_count());
+  EXPECT_EQ(stats->num_shards, cache_->num_shards());
+  EXPECT_EQ(stats->policy_name, cache_->policy_name());
+  EXPECT_DOUBLE_EQ(stats->hit_ratio(), local.hit_ratio());
+
+  // Per-op counters: 4 misses probe+fill, 8 hits probe only.
+  bool saw_get = false;
+  bool saw_execute = false;
+  for (const WireOpMetrics& op : stats->per_op) {
+    if (op.op == static_cast<uint8_t>(OpCode::kGet)) {
+      saw_get = true;
+      EXPECT_EQ(op.requests, 12u);
+      EXPECT_EQ(op.errors, 0u);  // NotFound probes are not errors
+      EXPECT_EQ(op.latency_count, 12u);
+      EXPECT_GE(op.latency_max_us, op.latency_min_us);
+    } else if (op.op == static_cast<uint8_t>(OpCode::kExecute)) {
+      saw_execute = true;
+      EXPECT_EQ(op.requests, 4u);
+    }
+  }
+  EXPECT_TRUE(saw_get);
+  EXPECT_TRUE(saw_execute);
+}
+
+TEST_F(ServerIntegrationTest, BatchedRequestsOnOneConnection) {
+  StartServer();
+  auto client = MakeClient();
+  // Many round trips on a single connection interleaving every op.
+  for (int i = 0; i < 50; ++i) {
+    const std::string query = "select " + std::to_string(i % 7);
+    ASSERT_TRUE(client->Ping().ok());
+    ASSERT_TRUE(client->Execute(query, PayloadFor(query), 100, {"r"}).ok());
+    auto got = client->Get(query);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->payload, PayloadFor(query));
+  }
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  // 50 x (ping + execute + get); the stats request itself snapshots
+  // before it is counted.
+  EXPECT_EQ(stats->requests_served, 150u);
+  EXPECT_EQ(stats->frames_rejected, 0u);
+  EXPECT_EQ(stats->connections_accepted, 1u);
+}
+
+TEST_F(ServerIntegrationTest, ConcurrentClientsShareTheCache) {
+  StartServer(/*num_shards=*/8, /*num_workers=*/8);
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 40;
+  constexpr int kQueries = 10;
+  std::atomic<int> errors{0};
+  std::atomic<int> wrong_payloads{0};
+  std::atomic<int> executions{0};
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto remote = RemoteWatchman::Connect(ClientOptions(),
+                                            CountingExecutor(&executions));
+      if (!remote.ok()) {
+        errors.fetch_add(1);
+        start.arrive_and_wait();
+        return;
+      }
+      start.arrive_and_wait();
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string query =
+            "select x from t where k = " +
+            std::to_string((i + t) % kQueries);
+        auto result = (*remote)->Execute(query);
+        if (!result.ok()) {
+          errors.fetch_add(1);
+        } else if (*result != PayloadFor(query)) {
+          wrong_payloads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  // Every remote Execute recorded exactly one reference, like a local
+  // facade call (no invalidations ran to disturb the accounting).
+  const CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.lookups, static_cast<uint64_t>(kThreads * kIterations));
+  EXPECT_GE(static_cast<int64_t>(stats.hits),
+            static_cast<int64_t>(kThreads * kIterations) - executions.load());
+  EXPECT_TRUE(cache_->cache().CheckInvariants().ok());
+}
+
+TEST_F(ServerIntegrationTest, ConcurrentClientsWithInvalidationChaos) {
+  StartServer(/*num_shards=*/8, /*num_workers=*/8);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 30;
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> executions{0};
+  std::barrier start(kThreads + 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto remote = RemoteWatchman::Connect(
+          ClientOptions(),
+          CountingExecutor(&executions, {"lineitem", "orders"}));
+      if (!remote.ok()) {
+        transport_errors.fetch_add(1);
+        start.arrive_and_wait();
+        return;
+      }
+      start.arrive_and_wait();
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string query =
+            "select agg from lineitem where k = " + std::to_string(i % 5);
+        auto result = (*remote)->Execute(query);
+        if (!result.ok()) transport_errors.fetch_add(1);
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    auto client = WatchmanClient::Connect(ClientOptions());
+    if (!client.ok()) {
+      transport_errors.fetch_add(1);
+      start.arrive_and_wait();
+      return;
+    }
+    start.arrive_and_wait();
+    for (int i = 0; i < 20; ++i) {
+      if (!(*client)->InvalidateRelation("lineitem").ok()) {
+        transport_errors.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  invalidator.join();
+
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_TRUE(cache_->cache().CheckInvariants().ok());
+}
+
+TEST_F(ServerIntegrationTest, OversizedFillRejectedAsCorruption) {
+  StartServer();
+  // Re-start a second server with a tiny frame limit.
+  WatchmanServer::Options tiny;
+  tiny.port = 0;
+  tiny.num_workers = 1;
+  tiny.max_frame_bytes = 1024;
+  WatchmanServer small_server(cache_.get(), tiny);
+  ASSERT_TRUE(small_server.Start().ok());
+
+  WatchmanClient::Options options;
+  options.port = small_server.port();
+  options.connect_attempts = 1;
+  auto client = WatchmanClient::Connect(options);
+  ASSERT_TRUE(client.ok());
+  auto result = (*client)->Execute("q", std::string(100000, 'x'), 1, {});
+  // The daemon answers with a corruption error (and drops the
+  // connection) or the write fails outright -- either way, no success.
+  EXPECT_FALSE(result.ok());
+  small_server.Stop();
+}
+
+TEST_F(ServerIntegrationTest, GracefulShutdownStopsServing) {
+  StartServer();
+  auto client = MakeClient();
+  ASSERT_TRUE(client->Ping().ok());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+
+  WatchmanClient::Options options = ClientOptions();
+  options.connect_attempts = 1;
+  auto failed = WatchmanClient::Connect(options);
+  EXPECT_FALSE(failed.ok());
+  // Stop() is idempotent.
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace watchman

@@ -1,0 +1,100 @@
+// ParsePolicy / PolicyName tests, including the round-trip property the
+// watchmand --policy flag depends on: every name PolicyName() can emit
+// must parse back to an equivalent config.
+
+#include "sim/policy_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace watchman {
+namespace {
+
+constexpr PolicyKind kAllKinds[] = {
+    PolicyKind::kLru, PolicyKind::kLruK,  PolicyKind::kLfu,
+    PolicyKind::kLcs, PolicyKind::kGds,   PolicyKind::kLncR,
+    PolicyKind::kLncRA, PolicyKind::kInfinite,
+};
+
+bool UsesK(PolicyKind kind) {
+  return kind == PolicyKind::kLruK || kind == PolicyKind::kLncR ||
+         kind == PolicyKind::kLncRA;
+}
+
+TEST(PolicyConfigTest, ParsePolicyPolicyNameRoundTripsEveryKindAndK) {
+  for (PolicyKind kind : kAllKinds) {
+    for (size_t k : {1, 2, 3, 4, 8, 16, 100}) {
+      PolicyConfig config;
+      config.kind = kind;
+      config.k = k;
+      const std::string name = PolicyName(config);
+      auto parsed = ParsePolicy(name);
+      ASSERT_TRUE(parsed.ok())
+          << name << ": " << parsed.status().ToString();
+      EXPECT_EQ(parsed->kind, kind) << name;
+      if (UsesK(kind)) {
+        EXPECT_EQ(parsed->k, k) << name;
+      }
+      // And the parse result names itself identically (fixed point).
+      EXPECT_EQ(PolicyName(*parsed), UsesK(kind) ? name : PolicyName(config))
+          << name;
+    }
+  }
+}
+
+TEST(PolicyConfigTest, BareNamesKeepTheirDefaults) {
+  const PolicyConfig defaults;
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, PolicyKind>>{
+           {"lru", PolicyKind::kLru},
+           {"lru-k", PolicyKind::kLruK},
+           {"lfu", PolicyKind::kLfu},
+           {"lcs", PolicyKind::kLcs},
+           {"gds", PolicyKind::kGds},
+           {"lnc-r", PolicyKind::kLncR},
+           {"lnc-ra", PolicyKind::kLncRA},
+           {"inf", PolicyKind::kInfinite}}) {
+    auto parsed = ParsePolicy(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed->kind, kind) << name;
+    EXPECT_EQ(parsed->k, defaults.k) << name;
+  }
+}
+
+TEST(PolicyConfigTest, ParameterizedFormsSetK) {
+  auto lru7 = ParsePolicy("lru-7");
+  ASSERT_TRUE(lru7.ok());
+  EXPECT_EQ(lru7->kind, PolicyKind::kLruK);
+  EXPECT_EQ(lru7->k, 7u);
+
+  auto lnc_r2 = ParsePolicy("lnc-r(k=2)");
+  ASSERT_TRUE(lnc_r2.ok());
+  EXPECT_EQ(lnc_r2->kind, PolicyKind::kLncR);
+  EXPECT_EQ(lnc_r2->k, 2u);
+
+  auto lnc_ra16 = ParsePolicy("lnc-ra(k=16)");
+  ASSERT_TRUE(lnc_ra16.ok());
+  EXPECT_EQ(lnc_ra16->kind, PolicyKind::kLncRA);
+  EXPECT_EQ(lnc_ra16->k, 16u);
+}
+
+TEST(PolicyConfigTest, MalformedNamesAreRejected) {
+  for (const char* raw :
+       {"", "bogus", "lru-", "lru-0", "lru-x", "lru-2x", "lru-4.5",
+        "lru-9999999",  // > 6 digits
+        "lnc-ra(", "lnc-ra()", "lnc-ra(k=)", "lnc-ra(k=0)", "lnc-ra(k=4",
+        "lnc-ra(j=4)", "lnc-ra(k=4))", "lnc-rak=4)", "lnc-x(k=4)",
+        "lfu(k=4)", "gds(k=2)", "inf(k=1)", "lru(k=3)", "LRU", "lnc-RA"}) {
+    const std::string name(raw);
+    auto parsed = ParsePolicy(name);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << name;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace watchman

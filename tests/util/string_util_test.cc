@@ -75,6 +75,29 @@ TEST(HumanBytesTest, Formats) {
   EXPECT_EQ(HumanBytes(uint64_t{3} << 30), "3.0 GiB");
 }
 
+TEST(ParseByteSizeTest, AcceptsPlainAndSuffixedSizes) {
+  EXPECT_EQ(*ParseByteSize("262144"), 262144u);
+  EXPECT_EQ(*ParseByteSize("512b"), 512u);
+  EXPECT_EQ(*ParseByteSize("300k"), 300u << 10);
+  EXPECT_EQ(*ParseByteSize("256K"), 256u << 10);
+  EXPECT_EQ(*ParseByteSize("64m"), 64u << 20);
+  EXPECT_EQ(*ParseByteSize("64MB"), 64u << 20);
+  EXPECT_EQ(*ParseByteSize("64MiB"), 64u << 20);
+  EXPECT_EQ(*ParseByteSize("2g"), uint64_t{2} << 30);
+}
+
+TEST(ParseByteSizeTest, RejectsMalformedZeroAndOverflow) {
+  for (const char* bad :
+       {"", "m", "-5", "1.5m", "64x", "64mbb", "0", "0k", "m64",
+        "99999999999999999999", "18446744073709551615g"}) {
+    auto parsed = ParseByteSize(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
 TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(0.91824, 2), "0.92");
   EXPECT_EQ(FormatDouble(3.0, 0), "3");

@@ -2,12 +2,12 @@
 //
 // Usage:
 //   watchman_sim <trace.wtrc> <policy> <capacity> [k]
-//     policy   : lru | lru-k | lfu | lcs | gds | lnc-r | lnc-ra | inf
-//     capacity : bytes, with optional k/m suffix (e.g. 300k, 2m)
+//     policy   : anything ParsePolicy accepts (lru, lru-4, gds,
+//                lnc-ra(k=2), inf, ...)
+//     capacity : bytes, with optional k/m/g suffix (e.g. 300k, 2m)
 //
 // Prints the paper's metrics (CSR, HR, fragmentation) plus raw stats.
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,28 +16,7 @@
 #include "trace/trace_io.h"
 #include "util/string_util.h"
 
-namespace {
-
 using namespace watchman;
-
-StatusOr<uint64_t> ParseCapacity(const std::string& text) {
-  if (text.empty()) return Status::InvalidArgument("empty capacity");
-  uint64_t multiplier = 1;
-  std::string digits = text;
-  const char suffix = static_cast<char>(
-      std::tolower(static_cast<unsigned char>(text.back())));
-  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
-    multiplier = suffix == 'k' ? 1024ull
-                : suffix == 'm' ? (1024ull * 1024)
-                                : (1024ull * 1024 * 1024);
-    digits = text.substr(0, text.size() - 1);
-  }
-  const long long value = std::atoll(digits.c_str());
-  if (value <= 0) return Status::InvalidArgument("bad capacity: " + text);
-  return static_cast<uint64_t>(value) * multiplier;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 4) {
@@ -57,7 +36,7 @@ int main(int argc, char** argv) {
                  config.status().ToString().c_str());
     return 1;
   }
-  StatusOr<uint64_t> capacity = ParseCapacity(argv[3]);
+  StatusOr<uint64_t> capacity = ParseByteSize(argv[3]);
   if (!capacity.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  capacity.status().ToString().c_str());

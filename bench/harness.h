@@ -1,0 +1,267 @@
+// Micro-benchmark harness: pinned iteration counts, steady_clock batch
+// timing, compiler barriers, and a machine-readable BENCH_micro.json
+// report so every PR records a before/after perf trajectory.
+//
+// Design:
+//  * Measured loops run in fixed-size batches; each batch is timed with
+//    std::chrono::steady_clock and contributes one ns/op sample, so the
+//    clock is read twice per batch instead of twice per op. p50/p99 are
+//    therefore batch-granular percentiles (documented in the report).
+//  * DoNotOptimize/ClobberMemory are google-benchmark-style asm
+//    barriers: the compiler must materialize the value and may not hoist
+//    or dead-code-eliminate the measured operation.
+//  * Warmup iterations run before any sample is taken (caches, branch
+//    predictors, allocator steady state).
+//  * JsonReport writes a flat, diff-friendly JSON file and can embed a
+//    previous run (or any prior BENCH_micro.json) as the "baseline"
+//    section, so speedup claims ship with both numbers.
+//
+// The harness is self-contained (no google-benchmark dependency) so the
+// micro benches build everywhere the library builds.
+
+#ifndef WATCHMAN_BENCH_HARNESS_H_
+#define WATCHMAN_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace watchman {
+namespace bench {
+
+// ----------------------------------------------------------- barriers
+
+/// Forces `value` to be materialized: the compiler cannot elide the
+/// computation that produced it or sink it out of the measured loop.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <typename T>
+inline void DoNotOptimize(T& value) {
+#if defined(__clang__)
+  asm volatile("" : "+r,m"(value) : : "memory");
+#else
+  asm volatile("" : "+m,r"(value) : : "memory");
+#endif
+}
+
+/// Full compiler barrier: all pending writes are considered observed.
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+// ------------------------------------------------------------ results
+
+struct BenchResult {
+  std::string scenario;
+  int threads = 1;
+  uint64_t iterations = 0;
+  double ops_per_sec = 0.0;
+  double ns_per_op_mean = 0.0;
+  /// Batch-granular percentiles (one sample per timed batch).
+  double ns_per_op_p50 = 0.0;
+  double ns_per_op_p99 = 0.0;
+};
+
+inline double Percentile(std::vector<double>& sorted_inplace, double q) {
+  if (sorted_inplace.empty()) return 0.0;
+  std::sort(sorted_inplace.begin(), sorted_inplace.end());
+  const double rank =
+      q * static_cast<double>(sorted_inplace.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_inplace.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_inplace[lo] * (1.0 - frac) + sorted_inplace[hi] * frac;
+}
+
+/// Assembles a result from raw measurements (multi-threaded scenarios
+/// that run their own loops use this directly).
+inline BenchResult MakeResult(std::string scenario, int threads,
+                              uint64_t iterations, double total_seconds,
+                              std::vector<double> ns_samples) {
+  BenchResult r;
+  r.scenario = std::move(scenario);
+  r.threads = threads;
+  r.iterations = iterations;
+  r.ops_per_sec = total_seconds > 0.0
+                      ? static_cast<double>(iterations) / total_seconds
+                      : 0.0;
+  r.ns_per_op_mean =
+      iterations > 0 ? total_seconds * 1e9 / static_cast<double>(iterations)
+                     : 0.0;
+  r.ns_per_op_p50 = Percentile(ns_samples, 0.50);
+  r.ns_per_op_p99 = Percentile(ns_samples, 0.99);
+  return r;
+}
+
+inline void PrintResult(const BenchResult& r) {
+  std::printf("  %-28s %4d thr %12llu iters %14.0f ops/s   "
+              "ns/op mean %9.1f  p50 %9.1f  p99 %9.1f\n",
+              r.scenario.c_str(), r.threads,
+              static_cast<unsigned long long>(r.iterations), r.ops_per_sec,
+              r.ns_per_op_mean, r.ns_per_op_p50, r.ns_per_op_p99);
+  std::fflush(stdout);
+}
+
+// ------------------------------------------------------------ measure
+
+/// Runs `op(i)` for `warmup` unmeasured iterations, then `iters`
+/// measured iterations in batches of `batch`, timing each batch with
+/// steady_clock. Returns the assembled result (and prints it).
+template <typename Op>
+BenchResult Measure(const std::string& scenario, uint64_t warmup,
+                    uint64_t iters, uint64_t batch, Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  if (batch == 0) batch = 1;
+  for (uint64_t i = 0; i < warmup; ++i) op(i);
+  ClobberMemory();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters / batch) + 1);
+  double total_seconds = 0.0;
+  uint64_t done = 0;
+  while (done < iters) {
+    const uint64_t n = std::min(batch, iters - done);
+    const auto begin = Clock::now();
+    for (uint64_t i = 0; i < n; ++i) op(done + i);
+    ClobberMemory();
+    const auto end = Clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - begin).count();
+    total_seconds += seconds;
+    samples.push_back(seconds * 1e9 / static_cast<double>(n));
+    done += n;
+  }
+  BenchResult r = MakeResult(scenario, /*threads=*/1, done, total_seconds,
+                             std::move(samples));
+  PrintResult(r);
+  return r;
+}
+
+// --------------------------------------------------------------- json
+
+/// Minimal JSON emitter/loader for the BENCH_micro.json schema. The
+/// loader only understands files this writer produced (key scanning, no
+/// general JSON parser) -- enough to re-embed a previous run as the
+/// baseline section.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const BenchResult& r) { results_.push_back(r); }
+
+  void SetBaseline(std::vector<BenchResult> baseline,
+                   std::string baseline_label) {
+    baseline_ = std::move(baseline);
+    baseline_label_ = std::move(baseline_label);
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"schema\": \"watchman-bench-micro/v1\",\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f, "  \"note\": \"ns/op percentiles are batch-granular; "
+                    "see bench/harness.h\",\n");
+    WriteArray(f, "results", results_, !baseline_.empty());
+    if (!baseline_.empty()) {
+      std::fprintf(f, "  \"baseline_label\": \"%s\",\n",
+                   baseline_label_.c_str());
+      WriteArray(f, "baseline", baseline_, false);
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  /// Loads the "results" array of a file this writer produced. Returns
+  /// an empty vector when the file is missing or unrecognizable.
+  static std::vector<BenchResult> LoadResults(const std::string& path) {
+    std::vector<BenchResult> out;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return out;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    const size_t results_at = text.find("\"results\": [");
+    if (results_at == std::string::npos) return out;
+    // The results array ends at the first "]" after its start (no nested
+    // arrays inside result objects).
+    const size_t end = text.find(']', results_at);
+    std::string section = text.substr(results_at, end - results_at);
+    size_t pos = 0;
+    while ((pos = section.find("{", pos)) != std::string::npos) {
+      const size_t obj_end = section.find('}', pos);
+      if (obj_end == std::string::npos) break;
+      const std::string obj = section.substr(pos, obj_end - pos);
+      BenchResult r;
+      r.scenario = ExtractString(obj, "\"scenario\": \"");
+      r.threads = static_cast<int>(ExtractNumber(obj, "\"threads\": "));
+      r.iterations =
+          static_cast<uint64_t>(ExtractNumber(obj, "\"iterations\": "));
+      r.ops_per_sec = ExtractNumber(obj, "\"ops_per_sec\": ");
+      r.ns_per_op_mean = ExtractNumber(obj, "\"ns_per_op_mean\": ");
+      r.ns_per_op_p50 = ExtractNumber(obj, "\"ns_per_op_p50\": ");
+      r.ns_per_op_p99 = ExtractNumber(obj, "\"ns_per_op_p99\": ");
+      if (!r.scenario.empty()) out.push_back(std::move(r));
+      pos = obj_end + 1;
+    }
+    return out;
+  }
+
+ private:
+  static void WriteArray(std::FILE* f, const char* key,
+                         const std::vector<BenchResult>& list,
+                         bool trailing_comma) {
+    std::fprintf(f, "  \"%s\": [", key);
+    for (size_t i = 0; i < list.size(); ++i) {
+      const BenchResult& r = list[i];
+      std::fprintf(f,
+                   "%s\n    {\"scenario\": \"%s\", \"threads\": %d, "
+                   "\"iterations\": %llu, \"ops_per_sec\": %.1f, "
+                   "\"ns_per_op_mean\": %.2f, \"ns_per_op_p50\": %.2f, "
+                   "\"ns_per_op_p99\": %.2f}",
+                   i == 0 ? "" : ",", r.scenario.c_str(), r.threads,
+                   static_cast<unsigned long long>(r.iterations),
+                   r.ops_per_sec, r.ns_per_op_mean, r.ns_per_op_p50,
+                   r.ns_per_op_p99);
+    }
+    std::fprintf(f, "\n  ]%s\n", trailing_comma ? "," : "");
+  }
+
+  static std::string ExtractString(const std::string& obj,
+                                   const std::string& key) {
+    const size_t at = obj.find(key);
+    if (at == std::string::npos) return {};
+    const size_t start = at + key.size();
+    const size_t end = obj.find('"', start);
+    if (end == std::string::npos) return {};
+    return obj.substr(start, end - start);
+  }
+
+  static double ExtractNumber(const std::string& obj,
+                              const std::string& key) {
+    const size_t at = obj.find(key);
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(obj.c_str() + at + key.size(), nullptr);
+  }
+
+  std::string bench_name_;
+  std::vector<BenchResult> results_;
+  std::vector<BenchResult> baseline_;
+  std::string baseline_label_;
+};
+
+}  // namespace bench
+}  // namespace watchman
+
+#endif  // WATCHMAN_BENCH_HARNESS_H_

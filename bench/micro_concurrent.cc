@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.h"
 #include "cache/query_descriptor.h"
 #include "cache/sharded_query_cache.h"
 #include "sim/policy_config.h"
@@ -35,12 +36,9 @@ std::vector<QueryDescriptor> MakeDescriptors(size_t n, uint64_t seed) {
   std::vector<QueryDescriptor> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    QueryDescriptor d;
-    d.query_id = "select agg from rel where param\x1f" + std::to_string(i);
-    d.signature = ComputeSignature(d.query_id);
-    d.result_bytes = 64 + rng.NextBounded(1024);
-    d.cost = 100 + rng.NextBounded(20000);
-    out.push_back(std::move(d));
+    out.push_back(QueryDescriptor::Make(
+        "select agg from rel where param\x1f" + std::to_string(i),
+        64 + rng.NextBounded(1024), 100 + rng.NextBounded(20000)));
   }
   return out;
 }
@@ -62,6 +60,13 @@ double RunPoint(ShardedQueryCache& cache,
   for (int t = 0; t < num_threads; ++t) {
     threads.emplace_back([&, t] {
       Rng rng(0xC0FFEE + t);
+      // Warmup before the barrier: caches, branch predictors, per-shard
+      // index steady state.
+      for (int i = 0; i < 10000; ++i) {
+        const QueryDescriptor& d =
+            descriptors[rng.NextBounded(descriptors.size())];
+        bench::DoNotOptimize(cache.Reference(d, clock.load()));
+      }
       start.arrive_and_wait();
       uint64_t ops = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -71,7 +76,7 @@ double RunPoint(ShardedQueryCache& cache,
         // consistency, not precision.
         const Timestamp now =
             (ops % 64 == 0) ? clock.fetch_add(64) + 64 : clock.load();
-        cache.Reference(d, now);
+        bench::DoNotOptimize(cache.Reference(d, now));
         ++ops;
       }
       total_ops.fetch_add(ops);

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "sim/policy_config.h"
@@ -55,6 +56,15 @@ double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
         return;
       }
       Rng rng(0xBEEF + t);
+      // Warmup round trips before the barrier (connection + server
+      // worker steady state).
+      for (int i = 0; i < 100; ++i) {
+        if (ping_only) {
+          (*client)->Ping();
+        } else {
+          (*client)->Get(QueryText(rng.NextBounded(working_set)));
+        }
+      }
       start.arrive_and_wait();
       uint64_t ops = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -64,6 +74,7 @@ double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
         } else {
           ok = (*client)->Get(QueryText(rng.NextBounded(working_set))).ok();
         }
+        bench::DoNotOptimize(ok);
         if (!ok) {
           failures.fetch_add(1);
           break;

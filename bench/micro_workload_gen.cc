@@ -1,8 +1,14 @@
-// google-benchmark micro benches of the workload layer: trace
-// generation throughput and per-event costs.
+// Micro benches of the workload layer (trace generation throughput and
+// per-event costs), on the bench/harness.h harness.
+//
+// Usage: bench_micro_workload_gen [--json=PATH] [--scale=F]
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "bench/harness.h"
 #include "storage/schemas.h"
 #include "workload/setquery_workload.h"
 #include "workload/tpcd_workload.h"
@@ -10,62 +16,86 @@
 namespace watchman {
 namespace {
 
-void BM_TpcdTraceGeneration(benchmark::State& state) {
-  Database db = MakeTpcdDatabase();
-  WorkloadMix mix = MakeTpcdWorkload(db);
+using bench::DoNotOptimize;
+using bench::JsonReport;
+using bench::Measure;
+
+void BenchTraceGeneration(JsonReport* report, const std::string& scenario,
+                          WorkloadMix& mix, size_t num_queries,
+                          uint64_t iters) {
   TraceGenOptions opts;
-  opts.num_queries = static_cast<size_t>(state.range(0));
+  opts.num_queries = num_queries;
   uint64_t seed = 1;
-  for (auto _ : state) {
-    opts.seed = ++seed;
-    Trace t = mix.GenerateTrace(opts);
-    benchmark::DoNotOptimize(t.size());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  report->Add(Measure(scenario, /*warmup=*/2, iters, /*batch=*/1,
+                      [&](uint64_t) {
+                        opts.seed = ++seed;
+                        Trace t = mix.GenerateTrace(opts);
+                        DoNotOptimize(t.size());
+                      }));
 }
-BENCHMARK(BM_TpcdTraceGeneration)->Arg(1000)->Arg(17000);
 
-void BM_SetQueryTraceGeneration(benchmark::State& state) {
-  Database db = MakeSetQueryDatabase();
-  WorkloadMix mix = MakeSetQueryWorkload(db);
-  TraceGenOptions opts;
-  opts.num_queries = static_cast<size_t>(state.range(0));
-  uint64_t seed = 1;
-  for (auto _ : state) {
-    opts.seed = ++seed;
-    Trace t = mix.GenerateTrace(opts);
-    benchmark::DoNotOptimize(t.size());
+int Run(int argc, char** argv) {
+  std::string json_path;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::strtod(arg.c_str() + 8, nullptr);
+      if (scale <= 0.0) scale = 1.0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--scale=F]\n", argv[0]);
+      return 2;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SetQueryTraceGeneration)->Arg(1000)->Arg(17000);
+  auto scaled = [scale](double n) {
+    const uint64_t v = static_cast<uint64_t>(n * scale);
+    return v < 4 ? uint64_t{4} : v;
+  };
 
-void BM_TemplateProperties(benchmark::State& state) {
-  Database db = MakeTpcdDatabase();
-  WorkloadMix mix = MakeTpcdWorkload(db);
-  uint64_t instance = 0;
-  for (auto _ : state) {
-    const QueryTemplate& tmpl = mix.tmpl(instance % mix.num_templates());
-    benchmark::DoNotOptimize(
-        tmpl.Properties(instance % tmpl.instance_space()));
-    ++instance;
-  }
-}
-BENCHMARK(BM_TemplateProperties);
+  std::printf("==============================================\n");
+  std::printf("micro_workload_gen (scale %.3f)\n", scale);
+  std::printf("==============================================\n");
+  JsonReport report("micro_workload_gen");
 
-void BM_TraceSummarize(benchmark::State& state) {
-  Database db = MakeTpcdDatabase();
-  WorkloadMix mix = MakeTpcdWorkload(db);
-  TraceGenOptions opts;
-  opts.num_queries = 17000;
-  const Trace trace = mix.GenerateTrace(opts);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(trace.Summarize().num_distinct_queries);
+  Database tpcd = MakeTpcdDatabase();
+  WorkloadMix tpcd_mix = MakeTpcdWorkload(tpcd);
+  BenchTraceGeneration(&report, "tpcd_trace_17000", tpcd_mix, 17000,
+                       scaled(40));
+  Database setquery = MakeSetQueryDatabase();
+  WorkloadMix setquery_mix = MakeSetQueryWorkload(setquery);
+  BenchTraceGeneration(&report, "setquery_trace_17000", setquery_mix, 17000,
+                       scaled(40));
+
+  {
+    uint64_t instance = 0;
+    report.Add(Measure("template_properties", 1000, scaled(2e6), 4096,
+                       [&](uint64_t) {
+                         const QueryTemplate& tmpl = tpcd_mix.tmpl(
+                             instance % tpcd_mix.num_templates());
+                         DoNotOptimize(
+                             tmpl.Properties(instance % tmpl.instance_space()));
+                         ++instance;
+                       }));
   }
+  {
+    TraceGenOptions opts;
+    opts.num_queries = 17000;
+    const Trace trace = tpcd_mix.GenerateTrace(opts);
+    report.Add(Measure("trace_summarize", 2, scaled(200), 1, [&](uint64_t) {
+      DoNotOptimize(trace.Summarize().num_distinct_queries);
+    }));
+  }
+
+  if (!json_path.empty() && !report.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_TraceSummarize);
 
 }  // namespace
 }  // namespace watchman
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return watchman::Run(argc, argv); }

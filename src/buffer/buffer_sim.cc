@@ -27,7 +27,7 @@ BufferSimResult RunBufferSimulation(const Database& db,
   // can release their contribution to the redundancy counters.
   std::unordered_map<std::string, std::vector<PageRange>> cached_ranges;
   cache.SetEvictionListener([&](const QueryDescriptor& d) {
-    auto it = cached_ranges.find(d.query_id);
+    auto it = cached_ranges.find(std::string(d.query_id()));
     if (it == cached_ranges.end()) return;
     tracker.OnResultEvicted(it->second);
     cached_ranges.erase(it);

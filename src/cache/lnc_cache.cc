@@ -123,7 +123,7 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   ReferenceHistory history(k());
   bool had_retained = false;
   if (opts_.retain_reference_info) {
-    if (RetainedInfo* info = retained_.Find(d.query_id)) {
+    if (RetainedInfo* info = retained_.Find(d.key)) {
       history = info->history;
       had_retained = true;
     }
@@ -134,7 +134,7 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   // admission test.
   if (d.result_bytes <= available_bytes()) {
     InsertEntry(d, now, &history);
-    if (had_retained) retained_.Remove(d.query_id);
+    if (had_retained) retained_.Remove(d.key);
     return;
   }
 
@@ -160,7 +160,7 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   if (admit) {
     for (Entry* victim : candidates) EvictEntry(victim);
     InsertEntry(d, now, &history);
-    if (opts_.retain_reference_info) retained_.Remove(d.query_id);
+    if (opts_.retain_reference_info) retained_.Remove(d.key);
   } else {
     CountAdmissionRejection();
     if (opts_.retain_reference_info) {
@@ -172,7 +172,7 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
       info.history = history;
       info.result_bytes = d.result_bytes;
       info.cost = d.cost;
-      retained_.Put(d.query_id, std::move(info));
+      retained_.Put(d.key, std::move(info));
     }
   }
 }
@@ -208,7 +208,7 @@ void LncCache::RetainEntryInfo(const Entry& entry) {
   info.history = entry.history;
   info.result_bytes = entry.desc.result_bytes;
   info.cost = entry.desc.cost;
-  retained_.Put(entry.desc.query_id, std::move(info));
+  retained_.Put(entry.desc.key, std::move(info));
 }
 
 void LncCache::MaybeSweep(Timestamp now) {

@@ -45,9 +45,9 @@ void LruKCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   // Restore any retained reference history and record this reference.
   ReferenceHistory history(k());
   if (opts_.retain_history) {
-    if (RetainedInfo* info = retained_.Find(d.query_id)) {
+    if (RetainedInfo* info = retained_.Find(d.key)) {
       history = info->history;
-      retained_.Remove(d.query_id);
+      retained_.Remove(d.key);
     }
   }
   history.Record(now);
@@ -89,7 +89,7 @@ void LruKCache::OnEvict(Entry* entry) {
   info.history = entry->history;
   info.result_bytes = entry->desc.result_bytes;
   info.cost = entry->desc.cost;
-  retained_.Put(entry->desc.query_id, std::move(info));
+  retained_.Put(entry->desc.key, std::move(info));
 }
 
 Status LruKCache::CheckPolicyIndex() const {

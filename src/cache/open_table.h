@@ -1,0 +1,178 @@
+// SignatureTable: an open-addressing hash index keyed by 64-bit query
+// signatures, replacing the node-based
+// unordered_map<uint64_t, vector<unique_ptr<Entry>>> on the cache hot
+// path.
+//
+//  * Power-of-two capacity: the bucket is `sig & mask` (no integer
+//    division, unlike libstdc++'s prime-modulo unordered_map).
+//  * Linear probing over flat {signature, node*} slots: a lookup
+//    touches one cache line in the common case and never chases
+//    bucket-chain nodes.
+//  * Tombstone-free backward-shift deletion: erasing compacts the
+//    probe cluster in place, so probe lengths never degrade over an
+//    insert/erase-heavy lifetime (the miss+evict churn path).
+//  * Duplicate signatures (distinct query IDs colliding at 64 bits) are
+//    ordinary additional slots in the same cluster; Find() hands every
+//    signature match to the caller's predicate for the exact-ID check,
+//    mirroring the paper's signature-prefilter + exact-match lookup.
+//
+// The table stores raw Node pointers and never owns them; the cache
+// allocates entries from a slab arena (entry_arena.h) and erases them
+// from the table before releasing them.
+
+#ifndef WATCHMAN_CACHE_OPEN_TABLE_H_
+#define WATCHMAN_CACHE_OPEN_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace watchman {
+
+template <typename Node>
+class SignatureTable {
+ public:
+  SignatureTable() = default;
+
+  SignatureTable(const SignatureTable&) = delete;
+  SignatureTable& operator=(const SignatureTable&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// First node whose slot signature equals `sig` and for which
+  /// `pred(node)` holds (the exact query-ID match); nullptr if none.
+  template <typename Pred>
+  Node* Find(uint64_t sig, Pred&& pred) const {
+    if (size_ == 0) return nullptr;
+    for (size_t i = sig & mask_;; i = (i + 1) & mask_) {
+      const Slot& slot = slots_[i];
+      if (slot.node == nullptr) return nullptr;
+      if (slot.sig == sig && pred(slot.node)) return slot.node;
+    }
+  }
+
+  /// Inserts a (signature, node) pair; the pair must not already be
+  /// present. Grows when the load factor would exceed ~0.7.
+  void Insert(uint64_t sig, Node* node) {
+    assert(node != nullptr);
+    if ((size_ + 1) * 10 >= capacity_ * 7) {
+      Grow(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    }
+    InsertNoGrow(sig, node);
+    ++size_;
+  }
+
+  /// Erases the (signature, node) pair with backward-shift compaction.
+  /// Returns false when the pair is not in the table.
+  bool Erase(uint64_t sig, Node* node) {
+    if (size_ == 0) return false;
+    size_t i = sig & mask_;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.node == nullptr) return false;
+      if (slot.sig == sig && slot.node == node) break;
+      i = (i + 1) & mask_;
+    }
+    // Backward shift: pull every follower whose ideal position does not
+    // preclude the move into the hole, until the cluster ends.
+    size_t hole = i;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      const Slot& next = slots_[j];
+      if (next.node == nullptr) break;
+      const size_t ideal = next.sig & mask_;
+      // next may move back to `hole` iff hole lies within [ideal, j]
+      // cyclically, i.e. next's probe distance at j covers the hole.
+      if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = next;
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every stored (signature, node) pair in table order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].node != nullptr) fn(slots_[i].sig, slots_[i].node);
+    }
+  }
+
+  /// Pre-sizes the table for `n` entries (bulk loads, benches).
+  void Reserve(size_t n) {
+    size_t want = kMinCapacity;
+    while (n * 10 >= want * 7) want *= 2;
+    if (want > capacity_) Grow(want);
+  }
+
+  /// Structural self-check: every occupied slot must be reachable from
+  /// its ideal bucket without crossing an empty slot (the probe
+  /// invariant backward-shift deletion maintains), and the occupied
+  /// count must equal size().
+  Status CheckStructure() const {
+    size_t occupied = 0;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].node == nullptr) continue;
+      ++occupied;
+      const size_t ideal = slots_[i].sig & mask_;
+      for (size_t j = ideal; j != i; j = (j + 1) & mask_) {
+        if (slots_[j].node == nullptr) {
+          return Status::Internal(
+              "open table: slot unreachable from its ideal bucket");
+        }
+      }
+    }
+    if (occupied != size_) {
+      return Status::Internal("open table: occupancy != size");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Slot {
+    uint64_t sig = 0;
+    Node* node = nullptr;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  void InsertNoGrow(uint64_t sig, Node* node) {
+    size_t i = sig & mask_;
+    while (slots_[i].node != nullptr) {
+      assert(!(slots_[i].sig == sig && slots_[i].node == node) &&
+             "duplicate (signature, node) insert");
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{sig, node};
+  }
+
+  void Grow(size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::unique_ptr<Slot[]> old = std::move(slots_);
+    const size_t old_capacity = capacity_;
+    slots_ = std::make_unique<Slot[]>(new_capacity);
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (old[i].node != nullptr) InsertNoGrow(old[i].sig, old[i].node);
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_CACHE_OPEN_TABLE_H_

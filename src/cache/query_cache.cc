@@ -23,6 +23,14 @@ QueryCache::QueryCache(const Options& options)
   assert(capacity_ > 0);
 }
 
+QueryCache::~QueryCache() {
+  // Entries live in the arena; release them before it is destroyed.
+  std::vector<Entry*> entries;
+  entries.reserve(entry_count_);
+  index_.ForEach([&entries](uint64_t, Entry* e) { entries.push_back(e); });
+  for (Entry* e : entries) arena_.Release(e);
+}
+
 bool QueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
   return ReferenceImpl(d, now, /*probe_only=*/false);
 }
@@ -33,7 +41,7 @@ bool QueryCache::TryReferenceCached(const QueryDescriptor& d, Timestamp now) {
 
 bool QueryCache::ReferenceImpl(const QueryDescriptor& d, Timestamp now,
                                bool probe_only) {
-  Entry* entry = FindEntry(d);
+  Entry* entry = FindEntry(d.key);
   if (entry == nullptr && probe_only) return false;
   // Tolerate slightly out-of-order timestamps (concurrent callers race
   // into a shard with independently drawn clock ticks) by clamping
@@ -65,41 +73,30 @@ bool QueryCache::ReferenceImpl(const QueryDescriptor& d, Timestamp now,
   return entry != nullptr;
 }
 
-bool QueryCache::Contains(const std::string& query_id) const {
-  const Signature sig = ComputeSignature(query_id);
-  auto it = index_.find(sig.value);
-  if (it == index_.end()) return false;
-  for (const auto& entry : it->second) {
-    if (entry->desc.query_id == query_id) return true;
-  }
-  return false;
+bool QueryCache::Contains(const QueryKey& key) const {
+  return FindEntry(key) != nullptr;
 }
 
-bool QueryCache::Erase(const std::string& query_id) {
-  QueryDescriptor probe;
-  probe.query_id = query_id;
-  probe.signature = ComputeSignature(query_id);
-  Entry* entry = FindEntry(probe);
+bool QueryCache::Erase(const QueryKey& key) {
+  Entry* entry = FindEntry(key);
   if (entry == nullptr) return false;
   EvictEntry(entry);
   return true;
 }
 
-QueryCache::Entry* QueryCache::FindEntry(const QueryDescriptor& d) {
-  auto it = index_.find(d.signature.value);
-  if (it == index_.end()) return nullptr;
-  for (auto& entry : it->second) {
-    if (entry->desc.query_id == d.query_id) return entry.get();
-  }
-  return nullptr;
+QueryCache::Entry* QueryCache::FindEntry(const QueryKey& key) const {
+  const std::string_view id = key.id();
+  return index_.Find(key.signature().value, [id](const Entry* e) {
+    return e->desc.key.MatchesId(id);
+  });
 }
 
 QueryCache::Entry* QueryCache::InsertEntry(const QueryDescriptor& d,
                                            Timestamp now,
                                            const ReferenceHistory* history) {
   assert(d.result_bytes <= available_bytes());
-  assert(FindEntry(d) == nullptr);
-  auto entry = std::make_unique<Entry>();
+  assert(FindEntry(d.key) == nullptr);
+  Entry* entry = arena_.New();
   entry->desc = d;
   if (history != nullptr) {
     entry->history = *history;
@@ -108,44 +105,33 @@ QueryCache::Entry* QueryCache::InsertEntry(const QueryDescriptor& d,
     entry->history.Record(now);
   }
   entry->inserted_at = now;
-  Entry* raw = entry.get();
-  index_[d.signature.value].push_back(std::move(entry));
+  index_.Insert(d.signature().value, entry);
   used_ += d.result_bytes;
   ++entry_count_;
   ++stats_.insertions;
   stats_.bytes_inserted += d.result_bytes;
-  OnInsert(raw, now);
-  return raw;
+  OnInsert(entry, now);
+  return entry;
 }
 
 void QueryCache::EvictEntry(Entry* entry) {
   assert(entry != nullptr);
   OnEvict(entry);
   if (eviction_listener_) eviction_listener_(entry->desc);
-  auto it = index_.find(entry->desc.signature.value);
-  assert(it != index_.end());
-  auto& bucket = it->second;
-  for (size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].get() == entry) {
-      used_ -= entry->desc.result_bytes;
-      --entry_count_;
-      ++stats_.evictions;
-      stats_.bytes_evicted += entry->desc.result_bytes;
-      bucket[i] = std::move(bucket.back());
-      bucket.pop_back();
-      if (bucket.empty()) index_.erase(it);
-      return;
-    }
-  }
-  assert(false && "entry not found in its signature bucket");
+  const bool erased = index_.Erase(entry->desc.signature().value, entry);
+  assert(erased && "entry not found in the signature index");
+  (void)erased;
+  used_ -= entry->desc.result_bytes;
+  --entry_count_;
+  ++stats_.evictions;
+  stats_.bytes_evicted += entry->desc.result_bytes;
+  arena_.Release(entry);
 }
 
 std::vector<QueryCache::Entry*> QueryCache::AllEntries() {
   std::vector<Entry*> out;
   out.reserve(entry_count_);
-  for (auto& [sig, bucket] : index_) {
-    for (auto& entry : bucket) out.push_back(entry.get());
-  }
+  index_.ForEach([&out](uint64_t, Entry* e) { out.push_back(e); });
   return out;
 }
 
@@ -190,23 +176,24 @@ Status QueryCache::CheckIndexAccounting(const char* index_name,
 Status QueryCache::CheckInvariants() const {
   uint64_t bytes = 0;
   size_t count = 0;
-  for (const auto& [sig, bucket] : index_) {
-    if (bucket.empty()) {
-      return Status::Internal("empty signature bucket left in index");
-    }
-    for (const auto& entry : bucket) {
-      if (entry->desc.signature.value != sig) {
-        return Status::Internal("entry stored under wrong signature");
-      }
-      bytes += entry->desc.result_bytes;
-      ++count;
-    }
+  bool sig_mismatch = false;
+  index_.ForEach([&](uint64_t sig, Entry* entry) {
+    if (entry->desc.signature().value != sig) sig_mismatch = true;
+    bytes += entry->desc.result_bytes;
+    ++count;
+  });
+  if (sig_mismatch) {
+    return Status::Internal("entry stored under wrong signature");
   }
+  WATCHMAN_RETURN_IF_ERROR(index_.CheckStructure());
   if (bytes != used_) {
     return Status::Internal("used byte accounting mismatch");
   }
   if (count != entry_count_) {
     return Status::Internal("entry count mismatch");
+  }
+  if (arena_.live() != entry_count_) {
+    return Status::Internal("arena live count != entry count");
   }
   if (used_ > capacity_) {
     return Status::Internal("cache over capacity");

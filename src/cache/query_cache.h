@@ -1,11 +1,17 @@
 // QueryCache: the common machinery of all retrieved-set cache policies.
 //
-// A cache maps query IDs to cached retrieved sets under a byte-capacity
+// A cache maps query keys to cached retrieved sets under a byte-capacity
 // budget. Lookup uses a 64-bit signature prefilter followed by an exact
 // query-ID match (paper section 3). Subclasses implement the replacement
 // (and optionally admission) decisions; the base class owns the index,
 // byte accounting and statistics so that every policy measures cost
 // savings ratio and hit ratio identically.
+//
+// Hot-path layout: the base index is a flat open-addressing table keyed
+// by the precomputed signature (open_table.h) and entries live in a
+// slab/freelist arena (entry_arena.h), so a hit costs one masked probe
+// plus an inline-ID compare -- no hashing, no bucket chains, no
+// allocation -- and miss+evict churn recycles entry slots in place.
 //
 // Victim selection is driven by a policy-maintained eviction index (see
 // victim_index.h): the base notifies the policy when entries enter and
@@ -20,9 +26,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "cache/entry_arena.h"
+#include "cache/open_table.h"
 #include "cache/query_descriptor.h"
 #include "cache/ref_history.h"
 #include "cache/victim_index.h"
@@ -77,7 +85,7 @@ class QueryCache {
   };
 
   explicit QueryCache(const Options& options);
-  virtual ~QueryCache() = default;
+  virtual ~QueryCache();
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
@@ -97,15 +105,21 @@ class QueryCache {
   /// (Watchman::Execute) split the lookup from the later offer.
   bool TryReferenceCached(const QueryDescriptor& d, Timestamp now);
 
-  /// True if the retrieved set of `query_id` is currently cached.
-  bool Contains(const std::string& query_id) const;
+  /// True if the retrieved set of `key` is currently cached.
+  bool Contains(const QueryKey& key) const;
+  /// Convenience overload that computes the signature.
+  bool Contains(std::string_view query_id) const {
+    return Contains(QueryKey(query_id));
+  }
 
-  /// Removes the retrieved set of `query_id` from the cache (cache
+  /// Removes the retrieved set of `key` from the cache (cache
   /// coherence: the warehouse manager invalidates sets affected by an
   /// update, paper section 3). Fires the eviction listener and the
   /// OnEvict hook like a replacement eviction. Returns true if an entry
   /// was removed.
-  bool Erase(const std::string& query_id);
+  bool Erase(const QueryKey& key);
+  /// Convenience overload that computes the signature.
+  bool Erase(std::string_view query_id) { return Erase(QueryKey(query_id)); }
 
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
@@ -132,8 +146,8 @@ class QueryCache {
   }
 
   /// Verifies internal accounting (byte totals, entry counts, capacity
-  /// bound) and cross-checks the policy's victim index against it. Used
-  /// by tests and debug assertions.
+  /// bound, index probe invariants) and cross-checks the policy's victim
+  /// index against it. Used by tests and debug assertions.
   Status CheckInvariants() const;
 
  protected:
@@ -214,7 +228,7 @@ class QueryCache {
  private:
   bool ReferenceImpl(const QueryDescriptor& d, Timestamp now,
                      bool probe_only);
-  Entry* FindEntry(const QueryDescriptor& d);
+  Entry* FindEntry(const QueryKey& key) const;
 
   uint64_t capacity_;
   size_t k_;
@@ -222,9 +236,11 @@ class QueryCache {
   size_t entry_count_ = 0;
   CacheStats stats_;
   Timestamp last_reference_time_ = 0;
-  /// signature -> entries with that signature (exact match resolves
-  /// collisions, mirroring the paper's lookup design).
-  std::unordered_map<uint64_t, std::vector<std::unique_ptr<Entry>>> index_;
+  /// Signature-keyed open-addressing index; exact ID match resolves
+  /// collisions, mirroring the paper's lookup design.
+  SignatureTable<Entry> index_;
+  /// Slab/freelist storage of the entries the index points into.
+  SlabArena<Entry> arena_;
   std::function<void(const QueryDescriptor&)> eviction_listener_;
 };
 

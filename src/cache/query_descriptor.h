@@ -1,25 +1,24 @@
 // The immutable facts the cache manager knows about a query / retrieved
-// set: its ID (and signature), the retrieved-set size and the execution
-// cost of the query (paper section 2.1).
+// set: its key (interned query ID + precomputed signature), the
+// retrieved-set size and the execution cost of the query (paper
+// section 2.1).
 
 #ifndef WATCHMAN_CACHE_QUERY_DESCRIPTOR_H_
 #define WATCHMAN_CACHE_QUERY_DESCRIPTOR_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 #include "trace/query_event.h"
-#include "util/hash.h"
+#include "util/query_key.h"
 
 namespace watchman {
 
 /// Descriptor of a retrieved set offered to (or held by) the cache.
 struct QueryDescriptor {
-  /// Compressed query ID; the exact-match cache key.
-  std::string query_id;
-
-  /// 64-bit signature over the query ID (lookup prefilter, paper §3).
-  Signature signature;
+  /// Cache key: compressed query ID + its 64-bit signature, computed
+  /// once per request and reused by every lookup and shard route.
+  QueryKey key;
 
   /// Size s_i of the retrieved set, in bytes.
   uint64_t result_bytes = 0;
@@ -27,14 +26,23 @@ struct QueryDescriptor {
   /// Execution cost c_i of the query, in logical block reads.
   uint64_t cost = 0;
 
+  std::string_view query_id() const { return key.id(); }
+  Signature signature() const { return key.signature(); }
+
+  /// Builds a descriptor, computing the signature (the one hash of the
+  /// request).
+  static QueryDescriptor Make(std::string_view query_id,
+                              uint64_t result_bytes, uint64_t cost) {
+    QueryDescriptor d;
+    d.key.Assign(query_id);
+    d.result_bytes = result_bytes;
+    d.cost = cost;
+    return d;
+  }
+
   /// Builds a descriptor from a trace event (computes the signature).
   static QueryDescriptor FromEvent(const QueryEvent& e) {
-    QueryDescriptor d;
-    d.query_id = e.query_id;
-    d.signature = ComputeSignature(e.query_id);
-    d.result_bytes = e.result_bytes;
-    d.cost = e.cost_block_reads;
-    return d;
+    return Make(e.query_id, e.result_bytes, e.cost_block_reads);
   }
 };
 

@@ -4,24 +4,23 @@
 
 namespace watchman {
 
-RetainedInfo* RetainedInfoStore::Find(const std::string& query_id) {
-  auto it = map_.find(query_id);
+RetainedInfo* RetainedInfoStore::Find(const QueryKey& key) {
+  auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;
 }
 
-void RetainedInfoStore::Put(const std::string& query_id, RetainedInfo info) {
-  map_[query_id] = std::move(info);
+void RetainedInfoStore::Put(const QueryKey& key, RetainedInfo info) {
+  map_[key] = std::move(info);
 }
 
-void RetainedInfoStore::Remove(const std::string& query_id) {
-  map_.erase(query_id);
-}
+void RetainedInfoStore::Remove(const QueryKey& key) { map_.erase(key); }
 
 uint64_t RetainedInfoStore::ApproxMetadataBytes() const {
   uint64_t bytes = 0;
-  for (const auto& [id, info] : map_) {
-    bytes += id.size() + sizeof(RetainedInfo) +
-             info.history.k() * sizeof(Timestamp);
+  for (const auto& [key, info] : map_) {
+    bytes += sizeof(QueryKey) +
+             (key.size() > QueryKey::kInlineCapacity ? key.size() : 0) +
+             sizeof(RetainedInfo) + info.history.k() * sizeof(Timestamp);
   }
   return bytes;
 }

@@ -13,16 +13,21 @@
 //  * TimeoutRetainedStore -- the [OOW93] alternative: records expire a
 //    fixed period after their last reference (Five Minute Rule default),
 //    used by the LRU-K baseline.
+//
+// Records are keyed by QueryKey, so lookups reuse the request's
+// precomputed signature (identity hash) instead of re-hashing the query
+// ID string; equality still resolves signature collisions by exact ID
+// match.
 
 #ifndef WATCHMAN_CACHE_RETAINED_INFO_H_
 #define WATCHMAN_CACHE_RETAINED_INFO_H_
 
 #include <cstdint>
-#include <string>
 #include <unordered_map>
 
 #include "cache/ref_history.h"
 #include "util/clock.h"
+#include "util/query_key.h"
 
 namespace watchman {
 
@@ -33,19 +38,19 @@ struct RetainedInfo {
   uint64_t cost = 0;
 };
 
-/// Base map of query ID -> RetainedInfo.
+/// Base map of query key -> RetainedInfo.
 class RetainedInfoStore {
  public:
   virtual ~RetainedInfoStore() = default;
 
-  /// Returns mutable info for `query_id`, or nullptr.
-  RetainedInfo* Find(const std::string& query_id);
+  /// Returns mutable info for `key`, or nullptr.
+  RetainedInfo* Find(const QueryKey& key);
 
-  /// Inserts or replaces the record for `query_id`.
-  void Put(const std::string& query_id, RetainedInfo info);
+  /// Inserts or replaces the record for `key`.
+  void Put(const QueryKey& key, RetainedInfo info);
 
-  /// Drops the record for `query_id` if present.
-  void Remove(const std::string& query_id);
+  /// Drops the record for `key` if present.
+  void Remove(const QueryKey& key);
 
   size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
@@ -55,7 +60,7 @@ class RetainedInfoStore {
   uint64_t ApproxMetadataBytes() const;
 
  protected:
-  std::unordered_map<std::string, RetainedInfo> map_;
+  std::unordered_map<QueryKey, RetainedInfo> map_;
 };
 
 /// Paper policy: drop records whose profit (lambda * cost / size, with

@@ -25,35 +25,33 @@ ShardedQueryCache::ShardedQueryCache(const Options& options,
   }
 }
 
-size_t ShardedQueryCache::ShardIndexOf(uint64_t signature) const {
+size_t ShardedQueryCache::ShardIndexOf(Signature signature) const {
   return ShardOfSignature(signature, shards_.size());
 }
 
 bool ShardedQueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
-  Shard& shard = *shards_[ShardIndexOf(d.signature.value)];
+  Shard& shard = *shards_[ShardIndexOf(d.signature())];
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.cache->Reference(d, now);
 }
 
 bool ShardedQueryCache::TryReferenceCached(const QueryDescriptor& d,
                                            Timestamp now) {
-  Shard& shard = *shards_[ShardIndexOf(d.signature.value)];
+  Shard& shard = *shards_[ShardIndexOf(d.signature())];
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.cache->TryReferenceCached(d, now);
 }
 
-bool ShardedQueryCache::Contains(const std::string& query_id) const {
-  const Signature sig = ComputeSignature(query_id);
-  const Shard& shard = *shards_[ShardIndexOf(sig.value)];
+bool ShardedQueryCache::Contains(const QueryKey& key) const {
+  const Shard& shard = *shards_[ShardIndexOf(key.signature())];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.cache->Contains(query_id);
+  return shard.cache->Contains(key);
 }
 
-bool ShardedQueryCache::Erase(const std::string& query_id) {
-  const Signature sig = ComputeSignature(query_id);
-  Shard& shard = *shards_[ShardIndexOf(sig.value)];
+bool ShardedQueryCache::Erase(const QueryKey& key) {
+  Shard& shard = *shards_[ShardIndexOf(key.signature())];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.cache->Erase(query_id);
+  return shard.cache->Erase(key);
 }
 
 void ShardedQueryCache::SetEvictionListener(

@@ -8,9 +8,13 @@
 // shard the behaviour (every hit, eviction and statistic) is identical
 // to the wrapped unsharded policy, which the differential tests assert.
 //
-// Cache coherence works across shards: Erase() routes by the query ID's
-// signature, so the Watchman facade can invalidate any cached set no
-// matter which shard holds it.
+// Cache coherence works across shards: Erase() routes by the query
+// key's signature, so the Watchman facade can invalidate any cached set
+// no matter which shard holds it.
+//
+// Every operation routes on the request's precomputed signature -- the
+// QueryKey is hashed once when it is built, and shard choice reads the
+// signature's high bits directly (no second hash).
 
 #ifndef WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
 #define WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
@@ -20,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/query_cache.h"
@@ -57,12 +62,18 @@ class ShardedQueryCache {
   /// reference and returns true when cached, touches nothing otherwise.
   bool TryReferenceCached(const QueryDescriptor& d, Timestamp now);
 
-  /// True if the retrieved set of `query_id` is currently cached.
-  bool Contains(const std::string& query_id) const;
+  /// True if the retrieved set of `key` is currently cached.
+  bool Contains(const QueryKey& key) const;
+  /// Convenience overload that computes the signature.
+  bool Contains(std::string_view query_id) const {
+    return Contains(QueryKey(query_id));
+  }
 
-  /// Invalidates the retrieved set of `query_id` on whichever shard
-  /// holds it. Returns true if an entry was removed.
-  bool Erase(const std::string& query_id);
+  /// Invalidates the retrieved set of `key` on whichever shard holds
+  /// it. Returns true if an entry was removed.
+  bool Erase(const QueryKey& key);
+  /// Convenience overload that computes the signature.
+  bool Erase(std::string_view query_id) { return Erase(QueryKey(query_id)); }
 
   /// Registers the eviction listener on every shard. The callback runs
   /// under the evicting shard's lock; it must not call back into the
@@ -96,7 +107,7 @@ class ShardedQueryCache {
     std::unique_ptr<QueryCache> cache;
   };
 
-  size_t ShardIndexOf(uint64_t signature) const;
+  size_t ShardIndexOf(Signature signature) const;
 
   uint64_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -131,9 +131,19 @@ class OrderedVictimIndex {
     (void)inserted;
   }
 
+  /// Re-keys `n` in place by extracting its tree node and reinserting
+  /// it under the new key -- no allocation, unlike erase + insert. The
+  /// hot hit path of every ordered-index policy lands here.
   void Update(Node* n, uint32_t bucket, double primary, uint64_t secondary) {
-    Remove(n);
-    Add(n, bucket, primary, secondary);
+    assert(n->vkey.seq != 0 && "node not in the ordered index");
+    auto it = set_.find(Item{n->vkey, n});
+    assert(it != set_.end());
+    auto handle = set_.extract(it);
+    n->vkey = VictimKey{bucket, primary, secondary, ++next_seq_};
+    handle.value() = Item{n->vkey, n};
+    const auto inserted = set_.insert(std::move(handle));
+    assert(inserted.inserted);
+    (void)inserted;
   }
 
   void Remove(Node* n) {

@@ -97,10 +97,12 @@ void PrintStats(const WireStats& stats) {
       static_cast<unsigned long long>(stats.evictions),
       static_cast<unsigned long long>(stats.invalidations));
   std::printf(
-      "connections %llu accepted / %llu active, requests %llu, "
-      "rejected frames %llu\n",
+      "connections %llu accepted / %llu active / %llu queued "
+      "(peak %llu), requests %llu, rejected frames %llu\n",
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.connections_active),
+      static_cast<unsigned long long>(stats.connections_queued),
+      static_cast<unsigned long long>(stats.connections_queued_peak),
       static_cast<unsigned long long>(stats.requests_served),
       static_cast<unsigned long long>(stats.frames_rejected));
   for (const WireOpMetrics& op : stats.per_op) {

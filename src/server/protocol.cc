@@ -85,11 +85,38 @@ class Reader {
     return s;
   }
 
+  /// Reads a string into a caller-owned buffer, reusing its capacity.
+  void StringInto(std::string* out) {
+    const uint32_t len = U32();
+    if (!Require(len)) {
+      out->clear();
+      return;
+    }
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+  }
+
   std::vector<std::string> StringList() {
     const uint32_t count = U32();
     std::vector<std::string> out;
     for (uint32_t i = 0; i < count && ok_; ++i) out.push_back(String());
     return out;
+  }
+
+  /// Reads a string list into a caller-owned vector, reusing element
+  /// string capacity where lengths allow.
+  void StringListInto(std::vector<std::string>* out) {
+    const uint32_t count = U32();
+    if (out->size() > count) out->resize(count);
+    for (uint32_t i = 0; i < count && ok_; ++i) {
+      if (i < out->size()) {
+        StringInto(&(*out)[i]);
+      } else {
+        out->emplace_back();
+        StringInto(&out->back());
+      }
+    }
+    if (!ok_) out->clear();
   }
 
  private:
@@ -160,6 +187,8 @@ void PutStats(std::string* out, const WireStats& s) {
   PutString(out, s.policy_name);
   PutU64(out, s.connections_accepted);
   PutU64(out, s.connections_active);
+  PutU64(out, s.connections_queued);
+  PutU64(out, s.connections_queued_peak);
   PutU64(out, s.requests_served);
   PutU64(out, s.frames_rejected);
   PutU32(out, static_cast<uint32_t>(s.per_op.size()));
@@ -195,6 +224,8 @@ WireStats ReadStats(Reader* r) {
   s.policy_name = r->String();
   s.connections_accepted = r->U64();
   s.connections_active = r->U64();
+  s.connections_queued = r->U64();
+  s.connections_queued_peak = r->U64();
   s.requests_served = r->U64();
   s.frames_rejected = r->U64();
   const uint32_t ops = r->U32();
@@ -264,58 +295,82 @@ std::string EncodeRequest(const WireRequest& request) {
   return Frame(std::move(body));
 }
 
-StatusOr<WireRequest> DecodeRequest(std::string_view body) {
+Status DecodeRequestInto(std::string_view body, WireRequest* request) {
+  // Reset to defaults while keeping string capacity (scratch reuse).
+  // fill_relations is NOT cleared here: StringListInto resizes it to
+  // the decoded count, reusing element string buffers across frames;
+  // stale entries are never read because has_fill gates every consumer.
+  request->query_text.clear();
+  request->relation.clear();
+  request->has_fill = false;
+  request->fill_payload.clear();
+  request->fill_cost = 1;
   Reader r(body);
-  WireRequest request;
-  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &request.op));
-  switch (request.op) {
+  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &request->op));
+  switch (request->op) {
     case OpCode::kPing:
     case OpCode::kStats:
       break;
     case OpCode::kGet:
     case OpCode::kInvalidate:
-      request.query_text = r.String();
+      r.StringInto(&request->query_text);
       break;
     case OpCode::kInvalidateRelation:
-      request.relation = r.String();
+      r.StringInto(&request->relation);
       break;
     case OpCode::kExecute:
-      request.query_text = r.String();
-      request.has_fill = r.U8() != 0;
-      if (request.has_fill) {
-        request.fill_payload = r.String();
-        request.fill_cost = r.U64();
-        request.fill_relations = r.StringList();
+      r.StringInto(&request->query_text);
+      request->has_fill = r.U8() != 0;
+      if (request->has_fill) {
+        r.StringInto(&request->fill_payload);
+        request->fill_cost = r.U64();
+        r.StringListInto(&request->fill_relations);
       }
       break;
   }
-  WATCHMAN_RETURN_IF_ERROR(FinishDecode(r, "request"));
+  return FinishDecode(r, "request");
+}
+
+StatusOr<WireRequest> DecodeRequest(std::string_view body) {
+  WireRequest request;
+  WATCHMAN_RETURN_IF_ERROR(DecodeRequestInto(body, &request));
   return request;
 }
 
-std::string EncodeResponse(const WireResponse& response) {
-  std::string body;
-  PutU8(&body, kWireVersion);
-  PutU8(&body, static_cast<uint8_t>(response.op));
-  PutU8(&body, static_cast<uint8_t>(response.code));
-  PutString(&body, response.message);
+void AppendResponse(const WireResponse& response, std::string* out) {
+  const size_t frame_at = out->size();
+  PutU32(out, 0);  // length placeholder, patched below
+  const size_t body_at = out->size();
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(response.op));
+  PutU8(out, static_cast<uint8_t>(response.code));
+  PutString(out, response.message);
   switch (response.op) {
     case OpCode::kPing:
       break;
     case OpCode::kExecute:
     case OpCode::kGet:
-      PutU8(&body, response.cache_hit ? 1 : 0);
-      PutString(&body, response.payload);
+      PutU8(out, response.cache_hit ? 1 : 0);
+      PutString(out, response.payload);
       break;
     case OpCode::kInvalidate:
     case OpCode::kInvalidateRelation:
-      PutU64(&body, response.dropped);
+      PutU64(out, response.dropped);
       break;
     case OpCode::kStats:
-      PutStats(&body, response.stats);
+      PutStats(out, response.stats);
       break;
   }
-  return Frame(std::move(body));
+  const uint32_t len = static_cast<uint32_t>(out->size() - body_at);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[frame_at + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string out;
+  AppendResponse(response, &out);
+  return out;
 }
 
 StatusOr<WireResponse> DecodeResponse(std::string_view body) {

@@ -29,7 +29,9 @@ namespace watchman {
 
 /// Protocol revision; bumped on any incompatible framing change. A
 /// decoder rejects bodies whose version byte differs.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: STATS gained connections_queued / connections_queued_peak
+/// (worker-pool saturation visibility).
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Upper bound both sides place on one frame's body (guards the length
 /// prefix against garbage and bounds per-connection memory).
@@ -113,6 +115,11 @@ struct WireStats {
   // Server transport counters.
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
+  /// Connections accepted but not yet claimed by a worker (gauge at
+  /// snapshot time) and the high-water mark of that queue: sustained
+  /// non-zero values mean the worker pool is saturated.
+  uint64_t connections_queued = 0;
+  uint64_t connections_queued_peak = 0;
   uint64_t requests_served = 0;
   uint64_t frames_rejected = 0;
   std::vector<WireOpMetrics> per_op;
@@ -142,17 +149,39 @@ struct WireResponse {
   /// kInvalidate / kInvalidateRelation: retrieved sets dropped.
   uint64_t dropped = 0;
   WireStats stats;
+
+  /// Re-arms a response object for reuse: resets every field while
+  /// keeping message/payload capacity (per-connection scratch).
+  void Reset(OpCode new_op) {
+    op = new_op;
+    code = StatusCode::kOk;
+    message.clear();
+    cache_hit = false;
+    payload.clear();
+    dropped = 0;
+    if (!stats.per_op.empty() || stats.lookups != 0) stats = WireStats{};
+  }
 };
 
 /// Encodes a complete frame (length prefix + body).
 std::string EncodeRequest(const WireRequest& request);
 std::string EncodeResponse(const WireResponse& response);
 
+/// Appends the encoded frame of `response` to *out in place -- the
+/// server batches many responses into one per-connection output buffer
+/// without a temporary string per frame.
+void AppendResponse(const WireResponse& response, std::string* out);
+
 /// Decodes a frame body (without the length prefix). Corruption on
 /// truncated/overlong bodies, NotSupported on a version mismatch,
 /// InvalidArgument on an unknown opcode.
 StatusOr<WireRequest> DecodeRequest(std::string_view body);
 StatusOr<WireResponse> DecodeResponse(std::string_view body);
+
+/// DecodeRequest into a caller-owned request object, reusing its string
+/// capacity -- the server decodes every frame of a connection into one
+/// scratch WireRequest, so steady-state framing allocates nothing.
+Status DecodeRequestInto(std::string_view body, WireRequest* request);
 
 /// Streaming frame extraction: examines `buffer` (the bytes read so
 /// far) and, when a complete frame is present, points *body at its body

@@ -176,6 +176,11 @@ void WatchmanServer::AcceptLoop() {
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       pending_.push_back(conn);
+      // Queued-but-unserved high-water mark (pool saturation signal).
+      const uint64_t depth = pending_.size();
+      if (depth > connections_queued_peak_.load(std::memory_order_relaxed)) {
+        connections_queued_peak_.store(depth, std::memory_order_relaxed);
+      }
     }
     queue_cv_.notify_one();
   }
@@ -206,6 +211,11 @@ void WatchmanServer::ServeConnection(int fd) {
 
   std::string inbuf;
   std::string outbuf;
+  // Per-connection scratch request/response: every frame decodes into
+  // the same objects, so string capacity is reused across frames and
+  // steady-state framing performs no allocation.
+  WireRequest request;
+  WireResponse response;
   char chunk[64 * 1024];
   bool keep_alive = true;
   while (keep_alive && !stop_.load(std::memory_order_acquire)) {
@@ -243,7 +253,7 @@ void WatchmanServer::ServeConnection(int fd) {
         break;
       }
       if (!*extracted) break;
-      keep_alive = HandleFrame(body, &outbuf);
+      keep_alive = HandleFrame(body, &request, &response, &outbuf);
       consumed += frame_size;
     }
     inbuf.erase(0, consumed);
@@ -261,33 +271,35 @@ void WatchmanServer::ServeConnection(int fd) {
   ::close(fd);
 }
 
-bool WatchmanServer::HandleFrame(std::string_view body, std::string* out) {
-  StatusOr<WireRequest> request = DecodeRequest(body);
-  if (!request.ok()) {
+bool WatchmanServer::HandleFrame(std::string_view body, WireRequest* request,
+                                 WireResponse* response, std::string* out) {
+  const Status decoded = DecodeRequestInto(body, request);
+  if (!decoded.ok()) {
     frames_rejected_.fetch_add(1, std::memory_order_relaxed);
     WireResponse err;
-    err.code = request.status().code();
-    err.message = request.status().message();
-    *out += EncodeResponse(err);
+    err.code = decoded.code();
+    err.message = decoded.message();
+    AppendResponse(err, out);
     // The stream decoded a frame but not a request; the peer speaks a
     // different dialect, so drop it.
     return false;
   }
   const auto begin = std::chrono::steady_clock::now();
-  WireResponse response = Dispatch(*request);
+  Dispatch(*request, response);
   const double latency_us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - begin)
           .count();
-  RecordOp(request->op, response.code, latency_us);
+  RecordOp(request->op, response->code, latency_us);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  *out += EncodeResponse(response);
+  AppendResponse(*response, out);
   return true;
 }
 
-WireResponse WatchmanServer::Dispatch(const WireRequest& request) {
-  WireResponse response;
-  response.op = request.op;
+void WatchmanServer::Dispatch(const WireRequest& request,
+                              WireResponse* response_out) {
+  WireResponse& response = *response_out;
+  response.Reset(request.op);
   switch (request.op) {
     case OpCode::kPing:
       break;
@@ -343,7 +355,6 @@ WireResponse WatchmanServer::Dispatch(const WireRequest& request) {
       response.stats = StatsSnapshot();
       break;
   }
-  return response;
 }
 
 void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
@@ -354,6 +365,11 @@ void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
   ++slot.counters.requests;
   if (is_error) ++slot.counters.errors;
   slot.counters.latency_us.Add(latency_us);
+}
+
+uint64_t WatchmanServer::connections_queued() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.size();
 }
 
 WatchmanServer::OpCounters WatchmanServer::op_counters(OpCode op) const {
@@ -385,6 +401,9 @@ WireStats WatchmanServer::StatsSnapshot() const {
   out.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   out.connections_active = connections_active_.load(std::memory_order_relaxed);
+  out.connections_queued = connections_queued();
+  out.connections_queued_peak =
+      connections_queued_peak_.load(std::memory_order_relaxed);
   out.requests_served = requests_served_.load(std::memory_order_relaxed);
   out.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kNumOpCodes; ++i) {

@@ -105,6 +105,14 @@ class WatchmanServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Connections accepted but not yet claimed by a worker, right now.
+  uint64_t connections_queued() const;
+
+  /// High-water mark of the accept queue since Start().
+  uint64_t connections_queued_peak() const {
+    return connections_queued_peak_.load(std::memory_order_relaxed);
+  }
+
   /// An executor that serves the client-supplied miss-fill attached to
   /// the EXECUTE request being handled on this thread, and fails with
   /// NotFound when the request carried none. Pass to the Watchman
@@ -115,11 +123,13 @@ class WatchmanServer {
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
-  /// Decodes and dispatches one frame body, appending the encoded
-  /// response to *out. Returns false when the connection must close
-  /// (undecodable request).
-  bool HandleFrame(std::string_view body, std::string* out);
-  WireResponse Dispatch(const WireRequest& request);
+  /// Decodes one frame body into *request (per-connection scratch,
+  /// string capacity reused), dispatches it into *response and appends
+  /// the encoded response to *out. Returns false when the connection
+  /// must close (undecodable request).
+  bool HandleFrame(std::string_view body, WireRequest* request,
+                   WireResponse* response, std::string* out);
+  void Dispatch(const WireRequest& request, WireResponse* response);
   void RecordOp(OpCode op, StatusCode code, double latency_us);
 
   Watchman* cache_;
@@ -132,7 +142,7 @@ class WatchmanServer {
   std::vector<std::thread> workers_;
 
   /// Accepted connections awaiting a worker.
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<int> pending_;
 
@@ -142,6 +152,10 @@ class WatchmanServer {
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
+  /// High-water mark of `pending_` (connections accepted but not yet
+  /// claimed by a worker): worker-pool saturation visibility. The
+  /// instantaneous queue depth is read off pending_ under queue_mu_.
+  std::atomic<uint64_t> connections_queued_peak_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> frames_rejected_{0};
 

@@ -6,7 +6,9 @@
 #ifndef WATCHMAN_UTIL_HASH_H_
 #define WATCHMAN_UTIL_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 namespace watchman {
@@ -23,12 +25,18 @@ uint64_t Mix64(uint64_t x);
 /// Combines two 64-bit hashes (boost::hash_combine-style, 64-bit).
 uint64_t HashCombine(uint64_t seed, uint64_t value);
 
-/// A query signature: 64-bit prefilter for exact query-ID matching.
+/// A query signature: 64-bit prefilter for exact query-ID matching. The
+/// value is already a mixed hash (ComputeSignature finalizes with
+/// Mix64), so hash containers may use it directly and sharded/indexed
+/// structures derive their buckets from disjoint bit ranges.
 struct Signature {
   uint64_t value = 0;
 
   bool operator==(const Signature& other) const {
     return value == other.value;
+  }
+  bool operator!=(const Signature& other) const {
+    return value != other.value;
   }
 };
 
@@ -36,5 +44,14 @@ struct Signature {
 Signature ComputeSignature(std::string_view query_id);
 
 }  // namespace watchman
+
+/// Signatures key hash containers everywhere a raw uint64_t was passed
+/// before; the value is pre-mixed, so the identity hash is correct.
+template <>
+struct std::hash<watchman::Signature> {
+  size_t operator()(const watchman::Signature& s) const noexcept {
+    return static_cast<size_t>(s.value);
+  }
+};
 
 #endif  // WATCHMAN_UTIL_HASH_H_

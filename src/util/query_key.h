@@ -1,0 +1,123 @@
+// QueryKey: the cache key of one request, computed once per request.
+//
+// A key bundles the (compressed) query ID with its 64-bit signature so
+// the hot path hashes the ID exactly once -- every later lookup, shard
+// route and index probe reuses the precomputed signature, and equality
+// is a signature compare followed by a byte compare.
+//
+// The ID is stored in an inline small-string buffer (kInlineCapacity
+// bytes, sized for typical compressed query IDs) with a heap fallback
+// for longer IDs. The heap block is retained across Assign() calls, so
+// a scratch QueryKey reused per request/connection stops allocating
+// once it has seen the longest ID in the workload -- the building block
+// of the allocation-free hit path.
+
+#ifndef WATCHMAN_UTIL_QUERY_KEY_H_
+#define WATCHMAN_UTIL_QUERY_KEY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace watchman {
+
+class QueryKey {
+ public:
+  /// IDs up to this length live inline (no heap allocation anywhere).
+  static constexpr size_t kInlineCapacity = 47;
+
+  QueryKey() = default;
+
+  /// Builds a key from an ID, computing the signature (the one hash of
+  /// this request).
+  explicit QueryKey(std::string_view id) { Assign(id); }
+
+  /// Builds a key with an explicit signature. For trusted callers that
+  /// already computed it, and for tests that inject signature
+  /// collisions.
+  QueryKey(std::string_view id, Signature sig) { Assign(id, sig); }
+
+  QueryKey(const QueryKey& other) { Assign(other.id(), other.sig_); }
+  QueryKey& operator=(const QueryKey& other) {
+    if (this != &other) Assign(other.id(), other.sig_);
+    return *this;
+  }
+
+  QueryKey(QueryKey&& other) noexcept { MoveFrom(std::move(other)); }
+  QueryKey& operator=(QueryKey&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  /// Replaces the ID, recomputing the signature. Reuses the heap block
+  /// when one is already large enough (scratch-key reuse).
+  void Assign(std::string_view id) { Assign(id, ComputeSignature(id)); }
+
+  void Assign(std::string_view id, Signature sig) {
+    sig_ = sig;
+    size_ = static_cast<uint32_t>(id.size());
+    char* dst;
+    if (id.size() <= kInlineCapacity) {
+      dst = inline_;
+    } else {
+      if (heap_cap_ < id.size()) {
+        heap_ = std::make_unique<char[]>(id.size());
+        heap_cap_ = static_cast<uint32_t>(id.size());
+      }
+      dst = heap_.get();
+    }
+    std::memcpy(dst, id.data(), id.size());
+  }
+
+  std::string_view id() const {
+    return {size_ <= kInlineCapacity ? inline_ : heap_.get(), size_};
+  }
+  Signature signature() const { return sig_; }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Signature prefilter, then exact byte match (paper section 3).
+  bool operator==(const QueryKey& other) const {
+    return sig_ == other.sig_ && id() == other.id();
+  }
+  bool operator!=(const QueryKey& other) const { return !(*this == other); }
+
+  /// True when this key's ID matches `entry_id` under an already-equal
+  /// signature (the index probe's second step).
+  bool MatchesId(std::string_view other_id) const { return id() == other_id; }
+
+ private:
+  void MoveFrom(QueryKey&& other) noexcept {
+    sig_ = other.sig_;
+    size_ = other.size_;
+    if (other.size_ <= kInlineCapacity) {
+      std::memcpy(inline_, other.inline_, other.size_);
+    } else {
+      heap_ = std::move(other.heap_);
+      heap_cap_ = other.heap_cap_;
+      other.heap_cap_ = 0;
+    }
+    other.size_ = 0;
+    other.sig_ = Signature{};
+  }
+
+  Signature sig_;
+  uint32_t size_ = 0;
+  uint32_t heap_cap_ = 0;
+  std::unique_ptr<char[]> heap_;
+  char inline_[kInlineCapacity + 1] = {};
+};
+
+}  // namespace watchman
+
+template <>
+struct std::hash<watchman::QueryKey> {
+  size_t operator()(const watchman::QueryKey& k) const noexcept {
+    return static_cast<size_t>(k.signature().value);
+  }
+};
+
+#endif  // WATCHMAN_UTIL_QUERY_KEY_H_

@@ -14,11 +14,12 @@ size_t NormalizeShardCount(size_t requested) {
   return n;
 }
 
-size_t ShardOfSignature(uint64_t signature, size_t num_shards) {
+size_t ShardOfSignature(Signature signature, size_t num_shards) {
   assert(num_shards > 0 && (num_shards & (num_shards - 1)) == 0);
-  // Re-mix and take high bits: the unmixed low bits index the per-shard
-  // hash buckets.
-  return static_cast<size_t>(Mix64(signature) >> 32) & (num_shards - 1);
+  // The signature is already a mixed hash; the per-shard open table
+  // indexes by its low bits, so routing takes the high bits -- shard
+  // choice and bucket choice stay uncorrelated with no second hash.
+  return static_cast<size_t>(signature.value >> 48) & (num_shards - 1);
 }
 
 uint64_t ShardCapacity(uint64_t total, size_t num_shards, size_t shard) {

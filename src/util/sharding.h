@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/hash.h"
+
 namespace watchman {
 
 /// Clamps a requested shard count into [1, kMaxShards] and rounds it up
@@ -20,9 +22,9 @@ size_t NormalizeShardCount(size_t requested);
 
 constexpr size_t kMaxShards = 1024;
 
-/// Maps a 64-bit signature to a shard in [0, num_shards).
+/// Maps a query signature to a shard in [0, num_shards).
 /// `num_shards` must be a power of two (see NormalizeShardCount).
-size_t ShardOfSignature(uint64_t signature, size_t num_shards);
+size_t ShardOfSignature(Signature signature, size_t num_shards);
 
 /// Splits `total` bytes across `num_shards` shards: every shard gets at
 /// least total / num_shards, the remainder goes to the first shards, so

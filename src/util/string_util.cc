@@ -27,20 +27,25 @@ constexpr char kSeparator = '\x1f';
 
 }  // namespace
 
-std::string CompressQueryId(std::string_view query_text) {
-  std::string out;
-  out.reserve(query_text.size());
+void CompressQueryIdInto(std::string_view query_text, std::string* out) {
+  out->clear();
+  out->reserve(query_text.size());
   bool in_delim_run = false;
   for (char c : query_text) {
     if (IsDelimiter(c)) {
       in_delim_run = true;
       continue;
     }
-    if (in_delim_run && !out.empty()) out.push_back(kSeparator);
+    if (in_delim_run && !out->empty()) out->push_back(kSeparator);
     in_delim_run = false;
-    out.push_back(
+    out->push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
+}
+
+std::string CompressQueryId(std::string_view query_text) {
+  std::string out;
+  CompressQueryIdInto(query_text, &out);
   return out;
 }
 

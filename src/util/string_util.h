@@ -20,6 +20,11 @@ namespace watchman {
 /// only in formatting map to the same ID.
 std::string CompressQueryId(std::string_view query_text);
 
+/// CompressQueryId into a caller-owned buffer: `out` is cleared and
+/// refilled, reusing its capacity. The hot request path compresses into
+/// a per-thread scratch string, so steady state allocates nothing.
+void CompressQueryIdInto(std::string_view query_text, std::string* out);
+
 /// Splits on a single-character delimiter; keeps empty fields.
 std::vector<std::string> Split(std::string_view s, char delim);
 

@@ -10,6 +10,26 @@
 
 namespace watchman {
 
+namespace {
+
+/// Per-thread request scratch: the compressed query ID and the probe
+/// descriptor carrying its QueryKey. Reused across calls, so the
+/// steady-state hit path derives the key (one compression pass + one
+/// signature) with no heap allocation. Only valid until the next
+/// Execute()/GetCached()/IsCached() on the same thread -- the miss path
+/// copies what it needs before running the executor, which may reenter.
+struct RequestScratch {
+  std::string id;
+  QueryDescriptor probe;
+};
+
+RequestScratch& Scratch() {
+  static thread_local RequestScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 Watchman::Watchman(Options options, Executor executor)
     : options_(std::move(options)), executor_(std::move(executor)) {
   assert(executor_ != nullptr);
@@ -33,8 +53,13 @@ Watchman::Watchman(Options options, Executor executor)
   // coherence state (never the cache), keeping the lock order
   // shard -> payload/coherence acyclic.
   cache_->SetEvictionListener([this](const QueryDescriptor& d) {
-    ErasePayload(d.query_id);
-    ForgetDependencies(d.query_id);
+    // Runs under the evicting shard's lock: reuse a per-thread buffer
+    // so the listener does not allocate there once its capacity covers
+    // the longest evicted ID.
+    static thread_local std::string id;
+    id.assign(d.query_id());
+    ErasePayload(id);
+    ForgetDependencies(id);
   });
 }
 
@@ -46,6 +71,15 @@ Timestamp Watchman::NowTick() {
 std::string Watchman::MakeQueryId(const std::string& query_text) const {
   return options_.normalize_queries ? NormalizeQuery(query_text)
                                     : CompressQueryId(query_text);
+}
+
+void Watchman::MakeQueryIdInto(const std::string& query_text,
+                               std::string* out) const {
+  if (options_.normalize_queries) {
+    *out = NormalizeQuery(query_text);
+  } else {
+    CompressQueryIdInto(query_text, out);
+  }
 }
 
 void Watchman::ForgetDependencies(const std::string& query_id) {
@@ -120,73 +154,83 @@ void Watchman::OfferToCache(const QueryDescriptor& desc,
     if (record_reference) cache_->Reference(desc, now);
     return;
   }
+  const std::string query_id(desc.query_id());
   bool newly_admitted = false;
   if (record_reference) {
     newly_admitted = !cache_->Reference(desc, now);
   }
-  if (!cache_->Contains(desc.query_id)) return;  // rejected or raced out
-  if (record_reference && !newly_admitted && HasPayload(desc.query_id)) {
+  if (!cache_->Contains(desc.key)) return;  // rejected or raced out
+  if (record_reference && !newly_admitted && HasPayload(query_id)) {
     // Deduplicated follower hitting the leader's already-published set:
     // nothing left to publish.
     return;
   }
-  Status stored = PutPayload(desc.query_id, result.payload);
+  Status stored = PutPayload(query_id, result.payload);
   if (!stored.ok()) {
     // Storage failure: keep the cache metadata consistent by dropping
     // the entry; the caller still serves the fresh result.
-    cache_->Erase(desc.query_id);
+    cache_->Erase(desc.key);
     return;
   }
-  RegisterDependencies(desc.query_id, result.relations);
+  RegisterDependencies(query_id, result.relations);
   // Coherence check AFTER the dependencies are registered: an
   // invalidation that lands before this point is detected here, and one
   // that lands after will find the entry in dependents_ (or the cache
   // itself, for per-query invalidation) and erase it -- no window in
   // between.
-  if (InvalidatedSince(desc.query_id, result.relations, epoch_at_start)) {
+  if (InvalidatedSince(query_id, result.relations, epoch_at_start)) {
     // A relation this execution read was invalidated while the query
     // ran outside the locks: the result reflects pre-update data, so it
     // must not stay cached past the invalidation.
-    cache_->Erase(desc.query_id);
+    cache_->Erase(desc.key);
     return;
   }
-  if (!cache_->Contains(desc.query_id)) {
+  if (!cache_->Contains(desc.key)) {
     // Evicted concurrently before the payload and dependencies were
     // published, so the eviction listener could not clean them up; undo
     // both rather than leak them. (Should a racing re-admission publish
     // in between, this undo costs it one re-execution on the next
     // access, which re-publishes -- the hit path self-heals on a
     // missing payload.)
-    ErasePayload(desc.query_id);
-    ForgetDependencies(desc.query_id);
+    ErasePayload(query_id);
+    ForgetDependencies(query_id);
     return;
   }
   if (newly_admitted && admission_listener_) {
-    admission_listener_(desc.query_id);
+    admission_listener_(query_id);
   }
 }
 
 StatusOr<std::string> Watchman::Execute(const std::string& query_text) {
-  const std::string query_id = MakeQueryId(query_text);
-  if (query_id.empty()) {
+  // Key derivation in per-thread scratch: one compression pass, one
+  // signature, no allocation at steady state.
+  RequestScratch& scratch = Scratch();
+  MakeQueryIdInto(query_text, &scratch.id);
+  if (scratch.id.empty()) {
     return Status::InvalidArgument("query text contains no tokens");
   }
-  QueryDescriptor probe;
-  probe.query_id = query_id;
-  probe.signature = ComputeSignature(query_id);
+  scratch.probe.key.Assign(scratch.id);
+  scratch.probe.result_bytes = 0;
+  scratch.probe.cost = 0;
   const Timestamp now = NowTick();
 
   // Fast path: the reference is recorded under the shard lock only when
   // the set is cached (the stored descriptor supplies size and cost).
   bool already_referenced = false;
-  if (cache_->TryReferenceCached(probe, now)) {
-    StatusOr<std::string> payload = GetPayload(query_id);
+  if (cache_->TryReferenceCached(scratch.probe, now)) {
+    StatusOr<std::string> payload = GetPayload(scratch.id);
     if (payload.ok()) return payload;
     // The payload vanished between the reference and the fetch
     // (concurrent eviction, or an undone racing publish); execute and
     // re-publish below. This call's reference is already counted.
     already_referenced = true;
   }
+
+  // Miss path: copy out of the scratch before the executor runs -- it
+  // may reenter Execute() on this thread and clobber it.
+  const std::string query_id = scratch.id;
+  QueryDescriptor probe;
+  probe.key = scratch.probe.key;
 
   // Miss: execute the query with no lock held; concurrent misses on the
   // same query ID share one warehouse execution. The leader offers the
@@ -256,27 +300,31 @@ void Watchman::ReleaseInflightOffer() {
 }
 
 StatusOr<std::string> Watchman::GetCached(const std::string& query_text) {
-  const std::string query_id = MakeQueryId(query_text);
-  if (query_id.empty()) {
+  RequestScratch& scratch = Scratch();
+  MakeQueryIdInto(query_text, &scratch.id);
+  if (scratch.id.empty()) {
     return Status::InvalidArgument("query text contains no tokens");
   }
-  QueryDescriptor probe;
-  probe.query_id = query_id;
-  probe.signature = ComputeSignature(query_id);
-  if (!cache_->TryReferenceCached(probe, NowTick())) {
-    return Status::NotFound("not cached: " + query_id);
+  scratch.probe.key.Assign(scratch.id);
+  scratch.probe.result_bytes = 0;
+  scratch.probe.cost = 0;
+  if (!cache_->TryReferenceCached(scratch.probe, NowTick())) {
+    return Status::NotFound("not cached: " + scratch.id);
   }
-  StatusOr<std::string> payload = GetPayload(query_id);
+  StatusOr<std::string> payload = GetPayload(scratch.id);
   if (!payload.ok()) {
     // Evicted between the reference and the fetch; report the miss (the
     // recorded reference stands, matching a hit that raced an eviction).
-    return Status::NotFound("payload evicted concurrently: " + query_id);
+    return Status::NotFound("payload evicted concurrently: " + scratch.id);
   }
   return payload;
 }
 
 bool Watchman::IsCached(const std::string& query_text) const {
-  return cache_->Contains(MakeQueryId(query_text));
+  RequestScratch& scratch = Scratch();
+  MakeQueryIdInto(query_text, &scratch.id);
+  scratch.probe.key.Assign(scratch.id);
+  return cache_->Contains(scratch.probe.key);
 }
 
 bool Watchman::Invalidate(const std::string& query_text) {

@@ -177,6 +177,8 @@ class Watchman {
 
   Timestamp NowTick();
   std::string MakeQueryId(const std::string& query_text) const;
+  /// MakeQueryId into a caller-owned buffer (per-thread scratch reuse).
+  void MakeQueryIdInto(const std::string& query_text, std::string* out) const;
   void ForgetDependencies(const std::string& query_id);
   void RegisterDependencies(const std::string& query_id,
                             const std::vector<std::string>& relations);

@@ -1,0 +1,133 @@
+// Zero-allocation guarantee of the sharded hit path.
+//
+// Overrides the global allocator with a counting hook (effective for
+// this whole test binary; counting is armed only around the measured
+// sections) and asserts that once a working set is cached, references
+// that hit perform no heap allocation -- across every policy, through
+// the ShardedQueryCache front-end, including the per-reference
+// invariant checks the assert-enabled build runs.
+//
+// This is the acceptance guard for the allocation-lean hot path: the
+// open-addressing index probes flat slots, QueryKey compares inline
+// bytes, ReferenceHistory records into its preallocated ring, and the
+// ordered victim indexes re-key via node-handle reuse.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/query_descriptor.h"
+#include "cache/sharded_query_cache.h"
+#include "sim/policy_config.h"
+
+namespace {
+
+/// Armed only on the thread under test; other threads (and gtest
+/// internals outside the measured window) never perturb the counter.
+thread_local bool t_counting = false;
+std::atomic<uint64_t> g_allocations{0};
+
+struct CountingScope {
+  CountingScope() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    t_counting = true;
+  }
+  ~CountingScope() { t_counting = false; }
+  uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (t_counting) g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  if (t_counting) g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace watchman {
+namespace {
+
+std::vector<QueryDescriptor> MakeWorkingSet(size_t n) {
+  std::vector<QueryDescriptor> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(QueryDescriptor::Make(
+        "select agg from rel where param\x1f" + std::to_string(i),
+        64 + (i % 64) * 8, 100 + i));
+  }
+  return out;
+}
+
+class AllocationFreeHitTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(AllocationFreeHitTest, ShardedHitPathDoesNotAllocate) {
+  constexpr size_t kWorkingSet = 256;
+  auto descriptors = MakeWorkingSet(kWorkingSet);
+  uint64_t total = 0;
+  for (const auto& d : descriptors) total += d.result_bytes;
+
+  PolicyConfig config;
+  config.kind = GetParam();
+  config.k = 4;
+  auto cache = MakeShardedCache(config, total * 2, /*num_shards=*/8);
+
+  Timestamp now = 0;
+  for (const auto& d : descriptors) cache->Reference(d, now += 1000);
+  ASSERT_EQ(cache->entry_count(), kWorkingSet);
+
+  // Warm k+1 full passes of hits: arena/index steady state, ordered
+  // node handles in place, and every LRU-K entry graduated from the
+  // partial list into the full index (a one-time tree insert on the
+  // k-th reference).
+  for (int pass = 0; pass < 5; ++pass) {
+    for (const auto& d : descriptors) {
+      ASSERT_TRUE(cache->Reference(d, now += 1000));
+    }
+  }
+
+  CountingScope scope;
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& d : descriptors) {
+      // Reference() and the hit-only probe must both be allocation-free.
+      if (!cache->TryReferenceCached(d, now += 1000)) {
+        t_counting = false;
+        FAIL() << "unexpected miss on the hit path";
+      }
+    }
+  }
+  const uint64_t allocations = scope.count();
+  t_counting = false;
+  EXPECT_EQ(allocations, 0u)
+      << "sharded hit path allocated " << allocations << " times over "
+      << 20 * kWorkingSet << " hits";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocationFreeHitTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kLruK,
+                                           PolicyKind::kLfu, PolicyKind::kLcs,
+                                           PolicyKind::kGds, PolicyKind::kLncR,
+                                           PolicyKind::kLncRA));
+
+}  // namespace
+}  // namespace watchman

@@ -15,12 +15,7 @@ namespace watchman {
 namespace {
 
 QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
-  QueryDescriptor d;
-  d.query_id = id;
-  d.signature = ComputeSignature(id);
-  d.result_bytes = bytes;
-  d.cost = cost;
-  return d;
+  return QueryDescriptor::Make(id, bytes, cost);
 }
 
 // ---------------------------------------------------------------- LRU

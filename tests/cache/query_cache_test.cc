@@ -14,12 +14,7 @@ namespace watchman {
 namespace {
 
 QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
-  QueryDescriptor d;
-  d.query_id = id;
-  d.signature = ComputeSignature(id);
-  d.result_bytes = bytes;
-  d.cost = cost;
-  return d;
+  return QueryDescriptor::Make(id, bytes, cost);
 }
 
 TEST(QueryCacheTest, MissThenHit) {
@@ -78,7 +73,7 @@ TEST(QueryCacheTest, SignatureCollisionsResolvedByExactMatch) {
   LruCache cache(1000);
   QueryDescriptor a = Desc("query one", 100, 1);
   QueryDescriptor b = Desc("query two", 100, 1);
-  b.signature = a.signature;  // simulate a collision
+  b.key = QueryKey(b.query_id(), a.signature());  // simulate a collision
   EXPECT_FALSE(cache.Reference(a, 1));
   EXPECT_FALSE(cache.Reference(b, 2));  // not a false hit
   EXPECT_TRUE(cache.Reference(a, 3));
@@ -91,7 +86,7 @@ TEST(QueryCacheTest, EvictionListenerFires) {
   LruCache cache(250);
   std::vector<std::string> evicted;
   cache.SetEvictionListener([&evicted](const QueryDescriptor& d) {
-    evicted.push_back(d.query_id);
+    evicted.emplace_back(d.query_id());
   });
   cache.Reference(Desc("a", 100, 1), 1);
   cache.Reference(Desc("b", 100, 1), 2);
@@ -123,7 +118,7 @@ TEST(QueryCacheTest, EraseRemovesEntryAndFiresListener) {
   LruCache cache(1000);
   std::vector<std::string> evicted;
   cache.SetEvictionListener([&evicted](const QueryDescriptor& d) {
-    evicted.push_back(d.query_id);
+    evicted.emplace_back(d.query_id());
   });
   cache.Reference(Desc("a", 100, 10), 1);
   cache.Reference(Desc("b", 100, 10), 2);

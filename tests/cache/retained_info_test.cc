@@ -17,29 +17,29 @@ RetainedInfo Info(std::initializer_list<Timestamp> refs, uint64_t bytes,
 
 TEST(RetainedInfoStoreTest, PutFindRemove) {
   ProfitRetainedStore store;
-  EXPECT_EQ(store.Find("a"), nullptr);
-  store.Put("a", Info({10}, 100, 50));
-  ASSERT_NE(store.Find("a"), nullptr);
-  EXPECT_EQ(store.Find("a")->cost, 50u);
+  EXPECT_EQ(store.Find(QueryKey("a")), nullptr);
+  store.Put(QueryKey("a"), Info({10}, 100, 50));
+  ASSERT_NE(store.Find(QueryKey("a")), nullptr);
+  EXPECT_EQ(store.Find(QueryKey("a"))->cost, 50u);
   EXPECT_EQ(store.size(), 1u);
-  store.Remove("a");
-  EXPECT_EQ(store.Find("a"), nullptr);
+  store.Remove(QueryKey("a"));
+  EXPECT_EQ(store.Find(QueryKey("a")), nullptr);
   EXPECT_TRUE(store.empty());
 }
 
 TEST(RetainedInfoStoreTest, PutReplaces) {
   ProfitRetainedStore store;
-  store.Put("a", Info({10}, 100, 50));
-  store.Put("a", Info({10, 20}, 100, 70));
+  store.Put(QueryKey("a"), Info({10}, 100, 50));
+  store.Put(QueryKey("a"), Info({10, 20}, 100, 70));
   EXPECT_EQ(store.size(), 1u);
-  EXPECT_EQ(store.Find("a")->cost, 70u);
-  EXPECT_EQ(store.Find("a")->history.size(), 2u);
+  EXPECT_EQ(store.Find(QueryKey("a"))->cost, 70u);
+  EXPECT_EQ(store.Find(QueryKey("a"))->history.size(), 2u);
 }
 
 TEST(RetainedInfoStoreTest, MetadataBytesGrowWithEntries) {
   ProfitRetainedStore store;
   const uint64_t empty = store.ApproxMetadataBytes();
-  store.Put("some-query-id", Info({1, 2, 3}, 100, 50));
+  store.Put(QueryKey("some-query-id"), Info({1, 2, 3}, 100, 50));
   EXPECT_GT(store.ApproxMetadataBytes(), empty);
 }
 
@@ -63,42 +63,42 @@ TEST(RetainedProfitTest, AgesOverTime) {
 
 TEST(ProfitRetainedStoreTest, SweepDropsOnlyBelowThreshold) {
   ProfitRetainedStore store;
-  store.Put("low", Info({100}, 1000, 10));    // profit ~ 1e-5-ish
-  store.Put("high", Info({100, 900}, 10, 10000));
+  store.Put(QueryKey("low"), Info({100}, 1000, 10));    // profit ~ 1e-5-ish
+  store.Put(QueryKey("high"), Info({100, 900}, 10, 10000));
   const double threshold =
-      (RetainedProfit(*store.Find("low"), 1000) +
-       RetainedProfit(*store.Find("high"), 1000)) / 2.0;
+      (RetainedProfit(*store.Find(QueryKey("low")), 1000) +
+       RetainedProfit(*store.Find(QueryKey("high")), 1000)) / 2.0;
   const size_t dropped = store.SweepBelowProfit(threshold, 1000);
   EXPECT_EQ(dropped, 1u);
-  EXPECT_EQ(store.Find("low"), nullptr);
-  ASSERT_NE(store.Find("high"), nullptr);
+  EXPECT_EQ(store.Find(QueryKey("low")), nullptr);
+  ASSERT_NE(store.Find(QueryKey("high")), nullptr);
 }
 
 TEST(ProfitRetainedStoreTest, SweepKeepsEqualProfit) {
   ProfitRetainedStore store;
-  store.Put("x", Info({100}, 100, 100));
-  const double profit = RetainedProfit(*store.Find("x"), 500);
+  store.Put(QueryKey("x"), Info({100}, 100, 100));
+  const double profit = RetainedProfit(*store.Find(QueryKey("x")), 500);
   // Strictly-below semantics: equal profit survives.
   EXPECT_EQ(store.SweepBelowProfit(profit, 500), 0u);
-  ASSERT_NE(store.Find("x"), nullptr);
+  ASSERT_NE(store.Find(QueryKey("x")), nullptr);
 }
 
 TEST(TimeoutRetainedStoreTest, SweepExpiresOldRecords) {
   TimeoutRetainedStore store(5 * kMinute);
-  store.Put("old", Info({1 * kMinute}, 10, 10));
-  store.Put("fresh", Info({9 * kMinute}, 10, 10));
+  store.Put(QueryKey("old"), Info({1 * kMinute}, 10, 10));
+  store.Put(QueryKey("fresh"), Info({9 * kMinute}, 10, 10));
   const size_t dropped = store.SweepExpired(10 * kMinute);
   EXPECT_EQ(dropped, 1u);
-  EXPECT_EQ(store.Find("old"), nullptr);
-  EXPECT_NE(store.Find("fresh"), nullptr);
+  EXPECT_EQ(store.Find(QueryKey("old")), nullptr);
+  EXPECT_NE(store.Find(QueryKey("fresh")), nullptr);
 }
 
 TEST(TimeoutRetainedStoreTest, BoundaryExactTimeoutSurvives) {
   TimeoutRetainedStore store(5 * kMinute);
-  store.Put("edge", Info({5 * kMinute}, 10, 10));
+  store.Put(QueryKey("edge"), Info({5 * kMinute}, 10, 10));
   // last + timeout == now -> not strictly older -> kept.
   EXPECT_EQ(store.SweepExpired(10 * kMinute), 0u);
-  EXPECT_NE(store.Find("edge"), nullptr);
+  EXPECT_NE(store.Find(QueryKey("edge")), nullptr);
   // One microsecond later it expires.
   EXPECT_EQ(store.SweepExpired(10 * kMinute + 1), 1u);
 }

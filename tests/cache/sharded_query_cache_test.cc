@@ -21,12 +21,7 @@ namespace watchman {
 namespace {
 
 QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
-  QueryDescriptor d;
-  d.query_id = id;
-  d.signature = ComputeSignature(id);
-  d.result_bytes = bytes;
-  d.cost = cost;
-  return d;
+  return QueryDescriptor::Make(id, bytes, cost);
 }
 
 std::unique_ptr<ShardedQueryCache> MakeLru(uint64_t capacity,
@@ -117,7 +112,7 @@ TEST(ShardedQueryCacheTest, EvictionListenerFiresAcrossShards) {
   auto cache = MakeLru(1 << 20, 8);
   std::vector<std::string> evicted;
   cache->SetEvictionListener(
-      [&evicted](const QueryDescriptor& d) { evicted.push_back(d.query_id); });
+      [&evicted](const QueryDescriptor& d) { evicted.emplace_back(d.query_id()); });
   cache->Reference(Desc("a", 100, 10), 1);
   cache->Reference(Desc("b", 100, 10), 2);
   cache->Erase("a");

@@ -1,0 +1,121 @@
+// Differential test of the open-addressing base index against the old
+// map semantics, at the policy level: random insert/erase/lookup traces
+// across all six replacement policies must produce exactly the
+// hit/eviction sequence implied by cache membership, and the CacheStats
+// identities of the old implementation must hold at every step.
+//
+// The model mirrors the pre-change index shape -- query membership keyed
+// by (signature, exact ID) -- and is maintained from the cache's own
+// observable events (return values, the eviction listener), so any
+// divergence between the flat open table and bucket-map semantics
+// (lost entries, false hits under signature collisions, broken
+// backward-shift compaction) shows up as a membership or stats
+// mismatch. Signatures are deliberately degraded to a tiny pool so
+// collisions and long probe clusters are the common case.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/query_cache.h"
+#include "sim/policy_config.h"
+#include "util/random.h"
+
+namespace watchman {
+namespace {
+
+struct TracedStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t listener_evictions = 0;
+};
+
+class IndexDifferentialTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(IndexDifferentialTest, RandomTraceMatchesMembershipModel) {
+  PolicyConfig config;
+  config.kind = GetParam();
+  config.k = 2;
+  // Small capacity relative to the pool: constant eviction pressure.
+  std::unique_ptr<QueryCache> cache = MakeCache(config, 64 * 1024);
+
+  constexpr size_t kPool = 384;
+  std::vector<QueryDescriptor> pool;
+  pool.reserve(kPool);
+  Rng rng(0x5EED + static_cast<uint64_t>(GetParam()));
+  for (size_t i = 0; i < kPool; ++i) {
+    QueryDescriptor d;
+    const std::string id = "q\x1f" + std::to_string(i);
+    // Degraded signatures: only 24 distinct values over 384 queries, so
+    // the index lives under permanent collision pressure. Exact-ID
+    // matching must still keep every query distinct.
+    d.key = QueryKey(id, Signature{0xC011 + rng.NextBounded(24)});
+    d.result_bytes = 256 + rng.NextBounded(2048);
+    d.cost = 1 + rng.NextBounded(1000);
+    pool.push_back(std::move(d));
+  }
+
+  // Model of the old index semantics: the set of cached query IDs.
+  std::set<std::string> model;
+  TracedStats traced;
+  cache->SetEvictionListener([&](const QueryDescriptor& d) {
+    ++traced.listener_evictions;
+    ASSERT_EQ(model.erase(std::string(d.query_id())), 1u)
+        << "evicted a query the model does not hold: " << d.query_id();
+  });
+
+  Timestamp now = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const QueryDescriptor& d = pool[rng.NextBounded(kPool)];
+    const std::string id(d.query_id());
+    const uint64_t roll = rng.NextBounded(100);
+    if (roll < 80) {
+      // Reference: must hit exactly when the model holds the query.
+      const bool expect_hit = model.contains(id);
+      const bool hit = cache->Reference(d, ++now);
+      ASSERT_EQ(hit, expect_hit) << "op " << op << " query " << id;
+      ++traced.lookups;
+      if (hit) ++traced.hits;
+      if (!hit && cache->Contains(d.key)) model.insert(id);
+    } else if (roll < 90) {
+      // Erase (coherence path): agrees with membership, fires the
+      // listener which updates the model.
+      const bool expect_present = model.contains(id);
+      ASSERT_EQ(cache->Erase(d.key), expect_present);
+    } else {
+      // Lookup-only probe. (The by-ID convenience overload is not
+      // usable here: it would recompute the true signature, while this
+      // trace runs under deliberately degraded ones.)
+      ASSERT_EQ(cache->Contains(d.key), model.contains(id));
+    }
+    ASSERT_EQ(cache->entry_count(), model.size());
+  }
+
+  // Stats identities of the old implementation.
+  const CacheStats& stats = cache->stats();
+  EXPECT_EQ(stats.lookups, traced.lookups);
+  EXPECT_EQ(stats.hits, traced.hits);
+  EXPECT_EQ(stats.evictions, traced.listener_evictions);
+  EXPECT_EQ(stats.insertions - stats.evictions, cache->entry_count());
+  EXPECT_LE(stats.hits, stats.lookups);
+  EXPECT_LE(stats.cost_saved, stats.cost_total);
+  EXPECT_GT(stats.evictions, 0u) << "trace never exercised eviction";
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+
+  // Final full-membership sweep.
+  for (const QueryDescriptor& d : pool) {
+    EXPECT_EQ(cache->Contains(d.key),
+              model.contains(std::string(d.query_id())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, IndexDifferentialTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kLruK,
+                                           PolicyKind::kLfu, PolicyKind::kLcs,
+                                           PolicyKind::kGds, PolicyKind::kLncR,
+                                           PolicyKind::kLncRA));
+
+}  // namespace
+}  // namespace watchman

@@ -53,6 +53,96 @@ TEST(ProtocolTest, ExecuteRequestWithoutFill) {
   EXPECT_FALSE(decoded->has_fill);
 }
 
+TEST(ProtocolTest, DecodeRequestIntoReusesScratchAndResetsState) {
+  WireRequest scratch;
+  // First frame: an EXECUTE with a fill populates every field.
+  WireRequest fill_req;
+  fill_req.op = OpCode::kExecute;
+  fill_req.query_text = "select a from t";
+  fill_req.has_fill = true;
+  fill_req.fill_payload = "payload-bytes";
+  fill_req.fill_cost = 42;
+  fill_req.fill_relations = {"t"};
+  ASSERT_TRUE(
+      DecodeRequestInto(BodyOf(EncodeRequest(fill_req)), &scratch).ok());
+  EXPECT_TRUE(scratch.has_fill);
+  EXPECT_EQ(scratch.fill_cost, 42u);
+  const char* text_buffer = scratch.query_text.data();
+  // Second frame into the same scratch: stale fill state must reset and
+  // the (shorter) query text must reuse the existing buffer.
+  WireRequest get_req;
+  get_req.op = OpCode::kGet;
+  get_req.query_text = "select b";
+  ASSERT_TRUE(
+      DecodeRequestInto(BodyOf(EncodeRequest(get_req)), &scratch).ok());
+  EXPECT_EQ(scratch.op, OpCode::kGet);
+  EXPECT_EQ(scratch.query_text, "select b");
+  EXPECT_FALSE(scratch.has_fill);
+  EXPECT_EQ(scratch.fill_cost, 1u);
+  EXPECT_TRUE(scratch.fill_payload.empty());
+  EXPECT_EQ(scratch.query_text.data(), text_buffer);
+  // fill_relations may keep stale (has_fill-gated) entries for buffer
+  // reuse; a third EXECUTE frame must reuse the element's buffer.
+  const char* relation_buffer =
+      scratch.fill_relations.empty() ? nullptr
+                                     : scratch.fill_relations[0].data();
+  WireRequest fill_req2 = fill_req;
+  fill_req2.fill_relations = {"x"};
+  ASSERT_TRUE(
+      DecodeRequestInto(BodyOf(EncodeRequest(fill_req2)), &scratch).ok());
+  ASSERT_EQ(scratch.fill_relations.size(), 1u);
+  EXPECT_EQ(scratch.fill_relations[0], "x");
+  if (relation_buffer != nullptr) {
+    EXPECT_EQ(scratch.fill_relations[0].data(), relation_buffer);
+  }
+}
+
+TEST(ProtocolTest, AppendResponseMatchesEncodeResponseAndBatches) {
+  WireResponse a;
+  a.op = OpCode::kGet;
+  a.cache_hit = true;
+  a.payload = "retrieved set";
+  WireResponse b;
+  b.op = OpCode::kInvalidate;
+  b.dropped = 7;
+  std::string batched;
+  AppendResponse(a, &batched);
+  AppendResponse(b, &batched);
+  EXPECT_EQ(batched, EncodeResponse(a) + EncodeResponse(b));
+  // Both frames extract and decode back from the batched buffer.
+  std::string_view body;
+  size_t frame_size = 0;
+  ASSERT_TRUE(
+      *ExtractFrame(batched, kDefaultMaxFrameBytes, &body, &frame_size));
+  auto first = DecodeResponse(body);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->payload, "retrieved set");
+  ASSERT_TRUE(*ExtractFrame(std::string_view(batched).substr(frame_size),
+                            kDefaultMaxFrameBytes, &body, &frame_size));
+  auto second = DecodeResponse(body);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->dropped, 7u);
+}
+
+TEST(ProtocolTest, WireResponseResetKeepsCapacity) {
+  WireResponse response;
+  response.op = OpCode::kGet;
+  response.code = StatusCode::kNotFound;
+  response.message = "not cached: something fairly long to force a heap";
+  response.payload = std::string(256, 'p');
+  response.cache_hit = true;
+  response.dropped = 9;
+  const size_t payload_capacity = response.payload.capacity();
+  response.Reset(OpCode::kPing);
+  EXPECT_EQ(response.op, OpCode::kPing);
+  EXPECT_EQ(response.code, StatusCode::kOk);
+  EXPECT_TRUE(response.message.empty());
+  EXPECT_TRUE(response.payload.empty());
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_EQ(response.dropped, 0u);
+  EXPECT_GE(response.payload.capacity(), payload_capacity);
+}
+
 TEST(ProtocolTest, ExecuteRequestWithFillRoundTrips) {
   WireRequest request;
   request.op = OpCode::kExecute;
@@ -152,6 +242,8 @@ TEST(ProtocolTest, StatsResponseRoundTripsAllFields) {
   s.policy_name = "lnc-ra(k=4)x8";
   s.connections_accepted = 17;
   s.connections_active = 3;
+  s.connections_queued = 2;
+  s.connections_queued_peak = 5;
   s.requests_served = 1010;
   s.frames_rejected = 1;
   WireOpMetrics m;
@@ -186,6 +278,8 @@ TEST(ProtocolTest, StatsResponseRoundTripsAllFields) {
   EXPECT_EQ(d.policy_name, s.policy_name);
   EXPECT_EQ(d.connections_accepted, s.connections_accepted);
   EXPECT_EQ(d.connections_active, s.connections_active);
+  EXPECT_EQ(d.connections_queued, s.connections_queued);
+  EXPECT_EQ(d.connections_queued_peak, s.connections_queued_peak);
   EXPECT_EQ(d.requests_served, s.requests_served);
   EXPECT_EQ(d.frames_rejected, s.frames_rejected);
   ASSERT_EQ(d.per_op.size(), 1u);

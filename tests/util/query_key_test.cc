@@ -1,0 +1,106 @@
+// QueryKey tests: inline vs heap storage, scratch reuse, copy/move,
+// signature-prefiltered equality.
+
+#include "util/query_key.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace watchman {
+namespace {
+
+std::string LongId(size_t n, char fill = 'x') { return std::string(n, fill); }
+
+TEST(QueryKeyTest, ComputesSignatureOnce) {
+  QueryKey key("select\x1f*\x1f" "from\x1ft");
+  EXPECT_EQ(key.signature().value,
+            ComputeSignature("select\x1f*\x1f" "from\x1ft").value);
+  EXPECT_EQ(key.id(), "select\x1f*\x1f" "from\x1ft");
+  EXPECT_FALSE(key.empty());
+}
+
+TEST(QueryKeyTest, InlineAndHeapStorage) {
+  const std::string inline_id = LongId(QueryKey::kInlineCapacity);
+  const std::string heap_id = LongId(QueryKey::kInlineCapacity + 1);
+  QueryKey a(inline_id);
+  QueryKey b(heap_id);
+  EXPECT_EQ(a.id(), inline_id);
+  EXPECT_EQ(b.id(), heap_id);
+  EXPECT_EQ(a.size(), inline_id.size());
+  EXPECT_EQ(b.size(), heap_id.size());
+}
+
+TEST(QueryKeyTest, AssignReusesAndTransitions) {
+  QueryKey key;
+  EXPECT_TRUE(key.empty());
+  // inline -> heap -> inline -> heap again (reusing the heap block).
+  key.Assign(LongId(10, 'a'));
+  EXPECT_EQ(key.id(), LongId(10, 'a'));
+  key.Assign(LongId(100, 'b'));
+  EXPECT_EQ(key.id(), LongId(100, 'b'));
+  key.Assign(LongId(5, 'c'));
+  EXPECT_EQ(key.id(), LongId(5, 'c'));
+  key.Assign(LongId(80, 'd'));
+  EXPECT_EQ(key.id(), LongId(80, 'd'));
+  EXPECT_EQ(key.signature().value, ComputeSignature(LongId(80, 'd')).value);
+}
+
+TEST(QueryKeyTest, CopyAndMove) {
+  for (const size_t len : {size_t{12}, QueryKey::kInlineCapacity + 20}) {
+    const std::string id = LongId(len, 'q');
+    QueryKey original(id);
+    QueryKey copy(original);
+    EXPECT_EQ(copy, original);
+    EXPECT_EQ(copy.id(), id);
+    QueryKey assigned;
+    assigned = original;
+    EXPECT_EQ(assigned, original);
+    QueryKey moved(std::move(copy));
+    EXPECT_EQ(moved.id(), id);
+    EXPECT_EQ(moved.signature(), original.signature());
+    QueryKey move_assigned;
+    move_assigned = std::move(moved);
+    EXPECT_EQ(move_assigned, original);
+  }
+}
+
+TEST(QueryKeyTest, EqualityIsSignaturePlusExactMatch) {
+  QueryKey a("alpha"), b("beta"), a2("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  // Same forced signature, different IDs: prefilter passes, exact match
+  // must still separate them.
+  QueryKey c1("one", Signature{99});
+  QueryKey c2("two", Signature{99});
+  EXPECT_NE(c1, c2);
+  EXPECT_TRUE(c1.MatchesId("one"));
+  EXPECT_FALSE(c1.MatchesId("two"));
+}
+
+TEST(QueryKeyTest, WorksAsHashMapKey) {
+  std::unordered_map<QueryKey, int> map;
+  map[QueryKey("a")] = 1;
+  map[QueryKey("b")] = 2;
+  map[QueryKey(LongId(200))] = 3;
+  EXPECT_EQ(map.at(QueryKey("a")), 1);
+  EXPECT_EQ(map.at(QueryKey("b")), 2);
+  EXPECT_EQ(map.at(QueryKey(LongId(200))), 3);
+  EXPECT_EQ(map.size(), 3u);
+  // Identity hash: the map hash of a key is its signature.
+  EXPECT_EQ(std::hash<QueryKey>{}(QueryKey("a")),
+            static_cast<size_t>(ComputeSignature("a").value));
+}
+
+TEST(SignatureTest, InequalityAndStdHash) {
+  const Signature a = ComputeSignature("a");
+  const Signature b = ComputeSignature("b");
+  EXPECT_TRUE(a != b);
+  EXPECT_FALSE(a != ComputeSignature("a"));
+  EXPECT_EQ(std::hash<Signature>{}(a), static_cast<size_t>(a.value));
+}
+
+}  // namespace
+}  // namespace watchman

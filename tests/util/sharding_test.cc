@@ -27,9 +27,9 @@ TEST(ShardingTest, RoutingIsStableAndInRange) {
   for (int i = 0; i < 1000; ++i) {
     const Signature sig =
         ComputeSignature("query " + std::to_string(i));
-    const size_t shard = ShardOfSignature(sig.value, 8);
+    const size_t shard = ShardOfSignature(sig, 8);
     EXPECT_LT(shard, 8u);
-    EXPECT_EQ(shard, ShardOfSignature(sig.value, 8));
+    EXPECT_EQ(shard, ShardOfSignature(sig, 8));
   }
 }
 
@@ -37,7 +37,7 @@ TEST(ShardingTest, RoutingSpreadsSignatures) {
   std::vector<int> counts(8, 0);
   for (int i = 0; i < 8000; ++i) {
     const Signature sig = ComputeSignature("q" + std::to_string(i));
-    ++counts[ShardOfSignature(sig.value, 8)];
+    ++counts[ShardOfSignature(sig, 8)];
   }
   for (int c : counts) {
     // Perfectly uniform would be 1000 per shard; demand rough balance.

@@ -40,6 +40,19 @@ TEST(CompressQueryIdTest, EmptyAndAllDelimiters) {
   EXPECT_EQ(CompressQueryId("   \t\n,,(())"), "");
 }
 
+TEST(CompressQueryIdTest, IntoVariantMatchesAndReusesBuffer) {
+  std::string scratch;
+  CompressQueryIdInto("SELECT  *  FROM   bench  WHERE  k100 = 37", &scratch);
+  EXPECT_EQ(scratch, CompressQueryId("SELECT  *  FROM   bench  WHERE  k100 = 37"));
+  const char* buffer = scratch.data();
+  const size_t capacity = scratch.capacity();
+  // A shorter query reuses the scratch buffer: no reallocation.
+  CompressQueryIdInto("select 1", &scratch);
+  EXPECT_EQ(scratch, CompressQueryId("select 1"));
+  EXPECT_EQ(scratch.data(), buffer);
+  EXPECT_EQ(scratch.capacity(), capacity);
+}
+
 TEST(CompressQueryIdTest, DistinctQueriesStayDistinct) {
   EXPECT_NE(CompressQueryId("select a from t"),
             CompressQueryId("select b from t"));

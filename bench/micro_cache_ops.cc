@@ -95,10 +95,12 @@ uint64_t TotalBytes(const std::vector<QueryDescriptor>& descriptors) {
 }
 
 /// Pure hit path: every descriptor cached, references loop over them.
+/// `working_set` must be a power of two (indexed by mask); the 4k and
+/// 64k LNC variants demonstrate the O(log n)-per-reference scaling of
+/// lazy profit maintenance.
 BenchResult RunHit(const std::string& scenario, PolicyKind kind,
-                   uint64_t iters) {
-  constexpr size_t kWorkingSet = 4096;  // power of two: index by mask
-  auto descriptors = MakeDescriptors(kWorkingSet, 42);
+                   uint64_t iters, size_t working_set = 4096) {
+  auto descriptors = MakeDescriptors(working_set, 42);
   PolicyConfig config;
   config.kind = kind;
   config.k = 4;
@@ -107,10 +109,10 @@ BenchResult RunHit(const std::string& scenario, PolicyKind kind,
   Timestamp now = 0;
   for (const auto& d : descriptors) cache->Reference(d, now += 1000);
   FastRng rng(0xC0FFEE);
+  const uint64_t mask = working_set - 1;
   return Measure(scenario, /*warmup=*/iters / 20, iters, /*batch=*/4096,
                  [&](uint64_t) {
-                   const QueryDescriptor& d =
-                       descriptors[rng.Next() & (kWorkingSet - 1)];
+                   const QueryDescriptor& d = descriptors[rng.Next() & mask];
                    DoNotOptimize(cache->Reference(d, ++now));
                  });
 }
@@ -204,6 +206,21 @@ BenchResult RunShardedConcurrent(uint64_t iters_per_thread) {
                              iters_per_thread * kThreads, seconds,
                              std::move(samples));
   bench::PrintResult(r);
+  // Per-shard lock contention: how well the shard fan-out spreads the
+  // reference stream across the mutexes.
+  const auto total = cache->total_lock_stats();
+  std::printf("    shard locks: %llu acquisitions, %llu contended "
+              "(%.2f%%); per shard:",
+              static_cast<unsigned long long>(total.acquisitions),
+              static_cast<unsigned long long>(total.contended),
+              100.0 * total.contention_ratio());
+  for (size_t s = 0; s < cache->num_shards(); ++s) {
+    const auto ls = cache->lock_stats(s);
+    std::printf(" %llu/%llu",
+                static_cast<unsigned long long>(ls.contended),
+                static_cast<unsigned long long>(ls.acquisitions));
+  }
+  std::printf("\n");
   return r;
 }
 
@@ -318,6 +335,8 @@ int Run(int argc, char** argv) {
   JsonReport report("micro_cache_ops");
   report.Add(RunHit("hit_lru", PolicyKind::kLru, scaled(4e6)));
   report.Add(RunHit("hit_lnc_ra", PolicyKind::kLncRA, scaled(2e6)));
+  report.Add(RunHit("hit_lnc_ra_64k", PolicyKind::kLncRA, scaled(2e6),
+                    /*working_set=*/65536));
   report.Add(RunMissEvict("miss_evict_lru", PolicyKind::kLru, scaled(1e6)));
   report.Add(
       RunMissEvict("miss_evict_lnc_ra", PolicyKind::kLncRA, scaled(1e6)));

@@ -125,6 +125,12 @@ void RunConfiguration(size_t num_shards, int ms_per_point) {
   }
   const double hit_ratio = cache->stats().hit_ratio();
   std::printf("  hit ratio over the run: %.3f\n", hit_ratio);
+  const auto locks = cache->total_lock_stats();
+  std::printf("  shard-lock contention: %llu of %llu acquisitions "
+              "(%.2f%%)\n",
+              static_cast<unsigned long long>(locks.contended),
+              static_cast<unsigned long long>(locks.acquisitions),
+              100.0 * locks.contention_ratio());
 }
 
 }  // namespace

@@ -9,14 +9,17 @@
 // churn path allocation-free once the arena reaches steady state.
 //
 // Objects are constructed with placement new and destroyed on Release;
-// slab memory itself is only returned to the system when the arena is
-// destroyed (cache lifetime).
+// slab memory is returned to the system when the arena is destroyed, or
+// earlier via Compact(), which releases slabs whose slots are all free
+// (quiescent shrink for long-lived daemons whose working set shrank).
 
 #ifndef WATCHMAN_CACHE_ENTRY_ARENA_H_
 #define WATCHMAN_CACHE_ENTRY_ARENA_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <new>
 #include <utility>
@@ -66,6 +69,74 @@ class SlabArena {
 
   size_t live() const { return live_; }
   size_t slab_count() const { return slabs_.size(); }
+
+  /// Releases every slab all of whose handed-out slots sit on the
+  /// freelist (none of its objects are live) back to the system and
+  /// rebuilds the freelist from the surviving slabs. Live objects never
+  /// move, so outstanding T* stay valid. O((slabs + free slots) *
+  /// log slabs); intended for quiescent moments. Returns the number of
+  /// slabs released.
+  size_t Compact() {
+    if (slabs_.empty()) return 0;
+    // Sort slab base addresses so each free slot maps to its slab by
+    // binary search.
+    struct SlabRef {
+      const Slot* base;
+      size_t index;
+      // std::less: raw < on pointers into different slabs is
+      // unspecified; std::less guarantees a total order.
+      bool operator<(const SlabRef& o) const {
+        return std::less<const Slot*>()(base, o.base);
+      }
+    };
+    std::vector<SlabRef> refs;
+    refs.reserve(slabs_.size());
+    for (size_t i = 0; i < slabs_.size(); ++i) {
+      refs.push_back(SlabRef{slabs_[i].get(), i});
+    }
+    std::sort(refs.begin(), refs.end());
+    std::vector<size_t> free_in_slab(slabs_.size(), 0);
+    std::vector<std::pair<size_t, Slot*>> free_slots;  // (slab, slot)
+    for (Slot* s = free_; s != nullptr; s = s->next_free) {
+      auto it = std::upper_bound(refs.begin(), refs.end(), SlabRef{s, 0});
+      assert(it != refs.begin());
+      --it;
+      assert(s >= it->base && s < it->base + kSlabNodes);
+      ++free_in_slab[it->index];
+      free_slots.emplace_back(it->index, s);
+    }
+    // A slab is releasable when every slot it has handed out is free;
+    // only the open slab (the back) may have an unhanded tail.
+    auto handed = [this](size_t i) {
+      return i + 1 == slabs_.size() && next_in_slab_ < kSlabNodes
+                 ? next_in_slab_
+                 : kSlabNodes;
+    };
+    std::vector<bool> release(slabs_.size());
+    size_t released = 0;
+    for (size_t i = 0; i < slabs_.size(); ++i) {
+      release[i] = free_in_slab[i] == handed(i);
+      if (release[i]) ++released;
+    }
+    if (released == 0) return 0;
+    // Rebuild the freelist from the surviving slabs' free slots, then
+    // drop the released slabs.
+    free_ = nullptr;
+    for (const auto& [slab, slot] : free_slots) {
+      if (release[slab]) continue;
+      slot->next_free = free_;
+      free_ = slot;
+    }
+    const bool back_released = release.back();
+    std::vector<std::unique_ptr<Slot[]>> kept;
+    kept.reserve(slabs_.size() - released);
+    for (size_t i = 0; i < slabs_.size(); ++i) {
+      if (!release[i]) kept.push_back(std::move(slabs_[i]));
+    }
+    slabs_ = std::move(kept);
+    if (back_released) next_in_slab_ = kSlabNodes;  // no open slab left
+    return released;
+  }
 
  private:
   union Slot {

@@ -9,7 +9,8 @@ namespace watchman {
 
 LncCache::LncCache(const LncOptions& options)
     : QueryCache(Options{options.capacity_bytes, options.k}),
-      opts_(options) {}
+      opts_(options),
+      by_profit_(options.eager_profits ? 0 : options.profit_quant_steps) {}
 
 std::string LncCache::name() const {
   std::string base = opts_.admission ? "lnc-ra" : "lnc-r";
@@ -45,19 +46,67 @@ double LncCache::MinCachedProfit(Timestamp now) {
   return min_profit;
 }
 
-std::vector<QueryCache::Entry*> LncCache::SelectCandidates(
-    uint64_t bytes_needed) {
-  // Bucket R_i: i = number of recorded references (capped at K by the
-  // history window). Lower buckets are evicted first; ascending profit
-  // within a bucket. The index maintains exactly this order.
-  return CollectVictims(by_profit_, bytes_needed);
+double LncCache::ApproxMinCachedProfit(Timestamp now) {
+  double min_profit = std::numeric_limits<double>::infinity();
+  size_t probed = 0;
+  auto it = by_profit_.begin();
+  while (it != by_profit_.end() && probed < kMinProfitProbe) {
+    Entry* e = it->node;
+    ++it;  // advance before the refresh may re-seat e
+    const double profit = EntryProfit(*e, now);
+    by_profit_.Refresh(e, static_cast<uint32_t>(e->history.size()), profit,
+                       now);
+    min_profit = std::min(min_profit, profit);
+    ++probed;
+  }
+  return min_profit;
 }
 
-double LncCache::ListProfit(const std::vector<Entry*>& list,
-                            Timestamp now) const {
+void LncCache::SelectCandidates(uint64_t bytes_needed, Timestamp now,
+                                CandidateAggregates* agg) {
+  // Bucket R_i: i = number of recorded references (capped at K by the
+  // history window). Lower buckets are evicted first; ascending profit
+  // within a bucket.
+  if (opts_.eager_profits) {
+    // Eager reference path: keys were refreshed within the aging
+    // horizon; walk them as-is and leave the aggregates to the explicit
+    // ListProfit walks.
+    CollectVictimsInto(by_profit_, bytes_needed, &candidate_scratch_);
+    return;
+  }
+  // Lazy path: the index holds each entry's profit as of its last
+  // evaluation, an upper bound of its profit at `now`. Re-validate each
+  // candidate at decision time -- the fresh key only moves toward the
+  // eviction end, so the walk still visits the ascending prefix of
+  // current keys -- and fold its rate into the admission aggregates
+  // while its history is hot in cache.
+  CollectVictimsValidatedInto(
+      by_profit_, bytes_needed,
+      [this, now, agg](Entry* e) {
+        const auto rate = Rate(e->history, now);
+        const double bytes = static_cast<double>(e->desc.result_bytes);
+        const double cost = static_cast<double>(e->desc.cost);
+        // Same association as EntryProfit -- rate * (cost/bytes) -- so
+        // the stored key bit-matches a later recomputation.
+        const double cost_per_byte = cost / bytes;
+        const double profit =
+            rate.has_value() ? *rate * cost_per_byte : cost_per_byte;
+        by_profit_.Refresh(e, static_cast<uint32_t>(e->history.size()),
+                           profit, now);
+        // Candidates are cached, so they carry at least one past
+        // reference; a missing rate can only mean the entry was
+        // inserted at `now` itself. Eq. 5 falls back to lambda = 1/s.
+        agg->rate_cost_sum += (rate.has_value() ? *rate : 1.0 / bytes) * cost;
+        agg->cost_sum += cost;
+        agg->size_sum += bytes;
+      },
+      &candidate_scratch_);
+}
+
+double LncCache::ListProfit(Timestamp now) const {
   double rate_cost_sum = 0.0;
   double size_sum = 0.0;
-  for (const Entry* e : list) {
+  for (const Entry* e : candidate_scratch_) {
     const auto rate = Rate(e->history, now);
     // Candidates are cached, so they carry at least one past reference;
     // a missing rate can only mean the entry was inserted at `now`
@@ -73,10 +122,10 @@ double LncCache::ListProfit(const std::vector<Entry*>& list,
   return rate_cost_sum / size_sum;
 }
 
-double LncCache::ListEstimatedProfit(const std::vector<Entry*>& list) const {
+double LncCache::ListEstimatedProfit() const {
   double cost_sum = 0.0;
   double size_sum = 0.0;
-  for (const Entry* e : list) {
+  for (const Entry* e : candidate_scratch_) {
     cost_sum += static_cast<double>(e->desc.cost);
     size_sum += static_cast<double>(e->desc.result_bytes);
   }
@@ -88,9 +137,9 @@ void LncCache::RekeyEntry(Entry* entry, Timestamp now, bool already_indexed) {
   const uint32_t bucket = static_cast<uint32_t>(entry->history.size());
   const double profit = EntryProfit(*entry, now);
   if (already_indexed) {
-    by_profit_.Update(entry, bucket, profit, 0);
+    by_profit_.Rekey(entry, bucket, profit, now);
   } else {
-    by_profit_.Add(entry, bucket, profit, 0);
+    by_profit_.Add(entry, bucket, profit, now);
   }
 }
 
@@ -105,8 +154,25 @@ void LncCache::RefreshSomeProfits(Timestamp now) {
   }
 }
 
+void LncCache::RefreshSomeLazy(Timestamp now) {
+  for (uint32_t i = 0;
+       i < opts_.lazy_refresh_per_miss && !refresh_queue_.empty(); ++i) {
+    Entry* e = refresh_queue_.front();
+    by_profit_.Refresh(e, static_cast<uint32_t>(e->history.size()),
+                       EntryProfit(*e, now), now);
+    refresh_queue_.MoveToBack(e);
+  }
+}
+
 void LncCache::OnHit(Entry* entry, Timestamp now) {
-  RekeyEntry(entry, now, /*already_indexed=*/true);
+  if (opts_.eager_profits) {
+    RekeyEntry(entry, now, /*already_indexed=*/true);
+  } else {
+    // Lazy: re-evaluate only the touched entry; the quantized level
+    // usually has not moved, so most hits skip the tree re-key.
+    by_profit_.Refresh(entry, static_cast<uint32_t>(entry->history.size()),
+                       EntryProfit(*entry, now), now);
+  }
   refresh_queue_.MoveToBack(entry);
   MaybeSweep(now);
 }
@@ -116,6 +182,12 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   if (d.result_bytes > capacity_bytes() || d.result_bytes == 0) {
     CountTooLargeRejection();
     return;
+  }
+  if (!opts_.eager_profits) {
+    // Miss-time amortized aging: idle entries' keys age within
+    // ceil(n / lazy_refresh_per_miss) misses, so long-unreferenced sets
+    // sink toward the eviction end without any hit paying for it.
+    RefreshSomeLazy(now);
   }
 
   // Reconstruct the reference information for RS_i: retained history if
@@ -139,26 +211,34 @@ void LncCache::OnMiss(const QueryDescriptor& d, Timestamp now) {
   }
 
   const uint64_t bytes_needed = d.result_bytes - available_bytes();
-  std::vector<Entry*> candidates = SelectCandidates(bytes_needed);
+  CandidateAggregates agg;
+  SelectCandidates(bytes_needed, now, &agg);
 
   bool admit = true;
   if (opts_.admission) {
     // LNC-A (Figure 1): with reference information compare profits,
-    // otherwise compare estimated profits.
+    // otherwise compare estimated profits. The candidates' rates were
+    // already estimated during the selection walk (lazy mode) -- the
+    // aggregates reuse them; the eager reference path re-walks.
     const auto rate = Rate(history, now);
     if (rate.has_value()) {
       const double profit_rs = *rate * static_cast<double>(d.cost) /
                                static_cast<double>(d.result_bytes);
-      admit = profit_rs > ListProfit(candidates, now);
+      const double list_profit =
+          opts_.eager_profits ? ListProfit(now) : agg.profit();
+      admit = profit_rs > list_profit;
     } else {
       const double e_profit_rs = static_cast<double>(d.cost) /
                                  static_cast<double>(d.result_bytes);
-      admit = e_profit_rs > ListEstimatedProfit(candidates);
+      const double list_e_profit =
+          opts_.eager_profits ? ListEstimatedProfit() : agg.estimated_profit();
+      admit = e_profit_rs > list_e_profit;
     }
   }
 
   if (admit) {
-    for (Entry* victim : candidates) EvictEntry(victim);
+    for (Entry* victim : candidate_scratch_) EvictEntry(victim);
+    candidate_scratch_.clear();
     InsertEntry(d, now, &history);
     if (opts_.retain_reference_info) retained_.Remove(d.key);
   } else {
@@ -190,16 +270,50 @@ void LncCache::OnEvict(Entry* entry) {
 
 Status LncCache::CheckPolicyIndex() const {
   uint64_t bytes = 0;
+  const Timestamp now = last_reference_time();
   for (const auto& item : by_profit_) {
-    if (item.key.bucket != item.node->history.size()) {
+    const Entry* e = item.node;
+    if (item.key.bucket != e->history.size()) {
       return Status::Internal("lnc index bucket out of date");
     }
-    bytes += item.node->desc.result_bytes;
+    bytes += e->desc.result_bytes;
+    if (opts_.eager_profits) continue;
+    // Lazy staleness bounds: the evaluation stamp lies between the
+    // entry's last reference and the cache's latest reference ...
+    if (e->history.empty() || e->vkey_eval < e->history.last() ||
+        e->vkey_eval > now) {
+      return Status::Internal("lnc lazy key evaluation stamp out of bounds");
+    }
+    if (opts_.aging_period == 0) {
+      // ... the stored key is exactly the entry's quantized profit at
+      // its evaluation time (profits are pure functions of the history,
+      // which has not changed since vkey_eval) ...
+      const double at_eval =
+          by_profit_.QuantizeKey(EntryProfit(*e, e->vkey_eval));
+      if (item.key.primary != at_eval) {
+        return Status::Internal("lnc lazy key does not match eval-time "
+                                "profit");
+      }
+      // ... and profits only decay, so the stored key is an upper bound
+      // of the entry's current quantized profit (the property the
+      // revalidated victim walk relies on).
+      const double at_now = by_profit_.QuantizeKey(EntryProfit(*e, now));
+      if (item.key.primary < at_now) {
+        return Status::Internal("lnc lazy key below current profit "
+                                "(decay violated)");
+      }
+    }
   }
   if (refresh_queue_.size() != entry_count()) {
     return Status::Internal("lnc refresh queue entry count mismatch");
   }
   return CheckIndexAccounting("lnc index", by_profit_.size(), bytes);
+}
+
+void LncCache::OnCompact() {
+  retained_.Compact();
+  candidate_scratch_.clear();
+  candidate_scratch_.shrink_to_fit();
 }
 
 void LncCache::RetainEntryInfo(const Entry& entry) {
@@ -215,15 +329,19 @@ void LncCache::MaybeSweep(Timestamp now) {
   if (opts_.aging_period > 0 && now >= aging_tick_ + opts_.aging_period) {
     aging_tick_ = now;
   }
-  // Rate aging: refresh a bounded batch of index keys per reference, so
-  // sets that stopped being referenced sink toward the eviction end
-  // without any reference paying for a full-index walk.
-  RefreshSomeProfits(now);
+  if (opts_.eager_profits) {
+    // Eager rate aging: refresh a bounded batch of index keys per
+    // reference, so sets that stopped being referenced sink toward the
+    // eviction end without any reference paying for a full-index walk.
+    RefreshSomeProfits(now);
+  }
   if (++references_since_sweep_ < opts_.sweep_interval) return;
   references_since_sweep_ = 0;
   if (!opts_.retain_reference_info) return;
   if (retained_.empty()) return;
-  const double min_profit = MinCachedProfit(now);
+  const double min_profit = opts_.eager_profits
+                                ? MinCachedProfit(now)
+                                : ApproxMinCachedProfit(now);
   if (std::isinf(min_profit)) return;
   retained_.SweepBelowProfit(min_profit, now);
 }

@@ -114,6 +114,27 @@ class SignatureTable {
     if (want > capacity_) Grow(want);
   }
 
+  /// Shrinks the table to the smallest power-of-two capacity that holds
+  /// the current entries below the growth load factor, releasing the
+  /// slot array entirely when the table is empty. Insertions grow it
+  /// back on demand, so a long-lived cache whose working set shrank
+  /// stops pinning its peak slot array. Returns true if the capacity
+  /// changed.
+  bool Compact() {
+    if (size_ == 0) {
+      if (capacity_ == 0) return false;
+      slots_.reset();
+      capacity_ = 0;
+      mask_ = 0;
+      return true;
+    }
+    size_t want = kMinCapacity;
+    while ((size_ + 1) * 10 >= want * 7) want *= 2;
+    if (want >= capacity_) return false;
+    Grow(want);  // Grow() is a rehash into any power-of-two capacity
+    return true;
+  }
+
   /// Structural self-check: every occupied slot must be reachable from
   /// its ideal bucket without crossing an empty slot (the probe
   /// invariant backward-shift deletion maintains), and the occupied

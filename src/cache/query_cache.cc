@@ -104,7 +104,6 @@ QueryCache::Entry* QueryCache::InsertEntry(const QueryDescriptor& d,
     entry->history = ReferenceHistory(k_);
     entry->history.Record(now);
   }
-  entry->inserted_at = now;
   index_.Insert(d.signature().value, entry);
   used_ += d.result_bytes;
   ++entry_count_;
@@ -150,13 +149,15 @@ std::vector<QueryCache::Entry*> QueryCache::CollectVictims(
 std::vector<QueryCache::Entry*> QueryCache::CollectVictims(
     const VictimIndex& index, uint64_t bytes_needed) {
   std::vector<Entry*> victims;
-  uint64_t freed = 0;
-  for (auto it = index.begin(); it != index.end() && freed < bytes_needed;
-       ++it) {
-    victims.push_back(it->node);
-    freed += it->node->desc.result_bytes;
-  }
+  CollectVictimsInto(index, bytes_needed, &victims);
   return victims;
+}
+
+void QueryCache::Compact() {
+  index_.Compact();
+  arena_.Compact();
+  OnCompact();
+  assert(CheckInvariants().ok());
 }
 
 Status QueryCache::CheckIndexAccounting(const char* index_name,

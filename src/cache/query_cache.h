@@ -150,6 +150,18 @@ class QueryCache {
   /// index against it. Used by tests and debug assertions.
   Status CheckInvariants() const;
 
+  /// Shrink-to-fit pass for metadata that grew to a past peak: the
+  /// signature index rehashes down to the current entry count, the entry
+  /// arena returns fully-free slabs, and the policy compacts its own
+  /// stores (OnCompact). Intended for quiescent moments in long-lived
+  /// daemons whose working set shrank; safe (but pointless) anytime.
+  void Compact();
+
+  /// Slot capacity of the signature index / slab count of the entry
+  /// arena (observability for the Compact() tests and stats).
+  size_t index_capacity() const { return index_.capacity(); }
+  size_t arena_slab_count() const { return arena_.slab_count(); }
+
  protected:
   /// A cached retrieved set and its bookkeeping.
   struct Entry {
@@ -157,7 +169,6 @@ class QueryCache {
     ReferenceHistory history;
     /// References received while cached (used by LFU).
     uint64_t cached_refs = 0;
-    Timestamp inserted_at = 0;
     /// GreedyDual-Size inflated value (used by GdsCache only).
     double gds_h = 0.0;
     /// Victim-index hooks: intrusive-list linkage and the ordered-index
@@ -165,10 +176,14 @@ class QueryCache {
     Entry* vprev = nullptr;
     Entry* vnext = nullptr;
     VictimKey vkey;
+    /// Time the stored vkey was last evaluated (LazyOrderedVictimIndex
+    /// staleness stamp; maintained by lazily-keyed policies only).
+    Timestamp vkey_eval = 0;
   };
 
   using VictimList = IntrusiveVictimList<Entry>;
   using VictimIndex = OrderedVictimIndex<Entry>;
+  using LazyVictimIndex = LazyOrderedVictimIndex<Entry>;
 
   /// Hook invoked after the base records a cache hit (history already
   /// updated); the policy re-keys the entry in its victim index.
@@ -192,6 +207,15 @@ class QueryCache {
   /// used_bytes(). Called by CheckInvariants().
   virtual Status CheckPolicyIndex() const = 0;
 
+  /// Hook invoked by Compact() after the base shrinks its index and
+  /// arena; policies with auxiliary stores (retained reference
+  /// information) shrink them here.
+  virtual void OnCompact() {}
+
+  /// Latest reference time the cache has seen (policies use it to bound
+  /// key staleness in invariant checks).
+  Timestamp last_reference_time() const { return last_reference_time_; }
+
   /// Inserts a new entry; there must be room (checked). If `history` is
   /// non-null its contents seed the entry's reference history (retained
   /// reference information); otherwise the entry starts with the single
@@ -214,6 +238,53 @@ class QueryCache {
   /// sizes sum to at least `bytes_needed`. Does not evict.
   static std::vector<Entry*> CollectVictims(const VictimIndex& index,
                                             uint64_t bytes_needed);
+
+  /// CollectVictims into a caller-owned scratch vector (cleared first),
+  /// so steady-state miss paths reuse capacity instead of allocating a
+  /// fresh vector per miss. Works over any ordered index whose items
+  /// expose `->node` (VictimIndex and LazyVictimIndex).
+  template <typename Index>
+  static void CollectVictimsInto(const Index& index, uint64_t bytes_needed,
+                                 std::vector<Entry*>* out) {
+    out->clear();
+    uint64_t freed = 0;
+    for (auto it = index.begin(); it != index.end() && freed < bytes_needed;
+         ++it) {
+      out->push_back(it->node);
+      freed += it->node->desc.result_bytes;
+    }
+  }
+
+  /// Revalidated victim walk over a lazily-keyed index: visits entries
+  /// in ascending stored-key order, calling `validate(entry)` on each
+  /// before accepting it. `validate` may Refresh() the entry's key in
+  /// `index` (the walk advances its iterator before invoking it), so
+  /// stale keys at the eviction end are repaired as a side effect.
+  ///
+  /// Because lazily-stored keys only decay, a refreshed key can only
+  /// move *earlier*: the refreshed entry still sorts at or before every
+  /// remaining stored key, so accepting entries in visit order yields
+  /// exactly the ascending prefix of the post-walk key order -- no
+  /// restart is needed. Collects into the caller's scratch vector until
+  /// the victims' sizes sum to at least `bytes_needed`. Does not evict.
+  template <typename Validate>
+  static void CollectVictimsValidatedInto(const LazyVictimIndex& index,
+                                          uint64_t bytes_needed,
+                                          Validate&& validate,
+                                          std::vector<Entry*>* out) {
+    out->clear();
+    uint64_t freed = 0;
+    auto it = index.begin();
+    while (it != index.end() && freed < bytes_needed) {
+      Entry* e = it->node;
+      // Advance past `e` before validate() may re-key (and therefore
+      // re-seat) it; iterators to other elements stay valid.
+      ++it;
+      validate(e);
+      out->push_back(e);
+      freed += e->desc.result_bytes;
+    }
+  }
 
   /// Shared tail of CheckPolicyIndex(): compares a policy index's walked
   /// totals against the base accounting (every cached entry indexed

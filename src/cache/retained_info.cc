@@ -15,6 +15,16 @@ void RetainedInfoStore::Put(const QueryKey& key, RetainedInfo info) {
 
 void RetainedInfoStore::Remove(const QueryKey& key) { map_.erase(key); }
 
+void RetainedInfoStore::Compact() {
+  if (map_.empty()) {
+    // rehash(0) keeps libstdc++'s current bucket array; swapping with a
+    // fresh map actually releases it.
+    std::unordered_map<QueryKey, RetainedInfo>().swap(map_);
+    return;
+  }
+  map_.rehash(0);  // shrink the bucket array to fit the current size
+}
+
 uint64_t RetainedInfoStore::ApproxMetadataBytes() const {
   uint64_t bytes = 0;
   for (const auto& [key, info] : map_) {

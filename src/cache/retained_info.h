@@ -55,6 +55,11 @@ class RetainedInfoStore {
   size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
 
+  /// Shrink-to-fit: rehashes the map down to its current size so a
+  /// store that grew to a past peak releases its bucket array
+  /// (quiescent compaction; see QueryCache::Compact).
+  void Compact();
+
   /// Total bytes of metadata retained (approximate; used to report the
   /// self-scaling behaviour the paper describes).
   uint64_t ApproxMetadataBytes() const;

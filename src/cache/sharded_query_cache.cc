@@ -31,27 +31,54 @@ size_t ShardedQueryCache::ShardIndexOf(Signature signature) const {
 
 bool ShardedQueryCache::Reference(const QueryDescriptor& d, Timestamp now) {
   Shard& shard = *shards_[ShardIndexOf(d.signature())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  CountedLock lock(shard);
   return shard.cache->Reference(d, now);
 }
 
 bool ShardedQueryCache::TryReferenceCached(const QueryDescriptor& d,
                                            Timestamp now) {
   Shard& shard = *shards_[ShardIndexOf(d.signature())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  CountedLock lock(shard);
   return shard.cache->TryReferenceCached(d, now);
 }
 
 bool ShardedQueryCache::Contains(const QueryKey& key) const {
   const Shard& shard = *shards_[ShardIndexOf(key.signature())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  CountedLock lock(shard);
   return shard.cache->Contains(key);
 }
 
 bool ShardedQueryCache::Erase(const QueryKey& key) {
   Shard& shard = *shards_[ShardIndexOf(key.signature())];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  CountedLock lock(shard);
   return shard.cache->Erase(key);
+}
+
+ShardedQueryCache::LockStats ShardedQueryCache::lock_stats(
+    size_t shard) const {
+  LockStats out;
+  out.acquisitions =
+      shards_[shard]->lock_acquisitions.load(std::memory_order_relaxed);
+  out.contended =
+      shards_[shard]->lock_contended.load(std::memory_order_relaxed);
+  return out;
+}
+
+ShardedQueryCache::LockStats ShardedQueryCache::total_lock_stats() const {
+  LockStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const LockStats s = lock_stats(i);
+    total.acquisitions += s.acquisitions;
+    total.contended += s.contended;
+  }
+  return total;
+}
+
+void ShardedQueryCache::Compact() {
+  for (auto& shard : shards_) {
+    CountedLock lock(*shard);
+    shard->cache->Compact();
+  }
 }
 
 void ShardedQueryCache::SetEvictionListener(

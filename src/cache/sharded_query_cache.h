@@ -19,6 +19,7 @@
 #ifndef WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
 #define WATCHMAN_CACHE_SHARDED_QUERY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,6 +85,29 @@ class ShardedQueryCache {
   /// snapshot; shards are read under their locks one at a time).
   CacheStats stats() const;
 
+  /// Per-shard lock contention counters: every shard-lock acquisition
+  /// first tries the uncontended fast path (try_lock); `contended`
+  /// counts the acquisitions that had to block instead. The ratio shows
+  /// whether the shard fan-out matches the thread count (ROADMAP:
+  /// sharded-concurrent scaling on real cores).
+  struct LockStats {
+    uint64_t acquisitions = 0;
+    uint64_t contended = 0;
+
+    uint64_t uncontended() const { return acquisitions - contended; }
+    double contention_ratio() const {
+      return acquisitions == 0
+                 ? 0.0
+                 : static_cast<double>(contended) /
+                       static_cast<double>(acquisitions);
+    }
+  };
+
+  /// Lock counters of one shard (relaxed reads: a racy snapshot).
+  LockStats lock_stats(size_t shard) const;
+  /// Lock counters summed over all shards.
+  LockStats total_lock_stats() const;
+
   uint64_t capacity_bytes() const { return capacity_; }
   uint64_t used_bytes() const;
   size_t entry_count() const;
@@ -101,10 +125,40 @@ class ShardedQueryCache {
   /// Verifies every shard's invariants.
   Status CheckInvariants() const;
 
+  /// Shrink-to-fit pass over every shard (see QueryCache::Compact);
+  /// takes each shard's lock in turn, so it is safe to call while
+  /// serving (intended for quiescent moments in long-lived daemons).
+  void Compact();
+
  private:
   struct Shard {
     mutable std::mutex mu;
     std::unique_ptr<QueryCache> cache;
+    /// Lock counters (relaxed: they order nothing, they only count).
+    mutable std::atomic<uint64_t> lock_acquisitions{0};
+    mutable std::atomic<uint64_t> lock_contended{0};
+  };
+
+  /// lock_guard that takes the shard lock via the try_lock fast path
+  /// and maintains the shard's contention counters.
+  class CountedLock {
+   public:
+    explicit CountedLock(const Shard& shard) : mu_(shard.mu) {
+      // Count the acquisition before the contended counter so a
+      // concurrent stats reader can never observe contended >
+      // acquisitions (uncontended() would underflow).
+      shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!mu_.try_lock()) {
+        shard.lock_contended.fetch_add(1, std::memory_order_relaxed);
+        mu_.lock();
+      }
+    }
+    ~CountedLock() { mu_.unlock(); }
+    CountedLock(const CountedLock&) = delete;
+    CountedLock& operator=(const CountedLock&) = delete;
+
+   private:
+    std::mutex& mu_;
   };
 
   size_t ShardIndexOf(Signature signature) const;

@@ -52,22 +52,17 @@ std::unique_ptr<QueryCache> MakeCache(const PolicyConfig& config,
       return std::make_unique<LcsCache>(capacity_bytes);
     case PolicyKind::kGds:
       return std::make_unique<GdsCache>(capacity_bytes);
-    case PolicyKind::kLncR: {
-      LncOptions opts;
-      opts.capacity_bytes = capacity_bytes;
-      opts.k = config.k;
-      opts.admission = false;
-      opts.retain_reference_info = config.retain_reference_info;
-      opts.aging_period = config.aging_period;
-      return std::make_unique<LncCache>(opts);
-    }
+    case PolicyKind::kLncR:
     case PolicyKind::kLncRA: {
       LncOptions opts;
       opts.capacity_bytes = capacity_bytes;
       opts.k = config.k;
-      opts.admission = true;
+      opts.admission = config.kind == PolicyKind::kLncRA;
       opts.retain_reference_info = config.retain_reference_info;
       opts.aging_period = config.aging_period;
+      opts.eager_profits = config.lnc_eager_profits;
+      opts.profit_quant_steps = config.lnc_profit_quant_steps;
+      opts.lazy_refresh_per_miss = config.lnc_lazy_refresh_per_miss;
       return std::make_unique<LncCache>(opts);
     }
     case PolicyKind::kInfinite:

@@ -150,6 +150,12 @@ class Watchman {
   /// before serving concurrently.
   void SetAdmissionListener(AdmissionListener listener);
 
+  /// Shrink-to-fit pass over the cache's metadata (signature tables,
+  /// entry arenas, retained-info stores): long-lived daemons whose
+  /// working set shrank stop pinning peak-size index structures. Takes
+  /// each shard's lock in turn; call at quiescent moments.
+  void CompactMetadata() { cache_->Compact(); }
+
   CacheStats stats() const { return cache_->stats(); }
   uint64_t used_bytes() const { return cache_->used_bytes(); }
   uint64_t capacity_bytes() const { return cache_->capacity_bytes(); }

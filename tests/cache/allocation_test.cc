@@ -129,5 +129,71 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocationFreeHitTest,
                                            PolicyKind::kGds, PolicyKind::kLncR,
                                            PolicyKind::kLncRA));
 
+// The LNC admission path must not allocate per candidate: candidate
+// selection reuses a scratch vector and the admission comparison reads
+// running aggregates folded in during the selection walk, so a miss
+// whose candidate list covers hundreds of cached sets costs the same
+// small constant number of allocations (the reconstructed reference
+// history ring plus the retained-info record) as one with two
+// candidates.
+TEST(AllocationBoundedMissTest, AdmissionPathAllocationsIndependentOfCandidates) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  config.k = 4;
+
+  auto measure = [&](uint64_t resident_count,
+                     uint64_t junk_bytes) -> double {
+    // Residents: small, hot, expensive sets filling the cache.
+    const uint64_t capacity = resident_count * 64;
+    auto cache = MakeCache(config, capacity);
+    Timestamp now = 0;
+    std::vector<QueryDescriptor> residents;
+    for (uint64_t i = 0; i < resident_count; ++i) {
+      residents.push_back(QueryDescriptor::Make(
+          "hot\x1f" + std::to_string(i), 64, 1000000));
+    }
+    for (int pass = 0; pass < 5; ++pass) {
+      for (const auto& d : residents) cache->Reference(d, now += 1000);
+    }
+    // Warmup junk so scratch vectors, retained-store buckets and arena
+    // reach steady state before counting.
+    constexpr int kMisses = 200;
+    for (int i = 0; i < kMisses; ++i) {
+      cache->Reference(QueryDescriptor::Make(
+                           "warm\x1f" + std::to_string(i), junk_bytes, 1),
+                       now += 1000);
+    }
+    CountingScope scope;
+    for (int i = 0; i < kMisses; ++i) {
+      // Junk spans a candidate list of ~junk_bytes/64 residents and is
+      // always rejected by admission (e-profit 1/junk_bytes is tiny).
+      if (cache->Reference(QueryDescriptor::Make(
+                               "junk\x1f" + std::to_string(i), junk_bytes, 1),
+                           now += 1000)) {
+        t_counting = false;
+        ADD_FAILURE() << "junk unexpectedly hit";
+      }
+    }
+    const uint64_t allocations = scope.count();
+    t_counting = false;
+    EXPECT_EQ(cache->stats().admission_rejections,
+              static_cast<uint64_t>(2 * kMisses));
+    return static_cast<double>(allocations) / kMisses;
+  };
+
+  // ~8 candidates per miss vs ~256 candidates per miss: the per-miss
+  // allocation count must stay a small constant, not scale with the
+  // candidate list (the pre-change implementation grew a fresh victims
+  // vector per miss and re-walked it for the profit sums).
+  const double small_list = measure(/*resident_count=*/512, /*junk_bytes=*/512);
+  const double large_list =
+      measure(/*resident_count=*/512, /*junk_bytes=*/16384);
+  EXPECT_LE(small_list, 8.0);
+  EXPECT_LE(large_list, 8.0);
+  EXPECT_NEAR(small_list, large_list, 2.0)
+      << "per-miss allocations scale with candidate count: " << small_list
+      << " vs " << large_list;
+}
+
 }  // namespace
 }  // namespace watchman

@@ -1,0 +1,214 @@
+// Tests of the quiescent metadata shrink pass: SlabArena::Compact()
+// releases fully-free slabs, SignatureTable::Compact() rehashes down to
+// the live entry count, and QueryCache::Compact() wires both together
+// (plus the policy's OnCompact hook) so long-lived daemons whose
+// working set shrank stop pinning peak-size metadata.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/entry_arena.h"
+#include "cache/lnc_cache.h"
+#include "cache/open_table.h"
+#include "cache/query_descriptor.h"
+#include "sim/policy_config.h"
+#include "util/random.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+QueryDescriptor Desc(const std::string& id, uint64_t bytes, uint64_t cost) {
+  return QueryDescriptor::Make(id, bytes, cost);
+}
+
+// ----------------------------------------------------------- SlabArena
+
+struct Payload {
+  uint64_t value = 0;
+  char pad[48];
+};
+
+TEST(SlabArenaCompactTest, LoadThenReleaseReturnsSlabs) {
+  SlabArena<Payload> arena;
+  std::vector<Payload*> objs;
+  constexpr size_t kCount = 1000;
+  for (size_t i = 0; i < kCount; ++i) {
+    objs.push_back(arena.New());
+    objs.back()->value = i;
+  }
+  const size_t peak_slabs = arena.slab_count();
+  EXPECT_GE(peak_slabs, kCount / SlabArena<Payload>::kSlabNodes);
+
+  // Release everything except a few survivors scattered across slabs.
+  std::vector<Payload*> survivors;
+  for (size_t i = 0; i < kCount; ++i) {
+    if (i % 300 == 0) {
+      survivors.push_back(objs[i]);
+    } else {
+      arena.Release(objs[i]);
+    }
+  }
+  const size_t released = arena.Compact();
+  EXPECT_GT(released, 0u);
+  EXPECT_LT(arena.slab_count(), peak_slabs);
+  EXPECT_EQ(arena.live(), survivors.size());
+  // Survivors never move: their contents are intact.
+  for (Payload* p : survivors) {
+    EXPECT_EQ(p->value % 300, 0u);
+  }
+  // The arena keeps working after compaction: allocate again (recycled
+  // slots first, then fresh slabs) and release everything cleanly.
+  std::vector<Payload*> fresh;
+  for (size_t i = 0; i < 200; ++i) fresh.push_back(arena.New());
+  EXPECT_EQ(arena.live(), survivors.size() + fresh.size());
+  for (Payload* p : fresh) arena.Release(p);
+  for (Payload* p : survivors) arena.Release(p);
+  EXPECT_EQ(arena.live(), 0u);
+  // Fully empty arena compacts to nothing.
+  EXPECT_GT(arena.Compact(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);
+}
+
+TEST(SlabArenaCompactTest, CompactWithNoFreeSlabsIsNoop) {
+  SlabArena<Payload> arena;
+  std::vector<Payload*> objs;
+  for (size_t i = 0; i < SlabArena<Payload>::kSlabNodes * 2; ++i) {
+    objs.push_back(arena.New());
+  }
+  EXPECT_EQ(arena.Compact(), 0u);  // every slot live
+  for (Payload* p : objs) arena.Release(p);
+  for (size_t i = 0; i < objs.size(); ++i) objs[i] = arena.New();
+  EXPECT_EQ(arena.Compact(), 0u);  // recycled: still every slot live
+  for (Payload* p : objs) arena.Release(p);
+}
+
+// ------------------------------------------------------ SignatureTable
+
+struct TableNode {
+  uint64_t sig = 0;
+};
+
+TEST(SignatureTableCompactTest, ShrinksAfterErase) {
+  SignatureTable<TableNode> table;
+  std::vector<TableNode> nodes(4000);
+  Rng rng(9);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].sig = rng.Next();
+    table.Insert(nodes[i].sig, &nodes[i]);
+  }
+  const size_t peak_capacity = table.capacity();
+  for (size_t i = 100; i < nodes.size(); ++i) {
+    ASSERT_TRUE(table.Erase(nodes[i].sig, &nodes[i]));
+  }
+  EXPECT_TRUE(table.Compact());
+  EXPECT_LT(table.capacity(), peak_capacity);
+  EXPECT_TRUE(table.CheckStructure().ok());
+  // The survivors are still findable after the rehash.
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Find(nodes[i].sig,
+                         [&](const TableNode* n) { return n == &nodes[i]; }),
+              &nodes[i]);
+  }
+  // Emptying the table releases the slot array entirely.
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.Erase(nodes[i].sig, &nodes[i]));
+  }
+  EXPECT_TRUE(table.Compact());
+  EXPECT_EQ(table.capacity(), 0u);
+  // And it grows back on demand.
+  table.Insert(nodes[0].sig, &nodes[0]);
+  EXPECT_EQ(table.Find(nodes[0].sig,
+                       [&](const TableNode* n) { return n == &nodes[0]; }),
+            &nodes[0]);
+}
+
+// ------------------------------------------------- QueryCache::Compact
+
+TEST(CacheCompactTest, LoadThenEraseReleasesSlabsAndSlots) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  config.k = 4;
+  auto cache = MakeCache(config, 64ull << 20);
+  std::vector<std::string> ids;
+  Timestamp now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back("q" + std::to_string(i));
+    cache->Reference(Desc(ids.back(), 256, 1000), now += 1000);
+  }
+  ASSERT_EQ(cache->entry_count(), 5000u);
+  const size_t peak_slabs = cache->arena_slab_count();
+  const size_t peak_slots = cache->index_capacity();
+
+  // Shrink the working set to 1% (coherence-style invalidation).
+  for (int i = 50; i < 5000; ++i) cache->Erase(ids[static_cast<size_t>(i)]);
+  ASSERT_EQ(cache->entry_count(), 50u);
+  // Metadata still pinned at peak before the explicit pass.
+  EXPECT_EQ(cache->arena_slab_count(), peak_slabs);
+  EXPECT_EQ(cache->index_capacity(), peak_slots);
+
+  cache->Compact();
+  EXPECT_LT(cache->arena_slab_count(), peak_slabs);
+  EXPECT_LT(cache->index_capacity(), peak_slots);
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+
+  // The survivors still hit, and the cache keeps serving after the
+  // shrink (re-grows on demand).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(cache->Reference(Desc(ids[static_cast<size_t>(i)], 256, 1000),
+                                 now += 1000));
+  }
+  for (int i = 5000; i < 5200; ++i) {
+    cache->Reference(Desc("q" + std::to_string(i), 256, 1000), now += 1000);
+  }
+  EXPECT_TRUE(cache->CheckInvariants().ok());
+}
+
+TEST(CacheCompactTest, ShardedAndFacadeCompactAreSafe) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  auto sharded = MakeShardedCache(config, 64ull << 20, 8);
+  Timestamp now = 0;
+  std::vector<std::string> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back("q" + std::to_string(i));
+    sharded->Reference(Desc(ids.back(), 128, 100), now += 1000);
+  }
+  size_t peak_slabs = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    peak_slabs += sharded->shard(s).arena_slab_count();
+  }
+  for (int i = 20; i < 2000; ++i) sharded->Erase(ids[static_cast<size_t>(i)]);
+  sharded->Compact();
+  size_t after_slabs = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    after_slabs += sharded->shard(s).arena_slab_count();
+  }
+  EXPECT_LT(after_slabs, peak_slabs);
+  EXPECT_TRUE(sharded->CheckInvariants().ok());
+
+  // Facade pass-through: compaction under the shard locks, usable while
+  // serving.
+  Watchman::Options options;
+  options.capacity_bytes = 1 << 20;
+  options.num_shards = 4;
+  Watchman watchman(std::move(options),
+                    [](const std::string&)
+                        -> StatusOr<Watchman::ExecutionResult> {
+                      return Watchman::ExecutionResult{"payload", 10, {}};
+                    });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(watchman.Execute("select " + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 190; ++i) {
+    watchman.Invalidate("select " + std::to_string(i));
+  }
+  watchman.CompactMetadata();
+  EXPECT_TRUE(watchman.Execute("select 5").ok());  // re-executes and caches
+  EXPECT_EQ(watchman.cache().CheckInvariants().ok(), true);
+}
+
+}  // namespace
+}  // namespace watchman

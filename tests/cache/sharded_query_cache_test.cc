@@ -187,5 +187,62 @@ TEST(ShardedQueryCacheStressTest, ConcurrentReferenceEraseContains) {
             cache->used_bytes());
 }
 
+TEST(ShardedLockStatsTest, SingleThreadedOpsAreCountedAndUncontended) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLru;
+  auto cache = MakeShardedCache(config, 1 << 20, 8);
+  Timestamp now = 0;
+  uint64_t ops = 0;
+  for (int i = 0; i < 500; ++i) {
+    cache->Reference(Desc("q" + std::to_string(i % 64), 100, 10), ++now);
+    ++ops;
+  }
+  for (int i = 0; i < 64; ++i) {
+    cache->Contains("q" + std::to_string(i));
+    ++ops;
+  }
+  cache->Erase("q1");
+  ++ops;
+  const auto total = cache->total_lock_stats();
+  // Every routed operation takes exactly one shard-lock acquisition;
+  // a single thread can never contend.
+  EXPECT_EQ(total.acquisitions, ops);
+  EXPECT_EQ(total.contended, 0u);
+  EXPECT_EQ(total.uncontended(), ops);
+  EXPECT_DOUBLE_EQ(total.contention_ratio(), 0.0);
+  // Per-shard counters sum to the total and only touched shards count.
+  uint64_t sum = 0;
+  for (size_t s = 0; s < cache->num_shards(); ++s) {
+    sum += cache->lock_stats(s).acquisitions;
+  }
+  EXPECT_EQ(sum, ops);
+}
+
+TEST(ShardedLockStatsTest, ConcurrentCountersStayConsistent) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kLncRA;
+  auto cache = MakeShardedCache(config, 1 << 20, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::atomic<Timestamp> clock{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + t);
+      for (int i = 0; i < kOps; ++i) {
+        const std::string id = "q" + std::to_string(rng.NextBounded(256));
+        cache->Reference(Desc(id, 64 + (Fnv1a64(id) % 256), 10),
+                         clock.fetch_add(1) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto total = cache->total_lock_stats();
+  EXPECT_EQ(total.acquisitions,
+            static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_LE(total.contended, total.acquisitions);
+  EXPECT_EQ(total.uncontended() + total.contended, total.acquisitions);
+}
+
 }  // namespace
 }  // namespace watchman

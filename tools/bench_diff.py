@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_micro.json artifacts and gate on ops/s regressions.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [options]
+  bench_diff.py --self-test
+
+Compares the "results" arrays of two files written by bench/harness.h's
+JsonReport (any watchman-bench-micro/v1 file works; the "baseline"
+section embedded inside the files is ignored -- pass the older file
+explicitly). Prints a per-scenario delta table and exits non-zero when
+any scenario common to both files regressed by more than
+--max-regression (default 10%) in ops/s, closing the loop on the
+per-commit BENCH_micro.json artifacts CI uploads.
+
+Options:
+  --max-regression=F   allowed fractional ops/s drop per scenario
+                       (default 0.10 = 10%)
+  --require-all        also fail when a baseline scenario is missing
+                       from the current report (renamed/dropped bench)
+  --self-test          run the built-in unit tests (used by ctest)
+
+Exit codes: 0 ok, 1 regression (or missing scenario with
+--require-all), 2 usage or I/O error.
+"""
+
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {scenario: ops_per_sec} from a BENCH_micro.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("watchman-bench-micro/"):
+        raise ValueError(f"{path}: unrecognized schema {schema!r}")
+    out = {}
+    for row in doc.get("results", []):
+        scenario = row.get("scenario")
+        ops = row.get("ops_per_sec", 0.0)
+        if scenario:
+            out[scenario] = float(ops)
+    if not out:
+        raise ValueError(f"{path}: no results")
+    return out
+
+
+def diff(baseline, current, max_regression):
+    """Returns (lines, regressions, missing) comparing scenario maps."""
+    lines = []
+    regressions = []
+    missing = []
+    width = max((len(s) for s in baseline), default=8)
+    for scenario in baseline:
+        base_ops = baseline[scenario]
+        if scenario not in current:
+            missing.append(scenario)
+            lines.append(f"  {scenario:<{width}}  {base_ops:14.0f}"
+                         f"  {'(missing)':>14}")
+            continue
+        cur_ops = current[scenario]
+        ratio = cur_ops / base_ops if base_ops > 0 else float("inf")
+        delta_pct = (ratio - 1.0) * 100.0
+        flag = ""
+        if base_ops > 0 and cur_ops < base_ops * (1.0 - max_regression):
+            regressions.append(scenario)
+            flag = "  REGRESSION"
+        lines.append(f"  {scenario:<{width}}  {base_ops:14.0f}"
+                     f"  {cur_ops:14.0f}  {delta_pct:+8.1f}%{flag}")
+    for scenario in current:
+        if scenario not in baseline:
+            lines.append(f"  {scenario:<{width}}  {'(new)':>14}"
+                         f"  {current[scenario]:14.0f}")
+    return lines, regressions, missing
+
+
+def run(argv):
+    max_regression = 0.10
+    require_all = False
+    paths = []
+    for arg in argv:
+        if arg.startswith("--max-regression="):
+            try:
+                max_regression = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"bench_diff: bad --max-regression: {arg}",
+                      file=sys.stderr)
+                return 2
+            if not 0.0 <= max_regression < 1.0:
+                print("bench_diff: --max-regression must be in [0, 1)",
+                      file=sys.stderr)
+                return 2
+        elif arg == "--require-all":
+            require_all = True
+        elif arg == "--self-test":
+            return self_test()
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        baseline = load_results(paths[0])
+        current = load_results(paths[1])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    lines, regressions, missing = diff(baseline, current, max_regression)
+    width = max((len(s) for s in baseline), default=8)
+    print(f"  {'scenario':<{width}}  {'baseline ops/s':>14}"
+          f"  {'current ops/s':>14}     delta")
+    for line in lines:
+        print(line)
+    ok = True
+    if regressions:
+        print(f"bench_diff: {len(regressions)} scenario(s) regressed "
+              f">{max_regression * 100:.0f}% in ops/s: "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        ok = False
+    if missing:
+        msg = (f"bench_diff: {len(missing)} baseline scenario(s) missing "
+               f"from current report: {', '.join(missing)}")
+        if require_all:
+            print(msg, file=sys.stderr)
+            ok = False
+        else:
+            print(msg + " (ignored; pass --require-all to fail)")
+    return 0 if ok else 1
+
+
+def self_test():
+    """Unit tests over synthetic reports; no files needed beyond tmp."""
+    import os
+    import tempfile
+
+    def report(results):
+        return {
+            "schema": "watchman-bench-micro/v1",
+            "bench": "micro_cache_ops",
+            "results": [
+                {"scenario": s, "threads": 1, "iterations": 1000,
+                 "ops_per_sec": ops, "ns_per_op_mean": 1.0,
+                 "ns_per_op_p50": 1.0, "ns_per_op_p99": 1.0}
+                for s, ops in results
+            ],
+        }
+
+    cases = [
+        # (baseline, current, args, expected exit code)
+        ([("a", 100.0), ("b", 50.0)], [("a", 95.0), ("b", 50.0)], [], 0),
+        ([("a", 100.0)], [("a", 89.0)], [], 1),          # -11% > 10%
+        ([("a", 100.0)], [("a", 89.0)],
+         ["--max-regression=0.2"], 0),                   # within 20%
+        ([("a", 100.0), ("b", 50.0)], [("a", 100.0)], [], 0),  # missing ok
+        ([("a", 100.0), ("b", 50.0)], [("a", 100.0)],
+         ["--require-all"], 1),                          # missing fails
+        ([("a", 100.0)], [("a", 100.0), ("new", 5.0)], [], 0),  # new ok
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (base, cur, args, expected) in enumerate(cases):
+            bp = os.path.join(tmp, f"base{i}.json")
+            cp = os.path.join(tmp, f"cur{i}.json")
+            with open(bp, "w", encoding="utf-8") as f:
+                json.dump(report(base), f)
+            with open(cp, "w", encoding="utf-8") as f:
+                json.dump(report(cur), f)
+            got = run([bp, cp] + args)
+            if got != expected:
+                print(f"self-test case {i}: expected exit {expected}, "
+                      f"got {got}", file=sys.stderr)
+                failures += 1
+        # Unreadable / malformed input is a usage error, not a crash.
+        if run([os.path.join(tmp, "nope.json"),
+                os.path.join(tmp, "nope.json")]) != 2:
+            print("self-test: missing file should exit 2", file=sys.stderr)
+            failures += 1
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write("{\"schema\": \"something-else\", \"results\": []}")
+        if run([bad, bad]) != 2:
+            print("self-test: bad schema should exit 2", file=sys.stderr)
+            failures += 1
+    print("bench_diff self-test: "
+          + ("PASS" if failures == 0 else f"{failures} FAILURES"))
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

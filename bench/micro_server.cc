@@ -1,14 +1,26 @@
 // Localhost throughput bench for the watchmand server stack.
 //
-// Starts a Watchman + WatchmanServer in-process on a loopback ephemeral
-// port, pre-fills a working set over the wire, then hammers it from 1,
-// 2, 4 and 8 client threads (one blocking connection each) with a
-// hit-heavy GET mix, plus a PING round for the pure framing/transport
-// floor. Reports requests/sec and mean round-trip latency; the daemon's
-// own per-op latency counters are printed at the end so the
-// cache-vs-transport split is visible.
+// Starts a Watchman + WatchmanServer (epoll event loop) in-process on a
+// loopback ephemeral port, pre-fills a working set over the wire, then
+// measures three recorded scenarios on ONE connection:
 //
-// Usage: bench_micro_server [max_threads] [ms_per_point] [num_shards]
+//   loopback_get_blocking   -- WatchmanClient: one blocked round trip
+//                              per request (the pre-v3 floor)
+//   loopback_get_pipelined  -- MultiplexedClient: a 32-deep window of
+//                              in-flight GETs on one connection; the
+//                              writer batches frames, the reader
+//                              demultiplexes by request id
+//   loopback_get_mux8t      -- 8 threads sharing ONE MultiplexedClient
+//                              connection, each doing blocking Gets
+//
+// plus an unrecorded thread sweep (1..max_threads blocking clients, a
+// connection each) and a PING round for the transport floor. The
+// recorded scenarios land in BENCH_micro.json format via --json; the
+// acceptance bar is pipelined >= 3x blocking on the same connection.
+//
+// Usage: bench_micro_server [--json=PATH] [--baseline=PATH]
+//          [--baseline-label=STR] [--scale=F] [--threads=N] [--ms=N]
+//          [--no-sweep]
 
 #include <atomic>
 #include <barrier>
@@ -16,7 +28,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,14 +46,36 @@
 namespace watchman {
 namespace {
 
+using bench::BenchResult;
+using bench::DoNotOptimize;
+using bench::JsonReport;
+using bench::MakeResult;
+using bench::Measure;
+
+constexpr size_t kWorkingSet = 2048;
+
 std::string QueryText(size_t i) {
   return "select agg from rel where param = " + std::to_string(i);
 }
 
-/// One measurement: `num_threads` clients issuing `op` round trips for
-/// ~`ms` wall milliseconds. Returns total requests/sec.
-double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
-                bool ping_only) {
+/// Cheap index stream so the measured loop is the round trip.
+struct FastRng {
+  uint64_t state;
+  explicit FastRng(uint64_t seed) : state(seed | 1) {}
+  uint64_t Next() {
+    uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+/// One unrecorded sweep point: `num_threads` blocking clients (one
+/// connection each) for ~`ms` wall milliseconds; returns requests/sec.
+double RunSweepPoint(uint16_t port, int num_threads, int ms,
+                     bool ping_only) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_ops{0};
   std::atomic<uint64_t> failures{0};
@@ -55,14 +92,12 @@ double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
         start.arrive_and_wait();
         return;
       }
-      Rng rng(0xBEEF + t);
-      // Warmup round trips before the barrier (connection + server
-      // worker steady state).
-      for (int i = 0; i < 100; ++i) {
+      FastRng rng(0xBEEF + t);
+      for (int i = 0; i < 100; ++i) {  // warmup round trips
         if (ping_only) {
           (*client)->Ping();
         } else {
-          (*client)->Get(QueryText(rng.NextBounded(working_set)));
+          (*client)->Get(QueryText(rng.Next() & (kWorkingSet - 1)));
         }
       }
       start.arrive_and_wait();
@@ -72,9 +107,9 @@ double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
         if (ping_only) {
           ok = (*client)->Ping().ok();
         } else {
-          ok = (*client)->Get(QueryText(rng.NextBounded(working_set))).ok();
+          ok = (*client)->Get(QueryText(rng.Next() & (kWorkingSet - 1))).ok();
         }
-        bench::DoNotOptimize(ok);
+        DoNotOptimize(ok);
         if (!ok) {
           failures.fetch_add(1);
           break;
@@ -99,12 +134,176 @@ double RunPoint(uint16_t port, int num_threads, int ms, size_t working_set,
   return static_cast<double>(total_ops.load()) / seconds;
 }
 
+/// One blocked round trip per request on one connection.
+BenchResult RunBlockingGet(uint16_t port, uint64_t iters) {
+  WatchmanClient::Options options;
+  options.port = port;
+  auto client = WatchmanClient::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "  loopback_get_blocking: cannot connect\n");
+    return BenchResult{};
+  }
+  FastRng rng(0xD00D);
+  return Measure("loopback_get_blocking", /*warmup=*/iters / 20, iters,
+                 /*batch=*/64, [&](uint64_t) {
+                   DoNotOptimize((*client)
+                                     ->Get(QueryText(rng.Next() &
+                                                     (kWorkingSet - 1)))
+                                     .ok());
+                 });
+}
+
+/// Bursts of `window` pipelined GETs on one connection: each measured
+/// op starts one buffered request; every `window`-th op awaits the
+/// whole burst. The writer path coalesces the burst into one send and
+/// the daemon's responses come back batched, so the per-request
+/// syscall/wakeup cost is ~1/window of the blocking client's.
+BenchResult RunPipelinedGet(uint16_t port, uint64_t iters, size_t window) {
+  auto client = MultiplexedClient::Connect({.port = port});
+  if (!client.ok()) {
+    std::fprintf(stderr, "  loopback_get_pipelined: cannot connect\n");
+    return BenchResult{};
+  }
+  FastRng rng(0xF00D);
+  std::deque<MultiplexedClient::Ticket> inflight;
+  std::atomic<uint64_t> failures{0};
+  auto drain = [&] {
+    while (!inflight.empty()) {
+      if (!(*client)->Await(inflight.front()).ok()) failures.fetch_add(1);
+      inflight.pop_front();
+    }
+  };
+  BenchResult r = Measure(
+      "loopback_get_pipelined", /*warmup=*/iters / 20, iters, /*batch=*/256,
+      [&](uint64_t) {
+        auto ticket =
+            (*client)->StartGet(QueryText(rng.Next() & (kWorkingSet - 1)));
+        if (ticket.ok()) inflight.push_back(*ticket);
+        if (inflight.size() >= window) drain();
+      });
+  drain();  // tail (unmeasured)
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "  (%llu await failures)\n",
+                 static_cast<unsigned long long>(failures.load()));
+  }
+  return r;
+}
+
+/// `threads` application threads sharing ONE multiplexed connection,
+/// each issuing blocking Gets (start+await); their frames coalesce on
+/// the shared writer and demultiplex by id on the shared reader.
+BenchResult RunMuxThreads(uint16_t port, int threads,
+                          uint64_t iters_per_thread) {
+  auto client = MultiplexedClient::Connect({.port = port});
+  if (!client.ok()) {
+    std::fprintf(stderr, "  loopback_get_mux: cannot connect\n");
+    return BenchResult{};
+  }
+  constexpr uint64_t kBatch = 64;
+  std::mutex samples_mu;
+  std::vector<double> samples;
+  std::atomic<uint64_t> failures{0};
+  std::barrier start(threads + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      FastRng rng(0xACE + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < iters_per_thread / 20; ++i) {  // warmup
+        (*client)->Get(QueryText(rng.Next() & (kWorkingSet - 1)));
+      }
+      start.arrive_and_wait();
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(iters_per_thread / kBatch) + 1);
+      uint64_t done = 0;
+      while (done < iters_per_thread) {
+        const uint64_t n = std::min(kBatch, iters_per_thread - done);
+        const auto begin = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!(*client)
+                   ->Get(QueryText(rng.Next() & (kWorkingSet - 1)))
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+        }
+        bench::ClobberMemory();
+        const double seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - begin)
+                                   .count();
+        // Normalized by the thread count so the percentile columns use
+        // the same aggregate wall-clock-per-op units as the mean (a
+        // per-thread Get latency includes the other threads' turns on
+        // the shared connection).
+        local.push_back(seconds * 1e9 /
+                        static_cast<double>(n * static_cast<uint64_t>(
+                                                    threads)));
+        done += n;
+      }
+      std::lock_guard<std::mutex> lock(samples_mu);
+      samples.insert(samples.end(), local.begin(), local.end());
+    });
+  }
+  start.arrive_and_wait();
+  const auto begin = std::chrono::steady_clock::now();
+  for (auto& t : pool) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "  (%llu get failures)\n",
+                 static_cast<unsigned long long>(failures.load()));
+  }
+  BenchResult r = MakeResult(
+      "loopback_get_mux" + std::to_string(threads) + "t", threads,
+      iters_per_thread * static_cast<uint64_t>(threads), seconds,
+      std::move(samples));
+  bench::PrintResult(r);
+  return r;
+}
+
 int Run(int argc, char** argv) {
-  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int ms_per_point = argc > 2 ? std::atoi(argv[2]) : 400;
-  const size_t num_shards =
-      argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 8;
-  constexpr size_t kWorkingSet = 2048;
+  std::string json_path;
+  std::string baseline_path;
+  std::string baseline_label = "baseline";
+  double scale = 1.0;
+  int max_threads = 8;
+  int ms_per_point = 400;
+  bool sweep = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--baseline-label=", 0) == 0) {
+      baseline_label = arg.substr(17);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::strtod(arg.c_str() + 8, nullptr);
+      if (scale <= 0.0) scale = 1.0;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      max_threads = std::atoi(arg.c_str() + 10);
+      if (max_threads < 1) max_threads = 1;
+    } else if (arg.rfind("--ms=", 0) == 0) {
+      ms_per_point = std::atoi(arg.c_str() + 5);
+      if (ms_per_point < 10) ms_per_point = 10;
+    } else if (arg == "--no-sweep") {
+      sweep = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--baseline=PATH] "
+                   "[--baseline-label=STR] [--scale=F] [--threads=N] "
+                   "[--ms=N] [--no-sweep]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Round-trip scenarios are noisy at small iteration counts (one
+  // connection, cold branch predictors), so the floor is generous.
+  auto scaled = [scale](double n) {
+    return static_cast<uint64_t>(n * scale) < 4000
+               ? uint64_t{4000}
+               : static_cast<uint64_t>(n * scale);
+  };
 
   PolicyConfig policy;
   policy.kind = PolicyKind::kLncRA;
@@ -112,7 +311,7 @@ int Run(int argc, char** argv) {
   Watchman::Options options;
   options.capacity_bytes = 256ull << 20;  // holds the whole working set
   options.policy = policy;
-  options.num_shards = num_shards;
+  options.num_shards = 8;
   Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
 
   WatchmanServer::Options server_options;
@@ -151,24 +350,45 @@ int Run(int argc, char** argv) {
 
   std::printf("==============================================\n");
   std::printf("watchmand loopback throughput (port %u, %zu shards, "
-              "%zu cached sets, hardware threads: %u)\n",
+              "%zu cached sets, hardware threads: %u, scale %.3f)\n",
               static_cast<unsigned>(server.port()), cache.num_shards(),
-              cache.cached_set_count(), std::thread::hardware_concurrency());
+              cache.cached_set_count(), std::thread::hardware_concurrency(),
+              scale);
   std::printf("==============================================\n");
-  for (const bool ping_only : {true, false}) {
-    std::printf("\n%s\n", ping_only
-                              ? "PING (transport + framing floor)"
-                              : "GET  (hit-heavy retrieved-set lookups)");
-    std::printf("  %-8s %14s %12s %10s\n", "threads", "requests/s",
-                "us/request", "scaling");
-    double base = 0.0;
-    for (int threads = 1; threads <= max_threads; threads *= 2) {
-      const double rps =
-          RunPoint(server.port(), threads, ms_per_point, kWorkingSet,
-                   ping_only);
-      if (base == 0.0) base = rps;
-      std::printf("  %-8d %14.0f %12.2f %9.2fx\n", threads, rps,
-                  threads * 1e6 / rps, rps / base);
+
+  JsonReport report("micro_server");
+  BenchResult blocking = RunBlockingGet(server.port(), scaled(3e4));
+  if (!blocking.scenario.empty()) report.Add(blocking);
+  BenchResult pipelined =
+      RunPipelinedGet(server.port(), scaled(2e5), /*window=*/32);
+  if (!pipelined.scenario.empty()) report.Add(pipelined);
+  BenchResult mux =
+      RunMuxThreads(server.port(), /*threads=*/8, scaled(2e4));
+  if (!mux.scenario.empty()) report.Add(mux);
+  if (blocking.ops_per_sec > 0 && pipelined.ops_per_sec > 0) {
+    std::printf("\npipelined vs blocking (one connection): %.2fx\n",
+                pipelined.ops_per_sec / blocking.ops_per_sec);
+  }
+  if (blocking.ops_per_sec > 0 && mux.ops_per_sec > 0) {
+    std::printf("8-thread mux vs blocking (one connection): %.2fx\n",
+                mux.ops_per_sec / blocking.ops_per_sec);
+  }
+
+  if (sweep) {
+    for (const bool ping_only : {true, false}) {
+      std::printf("\n%s (blocking client per thread)\n",
+                  ping_only ? "PING (transport + framing floor)"
+                            : "GET  (hit-heavy retrieved-set lookups)");
+      std::printf("  %-8s %14s %12s %10s\n", "threads", "requests/s",
+                  "us/request", "scaling");
+      double base = 0.0;
+      for (int threads = 1; threads <= max_threads; threads *= 2) {
+        const double rps =
+            RunSweepPoint(server.port(), threads, ms_per_point, ping_only);
+        if (base == 0.0) base = rps;
+        std::printf("  %-8d %14.0f %12.2f %9.2fx\n", threads, rps,
+                    threads * 1e6 / rps, rps / base);
+      }
     }
   }
 
@@ -182,6 +402,23 @@ int Run(int argc, char** argv) {
   }
   std::printf("cache: HR %.3f over %llu lookups\n", stats.hit_ratio(),
               static_cast<unsigned long long>(stats.lookups));
+
+  if (!baseline_path.empty()) {
+    auto baseline = JsonReport::LoadResults(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "warning: no baseline results in %s\n",
+                   baseline_path.c_str());
+    } else {
+      report.SetBaseline(baseline, baseline_label);
+    }
+  }
+  if (!json_path.empty()) {
+    if (!report.WriteFile(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   server.Stop();
   return 0;
 }

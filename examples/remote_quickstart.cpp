@@ -24,6 +24,7 @@
 #include "server/server.h"
 #include "watchman/watchman.h"
 
+using watchman::MultiplexedClient;
 using watchman::RemoteWatchman;
 using watchman::Status;
 using watchman::StatusOr;
@@ -113,6 +114,29 @@ int main(int argc, char** argv) {
               stats->hit_ratio(), stats->cost_savings_ratio(),
               static_cast<unsigned long long>(stats->entry_count),
               stats->policy_name.c_str());
+
+  // One connection, many requests in flight: the multiplexed client
+  // pipelines a burst of GET probes (StartGet buffers, the first Await
+  // flushes the batch in one write) and the daemon's responses are
+  // routed back to each ticket by request id -- the pattern that lets
+  // many application threads share a single daemon connection.
+  auto mux = MultiplexedClient::Connect(client_options);
+  if (!mux.ok()) return 1;
+  std::printf("\npipelined probes on one multiplexed connection:\n");
+  MultiplexedClient::Ticket tickets[3];
+  const std::string probes[3] = {query, "select 1", query};
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = (*mux)->StartGet(probes[i]);
+    if (!ticket.ok()) return 1;
+    tickets[i] = *ticket;
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto response = (*mux)->Await(tickets[i]);
+    const bool hit = response.ok() &&
+                     response->code == watchman::StatusCode::kOk;
+    std::printf("  probe %d (%.25s...): %s\n", i + 1, probes[i].c_str(),
+                hit ? "hit" : "miss");
+  }
   if (daemon != nullptr) daemon->Stop();
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +15,207 @@
 #include <utility>
 
 namespace watchman {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A time_point far enough out to mean "no deadline".
+constexpr Clock::duration kForever = std::chrono::hours(24 * 365);
+
+Clock::time_point DeadlineIn(int timeout_ms) {
+  return Clock::now() + (timeout_ms > 0 ? std::chrono::milliseconds(timeout_ms)
+                                        : kForever);
+}
+
+/// Waits for `events` on `fd` until `deadline`. OK when ready, IOError
+/// on timeout or poll failure; POLLERR/POLLHUP count as ready (the
+/// following recv/send/getsockopt reports the real error).
+Status PollFd(int fd, short events, Clock::time_point deadline,
+              const char* what) {
+  while (true) {
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= Clock::duration::zero()) {
+      return Status::IOError(std::string("deadline exceeded waiting to ") +
+                             what);
+    }
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count();
+    pollfd pfd{fd, events, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(ms > 60000 ? 60000 : ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready > 0) return Status::OK();
+  }
+}
+
+/// Sends all of `bytes` on the non-blocking `fd`, polling for
+/// writability up to `deadline`. *sent reports how many bytes reached
+/// the wire even on failure -- the redial logic must know whether the
+/// daemon may have seen the request.
+Status SendAllFd(int fd, std::string_view bytes, Clock::time_point deadline,
+                 size_t* sent) {
+  *sent = 0;
+  while (*sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + *sent, bytes.size() - *sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        WATCHMAN_RETURN_IF_ERROR(PollFd(fd, POLLOUT, deadline, "send"));
+        continue;
+      }
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    *sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// One recv on the non-blocking `fd`, polling for readability up to
+/// `deadline`. *n is 0 on orderly EOF.
+Status RecvSomeFd(int fd, char* buf, size_t cap, Clock::time_point deadline,
+                  size_t* n) {
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, cap, 0);
+    if (got >= 0) {
+      *n = static_cast<size_t>(got);
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      WATCHMAN_RETURN_IF_ERROR(PollFd(fd, POLLIN, deadline, "recv"));
+      continue;
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+/// One non-blocking connect attempt with a poll-enforced deadline.
+/// Returns the connected fd (left non-blocking) or an error.
+StatusOr<int> ConnectOnce(const sockaddr_in& addr, int io_timeout_ms) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const auto deadline = DeadlineIn(io_timeout_ms);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const Status status =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  // EINPROGRESS (or instant success): wait for writability, then read
+  // the final verdict off SO_ERROR.
+  Status ready = PollFd(fd, POLLOUT, deadline, "connect");
+  if (ready.ok()) {
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      so_error = errno;
+    }
+    if (so_error != 0) {
+      ready = Status::IOError(std::string("connect: ") +
+                              std::strerror(so_error));
+    }
+  }
+  if (!ready.ok()) {
+    ::close(fd);
+    return ready;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Dials with retry and capped backoff per `options`.
+StatusOr<int> DialFd(const WatchmanClient::Options& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  const int attempts =
+      options.connect_attempts < 1 ? 1 : options.connect_attempts;
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int backoff =
+        DialBackoffMs(options.retry_backoff_ms, options.max_backoff_ms,
+                      attempt);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    StatusOr<int> fd = ConnectOnce(addr, options.io_timeout_ms);
+    if (fd.ok()) return fd;
+    last_error = fd.status().message();
+  }
+  return Status::IOError("cannot reach " + options.host + ":" +
+                         std::to_string(options.port) + " after " +
+                         std::to_string(attempts) + " attempts (" +
+                         last_error + ")");
+}
+
+/// True when resending the op after an ambiguous failure (the daemon
+/// may or may not have processed the first copy) cannot corrupt caller
+/// state: probes and offers are absorbed idempotently, invalidations
+/// are not (a replay reports dropped=0 for a set that WAS dropped).
+bool ReplaySafe(OpCode op) {
+  switch (op) {
+    case OpCode::kPing:
+    case OpCode::kGet:
+    case OpCode::kStats:
+    case OpCode::kExecute:
+      return true;
+    case OpCode::kInvalidate:
+    case OpCode::kInvalidateRelation:
+      return false;
+  }
+  return false;
+}
+
+// Shared response -> typed-result converters (both client flavours).
+
+StatusOr<WatchmanClient::FetchResult> ToFetchResult(WireResponse&& response) {
+  if (response.code != StatusCode::kOk) {
+    return StatusFromWire(response.code, response.message);
+  }
+  return WatchmanClient::FetchResult{std::move(response.payload),
+                                     response.cache_hit};
+}
+
+StatusOr<uint64_t> ToDropped(WireResponse&& response) {
+  if (response.code != StatusCode::kOk) {
+    return StatusFromWire(response.code, response.message);
+  }
+  return response.dropped;
+}
+
+StatusOr<WireStats> ToStats(WireResponse&& response) {
+  if (response.code != StatusCode::kOk) {
+    return StatusFromWire(response.code, response.message);
+  }
+  return std::move(response.stats);
+}
+
+}  // namespace
+
+int DialBackoffMs(int base_ms, int max_ms, int attempt) {
+  if (attempt <= 0 || base_ms <= 0) return 0;
+  if (max_ms < base_ms) max_ms = base_ms;
+  long long backoff = base_ms;
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= 2;
+    if (backoff >= max_ms) return max_ms;
+  }
+  return backoff >= max_ms ? max_ms : static_cast<int>(backoff);
+}
 
 WatchmanClient::WatchmanClient(Options options)
     : options_(std::move(options)) {}
@@ -40,59 +243,14 @@ void WatchmanClient::CloseLocked() {
 
 Status WatchmanClient::Dial() {
   CloseLocked();
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad host address: " + options_.host);
-  }
-  const int attempts = options_.connect_attempts < 1
-                           ? 1
-                           : options_.connect_attempts;
-  int backoff_ms = options_.retry_backoff_ms;
-  std::string last_error = "no attempt made";
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
-    }
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-      last_error = std::string("socket: ") + std::strerror(errno);
-      continue;
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      last_error = std::string("connect: ") + std::strerror(errno);
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    fd_ = fd;
-    return Status::OK();
-  }
-  return Status::IOError("cannot reach " + options_.host + ":" +
-                         std::to_string(options_.port) + " after " +
-                         std::to_string(attempts) + " attempts (" +
-                         last_error + ")");
-}
-
-Status WatchmanClient::SendAll(const std::string& bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
+  StatusOr<int> fd = DialFd(options_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
   return Status::OK();
 }
 
-StatusOr<std::string> WatchmanClient::ReadFrameBody() {
+StatusOr<std::string> WatchmanClient::ReadFrameBody(
+    Clock::time_point deadline) {
   char chunk[64 * 1024];
   while (true) {
     std::string_view body;
@@ -105,32 +263,44 @@ StatusOr<std::string> WatchmanClient::ReadFrameBody() {
       inbuf_.erase(0, frame_size);
       return out;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    size_t n = 0;
+    WATCHMAN_RETURN_IF_ERROR(
+        RecvSomeFd(fd_, chunk, sizeof(chunk), deadline, &n));
     if (n == 0) {
       return Status::IOError("connection closed by the daemon");
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("recv: ") + std::strerror(errno));
-    }
-    inbuf_.append(chunk, static_cast<size_t>(n));
+    inbuf_.append(chunk, n);
   }
 }
 
-StatusOr<WireResponse> WatchmanClient::RoundTrip(const WireRequest& request) {
-  const std::string frame = EncodeRequest(request);
+StatusOr<WireResponse> WatchmanClient::RoundTrip(WireRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  request.request_id = ++next_request_id_;
+  const std::string frame = EncodeRequest(request);
   // One redial: a pooled connection may have died since the last call.
+  // Redial is allowed only when the failure provably preceded any byte
+  // reaching the wire, or the op's replay is harmless (see ReplaySafe).
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (fd_ < 0) {
       WATCHMAN_RETURN_IF_ERROR(Dial());
     }
-    Status sent = SendAll(frame);
-    StatusOr<std::string> body =
-        sent.ok() ? ReadFrameBody() : StatusOr<std::string>(sent);
+    const auto deadline = DeadlineIn(options_.io_timeout_ms);
+    size_t sent = 0;
+    Status sent_status = SendAllFd(fd_, frame, deadline, &sent);
+    StatusOr<std::string> body = sent_status.ok()
+                                     ? ReadFrameBody(deadline)
+                                     : StatusOr<std::string>(sent_status);
     if (!body.ok()) {
       CloseLocked();
-      if (attempt == 0) continue;
+      if (attempt == 0 && (sent == 0 || ReplaySafe(request.op))) continue;
+      if (sent != 0 && !ReplaySafe(request.op)) {
+        return Status::IOError(
+            std::string("connection failed after '") +
+            OpCodeName(request.op) +
+            "' may have reached the daemon; not retried because the op "
+            "is not replay-safe (" +
+            body.status().message() + ")");
+      }
       return body.status();
     }
     StatusOr<WireResponse> response = DecodeResponse(*body);
@@ -139,12 +309,20 @@ StatusOr<WireResponse> WatchmanClient::RoundTrip(const WireRequest& request) {
       CloseLocked();
       return response.status();
     }
-    if (response->op != request.op) {
+    const bool matches = response->op == request.op &&
+                         response->request_id == request.request_id;
+    if (!matches) {
+      // A mismatched frame means the stream state is unknown either
+      // way. But when the daemon is reporting an error it could not
+      // attribute (framing-level failures echo ping/0), surface ITS
+      // status instead of masking it behind an op-mismatch Internal.
       CloseLocked();
+      if (response->code != StatusCode::kOk) return response;
       return Status::Internal(
-          std::string("response op mismatch: sent ") +
-          OpCodeName(request.op) + ", got " + OpCodeName(response->op) +
-          (response->message.empty() ? "" : " (" + response->message + ")"));
+          std::string("response mismatch: sent ") + OpCodeName(request.op) +
+          " id " + std::to_string(request.request_id) + ", got " +
+          OpCodeName(response->op) + " id " +
+          std::to_string(response->request_id));
     }
     return response;
   }
@@ -166,10 +344,7 @@ StatusOr<WatchmanClient::FetchResult> WatchmanClient::Get(
   request.query_text = query_text;
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
-  }
-  return FetchResult{std::move(response->payload), response->cache_hit};
+  return ToFetchResult(std::move(*response));
 }
 
 StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
@@ -179,10 +354,7 @@ StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
   request.query_text = query_text;
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
-  }
-  return FetchResult{std::move(response->payload), response->cache_hit};
+  return ToFetchResult(std::move(*response));
 }
 
 StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
@@ -197,10 +369,7 @@ StatusOr<WatchmanClient::FetchResult> WatchmanClient::Execute(
   request.fill_relations = std::move(fill_relations);
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
-  }
-  return FetchResult{std::move(response->payload), response->cache_hit};
+  return ToFetchResult(std::move(*response));
 }
 
 StatusOr<uint64_t> WatchmanClient::Invalidate(const std::string& query_text) {
@@ -209,10 +378,7 @@ StatusOr<uint64_t> WatchmanClient::Invalidate(const std::string& query_text) {
   request.query_text = query_text;
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
-  }
-  return response->dropped;
+  return ToDropped(std::move(*response));
 }
 
 StatusOr<uint64_t> WatchmanClient::InvalidateRelation(
@@ -222,10 +388,7 @@ StatusOr<uint64_t> WatchmanClient::InvalidateRelation(
   request.relation = relation;
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
-  }
-  return response->dropped;
+  return ToDropped(std::move(*response));
 }
 
 StatusOr<WireStats> WatchmanClient::Stats() {
@@ -233,10 +396,331 @@ StatusOr<WireStats> WatchmanClient::Stats() {
   request.op = OpCode::kStats;
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
-  if (response->code != StatusCode::kOk) {
-    return StatusFromWire(response->code, response->message);
+  return ToStats(std::move(*response));
+}
+
+// --------------------------------------------------- MultiplexedClient
+
+MultiplexedClient::MultiplexedClient(Options options)
+    : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<MultiplexedClient>> MultiplexedClient::Connect(
+    const Options& options) {
+  StatusOr<int> fd = DialFd(options);
+  if (!fd.ok()) return fd.status();
+  std::unique_ptr<MultiplexedClient> client(new MultiplexedClient(options));
+  client->fd_ = *fd;
+  client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
+  return client;
+}
+
+MultiplexedClient::~MultiplexedClient() {
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(fd_, SHUT_RDWR);  // unblocks the reader's poll
+  if (reader_.joinable()) reader_.join();
+  Break(Status::IOError("client destroyed"));
+  ::close(fd_);
+}
+
+void MultiplexedClient::Break(const Status& status) {
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (broken_.ok()) broken_ = status;
+    orphans.swap(pending_);
   }
-  return std::move(response->stats);
+  for (auto& [id, call] : orphans) {
+    std::lock_guard<std::mutex> lock(call->mu);
+    if (call->done) continue;
+    call->error = status;
+    call->done = true;
+    call->cv.notify_all();
+  }
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartRequest(
+    WireRequest& request) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  request.request_id = id;
+  auto call = std::make_shared<PendingCall>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!broken_.ok()) return broken_;
+    pending_.emplace(id, call);
+  }
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    AppendRequest(request, &outbuf_);
+  }
+  return id;
+}
+
+Status MultiplexedClient::Flush() {
+  // flush_mu_ serializes socket writers; send_mu_ is held only for the
+  // batch swap, so StartX() on other threads keeps buffering while this
+  // thread is (possibly slowly) driving the socket.
+  std::lock_guard<std::mutex> io_lock(flush_mu_);
+  {
+    // Sticky-failure fast path: flushes queued behind the send that
+    // broke the transport must not each burn another io_timeout_ms on
+    // the dead socket.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (!broken_.ok()) return broken_;
+  }
+  std::string batch;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    batch.swap(outbuf_);
+  }
+  if (batch.empty()) return Status::OK();
+  const auto deadline = DeadlineIn(options_.io_timeout_ms);
+  size_t sent = 0;
+  const Status status = SendAllFd(fd_, batch, deadline, &sent);
+  if (!status.ok()) {
+    Break(status);
+    return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<WireResponse> MultiplexedClient::Await(Ticket ticket) {
+  WATCHMAN_RETURN_IF_ERROR(Flush());
+  std::shared_ptr<PendingCall> call;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) {
+      if (!broken_.ok()) return broken_;
+      return Status::InvalidArgument("unknown or already-awaited ticket " +
+                                     std::to_string(ticket));
+    }
+    call = it->second;
+  }
+  const auto deadline = DeadlineIn(options_.io_timeout_ms);
+  bool completed;
+  {
+    std::unique_lock<std::mutex> lock(call->mu);
+    completed = call->cv.wait_until(lock, deadline,
+                                    [&call] { return call->done; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(ticket);
+  }
+  if (!completed) {
+    // Re-check: the response may have landed between the timed wait and
+    // the erase above.
+    std::lock_guard<std::mutex> lock(call->mu);
+    if (!call->done) {
+      return Status::IOError("deadline exceeded awaiting response " +
+                             std::to_string(ticket));
+    }
+  }
+  std::lock_guard<std::mutex> lock(call->mu);
+  if (!call->error.ok()) return call->error;
+  return std::move(call->response);
+}
+
+void MultiplexedClient::ReaderLoop() {
+  std::string inbuf;
+  char chunk[64 * 1024];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Drain every complete frame before reading more; the consumed
+    // prefix is erased once per batch (a per-frame erase would memmove
+    // the whole buffer once per response on pipelined bursts).
+    size_t consumed = 0;
+    bool desynchronized = false;
+    Status break_status;
+    while (true) {
+      std::string_view body;
+      size_t frame_size = 0;
+      StatusOr<bool> extracted =
+          ExtractFrame(std::string_view(inbuf).substr(consumed),
+                       options_.max_frame_bytes, &body, &frame_size);
+      if (!extracted.ok()) {
+        desynchronized = true;
+        break_status = extracted.status();
+        break;
+      }
+      if (!*extracted) break;
+      StatusOr<WireResponse> response = DecodeResponse(body);
+      consumed += frame_size;
+      if (!response.ok()) {
+        // Undecodable frame: the stream is desynchronized beyond
+        // repair.
+        desynchronized = true;
+        break_status = response.status();
+        break;
+      }
+      std::shared_ptr<PendingCall> call;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(response->request_id);
+        if (it != pending_.end()) call = it->second;
+      }
+      if (call != nullptr) {
+        std::lock_guard<std::mutex> lock(call->mu);
+        call->response = std::move(*response);
+        call->done = true;
+        call->cv.notify_all();
+      } else if (response->code != StatusCode::kOk &&
+                 response->request_id == 0) {
+        // A framing-level error the daemon could not attribute to one
+        // request (id 0): the connection is going away, fail everyone
+        // with the daemon's own message.
+        desynchronized = true;
+        break_status = StatusFromWire(response->code, response->message);
+        break;
+      }
+      // A stray OK response (e.g. the waiter timed out and left) is
+      // dropped on the floor.
+    }
+    if (desynchronized) {
+      Break(break_status);
+      return;
+    }
+    if (consumed > 0) inbuf.erase(0, consumed);
+    // Need more bytes. Short poll intervals keep shutdown prompt.
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Break(Status::IOError(std::string("poll: ") + std::strerror(errno)));
+      return;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Break(Status::IOError("connection closed by the daemon"));
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Break(Status::IOError(std::string("recv: ") + std::strerror(errno)));
+      return;
+    }
+    inbuf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartPing() {
+  WireRequest request;
+  request.op = OpCode::kPing;
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartGet(
+    const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kGet;
+  request.query_text = query_text;
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartExecute(
+    const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = query_text;
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartExecute(
+    const std::string& query_text, const std::string& fill_payload,
+    uint64_t fill_cost, std::vector<std::string> fill_relations) {
+  WireRequest request;
+  request.op = OpCode::kExecute;
+  request.query_text = query_text;
+  request.has_fill = true;
+  request.fill_payload = fill_payload;
+  request.fill_cost = fill_cost;
+  request.fill_relations = std::move(fill_relations);
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartInvalidate(
+    const std::string& query_text) {
+  WireRequest request;
+  request.op = OpCode::kInvalidate;
+  request.query_text = query_text;
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartInvalidateRelation(
+    const std::string& relation) {
+  WireRequest request;
+  request.op = OpCode::kInvalidateRelation;
+  request.relation = relation;
+  return StartRequest(request);
+}
+
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartStats() {
+  WireRequest request;
+  request.op = OpCode::kStats;
+  return StartRequest(request);
+}
+
+Status MultiplexedClient::Ping() {
+  StatusOr<Ticket> ticket = StartPing();
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->code, response->message);
+}
+
+StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Get(
+    const std::string& query_text) {
+  StatusOr<Ticket> ticket = StartGet(query_text);
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToFetchResult(std::move(*response));
+}
+
+StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Execute(
+    const std::string& query_text) {
+  StatusOr<Ticket> ticket = StartExecute(query_text);
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToFetchResult(std::move(*response));
+}
+
+StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Execute(
+    const std::string& query_text, const std::string& fill_payload,
+    uint64_t fill_cost, std::vector<std::string> fill_relations) {
+  StatusOr<Ticket> ticket = StartExecute(query_text, fill_payload, fill_cost,
+                                         std::move(fill_relations));
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToFetchResult(std::move(*response));
+}
+
+StatusOr<uint64_t> MultiplexedClient::Invalidate(
+    const std::string& query_text) {
+  StatusOr<Ticket> ticket = StartInvalidate(query_text);
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToDropped(std::move(*response));
+}
+
+StatusOr<uint64_t> MultiplexedClient::InvalidateRelation(
+    const std::string& relation) {
+  StatusOr<Ticket> ticket = StartInvalidateRelation(relation);
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToDropped(std::move(*response));
+}
+
+StatusOr<WireStats> MultiplexedClient::Stats() {
+  StatusOr<Ticket> ticket = StartStats();
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return ToStats(std::move(*response));
 }
 
 // ------------------------------------------------------ RemoteWatchman

@@ -1,29 +1,49 @@
-// Blocking client library for watchmand.
+// Client libraries for watchmand.
 //
 // WatchmanClient owns one TCP connection and issues one request per
-// round trip; Connect() retries with exponential backoff, and a round
-// trip that hits a dead connection redials once before failing (the
-// ops are idempotent offers/probes, so a rare replay is safe). Calls
-// are serialized on an internal mutex, so a client may be shared
-// between threads, but one connection pays one round trip at a time --
-// throughput-minded callers (the bench, the integration tests) open a
-// client per thread.
+// round trip; Connect() retries with capped exponential backoff, and
+// every socket wait (connect, send, recv) honors Options::io_timeout_ms
+// via poll, so a stalled or half-dead daemon fails the call within the
+// deadline instead of wedging the caller. A round trip that hits a dead
+// connection redials once ONLY when it is safe: either no byte of the
+// request reached the wire, or the op is a pure probe/offer (PING, GET,
+// STATS, EXECUTE) whose replay the daemon absorbs idempotently.
+// INVALIDATE / INVALIDATE_RELATION are NOT replay-safe -- a resend
+// after a lost response would report dropped=0 for a set the daemon
+// actually dropped -- so those surface IOError and let the caller
+// decide. Calls are serialized on an internal mutex, so a client may be
+// shared between threads, but one connection pays one round trip at a
+// time.
 //
-// RemoteWatchman layers the Watchman query API on top: Execute() first
-// probes the daemon (GET), on a miss runs the local executor and offers
-// the result back (EXECUTE + miss-fill), so application code swaps a
-// local Watchman for a RemoteWatchman without restructuring -- same
-// Execute()/Query() signatures, same executor contract, and the
-// daemon-side cache counts one reference per call exactly like the
-// local facade.
+// MultiplexedClient shares ONE connection between many application
+// threads using the wire protocol's v3 request ids: a buffered writer
+// pipelines encoded frames (flushed on Await()/Flush(), no per-request
+// round trip), and a dedicated reader thread demultiplexes responses to
+// per-request waiters by id, so responses may complete out of order and
+// the pipe stays full. StartX()/Await() expose the pipelining directly;
+// the blocking Ping()/Get()/... wrappers are Start+Await and are safe
+// to call from any number of threads concurrently.
+//
+// RemoteWatchman layers the Watchman query API on top of a
+// WatchmanClient: Execute() first probes the daemon (GET), on a miss
+// runs the local executor and offers the result back (EXECUTE +
+// miss-fill), so application code swaps a local Watchman for a
+// RemoteWatchman without restructuring -- same Execute()/Query()
+// signatures, same executor contract, and the daemon-side cache counts
+// one reference per call exactly like the local facade.
 
 #ifndef WATCHMAN_SERVER_CLIENT_H_
 #define WATCHMAN_SERVER_CLIENT_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/protocol.h"
@@ -31,6 +51,11 @@
 #include "watchman/watchman.h"
 
 namespace watchman {
+
+/// Backoff in milliseconds slept before dial attempt `attempt`
+/// (0-based; attempt 0 never sleeps). Doubles from `base_ms`, capped at
+/// `max_ms`; immune to overflow however many attempts are configured.
+int DialBackoffMs(int base_ms, int max_ms, int attempt);
 
 /// Blocking request/response client for one watchmand connection.
 class WatchmanClient {
@@ -40,8 +65,14 @@ class WatchmanClient {
     uint16_t port = 0;
     /// Dial attempts before Connect()/redial gives up.
     int connect_attempts = 5;
-    /// Backoff before the second attempt; doubles per further attempt.
+    /// Backoff before the second attempt; doubles per further attempt,
+    /// capped at max_backoff_ms.
     int retry_backoff_ms = 20;
+    int max_backoff_ms = 2000;
+    /// Deadline enforced (via poll) on every socket wait -- connect,
+    /// send, recv -- counted from the start of each call. 0 disables
+    /// the deadline (waits forever, pre-v3 behavior).
+    int io_timeout_ms = 30000;
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
   };
 
@@ -93,18 +124,119 @@ class WatchmanClient {
 
   /// (Re)connects fd_, with retry/backoff.
   Status Dial();
-  /// Sends `request` and reads the matching response; redials once if
-  /// the connection turns out dead.
-  StatusOr<WireResponse> RoundTrip(const WireRequest& request);
-  Status SendAll(const std::string& bytes);
-  StatusOr<std::string> ReadFrameBody();
+  /// Stamps a fresh request id, sends `request` and reads the matching
+  /// response; redials once only when the replay is provably safe.
+  StatusOr<WireResponse> RoundTrip(WireRequest& request);
+  StatusOr<std::string> ReadFrameBody(
+      std::chrono::steady_clock::time_point deadline);
   void CloseLocked();
 
   Options options_;
   std::mutex mu_;
   int fd_ = -1;
+  uint64_t next_request_id_ = 0;
   /// Bytes received but not yet consumed as a frame.
   std::string inbuf_;
+};
+
+/// One connection shared by many application threads: requests are
+/// stamped with unique ids, buffered and pipelined by a writer path
+/// that never waits for responses, and a dedicated reader thread routes
+/// each response to its waiter by id. Any transport failure (send
+/// error, recv error, undecodable response, deadline on the socket)
+/// is sticky: every pending and future call fails with the same status
+/// and the caller reconnects by constructing a new client.
+class MultiplexedClient {
+ public:
+  using Options = WatchmanClient::Options;
+  using FetchResult = WatchmanClient::FetchResult;
+  /// Handle for an in-flight pipelined request.
+  using Ticket = uint64_t;
+
+  /// Dials the daemon (with retry/backoff per `options`) and spawns the
+  /// reader thread.
+  static StatusOr<std::unique_ptr<MultiplexedClient>> Connect(
+      const Options& options);
+
+  ~MultiplexedClient();
+
+  MultiplexedClient(const MultiplexedClient&) = delete;
+  MultiplexedClient& operator=(const MultiplexedClient&) = delete;
+
+  // Pipelined API: StartX() encodes and buffers the request (no socket
+  // write, no waiting); Flush()/Await() push buffered frames to the
+  // wire. Await(ticket) blocks until that request's response arrives
+  // (or Options::io_timeout_ms elapses -> IOError) and may be called
+  // from any thread, in any order relative to other tickets.
+  StatusOr<Ticket> StartPing();
+  StatusOr<Ticket> StartGet(const std::string& query_text);
+  StatusOr<Ticket> StartExecute(const std::string& query_text);
+  StatusOr<Ticket> StartExecute(const std::string& query_text,
+                                const std::string& fill_payload,
+                                uint64_t fill_cost,
+                                std::vector<std::string> fill_relations = {});
+  StatusOr<Ticket> StartInvalidate(const std::string& query_text);
+  StatusOr<Ticket> StartInvalidateRelation(const std::string& relation);
+  StatusOr<Ticket> StartStats();
+
+  /// Sends every buffered frame now (Await does this implicitly).
+  Status Flush();
+
+  /// Waits for `ticket`'s response. Each ticket may be awaited once.
+  StatusOr<WireResponse> Await(Ticket ticket);
+
+  // Blocking wrappers (Start + Await), concurrency-safe: N threads
+  // calling these share the one connection and their requests pipeline
+  // naturally.
+  Status Ping();
+  StatusOr<FetchResult> Get(const std::string& query_text);
+  StatusOr<FetchResult> Execute(const std::string& query_text);
+  StatusOr<FetchResult> Execute(const std::string& query_text,
+                                const std::string& fill_payload,
+                                uint64_t fill_cost,
+                                std::vector<std::string> fill_relations = {});
+  StatusOr<uint64_t> Invalidate(const std::string& query_text);
+  StatusOr<uint64_t> InvalidateRelation(const std::string& relation);
+  StatusOr<WireStats> Stats();
+
+ private:
+  struct PendingCall {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status error;           // transport-level failure (response invalid)
+    WireResponse response;  // valid when done && error.ok()
+  };
+
+  explicit MultiplexedClient(Options options);
+
+  StatusOr<Ticket> StartRequest(WireRequest& request);
+  void ReaderLoop();
+  /// Marks the transport broken and fails every pending call.
+  void Break(const Status& status);
+
+  Options options_;
+  int fd_ = -1;
+  std::thread reader_;
+  std::atomic<bool> stopping_{false};
+
+  /// Writer state: encoded frames accumulate in outbuf_ under send_mu_
+  /// and are sent in one batch by Flush/Await. The socket write itself
+  /// happens under flush_mu_ ONLY, so StartX() keeps buffering (and
+  /// never blocks) while another thread's flush is stalled on the
+  /// socket; flush_mu_ serializes senders so batches hit the wire
+  /// whole. Lock order: flush_mu_ before send_mu_, never both held
+  /// across a syscall.
+  std::mutex flush_mu_;
+  std::mutex send_mu_;
+  std::string outbuf_;
+
+  /// Waiter registry; broken_ is the sticky transport failure.
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  Status broken_;
+
+  std::atomic<uint64_t> next_id_{0};
 };
 
 /// Drop-in remote counterpart of the Watchman facade's query API.

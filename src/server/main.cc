@@ -9,11 +9,14 @@
 // Usage:
 //   watchmand [--policy=lnc-ra(k=4)] [--capacity=256m] [--shards=8]
 //             [--port=9736] [--host=127.0.0.1] [--workers=N]
-//             [--normalize] [--stats-interval=30] [--verbose]
+//             [--io-timeout=MS] [--normalize] [--stats-interval=30]
+//             [--verbose]
 //
 // --capacity accepts plain bytes or k/m/g suffixes. --policy accepts
-// everything ParsePolicy does. SIGINT/SIGTERM shut down gracefully and
-// print a final stats report.
+// everything ParsePolicy does. --io-timeout closes connections stuck
+// mid-frame / mid-flush with no progress for MS milliseconds (0 =
+// never). SIGINT/SIGTERM shut down gracefully and print a final stats
+// report.
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +45,7 @@ struct Flags {
   size_t shards = 8;
   uint16_t port = 9736;
   size_t workers = 0;  // 0 = hardware concurrency
+  uint64_t io_timeout_ms = 30000;
   uint64_t stats_interval_s = 0;
   bool normalize = false;
   bool verbose = false;
@@ -52,7 +56,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--policy=<name>] [--capacity=<bytes|k|m|g>] "
       "[--shards=<n>] [--port=<p>] [--host=<addr>] [--workers=<n>]\n"
-      "       [--normalize] [--stats-interval=<seconds>] [--verbose]\n",
+      "       [--io-timeout=<ms>] [--normalize] "
+      "[--stats-interval=<seconds>] [--verbose]\n",
       argv0);
   return 2;
 }
@@ -97,7 +102,7 @@ void PrintStats(const WireStats& stats) {
       static_cast<unsigned long long>(stats.evictions),
       static_cast<unsigned long long>(stats.invalidations));
   std::printf(
-      "connections %llu accepted / %llu active / %llu queued "
+      "connections %llu accepted / %llu active, ready-queue %llu "
       "(peak %llu), requests %llu, rejected frames %llu\n",
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.connections_active),
@@ -152,6 +157,13 @@ int Run(int argc, char** argv) {
         return 2;
       }
       flags.workers = static_cast<size_t>(workers);
+    } else if (ParseFlag(arg, "io-timeout", &value)) {
+      if (!ParseUint(value, 86400000, &flags.io_timeout_ms)) {
+        std::fprintf(stderr,
+                     "--io-timeout: expected ms 0..86400000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "stats-interval", &value)) {
       if (!ParseUint(value, 86400, &flags.stats_interval_s)) {
         std::fprintf(stderr,
@@ -197,6 +209,7 @@ int Run(int argc, char** argv) {
   server_options.num_workers =
       flags.workers != 0 ? flags.workers
                          : std::max(4u, std::thread::hardware_concurrency());
+  server_options.io_timeout_ms = static_cast<int>(flags.io_timeout_ms);
   WatchmanServer server(&cache, server_options);
   Status started = server.Start();
   if (!started.ok()) {

@@ -133,8 +133,11 @@ class Reader {
   bool ok_ = true;
 };
 
-/// Validates the shared (version, opcode) prologue.
-Status ReadPrologue(Reader* r, OpCode* op) {
+/// Validates the shared (version, opcode, request_id) prologue. The
+/// version is judged before the id bytes are required, so a frame from
+/// an older protocol revision (whose body may be shorter than the v3
+/// prologue) is reported as NotSupported, not Corruption.
+Status ReadPrologue(Reader* r, OpCode* op, uint64_t* request_id) {
   const uint8_t version = r->U8();
   const uint8_t raw_op = r->U8();
   if (!r->ok()) return Status::Corruption("frame body shorter than prologue");
@@ -146,7 +149,10 @@ Status ReadPrologue(Reader* r, OpCode* op) {
   if (!IsValidOpCode(raw_op)) {
     return Status::InvalidArgument("unknown opcode " + std::to_string(raw_op));
   }
+  const uint64_t id = r->U64();
+  if (!r->ok()) return Status::Corruption("frame body shorter than prologue");
   *op = static_cast<OpCode>(raw_op);
+  *request_id = id;
   return Status::OK();
 }
 
@@ -156,15 +162,6 @@ Status FinishDecode(const Reader& r, const char* what) {
     return Status::Corruption(std::string("trailing bytes after ") + what);
   }
   return Status::OK();
-}
-
-/// Wraps an encoded body into a frame (length prefix + body).
-std::string Frame(std::string body) {
-  std::string out;
-  out.reserve(4 + body.size());
-  PutU32(&out, static_cast<uint32_t>(body.size()));
-  out += body;
-  return out;
 }
 
 void PutStats(std::string* out, const WireStats& s) {
@@ -267,32 +264,44 @@ const char* OpCodeName(OpCode op) {
   return "?";
 }
 
-std::string EncodeRequest(const WireRequest& request) {
-  std::string body;
-  PutU8(&body, kWireVersion);
-  PutU8(&body, static_cast<uint8_t>(request.op));
+void AppendRequest(const WireRequest& request, std::string* out) {
+  const size_t frame_at = out->size();
+  PutU32(out, 0);  // length placeholder, patched below
+  const size_t body_at = out->size();
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(request.op));
+  PutU64(out, request.request_id);
   switch (request.op) {
     case OpCode::kPing:
     case OpCode::kStats:
       break;
     case OpCode::kGet:
     case OpCode::kInvalidate:
-      PutString(&body, request.query_text);
+      PutString(out, request.query_text);
       break;
     case OpCode::kInvalidateRelation:
-      PutString(&body, request.relation);
+      PutString(out, request.relation);
       break;
     case OpCode::kExecute:
-      PutString(&body, request.query_text);
-      PutU8(&body, request.has_fill ? 1 : 0);
+      PutString(out, request.query_text);
+      PutU8(out, request.has_fill ? 1 : 0);
       if (request.has_fill) {
-        PutString(&body, request.fill_payload);
-        PutU64(&body, request.fill_cost);
-        PutStringList(&body, request.fill_relations);
+        PutString(out, request.fill_payload);
+        PutU64(out, request.fill_cost);
+        PutStringList(out, request.fill_relations);
       }
       break;
   }
-  return Frame(std::move(body));
+  const uint32_t len = static_cast<uint32_t>(out->size() - body_at);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[frame_at + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string out;
+  AppendRequest(request, &out);
+  return out;
 }
 
 Status DecodeRequestInto(std::string_view body, WireRequest* request) {
@@ -305,8 +314,10 @@ Status DecodeRequestInto(std::string_view body, WireRequest* request) {
   request->has_fill = false;
   request->fill_payload.clear();
   request->fill_cost = 1;
+  request->request_id = 0;
   Reader r(body);
-  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &request->op));
+  WATCHMAN_RETURN_IF_ERROR(
+      ReadPrologue(&r, &request->op, &request->request_id));
   switch (request->op) {
     case OpCode::kPing:
     case OpCode::kStats:
@@ -343,6 +354,7 @@ void AppendResponse(const WireResponse& response, std::string* out) {
   const size_t body_at = out->size();
   PutU8(out, kWireVersion);
   PutU8(out, static_cast<uint8_t>(response.op));
+  PutU64(out, response.request_id);
   PutU8(out, static_cast<uint8_t>(response.code));
   PutString(out, response.message);
   switch (response.op) {
@@ -376,7 +388,8 @@ std::string EncodeResponse(const WireResponse& response) {
 StatusOr<WireResponse> DecodeResponse(std::string_view body) {
   Reader r(body);
   WireResponse response;
-  WATCHMAN_RETURN_IF_ERROR(ReadPrologue(&r, &response.op));
+  WATCHMAN_RETURN_IF_ERROR(
+      ReadPrologue(&r, &response.op, &response.request_id));
   const uint8_t raw_code = r.U8();
   if (r.ok() && raw_code > static_cast<uint8_t>(StatusCode::kInternal)) {
     return Status::Corruption("unknown status code " +
@@ -420,6 +433,15 @@ StatusOr<bool> ExtractFrame(std::string_view buffer, size_t max_frame_bytes,
   *body = buffer.substr(4, len);
   *frame_size = 4 + static_cast<size_t>(len);
   return true;
+}
+
+void PeekPrologue(std::string_view body, OpCode* op, uint64_t* request_id) {
+  Reader r(body);
+  OpCode peeked_op = OpCode::kPing;
+  uint64_t peeked_id = 0;
+  if (!ReadPrologue(&r, &peeked_op, &peeked_id).ok()) return;
+  *op = peeked_op;
+  *request_id = peeked_id;
 }
 
 Status StatusFromWire(StatusCode code, const std::string& message) {

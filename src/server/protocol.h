@@ -2,10 +2,12 @@
 // server, the client library and the CLI.
 //
 // A frame is a 4-byte little-endian body length followed by the body.
-// Every body starts with a version byte and an opcode byte; the
-// remaining fields are opcode-specific, encoded with fixed-width
-// little-endian integers and u32-length-prefixed strings. Doubles
-// travel as their IEEE-754 bit pattern in a u64.
+// Every body starts with a version byte, an opcode byte and a u64
+// request id (echoed by the server, so responses on one connection may
+// complete out of order); the remaining fields are opcode-specific,
+// encoded with fixed-width little-endian integers and
+// u32-length-prefixed strings. Doubles travel as their IEEE-754 bit
+// pattern in a u64.
 //
 // The protocol is deliberately dumb-pipe: requests carry everything the
 // daemon needs (notably EXECUTE's optional miss-fill -- the payload,
@@ -31,7 +33,12 @@ namespace watchman {
 /// decoder rejects bodies whose version byte differs.
 /// v2: STATS gained connections_queued / connections_queued_peak
 /// (worker-pool saturation visibility).
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: every request and response carries a u64 request_id right after
+/// the (version, opcode) prologue. The server echoes the id verbatim,
+/// which lets one connection carry many in-flight requests with
+/// out-of-order responses (MultiplexedClient) and lets error responses
+/// be routed to the request that caused them.
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Upper bound both sides place on one frame's body (guards the length
 /// prefix against garbage and bounds per-connection memory).
@@ -62,6 +69,10 @@ inline size_t OpIndex(OpCode op) { return static_cast<size_t>(op) - 1; }
 /// A decoded request.
 struct WireRequest {
   OpCode op = OpCode::kPing;
+  /// Correlates the response with this request on a multiplexed
+  /// connection; echoed verbatim by the server. Clients choose ids
+  /// (monotonic per connection); the server never interprets them.
+  uint64_t request_id = 0;
   /// kExecute / kGet / kInvalidate: the query text (the daemon derives
   /// the query ID exactly like the local facade).
   std::string query_text;
@@ -140,6 +151,9 @@ struct WireStats {
 /// the handler's Status; the remaining fields are op-specific.
 struct WireResponse {
   OpCode op = OpCode::kPing;
+  /// Echo of the request's id (0 when the request's id could not be
+  /// decoded, e.g. a framing-level error response).
+  uint64_t request_id = 0;
   StatusCode code = StatusCode::kOk;
   std::string message;
   /// kExecute / kGet: true when the payload came from the cache rather
@@ -154,6 +168,7 @@ struct WireResponse {
   /// keeping message/payload capacity (per-connection scratch).
   void Reset(OpCode new_op) {
     op = new_op;
+    request_id = 0;
     code = StatusCode::kOk;
     message.clear();
     cache_hit = false;
@@ -166,6 +181,11 @@ struct WireResponse {
 /// Encodes a complete frame (length prefix + body).
 std::string EncodeRequest(const WireRequest& request);
 std::string EncodeResponse(const WireResponse& response);
+
+/// Appends the encoded frame of `request` to *out in place -- the
+/// pipelined client batches many requests into one output buffer
+/// without a temporary string per frame.
+void AppendRequest(const WireRequest& request, std::string* out);
 
 /// Appends the encoded frame of `response` to *out in place -- the
 /// server batches many responses into one per-connection output buffer
@@ -190,6 +210,13 @@ Status DecodeRequestInto(std::string_view body, WireRequest* request);
 /// needed, Corruption when the length prefix exceeds `max_frame_bytes`.
 StatusOr<bool> ExtractFrame(std::string_view buffer, size_t max_frame_bytes,
                             std::string_view* body, size_t* frame_size);
+
+/// Best-effort read of the (op, request_id) prologue of a body that
+/// failed to decode, so an error response can echo which request broke
+/// instead of defaulting to (ping, 0). Leaves *op / *request_id
+/// untouched when the prologue itself is unreadable (wrong version,
+/// unknown opcode, body shorter than the prologue).
+void PeekPrologue(std::string_view body, OpCode* op, uint64_t* request_id);
 
 /// Rebuilds a Status from a wire (code, message) pair; OK for kOk.
 Status StatusFromWire(StatusCode code, const std::string& message);

@@ -1,9 +1,11 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,19 +30,9 @@ struct FillContext {
 
 thread_local FillContext* t_fill = nullptr;
 
-/// Writes all of `data` to `fd`, riding out partial writes and EINTR.
-bool WriteAll(int fd, std::string_view data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 }  // namespace
@@ -65,6 +57,12 @@ Watchman::Executor WatchmanServer::MissFillExecutor() {
     result.relations = fill->request->fill_relations;
     return result;
   };
+}
+
+int64_t WatchmanServer::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
 }
 
 Status WatchmanServer::Start() {
@@ -95,7 +93,7 @@ Status WatchmanServer::Start() {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 128) != 0) {
+  if (::listen(fd, 512) != 0) {
     const Status status =
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(fd);
@@ -110,196 +108,616 @@ Status WatchmanServer::Start() {
     ::close(fd);
     return status;
   }
+  if (!SetNonBlocking(fd)) {
+    const Status status =
+        Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status =
+        Status::IOError(std::string("epoll/eventfd: ") +
+                        std::strerror(errno));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    ::close(fd);
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  const int add_listen = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  ev.data.fd = wake_fd_;
+  const int add_wake = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (add_listen != 0 || add_wake != 0) {
+    const Status status =
+        Status::IOError(std::string("epoll_ctl: ") + std::strerror(errno));
+    ::close(epoll_fd_);
+    ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    ::close(fd);
+    return status;
+  }
+
   bound_port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
+  start_time_ = std::chrono::steady_clock::now();
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
 
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  io_thread_ = std::thread([this] { IoLoop(); });
   const size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   WATCHMAN_LOG(Info) << "watchmand listening on " << options_.bind_address
-                     << ":" << bound_port_ << " (" << workers << " workers)";
+                     << ":" << bound_port_ << " (event loop, " << workers
+                     << " workers)";
   return Status::OK();
 }
 
 void WatchmanServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   {
-    // Set under queue_mu_: a worker that just evaluated the wait
+    // Set under ready_mu_: a worker that just evaluated the wait
     // predicate (and is about to block) must not miss the notify.
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<std::mutex> lock(ready_mu_);
     stop_.store(true, std::memory_order_release);
   }
-  queue_cv_.notify_all();
-  // Wake the acceptor: shutdown() forces its poll/accept to return.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  // Unblock workers mid-read.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  ready_cv_.notify_all();
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
-  if (acceptor_.joinable()) acceptor_.join();
+  if (io_thread_.joinable()) io_thread_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // Connections accepted but never claimed by a worker.
-  for (int fd : pending_) ::close(fd);
-  pending_.clear();
+  // All threads are gone: tear down every remaining socket.
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    conn->fd = -1;
+  }
+  conns_.clear();
+  ready_.clear();
+  dirty_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
 }
 
-void WatchmanServer::AcceptLoop() {
+// ------------------------------------------------------------ IO thread
+
+void WatchmanServer::IoLoop() {
+  std::vector<epoll_event> events(128);
   while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listen socket shut down
-    }
-    const int one = 1;
-    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_.push_back(conn);
-      // Queued-but-unserved high-water mark (pool saturation signal).
-      const uint64_t depth = pending_.size();
-      if (depth > connections_queued_peak_.load(std::memory_order_relaxed)) {
-        connections_queued_peak_.store(depth, std::memory_order_relaxed);
-      }
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void WatchmanServer::WorkerLoop() {
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_acquire) || !pending_.empty();
-      });
-      if (stop_.load(std::memory_order_acquire)) return;
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    ServeConnection(fd);
-  }
-}
-
-void WatchmanServer::ServeConnection(int fd) {
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    active_.insert(fd);
-  }
-  connections_active_.fetch_add(1, std::memory_order_relaxed);
-
-  std::string inbuf;
-  std::string outbuf;
-  // Per-connection scratch request/response: every frame decodes into
-  // the same objects, so string capacity is reused across frames and
-  // steady-state framing performs no allocation.
-  WireRequest request;
-  WireResponse response;
-  char chunk[64 * 1024];
-  bool keep_alive = true;
-  while (keep_alive && !stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n == 0) break;  // peer closed
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               options_.poll_interval_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    inbuf.append(chunk, static_cast<size_t>(n));
-
-    // Request batching: drain every complete frame before writing the
-    // batched responses back in one flush.
-    size_t consumed = 0;
-    while (keep_alive) {
-      std::string_view body;
-      size_t frame_size = 0;
-      StatusOr<bool> extracted =
-          ExtractFrame(std::string_view(inbuf).substr(consumed),
-                       options_.max_frame_bytes, &body, &frame_size);
-      if (!extracted.ok()) {
-        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
-        WireResponse err;
-        err.code = StatusCode::kCorruption;
-        err.message = extracted.status().message();
-        outbuf += EncodeResponse(err);
-        keep_alive = false;  // framing is unrecoverable
-        break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
       }
-      if (!*extracted) break;
-      keep_alive = HandleFrame(body, &request, &response, &outbuf);
-      consumed += frame_size;
+      if (fd == wake_fd_) {
+        uint64_t junk = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &junk, sizeof(junk));
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      // Copy: close below erases the map entry.
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0 && (ev & EPOLLIN) == 0) {
+        // Hard error with nothing left to read.
+        conn->input_closed.store(true, std::memory_order_release);
+        RearmInterest(conn);
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          conn->send_error = true;
+        }
+      }
+      if ((ev & EPOLLIN) != 0) ReadReady(conn);
+      if ((ev & EPOLLOUT) != 0 && conn->fd >= 0) {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        FlushLocked(conn.get());
+      }
+      if (conn->fd >= 0) {
+        UpdateWriteInterest(conn);
+        FinishConnection(conn);
+      }
     }
-    inbuf.erase(0, consumed);
-    if (!outbuf.empty()) {
-      if (!WriteAll(fd, outbuf)) break;
-      outbuf.clear();
+    // Connections workers flagged (leftover output, last in-flight
+    // frame done, protocol violation).
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty.swap(dirty_);
     }
+    for (const auto& conn : dirty) {
+      conn->dirty_pending.store(false, std::memory_order_release);
+      if (conn->fd < 0) continue;
+      {
+        // Batched flush: whatever workers appended since the wake.
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        FlushLocked(conn.get());
+      }
+      UpdateWriteInterest(conn);
+      FinishConnection(conn);
+    }
+    SweepConnections();
   }
-
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    active_.erase(fd);
-  }
-  connections_active_.fetch_sub(1, std::memory_order_relaxed);
-  ::close(fd);
 }
 
-bool WatchmanServer::HandleFrame(std::string_view body, WireRequest* request,
-                                 WireResponse* response, std::string* out) {
-  const Status decoded = DecodeRequestInto(body, request);
+void WatchmanServer::AcceptReady() {
+  while (true) {
+    const int conn_fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Fd/memory exhaustion: the pending connection stays in the
+        // backlog and the level-triggered listen fd would re-fire
+        // immediately, spinning the IO thread. Pause accepting; the
+        // sweep retries next tick.
+        accept_paused_ = true;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      }
+      return;  // EAGAIN or listen socket going away
+    }
+    const int one = 1;
+    ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn_fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn_fd, &ev) != 0) {
+      // ENOMEM / watch-limit exhaustion: a connection that can never be
+      // polled would hang its peer and leak; refuse it instead.
+      ::close(conn_fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = conn_fd;
+    conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
+    conns_.emplace(conn_fd, conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
+  char chunk[64 * 1024];
+  // Per-event read budget: a firehose peer (or a draining connection
+  // being discarded) must not pin the IO thread -- level-triggered
+  // epoll re-delivers the remainder next round, interleaved with every
+  // other connection, the dirty sweep and Stop().
+  int budget = 8;
+  while (conn->fd >= 0 && budget-- > 0) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      conn->input_closed.store(true, std::memory_order_release);
+      RearmInterest(conn);  // EOF is permanently readable: disarm reads
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        ++budget;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn->input_closed.store(true, std::memory_order_release);
+      RearmInterest(conn);
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->send_error = true;
+      break;
+    }
+    if (conn->draining.load(std::memory_order_acquire)) {
+      // Discard: flushing an error response, awaiting EOF. Deliberately
+      // NOT progress -- the drain state is bounded by the sweep's drain
+      // timeout however much the doomed peer keeps sending.
+      continue;
+    }
+    conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
+    conn->inbuf.append(chunk, static_cast<size_t>(n));
+    ParseFrames(conn);
+    // Honor a pause immediately: keep already-received bytes buffered
+    // but stop pulling more, so the ready-queue bound holds even
+    // against data the kernel had already accepted.
+    if (conn->read_paused) break;
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;
+  }
+}
+
+void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  size_t consumed = 0;
+  size_t enqueued = 0;
+  while (!conn->draining.load(std::memory_order_acquire)) {
+    std::string_view body;
+    size_t frame_size = 0;
+    StatusOr<bool> extracted =
+        ExtractFrame(std::string_view(conn->inbuf).substr(consumed),
+                     options_.max_frame_bytes, &body, &frame_size);
+    if (!extracted.ok()) {
+      // Unrecoverable framing (oversized/garbage length prefix): answer
+      // with the real status -- echoing (op, id) if the bytes after the
+      // prefix happen to hold a readable prologue -- then drain to EOF.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      WireResponse err;
+      err.code = extracted.status().code();
+      err.message = extracted.status().message();
+      const std::string_view rest =
+          std::string_view(conn->inbuf).substr(consumed);
+      if (rest.size() > 4) {
+        PeekPrologue(rest.substr(4), &err.op, &err.request_id);
+      }
+      std::string encoded;
+      AppendResponse(err, &encoded);
+      conn->draining.store(true, std::memory_order_release);
+      QueueOutput(conn, encoded);
+      conn->inbuf.clear();
+      consumed = 0;
+      break;
+    }
+    if (!*extracted) break;
+    Work work;
+    work.conn = conn;
+    work.body.assign(body);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(ready_mu_);
+      ready_.push_back(std::move(work));
+      const uint64_t depth = ready_.size();
+      if (depth > connections_queued_peak_.load(std::memory_order_relaxed)) {
+        connections_queued_peak_.store(depth, std::memory_order_relaxed);
+      }
+    }
+    ++enqueued;
+    consumed += frame_size;
+  }
+  if (consumed > 0) conn->inbuf.erase(0, consumed);
+  if (enqueued == 1) {
+    ready_cv_.notify_one();
+  } else if (enqueued > 1) {
+    ready_cv_.notify_all();
+  }
+  // Backpressure: a peer that pipelines faster than workers drain gets
+  // its reads paused instead of ballooning the ready-queue.
+  if (!conn->read_paused &&
+      conn->inflight.load(std::memory_order_relaxed) >
+          options_.max_inflight_frames) {
+    conn->read_paused = true;
+    paused_reads_.push_back(conn);
+    RearmInterest(conn);
+  }
+}
+
+/// Re-registers the connection's epoll interest from its current
+/// state: reads are off while paused for backpressure or after EOF (a
+/// socket at EOF is permanently readable and would spin a
+/// level-triggered loop), writes are on while output is pending.
+void WatchmanServer::RearmInterest(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  const bool read_off =
+      conn->read_paused || conn->input_closed.load(std::memory_order_acquire);
+  epoll_event ev{};
+  ev.events = (read_off ? 0u : EPOLLIN) | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void WatchmanServer::UpdateWriteInterest(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  bool pending;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    pending = !conn->send_error && conn->out_off < conn->outbuf.size();
+  }
+  if (pending == conn->want_write) return;
+  conn->want_write = pending;
+  RearmInterest(conn);
+}
+
+/// Bounds the drain-to-EOF / deferred-close states when io_timeout_ms
+/// is disabled: a peer that provoked an error response but never
+/// acknowledges with EOF must not hold its fd forever.
+constexpr int64_t kDefaultDrainTimeoutMs = 5000;
+
+void WatchmanServer::EnqueueFinishing(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->in_finishing || conn->fd < 0) return;
+  conn->in_finishing = true;
+  finishing_.push_back(conn);
+}
+
+// IO thread only.
+void WatchmanServer::FinishConnection(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  bool flushed;
+  bool send_error;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    flushed = conn->out_off >= conn->outbuf.size();
+    send_error = conn->send_error;
+  }
+  if (send_error) {
+    // The peer is unreachable; flushing is moot. Close as soon as no
+    // worker can still touch the socket.
+    if (conn->inflight.load(std::memory_order_acquire) == 0) {
+      CloseConnection(conn);
+    } else {
+      EnqueueFinishing(conn);
+    }
+    return;
+  }
+  const bool input_closed =
+      conn->input_closed.load(std::memory_order_acquire);
+  const bool no_more_requests =
+      input_closed || conn->draining.load(std::memory_order_acquire);
+  if (!no_more_requests) return;
+  // Terminal state reached but the close cannot complete yet: keep the
+  // connection on the finishing list so the sweep retries (and bounds
+  // the state with the drain timeout).
+  if (conn->inflight.load(std::memory_order_acquire) != 0) {
+    EnqueueFinishing(conn);
+    return;
+  }
+  if (!flushed) {
+    EnqueueFinishing(conn);  // EPOLLOUT will finish the job
+    return;
+  }
+  if (input_closed) {
+    CloseConnection(conn);
+    return;
+  }
+  // Protocol violation with the peer still sending: half-close our side
+  // so the error response survives (no reset), then discard input until
+  // the peer acknowledges with EOF (drain timeout bounded).
+  if (!conn->output_shutdown) {
+    conn->output_shutdown = true;
+    ::shutdown(conn->fd, SHUT_WR);
+  }
+  EnqueueFinishing(conn);
+}
+
+void WatchmanServer::SweepConnections() {
+  // Retry accepting after fd exhaustion (50ms duty cycle, not a spin).
+  if (accept_paused_ && listen_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      accept_paused_ = false;
+      AcceptReady();
+    }
+  }
+  // Resume paused reads once workers drained half the backlog.
+  for (size_t i = 0; i < paused_reads_.size();) {
+    const std::shared_ptr<Connection>& conn = paused_reads_[i];
+    if (conn->fd < 0) {
+      paused_reads_[i] = paused_reads_.back();
+      paused_reads_.pop_back();
+      continue;
+    }
+    if (conn->inflight.load(std::memory_order_relaxed) <=
+        options_.max_inflight_frames / 2) {
+      conn->read_paused = false;
+      RearmInterest(conn);
+      paused_reads_[i] = paused_reads_.back();
+      paused_reads_.pop_back();
+      continue;
+    }
+    ++i;
+  }
+  // Terminal connections whose close is pending: re-evaluate, and force
+  // the close once the drain timeout passes without progress. Only
+  // these are scanned -- an idle steady state costs the sweep nothing.
+  if (!finishing_.empty()) {
+    const int64_t now_ms = NowMs();
+    const int64_t drain_timeout_ms = options_.io_timeout_ms > 0
+                                         ? options_.io_timeout_ms
+                                         : kDefaultDrainTimeoutMs;
+    std::vector<std::shared_ptr<Connection>> retry;
+    retry.swap(finishing_);
+    for (const auto& conn : retry) {
+      conn->in_finishing = false;
+      if (conn->fd < 0) continue;
+      FinishConnection(conn);  // closes or re-enqueues
+      if (conn->fd < 0) continue;
+      if (now_ms -
+                  conn->last_progress_ms.load(std::memory_order_relaxed) >
+              drain_timeout_ms &&
+          conn->inflight.load(std::memory_order_acquire) == 0) {
+        CloseConnection(conn);
+      }
+    }
+  }
+  // Opt-in reaping of NON-terminal connections stuck mid-frame or
+  // mid-flush with no progress (a full scan, only when configured).
+  if (options_.io_timeout_ms > 0) {
+    const int64_t now_ms = NowMs();
+    std::vector<std::shared_ptr<Connection>> to_close;
+    for (auto& [fd, conn] : conns_) {
+      bool output_pending;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        output_pending = conn->out_off < conn->outbuf.size();
+      }
+      const bool work_pending = output_pending || !conn->inbuf.empty();
+      if (work_pending &&
+          now_ms - conn->last_progress_ms.load(std::memory_order_relaxed) >
+              options_.io_timeout_ms &&
+          conn->inflight.load(std::memory_order_acquire) == 0) {
+        to_close.push_back(conn);
+      }
+    }
+    for (const auto& conn : to_close) CloseConnection(conn);
+  }
+}
+
+void WatchmanServer::CloseConnection(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  conn->fd = -1;
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------- output (shared)
+
+bool WatchmanServer::QueueOutput(const std::shared_ptr<Connection>& conn,
+                                 std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->send_error) return true;  // dropping; close is imminent
+  conn->outbuf.append(bytes);
+  return FlushLocked(conn.get());
+}
+
+bool WatchmanServer::FlushLocked(Connection* conn) {
+  if (conn->send_error) return true;
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+      conn->send_error = true;
+      return false;
+    }
+    conn->out_off += static_cast<size_t>(n);
+    conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
+  }
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  return true;
+}
+
+void WatchmanServer::MarkDirty(const std::shared_ptr<Connection>& conn) {
+  if (conn->dirty_pending.exchange(true, std::memory_order_acq_rel)) {
+    return;  // already queued; one IO-thread pass covers both causes
+  }
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.push_back(conn);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+// -------------------------------------------------------------- workers
+
+void WatchmanServer::WorkerLoop() {
+  // Per-worker scratch: frames decode into the same objects, so string
+  // capacity is reused and steady-state framing performs no allocation.
+  WireRequest request;
+  WireResponse response;
+  std::string encoded;
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !ready_.empty();
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      work = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    ProcessFrame(work, &request, &response, &encoded);
+  }
+}
+
+void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
+                                  WireResponse* response,
+                                  std::string* encoded) {
+  const std::shared_ptr<Connection>& conn = work.conn;
+  encoded->clear();
+  const Status decoded = DecodeRequestInto(work.body, request);
   if (!decoded.ok()) {
     frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    // Echo the request's opcode and id when the prologue decoded, so
+    // the client sees the daemon's real status (Corruption,
+    // NotSupported, ...) attributed to ITS request instead of an
+    // op-mismatch Internal error against a default ping frame.
     WireResponse err;
     err.code = decoded.code();
     err.message = decoded.message();
-    AppendResponse(err, out);
+    PeekPrologue(work.body, &err.op, &err.request_id);
+    AppendResponse(err, encoded);
     // The stream decoded a frame but not a request; the peer speaks a
-    // different dialect, so drop it.
-    return false;
+    // different dialect, so stop reading from it.
+    conn->draining.store(true, std::memory_order_release);
+  } else {
+    const auto begin = std::chrono::steady_clock::now();
+    Dispatch(*request, response);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    RecordOp(request->op, response->code, latency_us);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(*response, encoded);
   }
-  const auto begin = std::chrono::steady_clock::now();
-  Dispatch(*request, response);
-  const double latency_us =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - begin)
-          .count();
-  RecordOp(request->op, response->code, latency_us);
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
-  AppendResponse(*response, out);
-  return true;
+  // Write coalescing: when this frame is the only one in flight the
+  // response is sent directly (lowest latency for blocking clients);
+  // when more frames of this connection are being worked on, append
+  // only -- the last completer or the IO thread flushes the whole batch
+  // in one write, so a pipelining client costs ~1 syscall per burst.
+  const bool sole_inflight =
+      conn->inflight.load(std::memory_order_acquire) == 1;
+  bool flushed;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->send_error) conn->outbuf.append(*encoded);
+    flushed = sole_inflight ? FlushLocked(conn.get()) : false;
+  }
+  const bool input_closed_hint =
+      conn->input_closed.load(std::memory_order_acquire);
+  const uint32_t prev = conn->inflight.fetch_sub(1, std::memory_order_release);
+  // Poke the IO thread when it has something to do for this connection:
+  // flush / resume a partial write, or run the close path now that the
+  // last in-flight frame is answered.
+  if (!flushed || conn->draining.load(std::memory_order_acquire) ||
+      (prev == 1 && input_closed_hint)) {
+    MarkDirty(conn);
+  }
 }
 
 void WatchmanServer::Dispatch(const WireRequest& request,
                               WireResponse* response_out) {
   WireResponse& response = *response_out;
   response.Reset(request.op);
+  response.request_id = request.request_id;
   switch (request.op) {
     case OpCode::kPing:
       break;
@@ -368,8 +786,8 @@ void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
 }
 
 uint64_t WatchmanServer::connections_queued() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  return pending_.size();
+  std::lock_guard<std::mutex> lock(ready_mu_);
+  return ready_.size();
 }
 
 WatchmanServer::OpCounters WatchmanServer::op_counters(OpCode op) const {

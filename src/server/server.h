@@ -1,21 +1,35 @@
 // WatchmanServer: the watchmand network front-end over a Watchman
 // facade.
 //
-// Architecture (connection-per-worker): one acceptor thread accepts TCP
-// connections on a loopback/interface address and hands them to a fixed
-// pool of worker threads; each worker owns one connection at a time and
-// serves it until the peer disconnects. Workers read into a
-// per-connection buffer, drain *every* complete frame in it before
-// flushing the batched responses in one write (request batching -- a
-// pipelining client pays one syscall round per burst, not per request),
-// and poll with a short timeout so Stop() is honored promptly.
+// Architecture (event loop + worker pool): one IO thread owns an epoll
+// instance, the (non-blocking) listen socket and every connection
+// socket. It accepts, reads into per-connection buffers, extracts
+// complete frames and pushes them onto a ready-queue that a fixed pool
+// of worker threads consumes; workers decode, dispatch into the
+// (thread-safe) Watchman facade, and append the encoded response to the
+// connection's output buffer -- attempting a direct non-blocking send,
+// with the IO thread resuming partial writes via EPOLLOUT. Idle
+// connections therefore cost zero threads, many connections multiplex
+// over the fixed pool, and responses to one connection may complete out
+// of order (the v3 request id lets clients re-correlate).
 //
-// The request handlers call straight into the (thread-safe) Watchman
-// facade, so hits on different cache shards proceed in parallel across
-// workers and concurrent identical misses collapse into the facade's
-// single-flight. Per-op request/error/latency counters (util/stats
-// OnlineStats) are kept under a metrics mutex and surfaced through
-// both the STATS op and the StatsSnapshot() accessor.
+// Flow control and lifetime:
+//  * A connection whose decoded-frame backlog exceeds a cap stops being
+//    read (EPOLLIN disarmed) until workers catch up -- pipelining peers
+//    cannot balloon the ready-queue.
+//  * On a framing or decode error the server answers with the real
+//    status -- echoing the request's opcode and id whenever the
+//    prologue decoded -- then drains the peer to EOF before closing, so
+//    the error response is never destroyed by a TCP reset.
+//  * Options::io_timeout_ms bounds how long a connection may sit with
+//    pending work (half-read frame, unflushed output, drain-to-EOF)
+//    without progress; fully idle connections are never reaped.
+//
+// The request handlers call straight into the facade, so hits on
+// different cache shards proceed in parallel across workers and
+// concurrent identical misses collapse into the facade's single-flight.
+// Per-op request/error/latency counters are kept under per-op mutexes
+// and surfaced through both the STATS op and StatsSnapshot().
 //
 // Miss-fill execution: a daemon has no warehouse of its own, so the
 // EXECUTE op may carry the result the *client* computed for a miss.
@@ -31,14 +45,16 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "server/protocol.h"
@@ -48,7 +64,7 @@
 
 namespace watchman {
 
-/// Multi-threaded TCP server exposing a Watchman facade.
+/// Epoll event-loop TCP server exposing a Watchman facade.
 class WatchmanServer {
  public:
   struct Options {
@@ -57,14 +73,30 @@ class WatchmanServer {
     /// Port to bind; 0 picks an ephemeral port, read it back via
     /// port(). Tests and parallel CI runs should use 0.
     uint16_t port = 0;
-    /// Worker threads == connections served concurrently; additional
-    /// accepted connections queue until a worker frees up.
+    /// Worker threads draining the ready-queue of decoded frames.
+    /// Connections are NOT pinned to workers: any worker serves any
+    /// connection's next frame.
     size_t num_workers = 4;
-    /// Per-frame body size limit; larger length prefixes close the
-    /// connection as corrupt.
+    /// Per-frame body size limit; larger length prefixes answer with
+    /// Corruption and close the connection.
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
-    /// Poll timeout bounding how long Stop() can lag behind.
+    /// Epoll tick bounding how long Stop(), timeouts and deferred
+    /// closes can lag behind.
     int poll_interval_ms = 50;
+    /// Closes a connection that has pending work (half-read frame,
+    /// unflushed output, drain-to-EOF) but makes no progress for this
+    /// long. 0 disables the reaping of stuck-but-healthy connections;
+    /// fully idle connections are never reaped either way. Connections
+    /// in a terminal state (protocol violation, EOF pending) are
+    /// always bounded -- by this value, or a built-in 5s default when
+    /// disabled -- so a misbehaving peer cannot hold its fd forever.
+    int io_timeout_ms = 0;
+    /// When nonzero, SO_SNDBUF for accepted connections (tests use a
+    /// tiny value to force partial-write resumption).
+    int sndbuf_bytes = 0;
+    /// Per-connection cap on frames enqueued but not yet answered;
+    /// beyond it the connection's reads pause until workers catch up.
+    size_t max_inflight_frames = 4096;
   };
 
   /// Per-op throughput/latency counters.
@@ -81,7 +113,7 @@ class WatchmanServer {
   WatchmanServer(const WatchmanServer&) = delete;
   WatchmanServer& operator=(const WatchmanServer&) = delete;
 
-  /// Binds, listens and spawns the acceptor + workers. Fails (IOError)
+  /// Binds, listens and spawns the IO thread + workers. Fails (IOError)
   /// if the address cannot be bound; at most one successful Start() per
   /// server instance.
   Status Start();
@@ -105,10 +137,12 @@ class WatchmanServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
-  /// Connections accepted but not yet claimed by a worker, right now.
+  /// Frames extracted from sockets but not yet claimed by a worker,
+  /// right now (the ready-queue depth; wire-named connections_queued
+  /// for v2 compatibility).
   uint64_t connections_queued() const;
 
-  /// High-water mark of the accept queue since Start().
+  /// High-water mark of the ready-queue since Start().
   uint64_t connections_queued_peak() const {
     return connections_queued_peak_.load(std::memory_order_relaxed);
   }
@@ -120,41 +154,119 @@ class WatchmanServer {
   static Watchman::Executor MissFillExecutor();
 
  private:
-  void AcceptLoop();
+  /// Per-connection state. The IO thread owns fd registration, inbuf
+  /// and the epoll arming flags; workers and the IO thread share the
+  /// output buffer under out_mu; the close decision is gated on the
+  /// inflight frame count (release/acquire ordered), so a socket is
+  /// only closed when no worker can still touch it.
+  struct Connection {
+    int fd = -1;
+    std::string inbuf;  // IO thread only
+    std::mutex out_mu;
+    std::string outbuf;   // pending output bytes (out_mu)
+    size_t out_off = 0;   // flushed prefix of outbuf (out_mu)
+    bool send_error = false;  // a send failed; close without flushing
+    bool want_write = false;  // EPOLLOUT armed        (IO thread only)
+    bool read_paused = false;  // EPOLLIN disarmed     (IO thread only)
+    bool output_shutdown = false;  // SHUT_WR sent     (IO thread only)
+    bool in_finishing = false;  // listed in finishing_ (IO thread only)
+    /// Read EOF/error seen (written by the IO thread; workers read it
+    /// to decide whether the IO thread needs a wake-up).
+    std::atomic<bool> input_closed{false};
+    /// Protocol violation: stop parsing, answer, drain to EOF, close.
+    std::atomic<bool> draining{false};
+    /// True while an entry for this connection sits in the dirty list
+    /// (suppresses duplicate wake-ups from concurrent workers).
+    std::atomic<bool> dirty_pending{false};
+    /// Frames handed to workers and not yet fully answered.
+    std::atomic<uint32_t> inflight{0};
+    /// Milliseconds-since-start of the last read/write progress,
+    /// updated by both the IO thread and workers (io_timeout_ms).
+    std::atomic<int64_t> last_progress_ms{0};
+  };
+
+  /// One decoded-frame work item (body copied out of the connection's
+  /// read buffer so the buffer can compact immediately).
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    std::string body;
+  };
+
+  void IoLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
-  /// Decodes one frame body into *request (per-connection scratch,
-  /// string capacity reused), dispatches it into *response and appends
-  /// the encoded response to *out. Returns false when the connection
-  /// must close (undecodable request).
-  bool HandleFrame(std::string_view body, WireRequest* request,
-                   WireResponse* response, std::string* out);
+
+  // IO-thread helpers.
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  /// Recomputes and applies the connection's epoll interest set.
+  void RearmInterest(const std::shared_ptr<Connection>& conn);
+  void UpdateWriteInterest(const std::shared_ptr<Connection>& conn);
+  /// Close / half-close state machine for one connection.
+  void FinishConnection(const std::shared_ptr<Connection>& conn);
+  /// Adds conn to finishing_ (deduplicated) for sweep re-examination.
+  void EnqueueFinishing(const std::shared_ptr<Connection>& conn);
+  void SweepConnections();
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  /// Appends `bytes` to conn's output and attempts a direct
+  /// non-blocking send; returns true when everything is on the wire
+  /// (callable from workers and the IO thread).
+  bool QueueOutput(const std::shared_ptr<Connection>& conn,
+                   std::string_view bytes);
+  /// The send loop of QueueOutput; requires conn->out_mu held.
+  bool FlushLocked(Connection* conn);
+  /// Asks the IO thread to re-examine `conn` (arm EPOLLOUT, close, ...).
+  void MarkDirty(const std::shared_ptr<Connection>& conn);
+
+  // Worker-side request handling.
+  void ProcessFrame(Work& work, WireRequest* request, WireResponse* response,
+                    std::string* encoded);
   void Dispatch(const WireRequest& request, WireResponse* response);
   void RecordOp(OpCode op, StatusCode code, double latency_us);
+
+  int64_t NowMs() const;
 
   Watchman* cache_;
   Options options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   uint16_t bound_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
-  std::thread acceptor_;
+  std::thread io_thread_;
   std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point start_time_;
 
-  /// Accepted connections awaiting a worker.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  /// Live connections, keyed by fd (IO thread only).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  /// Connections in a terminal state (EOF seen / draining / send
+  /// error) whose close could not complete yet; re-examined each tick
+  /// so the idle steady state never scans the whole map (IO thread
+  /// only).
+  std::vector<std::shared_ptr<Connection>> finishing_;
+  /// Connections whose reads are paused for backpressure (IO thread
+  /// only).
+  std::vector<std::shared_ptr<Connection>> paused_reads_;
+  /// Accepting paused after fd exhaustion; retried each tick instead
+  /// of busy-spinning on the level-triggered listen fd (IO thread
+  /// only).
+  bool accept_paused_ = false;
 
-  /// Connections currently owned by a worker (shut down on Stop()).
-  std::mutex conns_mu_;
-  std::unordered_set<int> active_;
+  /// Decoded frames awaiting a worker.
+  mutable std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Work> ready_;
+
+  /// Connections workers want the IO thread to re-examine.
+  std::mutex dirty_mu_;
+  std::vector<std::shared_ptr<Connection>> dirty_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
-  /// High-water mark of `pending_` (connections accepted but not yet
-  /// claimed by a worker): worker-pool saturation visibility. The
-  /// instantaneous queue depth is read off pending_ under queue_mu_.
+  /// High-water mark of the ready-queue (frames extracted but not yet
+  /// claimed by a worker): worker-pool saturation visibility.
   std::atomic<uint64_t> connections_queued_peak_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> frames_rejected_{0};

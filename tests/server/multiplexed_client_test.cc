@@ -1,0 +1,279 @@
+// MultiplexedClient <-> event-loop server integration: one connection
+// shared by many threads, out-of-order response routing by request id,
+// pipelined writes, partial-write resumption under a tiny SO_SNDBUF,
+// and Await deadlines. The suite name contains "Server" so the
+// concurrency-heavy tests run under the CI TSan job's *Server* filter.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+std::string PayloadFor(const std::string& text) {
+  return "payload(" + text + ")";
+}
+
+class MultiplexedClientServerTest : public testing::Test {
+ protected:
+  void StartServer(WatchmanServer::Options server_options = {}) {
+    Watchman::Options options;
+    options.capacity_bytes = 64 << 20;
+    options.num_shards = 8;
+    cache_ = std::make_unique<Watchman>(std::move(options),
+                                        WatchmanServer::MissFillExecutor());
+    server_options.port = 0;  // ephemeral: parallel-safe in CI
+    server_ = std::make_unique<WatchmanServer>(cache_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  MultiplexedClient::Options ClientOptions() const {
+    MultiplexedClient::Options options;
+    options.port = server_->port();
+    return options;
+  }
+
+  std::unique_ptr<MultiplexedClient> MakeClient() {
+    auto client = MultiplexedClient::Connect(ClientOptions());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<Watchman> cache_;
+  std::unique_ptr<WatchmanServer> server_;
+};
+
+TEST_F(MultiplexedClientServerTest, BlockingOpsShareOneConnection) {
+  StartServer();
+  auto client = MakeClient();
+  EXPECT_TRUE(client->Ping().ok());
+
+  const std::string query = "select sum(profit) from orders";
+  auto filled = client->Execute(query, PayloadFor(query), 9000, {"orders"});
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_FALSE(filled->cache_hit);
+
+  auto got = client->Get(query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->cache_hit);
+  EXPECT_EQ(got->payload, PayloadFor(query));
+
+  auto miss = client->Get("select nothing");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+
+  auto dropped = client->InvalidateRelation("orders");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 1u);
+
+  auto one = client->Invalidate(query);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 0u);  // already invalidated
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->connections_accepted, 1u);
+  EXPECT_GE(stats->requests_served, 5u);
+}
+
+TEST_F(MultiplexedClientServerTest, OutOfOrderAwaitRoutesResponsesById) {
+  StartServer();
+  auto client = MakeClient();
+  constexpr int kQueries = 24;
+  for (int i = 0; i < kQueries; ++i) {
+    const std::string query = "select " + std::to_string(i);
+    ASSERT_TRUE(
+        client->Execute(query, PayloadFor(query), 100, {"r"}).ok());
+  }
+  // Pipeline every GET before awaiting any, then await in REVERSE
+  // issue order: each response must still land on its own ticket.
+  std::vector<MultiplexedClient::Ticket> tickets;
+  for (int i = 0; i < kQueries; ++i) {
+    auto ticket = client->StartGet("select " + std::to_string(i));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (int i = kQueries - 1; i >= 0; --i) {
+    auto response = client->Await(tickets[static_cast<size_t>(i)]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->code, StatusCode::kOk) << i;
+    EXPECT_EQ(response->payload, PayloadFor("select " + std::to_string(i)))
+        << i;
+  }
+  // A ticket can be awaited only once.
+  auto again = client->Await(tickets[0]);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MultiplexedClientServerTest,
+       ConcurrentThreadsOnOneConnectionRouteToIssuer) {
+  StartServer();
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 150;
+  constexpr int kQueriesPerThread = 5;
+  auto client = MakeClient();
+  // Prefill thread-distinct queries over the same connection.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int q = 0; q < kQueriesPerThread; ++q) {
+      const std::string query =
+          "select t" + std::to_string(t) + " q" + std::to_string(q);
+      ASSERT_TRUE(
+          client->Execute(query, PayloadFor(query), 100, {"rel"}).ok());
+    }
+  }
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+
+  std::atomic<int> errors{0};
+  std::atomic<int> wrong_payloads{0};
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string query = "select t" + std::to_string(t) + " q" +
+                                  std::to_string(i % kQueriesPerThread);
+        auto got = client->Get(query);
+        if (!got.ok()) {
+          errors.fetch_add(1);
+        } else if (got->payload != PayloadFor(query)) {
+          // A routing bug would hand this thread another thread's
+          // response; the thread-distinct payload catches it.
+          wrong_payloads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+  const CacheStats stats = cache_->stats();
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads * kIterations));
+  EXPECT_TRUE(cache_->cache().CheckInvariants().ok());
+}
+
+TEST_F(MultiplexedClientServerTest, PartialWriteResumptionUnderTinySndbuf) {
+  // A 4 KiB SO_SNDBUF against ~64 KiB responses forces every response
+  // through the EPOLLOUT partial-write resumption path; 32 pipelined
+  // GETs make many of them overlap in one connection's output buffer.
+  WatchmanServer::Options server_options;
+  server_options.sndbuf_bytes = 4096;
+  server_options.num_workers = 4;
+  StartServer(server_options);
+  constexpr int kQueries = 32;
+  auto client = MakeClient();
+  std::vector<std::string> payloads;
+  for (int i = 0; i < kQueries; ++i) {
+    const std::string query = "select big " + std::to_string(i);
+    std::string payload(64 * 1024,
+                        static_cast<char>('a' + (i % 26)));
+    payload.replace(0, query.size(), query);  // make each unique
+    ASSERT_TRUE(client->Execute(query, payload, 100, {"rel"}).ok());
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<MultiplexedClient::Ticket> tickets;
+  for (int i = 0; i < kQueries; ++i) {
+    auto ticket = client->StartGet("select big " + std::to_string(i));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    auto response = client->Await(tickets[static_cast<size_t>(i)]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->code, StatusCode::kOk) << i;
+    // Byte-exact through arbitrarily split writes.
+    EXPECT_EQ(response->payload, payloads[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST_F(MultiplexedClientServerTest, AwaitDeadlineAgainstSilentDaemon) {
+  // A "daemon" that accepts and reads but never replies: Await must
+  // fail with IOError within the configured deadline instead of
+  // blocking its thread forever.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  std::thread server([listen_fd] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    char sink[4096];
+    while (::recv(conn, sink, sizeof(sink), 0) > 0) {
+    }
+    ::close(conn);
+  });
+
+  MultiplexedClient::Options options;
+  options.port = ntohs(addr.sin_port);
+  options.connect_attempts = 1;
+  options.io_timeout_ms = 250;
+  auto client = MultiplexedClient::Connect(options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto begin = std::chrono::steady_clock::now();
+  auto got = (*client)->Get("select 1");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  EXPECT_GE(elapsed_ms, 200.0);
+  EXPECT_LT(elapsed_ms, 5000.0);
+  (*client).reset();  // closes the connection, unblocking the fake daemon
+  server.join();
+  ::close(listen_fd);
+}
+
+TEST_F(MultiplexedClientServerTest, TransportFailureIsStickyAndFailsFast) {
+  StartServer();
+  auto client = MakeClient();
+  ASSERT_TRUE(client->Ping().ok());
+  server_->Stop();  // closes the connection under the client
+  // The reader notices EOF and breaks the client; subsequent calls
+  // fail fast with the sticky status instead of hanging.
+  Status status;
+  for (int i = 0; i < 50; ++i) {
+    status = client->Ping();
+    if (!status.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(status.ok());
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client->Ping().ok());
+  const double fail_fast_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(fail_fast_ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -28,6 +28,109 @@ TEST(ProtocolTest, PingRequestRoundTrip) {
   auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->op, OpCode::kPing);
+  EXPECT_EQ(decoded->request_id, 0u);
+}
+
+TEST(ProtocolTest, RequestIdRoundTripsOnEveryOp) {
+  const uint64_t ids[] = {0, 1, 0x1234567890ABCDEFull, ~0ull};
+  for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
+                    OpCode::kInvalidate, OpCode::kInvalidateRelation,
+                    OpCode::kStats}) {
+    for (uint64_t id : ids) {
+      WireRequest request;
+      request.op = op;
+      request.request_id = id;
+      request.query_text = "select 1";
+      request.relation = "r";
+      auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+      ASSERT_TRUE(decoded.ok()) << OpCodeName(op);
+      EXPECT_EQ(decoded->op, op);
+      EXPECT_EQ(decoded->request_id, id) << OpCodeName(op);
+    }
+  }
+}
+
+TEST(ProtocolTest, ResponseRequestIdRoundTripsOnEveryOp) {
+  for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
+                    OpCode::kInvalidate, OpCode::kInvalidateRelation,
+                    OpCode::kStats}) {
+    WireResponse response;
+    response.op = op;
+    response.request_id = 0xFEEDFACECAFEBEEFull;
+    auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+    ASSERT_TRUE(decoded.ok()) << OpCodeName(op);
+    EXPECT_EQ(decoded->request_id, 0xFEEDFACECAFEBEEFull) << OpCodeName(op);
+  }
+}
+
+TEST(ProtocolTest, AppendRequestMatchesEncodeRequestAndBatches) {
+  WireRequest a;
+  a.op = OpCode::kGet;
+  a.request_id = 7;
+  a.query_text = "select a";
+  WireRequest b;
+  b.op = OpCode::kExecute;
+  b.request_id = 8;
+  b.query_text = "select b";
+  b.has_fill = true;
+  b.fill_payload = "bytes";
+  b.fill_cost = 5;
+  b.fill_relations = {"t", "u"};
+  std::string batched;
+  AppendRequest(a, &batched);
+  AppendRequest(b, &batched);
+  EXPECT_EQ(batched, EncodeRequest(a) + EncodeRequest(b));
+  // Both frames extract and decode back from the batched buffer.
+  std::string_view body;
+  size_t frame_size = 0;
+  ASSERT_TRUE(
+      *ExtractFrame(batched, kDefaultMaxFrameBytes, &body, &frame_size));
+  auto first = DecodeRequest(body);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->request_id, 7u);
+  ASSERT_TRUE(*ExtractFrame(std::string_view(batched).substr(frame_size),
+                            kDefaultMaxFrameBytes, &body, &frame_size));
+  auto second = DecodeRequest(body);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->request_id, 8u);
+  EXPECT_EQ(second->fill_relations, b.fill_relations);
+}
+
+TEST(ProtocolTest, PeekPrologueReadsOpAndIdFromUndecodableBodies) {
+  WireRequest request;
+  request.op = OpCode::kGet;
+  request.request_id = 42;
+  request.query_text = "select * from nation";
+  const std::string body = BodyOf(EncodeRequest(request));
+  // Every truncation that still contains the full prologue yields the
+  // (op, id) pair even though the request as a whole cannot decode.
+  for (size_t len = 10; len < body.size(); ++len) {
+    OpCode op = OpCode::kPing;
+    uint64_t id = 0;
+    PeekPrologue(body.substr(0, len), &op, &id);
+    EXPECT_EQ(op, OpCode::kGet) << len;
+    EXPECT_EQ(id, 42u) << len;
+  }
+  // Shorter than the prologue: outputs stay untouched.
+  for (size_t len = 0; len < 10; ++len) {
+    OpCode op = OpCode::kStats;
+    uint64_t id = 99;
+    PeekPrologue(body.substr(0, len), &op, &id);
+    EXPECT_EQ(op, OpCode::kStats) << len;
+    EXPECT_EQ(id, 99u) << len;
+  }
+  // Wrong version or bogus opcode: outputs stay untouched.
+  std::string bad_version = body;
+  bad_version[0] = static_cast<char>(kWireVersion + 1);
+  std::string bad_op = body;
+  bad_op[1] = 0x7f;
+  for (const std::string& mutated : {bad_version, bad_op}) {
+    OpCode op = OpCode::kStats;
+    uint64_t id = 99;
+    PeekPrologue(mutated, &op, &id);
+    EXPECT_EQ(op, OpCode::kStats);
+    EXPECT_EQ(id, 99u);
+  }
 }
 
 TEST(ProtocolTest, GetAndInvalidateRequestsCarryQueryText) {
@@ -367,6 +470,110 @@ TEST(ProtocolTest, TruncatedBodyIsCorruption) {
   for (size_t len = 0; len < body.size(); ++len) {
     auto decoded = DecodeRequest(body.substr(0, len));
     EXPECT_FALSE(decoded.ok()) << len;
+  }
+}
+
+/// Builds one representative request per opcode, covering every field
+/// of the v3 framing (request id, strings, fill block, string list).
+std::vector<WireRequest> RepresentativeRequests() {
+  std::vector<WireRequest> out;
+  for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
+                    OpCode::kInvalidate, OpCode::kInvalidateRelation,
+                    OpCode::kStats}) {
+    WireRequest r;
+    r.op = op;
+    r.request_id = 0xA5A5A5A5DEADBEEFull;
+    r.query_text = "select sum(x) from t";
+    r.relation = "lineitem";
+    if (op == OpCode::kExecute) {
+      r.has_fill = true;
+      r.fill_payload = "payload";
+      r.fill_cost = 123;
+      r.fill_relations = {"a", "bb"};
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// One representative response per opcode (stats included).
+std::vector<WireResponse> RepresentativeResponses() {
+  std::vector<WireResponse> out;
+  for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
+                    OpCode::kInvalidate, OpCode::kInvalidateRelation,
+                    OpCode::kStats}) {
+    WireResponse r;
+    r.op = op;
+    r.request_id = 77;
+    r.code = StatusCode::kOk;
+    r.cache_hit = true;
+    r.payload = "retrieved set";
+    r.dropped = 3;
+    if (op == OpCode::kStats) {
+      r.stats.lookups = 10;
+      r.stats.policy_name = "lru";
+      WireOpMetrics m;
+      m.op = 2;
+      m.requests = 4;
+      r.stats.per_op.push_back(m);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(ProtocolTest, EveryRequestPrefixFailsCleanly) {
+  // Property: no strict prefix of any op's body decodes (every field
+  // boundary of the request-id framing included), and none crashes.
+  for (const WireRequest& request : RepresentativeRequests()) {
+    const std::string body = BodyOf(EncodeRequest(request));
+    for (size_t len = 0; len < body.size(); ++len) {
+      auto decoded = DecodeRequest(body.substr(0, len));
+      EXPECT_FALSE(decoded.ok())
+          << OpCodeName(request.op) << " prefix " << len;
+    }
+    EXPECT_TRUE(DecodeRequest(body).ok()) << OpCodeName(request.op);
+  }
+}
+
+TEST(ProtocolTest, EveryResponsePrefixFailsCleanly) {
+  for (const WireResponse& response : RepresentativeResponses()) {
+    const std::string body = BodyOf(EncodeResponse(response));
+    for (size_t len = 0; len < body.size(); ++len) {
+      auto decoded = DecodeResponse(body.substr(0, len));
+      EXPECT_FALSE(decoded.ok())
+          << OpCodeName(response.op) << " prefix " << len;
+    }
+    EXPECT_TRUE(DecodeResponse(body).ok()) << OpCodeName(response.op);
+  }
+}
+
+TEST(ProtocolTest, SingleByteGarbageNeverCrashesTheDecoders) {
+  // Property: flipping any single byte to any of a few adversarial
+  // values either still decodes or fails with a clean status -- no
+  // crash, no hang (string lengths are the dangerous fields).
+  const uint8_t evil[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  for (const WireRequest& request : RepresentativeRequests()) {
+    const std::string body = BodyOf(EncodeRequest(request));
+    for (size_t at = 0; at < body.size(); ++at) {
+      for (uint8_t v : evil) {
+        std::string mutated = body;
+        mutated[at] = static_cast<char>(v);
+        auto decoded = DecodeRequest(mutated);
+        (void)decoded;  // any Status is fine; UB is not
+      }
+    }
+  }
+  for (const WireResponse& response : RepresentativeResponses()) {
+    const std::string body = BodyOf(EncodeResponse(response));
+    for (size_t at = 0; at < body.size(); ++at) {
+      for (uint8_t v : evil) {
+        std::string mutated = body;
+        mutated[at] = static_cast<char>(v);
+        auto decoded = DecodeResponse(mutated);
+        (void)decoded;
+      }
+    }
   }
 }
 

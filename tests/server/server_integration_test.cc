@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <barrier>
 #include <memory>
@@ -17,6 +22,63 @@
 
 namespace watchman {
 namespace {
+
+/// A raw blocking loopback connection for protocol-violation tests the
+/// client library cannot produce (it only encodes well-formed frames).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  void Send(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads one response frame; empty StatusOr error on EOF.
+  StatusOr<WireResponse> ReadResponse() {
+    char chunk[8192];
+    while (true) {
+      std::string_view body;
+      size_t frame_size = 0;
+      auto extracted =
+          ExtractFrame(buf_, kDefaultMaxFrameBytes, &body, &frame_size);
+      if (!extracted.ok()) return extracted.status();
+      if (*extracted) {
+        auto response = DecodeResponse(body);
+        buf_.erase(0, frame_size);
+        return response;
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Status::IOError("connection closed");
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
 
 std::string PayloadFor(const std::string& text) {
   return "payload(" + text + ")";
@@ -351,6 +413,173 @@ TEST_F(ServerIntegrationTest, OversizedFillRejectedAsCorruption) {
   // connection) or the write fails outright -- either way, no success.
   EXPECT_FALSE(result.ok());
   small_server.Stop();
+}
+
+TEST_F(ServerIntegrationTest, DecodeErrorEchoesRequestOpcodeAndId) {
+  // Regression: a request whose body fails to decode used to be
+  // answered with a default-constructed response whose op was kPing,
+  // so the client reported "response op mismatch: sent get, got ping"
+  // (Internal) and the daemon's real Corruption message was masked.
+  // The error response must echo the request's (op, id) whenever the
+  // prologue decoded.
+  StartServer();
+  WireRequest request;
+  request.op = OpCode::kGet;
+  request.request_id = 4242;
+  request.query_text = "select * from nation";
+  std::string frame = EncodeRequest(request);
+  // Truncate the body mid-string and patch the length prefix so the
+  // FRAME is well-formed but the REQUEST is not.
+  frame.resize(frame.size() - 5);
+  const uint32_t body_len = static_cast<uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<size_t>(i)] =
+        static_cast<char>((body_len >> (8 * i)) & 0xff);
+  }
+
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(frame);
+  auto response = conn.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->op, OpCode::kGet);
+  EXPECT_EQ(response->request_id, 4242u);
+  EXPECT_EQ(response->code, StatusCode::kCorruption);
+  EXPECT_EQ(server_->StatsSnapshot().frames_rejected, 1u);
+}
+
+TEST_F(ServerIntegrationTest, CorruptFrameMidStreamAnswersEarlierFrames) {
+  // A valid PING pipelined ahead of a garbage length prefix: the ping
+  // must be answered AND the framing error reported with the daemon's
+  // Corruption status before the connection closes. Responses may
+  // arrive in either order (v3 ids disambiguate).
+  StartServer();
+  WireRequest ping;
+  ping.op = OpCode::kPing;
+  ping.request_id = 7;
+  std::string stream = EncodeRequest(ping);
+  stream += std::string("\xff\xff\xff\xff garbage", 12);  // 4 GiB "frame"
+
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(stream);
+  bool saw_ping = false;
+  bool saw_corruption = false;
+  for (int i = 0; i < 2; ++i) {
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->request_id == 7) {
+      EXPECT_EQ(response->op, OpCode::kPing);
+      EXPECT_EQ(response->code, StatusCode::kOk);
+      saw_ping = true;
+    } else {
+      EXPECT_EQ(response->code, StatusCode::kCorruption);
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_ping);
+  EXPECT_TRUE(saw_corruption);
+  // After both responses the daemon closes cleanly (no reset: it
+  // half-closes and drains first, so the error always arrives).
+  auto eof = conn.ReadResponse();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServerIntegrationTest, OversizedFrameSurfacesCorruptionAtTheClient) {
+  // Acceptance: through the real client, a frame the daemon rejects
+  // must surface the daemon's Corruption message -- NOT an
+  // "op mismatch" Internal error, and not a bare connection reset.
+  WatchmanServer::Options tiny;
+  tiny.port = 0;
+  tiny.num_workers = 1;
+  tiny.max_frame_bytes = 1024;
+  Watchman::Options cache_options;
+  cache_options.capacity_bytes = 8 << 20;
+  Watchman small_cache(std::move(cache_options),
+                       WatchmanServer::MissFillExecutor());
+  WatchmanServer small_server(&small_cache, tiny);
+  ASSERT_TRUE(small_server.Start().ok());
+
+  WatchmanClient::Options options;
+  options.port = small_server.port();
+  options.connect_attempts = 1;
+  auto client = WatchmanClient::Connect(options);
+  ASSERT_TRUE(client.ok());
+  auto result = (*client)->Execute("q", std::string(100000, 'x'), 1, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("exceeds"), std::string::npos)
+      << result.status().ToString();
+  small_server.Stop();
+}
+
+TEST_F(ServerIntegrationTest, HalfClosePipelinedRequestsAllAnswered) {
+  // A peer that pipelines N requests and immediately shuts down its
+  // write side must still receive all N responses (the event loop
+  // parses buffered frames after EOF and closes only once the output
+  // drains).
+  StartServer();
+  std::string stream;
+  constexpr uint64_t kPings = 17;
+  for (uint64_t i = 1; i <= kPings; ++i) {
+    WireRequest ping;
+    ping.op = OpCode::kPing;
+    ping.request_id = i;
+    AppendRequest(ping, &stream);
+  }
+  RawConn conn(server_->port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(stream);
+  conn.ShutdownWrite();
+  uint64_t answered = 0;
+  for (uint64_t i = 0; i < kPings; ++i) {
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->code, StatusCode::kOk);
+    ++answered;
+  }
+  EXPECT_EQ(answered, kPings);
+  auto eof = conn.ReadResponse();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServerIntegrationTest, IoTimeoutReapsStalledConnection) {
+  // A connection stuck mid-frame (length prefix promises more bytes
+  // that never come) is closed once io_timeout_ms passes without
+  // progress; a healthy idle connection on the same server is NOT.
+  WatchmanServer::Options server_options;
+  server_options.port = 0;
+  server_options.io_timeout_ms = 200;
+  server_options.poll_interval_ms = 20;
+  Watchman::Options cache_options;
+  cache_options.capacity_bytes = 8 << 20;
+  Watchman cache(std::move(cache_options),
+                 WatchmanServer::MissFillExecutor());
+  WatchmanServer server(&cache, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn idle(server.port());
+  RawConn stuck(server.port());
+  ASSERT_TRUE(idle.connected());
+  ASSERT_TRUE(stuck.connected());
+  // Half a frame: 4-byte prefix promising 100 bytes, only 3 sent.
+  std::string half_frame("\x64", 1);
+  half_frame.append(3, '\0');
+  half_frame += "abc";
+  stuck.Send(half_frame);
+  // The stalled connection must be reaped...
+  auto reaped = stuck.ReadResponse();
+  EXPECT_FALSE(reaped.ok());
+  // ...while the idle one still works.
+  WireRequest ping;
+  ping.op = OpCode::kPing;
+  ping.request_id = 1;
+  idle.Send(EncodeRequest(ping));
+  auto pong = idle.ReadResponse();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+  server.Stop();
 }
 
 TEST_F(ServerIntegrationTest, GracefulShutdownStopsServing) {

@@ -1,8 +1,10 @@
 // Localhost throughput bench for the watchmand server stack.
 //
-// Starts a Watchman + WatchmanServer (epoll event loop) in-process on a
-// loopback ephemeral port, pre-fills a working set over the wire, then
-// measures three recorded scenarios on ONE connection:
+// Starts a Watchman + WatchmanServer in-process on a loopback ephemeral
+// port, pre-fills a working set over the wire, then measures recorded
+// scenarios on ONE connection. The legacy trio runs on the primary
+// server (--backend, default epoll; inline dispatch OFF so the numbers
+// stay comparable with the pre-inline trajectory):
 //
 //   loopback_get_blocking   -- WatchmanClient: one blocked round trip
 //                              per request (the pre-v3 floor)
@@ -13,14 +15,21 @@
 //   loopback_get_mux8t      -- 8 threads sharing ONE MultiplexedClient
 //                              connection, each doing blocking Gets
 //
+// and each fast-path lever then gets its own server + scenario:
+//
+//   loopback_get_blocking_inline -- epoll + IO-thread inline dispatch
+//   loopback_get_blocking_uring  -- io_uring backend (skipped with a
+//   loopback_get_pipelined_uring    notice when the kernel can't)
+//
 // plus an unrecorded thread sweep (1..max_threads blocking clients, a
 // connection each) and a PING round for the transport floor. The
 // recorded scenarios land in BENCH_micro.json format via --json; the
-// acceptance bar is pipelined >= 3x blocking on the same connection.
+// acceptance bars are pipelined >= 3x blocking on the same connection
+// and inline blocking RTT beating the queued path.
 //
 // Usage: bench_micro_server [--json=PATH] [--baseline=PATH]
-//          [--baseline-label=STR] [--scale=F] [--threads=N] [--ms=N]
-//          [--no-sweep]
+//          [--baseline-label=STR] [--backend=epoll|io_uring|auto]
+//          [--scale=F] [--threads=N] [--ms=N] [--no-sweep]
 
 #include <atomic>
 #include <barrier>
@@ -135,16 +144,17 @@ double RunSweepPoint(uint16_t port, int num_threads, int ms,
 }
 
 /// One blocked round trip per request on one connection.
-BenchResult RunBlockingGet(uint16_t port, uint64_t iters) {
+BenchResult RunBlockingGet(const std::string& scenario, uint16_t port,
+                           uint64_t iters) {
   WatchmanClient::Options options;
   options.port = port;
   auto client = WatchmanClient::Connect(options);
   if (!client.ok()) {
-    std::fprintf(stderr, "  loopback_get_blocking: cannot connect\n");
+    std::fprintf(stderr, "  %s: cannot connect\n", scenario.c_str());
     return BenchResult{};
   }
   FastRng rng(0xD00D);
-  return Measure("loopback_get_blocking", /*warmup=*/iters / 20, iters,
+  return Measure(scenario, /*warmup=*/iters / 20, iters,
                  /*batch=*/64, [&](uint64_t) {
                    DoNotOptimize((*client)
                                      ->Get(QueryText(rng.Next() &
@@ -158,10 +168,11 @@ BenchResult RunBlockingGet(uint16_t port, uint64_t iters) {
 /// whole burst. The writer path coalesces the burst into one send and
 /// the daemon's responses come back batched, so the per-request
 /// syscall/wakeup cost is ~1/window of the blocking client's.
-BenchResult RunPipelinedGet(uint16_t port, uint64_t iters, size_t window) {
+BenchResult RunPipelinedGet(const std::string& scenario, uint16_t port,
+                            uint64_t iters, size_t window) {
   auto client = MultiplexedClient::Connect({.port = port});
   if (!client.ok()) {
-    std::fprintf(stderr, "  loopback_get_pipelined: cannot connect\n");
+    std::fprintf(stderr, "  %s: cannot connect\n", scenario.c_str());
     return BenchResult{};
   }
   FastRng rng(0xF00D);
@@ -174,7 +185,7 @@ BenchResult RunPipelinedGet(uint16_t port, uint64_t iters, size_t window) {
     }
   };
   BenchResult r = Measure(
-      "loopback_get_pipelined", /*warmup=*/iters / 20, iters, /*batch=*/256,
+      scenario, /*warmup=*/iters / 20, iters, /*batch=*/256,
       [&](uint64_t) {
         auto ticket =
             (*client)->StartGet(QueryText(rng.Next() & (kWorkingSet - 1)));
@@ -265,6 +276,7 @@ int Run(int argc, char** argv) {
   std::string json_path;
   std::string baseline_path;
   std::string baseline_label = "baseline";
+  ServerBackend backend = ServerBackend::kEpoll;
   double scale = 1.0;
   int max_threads = 8;
   int ms_per_point = 400;
@@ -277,6 +289,11 @@ int Run(int argc, char** argv) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--baseline-label=", 0) == 0) {
       baseline_label = arg.substr(17);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      if (!ParseServerBackend(arg.substr(10), &backend)) {
+        std::fprintf(stderr, "unknown --backend (epoll|io_uring|auto)\n");
+        return 2;
+      }
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = std::strtod(arg.c_str() + 8, nullptr);
       if (scale <= 0.0) scale = 1.0;
@@ -291,8 +308,8 @@ int Run(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json=PATH] [--baseline=PATH] "
-                   "[--baseline-label=STR] [--scale=F] [--threads=N] "
-                   "[--ms=N] [--no-sweep]\n",
+                   "[--baseline-label=STR] [--backend=epoll|io_uring|auto] "
+                   "[--scale=F] [--threads=N] [--ms=N] [--no-sweep]\n",
                    argv[0]);
       return 2;
     }
@@ -314,9 +331,16 @@ int Run(int argc, char** argv) {
   options.num_shards = 8;
   Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
 
+  // The primary server runs the legacy-named scenarios with inline
+  // dispatch OFF so loopback_get_blocking / _pipelined / _mux8t stay
+  // comparable across the recorded trajectory (they predate the
+  // inline fast path). The lever scenarios below each start their own
+  // server with one lever flipped.
   WatchmanServer::Options server_options;
   server_options.port = 0;
   server_options.num_workers = static_cast<size_t>(max_threads);
+  server_options.backend = backend;
+  server_options.inline_dispatch = false;
   WatchmanServer server(&cache, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -349,18 +373,22 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("==============================================\n");
-  std::printf("watchmand loopback throughput (port %u, %zu shards, "
-              "%zu cached sets, hardware threads: %u, scale %.3f)\n",
-              static_cast<unsigned>(server.port()), cache.num_shards(),
-              cache.cached_set_count(), std::thread::hardware_concurrency(),
-              scale);
+  std::printf("watchmand loopback throughput (port %u, backend %s, "
+              "%zu shards, %zu cached sets, hardware threads: %u, "
+              "scale %.3f)\n",
+              static_cast<unsigned>(server.port()),
+              ServerBackendName(server.effective_backend()),
+              cache.num_shards(), cache.cached_set_count(),
+              std::thread::hardware_concurrency(), scale);
   std::printf("==============================================\n");
 
   JsonReport report("micro_server");
-  BenchResult blocking = RunBlockingGet(server.port(), scaled(3e4));
+  BenchResult blocking =
+      RunBlockingGet("loopback_get_blocking", server.port(), scaled(3e4));
   if (!blocking.scenario.empty()) report.Add(blocking);
-  BenchResult pipelined =
-      RunPipelinedGet(server.port(), scaled(2e5), /*window=*/32);
+  BenchResult pipelined = RunPipelinedGet("loopback_get_pipelined",
+                                          server.port(), scaled(2e5),
+                                          /*window=*/32);
   if (!pipelined.scenario.empty()) report.Add(pipelined);
   BenchResult mux =
       RunMuxThreads(server.port(), /*threads=*/8, scaled(2e4));
@@ -372,6 +400,56 @@ int Run(int argc, char** argv) {
   if (blocking.ops_per_sec > 0 && mux.ops_per_sec > 0) {
     std::printf("8-thread mux vs blocking (one connection): %.2fx\n",
                 mux.ops_per_sec / blocking.ops_per_sec);
+  }
+
+  // ---- per-lever scenarios: one server each, one lever flipped ----
+  // Inline dispatch on the epoll loop: blocking round trips are
+  // answered on the IO thread (no worker handoff), the headline
+  // latency lever for a blocking client.
+  {
+    WatchmanServer::Options opts = server_options;
+    opts.backend = ServerBackend::kEpoll;
+    opts.inline_dispatch = true;
+    WatchmanServer inline_server(&cache, opts);
+    if (inline_server.Start().ok()) {
+      BenchResult r = RunBlockingGet("loopback_get_blocking_inline",
+                                     inline_server.port(), scaled(3e4));
+      if (!r.scenario.empty()) report.Add(r);
+      if (blocking.ops_per_sec > 0 && r.ops_per_sec > 0) {
+        std::printf("inline vs queued blocking RTT: %.2fx\n",
+                    r.ops_per_sec / blocking.ops_per_sec);
+      }
+      std::printf("  (%llu of the requests took the inline path)\n",
+                  static_cast<unsigned long long>(
+                      inline_server.inline_dispatched()));
+      inline_server.Stop();
+    }
+  }
+  // The io_uring completion loop (inline dispatch on as well): batched
+  // submission amortizes syscalls under pipelined load.
+  {
+    WatchmanServer::Options opts = server_options;
+    opts.backend = ServerBackend::kIoUring;
+    opts.inline_dispatch = true;
+    WatchmanServer uring_server(&cache, opts);
+    if (!uring_server.Start().ok() ||
+        uring_server.effective_backend() != ServerBackend::kIoUring) {
+      std::printf("\n(io_uring unavailable on this kernel; skipping "
+                  "loopback_*_uring scenarios)\n");
+    } else {
+      BenchResult r = RunBlockingGet("loopback_get_blocking_uring",
+                                     uring_server.port(), scaled(3e4));
+      if (!r.scenario.empty()) report.Add(r);
+      BenchResult p = RunPipelinedGet("loopback_get_pipelined_uring",
+                                      uring_server.port(), scaled(2e5),
+                                      /*window=*/32);
+      if (!p.scenario.empty()) report.Add(p);
+      if (pipelined.ops_per_sec > 0 && p.ops_per_sec > 0) {
+        std::printf("uring vs epoll pipelined: %.2fx\n",
+                    p.ops_per_sec / pipelined.ops_per_sec);
+      }
+      uring_server.Stop();
+    }
   }
 
   if (sweep) {

@@ -172,6 +172,7 @@ bool ReplaySafe(OpCode op) {
     case OpCode::kGet:
     case OpCode::kStats:
     case OpCode::kExecute:
+    case OpCode::kCompact:
       return true;
     case OpCode::kInvalidate:
     case OpCode::kInvalidateRelation:
@@ -397,6 +398,14 @@ StatusOr<WireStats> WatchmanClient::Stats() {
   StatusOr<WireResponse> response = RoundTrip(request);
   if (!response.ok()) return response.status();
   return ToStats(std::move(*response));
+}
+
+Status WatchmanClient::Compact() {
+  WireRequest request;
+  request.op = OpCode::kCompact;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->code, response->message);
 }
 
 // --------------------------------------------------- MultiplexedClient
@@ -660,6 +669,12 @@ StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartStats() {
   return StartRequest(request);
 }
 
+StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartCompact() {
+  WireRequest request;
+  request.op = OpCode::kCompact;
+  return StartRequest(request);
+}
+
 Status MultiplexedClient::Ping() {
   StatusOr<Ticket> ticket = StartPing();
   if (!ticket.ok()) return ticket.status();
@@ -721,6 +736,14 @@ StatusOr<WireStats> MultiplexedClient::Stats() {
   StatusOr<WireResponse> response = Await(*ticket);
   if (!response.ok()) return response.status();
   return ToStats(std::move(*response));
+}
+
+Status MultiplexedClient::Compact() {
+  StatusOr<Ticket> ticket = StartCompact();
+  if (!ticket.ok()) return ticket.status();
+  StatusOr<WireResponse> response = Await(*ticket);
+  if (!response.ok()) return response.status();
+  return StatusFromWire(response->code, response->message);
 }
 
 // ------------------------------------------------------ RemoteWatchman

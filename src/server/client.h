@@ -119,6 +119,10 @@ class WatchmanClient {
 
   StatusOr<WireStats> Stats();
 
+  /// Forces a metadata compaction pass on the daemon (idempotent, so
+  /// replay-safe).
+  Status Compact();
+
  private:
   explicit WatchmanClient(Options options);
 
@@ -178,6 +182,7 @@ class MultiplexedClient {
   StatusOr<Ticket> StartInvalidate(const std::string& query_text);
   StatusOr<Ticket> StartInvalidateRelation(const std::string& relation);
   StatusOr<Ticket> StartStats();
+  StatusOr<Ticket> StartCompact();
 
   /// Sends every buffered frame now (Await does this implicitly).
   Status Flush();
@@ -198,6 +203,7 @@ class MultiplexedClient {
   StatusOr<uint64_t> Invalidate(const std::string& query_text);
   StatusOr<uint64_t> InvalidateRelation(const std::string& relation);
   StatusOr<WireStats> Stats();
+  Status Compact();
 
  private:
   struct PendingCall {

@@ -9,14 +9,20 @@
 // Usage:
 //   watchmand [--policy=lnc-ra(k=4)] [--capacity=256m] [--shards=8]
 //             [--port=9736] [--host=127.0.0.1] [--workers=N]
-//             [--io-timeout=MS] [--normalize] [--stats-interval=30]
-//             [--verbose]
+//             [--backend=epoll|io_uring|auto] [--no-inline]
+//             [--compact-idle=SECONDS] [--io-timeout=MS] [--normalize]
+//             [--stats-interval=30] [--verbose]
 //
 // --capacity accepts plain bytes or k/m/g suffixes. --policy accepts
-// everything ParsePolicy does. --io-timeout closes connections stuck
-// mid-frame / mid-flush with no progress for MS milliseconds (0 =
-// never). SIGINT/SIGTERM shut down gracefully and print a final stats
-// report.
+// everything ParsePolicy does. --backend picks the event backend:
+// `auto` (the default) serves with io_uring when the kernel provides
+// it and falls back to epoll silently; `io_uring` also falls back but
+// logs a warning; `epoll` never probes. --no-inline disables the
+// IO-thread inline fast path for cheap ops. --compact-idle runs a
+// metadata compaction pass after the daemon has been idle that many
+// seconds (0 = never). --io-timeout closes connections stuck mid-frame
+// / mid-flush with no progress for MS milliseconds (0 = never).
+// SIGINT/SIGTERM shut down gracefully and print a final stats report.
 
 #include <algorithm>
 #include <chrono>
@@ -45,6 +51,9 @@ struct Flags {
   size_t shards = 8;
   uint16_t port = 9736;
   size_t workers = 0;  // 0 = hardware concurrency
+  ServerBackend backend = ServerBackend::kAuto;
+  bool inline_dispatch = true;
+  uint64_t compact_idle_s = 300;
   uint64_t io_timeout_ms = 30000;
   uint64_t stats_interval_s = 0;
   bool normalize = false;
@@ -56,6 +65,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--policy=<name>] [--capacity=<bytes|k|m|g>] "
       "[--shards=<n>] [--port=<p>] [--host=<addr>] [--workers=<n>]\n"
+      "       [--backend=epoll|io_uring|auto] [--no-inline] "
+      "[--compact-idle=<seconds>]\n"
       "       [--io-timeout=<ms>] [--normalize] "
       "[--stats-interval=<seconds>] [--verbose]\n",
       argv0);
@@ -110,6 +121,16 @@ void PrintStats(const WireStats& stats) {
       static_cast<unsigned long long>(stats.connections_queued_peak),
       static_cast<unsigned long long>(stats.requests_served),
       static_cast<unsigned long long>(stats.frames_rejected));
+  if (stats.last_compaction_age_ms == WireStats::kNeverCompacted) {
+    std::printf("backend %s, %llu compactions (none yet)\n",
+                stats.backend.c_str(),
+                static_cast<unsigned long long>(stats.compactions));
+  } else {
+    std::printf("backend %s, %llu compactions (last %.1fs ago)\n",
+                stats.backend.c_str(),
+                static_cast<unsigned long long>(stats.compactions),
+                static_cast<double>(stats.last_compaction_age_ms) / 1000.0);
+  }
   for (const WireOpMetrics& op : stats.per_op) {
     std::printf(
         "  %-20s %10llu reqs %6llu errs   latency us mean %8.1f  min %8.1f"
@@ -157,6 +178,22 @@ int Run(int argc, char** argv) {
         return 2;
       }
       flags.workers = static_cast<size_t>(workers);
+    } else if (ParseFlag(arg, "backend", &value)) {
+      if (!ParseServerBackend(value, &flags.backend)) {
+        std::fprintf(stderr,
+                     "--backend: expected epoll|io_uring|auto, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "compact-idle", &value)) {
+      if (!ParseUint(value, 86400, &flags.compact_idle_s)) {
+        std::fprintf(stderr,
+                     "--compact-idle: expected seconds 0..86400, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-inline") {
+      flags.inline_dispatch = false;
     } else if (ParseFlag(arg, "io-timeout", &value)) {
       if (!ParseUint(value, 86400000, &flags.io_timeout_ms)) {
         std::fprintf(stderr,
@@ -210,6 +247,10 @@ int Run(int argc, char** argv) {
       flags.workers != 0 ? flags.workers
                          : std::max(4u, std::thread::hardware_concurrency());
   server_options.io_timeout_ms = static_cast<int>(flags.io_timeout_ms);
+  server_options.backend = flags.backend;
+  server_options.inline_dispatch = flags.inline_dispatch;
+  server_options.compact_idle_ms =
+      static_cast<int64_t>(flags.compact_idle_s) * 1000;
   WatchmanServer server(&cache, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -217,11 +258,12 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf("watchmand serving %s on %s:%u (%s capacity, %zu shards, "
-              "%zu workers)\n",
+              "%zu workers, %s backend)\n",
               cache.policy_name().c_str(), flags.host.c_str(),
               static_cast<unsigned>(server.port()),
               HumanBytes(*capacity).c_str(), cache.num_shards(),
-              server_options.num_workers);
+              server_options.num_workers,
+              ServerBackendName(server.effective_backend()));
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -188,6 +188,9 @@ void PutStats(std::string* out, const WireStats& s) {
   PutU64(out, s.connections_queued_peak);
   PutU64(out, s.requests_served);
   PutU64(out, s.frames_rejected);
+  PutU64(out, s.compactions);
+  PutU64(out, s.last_compaction_age_ms);
+  PutString(out, s.backend);
   PutU32(out, static_cast<uint32_t>(s.per_op.size()));
   for (const WireOpMetrics& m : s.per_op) {
     PutU8(out, m.op);
@@ -225,6 +228,9 @@ WireStats ReadStats(Reader* r) {
   s.connections_queued_peak = r->U64();
   s.requests_served = r->U64();
   s.frames_rejected = r->U64();
+  s.compactions = r->U64();
+  s.last_compaction_age_ms = r->U64();
+  s.backend = r->String();
   const uint32_t ops = r->U32();
   for (uint32_t i = 0; i < ops && r->ok(); ++i) {
     WireOpMetrics m;
@@ -260,6 +266,8 @@ const char* OpCodeName(OpCode op) {
       return "invalidate_relation";
     case OpCode::kStats:
       return "stats";
+    case OpCode::kCompact:
+      return "compact";
   }
   return "?";
 }
@@ -274,6 +282,7 @@ void AppendRequest(const WireRequest& request, std::string* out) {
   switch (request.op) {
     case OpCode::kPing:
     case OpCode::kStats:
+    case OpCode::kCompact:
       break;
     case OpCode::kGet:
     case OpCode::kInvalidate:
@@ -321,6 +330,7 @@ Status DecodeRequestInto(std::string_view body, WireRequest* request) {
   switch (request->op) {
     case OpCode::kPing:
     case OpCode::kStats:
+    case OpCode::kCompact:
       break;
     case OpCode::kGet:
     case OpCode::kInvalidate:
@@ -359,6 +369,7 @@ void AppendResponse(const WireResponse& response, std::string* out) {
   PutString(out, response.message);
   switch (response.op) {
     case OpCode::kPing:
+    case OpCode::kCompact:
       break;
     case OpCode::kExecute:
     case OpCode::kGet:
@@ -399,6 +410,7 @@ StatusOr<WireResponse> DecodeResponse(std::string_view body) {
   response.message = r.String();
   switch (response.op) {
     case OpCode::kPing:
+    case OpCode::kCompact:
       break;
     case OpCode::kExecute:
     case OpCode::kGet:

@@ -38,7 +38,11 @@ namespace watchman {
 /// which lets one connection carry many in-flight requests with
 /// out-of-order responses (MultiplexedClient) and lets error responses
 /// be routed to the request that caused them.
-inline constexpr uint8_t kWireVersion = 3;
+///
+/// v4: adds the COMPACT opcode (force metadata compaction) and extends
+/// the STATS payload with compaction counters and the serving backend
+/// name.
+inline constexpr uint8_t kWireVersion = 4;
 
 /// Upper bound both sides place on one frame's body (guards the length
 /// prefix against garbage and bounds per-connection memory).
@@ -53,9 +57,10 @@ enum class OpCode : uint8_t {
   kInvalidate = 4,          // drop one query's retrieved set
   kInvalidateRelation = 5,  // drop every set that read a relation
   kStats = 6,               // cache + server counters snapshot
+  kCompact = 7,             // force a metadata compaction pass
 };
 
-inline constexpr size_t kNumOpCodes = 6;
+inline constexpr size_t kNumOpCodes = 7;
 
 /// True if `raw` encodes a known OpCode.
 bool IsValidOpCode(uint8_t raw);
@@ -133,7 +138,17 @@ struct WireStats {
   uint64_t connections_queued_peak = 0;
   uint64_t requests_served = 0;
   uint64_t frames_rejected = 0;
+  /// Metadata compactions run by the daemon (idle timer or COMPACT op).
+  uint64_t compactions = 0;
+  /// Milliseconds since the last compaction at snapshot time;
+  /// kNeverCompacted when none has run yet.
+  uint64_t last_compaction_age_ms = kNeverCompacted;
+  /// Event backend actually serving ("epoll" or "io_uring") -- the
+  /// requested backend may have fallen back at startup.
+  std::string backend;
   std::vector<WireOpMetrics> per_op;
+
+  static constexpr uint64_t kNeverCompacted = ~0ull;
 
   double hit_ratio() const {
     return lookups == 0 ? 0.0

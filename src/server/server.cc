@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -13,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "server/uring.h"
 #include "util/logging.h"
 
 namespace watchman {
@@ -35,7 +37,55 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// io_uring CQE routing: user_data is a Connection* (8-byte aligned)
+// with a low-bit operation tag, or a pointer-free constant for the
+// listen socket / wake eventfd. Conn-tagged values never collide with
+// the constants because conn tags start at 3.
+constexpr uint64_t kUdTagMask = 7;
+constexpr uint64_t kUdAccept = 1;
+constexpr uint64_t kUdWake = 2;
+constexpr uint64_t kUdRecv = 3;
+constexpr uint64_t kUdPollOut = 4;
+constexpr uint64_t kUdCancel = 5;
+
+uint64_t ConnUserData(const void* conn, uint64_t tag) {
+  return reinterpret_cast<uint64_t>(conn) | tag;
+}
+
+/// One-shot receive chunk (kernels without provided-buffer rings);
+/// matches the epoll read chunk.
+constexpr size_t kUringChunkBytes = 64 * 1024;
+/// Provided-buffer group geometry for multishot receive.
+constexpr uint32_t kUringBufCount = 128;
+constexpr size_t kUringBufBytes = 16 * 1024;
+constexpr unsigned kUringSqDepth = 512;
+
 }  // namespace
+
+const char* ServerBackendName(ServerBackend backend) {
+  switch (backend) {
+    case ServerBackend::kEpoll:
+      return "epoll";
+    case ServerBackend::kIoUring:
+      return "io_uring";
+    case ServerBackend::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool ParseServerBackend(std::string_view text, ServerBackend* out) {
+  if (text == "epoll") {
+    *out = ServerBackend::kEpoll;
+  } else if (text == "io_uring" || text == "uring") {
+    *out = ServerBackend::kIoUring;
+  } else if (text == "auto") {
+    *out = ServerBackend::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 WatchmanServer::WatchmanServer(Watchman* cache, Options options)
     : cache_(cache), options_(std::move(options)) {}
@@ -114,49 +164,90 @@ Status WatchmanServer::Start() {
     ::close(fd);
     return status;
   }
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+
+  // Resolve the serving backend before spawning any thread: kAuto
+  // silently takes whatever the kernel offers, kIoUring logs its
+  // fallback so operators notice the capability gap.
+  effective_backend_ = ServerBackend::kEpoll;
+  if (options_.backend != ServerBackend::kEpoll) {
+    std::unique_ptr<Uring> ring;
+    if (!options_.simulate_io_uring_unavailable && Uring::KernelSupported()) {
+      ring = std::make_unique<Uring>();
+      const Status ring_status = ring->Init(kUringSqDepth);
+      if (!ring_status.ok()) ring.reset();
+    }
+    if (ring != nullptr) {
+      ring->SetupBuffers(0, kUringBufCount, kUringBufBytes);
+      uring_ = std::move(ring);
+      effective_backend_ = ServerBackend::kIoUring;
+    } else if (options_.backend == ServerBackend::kIoUring) {
+      WATCHMAN_LOG(Warning)
+          << "io_uring backend requested but this kernel cannot provide "
+             "io_uring; falling back to epoll";
+    }
+  }
+
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+  if (wake_fd_ < 0) {
     const Status status =
-        Status::IOError(std::string("epoll/eventfd: ") +
-                        std::strerror(errno));
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    epoll_fd_ = wake_fd_ = -1;
+        Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+    uring_.reset();
     ::close(fd);
     return status;
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = fd;
-  const int add_listen = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-  ev.data.fd = wake_fd_;
-  const int add_wake = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-  if (add_listen != 0 || add_wake != 0) {
-    const Status status =
-        Status::IOError(std::string("epoll_ctl: ") + std::strerror(errno));
-    ::close(epoll_fd_);
-    ::close(wake_fd_);
-    epoll_fd_ = wake_fd_ = -1;
-    ::close(fd);
-    return status;
+  if (effective_backend_ == ServerBackend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      const Status status =
+          Status::IOError(std::string("epoll: ") + std::strerror(errno));
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+      ::close(fd);
+      return status;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    const int add_listen = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    ev.data.fd = wake_fd_;
+    const int add_wake =
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+    if (add_listen != 0 || add_wake != 0) {
+      const Status status =
+          Status::IOError(std::string("epoll_ctl: ") + std::strerror(errno));
+      ::close(epoll_fd_);
+      ::close(wake_fd_);
+      epoll_fd_ = wake_fd_ = -1;
+      ::close(fd);
+      return status;
+    }
   }
 
   bound_port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   start_time_ = std::chrono::steady_clock::now();
+  accept_paused_ = false;
+  accept_armed_ = false;
+  wake_armed_ = false;
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
 
-  io_thread_ = std::thread([this] { IoLoop(); });
+  io_thread_ = std::thread([this] {
+    if (effective_backend_ == ServerBackend::kIoUring) {
+      UringLoop();
+    } else {
+      IoLoop();
+    }
+  });
   const size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   WATCHMAN_LOG(Info) << "watchmand listening on " << options_.bind_address
-                     << ":" << bound_port_ << " (event loop, " << workers
-                     << " workers)";
+                     << ":" << bound_port_ << " ("
+                     << ServerBackendName(effective_backend_)
+                     << " event loop, " << workers << " workers)";
   return Status::OK();
 }
 
@@ -178,13 +269,30 @@ void WatchmanServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // All threads are gone: tear down every remaining socket.
+  // All threads are gone: tear down every remaining socket. Closing the
+  // ring cancels whatever SQEs still reference these fds.
   for (auto& [fd, conn] : conns_) {
     ::close(fd);
     conn->fd = -1;
   }
   conns_.clear();
-  ready_.clear();
+  for (auto& conn : uring_closing_) {
+    if (conn->defunct_fd >= 0) {
+      ::close(conn->defunct_fd);
+      conn->defunct_fd = -1;
+    }
+  }
+  uring_closing_.clear();
+  uring_conns_.clear();
+  uring_rearm_.clear();
+  uring_.reset();
+  finishing_.clear();
+  paused_reads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(ready_mu_);
+    ready_.clear();
+    ready_depth_.store(0, std::memory_order_relaxed);
+  }
   dirty_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -205,6 +313,7 @@ void WatchmanServer::Stop() {
 void WatchmanServer::IoLoop() {
   std::vector<epoll_event> events(128);
   while (!stop_.load(std::memory_order_acquire)) {
+    inline_budget_used_ = 0;
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()),
                                options_.poll_interval_ms);
@@ -248,24 +357,7 @@ void WatchmanServer::IoLoop() {
         FinishConnection(conn);
       }
     }
-    // Connections workers flagged (leftover output, last in-flight
-    // frame done, protocol violation).
-    std::vector<std::shared_ptr<Connection>> dirty;
-    {
-      std::lock_guard<std::mutex> lock(dirty_mu_);
-      dirty.swap(dirty_);
-    }
-    for (const auto& conn : dirty) {
-      conn->dirty_pending.store(false, std::memory_order_release);
-      if (conn->fd < 0) continue;
-      {
-        // Batched flush: whatever workers appended since the wake.
-        std::lock_guard<std::mutex> lock(conn->out_mu);
-        FlushLocked(conn.get());
-      }
-      UpdateWriteInterest(conn);
-      FinishConnection(conn);
-    }
+    ProcessDirtyConnections();
     SweepConnections();
   }
 }
@@ -287,28 +379,40 @@ void WatchmanServer::AcceptReady() {
       }
       return;  // EAGAIN or listen socket going away
     }
-    const int one = 1;
-    ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (options_.sndbuf_bytes > 0) {
-      ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
-                   sizeof(options_.sndbuf_bytes));
-    }
+    AdoptConnection(conn_fd);
+  }
+}
+
+void WatchmanServer::AdoptConnection(int conn_fd) {
+  const int one = 1;
+  ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.sndbuf_bytes > 0) {
+    ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+  }
+  auto conn = std::make_shared<Connection>();
+  conn->fd = conn_fd;
+  conn->inbuf = body_pool_.Acquire();
+  conn->outbuf = body_pool_.Acquire();
+  conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
+  if (effective_backend_ == ServerBackend::kIoUring) {
+    uring_conns_.emplace(conn.get(), conn);
+    UringArmRecv(conn);
+  } else {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = conn_fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn_fd, &ev) != 0) {
       // ENOMEM / watch-limit exhaustion: a connection that can never be
       // polled would hang its peer and leak; refuse it instead.
+      conn->fd = -1;
       ::close(conn_fd);
-      continue;
+      return;
     }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = conn_fd;
-    conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
-    conns_.emplace(conn_fd, conn);
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
+  conns_.emplace(conn_fd, conn);
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
@@ -354,9 +458,58 @@ void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
   }
 }
 
+bool WatchmanServer::CanInline(const std::shared_ptr<Connection>& conn,
+                               std::string_view body) const {
+  // Peek the claimed opcode (prologue byte 1); a frame too short to
+  // carry one takes the worker path and errors there.
+  if (body.size() < 2) return false;
+  const uint8_t raw_op = static_cast<uint8_t>(body[1]);
+  if (raw_op != static_cast<uint8_t>(OpCode::kPing) &&
+      raw_op != static_cast<uint8_t>(OpCode::kGet) &&
+      raw_op != static_cast<uint8_t>(OpCode::kStats)) {
+    return false;
+  }
+  // Starvation guards: a bounded burst per tick, never ahead of this
+  // connection's queued frames (response order), never while any
+  // connection has queued work (a waiting EXECUTE is served first --
+  // subsequent cheap frames queue FIFO behind it).
+  if (inline_budget_used_ >= options_.max_inline_burst) return false;
+  if (conn->inflight.load(std::memory_order_acquire) != 0) return false;
+  return ready_depth_.load(std::memory_order_acquire) == 0;
+}
+
+void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
+                                    std::string_view body) {
+  const Status decoded = DecodeRequestInto(body, &io_request_);
+  if (!decoded.ok()) {
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    WireResponse err;
+    err.code = decoded.code();
+    err.message = decoded.message();
+    PeekPrologue(body, &err.op, &err.request_id);
+    conn->draining.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->send_error) AppendResponse(err, &conn->outbuf);
+    return;
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  Dispatch(io_request_, &io_response_);
+  const double latency_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - begin)
+                                .count();
+  RecordOp(io_request_.op, io_response_.code, latency_us);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // Encode straight into the out-buffer: no worker can be appending
+  // (inflight == 0 gated) so the lock is uncontended, and the response
+  // never exists as a separate copy.
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (!conn->send_error) AppendResponse(io_response_, &conn->outbuf);
+}
+
 void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   size_t consumed = 0;
   size_t enqueued = 0;
+  bool inlined = false;
   while (!conn->draining.load(std::memory_order_acquire)) {
     std::string_view body;
     size_t frame_size = 0;
@@ -385,14 +538,25 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
       break;
     }
     if (!*extracted) break;
+    if (options_.inline_dispatch && CanInline(conn, body)) {
+      ++inline_budget_used_;
+      inline_dispatched_.fetch_add(1, std::memory_order_relaxed);
+      InlineDispatch(conn, body);
+      inlined = true;
+      consumed += frame_size;
+      continue;
+    }
     Work work;
     work.conn = conn;
-    work.body.assign(body);
+    work.body = body_pool_.Acquire();
+    work.body.assign(body.data(), body.size());
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    inflight_frames_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(ready_mu_);
       ready_.push_back(std::move(work));
       const uint64_t depth = ready_.size();
+      ready_depth_.store(depth, std::memory_order_relaxed);
       if (depth > connections_queued_peak_.load(std::memory_order_relaxed)) {
         connections_queued_peak_.store(depth, std::memory_order_relaxed);
       }
@@ -406,6 +570,19 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   } else if (enqueued > 1) {
     ready_cv_.notify_all();
   }
+  if (inlined) {
+    // One flush per batch: every inline response of a pipelined burst
+    // leaves in a single send.
+    bool flushed;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      flushed = FlushLocked(conn.get());
+    }
+    if (!flushed) UpdateWriteInterest(conn);
+  }
+  if (enqueued > 0 || inlined) {
+    last_activity_ms_.store(NowMs(), std::memory_order_relaxed);
+  }
   // Backpressure: a peer that pipelines faster than workers drain gets
   // its reads paused instead of ballooning the ready-queue.
   if (!conn->read_paused &&
@@ -417,11 +594,15 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   }
 }
 
-/// Re-registers the connection's epoll interest from its current
+/// Re-applies the connection's read-side interest from its current
 /// state: reads are off while paused for backpressure or after EOF (a
 /// socket at EOF is permanently readable and would spin a
-/// level-triggered loop), writes are on while output is pending.
+/// level-triggered loop), epoll writes are on while output is pending.
 void WatchmanServer::RearmInterest(const std::shared_ptr<Connection>& conn) {
+  if (effective_backend_ == ServerBackend::kIoUring) {
+    UringUpdateReadInterest(conn);
+    return;
+  }
   if (conn->fd < 0) return;
   const bool read_off =
       conn->read_paused || conn->input_closed.load(std::memory_order_acquire);
@@ -438,6 +619,12 @@ void WatchmanServer::UpdateWriteInterest(
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     pending = !conn->send_error && conn->out_off < conn->outbuf.size();
+  }
+  if (effective_backend_ == ServerBackend::kIoUring) {
+    // One-shot POLLOUT: armed while output is pending; an arm that
+    // fires with nothing left to write is harmless, so no disarm.
+    if (pending && !conn->pollout_armed) UringArmPollOut(conn);
+    return;
   }
   if (pending == conn->want_write) return;
   conn->want_write = pending;
@@ -490,7 +677,7 @@ void WatchmanServer::FinishConnection(
     return;
   }
   if (!flushed) {
-    EnqueueFinishing(conn);  // EPOLLOUT will finish the job
+    EnqueueFinishing(conn);  // write readiness will finish the job
     return;
   }
   if (input_closed) {
@@ -508,14 +695,20 @@ void WatchmanServer::FinishConnection(
 }
 
 void WatchmanServer::SweepConnections() {
-  // Retry accepting after fd exhaustion (50ms duty cycle, not a spin).
+  // Retry accepting after fd exhaustion (one tick duty cycle, not a
+  // spin).
   if (accept_paused_ && listen_fd_ >= 0) {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = listen_fd_;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+    if (effective_backend_ == ServerBackend::kIoUring) {
       accept_paused_ = false;
-      AcceptReady();
+      UringArmAccept();
+    } else {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+        accept_paused_ = false;
+        AcceptReady();
+      }
     }
   }
   // Resume paused reads once workers drained half the backlog.
@@ -580,16 +773,356 @@ void WatchmanServer::SweepConnections() {
     }
     for (const auto& conn : to_close) CloseConnection(conn);
   }
+  MaybeCompactIdle();
+}
+
+void WatchmanServer::ProcessDirtyConnections() {
+  // Connections workers flagged (leftover output, last in-flight frame
+  // done, protocol violation).
+  dirty_scratch_.clear();
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_scratch_.swap(dirty_);
+  }
+  for (const auto& conn : dirty_scratch_) {
+    conn->dirty_pending.store(false, std::memory_order_release);
+    if (conn->fd < 0) continue;
+    {
+      // Batched flush: whatever workers appended since the wake.
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      FlushLocked(conn.get());
+    }
+    UpdateWriteInterest(conn);
+    FinishConnection(conn);
+  }
+  dirty_scratch_.clear();
 }
 
 void WatchmanServer::CloseConnection(
     const std::shared_ptr<Connection>& conn) {
+  if (effective_backend_ == ServerBackend::kIoUring) {
+    UringCloseConnection(conn);
+    return;
+  }
   if (conn->fd < 0) return;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   conns_.erase(conn->fd);
   conn->fd = -1;
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  ReleaseConnectionBuffers(conn);
+}
+
+void WatchmanServer::ReleaseConnectionBuffers(
+    const std::shared_ptr<Connection>& conn) {
+  body_pool_.Release(std::move(conn->inbuf));
+  conn->inbuf = std::string();
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    out.swap(conn->outbuf);
+    conn->out_off = 0;
+  }
+  body_pool_.Release(std::move(out));
+  if (conn->chunk.capacity() > 0) {
+    body_pool_.Release(std::move(conn->chunk));
+    conn->chunk = std::string();
+  }
+}
+
+void WatchmanServer::MaybeCompactIdle() {
+  if (options_.compact_idle_ms <= 0) return;
+  if (ready_depth_.load(std::memory_order_relaxed) != 0) return;
+  if (inflight_frames_.load(std::memory_order_acquire) != 0) return;
+  const int64_t now = NowMs();
+  const int64_t last_activity =
+      last_activity_ms_.load(std::memory_order_relaxed);
+  if (now - last_activity < options_.compact_idle_ms) return;
+  // At most one pass per idle period: traffic must arrive before the
+  // next timer-driven compaction fires.
+  if (last_compaction_ms_.load(std::memory_order_relaxed) >= last_activity) {
+    return;
+  }
+  RunCompaction();
+}
+
+void WatchmanServer::RunCompaction() {
+  cache_->CompactMetadata();
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  last_compaction_ms_.store(NowMs(), std::memory_order_relaxed);
+}
+
+// --------------------------------------------------- io_uring IO thread
+
+void WatchmanServer::UringLoop() {
+  UringArmAccept();
+  UringArmWake();
+  std::vector<Uring::Completion> cqes;
+  cqes.reserve(kUringSqDepth);
+  while (!stop_.load(std::memory_order_acquire)) {
+    inline_budget_used_ = 0;
+    // One syscall submits everything armed since the last tick AND
+    // waits for the next batch of completions.
+    uring_->SubmitAndWait(1, options_.poll_interval_ms);
+    cqes.clear();
+    uring_->DrainCompletions(&cqes);
+    uring_rearm_.clear();
+    for (const Uring::Completion& c : cqes) {
+      if (c.user_data == kUdAccept) {
+        HandleAcceptCqe(c.res, c.flags);
+        continue;
+      }
+      if (c.user_data == kUdWake) {
+        wake_armed_ = false;  // one-shot poll; re-armed below
+        uint64_t junk = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &junk, sizeof(junk));
+        continue;
+      }
+      Connection* raw =
+          reinterpret_cast<Connection*>(c.user_data & ~kUdTagMask);
+      auto it = uring_conns_.find(raw);
+      if (it == uring_conns_.end()) continue;  // defensively: unknown op
+      std::shared_ptr<Connection> conn = it->second;
+      switch (c.user_data & kUdTagMask) {
+        case kUdRecv:
+          HandleRecvCqe(conn, c.res, c.flags);
+          break;
+        case kUdPollOut:
+          if (conn->uring_inflight > 0) --conn->uring_inflight;
+          conn->pollout_armed = false;
+          if (conn->fd >= 0 && c.res >= 0) {
+            std::lock_guard<std::mutex> lock(conn->out_mu);
+            FlushLocked(conn.get());
+          }
+          if (conn->fd >= 0) uring_rearm_.push_back(conn);
+          break;
+        case kUdCancel:
+          if (conn->uring_inflight > 0) --conn->uring_inflight;
+          break;
+        default:
+          break;
+      }
+    }
+    // Re-arm and run the close state machine once per touched
+    // connection, after the whole batch (buffers recycled, flags
+    // settled).
+    for (const auto& conn : uring_rearm_) {
+      if (conn->fd < 0) continue;
+      UringUpdateReadInterest(conn);
+      UpdateWriteInterest(conn);
+      FinishConnection(conn);
+    }
+    if (!accept_armed_ && !accept_paused_ && listen_fd_ >= 0) {
+      UringArmAccept();
+    }
+    if (!wake_armed_) UringArmWake();
+    ProcessDirtyConnections();
+    SweepConnections();
+    ReapUringClosing();
+  }
+}
+
+void WatchmanServer::UringArmAccept() {
+  if (accept_armed_ || listen_fd_ < 0) return;
+  io_uring_sqe* sqe = uring_->GetSqe();
+  if (sqe == nullptr) return;
+  sqe->opcode = IORING_OP_ACCEPT;
+  sqe->fd = listen_fd_;
+  // Accepted sockets stay non-blocking: the shared output path still
+  // uses direct send().
+  sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+  if (uring_multishot_accept_ok_) sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+  sqe->user_data = kUdAccept;
+  accept_armed_ = true;
+}
+
+void WatchmanServer::UringArmWake() {
+  if (wake_armed_ || wake_fd_ < 0) return;
+  io_uring_sqe* sqe = uring_->GetSqe();
+  if (sqe == nullptr) return;
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = wake_fd_;
+  sqe->poll32_events = POLLIN;
+  sqe->user_data = kUdWake;
+  wake_armed_ = true;
+}
+
+void WatchmanServer::UringArmRecv(const std::shared_ptr<Connection>& conn) {
+  if (conn->recv_armed || conn->fd < 0) return;
+  io_uring_sqe* sqe = uring_->GetSqe();
+  if (sqe == nullptr) return;
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = conn->fd;
+  if (uring_->has_buffers() && uring_multishot_recv_ok_) {
+    // Multishot: one SQE keeps delivering completions, each carrying a
+    // kernel-picked buffer from the registered ring.
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = uring_->buf_group();
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+  } else {
+    if (conn->chunk.size() != kUringChunkBytes) {
+      conn->chunk = body_pool_.Acquire();
+      conn->chunk.resize(kUringChunkBytes);
+    }
+    sqe->addr = reinterpret_cast<uint64_t>(conn->chunk.data());
+    sqe->len = static_cast<uint32_t>(conn->chunk.size());
+  }
+  sqe->user_data = ConnUserData(conn.get(), kUdRecv);
+  conn->recv_armed = true;
+  ++conn->uring_inflight;
+}
+
+void WatchmanServer::UringCancelRecv(
+    const std::shared_ptr<Connection>& conn) {
+  if (!conn->recv_armed || conn->recv_cancel_pending) return;
+  io_uring_sqe* sqe = uring_->GetSqe();
+  if (sqe == nullptr) return;
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->addr = ConnUserData(conn.get(), kUdRecv);
+  sqe->user_data = ConnUserData(conn.get(), kUdCancel);
+  conn->recv_cancel_pending = true;
+  ++conn->uring_inflight;
+}
+
+void WatchmanServer::UringArmPollOut(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->pollout_armed || conn->fd < 0) return;
+  io_uring_sqe* sqe = uring_->GetSqe();
+  if (sqe == nullptr) return;
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = conn->fd;
+  sqe->poll32_events = POLLOUT | POLLERR | POLLHUP;
+  sqe->user_data = ConnUserData(conn.get(), kUdPollOut);
+  conn->pollout_armed = true;
+  ++conn->uring_inflight;
+}
+
+void WatchmanServer::UringUpdateReadInterest(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  const bool desired = !conn->read_paused &&
+                       !conn->input_closed.load(std::memory_order_acquire);
+  if (desired) {
+    UringArmRecv(conn);  // no-op while armed
+  } else if (conn->recv_armed) {
+    UringCancelRecv(conn);  // no-op while a cancel is pending
+  }
+}
+
+void WatchmanServer::HandleAcceptCqe(int32_t res, uint32_t flags) {
+  if ((flags & IORING_CQE_F_MORE) == 0) accept_armed_ = false;
+  if (res >= 0) {
+    AdoptConnection(res);
+    return;
+  }
+  if (res == -EINVAL && uring_multishot_accept_ok_) {
+    // Kernel without multishot accept: degrade to one-shot re-arming.
+    uring_multishot_accept_ok_ = false;
+    return;
+  }
+  if (res == -EMFILE || res == -ENFILE || res == -ENOBUFS ||
+      res == -ENOMEM) {
+    accept_paused_ = true;  // the sweep retries next tick
+  }
+}
+
+void WatchmanServer::HandleRecvCqe(const std::shared_ptr<Connection>& conn,
+                                   int32_t res, uint32_t flags) {
+  if ((flags & IORING_CQE_F_MORE) == 0) {
+    // The receive op terminated (one-shot done, multishot ended, error,
+    // or cancel landed): account the SQE and allow re-arming.
+    conn->recv_armed = false;
+    conn->recv_cancel_pending = false;
+    if (conn->uring_inflight > 0) --conn->uring_inflight;
+  }
+  const bool has_buf = (flags & IORING_CQE_F_BUFFER) != 0;
+  const uint16_t bid =
+      has_buf ? static_cast<uint16_t>(flags >> IORING_CQE_BUFFER_SHIFT) : 0;
+  if (res > 0) {
+    const char* data = has_buf ? uring_->BufferData(bid) : conn->chunk.data();
+    // Logically closed or draining: discard, but always recycle the
+    // kernel buffer. Draining is deliberately NOT progress (bounded by
+    // the sweep's drain timeout).
+    const bool discard =
+        conn->fd < 0 || conn->draining.load(std::memory_order_acquire);
+    if (!discard) {
+      conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
+      conn->inbuf.append(data, static_cast<size_t>(res));
+    }
+    if (has_buf) uring_->RecycleBuffer(bid);
+    if (!discard) ParseFrames(conn);
+  } else {
+    if (has_buf) uring_->RecycleBuffer(bid);
+    if (res == 0) {
+      conn->input_closed.store(true, std::memory_order_release);
+    } else if (res == -ENOBUFS || res == -ECANCELED || res == -EAGAIN ||
+               res == -EINTR) {
+      // ENOBUFS: every provided buffer was in flight; this batch
+      // recycles them and the end-of-batch pass re-arms.
+    } else if (res == -EINVAL && uring_multishot_recv_ok_) {
+      // Kernel without multishot recv: degrade to one-shot reads.
+      uring_multishot_recv_ok_ = false;
+    } else {
+      conn->input_closed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->send_error = true;
+    }
+  }
+  if (conn->fd >= 0) uring_rearm_.push_back(conn);
+}
+
+void WatchmanServer::UringCloseConnection(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;  // already logically or fully closed
+  conns_.erase(conn->fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  // Cancel outstanding ops so their completions drain promptly; every
+  // cancel is itself a counted completion.
+  if (conn->recv_armed) UringCancelRecv(conn);
+  if (conn->pollout_armed) {
+    io_uring_sqe* sqe = uring_->GetSqe();
+    if (sqe != nullptr) {
+      sqe->opcode = IORING_OP_ASYNC_CANCEL;
+      sqe->addr = ConnUserData(conn.get(), kUdPollOut);
+      sqe->user_data = ConnUserData(conn.get(), kUdCancel);
+      ++conn->uring_inflight;
+    }
+  }
+  if (conn->uring_inflight == 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    UringFinalClose(conn);
+    return;
+  }
+  // Deferred close: the fd stays open (but unreachable through conns_)
+  // until every SQE referencing this connection has completed, so a
+  // stale CQE can never act on a recycled fd.
+  conn->defunct_fd = conn->fd;
+  conn->fd = -1;
+  uring_closing_.push_back(conn);
+}
+
+void WatchmanServer::UringFinalClose(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->defunct_fd >= 0) {
+    ::close(conn->defunct_fd);
+    conn->defunct_fd = -1;
+  }
+  ReleaseConnectionBuffers(conn);
+  uring_conns_.erase(conn.get());
+}
+
+void WatchmanServer::ReapUringClosing() {
+  for (size_t i = 0; i < uring_closing_.size();) {
+    if (uring_closing_[i]->uring_inflight == 0) {
+      UringFinalClose(uring_closing_[i]);
+      uring_closing_[i] = uring_closing_.back();
+      uring_closing_.pop_back();
+    } else {
+      ++i;
+    }
+  }
 }
 
 // ----------------------------------------------------- output (shared)
@@ -652,6 +1185,7 @@ void WatchmanServer::WorkerLoop() {
       if (stop_.load(std::memory_order_acquire)) return;
       work = std::move(ready_.front());
       ready_.pop_front();
+      ready_depth_.store(ready_.size(), std::memory_order_relaxed);
     }
     ProcessFrame(work, &request, &response, &encoded);
   }
@@ -704,6 +1238,8 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
   const bool input_closed_hint =
       conn->input_closed.load(std::memory_order_acquire);
   const uint32_t prev = conn->inflight.fetch_sub(1, std::memory_order_release);
+  inflight_frames_.fetch_sub(1, std::memory_order_relaxed);
+  last_activity_ms_.store(NowMs(), std::memory_order_relaxed);
   // Poke the IO thread when it has something to do for this connection:
   // flush / resume a partial write, or run the close path now that the
   // last in-flight frame is answered.
@@ -711,6 +1247,7 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
       (prev == 1 && input_closed_hint)) {
     MarkDirty(conn);
   }
+  body_pool_.Release(std::move(work.body));
 }
 
 void WatchmanServer::Dispatch(const WireRequest& request,
@@ -722,13 +1259,14 @@ void WatchmanServer::Dispatch(const WireRequest& request,
     case OpCode::kPing:
       break;
     case OpCode::kGet: {
-      StatusOr<std::string> payload = cache_->GetCached(request.query_text);
-      if (payload.ok()) {
+      // Fills response.payload in place (pooled capacity, no copy).
+      const Status status =
+          cache_->GetCachedInto(request.query_text, &response.payload);
+      if (status.ok()) {
         response.cache_hit = true;
-        response.payload = std::move(*payload);
       } else {
-        response.code = payload.status().code();
-        response.message = payload.status().message();
+        response.code = status.code();
+        response.message = status.message();
       }
       break;
     }
@@ -772,6 +1310,9 @@ void WatchmanServer::Dispatch(const WireRequest& request,
     case OpCode::kStats:
       response.stats = StatsSnapshot();
       break;
+    case OpCode::kCompact:
+      RunCompaction();
+      break;
   }
 }
 
@@ -783,11 +1324,6 @@ void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
   ++slot.counters.requests;
   if (is_error) ++slot.counters.errors;
   slot.counters.latency_us.Add(latency_us);
-}
-
-uint64_t WatchmanServer::connections_queued() const {
-  std::lock_guard<std::mutex> lock(ready_mu_);
-  return ready_.size();
 }
 
 WatchmanServer::OpCounters WatchmanServer::op_counters(OpCode op) const {
@@ -824,6 +1360,15 @@ WireStats WatchmanServer::StatsSnapshot() const {
       connections_queued_peak_.load(std::memory_order_relaxed);
   out.requests_served = requests_served_.load(std::memory_order_relaxed);
   out.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  const int64_t last_compaction =
+      last_compaction_ms_.load(std::memory_order_relaxed);
+  if (last_compaction >= 0) {
+    const int64_t age = NowMs() - last_compaction;
+    out.last_compaction_age_ms =
+        age > 0 ? static_cast<uint64_t>(age) : 0;
+  }
+  out.backend = ServerBackendName(effective_backend_);
   for (size_t i = 0; i < kNumOpCodes; ++i) {
     const LockedOpCounters& slot = per_op_[i];
     std::lock_guard<std::mutex> lock(slot.mu);

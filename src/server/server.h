@@ -1,21 +1,47 @@
 // WatchmanServer: the watchmand network front-end over a Watchman
 // facade.
 //
-// Architecture (event loop + worker pool): one IO thread owns an epoll
-// instance, the (non-blocking) listen socket and every connection
-// socket. It accepts, reads into per-connection buffers, extracts
-// complete frames and pushes them onto a ready-queue that a fixed pool
-// of worker threads consumes; workers decode, dispatch into the
-// (thread-safe) Watchman facade, and append the encoded response to the
-// connection's output buffer -- attempting a direct non-blocking send,
-// with the IO thread resuming partial writes via EPOLLOUT. Idle
-// connections therefore cost zero threads, many connections multiplex
-// over the fixed pool, and responses to one connection may complete out
-// of order (the v3 request id lets clients re-correlate).
+// Architecture (event loop + worker pool): one IO thread owns the
+// listen socket and every connection socket. It accepts, reads into
+// per-connection buffers, extracts complete frames and pushes them onto
+// a ready-queue that a fixed pool of worker threads consumes; workers
+// decode, dispatch into the (thread-safe) Watchman facade, and append
+// the encoded response to the connection's output buffer -- attempting
+// a direct non-blocking send, with the IO thread resuming partial
+// writes. Idle connections therefore cost zero threads, many
+// connections multiplex over the fixed pool, and responses to one
+// connection may complete out of order (the v3 request id lets clients
+// re-correlate).
+//
+// Event backends: the IO thread runs on either epoll (default,
+// universal) or io_uring (Options::backend / --backend flag). The
+// io_uring loop arms multishot accept and multishot receive with a
+// registered provided-buffer ring, so a pipelined burst of N frames
+// costs O(1) io_uring_enter calls instead of one epoll_wait plus one
+// recv per wakeup; on kernels without a feature it degrades op by op
+// (one-shot accept/recv) and on kernels without usable io_uring at all
+// `auto`/`io_uring` fall back to epoll with a logged warning. Workers
+// are backend-agnostic: the direct-send output path is shared, and the
+// io_uring loop only replaces the readiness/ingest side.
+//
+// Inline fast path: when a parsed frame is a cheap op (PING, GET,
+// STATS), the connection has no frames in flight (response ordering)
+// and the ready-queue is empty (a queued EXECUTE is never delayed), the
+// IO thread dispatches it inline and appends the response to the
+// out-buffer directly -- a blocking client's RTT skips the
+// worker-queue hop entirely. A per-tick burst budget
+// (Options::max_inline_burst) bounds how long the loop can stay in
+// inline mode so a PING flood cannot starve event processing.
+//
+// Allocation discipline: frame bodies, connection in/out buffers and
+// receive chunks are recycled through a FramePool, and the ready-queue
+// is a ring (FrameQueue), so the steady-state request path performs no
+// heap allocation (asserted by tests the same way allocation_test does
+// for the cache).
 //
 // Flow control and lifetime:
 //  * A connection whose decoded-frame backlog exceeds a cap stops being
-//    read (EPOLLIN disarmed) until workers catch up -- pipelining peers
+//    read (reads disarmed) until workers catch up -- pipelining peers
 //    cannot balloon the ready-queue.
 //  * On a framing or decode error the server answers with the real
 //    status -- echoing the request's opcode and id whenever the
@@ -24,6 +50,12 @@
 //  * Options::io_timeout_ms bounds how long a connection may sit with
 //    pending work (half-read frame, unflushed output, drain-to-EOF)
 //    without progress; fully idle connections are never reaped.
+//
+// Maintenance: with Options::compact_idle_ms set, the IO thread runs
+// Watchman::CompactMetadata() once per idle period (no ready work, no
+// inflight frames, no traffic for that long); the COMPACT wire op
+// forces the same pass remotely, and STATS reports the compaction count
+// and the age of the last pass.
 //
 // The request handlers call straight into the facade, so hits on
 // different cache shards proceed in parallel across workers and
@@ -48,7 +80,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,6 +88,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "server/frame_pool.h"
 #include "server/protocol.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -64,7 +96,22 @@
 
 namespace watchman {
 
-/// Epoll event-loop TCP server exposing a Watchman facade.
+class Uring;
+
+/// Event backend the IO thread runs on.
+enum class ServerBackend {
+  kEpoll,    // universal default
+  kIoUring,  // batched submission; falls back to epoll when unavailable
+  kAuto,     // io_uring when the kernel provides it, else epoll
+};
+
+/// Stable lower-case name ("epoll", "io_uring", "auto").
+const char* ServerBackendName(ServerBackend backend);
+
+/// Parses "epoll" / "io_uring" / "auto" (as spelled on --backend).
+bool ParseServerBackend(std::string_view text, ServerBackend* out);
+
+/// Event-loop TCP server exposing a Watchman facade.
 class WatchmanServer {
  public:
   struct Options {
@@ -80,7 +127,7 @@ class WatchmanServer {
     /// Per-frame body size limit; larger length prefixes answer with
     /// Corruption and close the connection.
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
-    /// Epoll tick bounding how long Stop(), timeouts and deferred
+    /// Event-loop tick bounding how long Stop(), timeouts and deferred
     /// closes can lag behind.
     int poll_interval_ms = 50;
     /// Closes a connection that has pending work (half-read frame,
@@ -97,6 +144,23 @@ class WatchmanServer {
     /// Per-connection cap on frames enqueued but not yet answered;
     /// beyond it the connection's reads pause until workers catch up.
     size_t max_inflight_frames = 4096;
+    /// Event backend; kIoUring and kAuto fall back to epoll when the
+    /// kernel cannot provide io_uring (kIoUring logs a warning).
+    ServerBackend backend = ServerBackend::kEpoll;
+    /// Dispatch cheap ops (PING/GET/STATS) inline on the IO thread when
+    /// the connection has nothing in flight and the ready-queue is
+    /// empty, skipping the worker hop.
+    bool inline_dispatch = true;
+    /// Inline dispatches allowed per event-loop tick; beyond it frames
+    /// take the worker path until the next tick (starvation guard).
+    uint32_t max_inline_burst = 128;
+    /// When positive, run Watchman::CompactMetadata() after this many
+    /// milliseconds with no ready work, no inflight frames and no
+    /// traffic; at most once per idle period. 0 disables.
+    int compact_idle_ms = 0;
+    /// Test hook: pretend the kernel has no io_uring so the fallback
+    /// path is exercised deterministically.
+    bool simulate_io_uring_unavailable = false;
   };
 
   /// Per-op throughput/latency counters.
@@ -127,6 +191,9 @@ class WatchmanServer {
   /// The bound port (resolves port 0 after Start()).
   uint16_t port() const { return bound_port_; }
 
+  /// The backend actually serving after Start() resolved fallbacks.
+  ServerBackend effective_backend() const { return effective_backend_; }
+
   /// Snapshot of cache + transport counters (the STATS op payload).
   WireStats StatsSnapshot() const;
 
@@ -140,12 +207,27 @@ class WatchmanServer {
   /// Frames extracted from sockets but not yet claimed by a worker,
   /// right now (the ready-queue depth; wire-named connections_queued
   /// for v2 compatibility).
-  uint64_t connections_queued() const;
+  uint64_t connections_queued() const {
+    return ready_depth_.load(std::memory_order_relaxed);
+  }
 
   /// High-water mark of the ready-queue since Start().
   uint64_t connections_queued_peak() const {
     return connections_queued_peak_.load(std::memory_order_relaxed);
   }
+
+  /// Frames answered inline on the IO thread (fast path hits).
+  uint64_t inline_dispatched() const {
+    return inline_dispatched_.load(std::memory_order_relaxed);
+  }
+
+  /// Metadata compactions run (idle timer + COMPACT op).
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+  /// The frame-body / connection-buffer recycler (tests).
+  const FramePool& frame_pool() const { return body_pool_; }
 
   /// An executor that serves the client-supplied miss-fill attached to
   /// the EXECUTE request being handled on this thread, and fails with
@@ -155,7 +237,7 @@ class WatchmanServer {
 
  private:
   /// Per-connection state. The IO thread owns fd registration, inbuf
-  /// and the epoll arming flags; workers and the IO thread share the
+  /// and the event-arming flags; workers and the IO thread share the
   /// output buffer under out_mu; the close decision is gated on the
   /// inflight frame count (release/acquire ordered), so a socket is
   /// only closed when no worker can still touch it.
@@ -167,9 +249,19 @@ class WatchmanServer {
     size_t out_off = 0;   // flushed prefix of outbuf (out_mu)
     bool send_error = false;  // a send failed; close without flushing
     bool want_write = false;  // EPOLLOUT armed        (IO thread only)
-    bool read_paused = false;  // EPOLLIN disarmed     (IO thread only)
+    bool read_paused = false;  // reads disarmed       (IO thread only)
     bool output_shutdown = false;  // SHUT_WR sent     (IO thread only)
     bool in_finishing = false;  // listed in finishing_ (IO thread only)
+    // io_uring bookkeeping (IO thread only). The fd of a logically
+    // closed connection moves to defunct_fd until every outstanding
+    // SQE's completion has drained (uring_inflight), so a stale CQE can
+    // never be misattributed to a reused fd.
+    std::string chunk;  // one-shot recv buffer (no provided-buffer ring)
+    int defunct_fd = -1;
+    uint32_t uring_inflight = 0;
+    bool recv_armed = false;
+    bool recv_cancel_pending = false;
+    bool pollout_armed = false;
     /// Read EOF/error seen (written by the IO thread; workers read it
     /// to decide whether the IO thread needs a wake-up).
     std::atomic<bool> input_closed{false};
@@ -186,20 +278,32 @@ class WatchmanServer {
   };
 
   /// One decoded-frame work item (body copied out of the connection's
-  /// read buffer so the buffer can compact immediately).
+  /// read buffer -- into a pool-recycled string -- so the buffer can
+  /// compact immediately).
   struct Work {
     std::shared_ptr<Connection> conn;
     std::string body;
   };
 
   void IoLoop();
+  void UringLoop();
   void WorkerLoop();
 
-  // IO-thread helpers.
-  void AcceptReady();
-  void ReadReady(const std::shared_ptr<Connection>& conn);
+  // IO-thread helpers (backend-shared unless noted).
+  void AcceptReady();  // epoll: drain accept4 until EAGAIN
+  /// Registers one accepted socket (socket options, pooled buffers,
+  /// read arming) on the active backend.
+  void AdoptConnection(int conn_fd);
+  void ReadReady(const std::shared_ptr<Connection>& conn);  // epoll
   void ParseFrames(const std::shared_ptr<Connection>& conn);
-  /// Recomputes and applies the connection's epoll interest set.
+  /// True when `body` may run inline on the IO thread right now.
+  bool CanInline(const std::shared_ptr<Connection>& conn,
+                 std::string_view body) const;
+  /// Decode + dispatch + append-response on the IO thread (no flush;
+  /// ParseFrames flushes once per batch).
+  void InlineDispatch(const std::shared_ptr<Connection>& conn,
+                      std::string_view body);
+  /// Recomputes and applies the connection's read-side interest.
   void RearmInterest(const std::shared_ptr<Connection>& conn);
   void UpdateWriteInterest(const std::shared_ptr<Connection>& conn);
   /// Close / half-close state machine for one connection.
@@ -207,7 +311,31 @@ class WatchmanServer {
   /// Adds conn to finishing_ (deduplicated) for sweep re-examination.
   void EnqueueFinishing(const std::shared_ptr<Connection>& conn);
   void SweepConnections();
+  /// Flushes/finishes connections workers flagged via MarkDirty.
+  void ProcessDirtyConnections();
   void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Returns the connection's pooled buffers to body_pool_ (final
+  /// close only).
+  void ReleaseConnectionBuffers(const std::shared_ptr<Connection>& conn);
+  /// Runs CompactMetadata() once per idle period (compact_idle_ms).
+  void MaybeCompactIdle();
+  void RunCompaction();
+
+  // io_uring-loop helpers (IO thread only).
+  void UringArmAccept();
+  void UringArmWake();
+  void UringArmRecv(const std::shared_ptr<Connection>& conn);
+  void UringCancelRecv(const std::shared_ptr<Connection>& conn);
+  void UringArmPollOut(const std::shared_ptr<Connection>& conn);
+  void UringUpdateReadInterest(const std::shared_ptr<Connection>& conn);
+  void UringCloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Final teardown once no SQE references the connection.
+  void UringFinalClose(const std::shared_ptr<Connection>& conn);
+  /// Closes deferred-close connections whose completions drained.
+  void ReapUringClosing();
+  void HandleAcceptCqe(int32_t res, uint32_t flags);
+  void HandleRecvCqe(const std::shared_ptr<Connection>& conn, int32_t res,
+                     uint32_t flags);
 
   /// Appends `bytes` to conn's output and attempts a direct
   /// non-blocking send; returns true when everything is on the wire
@@ -216,7 +344,8 @@ class WatchmanServer {
                    std::string_view bytes);
   /// The send loop of QueueOutput; requires conn->out_mu held.
   bool FlushLocked(Connection* conn);
-  /// Asks the IO thread to re-examine `conn` (arm EPOLLOUT, close, ...).
+  /// Asks the IO thread to re-examine `conn` (arm write interest,
+  /// close, ...).
   void MarkDirty(const std::shared_ptr<Connection>& conn);
 
   // Worker-side request handling.
@@ -233,6 +362,7 @@ class WatchmanServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   uint16_t bound_port_ = 0;
+  ServerBackend effective_backend_ = ServerBackend::kEpoll;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::thread io_thread_;
@@ -250,18 +380,50 @@ class WatchmanServer {
   /// only).
   std::vector<std::shared_ptr<Connection>> paused_reads_;
   /// Accepting paused after fd exhaustion; retried each tick instead
-  /// of busy-spinning on the level-triggered listen fd (IO thread
-  /// only).
+  /// of busy-spinning (IO thread only).
   bool accept_paused_ = false;
+
+  // io_uring backend state (IO thread only unless noted).
+  std::unique_ptr<Uring> uring_;
+  bool accept_armed_ = false;
+  bool wake_armed_ = false;
+  /// Cleared when the kernel answers a multishot arm with EINVAL; the
+  /// loop then degrades to one-shot re-arming for that op.
+  bool uring_multishot_accept_ok_ = true;
+  bool uring_multishot_recv_ok_ = true;
+  /// Keeps every SQE-referenced connection alive until its completions
+  /// drain; CQE user_data pointers resolve here.
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> uring_conns_;
+  /// Logically closed connections awaiting completion drain.
+  std::vector<std::shared_ptr<Connection>> uring_closing_;
+  /// Connections touched by this CQE batch (re-arm + finish once at
+  /// batch end).
+  std::vector<std::shared_ptr<Connection>> uring_rearm_;
+
+  /// Recycled frame bodies, connection buffers and recv chunks.
+  FramePool body_pool_;
 
   /// Decoded frames awaiting a worker.
   mutable std::mutex ready_mu_;
   std::condition_variable ready_cv_;
-  std::deque<Work> ready_;
+  FrameQueue<Work> ready_;
+  /// ready_.size() mirror readable without ready_mu_ (inline-dispatch
+  /// gate, stats).
+  std::atomic<uint64_t> ready_depth_{0};
+  /// Frames handed to workers and not yet answered, across all
+  /// connections (idle detection for compaction).
+  std::atomic<uint64_t> inflight_frames_{0};
 
   /// Connections workers want the IO thread to re-examine.
   std::mutex dirty_mu_;
   std::vector<std::shared_ptr<Connection>> dirty_;
+  /// IO-thread scratch the dirty list swaps into (capacity reuse).
+  std::vector<std::shared_ptr<Connection>> dirty_scratch_;
+
+  // Inline fast-path state (IO thread only).
+  uint32_t inline_budget_used_ = 0;
+  WireRequest io_request_;
+  WireResponse io_response_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
@@ -270,6 +432,12 @@ class WatchmanServer {
   std::atomic<uint64_t> connections_queued_peak_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> inline_dispatched_{0};
+  std::atomic<uint64_t> compactions_{0};
+  /// NowMs() of the last completed compaction; -1 = never.
+  std::atomic<int64_t> last_compaction_ms_{-1};
+  /// NowMs() of the last ingested or answered frame (idle detection).
+  std::atomic<int64_t> last_activity_ms_{0};
 
   /// One padded mutex per opcode: workers recording different ops
   /// never contend, and the hot path takes exactly one uncontended

@@ -1,0 +1,309 @@
+#include "server/uring.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace watchman {
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, arg, argsz));
+}
+
+int SysIoUringRegister(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+template <typename T>
+T* RingPtr(void* base, uint32_t off) {
+  return reinterpret_cast<T*>(static_cast<char*>(base) + off);
+}
+
+}  // namespace
+
+Uring::~Uring() { Close(); }
+
+bool Uring::KernelSupported() {
+  static const bool supported = [] {
+    io_uring_params params;
+    memset(&params, 0, sizeof(params));
+    int fd = SysIoUringSetup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    // The loop blocks with millisecond timeouts (EXT_ARG) and relies on
+    // completions never being dropped under CQ pressure (NODROP).
+    const uint32_t need = IORING_FEAT_NODROP | IORING_FEAT_EXT_ARG;
+    return (params.features & need) == need;
+  }();
+  return supported;
+}
+
+Status Uring::Init(unsigned entries) {
+  if (ring_fd_ >= 0) return Status::InvalidArgument("ring already open");
+  io_uring_params params;
+  memset(&params, 0, sizeof(params));
+  params.flags = IORING_SETUP_CLAMP;
+  int fd = SysIoUringSetup(entries, &params);
+  if (fd < 0) {
+    return Status::Internal(std::string("io_uring_setup: ") +
+                            strerror(errno));
+  }
+  ring_fd_ = fd;
+  sq_entries_ = params.sq_entries;
+  cq_entries_ = params.cq_entries;
+
+  sq_ring_size_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_size_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap =
+      (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_ring_size_ > sq_ring_size_) {
+    sq_ring_size_ = cq_ring_size_;
+  }
+  sq_ring_mem_ =
+      mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_mem_ == MAP_FAILED) {
+    sq_ring_mem_ = nullptr;
+    Close();
+    return Status::Internal("io_uring: mmap sq ring failed");
+  }
+  void* cq_mem = sq_ring_mem_;
+  if (!single_mmap) {
+    cq_ring_mem_ =
+        mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_mem_ == MAP_FAILED) {
+      cq_ring_mem_ = nullptr;
+      Close();
+      return Status::Internal("io_uring: mmap cq ring failed");
+    }
+    cq_mem = cq_ring_mem_;
+  }
+  sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    Close();
+    return Status::Internal("io_uring: mmap sqes failed");
+  }
+  sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+  sq_head_ = RingPtr<unsigned>(sq_ring_mem_, params.sq_off.head);
+  sq_tail_ = RingPtr<unsigned>(sq_ring_mem_, params.sq_off.tail);
+  sq_mask_ = RingPtr<unsigned>(sq_ring_mem_, params.sq_off.ring_mask);
+  sq_array_ = RingPtr<unsigned>(sq_ring_mem_, params.sq_off.array);
+  cq_head_ = RingPtr<unsigned>(cq_mem, params.cq_off.head);
+  cq_tail_ = RingPtr<unsigned>(cq_mem, params.cq_off.tail);
+  cq_mask_ = RingPtr<unsigned>(cq_mem, params.cq_off.ring_mask);
+  cqes_ = RingPtr<io_uring_cqe>(cq_mem, params.cq_off.cqes);
+
+  local_tail_ = *sq_tail_;
+  pending_ = 0;
+  return Status::OK();
+}
+
+void Uring::Close() {
+  if (sqes_ != nullptr) {
+    munmap(sqes_, sqes_size_);
+    sqes_ = nullptr;
+  }
+  if (cq_ring_mem_ != nullptr) {
+    munmap(cq_ring_mem_, cq_ring_size_);
+    cq_ring_mem_ = nullptr;
+  }
+  if (sq_ring_mem_ != nullptr) {
+    munmap(sq_ring_mem_, sq_ring_size_);
+    sq_ring_mem_ = nullptr;
+  }
+  if (buf_base_ != nullptr) {
+    // Closing the ring fd releases the kernel's buffer group; only the
+    // slab is ours to unmap.
+    munmap(buf_base_, buf_slab_bytes_);
+    buf_base_ = nullptr;
+  }
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+}
+
+io_uring_sqe* Uring::GetSqe() {
+  unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  if (local_tail_ - head >= sq_entries_) {
+    // SQ full: push what we have to the kernel to free slots.
+    if (Submit() < 0) return nullptr;
+    head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    if (local_tail_ - head >= sq_entries_) return nullptr;
+  }
+  const unsigned idx = local_tail_ & *sq_mask_;
+  io_uring_sqe* sqe = &sqes_[idx];
+  memset(sqe, 0, sizeof(*sqe));
+  sq_array_[idx] = idx;
+  ++local_tail_;
+  ++pending_;
+  return sqe;
+}
+
+int Uring::Submit() {
+  if (pending_ == 0) return 0;
+  __atomic_store_n(sq_tail_, local_tail_, __ATOMIC_RELEASE);
+  for (;;) {
+    int ret = SysIoUringEnter(ring_fd_, pending_, 0, 0, nullptr, 0);
+    if (ret >= 0) {
+      pending_ -= static_cast<unsigned>(ret) <= pending_
+                      ? static_cast<unsigned>(ret)
+                      : pending_;
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBUSY) return 0;  // CQ backpressure; retry next tick
+    return -errno;
+  }
+}
+
+int Uring::SubmitAndWait(unsigned wait_nr, int timeout_ms) {
+  __atomic_store_n(sq_tail_, local_tail_, __ATOMIC_RELEASE);
+  // A completion may already be sitting in the CQ; don't block on more.
+  unsigned ready =
+      __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE) - *cq_head_;
+  if (ready >= wait_nr) wait_nr = 0;
+
+  __kernel_timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+  io_uring_getevents_arg arg;
+  memset(&arg, 0, sizeof(arg));
+  arg.ts = reinterpret_cast<uint64_t>(&ts);
+
+  for (;;) {
+    unsigned flags = IORING_ENTER_GETEVENTS;
+    const void* argp = nullptr;
+    size_t argsz = 0;
+    if (wait_nr > 0 && timeout_ms >= 0) {
+      flags |= IORING_ENTER_EXT_ARG;
+      argp = &arg;
+      argsz = sizeof(arg);
+    }
+    int ret =
+        SysIoUringEnter(ring_fd_, pending_, wait_nr, flags, argp, argsz);
+    if (ret >= 0) {
+      pending_ -= static_cast<unsigned>(ret) <= pending_
+                      ? static_cast<unsigned>(ret)
+                      : pending_;
+      return 0;
+    }
+    if (errno == ETIME) {
+      pending_ = 0;  // ETIME still submits the SQEs first
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBUSY) return 0;
+    return -errno;
+  }
+}
+
+size_t Uring::DrainCompletions(std::vector<Completion>* out) {
+  unsigned head = *cq_head_;
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  const unsigned mask = *cq_mask_;
+  size_t drained = 0;
+  while (head != tail) {
+    const io_uring_cqe& cqe = cqes_[head & mask];
+    // Internal buffer-recycle completions never reach the caller. A
+    // failed recycle permanently loses one buffer slot (the server
+    // degrades to one-shot reads when the group runs dry); nothing
+    // useful can be done with the error here.
+    if (cqe.user_data != kInternalUserData) {
+      out->push_back(Completion{cqe.user_data, cqe.res, cqe.flags});
+      ++drained;
+    }
+    ++head;
+  }
+  __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+  return drained;
+}
+
+bool Uring::SetupBuffers(uint16_t bgid, uint32_t entries, size_t buf_size) {
+  if (ring_fd_ < 0 || buf_base_ != nullptr || entries == 0) return false;
+  buf_slab_bytes_ = static_cast<size_t>(entries) * buf_size;
+  void* slab = mmap(nullptr, buf_slab_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (slab == MAP_FAILED) {
+    buf_slab_bytes_ = 0;
+    return false;
+  }
+
+  // One op provides the whole group (bids 0..entries-1). Runs before
+  // the IO thread exists, so waiting for its completion synchronously
+  // is safe -- and necessary: the op's result is the only signal that
+  // this kernel supports buffer selection at all.
+  io_uring_sqe* sqe = GetSqe();
+  if (sqe == nullptr) {
+    munmap(slab, buf_slab_bytes_);
+    buf_slab_bytes_ = 0;
+    return false;
+  }
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = static_cast<int32_t>(entries);  // number of buffers
+  sqe->addr = reinterpret_cast<uint64_t>(slab);
+  sqe->len = static_cast<uint32_t>(buf_size);
+  sqe->buf_group = bgid;
+  sqe->off = 0;  // first bid
+  sqe->user_data = kInternalUserData;
+  if (SubmitAndWait(1, 1000) != 0) {
+    munmap(slab, buf_slab_bytes_);
+    buf_slab_bytes_ = 0;
+    return false;
+  }
+  // Read the provide op's CQE directly (DrainCompletions would hide
+  // it as internal).
+  bool provided = false;
+  unsigned head = *cq_head_;
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  while (head != tail) {
+    const io_uring_cqe& cqe = cqes_[head & *cq_mask_];
+    if (cqe.user_data == kInternalUserData) provided = cqe.res >= 0;
+    ++head;
+  }
+  __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+  if (!provided) {
+    munmap(slab, buf_slab_bytes_);
+    buf_slab_bytes_ = 0;
+    return false;
+  }
+
+  buf_base_ = static_cast<char*>(slab);
+  buf_entries_ = entries;
+  buf_size_ = buf_size;
+  buf_group_ = bgid;
+  return true;
+}
+
+void Uring::RecycleBuffer(uint16_t bid) {
+  io_uring_sqe* sqe = GetSqe();
+  if (sqe == nullptr) return;  // ring broken; buffer slot is lost
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = 1;
+  sqe->addr = reinterpret_cast<uint64_t>(BufferData(bid));
+  sqe->len = static_cast<uint32_t>(buf_size_);
+  sqe->buf_group = buf_group_;
+  sqe->off = bid;
+  sqe->user_data = kInternalUserData;
+}
+
+}  // namespace watchman

@@ -1,0 +1,143 @@
+// Minimal io_uring wrapper over raw syscalls (no liburing dependency).
+//
+// Exposes exactly what the watchmand io_uring backend needs: ring
+// setup/teardown, SQE acquisition with batched submission, a blocking
+// submit-and-wait with a millisecond timeout (IORING_ENTER_EXT_ARG),
+// CQE draining, and a provided-buffer group for multishot receive.
+// Everything runs on the single IO thread; nothing here is
+// thread-safe.
+//
+// Kernel capability is probed once (KernelSupported): the backend
+// requires io_uring_setup to work and the features the loop depends on
+// (EXT_ARG timeouts, NODROP completions). Finer-grained features --
+// multishot accept/recv, provided-buffer rings -- degrade at runtime
+// instead: registration failures and -EINVAL completions flip the
+// server to one-shot re-arming, so one binary runs correctly from
+// kernel ~5.11 through current.
+
+#ifndef WATCHMAN_SERVER_URING_H_
+#define WATCHMAN_SERVER_URING_H_
+
+#include <linux/io_uring.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace watchman {
+
+class Uring {
+ public:
+  /// One completion, copied out of the CQ ring.
+  struct Completion {
+    uint64_t user_data = 0;
+    int32_t res = 0;
+    uint32_t flags = 0;
+  };
+
+  Uring() = default;
+  ~Uring();
+
+  Uring(const Uring&) = delete;
+  Uring& operator=(const Uring&) = delete;
+
+  /// True when this kernel can run the backend at all: io_uring_setup
+  /// succeeds (not compiled out / sysctl-disabled / seccomp-blocked)
+  /// and EXT_ARG + NODROP are available. Probed once per process.
+  static bool KernelSupported();
+
+  /// Creates the ring (`entries` SQ slots; CQ is sized 2x by the
+  /// kernel) and maps the rings and SQE array.
+  Status Init(unsigned entries);
+  void Close();
+  bool valid() const { return ring_fd_ >= 0; }
+
+  /// Next free SQE, zeroed. Flushes pending submissions when the SQ is
+  /// full; nullptr only if even that fails (ring broken).
+  io_uring_sqe* GetSqe();
+
+  /// Submits pending SQEs without waiting. Returns 0 or -errno.
+  int Submit();
+
+  /// Submits pending SQEs and waits for at least `wait_nr` completions
+  /// or `timeout_ms`. Returns 0 (possibly with CQEs ready) or -errno.
+  int SubmitAndWait(unsigned wait_nr, int timeout_ms);
+
+  /// Copies every ready CQE into *out and advances the CQ head.
+  /// Returns the number drained.
+  size_t DrainCompletions(std::vector<Completion>* out);
+
+  // ---- provided buffers (multishot receive) ----
+  //
+  // Classic IORING_OP_PROVIDE_BUFFERS groups (kernel 5.7+) rather than
+  // a registered buffer ring: recycling a buffer costs one SQE instead
+  // of a shared-memory tail bump, but that SQE rides the next batched
+  // submit, and the op works on every kernel that has buffer selection
+  // at all (registered rings are a newer, less uniformly available
+  // path -- notably absent on the pared-down VM kernels this daemon
+  // deploys to).
+
+  /// Provides `entries` buffers x `buf_size` bytes under group id
+  /// `bgid` (bids 0..entries-1), all initially owned by the kernel.
+  /// Submits synchronously; returns false when the kernel rejects the
+  /// op -- the caller falls back to one-shot receives.
+  bool SetupBuffers(uint16_t bgid, uint32_t entries, size_t buf_size);
+  bool has_buffers() const { return buf_base_ != nullptr; }
+  uint16_t buf_group() const { return buf_group_; }
+  size_t buf_size() const { return buf_size_; }
+
+  /// Bytes of the buffer `bid` (valid until RecycleBuffer(bid)).
+  const char* BufferData(uint16_t bid) const {
+    return buf_base_ + static_cast<size_t>(bid) * buf_size_;
+  }
+
+  /// Hands buffer `bid` back to the kernel (a PROVIDE_BUFFERS SQE on
+  /// the next submit). Its completion is consumed internally by
+  /// DrainCompletions; callers never see it.
+  void RecycleBuffer(uint16_t bid);
+
+ private:
+  int ring_fd_ = -1;
+  uint32_t sq_entries_ = 0;
+  uint32_t cq_entries_ = 0;
+
+  // SQ ring mapping.
+  void* sq_ring_mem_ = nullptr;
+  size_t sq_ring_size_ = 0;
+  unsigned* sq_head_ = nullptr;   // kernel-written
+  unsigned* sq_tail_ = nullptr;   // ours, store-release
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;  // separate mapping
+  size_t sqes_size_ = 0;
+
+  // CQ ring mapping (same mapping as SQ with FEAT_SINGLE_MMAP).
+  void* cq_ring_mem_ = nullptr;  // nullptr when shared with sq_ring_mem_
+  size_t cq_ring_size_ = 0;
+  unsigned* cq_head_ = nullptr;  // ours, store-release
+  unsigned* cq_tail_ = nullptr;  // kernel-written
+  unsigned* cq_mask_ = nullptr;
+  io_uring_cqe* cqes_ = nullptr;
+
+  /// SQEs appended via GetSqe but not yet submitted to the kernel.
+  unsigned pending_ = 0;
+  unsigned local_tail_ = 0;
+
+  /// user_data of internal PROVIDE_BUFFERS ops; their CQEs are
+  /// filtered out by DrainCompletions. Never collides with caller
+  /// user_data (pointers or small tags).
+  static constexpr uint64_t kInternalUserData = ~0ull;
+
+  // Provided-buffer slab.
+  char* buf_base_ = nullptr;
+  size_t buf_slab_bytes_ = 0;
+  uint32_t buf_entries_ = 0;
+  size_t buf_size_ = 0;
+  uint16_t buf_group_ = 0;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SERVER_URING_H_

@@ -33,6 +33,14 @@ StatusOr<std::string> MemoryPayloadStore::Get(const std::string& key) {
   return it->second;
 }
 
+Status MemoryPayloadStore::GetInto(const std::string& key,
+                                   std::string* out) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("no payload for: " + key);
+  out->assign(it->second);
+  return Status::OK();
+}
+
 bool MemoryPayloadStore::Erase(const std::string& key) {
   auto it = map_.find(key);
   if (it == map_.end()) return false;

@@ -34,6 +34,18 @@ class PayloadStore {
   /// both built-in stores satisfy this.
   virtual StatusOr<std::string> Get(const std::string& key) = 0;
 
+  /// Get() into a caller-owned buffer, reusing its capacity -- the
+  /// serving hit path fetches every payload into per-connection scratch
+  /// and so allocates nothing at steady state. Same concurrency
+  /// contract as Get(). The default adapter costs one move; stores
+  /// should override with a real copy-into.
+  virtual Status GetInto(const std::string& key, std::string* out) {
+    StatusOr<std::string> payload = Get(key);
+    if (!payload.ok()) return payload.status();
+    *out = std::move(*payload);
+    return Status::OK();
+  }
+
   /// Drops the payload; returns true if it existed.
   virtual bool Erase(const std::string& key) = 0;
 
@@ -49,6 +61,7 @@ class MemoryPayloadStore : public PayloadStore {
  public:
   Status Put(const std::string& key, const std::string& payload) override;
   StatusOr<std::string> Get(const std::string& key) override;
+  Status GetInto(const std::string& key, std::string* out) override;
   bool Erase(const std::string& key) override;
   bool Contains(const std::string& key) const override;
   size_t count() const override { return map_.size(); }

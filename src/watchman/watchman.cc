@@ -111,6 +111,12 @@ StatusOr<std::string> Watchman::GetPayload(const std::string& query_id) {
   return payloads_->Get(query_id);
 }
 
+Status Watchman::GetPayloadInto(const std::string& query_id,
+                                std::string* out) {
+  std::shared_lock<std::shared_mutex> lock(payload_mu_);
+  return payloads_->GetInto(query_id, out);
+}
+
 bool Watchman::HasPayload(const std::string& query_id) const {
   std::shared_lock<std::shared_mutex> lock(payload_mu_);
   return payloads_->Contains(query_id);
@@ -318,6 +324,28 @@ StatusOr<std::string> Watchman::GetCached(const std::string& query_text) {
     return Status::NotFound("payload evicted concurrently: " + scratch.id);
   }
   return payload;
+}
+
+Status Watchman::GetCachedInto(const std::string& query_text,
+                               std::string* out) {
+  RequestScratch& scratch = Scratch();
+  MakeQueryIdInto(query_text, &scratch.id);
+  if (scratch.id.empty()) {
+    return Status::InvalidArgument("query text contains no tokens");
+  }
+  scratch.probe.key.Assign(scratch.id);
+  scratch.probe.result_bytes = 0;
+  scratch.probe.cost = 0;
+  if (!cache_->TryReferenceCached(scratch.probe, NowTick())) {
+    return Status::NotFound("not cached: " + scratch.id);
+  }
+  const Status fetched = GetPayloadInto(scratch.id, out);
+  if (!fetched.ok()) {
+    // Evicted between the reference and the fetch; report the miss (the
+    // recorded reference stands, matching a hit that raced an eviction).
+    return Status::NotFound("payload evicted concurrently: " + scratch.id);
+  }
+  return Status::OK();
 }
 
 bool Watchman::IsCached(const std::string& query_text) const {

@@ -134,6 +134,11 @@ class Watchman {
   /// count as one reference, like one local Execute().
   StatusOr<std::string> GetCached(const std::string& query_text);
 
+  /// GetCached() into a caller-owned buffer, reusing its capacity: the
+  /// daemon serves GET into per-connection response scratch, so the
+  /// remote hit path allocates nothing at steady state.
+  Status GetCachedInto(const std::string& query_text, std::string* out);
+
   /// True if the retrieved set of `query_text` is currently cached.
   bool IsCached(const std::string& query_text) const;
 
@@ -210,6 +215,7 @@ class Watchman {
   void ReleaseInflightOffer();
 
   StatusOr<std::string> GetPayload(const std::string& query_id);
+  Status GetPayloadInto(const std::string& query_id, std::string* out);
   bool HasPayload(const std::string& query_id) const;
   Status PutPayload(const std::string& query_id, const std::string& payload);
   void ErasePayload(const std::string& query_id);

@@ -1,22 +1,19 @@
 // Zero-allocation guarantee of the sharded hit path.
 //
-// Overrides the global allocator with a counting hook (effective for
-// this whole test binary; counting is armed only around the measured
-// sections) and asserts that once a working set is cached, references
-// that hit perform no heap allocation -- across every policy, through
-// the ShardedQueryCache front-end, including the per-reference
-// invariant checks the assert-enabled build runs.
+// Arms the binary-wide counting allocator (tests/support/
+// counting_alloc.cc) around the measured sections and asserts that
+// once a working set is cached, references that hit perform no heap
+// allocation -- across every policy, through the ShardedQueryCache
+// front-end, including the per-reference invariant checks the
+// assert-enabled build runs.
 //
 // This is the acceptance guard for the allocation-lean hot path: the
 // open-addressing index probes flat slots, QueryKey compares inline
 // bytes, ReferenceHistory records into its preallocated ring, and the
 // ordered victim indexes re-key via node-handle reuse.
 
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <string>
 #include <vector>
 
@@ -25,48 +22,13 @@
 #include "cache/query_descriptor.h"
 #include "cache/sharded_query_cache.h"
 #include "sim/policy_config.h"
-
-namespace {
-
-/// Armed only on the thread under test; other threads (and gtest
-/// internals outside the measured window) never perturb the counter.
-thread_local bool t_counting = false;
-std::atomic<uint64_t> g_allocations{0};
-
-struct CountingScope {
-  CountingScope() {
-    g_allocations.store(0, std::memory_order_relaxed);
-    t_counting = true;
-  }
-  ~CountingScope() { t_counting = false; }
-  uint64_t count() const {
-    return g_allocations.load(std::memory_order_relaxed);
-  }
-};
-
-}  // namespace
-
-void* operator new(std::size_t size) {
-  if (t_counting) g_allocations.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void* operator new[](std::size_t size) {
-  if (t_counting) g_allocations.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "support/counting_alloc.h"
 
 namespace watchman {
 namespace {
+
+using testsupport::CountingScope;
+using testsupport::t_counting;
 
 std::vector<QueryDescriptor> MakeWorkingSet(size_t n) {
   std::vector<QueryDescriptor> out;

@@ -31,11 +31,31 @@ TEST(ProtocolTest, PingRequestRoundTrip) {
   EXPECT_EQ(decoded->request_id, 0u);
 }
 
+TEST(ProtocolTest, CompactRequestRoundTrip) {
+  // v4: COMPACT is payload-free both ways, like PING.
+  WireRequest request;
+  request.op = OpCode::kCompact;
+  request.request_id = 99;
+  auto decoded = DecodeRequest(BodyOf(EncodeRequest(request)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, OpCode::kCompact);
+  EXPECT_EQ(decoded->request_id, 99u);
+  EXPECT_TRUE(decoded->query_text.empty());
+
+  WireResponse response;
+  response.op = OpCode::kCompact;
+  response.request_id = 99;
+  auto echoed = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed->op, OpCode::kCompact);
+  EXPECT_EQ(echoed->code, StatusCode::kOk);
+}
+
 TEST(ProtocolTest, RequestIdRoundTripsOnEveryOp) {
   const uint64_t ids[] = {0, 1, 0x1234567890ABCDEFull, ~0ull};
   for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
                     OpCode::kInvalidate, OpCode::kInvalidateRelation,
-                    OpCode::kStats}) {
+                    OpCode::kStats, OpCode::kCompact}) {
     for (uint64_t id : ids) {
       WireRequest request;
       request.op = op;
@@ -53,7 +73,7 @@ TEST(ProtocolTest, RequestIdRoundTripsOnEveryOp) {
 TEST(ProtocolTest, ResponseRequestIdRoundTripsOnEveryOp) {
   for (OpCode op : {OpCode::kPing, OpCode::kExecute, OpCode::kGet,
                     OpCode::kInvalidate, OpCode::kInvalidateRelation,
-                    OpCode::kStats}) {
+                    OpCode::kStats, OpCode::kCompact}) {
     WireResponse response;
     response.op = op;
     response.request_id = 0xFEEDFACECAFEBEEFull;
@@ -349,6 +369,9 @@ TEST(ProtocolTest, StatsResponseRoundTripsAllFields) {
   s.connections_queued_peak = 5;
   s.requests_served = 1010;
   s.frames_rejected = 1;
+  s.compactions = 7;
+  s.last_compaction_age_ms = 3456;
+  s.backend = "io_uring";
   WireOpMetrics m;
   m.op = static_cast<uint8_t>(OpCode::kExecute);
   m.requests = 500;
@@ -385,6 +408,9 @@ TEST(ProtocolTest, StatsResponseRoundTripsAllFields) {
   EXPECT_EQ(d.connections_queued_peak, s.connections_queued_peak);
   EXPECT_EQ(d.requests_served, s.requests_served);
   EXPECT_EQ(d.frames_rejected, s.frames_rejected);
+  EXPECT_EQ(d.compactions, s.compactions);
+  EXPECT_EQ(d.last_compaction_age_ms, s.last_compaction_age_ms);
+  EXPECT_EQ(d.backend, s.backend);
   ASSERT_EQ(d.per_op.size(), 1u);
   EXPECT_EQ(d.per_op[0].op, m.op);
   EXPECT_EQ(d.per_op[0].requests, m.requests);
@@ -612,6 +638,21 @@ TEST(ProtocolTest, OpCodeNamesAreStable) {
   EXPECT_STREQ(OpCodeName(OpCode::kInvalidateRelation),
                "invalidate_relation");
   EXPECT_STREQ(OpCodeName(OpCode::kStats), "stats");
+  EXPECT_STREQ(OpCodeName(OpCode::kCompact), "compact");
+}
+
+TEST(ProtocolTest, NeverCompactedSentinelSurvivesTheWire) {
+  // A fresh daemon reports "never compacted" as an all-ones age; the
+  // sentinel must arrive intact (a 0 here would read as "just now").
+  WireResponse response;
+  response.op = OpCode::kStats;
+  response.stats.backend = "epoll";
+  auto decoded = DecodeResponse(BodyOf(EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stats.last_compaction_age_ms,
+            WireStats::kNeverCompacted);
+  EXPECT_EQ(decoded->stats.compactions, 0u);
+  EXPECT_EQ(decoded->stats.backend, "epoll");
 }
 
 }  // namespace

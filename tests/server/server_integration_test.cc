@@ -1,6 +1,11 @@
 // Client/server integration tests over a loopback socket: the server
 // binds an ephemeral port (port 0) so parallel CI runs never collide,
 // and the "Server...Concurrent..." tests run under TSan in CI.
+//
+// The whole suite is parameterized over the event backend (epoll and
+// io_uring) so both IO loops face the same protocol-violation,
+// half-close, timeout and concurrency scenarios. The io_uring
+// instantiation skips itself on kernels that cannot run the backend.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +16,8 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +25,7 @@
 
 #include "server/client.h"
 #include "server/server.h"
+#include "server/uring.h"
 #include "watchman/watchman.h"
 
 namespace watchman {
@@ -94,20 +102,38 @@ Watchman::Executor CountingExecutor(std::atomic<int>* executions,
   };
 }
 
-class ServerIntegrationTest : public testing::Test {
+class ServerIntegrationTest : public testing::TestWithParam<ServerBackend> {
  protected:
+  void SetUp() override {
+    if (GetParam() == ServerBackend::kIoUring && !Uring::KernelSupported()) {
+      GTEST_SKIP() << "kernel cannot run the io_uring backend";
+    }
+  }
+
+  /// Server options with the suite's backend applied; every server this
+  /// suite starts -- fixture-owned or test-local -- goes through here
+  /// so no scenario silently tests only epoll.
+  WatchmanServer::Options BackendOptions() const {
+    WatchmanServer::Options server_options;
+    server_options.port = 0;  // ephemeral: parallel-safe in CI
+    server_options.backend = GetParam();
+    return server_options;
+  }
+
   void StartServer(size_t num_shards = 8, size_t num_workers = 8) {
     Watchman::Options options;
     options.capacity_bytes = 8 << 20;
     options.num_shards = num_shards;
     cache_ = std::make_unique<Watchman>(std::move(options),
                                         WatchmanServer::MissFillExecutor());
-    WatchmanServer::Options server_options;
-    server_options.port = 0;  // ephemeral: parallel-safe in CI
+    WatchmanServer::Options server_options = BackendOptions();
     server_options.num_workers = num_workers;
     server_ = std::make_unique<WatchmanServer>(cache_.get(), server_options);
     ASSERT_TRUE(server_->Start().ok());
     ASSERT_NE(server_->port(), 0);
+    // KernelSupported() passed, so a requested io_uring backend must
+    // actually serve (a silent fallback here would shadow coverage).
+    ASSERT_EQ(server_->effective_backend(), GetParam());
   }
 
   WatchmanClient::Options ClientOptions() const {
@@ -122,11 +148,20 @@ class ServerIntegrationTest : public testing::Test {
     return std::move(client).value();
   }
 
+  /// Polls `fn` until true or ~2s pass (timer-driven server behavior).
+  static bool Eventually(const std::function<bool()>& fn) {
+    for (int i = 0; i < 200; ++i) {
+      if (fn()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return fn();
+  }
+
   std::unique_ptr<Watchman> cache_;
   std::unique_ptr<WatchmanServer> server_;
 };
 
-TEST_F(ServerIntegrationTest, PingOnEphemeralPort) {
+TEST_P(ServerIntegrationTest, PingOnEphemeralPort) {
   StartServer();
   auto client = MakeClient();
   EXPECT_TRUE(client->Ping().ok());
@@ -134,7 +169,7 @@ TEST_F(ServerIntegrationTest, PingOnEphemeralPort) {
   EXPECT_EQ(server_->connections_accepted(), 1u);
 }
 
-TEST_F(ServerIntegrationTest, RemoteHitServedFromCache) {
+TEST_P(ServerIntegrationTest, RemoteHitServedFromCache) {
   StartServer();
   std::atomic<int> executions{0};
   auto remote = RemoteWatchman::Connect(ClientOptions(),
@@ -156,7 +191,7 @@ TEST_F(ServerIntegrationTest, RemoteHitServedFromCache) {
   EXPECT_EQ(stats.insertions, 1u);
 }
 
-TEST_F(ServerIntegrationTest, MissWithoutFillReportsNotFound) {
+TEST_P(ServerIntegrationTest, MissWithoutFillReportsNotFound) {
   StartServer();
   auto client = MakeClient();
   auto probe = client->Get("select 1 from dual");
@@ -168,7 +203,7 @@ TEST_F(ServerIntegrationTest, MissWithoutFillReportsNotFound) {
   EXPECT_EQ(executed.status().code(), StatusCode::kNotFound);
 }
 
-TEST_F(ServerIntegrationTest, MissFillPopulatesAndHitFlagFlips) {
+TEST_P(ServerIntegrationTest, MissFillPopulatesAndHitFlagFlips) {
   StartServer();
   auto client = MakeClient();
   const std::string query = "select o_orderkey from orders";
@@ -191,7 +226,7 @@ TEST_F(ServerIntegrationTest, MissFillPopulatesAndHitFlagFlips) {
   EXPECT_EQ(got->payload, "the retrieved set");
 }
 
-TEST_F(ServerIntegrationTest, InvalidateRelationEvictsDependentSet) {
+TEST_P(ServerIntegrationTest, InvalidateRelationEvictsDependentSet) {
   StartServer();
   auto client = MakeClient();
   ASSERT_TRUE(client
@@ -226,7 +261,7 @@ TEST_F(ServerIntegrationTest, InvalidateRelationEvictsDependentSet) {
   EXPECT_FALSE(cache_->IsCached("select c from region"));
 }
 
-TEST_F(ServerIntegrationTest, StatsMatchTheLocalFacade) {
+TEST_P(ServerIntegrationTest, StatsMatchTheLocalFacade) {
   StartServer();
   std::atomic<int> executions{0};
   auto remote = RemoteWatchman::Connect(ClientOptions(),
@@ -256,6 +291,11 @@ TEST_F(ServerIntegrationTest, StatsMatchTheLocalFacade) {
   EXPECT_EQ(stats->num_shards, cache_->num_shards());
   EXPECT_EQ(stats->policy_name, cache_->policy_name());
   EXPECT_DOUBLE_EQ(stats->hit_ratio(), local.hit_ratio());
+  // v4 transport fields: the wire names the serving backend, and a
+  // fresh server has no compaction yet.
+  EXPECT_EQ(stats->backend, ServerBackendName(GetParam()));
+  EXPECT_EQ(stats->compactions, 0u);
+  EXPECT_EQ(stats->last_compaction_age_ms, WireStats::kNeverCompacted);
 
   // Per-op counters: 4 misses probe+fill, 8 hits probe only.
   bool saw_get = false;
@@ -276,7 +316,7 @@ TEST_F(ServerIntegrationTest, StatsMatchTheLocalFacade) {
   EXPECT_TRUE(saw_execute);
 }
 
-TEST_F(ServerIntegrationTest, BatchedRequestsOnOneConnection) {
+TEST_P(ServerIntegrationTest, BatchedRequestsOnOneConnection) {
   StartServer();
   auto client = MakeClient();
   // Many round trips on a single connection interleaving every op.
@@ -297,7 +337,153 @@ TEST_F(ServerIntegrationTest, BatchedRequestsOnOneConnection) {
   EXPECT_EQ(stats->connections_accepted, 1u);
 }
 
-TEST_F(ServerIntegrationTest, ConcurrentClientsShareTheCache) {
+TEST_P(ServerIntegrationTest, BlockingCheapOpsTakeTheInlinePath) {
+  // A blocking client on an otherwise idle server: every PING/GET/STATS
+  // frame arrives alone with nothing in flight and an empty
+  // ready-queue, so each one must be answered inline on the IO thread.
+  // EXECUTE is never inlined.
+  StartServer();
+  auto client = MakeClient();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(client->Ping().ok());
+  EXPECT_EQ(server_->inline_dispatched(), 10u);
+  ASSERT_EQ(client->Get("select 1").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(client->Stats().ok());
+  EXPECT_EQ(server_->inline_dispatched(), 12u);
+  ASSERT_TRUE(client->Execute("select 1", "fill", 10, {}).ok());
+  EXPECT_EQ(server_->inline_dispatched(), 12u);  // worker path
+  EXPECT_EQ(server_->StatsSnapshot().requests_served, 13u);
+}
+
+TEST_P(ServerIntegrationTest, InlineDispatchDisabledByOption) {
+  Watchman::Options options;
+  options.capacity_bytes = 8 << 20;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+  WatchmanServer::Options server_options = BackendOptions();
+  server_options.inline_dispatch = false;
+  WatchmanServer server(&cache, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WatchmanClient::Options client_options;
+  client_options.port = server.port();
+  auto client = WatchmanClient::Connect(client_options);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*client)->Ping().ok());
+  EXPECT_EQ(server.inline_dispatched(), 0u);
+  EXPECT_EQ(server.StatsSnapshot().requests_served, 5u);
+  server.Stop();
+}
+
+TEST_P(ServerIntegrationTest, InlineFloodCannotStarveQueuedWork) {
+  // A pipelined burst of cheap frames around an EXECUTE, against one
+  // worker and a tiny inline burst budget: the budget forces most
+  // pings onto the worker path, and every frame -- the EXECUTE
+  // included -- must still be answered. This is the starvation guard:
+  // inline dispatch may only serve frames while the ready-queue is
+  // empty, and only max_inline_burst of them per tick.
+  Watchman::Options options;
+  options.capacity_bytes = 8 << 20;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+  WatchmanServer::Options server_options = BackendOptions();
+  server_options.num_workers = 1;
+  server_options.max_inline_burst = 2;
+  WatchmanServer server(&cache, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr uint64_t kPingsBefore = 40;
+  constexpr uint64_t kPingsAfter = 40;
+  const uint64_t execute_id = kPingsBefore + 1;
+  std::string stream;
+  uint64_t next_id = 1;
+  for (uint64_t i = 0; i < kPingsBefore; ++i) {
+    WireRequest ping;
+    ping.op = OpCode::kPing;
+    ping.request_id = next_id++;
+    AppendRequest(ping, &stream);
+  }
+  WireRequest execute;
+  execute.op = OpCode::kExecute;
+  execute.request_id = next_id++;
+  execute.query_text = "select starved from floods";
+  execute.has_fill = true;
+  execute.fill_payload = "answered anyway";
+  execute.fill_cost = 100;
+  AppendRequest(execute, &stream);
+  for (uint64_t i = 0; i < kPingsAfter; ++i) {
+    WireRequest ping;
+    ping.op = OpCode::kPing;
+    ping.request_id = next_id++;
+    AppendRequest(ping, &stream);
+  }
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.connected());
+  conn.Send(stream);
+  const uint64_t total = next_id - 1;
+  std::vector<bool> answered(total + 1, false);
+  for (uint64_t i = 0; i < total; ++i) {
+    auto response = conn.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_GE(response->request_id, 1u);
+    ASSERT_LE(response->request_id, total);
+    EXPECT_FALSE(answered[response->request_id]) << response->request_id;
+    answered[response->request_id] = true;
+    EXPECT_EQ(response->code, StatusCode::kOk);
+    if (response->request_id == execute_id) {
+      EXPECT_EQ(response->op, OpCode::kExecute);
+      EXPECT_EQ(response->payload, "answered anyway");
+    }
+  }
+  for (uint64_t id = 1; id <= total; ++id) {
+    EXPECT_TRUE(answered[id]) << "request " << id << " never answered";
+  }
+  EXPECT_TRUE(cache.IsCached("select starved from floods"));
+  server.Stop();
+}
+
+TEST_P(ServerIntegrationTest, CompactOverTheWire) {
+  StartServer();
+  auto client = MakeClient();
+  ASSERT_TRUE(client->Execute("select a from t", "set-a", 100, {"t"}).ok());
+  ASSERT_TRUE(client->Compact().ok());
+  EXPECT_EQ(server_->compactions(), 1u);
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->compactions, 1u);
+  EXPECT_NE(stats->last_compaction_age_ms, WireStats::kNeverCompacted);
+  EXPECT_LT(stats->last_compaction_age_ms, 60000u);
+}
+
+TEST_P(ServerIntegrationTest, IdleCompactionRunsOncePerIdlePeriod) {
+  Watchman::Options options;
+  options.capacity_bytes = 8 << 20;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+  WatchmanServer::Options server_options = BackendOptions();
+  server_options.poll_interval_ms = 10;
+  server_options.compact_idle_ms = 50;
+  WatchmanServer server(&cache, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The idle timer fires once after startup quiesces...
+  ASSERT_TRUE(Eventually([&] { return server.compactions() >= 1; }));
+  const uint64_t after_start = server.compactions();
+  // ...and does NOT free-run while the daemon stays idle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(server.compactions(), after_start);
+
+  // New traffic re-arms it: one more pass once idle again.
+  WatchmanClient::Options client_options;
+  client_options.port = server.port();
+  auto client = WatchmanClient::Connect(client_options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE(
+      Eventually([&] { return server.compactions() == after_start + 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(server.compactions(), after_start + 1);
+  server.Stop();
+}
+
+TEST_P(ServerIntegrationTest, ConcurrentClientsShareTheCache) {
   StartServer(/*num_shards=*/8, /*num_workers=*/8);
   constexpr int kThreads = 6;
   constexpr int kIterations = 40;
@@ -344,7 +530,7 @@ TEST_F(ServerIntegrationTest, ConcurrentClientsShareTheCache) {
   EXPECT_TRUE(cache_->cache().CheckInvariants().ok());
 }
 
-TEST_F(ServerIntegrationTest, ConcurrentClientsWithInvalidationChaos) {
+TEST_P(ServerIntegrationTest, ConcurrentClientsWithInvalidationChaos) {
   StartServer(/*num_shards=*/8, /*num_workers=*/8);
   constexpr int kThreads = 4;
   constexpr int kIterations = 30;
@@ -393,11 +579,10 @@ TEST_F(ServerIntegrationTest, ConcurrentClientsWithInvalidationChaos) {
   EXPECT_TRUE(cache_->cache().CheckInvariants().ok());
 }
 
-TEST_F(ServerIntegrationTest, OversizedFillRejectedAsCorruption) {
+TEST_P(ServerIntegrationTest, OversizedFillRejectedAsCorruption) {
   StartServer();
   // Re-start a second server with a tiny frame limit.
-  WatchmanServer::Options tiny;
-  tiny.port = 0;
+  WatchmanServer::Options tiny = BackendOptions();
   tiny.num_workers = 1;
   tiny.max_frame_bytes = 1024;
   WatchmanServer small_server(cache_.get(), tiny);
@@ -415,7 +600,7 @@ TEST_F(ServerIntegrationTest, OversizedFillRejectedAsCorruption) {
   small_server.Stop();
 }
 
-TEST_F(ServerIntegrationTest, DecodeErrorEchoesRequestOpcodeAndId) {
+TEST_P(ServerIntegrationTest, DecodeErrorEchoesRequestOpcodeAndId) {
   // Regression: a request whose body fails to decode used to be
   // answered with a default-constructed response whose op was kPing,
   // so the client reported "response op mismatch: sent get, got ping"
@@ -448,7 +633,7 @@ TEST_F(ServerIntegrationTest, DecodeErrorEchoesRequestOpcodeAndId) {
   EXPECT_EQ(server_->StatsSnapshot().frames_rejected, 1u);
 }
 
-TEST_F(ServerIntegrationTest, CorruptFrameMidStreamAnswersEarlierFrames) {
+TEST_P(ServerIntegrationTest, CorruptFrameMidStreamAnswersEarlierFrames) {
   // A valid PING pipelined ahead of a garbage length prefix: the ping
   // must be answered AND the framing error reported with the daemon's
   // Corruption status before the connection closes. Responses may
@@ -485,12 +670,11 @@ TEST_F(ServerIntegrationTest, CorruptFrameMidStreamAnswersEarlierFrames) {
   EXPECT_FALSE(eof.ok());
 }
 
-TEST_F(ServerIntegrationTest, OversizedFrameSurfacesCorruptionAtTheClient) {
+TEST_P(ServerIntegrationTest, OversizedFrameSurfacesCorruptionAtTheClient) {
   // Acceptance: through the real client, a frame the daemon rejects
   // must surface the daemon's Corruption message -- NOT an
   // "op mismatch" Internal error, and not a bare connection reset.
-  WatchmanServer::Options tiny;
-  tiny.port = 0;
+  WatchmanServer::Options tiny = BackendOptions();
   tiny.num_workers = 1;
   tiny.max_frame_bytes = 1024;
   Watchman::Options cache_options;
@@ -514,7 +698,7 @@ TEST_F(ServerIntegrationTest, OversizedFrameSurfacesCorruptionAtTheClient) {
   small_server.Stop();
 }
 
-TEST_F(ServerIntegrationTest, HalfClosePipelinedRequestsAllAnswered) {
+TEST_P(ServerIntegrationTest, HalfClosePipelinedRequestsAllAnswered) {
   // A peer that pipelines N requests and immediately shuts down its
   // write side must still receive all N responses (the event loop
   // parses buffered frames after EOF and closes only once the output
@@ -544,12 +728,11 @@ TEST_F(ServerIntegrationTest, HalfClosePipelinedRequestsAllAnswered) {
   EXPECT_FALSE(eof.ok());
 }
 
-TEST_F(ServerIntegrationTest, IoTimeoutReapsStalledConnection) {
+TEST_P(ServerIntegrationTest, IoTimeoutReapsStalledConnection) {
   // A connection stuck mid-frame (length prefix promises more bytes
   // that never come) is closed once io_timeout_ms passes without
   // progress; a healthy idle connection on the same server is NOT.
-  WatchmanServer::Options server_options;
-  server_options.port = 0;
+  WatchmanServer::Options server_options = BackendOptions();
   server_options.io_timeout_ms = 200;
   server_options.poll_interval_ms = 20;
   Watchman::Options cache_options;
@@ -582,7 +765,7 @@ TEST_F(ServerIntegrationTest, IoTimeoutReapsStalledConnection) {
   server.Stop();
 }
 
-TEST_F(ServerIntegrationTest, GracefulShutdownStopsServing) {
+TEST_P(ServerIntegrationTest, GracefulShutdownStopsServing) {
   StartServer();
   auto client = MakeClient();
   ASSERT_TRUE(client->Ping().ok());
@@ -596,6 +779,66 @@ TEST_F(ServerIntegrationTest, GracefulShutdownStopsServing) {
   // Stop() is idempotent.
   server_->Stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServerIntegrationTest,
+    testing::Values(ServerBackend::kEpoll, ServerBackend::kIoUring),
+    [](const testing::TestParamInfo<ServerBackend>& info) {
+      return std::string(ServerBackendName(info.param));
+    });
+
+// ---- backend selection / fallback (not parameterized) ----
+
+TEST(ServerBackendTest, ParseNamesRoundTrip) {
+  ServerBackend backend = ServerBackend::kAuto;
+  EXPECT_TRUE(ParseServerBackend("epoll", &backend));
+  EXPECT_EQ(backend, ServerBackend::kEpoll);
+  EXPECT_TRUE(ParseServerBackend("io_uring", &backend));
+  EXPECT_EQ(backend, ServerBackend::kIoUring);
+  EXPECT_TRUE(ParseServerBackend("auto", &backend));
+  EXPECT_EQ(backend, ServerBackend::kAuto);
+  EXPECT_TRUE(ParseServerBackend("uring", &backend));  // accepted alias
+  EXPECT_EQ(backend, ServerBackend::kIoUring);
+  EXPECT_FALSE(ParseServerBackend("epol", &backend));
+  EXPECT_FALSE(ParseServerBackend("", &backend));
+  EXPECT_STREQ(ServerBackendName(ServerBackend::kEpoll), "epoll");
+  EXPECT_STREQ(ServerBackendName(ServerBackend::kIoUring), "io_uring");
+  EXPECT_STREQ(ServerBackendName(ServerBackend::kAuto), "auto");
+}
+
+class BackendFallbackTest : public testing::TestWithParam<ServerBackend> {};
+
+TEST_P(BackendFallbackTest, FallsBackToEpollAndStillServes) {
+  // Regression for the fallback path: a kernel without io_uring must
+  // not fail Start() -- both `io_uring` (with a logged warning) and
+  // `auto` (silently) serve on epoll. simulate_io_uring_unavailable
+  // makes the scenario deterministic on any kernel.
+  Watchman::Options options;
+  options.capacity_bytes = 8 << 20;
+  Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
+  WatchmanServer::Options server_options;
+  server_options.port = 0;
+  server_options.backend = GetParam();
+  server_options.simulate_io_uring_unavailable = true;
+  WatchmanServer server(&cache, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.effective_backend(), ServerBackend::kEpoll);
+  EXPECT_EQ(server.StatsSnapshot().backend, std::string("epoll"));
+
+  WatchmanClient::Options client_options;
+  client_options.port = server.port();
+  auto client = WatchmanClient::Connect(client_options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Ping().ok());
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Requested, BackendFallbackTest,
+    testing::Values(ServerBackend::kIoUring, ServerBackend::kAuto),
+    [](const testing::TestParamInfo<ServerBackend>& info) {
+      return std::string(ServerBackendName(info.param));
+    });
 
 }  // namespace
 }  // namespace watchman

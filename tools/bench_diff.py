@@ -13,12 +13,25 @@ any scenario common to both files regressed by more than
 --max-regression (default 10%) in ops/s, closing the loop on the
 per-commit BENCH_micro.json artifacts CI uploads.
 
+Two-tier gating: the committed-trajectory baseline usually comes from
+a different machine, so its gate needs generous slack (CI passes 50%).
+--prior=PATH adds the intended tight gate on top: PATH points at the
+previous CI run's artifact from the SAME runner pool (restored from
+the actions cache), and scenarios common to prior and current are
+gated at --prior-max-regression (default 10%). A missing or unreadable
+prior is not an error -- the first run on a fresh cache simply falls
+back to the baseline gate alone.
+
 Options:
-  --max-regression=F   allowed fractional ops/s drop per scenario
-                       (default 0.10 = 10%)
-  --require-all        also fail when a baseline scenario is missing
-                       from the current report (renamed/dropped bench)
-  --self-test          run the built-in unit tests (used by ctest)
+  --max-regression=F        allowed fractional ops/s drop per scenario
+                            vs the baseline file (default 0.10 = 10%)
+  --prior=PATH              previous same-runner report; enables the
+                            tight second gate when the file exists
+  --prior-max-regression=F  allowed fractional drop vs the prior run
+                            (default 0.10 = 10%)
+  --require-all             also fail when a baseline scenario is
+                            missing from the current report
+  --self-test               run the built-in unit tests (used by ctest)
 
 Exit codes: 0 ok, 1 regression (or missing scenario with
 --require-all), 2 usage or I/O error.
@@ -75,22 +88,63 @@ def diff(baseline, current, max_regression):
     return lines, regressions, missing
 
 
+def parse_fraction(arg, name):
+    """Parses --name=F into a float in [0, 1); None on error."""
+    try:
+        value = float(arg.split("=", 1)[1])
+    except ValueError:
+        print(f"bench_diff: bad {name}: {arg}", file=sys.stderr)
+        return None
+    if not 0.0 <= value < 1.0:
+        print(f"bench_diff: {name} must be in [0, 1)", file=sys.stderr)
+        return None
+    return value
+
+
+def gate(label, baseline, current, max_regression, require_all):
+    """Prints one diff table; returns True when the gate passes."""
+    lines, regressions, missing = diff(baseline, current, max_regression)
+    width = max((len(s) for s in baseline), default=8)
+    print(f"{label} (allowed drop {max_regression * 100:.0f}%):")
+    print(f"  {'scenario':<{width}}  {'baseline ops/s':>14}"
+          f"  {'current ops/s':>14}     delta")
+    for line in lines:
+        print(line)
+    ok = True
+    if regressions:
+        print(f"bench_diff: {len(regressions)} scenario(s) regressed "
+              f">{max_regression * 100:.0f}% in ops/s: "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        ok = False
+    if missing:
+        msg = (f"bench_diff: {len(missing)} baseline scenario(s) missing "
+               f"from current report: {', '.join(missing)}")
+        if require_all:
+            print(msg, file=sys.stderr)
+            ok = False
+        else:
+            print(msg + " (ignored; pass --require-all to fail)")
+    return ok
+
+
 def run(argv):
     max_regression = 0.10
+    prior_max_regression = 0.10
+    prior_path = None
     require_all = False
     paths = []
     for arg in argv:
         if arg.startswith("--max-regression="):
-            try:
-                max_regression = float(arg.split("=", 1)[1])
-            except ValueError:
-                print(f"bench_diff: bad --max-regression: {arg}",
-                      file=sys.stderr)
+            max_regression = parse_fraction(arg, "--max-regression")
+            if max_regression is None:
                 return 2
-            if not 0.0 <= max_regression < 1.0:
-                print("bench_diff: --max-regression must be in [0, 1)",
-                      file=sys.stderr)
+        elif arg.startswith("--prior-max-regression="):
+            prior_max_regression = parse_fraction(
+                arg, "--prior-max-regression")
+            if prior_max_regression is None:
                 return 2
+        elif arg.startswith("--prior="):
+            prior_path = arg.split("=", 1)[1]
         elif arg == "--require-all":
             require_all = True
         elif arg == "--self-test":
@@ -110,26 +164,27 @@ def run(argv):
         print(f"bench_diff: {e}", file=sys.stderr)
         return 2
 
-    lines, regressions, missing = diff(baseline, current, max_regression)
-    width = max((len(s) for s in baseline), default=8)
-    print(f"  {'scenario':<{width}}  {'baseline ops/s':>14}"
-          f"  {'current ops/s':>14}     delta")
-    for line in lines:
-        print(line)
-    ok = True
-    if regressions:
-        print(f"bench_diff: {len(regressions)} scenario(s) regressed "
-              f">{max_regression * 100:.0f}% in ops/s: "
-              f"{', '.join(regressions)}", file=sys.stderr)
-        ok = False
-    if missing:
-        msg = (f"bench_diff: {len(missing)} baseline scenario(s) missing "
-               f"from current report: {', '.join(missing)}")
-        if require_all:
-            print(msg, file=sys.stderr)
-            ok = False
-        else:
-            print(msg + " (ignored; pass --require-all to fail)")
+    ok = gate("baseline gate", baseline, current, max_regression,
+              require_all)
+
+    # Second tier: like-for-like gate against the previous run of the
+    # same runner pool. Absence (fresh cache, expired artifact) falls
+    # back to the baseline gate alone -- by design, not silently: say
+    # so, because a permanently missing prior means the tight gate
+    # never runs.
+    if prior_path is not None:
+        try:
+            prior = load_results(prior_path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_diff: no usable prior run ({e}); "
+                  "baseline gate only")
+            prior = None
+        if prior is not None:
+            # Never --require-all here: a scenario added this commit
+            # legitimately has no prior measurement.
+            if not gate("prior-run gate", prior, current,
+                        prior_max_regression, False):
+                ok = False
     return 0 if ok else 1
 
 
@@ -161,6 +216,26 @@ def self_test():
          ["--require-all"], 1),                          # missing fails
         ([("a", 100.0)], [("a", 100.0), ("new", 5.0)], [], 0),  # new ok
     ]
+    # (baseline, current, prior, args, expected): the two-tier gate.
+    prior_cases = [
+        # Wide baseline gate passes, tight prior gate catches the -15%
+        # runner-vs-runner drop the 50% gate would have waved through.
+        ([("a", 100.0)], [("a", 85.0)], [("a", 100.0)],
+         ["--max-regression=0.5"], 1),
+        # Same drop but within the prior gate's explicit slack.
+        ([("a", 100.0)], [("a", 85.0)], [("a", 100.0)],
+         ["--max-regression=0.5", "--prior-max-regression=0.2"], 0),
+        # Healthy run passes both tiers.
+        ([("a", 100.0)], [("a", 98.0)], [("a", 99.0)],
+         ["--max-regression=0.5"], 0),
+        # A scenario new this commit has no prior row: not a failure,
+        # even when the baseline gate runs --require-all.
+        ([("a", 100.0)], [("a", 98.0), ("new", 5.0)], [("a", 99.0)],
+         ["--max-regression=0.5", "--require-all"], 0),
+        # Prior regressed but baseline did not: still a failure (the
+        # prior gate is a real gate, not advisory).
+        ([("a", 80.0)], [("a", 80.0)], [("a", 100.0)], [], 1),
+    ]
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:
         for i, (base, cur, args, expected) in enumerate(cases):
@@ -175,6 +250,38 @@ def self_test():
                 print(f"self-test case {i}: expected exit {expected}, "
                       f"got {got}", file=sys.stderr)
                 failures += 1
+        for i, (base, cur, prior, args, expected) in enumerate(prior_cases):
+            bp = os.path.join(tmp, f"pbase{i}.json")
+            cp = os.path.join(tmp, f"pcur{i}.json")
+            pp = os.path.join(tmp, f"prior{i}.json")
+            for path, results in ((bp, base), (cp, cur), (pp, prior)):
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(report(results), f)
+            got = run([bp, cp, f"--prior={pp}"] + args)
+            if got != expected:
+                print(f"self-test prior case {i}: expected exit "
+                      f"{expected}, got {got}", file=sys.stderr)
+                failures += 1
+        # A missing prior artifact falls back to the baseline gate.
+        bp = os.path.join(tmp, "fb_base.json")
+        cp = os.path.join(tmp, "fb_cur.json")
+        with open(bp, "w", encoding="utf-8") as f:
+            json.dump(report([("a", 100.0)]), f)
+        with open(cp, "w", encoding="utf-8") as f:
+            json.dump(report([("a", 85.0)]), f)
+        if run([bp, cp, "--max-regression=0.5",
+                f"--prior={os.path.join(tmp, 'absent.json')}"]) != 0:
+            print("self-test: missing prior must fall back to the "
+                  "baseline gate", file=sys.stderr)
+            failures += 1
+        # ...and a malformed prior is a fallback too, not a crash.
+        mp = os.path.join(tmp, "mangled_prior.json")
+        with open(mp, "w", encoding="utf-8") as f:
+            f.write("not json at all")
+        if run([bp, cp, "--max-regression=0.5", f"--prior={mp}"]) != 0:
+            print("self-test: malformed prior must fall back to the "
+                  "baseline gate", file=sys.stderr)
+            failures += 1
         # Unreadable / malformed input is a usage error, not a crash.
         if run([os.path.join(tmp, "nope.json"),
                 os.path.join(tmp, "nope.json")]) != 2:

@@ -39,6 +39,7 @@
 #include "bench/harness.h"
 #include "cache/query_descriptor.h"
 #include "cache/sharded_query_cache.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "sim/policy_config.h"
@@ -114,6 +115,33 @@ BenchResult RunHit(const std::string& scenario, PolicyKind kind,
                  [&](uint64_t) {
                    const QueryDescriptor& d = descriptors[rng.Next() & mask];
                    DoNotOptimize(cache->Reference(d, ++now));
+                 });
+}
+
+/// The hit_lru loop with the observability hot path attached: one
+/// counter increment and one log-histogram record per reference, the
+/// same per-op work the server does when --admin-port metrics are on.
+/// Compare against hit_lru to read off the instrumentation overhead.
+BenchResult RunMetricsOverhead(uint64_t iters) {
+  constexpr size_t kWorkingSet = 4096;
+  auto descriptors = MakeDescriptors(kWorkingSet, 42);
+  PolicyConfig config;
+  config.kind = PolicyKind::kLru;
+  config.k = 4;
+  std::unique_ptr<QueryCache> cache =
+      MakeCache(config, TotalBytes(descriptors) * 2);
+  Timestamp now = 0;
+  for (const auto& d : descriptors) cache->Reference(d, now += 1000);
+  FastRng rng(0xC0FFEE);
+  obs::Counter requests;
+  obs::LogHistogram latency;
+  return Measure("metrics_overhead", /*warmup=*/iters / 20, iters,
+                 /*batch=*/4096, [&](uint64_t) {
+                   const QueryDescriptor& d =
+                       descriptors[rng.Next() & (kWorkingSet - 1)];
+                   DoNotOptimize(cache->Reference(d, ++now));
+                   requests.Inc();
+                   latency.Record(static_cast<int64_t>(now & 0xFFFF) + 1);
                  });
 }
 
@@ -334,6 +362,7 @@ int Run(int argc, char** argv) {
 
   JsonReport report("micro_cache_ops");
   report.Add(RunHit("hit_lru", PolicyKind::kLru, scaled(4e6)));
+  report.Add(RunMetricsOverhead(scaled(4e6)));
   report.Add(RunHit("hit_lnc_ra", PolicyKind::kLncRA, scaled(2e6)));
   report.Add(RunHit("hit_lnc_ra_64k", PolicyKind::kLncRA, scaled(2e6),
                     /*working_set=*/65536));

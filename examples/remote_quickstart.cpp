@@ -14,6 +14,11 @@
 //   ./build/watchmand --port=9736 &
 //   ./build/example_remote_quickstart 9736
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -33,6 +38,66 @@ using watchman::WatchmanClient;
 using watchman::WatchmanServer;
 using watchman::WireStats;
 
+namespace {
+
+/// One blocking HTTP GET against the daemon's admin endpoint. The
+/// listener half-closes after its response, so reading to EOF is the
+/// whole protocol -- no HTTP library needed.
+std::string AdminHttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[8192];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t body_at = response.find("\r\n\r\n");
+  return body_at == std::string::npos ? "" : response.substr(body_at + 4);
+}
+
+/// Pulls one sample value out of a Prometheus exposition body: the sum
+/// of every series whose line starts with `name` followed by a label
+/// set or a space.
+double SumMetric(const std::string& body, const std::string& name) {
+  double total = 0.0;
+  size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string::npos) {
+    const size_t after = pos + name.size();
+    pos = after;
+    if (after >= body.size() ||
+        (body[after] != '{' && body[after] != ' ')) {
+      continue;  // prefix of a longer metric name
+    }
+    const size_t space = body.find(' ', after);
+    const size_t eol = body.find('\n', after);
+    if (space == std::string::npos || (eol != std::string::npos && space > eol))
+      continue;
+    total += std::atof(body.c_str() + space + 1);
+  }
+  return total;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   // An in-process daemon, unless the caller pointed us at a real one.
   std::unique_ptr<Watchman> daemon_cache;
@@ -46,15 +111,19 @@ int main(int argc, char** argv) {
     options.num_shards = 4;
     daemon_cache = std::make_unique<Watchman>(
         std::move(options), WatchmanServer::MissFillExecutor());
+    WatchmanServer::Options server_options;
+    server_options.admin_port = 0;  // ephemeral /metrics endpoint
     daemon = std::make_unique<WatchmanServer>(daemon_cache.get(),
-                                              WatchmanServer::Options{});
+                                              server_options);
     if (!daemon->Start().ok()) {
       std::fprintf(stderr, "cannot start in-process daemon\n");
       return 1;
     }
     port = daemon->port();
-    std::printf("started in-process watchmand on 127.0.0.1:%u\n\n",
-                static_cast<unsigned>(port));
+    std::printf("started in-process watchmand on 127.0.0.1:%u "
+                "(admin http on :%u)\n\n",
+                static_cast<unsigned>(port),
+                static_cast<unsigned>(daemon->admin_port()));
   }
 
   // This front-end's warehouse executor (a mock, as in the quickstart).
@@ -137,6 +206,21 @@ int main(int argc, char** argv) {
     std::printf("  probe %d (%.25s...): %s\n", i + 1, probes[i].c_str(),
                 hit ? "hit" : "miss");
   }
+  // The same numbers a Prometheus scraper would see: poll the admin
+  // endpoint and derive the hit ratio from the exposition text.
+  if (daemon != nullptr && daemon->admin_port() != 0) {
+    const std::string body = AdminHttpGet(daemon->admin_port(), "/metrics");
+    if (!body.empty()) {
+      const double lookups = SumMetric(body, "watchman_cache_lookups_total");
+      const double hits = SumMetric(body, "watchman_cache_hits_total");
+      const double used = SumMetric(body, "watchman_cache_used_bytes");
+      std::printf("\nscraped /metrics: hit ratio %.2f (%.0f/%.0f), "
+                  "%.0f bytes cached, %.0f requests served\n",
+                  lookups > 0 ? hits / lookups : 0.0, hits, lookups, used,
+                  SumMetric(body, "watchman_server_requests_served_total"));
+    }
+  }
+
   if (daemon != nullptr) daemon->Stop();
   return 0;
 }

@@ -98,6 +98,11 @@ CacheStats ShardedQueryCache::stats() const {
   return total;
 }
 
+CacheStats ShardedQueryCache::shard_stats(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->cache->stats();
+}
+
 uint64_t ShardedQueryCache::used_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {

@@ -85,6 +85,10 @@ class ShardedQueryCache {
   /// snapshot; shards are read under their locks one at a time).
   CacheStats stats() const;
 
+  /// One shard's statistics (a copy taken under that shard's lock) --
+  /// the per-shard metric families scrape through this.
+  CacheStats shard_stats(size_t shard) const;
+
   /// Per-shard lock contention counters: every shard-lock acquisition
   /// first tries the uncontended fast path (try_lock); `contended`
   /// counts the acquisitions that had to block instead. The ratio shows

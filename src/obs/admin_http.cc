@@ -1,0 +1,71 @@
+#include "obs/admin_http.h"
+
+#include <cstdio>
+
+namespace watchman {
+namespace obs {
+
+bool ParseHttpRequest(std::string_view buffer, HttpRequest* request,
+                      bool* malformed) {
+  *malformed = false;
+  // A complete header block ends with a blank line; accept bare-LF
+  // peers as well as CRLF.
+  if (buffer.find("\r\n\r\n") == std::string_view::npos &&
+      buffer.find("\n\n") == std::string_view::npos) {
+    return false;
+  }
+  const size_t line_end = buffer.find_first_of("\r\n");
+  std::string_view line = buffer.substr(0, line_end);
+  const size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) {
+    *malformed = true;
+    return false;
+  }
+  const size_t target_begin = method_end + 1;
+  size_t target_end = line.find(' ', target_begin);
+  if (target_end == std::string_view::npos) target_end = line.size();
+  if (target_end == target_begin) {
+    *malformed = true;
+    return false;
+  }
+  std::string_view target = line.substr(target_begin,
+                                        target_end - target_begin);
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  request->method.assign(line.substr(0, method_end));
+  request->path.assign(target);
+  return true;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Error";
+  }
+}
+
+void AppendHttpResponse(int status, std::string_view content_type,
+                        std::string_view body, std::string* out) {
+  char head[160];
+  const int n = std::snprintf(
+      head, sizeof(head),
+      "HTTP/1.0 %d %s\r\nContent-Type: %.*s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, HttpStatusText(status), static_cast<int>(content_type.size()),
+      content_type.data(), body.size());
+  out->append(head, static_cast<size_t>(n));
+  out->append(body);
+}
+
+}  // namespace obs
+}  // namespace watchman

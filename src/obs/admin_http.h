@@ -1,0 +1,44 @@
+// Minimal HTTP/1.0 request parsing and response building for the admin
+// listener (/metrics, /healthz). Pure functions over byte strings --
+// unit-testable without sockets, like server/protocol.h.
+//
+// The admin surface is deliberately tiny: GET only, no keep-alive (the
+// server half-closes after the response, reusing the wire server's
+// drain machinery), headers ignored beyond finding the end of the
+// block, bodies never read (a scraper sends none).
+
+#ifndef WATCHMAN_OBS_ADMIN_HTTP_H_
+#define WATCHMAN_OBS_ADMIN_HTTP_H_
+
+#include <string>
+#include <string_view>
+
+namespace watchman {
+namespace obs {
+
+struct HttpRequest {
+  std::string method;  // "GET", ...
+  std::string path;    // "/metrics" (query string stripped)
+};
+
+/// Examines the bytes received so far. Returns true and fills *request
+/// when a complete header block (terminated by a blank line) is
+/// present; returns false when more bytes are needed. Sets *malformed
+/// (and returns false) when the request line cannot be parsed -- the
+/// caller should answer 400 and close.
+bool ParseHttpRequest(std::string_view buffer, HttpRequest* request,
+                      bool* malformed);
+
+/// Reason phrase for the handful of status codes the admin listener
+/// uses ("OK", "Not Found", ...).
+const char* HttpStatusText(int status);
+
+/// Appends a complete HTTP/1.0 response (status line, Content-Type,
+/// Content-Length, Connection: close, body) to *out.
+void AppendHttpResponse(int status, std::string_view content_type,
+                        std::string_view body, std::string* out);
+
+}  // namespace obs
+}  // namespace watchman
+
+#endif  // WATCHMAN_OBS_ADMIN_HTTP_H_

@@ -1,0 +1,349 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace watchman {
+namespace obs {
+
+namespace internal {
+
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> g_next{0};
+  static thread_local uint32_t t_slot =
+      g_next.fetch_add(1, std::memory_order_relaxed);
+  return t_slot;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------- LogHistogram
+
+LogHistogram::LogHistogram() : slots_(new Slot[kSlots]) {}
+
+uint32_t LogHistogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<uint32_t>(v);
+  const uint32_t exp = 63u - static_cast<uint32_t>(std::countl_zero(v));
+  if (exp > kMaxExponent) return kNumBuckets - 1;
+  const uint32_t sub =
+      static_cast<uint32_t>((v >> (exp - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (exp - kSubBits) * kSubBuckets + sub;
+}
+
+uint64_t LogHistogram::BucketLowerBound(uint32_t idx) {
+  if (idx < kSubBuckets) return idx;
+  if (idx >= kNumBuckets - 1) return 1ull << (kMaxExponent + 1);
+  const uint32_t i = idx - kSubBuckets;
+  const uint32_t exp = kSubBits + i / kSubBuckets;
+  const uint32_t sub = i % kSubBuckets;
+  return (1ull << exp) + (static_cast<uint64_t>(sub) << (exp - kSubBits));
+}
+
+uint64_t LogHistogram::BucketUpperBound(uint32_t idx) {
+  if (idx < kSubBuckets) return idx + 1;
+  if (idx >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  const uint32_t i = idx - kSubBuckets;
+  const uint32_t exp = kSubBits + i / kSubBuckets;
+  return BucketLowerBound(idx) + (1ull << (exp - kSubBits));
+}
+
+void LogHistogram::SnapshotInto(Snapshot* out) const {
+  out->counts.assign(kNumBuckets, 0);
+  out->count = 0;
+  out->sum = 0;
+  for (size_t s = 0; s < kSlots; ++s) {
+    const Slot& slot = slots_[s];
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = slot.counts[i].load(std::memory_order_relaxed);
+      out->counts[i] += c;
+      out->count += c;
+    }
+    out->sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  out->min = mn == std::numeric_limits<uint64_t>::max() ? 0 : mn;
+  out->max = max_.load(std::memory_order_relaxed);
+}
+
+LogHistogram::Snapshot LogHistogram::TakeSnapshot() const {
+  Snapshot out;
+  SnapshotInto(&out);
+  return out;
+}
+
+uint64_t LogHistogram::Count() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kSlots; ++s) {
+    const Slot& slot = slots_[s];
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      total += slot.counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t LogHistogram::Sum() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kSlots; ++s) {
+    total += slots_[s].sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LogHistogram::Min() const {
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  return mn == std::numeric_limits<uint64_t>::max() ? 0 : mn;
+}
+
+uint64_t LogHistogram::Max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (uint32_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      // The overflow bucket has no finite upper edge; interpolate
+      // toward the observed max instead.
+      const double hi =
+          i >= kNumBuckets - 1
+              ? static_cast<double>(max)
+              : static_cast<double>(BucketUpperBound(i));
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      const double v = lo + frac * (hi > lo ? hi - lo : 0.0);
+      return std::clamp(v, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+namespace {
+
+void AppendUint(uint64_t v, std::string* out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+/// Escapes a HELP text / label value per the exposition format:
+/// backslash, double quote (label values) and newline.
+void AppendEscaped(std::string_view text, bool escape_quote,
+                   std::string* out) {
+  for (char c : text) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else if (c == '"' && escape_quote) {
+      out->append("\\\"");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderLabels(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(labels[i].first);
+    out.append("=\"");
+    AppendEscaped(labels[i].second, /*escape_quote=*/true, &out);
+    out.push_back('"');
+  }
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyOf(std::string_view name,
+                                                   std::string_view help,
+                                                   Type type) {
+  for (Family& family : families_) {
+    if (family.name == name) return family;
+  }
+  Family family;
+  family.name = std::string(name);
+  family.help = std::string(help);
+  family.type = type;
+  families_.push_back(std::move(family));
+  return families_.back();
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, std::string_view help,
+                                 Labels labels, const Counter* counter) {
+  Child child;
+  child.label_str = RenderLabels(labels);
+  child.counter = counter;
+  FamilyOf(name, help, Type::kCounter).children.push_back(std::move(child));
+}
+
+void MetricsRegistry::AddCounterFn(std::string_view name,
+                                   std::string_view help, Labels labels,
+                                   CounterFn fn) {
+  Child child;
+  child.label_str = RenderLabels(labels);
+  child.counter_fn = std::move(fn);
+  FamilyOf(name, help, Type::kCounter).children.push_back(std::move(child));
+}
+
+void MetricsRegistry::AddGauge(std::string_view name, std::string_view help,
+                               Labels labels, const Gauge* gauge) {
+  Child child;
+  child.label_str = RenderLabels(labels);
+  child.gauge = gauge;
+  FamilyOf(name, help, Type::kGauge).children.push_back(std::move(child));
+}
+
+void MetricsRegistry::AddGaugeFn(std::string_view name, std::string_view help,
+                                 Labels labels, GaugeFn fn) {
+  Child child;
+  child.label_str = RenderLabels(labels);
+  child.gauge_fn = std::move(fn);
+  FamilyOf(name, help, Type::kGauge).children.push_back(std::move(child));
+}
+
+void MetricsRegistry::AddHistogram(std::string_view name,
+                                   std::string_view help, Labels labels,
+                                   const LogHistogram* histogram,
+                                   double scale) {
+  Child child;
+  child.label_str = RenderLabels(labels);
+  child.histogram = histogram;
+  child.scale = scale;
+  FamilyOf(name, help, Type::kHistogram).children.push_back(std::move(child));
+}
+
+void MetricsRegistry::RenderPrometheusText(std::string* out) const {
+  out->clear();
+  LogHistogram::Snapshot snap;  // reused across histogram children
+  for (const Family& family : families_) {
+    out->append("# HELP ");
+    out->append(family.name);
+    out->push_back(' ');
+    AppendEscaped(family.help, /*escape_quote=*/false, out);
+    out->push_back('\n');
+    out->append("# TYPE ");
+    out->append(family.name);
+    switch (family.type) {
+      case Type::kCounter:
+        out->append(" counter\n");
+        break;
+      case Type::kGauge:
+        out->append(" gauge\n");
+        break;
+      case Type::kHistogram:
+        out->append(" histogram\n");
+        break;
+    }
+    for (const Child& child : family.children) {
+      if (family.type == Type::kCounter) {
+        out->append(family.name);
+        if (!child.label_str.empty()) {
+          out->push_back('{');
+          out->append(child.label_str);
+          out->push_back('}');
+        }
+        out->push_back(' ');
+        AppendUint(child.counter != nullptr ? child.counter->Value()
+                                            : child.counter_fn(),
+                   out);
+        out->push_back('\n');
+      } else if (family.type == Type::kGauge) {
+        out->append(family.name);
+        if (!child.label_str.empty()) {
+          out->push_back('{');
+          out->append(child.label_str);
+          out->push_back('}');
+        }
+        out->push_back(' ');
+        AppendDouble(child.gauge != nullptr
+                         ? static_cast<double>(child.gauge->Value())
+                         : child.gauge_fn(),
+                     out);
+        out->push_back('\n');
+      } else {
+        child.histogram->SnapshotInto(&snap);
+        // Cumulative buckets over the non-empty slots; le edges are the
+        // buckets' (scaled) upper bounds. +Inf is always emitted and
+        // always equals _count.
+        uint64_t cum = 0;
+        for (uint32_t i = 0; i < LogHistogram::kNumBuckets - 1; ++i) {
+          if (snap.counts[i] == 0) continue;
+          cum += snap.counts[i];
+          out->append(family.name);
+          out->append("_bucket{");
+          if (!child.label_str.empty()) {
+            out->append(child.label_str);
+            out->push_back(',');
+          }
+          out->append("le=\"");
+          AppendDouble(
+              static_cast<double>(LogHistogram::BucketUpperBound(i)) *
+                  child.scale,
+              out);
+          out->append("\"} ");
+          AppendUint(cum, out);
+          out->push_back('\n');
+        }
+        out->append(family.name);
+        out->append("_bucket{");
+        if (!child.label_str.empty()) {
+          out->append(child.label_str);
+          out->push_back(',');
+        }
+        out->append("le=\"+Inf\"} ");
+        AppendUint(snap.count, out);
+        out->push_back('\n');
+        out->append(family.name);
+        out->append("_sum");
+        if (!child.label_str.empty()) {
+          out->push_back('{');
+          out->append(child.label_str);
+          out->push_back('}');
+        }
+        out->push_back(' ');
+        AppendDouble(static_cast<double>(snap.sum) * child.scale, out);
+        out->push_back('\n');
+        out->append(family.name);
+        out->append("_count");
+        if (!child.label_str.empty()) {
+          out->push_back('{');
+          out->append(child.label_str);
+          out->push_back('}');
+        }
+        out->push_back(' ');
+        AppendUint(snap.count, out);
+        out->push_back('\n');
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::string out;
+  RenderPrometheusText(&out);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace watchman

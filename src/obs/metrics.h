@@ -1,0 +1,249 @@
+// Zero-allocation observability primitives and the process registry
+// that renders them.
+//
+// The hot-path contract is the whole point of this layer: after a
+// metric object is constructed, updating it (Counter::Inc/Add,
+// Gauge::Set/Add, LogHistogram::Record) performs no heap allocation and
+// takes no lock -- each update is a relaxed atomic add into one of a
+// small fixed set of cache-line-padded cells, selected by a per-thread
+// slot index, so concurrent writers on different threads rarely touch
+// the same line. The cells are merged only at scrape time. This keeps
+// the server's allocation-free request-path invariants
+// (tests/server/server_alloc_test.cc) and the cache-hit bench gates
+// intact with instrumentation live.
+//
+// LogHistogram is an HDR-style log-bucketed histogram over unsigned
+// integer samples (latencies in nanoseconds, costs, byte sizes):
+// power-of-two octaves subdivided into 2^kSubBits linear sub-buckets,
+// giving a bounded relative error of 2^-kSubBits (12.5%) with ~300
+// buckets covering 0 .. 2^40. Quantiles are derived from a merged
+// snapshot by linear interpolation inside the containing bucket,
+// clamped to the observed min/max.
+//
+// MetricsRegistry is a registration-time (not hot-path) structure: the
+// owner registers named families of counters / gauges / histograms --
+// either as pointers to live metric objects or as snapshot callbacks --
+// before serving, then RenderPrometheusText() walks them at scrape
+// time and emits the Prometheus text exposition format 0.0.4
+// (# HELP / # TYPE, cumulative `_bucket{le=...}` series, `_sum`,
+// `_count`). Registration is not thread-safe; rendering is safe
+// concurrently with hot-path updates (it only reads atomics and calls
+// the registered callbacks).
+
+#ifndef WATCHMAN_OBS_METRICS_H_
+#define WATCHMAN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace watchman {
+namespace obs {
+
+namespace internal {
+
+/// Stable per-thread slot index (assigned on first use, round-robin
+/// across threads); metric types mask it into their cell count.
+uint32_t ThreadSlot();
+
+}  // namespace internal
+
+/// Monotonically increasing counter. Updates are relaxed atomic adds
+/// into per-thread-slot cells; Value() merges.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc() { Add(1); }
+  void Add(uint64_t n) {
+    cells_[internal::ThreadSlot() & (kCells - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kCells = 8;  // power of two
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kCells];
+};
+
+/// A value that can go up and down. Single atomic: gauges are updated
+/// rarely (or are registered as callbacks instead).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// HDR-style log-bucketed histogram of uint64 samples. Record() is
+/// allocation-free and lock-free; construction allocates the cell
+/// arrays once.
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: each power-of-two octave splits into
+  /// 2^kSubBits linear buckets, bounding relative error at 2^-kSubBits.
+  static constexpr uint32_t kSubBits = 3;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;  // 8
+  /// Largest tracked octave; values at or above 2^(kMaxExponent+1) fall
+  /// into one overflow bucket. 2^40 ns is ~18 minutes -- plenty for a
+  /// latency histogram, and 305 buckets keeps a slot in ~2.4 KB.
+  static constexpr uint32_t kMaxExponent = 39;
+  /// Exact buckets 0..kSubBuckets-1, then (kMaxExponent - kSubBits + 1)
+  /// octaves of kSubBuckets each, then the overflow bucket.
+  static constexpr uint32_t kNumBuckets =
+      kSubBuckets + (kMaxExponent - kSubBits + 1) * kSubBuckets + 1;
+
+  LogHistogram();
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Bucket index of `v` (values < kSubBuckets map exactly).
+  static uint32_t BucketIndex(uint64_t v);
+  /// Inclusive lower bound of bucket `idx`.
+  static uint64_t BucketLowerBound(uint32_t idx);
+  /// Exclusive upper bound of bucket `idx` (UINT64_MAX for overflow).
+  static uint64_t BucketUpperBound(uint32_t idx);
+
+  /// Records one sample. No allocation, no locks.
+  void Record(uint64_t v) {
+    Slot& slot = slots_[internal::ThreadSlot() & (kSlots - 1)];
+    slot.counts[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merged view of all slots at one instant (racy but monotone:
+  /// concurrent Record()s may or may not be included).
+  struct Snapshot {
+    std::vector<uint64_t> counts;  // kNumBuckets entries
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;  // 0 when empty
+    uint64_t max = 0;
+
+    /// Approximate quantile (q in [0,1]) by linear interpolation inside
+    /// the containing bucket, clamped to [min, max]. 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  Snapshot TakeSnapshot() const;
+  /// TakeSnapshot into a caller-owned object, reusing its capacity.
+  void SnapshotInto(Snapshot* out) const;
+
+  // Cheap merged aggregates (no bucket walk).
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  uint64_t Min() const;  // 0 when empty
+  uint64_t Max() const;  // 0 when empty
+
+ private:
+  static constexpr size_t kSlots = 4;  // power of two
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> counts[kNumBuckets];
+    std::atomic<uint64_t> sum{0};
+  };
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Registration-time catalog of metric families, rendered on demand as
+/// Prometheus text exposition format 0.0.4.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+  using CounterFn = std::function<uint64_t()>;
+  using GaugeFn = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // All Add* calls: `name` must be a valid Prometheus metric name; the
+  // pointed-to metric must outlive the registry. Repeated Add* with the
+  // same name appends a labeled child to the existing family (the first
+  // call's help/type win).
+  void AddCounter(std::string_view name, std::string_view help,
+                  Labels labels, const Counter* counter);
+  void AddCounterFn(std::string_view name, std::string_view help,
+                    Labels labels, CounterFn fn);
+  void AddGauge(std::string_view name, std::string_view help, Labels labels,
+                const Gauge* gauge);
+  void AddGaugeFn(std::string_view name, std::string_view help, Labels labels,
+                  GaugeFn fn);
+  /// `scale` multiplies sample values and bucket bounds at render time
+  /// (e.g. 1e-9 renders nanosecond samples as Prometheus-conventional
+  /// seconds).
+  void AddHistogram(std::string_view name, std::string_view help,
+                    Labels labels, const LogHistogram* histogram,
+                    double scale = 1.0);
+
+  /// Renders every family into *out (cleared first). Safe concurrently
+  /// with metric updates; not safe concurrently with Add*.
+  void RenderPrometheusText(std::string* out) const;
+  std::string RenderPrometheusText() const;
+
+  size_t family_count() const { return families_.size(); }
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Child {
+    std::string label_str;  // pre-rendered `key="value",...` (no braces)
+    const Counter* counter = nullptr;
+    CounterFn counter_fn;
+    const Gauge* gauge = nullptr;
+    GaugeFn gauge_fn;
+    const LogHistogram* histogram = nullptr;
+    double scale = 1.0;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<Child> children;
+  };
+
+  Family& FamilyOf(std::string_view name, std::string_view help, Type type);
+  static std::string RenderLabels(const Labels& labels);
+
+  std::vector<Family> families_;
+};
+
+}  // namespace obs
+}  // namespace watchman
+
+#endif  // WATCHMAN_OBS_METRICS_H_

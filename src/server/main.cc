@@ -11,6 +11,8 @@
 //             [--port=9736] [--host=127.0.0.1] [--workers=N]
 //             [--backend=epoll|io_uring|auto] [--no-inline]
 //             [--compact-idle=SECONDS] [--io-timeout=MS] [--normalize]
+//             [--admin-port=P] [--no-metrics] [--slow-request-ms=MS]
+//             [--log-level=debug|info|warn|error|off] [--log-json]
 //             [--stats-interval=30] [--verbose]
 //
 // --capacity accepts plain bytes or k/m/g suffixes. --policy accepts
@@ -22,6 +24,14 @@
 // metadata compaction pass after the daemon has been idle that many
 // seconds (0 = never). --io-timeout closes connections stuck mid-frame
 // / mid-flush with no progress for MS milliseconds (0 = never).
+//
+// Observability: --admin-port binds an HTTP endpoint (same host)
+// serving GET /metrics (Prometheus text format) and /healthz; 0 picks
+// an ephemeral port, omit the flag to disable. --no-metrics drops the
+// latency/stage histograms (counters stay). --slow-request-ms logs one
+// structured WARN line per request slower than MS milliseconds.
+// --log-level caps log verbosity (--verbose = --log-level=debug);
+// --log-json switches stderr logging to single-line JSON.
 // SIGINT/SIGTERM shut down gracefully and print a final stats report.
 
 #include <algorithm>
@@ -58,6 +68,12 @@ struct Flags {
   uint64_t stats_interval_s = 0;
   bool normalize = false;
   bool verbose = false;
+  /// -1 = no admin endpoint; 0 = ephemeral port.
+  int admin_port = -1;
+  bool metrics = true;
+  uint64_t slow_request_ms = 0;
+  std::string log_level;  // empty = derived from --verbose
+  bool log_json = false;
 };
 
 int Usage(const char* argv0) {
@@ -68,7 +84,9 @@ int Usage(const char* argv0) {
       "       [--backend=epoll|io_uring|auto] [--no-inline] "
       "[--compact-idle=<seconds>]\n"
       "       [--io-timeout=<ms>] [--normalize] "
-      "[--stats-interval=<seconds>] [--verbose]\n",
+      "[--stats-interval=<seconds>] [--verbose]\n"
+      "       [--admin-port=<p>] [--no-metrics] [--slow-request-ms=<ms>]\n"
+      "       [--log-level=debug|info|warn|error|off] [--log-json]\n",
       argv0);
   return 2;
 }
@@ -212,6 +230,35 @@ int Run(int argc, char** argv) {
       flags.normalize = true;
     } else if (arg == "--verbose") {
       flags.verbose = true;
+    } else if (ParseFlag(arg, "admin-port", &value)) {
+      uint64_t port = 0;
+      if (!ParseUint(value, 65535, &port)) {
+        std::fprintf(stderr, "--admin-port: expected 0..65535, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      flags.admin_port = static_cast<int>(port);
+    } else if (arg == "--no-metrics") {
+      flags.metrics = false;
+    } else if (ParseFlag(arg, "slow-request-ms", &value)) {
+      if (!ParseUint(value, 86400000, &flags.slow_request_ms)) {
+        std::fprintf(stderr,
+                     "--slow-request-ms: expected ms 0..86400000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "log-level", &value)) {
+      LogLevel parsed;
+      if (!ParseLogLevel(value, &parsed)) {
+        std::fprintf(
+            stderr,
+            "--log-level: expected debug|info|warn|error|off, got '%s'\n",
+            value.c_str());
+        return 2;
+      }
+      flags.log_level = value;
+    } else if (arg == "--log-json") {
+      flags.log_json = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -220,7 +267,14 @@ int Run(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  SetLogLevel(flags.verbose ? LogLevel::kDebug : LogLevel::kInfo);
+  if (!flags.log_level.empty()) {
+    LogLevel level = LogLevel::kInfo;
+    ParseLogLevel(flags.log_level, &level);  // validated during parsing
+    SetLogLevel(level);
+  } else {
+    SetLogLevel(flags.verbose ? LogLevel::kDebug : LogLevel::kInfo);
+  }
+  SetLogFormat(flags.log_json ? LogFormat::kJson : LogFormat::kText);
 
   StatusOr<PolicyConfig> policy = ParsePolicy(flags.policy);
   if (!policy.ok()) {
@@ -250,7 +304,11 @@ int Run(int argc, char** argv) {
   server_options.backend = flags.backend;
   server_options.inline_dispatch = flags.inline_dispatch;
   server_options.compact_idle_ms =
-      static_cast<int64_t>(flags.compact_idle_s) * 1000;
+      static_cast<int>(flags.compact_idle_s) * 1000;
+  server_options.admin_port = flags.admin_port;
+  server_options.metrics = flags.metrics;
+  server_options.slow_request_us =
+      static_cast<int64_t>(flags.slow_request_ms) * 1000;
   WatchmanServer server(&cache, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -264,6 +322,10 @@ int Run(int argc, char** argv) {
               HumanBytes(*capacity).c_str(), cache.num_shards(),
               server_options.num_workers,
               ServerBackendName(server.effective_backend()));
+  if (server.admin_port() != 0) {
+    std::printf("admin endpoint: http://%s:%u/metrics\n", flags.host.c_str(),
+                static_cast<unsigned>(server.admin_port()));
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/admin_http.h"
 #include "server/uring.h"
 #include "util/logging.h"
 
@@ -47,6 +48,11 @@ constexpr uint64_t kUdWake = 2;
 constexpr uint64_t kUdRecv = 3;
 constexpr uint64_t kUdPollOut = 4;
 constexpr uint64_t kUdCancel = 5;
+constexpr uint64_t kUdAdminAccept = 6;
+
+/// Cap on a buffered admin HTTP request; anything larger answers 431
+/// and closes (a /metrics GET is a few dozen bytes).
+constexpr size_t kMaxAdminRequestBytes = 16 * 1024;
 
 uint64_t ConnUserData(const void* conn, uint64_t tag) {
   return reinterpret_cast<uint64_t>(conn) | tag;
@@ -88,7 +94,9 @@ bool ParseServerBackend(std::string_view text, ServerBackend* out) {
 }
 
 WatchmanServer::WatchmanServer(Watchman* cache, Options options)
-    : cache_(cache), options_(std::move(options)) {}
+    : cache_(cache), options_(std::move(options)) {
+  BuildMetricsRegistry();
+}
 
 WatchmanServer::~WatchmanServer() { Stop(); }
 
@@ -111,6 +119,12 @@ Watchman::Executor WatchmanServer::MissFillExecutor() {
 
 int64_t WatchmanServer::NowMs() const {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+int64_t WatchmanServer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - start_time_)
       .count();
 }
@@ -223,12 +237,74 @@ Status WatchmanServer::Start() {
     }
   }
 
+  // Admin HTTP listener (same event loop, same bind address).
+  if (options_.admin_port >= 0) {
+    const auto fail = [&](const std::string& what) {
+      const Status status = Status::IOError(what + ": " +
+                                            std::strerror(errno));
+      if (admin_listen_fd_ >= 0) {
+        ::close(admin_listen_fd_);
+        admin_listen_fd_ = -1;
+      }
+      if (epoll_fd_ >= 0) {
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+      }
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+      uring_.reset();
+      ::close(fd);
+      return status;
+    };
+    const int afd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (afd < 0) return fail("admin socket");
+    admin_listen_fd_ = afd;
+    ::setsockopt(afd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in aaddr{};
+    aaddr.sin_family = AF_INET;
+    aaddr.sin_port = htons(static_cast<uint16_t>(options_.admin_port));
+    aaddr.sin_addr = addr.sin_addr;  // validated above
+    if (::bind(afd, reinterpret_cast<const sockaddr*>(&aaddr),
+               sizeof(aaddr)) != 0) {
+      return fail("admin bind " + options_.bind_address + ":" +
+                  std::to_string(options_.admin_port));
+    }
+    if (::listen(afd, 64) != 0) return fail("admin listen");
+    sockaddr_in abound{};
+    socklen_t abound_len = sizeof(abound);
+    if (::getsockname(afd, reinterpret_cast<sockaddr*>(&abound),
+                      &abound_len) != 0) {
+      return fail("admin getsockname");
+    }
+    if (!SetNonBlocking(afd)) return fail("admin fcntl");
+    if (effective_backend_ == ServerBackend::kEpoll) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = afd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, afd, &ev) != 0) {
+        return fail("admin epoll_ctl");
+      }
+    }
+    admin_bound_port_ = ntohs(abound.sin_port);
+  }
+
   bound_port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   start_time_ = std::chrono::steady_clock::now();
   accept_paused_ = false;
   accept_armed_ = false;
+  admin_accept_paused_ = false;
+  admin_accept_armed_ = false;
   wake_armed_ = false;
+  if (!info_registered_) {
+    info_registered_ = true;
+    registry_.AddGaugeFn(
+        "watchman_server_info",
+        "Constant 1; labels carry the serving backend and cache policy.",
+        {{"backend", ServerBackendName(effective_backend_)},
+         {"policy", cache_->policy_name()}},
+        [] { return 1.0; });
+  }
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
 
@@ -248,6 +324,10 @@ Status WatchmanServer::Start() {
                      << ":" << bound_port_ << " ("
                      << ServerBackendName(effective_backend_)
                      << " event loop, " << workers << " workers)";
+  if (admin_listen_fd_ >= 0) {
+    WATCHMAN_LOG(Info) << "admin endpoint on " << options_.bind_address << ":"
+                       << admin_bound_port_ << " (GET /metrics, /healthz)";
+  }
   return Status::OK();
 }
 
@@ -298,6 +378,11 @@ void WatchmanServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (admin_listen_fd_ >= 0) {
+    ::close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
+    admin_bound_port_ = 0;
+  }
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
     epoll_fd_ = -1;
@@ -325,7 +410,11 @@ void WatchmanServer::IoLoop() {
       const int fd = events[i].data.fd;
       const uint32_t ev = events[i].events;
       if (fd == listen_fd_) {
-        AcceptReady();
+        AcceptReady(/*admin=*/false);
+        continue;
+      }
+      if (fd == admin_listen_fd_) {
+        AcceptReady(/*admin=*/true);
         continue;
       }
       if (fd == wake_fd_) {
@@ -362,10 +451,11 @@ void WatchmanServer::IoLoop() {
   }
 }
 
-void WatchmanServer::AcceptReady() {
+void WatchmanServer::AcceptReady(bool admin) {
+  const int lfd = admin ? admin_listen_fd_ : listen_fd_;
   while (true) {
-    const int conn_fd = ::accept4(listen_fd_, nullptr, nullptr,
-                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int conn_fd =
+        ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (conn_fd < 0) {
       if (errno == EINTR) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
@@ -374,16 +464,16 @@ void WatchmanServer::AcceptReady() {
         // backlog and the level-triggered listen fd would re-fire
         // immediately, spinning the IO thread. Pause accepting; the
         // sweep retries next tick.
-        accept_paused_ = true;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        (admin ? admin_accept_paused_ : accept_paused_) = true;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, lfd, nullptr);
       }
       return;  // EAGAIN or listen socket going away
     }
-    AdoptConnection(conn_fd);
+    AdoptConnection(conn_fd, admin);
   }
 }
 
-void WatchmanServer::AdoptConnection(int conn_fd) {
+void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
   const int one = 1;
   ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (options_.sndbuf_bytes > 0) {
@@ -392,6 +482,7 @@ void WatchmanServer::AdoptConnection(int conn_fd) {
   }
   auto conn = std::make_shared<Connection>();
   conn->fd = conn_fd;
+  conn->is_admin = is_admin;
   conn->inbuf = body_pool_.Acquire();
   conn->outbuf = body_pool_.Acquire();
   conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
@@ -492,13 +583,19 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
     if (!conn->send_error) AppendResponse(err, &conn->outbuf);
     return;
   }
-  const auto begin = std::chrono::steady_clock::now();
+  const int64_t begin_ns = NowNs();
   Dispatch(io_request_, &io_response_);
-  const double latency_us = std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - begin)
-                                .count();
-  RecordOp(io_request_.op, io_response_.code, latency_us);
+  const int64_t latency_ns = NowNs() - begin_ns;
+  RecordOp(io_request_.op, io_response_.code, latency_ns);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.slow_request_us > 0 &&
+      latency_ns / 1000 >= options_.slow_request_us) {
+    WATCHMAN_LOG(Warning) << "slow_request op=" << OpCodeName(io_request_.op)
+                          << " status=" << StatusCodeName(io_response_.code)
+                          << " total_us=" << latency_ns / 1000
+                          << " queue_us=0 service_us=" << latency_ns / 1000
+                          << " reply_us=0 path=inline";
+  }
   // Encode straight into the out-buffer: no worker can be appending
   // (inflight == 0 gated) so the lock is uncontended, and the response
   // never exists as a separate copy.
@@ -507,6 +604,10 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
 }
 
 void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  if (conn->is_admin) {
+    HandleAdminData(conn);
+    return;
+  }
   size_t consumed = 0;
   size_t enqueued = 0;
   bool inlined = false;
@@ -550,6 +651,7 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
     work.conn = conn;
     work.body = body_pool_.Acquire();
     work.body.assign(body.data(), body.size());
+    work.enqueue_ns = options_.metrics ? NowNs() : 0;
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     inflight_frames_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -592,6 +694,52 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
     paused_reads_.push_back(conn);
     RearmInterest(conn);
   }
+}
+
+// IO thread only. Admin connections speak one-request HTTP/1.0: parse
+// the buffered request, render the response inline (the /metrics render
+// is tens of microseconds), then close through the normal
+// draining/half-close machinery -- the drain timeout bounds a peer that
+// never reads its response.
+void WatchmanServer::HandleAdminData(const std::shared_ptr<Connection>& conn) {
+  if (conn->draining.load(std::memory_order_acquire)) {
+    conn->inbuf.clear();  // response already queued; discard extra bytes
+    return;
+  }
+  obs::HttpRequest request;
+  bool malformed = false;
+  const bool complete =
+      obs::ParseHttpRequest(conn->inbuf, &request, &malformed);
+  if (!complete && !malformed) {
+    if (conn->inbuf.size() <= kMaxAdminRequestBytes) return;  // need more
+    malformed = true;  // oversized header block
+  }
+  int status = 200;
+  std::string_view content_type = "text/plain; charset=utf-8";
+  admin_body_.clear();
+  if (malformed) {
+    status = conn->inbuf.size() > kMaxAdminRequestBytes ? 431 : 400;
+    admin_body_ = "bad request\n";
+  } else if (request.method != "GET") {
+    status = 405;
+    admin_body_ = "method not allowed\n";
+  } else if (request.path == "/metrics") {
+    registry_.RenderPrometheusText(&admin_body_);
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (request.path == "/healthz") {
+    admin_body_ = "ok\n";
+  } else {
+    status = 404;
+    admin_body_ = "not found\n";
+  }
+  conn->inbuf.clear();
+  admin_response_.clear();
+  obs::AppendHttpResponse(status, content_type, admin_body_,
+                          &admin_response_);
+  conn->draining.store(true, std::memory_order_release);
+  // Deliberately not last_activity_ms_: a periodic scraper must not
+  // postpone idle-time compaction forever.
+  QueueOutput(conn, admin_response_);
 }
 
 /// Re-applies the connection's read-side interest from its current
@@ -700,14 +848,28 @@ void WatchmanServer::SweepConnections() {
   if (accept_paused_ && listen_fd_ >= 0) {
     if (effective_backend_ == ServerBackend::kIoUring) {
       accept_paused_ = false;
-      UringArmAccept();
+      UringArmAccept(/*admin=*/false);
     } else {
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.fd = listen_fd_;
       if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
         accept_paused_ = false;
-        AcceptReady();
+        AcceptReady(/*admin=*/false);
+      }
+    }
+  }
+  if (admin_accept_paused_ && admin_listen_fd_ >= 0) {
+    if (effective_backend_ == ServerBackend::kIoUring) {
+      admin_accept_paused_ = false;
+      UringArmAccept(/*admin=*/true);
+    } else {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = admin_listen_fd_;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &ev) == 0) {
+        admin_accept_paused_ = false;
+        AcceptReady(/*admin=*/true);
       }
     }
   }
@@ -855,7 +1017,8 @@ void WatchmanServer::RunCompaction() {
 // --------------------------------------------------- io_uring IO thread
 
 void WatchmanServer::UringLoop() {
-  UringArmAccept();
+  UringArmAccept(/*admin=*/false);
+  UringArmAccept(/*admin=*/true);
   UringArmWake();
   std::vector<Uring::Completion> cqes;
   cqes.reserve(kUringSqDepth);
@@ -869,7 +1032,11 @@ void WatchmanServer::UringLoop() {
     uring_rearm_.clear();
     for (const Uring::Completion& c : cqes) {
       if (c.user_data == kUdAccept) {
-        HandleAcceptCqe(c.res, c.flags);
+        HandleAcceptCqe(c.res, c.flags, /*admin=*/false);
+        continue;
+      }
+      if (c.user_data == kUdAdminAccept) {
+        HandleAcceptCqe(c.res, c.flags, /*admin=*/true);
         continue;
       }
       if (c.user_data == kUdWake) {
@@ -914,7 +1081,11 @@ void WatchmanServer::UringLoop() {
       FinishConnection(conn);
     }
     if (!accept_armed_ && !accept_paused_ && listen_fd_ >= 0) {
-      UringArmAccept();
+      UringArmAccept(/*admin=*/false);
+    }
+    if (!admin_accept_armed_ && !admin_accept_paused_ &&
+        admin_listen_fd_ >= 0) {
+      UringArmAccept(/*admin=*/true);
     }
     if (!wake_armed_) UringArmWake();
     ProcessDirtyConnections();
@@ -923,18 +1094,20 @@ void WatchmanServer::UringLoop() {
   }
 }
 
-void WatchmanServer::UringArmAccept() {
-  if (accept_armed_ || listen_fd_ < 0) return;
+void WatchmanServer::UringArmAccept(bool admin) {
+  bool& armed = admin ? admin_accept_armed_ : accept_armed_;
+  const int lfd = admin ? admin_listen_fd_ : listen_fd_;
+  if (armed || lfd < 0) return;
   io_uring_sqe* sqe = uring_->GetSqe();
   if (sqe == nullptr) return;
   sqe->opcode = IORING_OP_ACCEPT;
-  sqe->fd = listen_fd_;
+  sqe->fd = lfd;
   // Accepted sockets stay non-blocking: the shared output path still
   // uses direct send().
   sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
   if (uring_multishot_accept_ok_) sqe->ioprio = IORING_ACCEPT_MULTISHOT;
-  sqe->user_data = kUdAccept;
-  accept_armed_ = true;
+  sqe->user_data = admin ? kUdAdminAccept : kUdAccept;
+  armed = true;
 }
 
 void WatchmanServer::UringArmWake() {
@@ -1010,10 +1183,13 @@ void WatchmanServer::UringUpdateReadInterest(
   }
 }
 
-void WatchmanServer::HandleAcceptCqe(int32_t res, uint32_t flags) {
-  if ((flags & IORING_CQE_F_MORE) == 0) accept_armed_ = false;
+void WatchmanServer::HandleAcceptCqe(int32_t res, uint32_t flags,
+                                     bool admin) {
+  if ((flags & IORING_CQE_F_MORE) == 0) {
+    (admin ? admin_accept_armed_ : accept_armed_) = false;
+  }
   if (res >= 0) {
-    AdoptConnection(res);
+    AdoptConnection(res, admin);
     return;
   }
   if (res == -EINVAL && uring_multishot_accept_ok_) {
@@ -1023,7 +1199,8 @@ void WatchmanServer::HandleAcceptCqe(int32_t res, uint32_t flags) {
   }
   if (res == -EMFILE || res == -ENFILE || res == -ENOBUFS ||
       res == -ENOMEM) {
-    accept_paused_ = true;  // the sweep retries next tick
+    (admin ? admin_accept_paused_ : accept_paused_) =
+        true;  // the sweep retries next tick
   }
 }
 
@@ -1196,6 +1373,17 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
                                   std::string* encoded) {
   const std::shared_ptr<Connection>& conn = work.conn;
   encoded->clear();
+  // Stage timestamps (metrics on): enqueue -> dispatch -> done -> reply
+  // feed the queue-wait / service / reply histograms and the
+  // slow-request log.
+  const int64_t t_dispatch = NowNs();
+  if (work.enqueue_ns > 0 && t_dispatch >= work.enqueue_ns) {
+    queue_wait_ns_.Record(static_cast<uint64_t>(t_dispatch - work.enqueue_ns));
+  }
+  int64_t t_done = t_dispatch;
+  OpCode timed_op = OpCode::kPing;
+  StatusCode timed_code = StatusCode::kOk;
+  bool timed = false;
   const Status decoded = DecodeRequestInto(work.body, request);
   if (!decoded.ok()) {
     frames_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -1212,13 +1400,12 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
     // different dialect, so stop reading from it.
     conn->draining.store(true, std::memory_order_release);
   } else {
-    const auto begin = std::chrono::steady_clock::now();
     Dispatch(*request, response);
-    const double latency_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - begin)
-            .count();
-    RecordOp(request->op, response->code, latency_us);
+    t_done = NowNs();
+    RecordOp(request->op, response->code, t_done - t_dispatch);
+    timed_op = request->op;
+    timed_code = response->code;
+    timed = true;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(*response, encoded);
   }
@@ -1234,6 +1421,26 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
     std::lock_guard<std::mutex> lock(conn->out_mu);
     if (!conn->send_error) conn->outbuf.append(*encoded);
     flushed = sole_inflight ? FlushLocked(conn.get()) : false;
+  }
+  if (timed && options_.metrics) {
+    const int64_t t_reply = NowNs();
+    if (t_reply >= t_done) {
+      reply_ns_.Record(static_cast<uint64_t>(t_reply - t_done));
+    }
+    if (options_.slow_request_us > 0) {
+      const int64_t start_ns =
+          work.enqueue_ns > 0 ? work.enqueue_ns : t_dispatch;
+      const int64_t total_us = (t_reply - start_ns) / 1000;
+      if (total_us >= options_.slow_request_us) {
+        WATCHMAN_LOG(Warning)
+            << "slow_request op=" << OpCodeName(timed_op)
+            << " status=" << StatusCodeName(timed_code)
+            << " total_us=" << total_us
+            << " queue_us=" << (t_dispatch - start_ns) / 1000
+            << " service_us=" << (t_done - t_dispatch) / 1000
+            << " reply_us=" << (t_reply - t_done) / 1000 << " path=worker";
+      }
+    }
   }
   const bool input_closed_hint =
       conn->input_closed.load(std::memory_order_acquire);
@@ -1316,20 +1523,208 @@ void WatchmanServer::Dispatch(const WireRequest& request,
   }
 }
 
-void WatchmanServer::RecordOp(OpCode op, StatusCode code, double latency_us) {
+void WatchmanServer::RecordOp(OpCode op, StatusCode code,
+                              int64_t latency_ns) {
   // A miss (NotFound) is an answered question, not a failure.
-  const bool is_error = code != StatusCode::kOk && code != StatusCode::kNotFound;
-  LockedOpCounters& slot = per_op_[OpIndex(op)];
-  std::lock_guard<std::mutex> lock(slot.mu);
-  ++slot.counters.requests;
-  if (is_error) ++slot.counters.errors;
-  slot.counters.latency_us.Add(latency_us);
+  const bool is_error =
+      code != StatusCode::kOk && code != StatusCode::kNotFound;
+  OpMetrics& m = per_op_[OpIndex(op)];
+  m.requests.Inc();
+  if (is_error) m.errors.Inc();
+  if (options_.metrics) {
+    m.latency_ns.Record(latency_ns > 0 ? static_cast<uint64_t>(latency_ns)
+                                       : 0);
+  }
 }
 
 WatchmanServer::OpCounters WatchmanServer::op_counters(OpCode op) const {
-  const LockedOpCounters& slot = per_op_[OpIndex(op)];
-  std::lock_guard<std::mutex> lock(slot.mu);
-  return slot.counters;
+  const OpMetrics& m = per_op_[OpIndex(op)];
+  OpCounters out;
+  out.requests = m.requests.Value();
+  out.errors = m.errors.Value();
+  out.latency_count = m.latency_ns.Count();
+  if (out.latency_count > 0) {
+    out.latency_mean_us = static_cast<double>(m.latency_ns.Sum()) /
+                          static_cast<double>(out.latency_count) / 1000.0;
+    out.latency_min_us = static_cast<double>(m.latency_ns.Min()) / 1000.0;
+    out.latency_max_us = static_cast<double>(m.latency_ns.Max()) / 1000.0;
+  }
+  return out;
+}
+
+// Registration happens once, in the constructor, before any thread can
+// scrape: cache families are per-shard labeled snapshot callbacks (each
+// takes that shard's lock at scrape time), facade and server families
+// point at the live lock-free metric objects.
+void WatchmanServer::BuildMetricsRegistry() {
+  using Labels = obs::MetricsRegistry::Labels;
+  const ShardedQueryCache* cache = &cache_->cache();
+  const size_t shards = cache->num_shards();
+
+  struct CacheCounterDef {
+    const char* name;
+    const char* help;
+    uint64_t CacheStats::*field;
+  };
+  static constexpr CacheCounterDef kCacheCounters[] = {
+      {"watchman_cache_lookups_total", "Cache lookups (hits + misses).",
+       &CacheStats::lookups},
+      {"watchman_cache_hits_total", "Cache hits.", &CacheStats::hits},
+      {"watchman_cache_insertions_total", "Retrieved sets admitted.",
+       &CacheStats::insertions},
+      {"watchman_cache_evictions_total", "Retrieved sets evicted.",
+       &CacheStats::evictions},
+      {"watchman_cache_admission_rejects_total",
+       "Misses the admission policy declined to cache.",
+       &CacheStats::admission_rejections},
+      {"watchman_cache_too_large_rejects_total",
+       "Misses whose retrieved set exceeds the whole cache capacity.",
+       &CacheStats::too_large_rejections},
+      {"watchman_cache_cost_units_total",
+       "Execution cost units of all references.", &CacheStats::cost_total},
+      {"watchman_cache_cost_saved_units_total",
+       "Execution cost units saved by hits.", &CacheStats::cost_saved},
+      {"watchman_cache_bytes_inserted_total",
+       "Payload bytes of admitted retrieved sets.",
+       &CacheStats::bytes_inserted},
+      {"watchman_cache_bytes_evicted_total",
+       "Payload bytes of evicted retrieved sets.",
+       &CacheStats::bytes_evicted},
+  };
+  for (size_t i = 0; i < shards; ++i) {
+    const Labels labels = {{"shard", std::to_string(i)}};
+    for (const CacheCounterDef& def : kCacheCounters) {
+      auto field = def.field;
+      registry_.AddCounterFn(def.name, def.help, labels,
+                             [cache, i, field]() -> uint64_t {
+                               return cache->shard_stats(i).*field;
+                             });
+    }
+    registry_.AddCounterFn(
+        "watchman_cache_lock_acquisitions_total",
+        "Shard-lock acquisitions (uncontended fast path included).", labels,
+        [cache, i] { return cache->lock_stats(i).acquisitions; });
+    registry_.AddCounterFn(
+        "watchman_cache_lock_contended_total",
+        "Shard-lock acquisitions that had to block.", labels,
+        [cache, i] { return cache->lock_stats(i).contended; });
+  }
+  Watchman* facade = cache_;
+  registry_.AddGaugeFn("watchman_cache_used_bytes",
+                       "Payload bytes currently cached.", {}, [facade] {
+                         return static_cast<double>(facade->used_bytes());
+                       });
+  registry_.AddGaugeFn("watchman_cache_capacity_bytes",
+                       "Configured cache capacity.", {}, [facade] {
+                         return static_cast<double>(facade->capacity_bytes());
+                       });
+  registry_.AddGaugeFn(
+      "watchman_cache_entries", "Retrieved sets currently cached.", {},
+      [facade] { return static_cast<double>(facade->cached_set_count()); });
+  registry_.AddGaugeFn(
+      "watchman_cache_retained_entries",
+      "Evicted entries whose reference history is retained.", {}, [facade] {
+        return static_cast<double>(facade->retained_info_count());
+      });
+  registry_.AddGaugeFn("watchman_cache_shards", "Cache shard count.", {},
+                       [shards] { return static_cast<double>(shards); });
+
+  const Watchman::FacadeMetrics& fm = cache_->facade_metrics();
+  registry_.AddCounter("watchman_facade_executions_total",
+                       "Warehouse executions run (single-flight leaders).",
+                       {}, &fm.executions);
+  registry_.AddCounter(
+      "watchman_facade_dedup_total",
+      "Callers served by another caller's in-flight execution.", {},
+      &fm.dedup_hits);
+  registry_.AddCounterFn(
+      "watchman_facade_invalidations_total",
+      "Cached sets dropped by coherence invalidations.", {},
+      [facade] { return facade->invalidations(); });
+  registry_.AddHistogram("watchman_facade_execution_cost",
+                         "Execution cost of admitted misses (cost units).",
+                         {{"outcome", "admitted"}}, &fm.admitted_cost);
+  registry_.AddHistogram("watchman_facade_execution_cost",
+                         "Execution cost of rejected misses (cost units).",
+                         {{"outcome", "rejected"}}, &fm.rejected_cost);
+  registry_.AddHistogram(
+      "watchman_facade_execution_profit_ppm",
+      "Profit (cost * 1e6 / result_bytes) of admitted vs rejected misses.",
+      {{"outcome", "admitted"}}, &fm.admitted_profit_ppm);
+  registry_.AddHistogram(
+      "watchman_facade_execution_profit_ppm",
+      "Profit (cost * 1e6 / result_bytes) of admitted vs rejected misses.",
+      {{"outcome", "rejected"}}, &fm.rejected_profit_ppm);
+
+  for (size_t i = 0; i < kNumOpCodes; ++i) {
+    const Labels labels = {
+        {"op", OpCodeName(static_cast<OpCode>(i + 1))}};
+    registry_.AddCounter("watchman_server_requests_total",
+                         "Requests dispatched, by wire op.", labels,
+                         &per_op_[i].requests);
+    registry_.AddCounter(
+        "watchman_server_errors_total",
+        "Requests answered with an error status (NotFound excluded).",
+        labels, &per_op_[i].errors);
+    registry_.AddHistogram("watchman_server_request_seconds",
+                           "Dispatch (service) latency, by wire op.", labels,
+                           &per_op_[i].latency_ns, 1e-9);
+  }
+  registry_.AddHistogram(
+      "watchman_server_queue_wait_seconds",
+      "Ready-queue wait between frame enqueue and worker claim.", {},
+      &queue_wait_ns_, 1e-9);
+  registry_.AddHistogram(
+      "watchman_server_reply_seconds",
+      "Response append/flush time after dispatch completes.", {}, &reply_ns_,
+      1e-9);
+
+  registry_.AddCounterFn(
+      "watchman_server_connections_accepted_total", "Connections accepted.",
+      {}, [this] {
+        return connections_accepted_.load(std::memory_order_relaxed);
+      });
+  registry_.AddCounterFn(
+      "watchman_server_requests_served_total",
+      "Requests answered (all ops, inline + worker paths).", {},
+      [this] { return requests_served_.load(std::memory_order_relaxed); });
+  registry_.AddCounterFn(
+      "watchman_server_frames_rejected_total",
+      "Frames rejected before dispatch (framing/decode errors).", {},
+      [this] { return frames_rejected_.load(std::memory_order_relaxed); });
+  registry_.AddCounterFn(
+      "watchman_server_inline_dispatched_total",
+      "Frames answered inline on the IO thread (fast path).", {},
+      [this] { return inline_dispatched_.load(std::memory_order_relaxed); });
+  registry_.AddCounterFn(
+      "watchman_server_compactions_total",
+      "Metadata compaction passes (idle timer + COMPACT op).", {},
+      [this] { return compactions_.load(std::memory_order_relaxed); });
+  registry_.AddGaugeFn(
+      "watchman_server_connections_active", "Open connections.", {},
+      [this]() -> double {
+        return static_cast<double>(
+            connections_active_.load(std::memory_order_relaxed));
+      });
+  registry_.AddGaugeFn("watchman_server_ready_queue_depth",
+                       "Frames awaiting a worker right now.", {},
+                       [this]() -> double {
+                         return static_cast<double>(
+                             ready_depth_.load(std::memory_order_relaxed));
+                       });
+  registry_.AddGaugeFn(
+      "watchman_server_ready_queue_peak",
+      "High-water mark of the ready-queue since Start().", {},
+      [this]() -> double {
+        return static_cast<double>(
+            connections_queued_peak_.load(std::memory_order_relaxed));
+      });
+  registry_.AddGaugeFn("watchman_server_uptime_seconds",
+                       "Seconds since Start().", {}, [this]() -> double {
+                         return running() ? static_cast<double>(NowMs()) /
+                                                1000.0
+                                          : 0.0;
+                       });
 }
 
 WireStats WatchmanServer::StatsSnapshot() const {
@@ -1370,18 +1765,17 @@ WireStats WatchmanServer::StatsSnapshot() const {
   }
   out.backend = ServerBackendName(effective_backend_);
   for (size_t i = 0; i < kNumOpCodes; ++i) {
-    const LockedOpCounters& slot = per_op_[i];
-    std::lock_guard<std::mutex> lock(slot.mu);
-    const OpCounters& counters = slot.counters;
+    const OpCounters counters =
+        op_counters(static_cast<OpCode>(i + 1));
     if (counters.requests == 0) continue;
     WireOpMetrics metrics;
     metrics.op = static_cast<uint8_t>(i + 1);
     metrics.requests = counters.requests;
     metrics.errors = counters.errors;
-    metrics.latency_count = counters.latency_us.count();
-    metrics.latency_mean_us = counters.latency_us.mean();
-    metrics.latency_min_us = counters.latency_us.min();
-    metrics.latency_max_us = counters.latency_us.max();
+    metrics.latency_count = counters.latency_count;
+    metrics.latency_mean_us = counters.latency_mean_us;
+    metrics.latency_min_us = counters.latency_min_us;
+    metrics.latency_max_us = counters.latency_max_us;
     out.per_op.push_back(metrics);
   }
   return out;

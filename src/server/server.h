@@ -60,8 +60,17 @@
 // The request handlers call straight into the facade, so hits on
 // different cache shards proceed in parallel across workers and
 // concurrent identical misses collapse into the facade's single-flight.
-// Per-op request/error/latency counters are kept under per-op mutexes
-// and surfaced through both the STATS op and StatsSnapshot().
+// Per-op request/error counters and latency histograms live in the
+// lock-free obs registry (relaxed per-thread atomics, merged at read
+// time) and surface through the STATS op, StatsSnapshot() and the
+// Prometheus /metrics endpoint.
+//
+// Admin endpoint: with Options::admin_port >= 0 the IO thread also
+// listens on a second socket speaking minimal HTTP/1.0. GET /metrics
+// renders the registry in Prometheus text format; GET /healthz answers
+// "ok". Requests are parsed and answered inline on the IO thread (the
+// render is a few tens of microseconds) and every response closes the
+// connection through the normal drain machinery.
 //
 // Miss-fill execution: a daemon has no warehouse of its own, so the
 // EXECUTE op may carry the result the *client* computed for a miss.
@@ -88,9 +97,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/frame_pool.h"
 #include "server/protocol.h"
-#include "util/stats.h"
 #include "util/status.h"
 #include "watchman/watchman.h"
 
@@ -158,16 +167,34 @@ class WatchmanServer {
     /// milliseconds with no ready work, no inflight frames and no
     /// traffic; at most once per idle period. 0 disables.
     int compact_idle_ms = 0;
+    /// Admin HTTP listener port (GET /metrics + /healthz on the same
+    /// event loop, same bind address): -1 disables, 0 binds an
+    /// ephemeral port readable back via admin_port().
+    int admin_port = -1;
+    /// Record latency/stage histograms and facade distributions. The
+    /// per-op request/error counters stay on either way (the wire STATS
+    /// op needs them); disabling trades the histograms for a few
+    /// nanoseconds per request (the --no-metrics bench baseline).
+    bool metrics = true;
+    /// When positive, a request whose worker-path total (queue wait +
+    /// service + reply) reaches this many microseconds emits one
+    /// structured slow-request log line (WARN; JSON when the process
+    /// log format is JSON). 0 disables. Requires `metrics`.
+    int64_t slow_request_us = 0;
     /// Test hook: pretend the kernel has no io_uring so the fallback
     /// path is exercised deterministically.
     bool simulate_io_uring_unavailable = false;
   };
 
-  /// Per-op throughput/latency counters.
+  /// Snapshot of one op's throughput/latency counters, derived from the
+  /// per-op metric objects at call time.
   struct OpCounters {
     uint64_t requests = 0;
     uint64_t errors = 0;
-    OnlineStats latency_us;
+    uint64_t latency_count = 0;
+    double latency_mean_us = 0.0;
+    double latency_min_us = 0.0;
+    double latency_max_us = 0.0;
   };
 
   /// `cache` must outlive the server.
@@ -190,6 +217,13 @@ class WatchmanServer {
 
   /// The bound port (resolves port 0 after Start()).
   uint16_t port() const { return bound_port_; }
+
+  /// The bound admin HTTP port after Start() (0 when disabled).
+  uint16_t admin_port() const { return admin_bound_port_; }
+
+  /// The metrics registry backing /metrics (embedders may render it
+  /// themselves; safe to call while serving).
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
 
   /// The backend actually serving after Start() resolved fallbacks.
   ServerBackend effective_backend() const { return effective_backend_; }
@@ -243,6 +277,9 @@ class WatchmanServer {
   /// only closed when no worker can still touch it.
   struct Connection {
     int fd = -1;
+    /// Accepted on the admin HTTP listener: inbuf holds an HTTP request
+    /// instead of wire frames and the reply closes the connection.
+    bool is_admin = false;
     std::string inbuf;  // IO thread only
     std::mutex out_mu;
     std::string outbuf;   // pending output bytes (out_mu)
@@ -283,6 +320,9 @@ class WatchmanServer {
   struct Work {
     std::shared_ptr<Connection> conn;
     std::string body;
+    /// NowNs() when the frame entered the ready-queue (0 when metrics
+    /// are off); feeds the queue-wait histogram.
+    int64_t enqueue_ns = 0;
   };
 
   void IoLoop();
@@ -290,12 +330,16 @@ class WatchmanServer {
   void WorkerLoop();
 
   // IO-thread helpers (backend-shared unless noted).
-  void AcceptReady();  // epoll: drain accept4 until EAGAIN
+  /// epoll: drain accept4 until EAGAIN on the wire or admin listener.
+  void AcceptReady(bool admin);
   /// Registers one accepted socket (socket options, pooled buffers,
   /// read arming) on the active backend.
-  void AdoptConnection(int conn_fd);
+  void AdoptConnection(int conn_fd, bool is_admin);
   void ReadReady(const std::shared_ptr<Connection>& conn);  // epoll
   void ParseFrames(const std::shared_ptr<Connection>& conn);
+  /// Parses + answers the HTTP request buffered on an admin connection
+  /// (IO thread only); every response transitions to draining/close.
+  void HandleAdminData(const std::shared_ptr<Connection>& conn);
   /// True when `body` may run inline on the IO thread right now.
   bool CanInline(const std::shared_ptr<Connection>& conn,
                  std::string_view body) const;
@@ -322,7 +366,7 @@ class WatchmanServer {
   void RunCompaction();
 
   // io_uring-loop helpers (IO thread only).
-  void UringArmAccept();
+  void UringArmAccept(bool admin);
   void UringArmWake();
   void UringArmRecv(const std::shared_ptr<Connection>& conn);
   void UringCancelRecv(const std::shared_ptr<Connection>& conn);
@@ -333,7 +377,7 @@ class WatchmanServer {
   void UringFinalClose(const std::shared_ptr<Connection>& conn);
   /// Closes deferred-close connections whose completions drained.
   void ReapUringClosing();
-  void HandleAcceptCqe(int32_t res, uint32_t flags);
+  void HandleAcceptCqe(int32_t res, uint32_t flags, bool admin);
   void HandleRecvCqe(const std::shared_ptr<Connection>& conn, int32_t res,
                      uint32_t flags);
 
@@ -352,9 +396,15 @@ class WatchmanServer {
   void ProcessFrame(Work& work, WireRequest* request, WireResponse* response,
                     std::string* encoded);
   void Dispatch(const WireRequest& request, WireResponse* response);
-  void RecordOp(OpCode op, StatusCode code, double latency_us);
+  void RecordOp(OpCode op, StatusCode code, int64_t latency_ns);
+
+  /// Registers every metric family (cache, facade, server) with
+  /// registry_; run once from the constructor.
+  void BuildMetricsRegistry();
 
   int64_t NowMs() const;
+  /// Nanoseconds since construction (latency/stage timestamps).
+  int64_t NowNs() const;
 
   Watchman* cache_;
   Options options_;
@@ -383,9 +433,21 @@ class WatchmanServer {
   /// of busy-spinning (IO thread only).
   bool accept_paused_ = false;
 
+  // Admin HTTP listener state (IO thread only except the bound port).
+  int admin_listen_fd_ = -1;
+  uint16_t admin_bound_port_ = 0;
+  bool admin_accept_paused_ = false;
+  /// Scratch for rendering admin responses (reused across requests).
+  std::string admin_body_;
+  std::string admin_response_;
+  /// The backend/policy info gauge registers in Start() (once the
+  /// effective backend is known), at most once per server instance.
+  bool info_registered_ = false;
+
   // io_uring backend state (IO thread only unless noted).
   std::unique_ptr<Uring> uring_;
   bool accept_armed_ = false;
+  bool admin_accept_armed_ = false;
   bool wake_armed_ = false;
   /// Cleared when the kernel answers a multishot arm with EINVAL; the
   /// loop then degrades to one-shot re-arming for that op.
@@ -439,14 +501,23 @@ class WatchmanServer {
   /// NowMs() of the last ingested or answered frame (idle detection).
   std::atomic<int64_t> last_activity_ms_{0};
 
-  /// One padded mutex per opcode: workers recording different ops
-  /// never contend, and the hot path takes exactly one uncontended
-  /// lock in the common case.
-  struct alignas(64) LockedOpCounters {
-    mutable std::mutex mu;
-    OpCounters counters;
+  /// Per-op metric objects: lock-free counters and a log-bucketed
+  /// latency histogram. The hot path is a handful of relaxed atomic
+  /// adds into per-thread slots -- no mutex, no allocation.
+  struct OpMetrics {
+    obs::Counter requests;
+    obs::Counter errors;
+    obs::LogHistogram latency_ns;
   };
-  std::array<LockedOpCounters, kNumOpCodes> per_op_;
+  std::array<OpMetrics, kNumOpCodes> per_op_;
+  /// Worker-path stage histograms: ready-queue wait (enqueue ->
+  /// worker claim) and reply append/flush time (dispatch done ->
+  /// response on the wire or queued).
+  obs::LogHistogram queue_wait_ns_;
+  obs::LogHistogram reply_ns_;
+
+  /// Every metric family (cache, facade, server) for /metrics.
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace watchman

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace watchman {
@@ -8,8 +9,9 @@ namespace watchman {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 
-const char* LevelName(LogLevel level) {
+const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -25,6 +27,12 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,19 +43,122 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warning" || text == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
-  for (const char* p = file; *p != '\0'; ++p) {
-    if (*p == '/') base = p + 1;
+std::string FormatLogLine(LogFormat format, LogLevel level,
+                          const char* base_file, int line, int64_t ts_ms,
+                          std::string_view message) {
+  std::string out;
+  if (format == LogFormat::kJson) {
+    out.reserve(message.size() + 80);
+    out.append("{\"ts_ms\":");
+    out.append(std::to_string(ts_ms));
+    out.append(",\"level\":\"");
+    out.append(LogLevelName(level));
+    out.append("\",\"src\":\"");
+    AppendJsonEscaped(base_file, &out);
+    out.push_back(':');
+    out.append(std::to_string(line));
+    out.append("\",\"msg\":\"");
+    AppendJsonEscaped(message, &out);
+    out.append("\"}");
+  } else {
+    out.reserve(message.size() + 48);
+    out.push_back('[');
+    out.append(LevelTag(level));
+    out.push_back(' ');
+    out.append(base_file);
+    out.push_back(':');
+    out.append(std::to_string(line));
+    out.append("] ");
+    out.append(message);
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  return out;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), base_file_(file), line_(line) {
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base_file_ = p + 1;
+  }
 }
 
 LogMessage::~LogMessage() {
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string line = FormatLogLine(GetLogFormat(), level_, base_file_,
+                                         line_, WallMs(), stream_.str());
+  std::fputs(line.c_str(), stderr);
   std::fputc('\n', stderr);
 }
 

@@ -1,11 +1,19 @@
 // Minimal leveled logging to stderr. The library is quiet by default;
 // benches and examples raise the level when narrating progress.
+//
+// Two output formats (process-global, SetLogFormat):
+//  * kText (default): `[LEVEL file:line] message`
+//  * kJson: one JSON object per line --
+//    {"ts_ms":...,"level":"warn","src":"file:line","msg":"..."}
+//    for machine-ingested daemon logs (the server's slow-request log
+//    rides this mode; watchmand enables it with --log-json).
 
 #ifndef WATCHMAN_UTIL_LOGGING_H_
 #define WATCHMAN_UTIL_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace watchman {
 
@@ -21,7 +29,33 @@ enum class LogLevel {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" / "off"
+/// (as spelled on --log-level). Returns false on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Stable lower-case level name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+enum class LogFormat {
+  kText,
+  kJson,
+};
+
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Appends `text` to *out with JSON string escaping (quote, backslash,
+/// control characters). Exposed for tests and structured-log builders.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
 namespace internal {
+
+/// Builds the final emitted line (without trailing newline) for the
+/// given format -- split out of LogMessage so the formatting is
+/// testable without capturing stderr.
+std::string FormatLogLine(LogFormat format, LogLevel level,
+                          const char* base_file, int line, int64_t ts_ms,
+                          std::string_view message);
 
 /// Stream-style one-shot log line; flushes on destruction.
 class LogMessage {
@@ -36,6 +70,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* base_file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -76,13 +76,15 @@ double Histogram::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
+  // Skip empty buckets so extreme quantiles land in populated buckets:
+  // q=0 must return the first occupied bucket's lower edge, not lo_,
+  // when the leading buckets hold nothing.
   for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
-      const double frac =
-          counts_[i] == 0
-              ? 0.0
-              : (target - cum) / static_cast<double>(counts_[i]);
+      const double frac = std::clamp(
+          (target - cum) / static_cast<double>(counts_[i]), 0.0, 1.0);
       return bucket_lo(i) + frac * width_;
     }
     cum = next;
@@ -91,8 +93,11 @@ double Histogram::Quantile(double q) const {
 }
 
 std::string Histogram::ToString(size_t max_rows) const {
+  if (total_ == 0) return "(empty histogram)\n";
   std::string out;
-  const size_t step = std::max<size_t>(1, counts_.size() / max_rows);
+  const size_t step =
+      max_rows == 0 ? counts_.size()
+                    : std::max<size_t>(1, counts_.size() / max_rows);
   char line[128];
   for (size_t i = 0; i < counts_.size(); i += step) {
     uint64_t c = 0;

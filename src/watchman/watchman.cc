@@ -275,11 +275,30 @@ StatusOr<std::string> Watchman::Execute(const std::string& query_text) {
     // shared execution saved -- and a fresh admission decision when the
     // leader's offer was rejected. A caller whose fast-path reference
     // already counted only repairs the payload.
+    if (options_.metrics) metrics_.dedup_hits.Inc();
     QueryDescriptor desc = probe;
     desc.result_bytes = flight->result->payload.size();
     desc.cost = flight->result->cost;
     OfferToCache(desc, *flight->result, flight->epoch_at_start, now,
                  /*record_reference=*/!already_referenced);
+  }
+  if (options_.metrics && leader && flight != nullptr &&
+      flight->result.ok()) {
+    // The admission outcome of this execution: what the policy kept vs
+    // declined, by cost and by the paper's profit (cost/size) in ppm.
+    metrics_.executions.Inc();
+    const uint64_t cost = flight->result->cost;
+    const uint64_t bytes = flight->result->payload.size();
+    const bool admitted = bytes > 0 && cache_->Contains(probe.key);
+    const uint64_t profit_ppm =
+        bytes == 0 ? 0 : cost * 1000000ull / bytes;
+    if (admitted) {
+      metrics_.admitted_cost.Record(cost);
+      metrics_.admitted_profit_ppm.Record(profit_ppm);
+    } else {
+      metrics_.rejected_cost.Record(cost);
+      metrics_.rejected_profit_ppm.Record(profit_ppm);
+    }
   }
   ReleaseInflightOffer();
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "cache/sharded_query_cache.h"
+#include "obs/metrics.h"
 #include "sim/policy_config.h"
 #include "util/clock.h"
 #include "util/single_flight.h"
@@ -106,6 +107,28 @@ class Watchman {
     /// sufficient for rate estimation. Supply a simulation clock for
     /// reproducible experiments.
     std::function<Timestamp()> clock;
+    /// Record facade-level observability metrics (single-flight dedups,
+    /// admitted/rejected cost+profit distributions). Off-path only --
+    /// the hit path is never instrumented here -- but embedders chasing
+    /// the last nanosecond can disable it.
+    bool metrics = true;
+  };
+
+  /// Facade-level observability: what the admission decision actually
+  /// did to the miss stream. The profit histograms record the paper's
+  /// profit metric cost/size scaled to parts-per-million
+  /// (cost * 1e6 / result_bytes), so admitted vs rejected distributions
+  /// are comparable on one log scale. Updated only on the miss path;
+  /// all members are safe to read concurrently.
+  struct FacadeMetrics {
+    /// Warehouse executions actually run (single-flight leaders).
+    obs::Counter executions;
+    /// Callers served by another caller's in-flight execution.
+    obs::Counter dedup_hits;
+    obs::LogHistogram admitted_cost;
+    obs::LogHistogram rejected_cost;
+    obs::LogHistogram admitted_profit_ppm;
+    obs::LogHistogram rejected_profit_ppm;
   };
 
   /// `executor` must be valid for the lifetime of the Watchman.
@@ -171,6 +194,7 @@ class Watchman {
   std::string policy_name() const { return cache_->name(); }
   const PayloadStore& payload_store() const { return *payloads_; }
   const ShardedQueryCache& cache() const { return *cache_; }
+  const FacadeMetrics& facade_metrics() const { return metrics_; }
 
   double cost_savings_ratio() const {
     return cache_->stats().cost_savings_ratio();
@@ -244,6 +268,8 @@ class Watchman {
   std::unordered_map<std::string, uint64_t> relation_invalidation_epoch_;
   std::unordered_map<std::string, uint64_t> query_invalidation_epoch_;
   AdmissionListener admission_listener_;
+  /// Miss-path observability (Options::metrics).
+  FacadeMetrics metrics_;
   /// Collapses concurrent executions of the same missed query.
   SingleFlight<std::string, std::shared_ptr<const FlightOutcome>> flights_;
   std::atomic<Timestamp> internal_clock_{0};

@@ -1,0 +1,90 @@
+#include "obs/admin_http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace watchman {
+namespace obs {
+namespace {
+
+TEST(ParseHttpRequestTest, CompleteGet) {
+  HttpRequest request;
+  bool malformed = true;
+  EXPECT_TRUE(ParseHttpRequest(
+      "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n", &request, &malformed));
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/metrics");
+}
+
+TEST(ParseHttpRequestTest, BareNewlinesAccepted) {
+  HttpRequest request;
+  bool malformed = true;
+  EXPECT_TRUE(
+      ParseHttpRequest("GET /healthz HTTP/1.1\n\n", &request, &malformed));
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(request.path, "/healthz");
+}
+
+TEST(ParseHttpRequestTest, QueryStringStripped) {
+  HttpRequest request;
+  bool malformed = true;
+  EXPECT_TRUE(ParseHttpRequest("GET /metrics?format=text HTTP/1.0\r\n\r\n",
+                               &request, &malformed));
+  EXPECT_EQ(request.path, "/metrics");
+}
+
+TEST(ParseHttpRequestTest, IncompleteNeedsMoreBytes) {
+  HttpRequest request;
+  bool malformed = true;
+  EXPECT_FALSE(
+      ParseHttpRequest("GET /metrics HTTP/1.0\r\n", &request, &malformed));
+  EXPECT_FALSE(malformed);  // not an error, just short
+  EXPECT_FALSE(ParseHttpRequest("GE", &request, &malformed));
+  EXPECT_FALSE(malformed);
+}
+
+TEST(ParseHttpRequestTest, MalformedRequestLine) {
+  HttpRequest request;
+  bool malformed = false;
+  EXPECT_FALSE(ParseHttpRequest("\r\n\r\n", &request, &malformed));
+  EXPECT_TRUE(malformed);
+  malformed = false;
+  EXPECT_FALSE(ParseHttpRequest("GARBAGE\r\n\r\n", &request, &malformed));
+  EXPECT_TRUE(malformed);
+}
+
+TEST(ParseHttpRequestTest, MethodWithoutVersion) {
+  // HTTP/0.9-style "GET /path" request line still parses.
+  HttpRequest request;
+  bool malformed = true;
+  EXPECT_TRUE(ParseHttpRequest("GET /healthz\r\n\r\n", &request, &malformed));
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/healthz");
+}
+
+TEST(HttpStatusTextTest, KnownCodes) {
+  EXPECT_STREQ(HttpStatusText(200), "OK");
+  EXPECT_STREQ(HttpStatusText(404), "Not Found");
+  EXPECT_STREQ(HttpStatusText(405), "Method Not Allowed");
+}
+
+TEST(AppendHttpResponseTest, WellFormedResponse) {
+  std::string out;
+  AppendHttpResponse(200, "text/plain; charset=utf-8", "ok\n", &out);
+  EXPECT_EQ(out.find("HTTP/1.0 200 OK\r\n"), 0u);
+  EXPECT_NE(out.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close\r\n"), std::string::npos);
+  // Body follows the blank line, exactly once.
+  const size_t sep = out.find("\r\n\r\n");
+  ASSERT_NE(sep, std::string::npos);
+  EXPECT_EQ(out.substr(sep + 4), "ok\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace watchman

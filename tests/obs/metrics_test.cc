@@ -1,0 +1,308 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/counting_alloc.h"
+#include "support/promtext.h"
+
+namespace watchman {
+namespace obs {
+namespace {
+
+using testsupport::CountingScope;
+using testsupport::ValidatePrometheusText;
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllCounted) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+// ------------------------------------------------------------ histogram
+
+TEST(LogHistogramTest, SmallValuesMapExactly) {
+  for (uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LogHistogram::BucketLowerBound(static_cast<uint32_t>(v)), v);
+    EXPECT_EQ(LogHistogram::BucketUpperBound(static_cast<uint32_t>(v)),
+              v + 1);
+  }
+}
+
+TEST(LogHistogramTest, BucketBoundsContainTheirValues) {
+  // Every probed value must land in a bucket whose [lower, upper) range
+  // contains it, across octave boundaries and the full tracked span.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 300; ++v) probes.push_back(v);
+  for (uint32_t shift = 8; shift <= 40; ++shift) {
+    const uint64_t base = 1ull << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+  }
+  for (uint64_t v : probes) {
+    const uint32_t idx = LogHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LogHistogram::kNumBuckets);
+    EXPECT_GE(v, LogHistogram::BucketLowerBound(idx)) << "v=" << v;
+    EXPECT_LT(v, LogHistogram::BucketUpperBound(idx)) << "v=" << v;
+  }
+}
+
+TEST(LogHistogramTest, BucketRelativeErrorBounded) {
+  // Log-bucketing contract: bucket width / lower bound <= 2^-kSubBits.
+  for (uint32_t idx = LogHistogram::kSubBuckets;
+       idx < LogHistogram::kNumBuckets - 1; ++idx) {
+    const uint64_t lo = LogHistogram::BucketLowerBound(idx);
+    const uint64_t hi = LogHistogram::BucketUpperBound(idx);
+    EXPECT_LE(hi - lo, lo >> LogHistogram::kSubBits)
+        << "bucket " << idx << " [" << lo << "," << hi << ")";
+  }
+}
+
+TEST(LogHistogramTest, OverflowBucketCatchesHugeValues) {
+  const uint64_t beyond = 1ull << (LogHistogram::kMaxExponent + 1);
+  EXPECT_EQ(LogHistogram::BucketIndex(beyond),
+            LogHistogram::kNumBuckets - 1);
+  EXPECT_EQ(
+      LogHistogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+      LogHistogram::kNumBuckets - 1);
+  // The last finite bucket still ends exactly at the overflow threshold.
+  EXPECT_EQ(LogHistogram::BucketUpperBound(LogHistogram::kNumBuckets - 2),
+            beyond);
+}
+
+TEST(LogHistogramTest, CountSumMinMax) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  h.Record(100);
+  h.Record(7);
+  h.Record(100000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 100107u);
+  EXPECT_EQ(h.Min(), 7u);
+  EXPECT_EQ(h.Max(), 100000u);
+}
+
+TEST(LogHistogramTest, QuantilesOnUniformData) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  // Bounded relative error: each quantile lands within one bucket width
+  // (12.5%) of the exact order statistic.
+  EXPECT_NEAR(snap.Quantile(0.5), 5000.0, 5000.0 * 0.13);
+  EXPECT_NEAR(snap.Quantile(0.95), 9500.0, 9500.0 * 0.13);
+  EXPECT_NEAR(snap.Quantile(0.99), 9900.0, 9900.0 * 0.13);
+  // Edges clamp to the observed extremes.
+  EXPECT_GE(snap.Quantile(0.0), 1.0);
+  EXPECT_EQ(snap.Quantile(1.0), 10000.0);
+}
+
+TEST(LogHistogramTest, QuantileEmptyAndSingleValue) {
+  LogHistogram h;
+  EXPECT_EQ(h.TakeSnapshot().Quantile(0.5), 0.0);
+  h.Record(777);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  // Everything clamps to the single observed value.
+  EXPECT_EQ(snap.Quantile(0.0), 777.0);
+  EXPECT_EQ(snap.Quantile(0.5), 777.0);
+  EXPECT_EQ(snap.Quantile(1.0), 777.0);
+}
+
+TEST(LogHistogramTest, QuantileOverflowBucketClampsToMax) {
+  LogHistogram h;
+  const uint64_t huge = 1ull << (LogHistogram::kMaxExponent + 2);
+  h.Record(huge);
+  h.Record(huge + 5);
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_GE(snap.Quantile(0.5), static_cast<double>(huge));
+  EXPECT_LE(snap.Quantile(1.0), static_cast<double>(huge + 5));
+}
+
+TEST(LogHistogramTest, ConcurrentRecordsMerge) {
+  LogHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LogHistogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 7001u);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ------------------------------------------------- zero-allocation path
+
+TEST(MetricsAllocTest, HotPathUpdatesAllocateNothing) {
+  Counter counter;
+  Gauge gauge;
+  LogHistogram histogram;
+  // Warm the thread slot and touch each object once outside the scope.
+  counter.Inc();
+  gauge.Set(1);
+  histogram.Record(1);
+  {
+    CountingScope scope;
+    for (int i = 0; i < 1000; ++i) {
+      counter.Add(3);
+      gauge.Add(-1);
+      histogram.Record(static_cast<uint64_t>(i) * 977);
+    }
+    EXPECT_EQ(scope.count(), 0u);
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, RendersValidExposition) {
+  MetricsRegistry registry;
+  Counter hits;
+  hits.Add(5);
+  Counter misses;
+  misses.Add(2);
+  Gauge used;
+  used.Set(4096);
+  LogHistogram latency;
+  latency.Record(1200);
+  latency.Record(90000);
+
+  registry.AddCounter("test_hits_total", "Hits.", {{"shard", "0"}}, &hits);
+  registry.AddCounter("test_hits_total", "Hits.", {{"shard", "1"}}, &misses);
+  registry.AddGauge("test_used_bytes", "Bytes used.", {}, &used);
+  registry.AddCounterFn("test_fn_total", "Callback counter.", {},
+                        [] { return uint64_t{123}; });
+  registry.AddHistogram("test_latency_seconds", "Latency.", {}, &latency,
+                        1e-9);
+  EXPECT_EQ(registry.family_count(), 4u);
+
+  const std::string text = registry.RenderPrometheusText();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+
+  EXPECT_NE(text.find("# TYPE test_hits_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_hits_total{shard=\"0\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("test_hits_total{shard=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_used_bytes 4096"), std::string::npos);
+  EXPECT_NE(text.find("test_fn_total 123"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreCumulativeAndScaled) {
+  MetricsRegistry registry;
+  LogHistogram h;
+  h.Record(1);  // bucket [1,2)
+  h.Record(1);
+  h.Record(1000);  // much later bucket
+  registry.AddHistogram("scaled_seconds", "Scaled.", {}, &h, 1e-3);
+  const std::string text = registry.RenderPrometheusText();
+  std::string error;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  // First occupied bucket: upper bound 2 scaled by 1e-3, cumulative 2.
+  EXPECT_NE(text.find("scaled_seconds_bucket{le=\"0.002\"} 2"),
+            std::string::npos);
+  // Sum scaled: 1002 * 1e-3.
+  EXPECT_NE(text.find("scaled_seconds_sum 1.002"), std::string::npos);
+  EXPECT_NE(text.find("scaled_seconds_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EscapesHelpAndLabelValues) {
+  MetricsRegistry registry;
+  Counter c;
+  registry.AddCounter("esc_total", "Help with \\ and\nnewline.",
+                      {{"path", "a\"b\\c"}}, &c);
+  const std::string text = registry.RenderPrometheusText();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("# HELP esc_total Help with \\\\ and\\nnewline."),
+            std::string::npos);
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\"} 0"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramStillWellFormed) {
+  MetricsRegistry registry;
+  LogHistogram h;
+  registry.AddHistogram("empty_seconds", "Never recorded.", {}, &h);
+  const std::string text = registry.RenderPrometheusText();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("empty_seconds_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("empty_seconds_count 0"), std::string::npos);
+}
+
+// The validator itself must reject broken expositions, or the render
+// tests above prove nothing.
+TEST(PromTextValidatorTest, RejectsBrokenInput) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("no_help_metric 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP m Help.\n# TYPE m counter\nm{bad-key=\"v\"} 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP m Help.\n# TYPE m counter\nm 1\nm 2\n", &error));  // dup
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP m Help.\n# TYPE m counter\nother 1\n", &error));
+  // Histogram whose +Inf bucket disagrees with _count.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 3\n",
+      &error));
+  // Histogram with decreasing cumulative counts.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\n"
+      "h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+      &error));
+  // Histogram missing the +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# HELP h H.\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_sum 3\nh_count 2\n", &error));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace watchman

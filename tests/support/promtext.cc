@@ -1,0 +1,312 @@
+#include "support/promtext.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace watchman {
+namespace testsupport {
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStart(c) || (c >= '0' && c <= '9'); }
+
+bool IsLabelStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsLabelChar(char c) { return IsLabelStart(c) || (c >= '0' && c <= '9'); }
+
+bool ValidName(std::string_view name) {
+  if (name.empty() || !IsNameStart(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool ParseValue(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  if (text == "+Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+/// Parses `key="value",...` between braces. Returns false on syntax
+/// error. `le` is extracted separately; the remaining labels (in
+/// appearance order) become the series group key.
+bool ParseLabels(std::string_view body, std::string* group_key,
+                 bool* has_le, std::string* le_value) {
+  *has_le = false;
+  size_t i = 0;
+  while (i < body.size()) {
+    const size_t key_start = i;
+    if (!IsLabelStart(body[i])) return false;
+    while (i < body.size() && IsLabelChar(body[i])) ++i;
+    const std::string_view key = body.substr(key_start, i - key_start);
+    if (i >= body.size() || body[i] != '=') return false;
+    ++i;
+    if (i >= body.size() || body[i] != '"') return false;
+    ++i;
+    std::string value;
+    while (i < body.size() && body[i] != '"') {
+      if (body[i] == '\\') {
+        ++i;
+        if (i >= body.size()) return false;
+        if (body[i] != '\\' && body[i] != '"' && body[i] != 'n') return false;
+        value += body[i] == 'n' ? '\n' : body[i];
+      } else if (body[i] == '\n') {
+        return false;
+      } else {
+        value += body[i];
+      }
+      ++i;
+    }
+    if (i >= body.size()) return false;  // unterminated value
+    ++i;                                 // closing quote
+    if (key == "le") {
+      *has_le = true;
+      *le_value = value;
+    } else {
+      group_key->append(key);
+      group_key->push_back('=');
+      group_key->append(value);
+      group_key->push_back(';');
+    }
+    if (i < body.size()) {
+      if (body[i] != ',') return false;
+      ++i;
+      if (i >= body.size()) return false;  // trailing comma
+    }
+  }
+  return true;
+}
+
+struct HistogramSeries {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0;
+};
+
+struct Family {
+  std::string type;
+  bool has_help = false;
+  bool has_type = false;
+  bool has_samples = false;
+  std::set<std::string> series;  // duplicate detection (full label sets)
+  std::map<std::string, HistogramSeries> histograms;  // by group key
+};
+
+bool FinishFamily(const std::string& name, const Family& family,
+                  std::string* error) {
+  if (family.type != "histogram") return true;
+  for (const auto& [group, series] : family.histograms) {
+    const std::string where =
+        name + (group.empty() ? "" : "{" + group + "}");
+    if (series.buckets.empty()) {
+      *error = where + ": histogram without _bucket samples";
+      return false;
+    }
+    double prev_le = -HUGE_VAL;
+    double prev_count = -1;
+    for (const auto& [le, cumulative] : series.buckets) {
+      if (le <= prev_le) {
+        *error = where + ": bucket le values not strictly increasing";
+        return false;
+      }
+      if (cumulative < prev_count) {
+        *error = where + ": cumulative bucket counts decreased";
+        return false;
+      }
+      prev_le = le;
+      prev_count = cumulative;
+    }
+    if (series.buckets.back().first != HUGE_VAL) {
+      *error = where + ": missing le=\"+Inf\" bucket";
+      return false;
+    }
+    if (!series.has_sum || !series.has_count) {
+      *error = where + ": histogram missing _sum or _count";
+      return false;
+    }
+    if (series.buckets.back().second != series.count) {
+      *error = where + ": +Inf bucket != _count";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(std::string_view text, std::string* error) {
+  std::string current_name;
+  Family current;
+  const auto fail = [&](std::string_view line, const std::string& why) {
+    *error = why + " in line: " + std::string(line);
+    return false;
+  };
+
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# HELP name text` or `# TYPE name type`; other comments pass.
+      if (line.size() < 2 || line[1] != ' ') {
+        return fail(line, "malformed comment");
+      }
+      const std::string_view rest = line.substr(2);
+      const bool is_help = rest.substr(0, 5) == "HELP ";
+      const bool is_type = rest.substr(0, 5) == "TYPE ";
+      if (!is_help && !is_type) continue;
+      const std::string_view after = rest.substr(5);
+      const size_t space = after.find(' ');
+      const std::string_view name =
+          space == std::string_view::npos ? after : after.substr(0, space);
+      if (!ValidName(name)) return fail(line, "bad metric name");
+      if (name != current_name) {
+        if (!current_name.empty() &&
+            !FinishFamily(current_name, current, error)) {
+          return false;
+        }
+        current_name = std::string(name);
+        current = Family();
+      }
+      if (is_help) {
+        if (current.has_help) return fail(line, "duplicate HELP");
+        if (current.has_samples) return fail(line, "HELP after samples");
+        current.has_help = true;
+      } else {
+        if (current.has_type) return fail(line, "duplicate TYPE");
+        if (current.has_samples) return fail(line, "TYPE after samples");
+        const std::string_view type =
+            space == std::string_view::npos ? "" : after.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line, "unknown TYPE");
+        }
+        current.has_type = true;
+        current.type = std::string(type);
+      }
+      continue;
+    }
+
+    // Sample: name[{labels}] value [timestamp]
+    size_t i = 0;
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    const std::string_view name = line.substr(0, i);
+    if (!ValidName(name)) return fail(line, "bad sample name");
+    std::string group_key;
+    bool has_le = false;
+    std::string le_value;
+    std::string series_key(name);
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        return fail(line, "unterminated label set");
+      }
+      const std::string_view body = line.substr(i + 1, close - i - 1);
+      if (!ParseLabels(body, &group_key, &has_le, &le_value)) {
+        return fail(line, "bad label syntax");
+      }
+      series_key.push_back('{');
+      series_key.append(body);
+      series_key.push_back('}');
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(line, "missing value separator");
+    }
+    const std::string_view value_part = line.substr(i + 1);
+    const size_t value_end = value_part.find(' ');  // optional timestamp
+    double value = 0;
+    if (!ParseValue(value_part.substr(0, value_end), &value)) {
+      return fail(line, "bad sample value");
+    }
+
+    if (current_name.empty()) return fail(line, "sample before HELP/TYPE");
+    std::string_view base = name;
+    bool is_bucket = false, is_sum = false, is_count = false;
+    if (current.type == "histogram") {
+      const auto strip = [&](std::string_view suffix) {
+        return name.size() > suffix.size() &&
+               name.substr(name.size() - suffix.size()) == suffix &&
+               name.substr(0, name.size() - suffix.size()) == current_name;
+      };
+      if (strip("_bucket")) {
+        is_bucket = true;
+        base = current_name;
+      } else if (strip("_sum")) {
+        is_sum = true;
+        base = current_name;
+      } else if (strip("_count")) {
+        is_count = true;
+        base = current_name;
+      }
+    }
+    if (base != current_name) {
+      return fail(line, "sample outside the declared family");
+    }
+    if (!current.series.insert(series_key).second) {
+      return fail(line, "duplicate series");
+    }
+    current.has_samples = true;
+    if (current.type == "histogram") {
+      if (!is_bucket && !is_sum && !is_count) {
+        return fail(line, "bare histogram sample");
+      }
+      if (is_bucket != has_le) {
+        return fail(line, is_bucket ? "bucket without le label"
+                                    : "le label outside _bucket");
+      }
+      HistogramSeries& series = current.histograms[group_key];
+      if (is_bucket) {
+        double le = 0;
+        if (!ParseValue(le_value, &le)) return fail(line, "bad le value");
+        series.buckets.emplace_back(le, value);
+      } else if (is_sum) {
+        if (series.has_sum) return fail(line, "duplicate _sum");
+        series.has_sum = true;
+      } else {
+        if (series.has_count) return fail(line, "duplicate _count");
+        series.has_count = true;
+        series.count = value;
+      }
+    } else if (has_le) {
+      return fail(line, "le label on a non-histogram sample");
+    }
+  }
+  if (!current_name.empty() && !FinishFamily(current_name, current, error)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace testsupport
+}  // namespace watchman

@@ -1,0 +1,34 @@
+// Validator for the Prometheus text exposition format 0.0.4, shared by
+// the registry render tests and the admin-endpoint integration tests.
+//
+// Checks the structural contract a scraper relies on, not just
+// tokenization:
+//  * every sample line belongs to the most recently declared family
+//    (`# HELP` + `# TYPE` precede samples; histogram samples may only
+//    be `<family>_bucket` / `_sum` / `_count`),
+//  * metric names and label keys are legal, label values are quoted
+//    with legal escapes,
+//  * every histogram series (grouped by its labels minus `le`) has
+//    strictly increasing bucket bounds, non-decreasing cumulative
+//    counts, an `le="+Inf"` bucket, and `_sum`/`_count` samples with
+//    the `+Inf` count equal to `_count`,
+//  * no duplicate series within a family.
+
+#ifndef WATCHMAN_TESTS_SUPPORT_PROMTEXT_H_
+#define WATCHMAN_TESTS_SUPPORT_PROMTEXT_H_
+
+#include <string>
+#include <string_view>
+
+namespace watchman {
+namespace testsupport {
+
+/// Returns true when `text` is valid Prometheus text exposition format;
+/// otherwise false with a human-readable reason (including the line)
+/// in *error.
+bool ValidatePrometheusText(std::string_view text, std::string* error);
+
+}  // namespace testsupport
+}  // namespace watchman
+
+#endif  // WATCHMAN_TESTS_SUPPORT_PROMTEXT_H_

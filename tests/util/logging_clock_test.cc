@@ -52,5 +52,59 @@ TEST(LoggingTest, SuppressedSideEffectsNotEvaluated) {
   SetLogLevel(LogLevel::kWarning);
 }
 
+TEST(LoggingTest, ParseLogLevelRoundTrips) {
+  LogLevel level;
+  ASSERT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  ASSERT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  ASSERT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("DEBUG ", &level));
+}
+
+TEST(LoggingTest, LogLevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(LoggingTest, FormatRoundTrips) {
+  SetLogFormat(LogFormat::kJson);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+  SetLogFormat(LogFormat::kText);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kText);
+}
+
+TEST(LoggingTest, AppendJsonEscapedHandlesSpecials) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\nd\te", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te");
+  out.clear();
+  AppendJsonEscaped(std::string_view("\x01", 1), &out);
+  EXPECT_EQ(out, "\\u0001");
+}
+
+TEST(LoggingTest, FormatLogLineTextAndJson) {
+  const std::string text = internal::FormatLogLine(
+      LogFormat::kText, LogLevel::kWarning, "server.cc", 42, 1000, "slow");
+  EXPECT_EQ(text, "[WARN server.cc:42] slow");
+
+  const std::string json = internal::FormatLogLine(
+      LogFormat::kJson, LogLevel::kWarning, "server.cc", 42, 1000,
+      "msg with \"quotes\"");
+  EXPECT_EQ(json,
+            "{\"ts_ms\":1000,\"level\":\"warn\",\"src\":\"server.cc:42\","
+            "\"msg\":\"msg with \\\"quotes\\\"\"}");
+}
+
 }  // namespace
 }  // namespace watchman

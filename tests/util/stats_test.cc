@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace watchman {
@@ -109,6 +110,65 @@ TEST(HistogramTest, ToStringNonEmpty) {
   Histogram h(0.0, 10.0, 10);
   h.Add(5.0);
   EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsLowerBound) {
+  Histogram h(2.0, 10.0, 8);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileSkipsLeadingEmptyBuckets) {
+  // All mass in [70, 80): every quantile must land inside that bucket,
+  // not interpolate across the empty leading range.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(75.0);
+  EXPECT_GE(h.Quantile(0.0), 70.0);
+  EXPECT_LE(h.Quantile(0.0), 80.0);
+  EXPECT_GE(h.Quantile(0.5), 70.0);
+  EXPECT_LE(h.Quantile(1.0), 80.0);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeArgument) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileWithSparseBuckets) {
+  // Mass split between two far-apart buckets; the median boundary must
+  // not land in the empty middle.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 5; ++i) h.Add(5.0);    // bucket [0, 10)
+  for (int i = 0; i < 5; ++i) h.Add(95.0);   // bucket [90, 100)
+  EXPECT_LE(h.Quantile(0.25), 10.0);
+  EXPECT_GE(h.Quantile(0.75), 90.0);
+}
+
+TEST(HistogramTest, ToStringEmptyAndZeroRows) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.ToString(), "(empty histogram)\n");
+  h.Add(5.0);
+  // max_rows == 0 collapses everything into one row instead of
+  // dividing by zero.
+  const std::string one_row = h.ToString(0);
+  EXPECT_FALSE(one_row.empty());
+  EXPECT_EQ(std::count(one_row.begin(), one_row.end(), '\n'), 1);
+}
+
+TEST(OnlineStatsTest, MergeTracksMinAndMaxAcrossDisjointRanges) {
+  OnlineStats low, high;
+  low.Add(-5.0);
+  low.Add(-1.0);
+  high.Add(100.0);
+  high.Add(200.0);
+  low.Merge(high);
+  EXPECT_DOUBLE_EQ(low.min(), -5.0);
+  EXPECT_DOUBLE_EQ(low.max(), 200.0);
+  EXPECT_EQ(low.count(), 4u);
+  EXPECT_DOUBLE_EQ(low.sum(), 294.0);
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Live terminal dashboard for a watchmand admin endpoint.
+
+Polls http://HOST:PORT/metrics (the Prometheus text exposition served
+by `watchmand --admin-port`) and renders cache hit ratio, windowed
+request rates, and per-op latency quantiles derived from the
+log-bucketed histogram samples. Stdlib only.
+
+Usage:
+  tools/watchman_top.py [--host 127.0.0.1] [--port 9090]
+                        [--interval 2.0] [--once]
+"""
+
+import argparse
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def scrape(url, timeout=5.0):
+    """Returns {(name, labels_tuple): value} for every sample line."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        text = resp.read().decode("utf-8", "replace")
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        try:
+            metric, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            continue
+        if "{" in metric:
+            name, rest = metric.split("{", 1)
+            labels = []
+            body = rest.rsplit("}", 1)[0]
+            for pair in split_labels(body):
+                key, _, raw = pair.partition("=")
+                labels.append((key, raw.strip('"')))
+            samples[(name, tuple(sorted(labels)))] = value
+        else:
+            samples[(metric, ())] = value
+    return samples
+
+
+def split_labels(body):
+    """Splits `a="x",b="y"` on commas outside quotes."""
+    parts, depth, start = [], False, 0
+    for i, c in enumerate(body):
+        if c == '"' and (i == 0 or body[i - 1] != "\\"):
+            depth = not depth
+        elif c == "," and not depth:
+            parts.append(body[start:i])
+            start = i + 1
+    if start < len(body):
+        parts.append(body[start:])
+    return parts
+
+
+def value(samples, name, **labels):
+    want = tuple(sorted(labels.items()))
+    return samples.get((name, want), 0.0)
+
+
+def sum_family(samples, name, **labels):
+    """Sums every series of `name` whose labels are a superset of `labels`."""
+    want = set(labels.items())
+    total = 0.0
+    for (sample_name, sample_labels), v in samples.items():
+        if sample_name == name and want.issubset(set(sample_labels)):
+            total += v
+    return total
+
+
+def histogram_quantile(samples, name, q, **labels):
+    """Prometheus-style histogram_quantile over `name`_bucket series."""
+    buckets = []
+    want = set(labels.items())
+    for (sample_name, sample_labels), v in samples.items():
+        if sample_name != name + "_bucket":
+            continue
+        label_set = dict(sample_labels)
+        le = label_set.pop("le", None)
+        if le is None or not want.issubset(set(label_set.items())):
+            continue
+        bound = math.inf if le == "+Inf" else float(le)
+        buckets.append((bound, v))
+    buckets.sort()
+    if not buckets or buckets[-1][1] == 0:
+        return None
+    total = buckets[-1][1]
+    target = q * total
+    prev_bound, prev_count = 0.0, 0.0
+    for bound, count in buckets:
+        if count >= target:
+            if math.isinf(bound):
+                return prev_bound
+            if count == prev_count:
+                return bound
+            frac = (target - prev_count) / (count - prev_count)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_count = bound, count
+    return buckets[-1][0]
+
+
+def fmt_seconds(s):
+    if s is None:
+        return "    -"
+    if s < 1e-3:
+        return "%5.0fus" % (s * 1e6)
+    if s < 1.0:
+        return "%5.1fms" % (s * 1e3)
+    return "%5.2fs " % s
+
+
+def fmt_rate(r):
+    if r is None:
+        return "     -"
+    if r >= 1000:
+        return "%5.1fk" % (r / 1000.0)
+    return "%6.1f" % r
+
+
+OPS = ("ping", "execute", "get", "invalidate", "invalidate_relation",
+       "stats", "compact")
+
+
+def render(samples, prev, dt):
+    lines = []
+    lookups = sum_family(samples, "watchman_cache_lookups_total")
+    hits = sum_family(samples, "watchman_cache_hits_total")
+    hit_ratio = hits / lookups if lookups else 0.0
+    used = value(samples, "watchman_cache_used_bytes")
+    cap = value(samples, "watchman_cache_capacity_bytes")
+    entries = value(samples, "watchman_cache_entries")
+    conns = value(samples, "watchman_server_connections_active")
+    uptime = value(samples, "watchman_server_uptime_seconds")
+    lines.append(
+        "cache: %.1f%% hit (%d/%d lookups)   %.1f/%.1f MiB   "
+        "%d entries   %d conns   up %ds"
+        % (hit_ratio * 100.0, hits, lookups, used / 2**20, cap / 2**20,
+           entries, conns, uptime))
+
+    lines.append("%-20s %8s %8s %7s %7s %7s %7s" %
+                 ("op", "total", "req/s", "p50", "p95", "p99", "max~"))
+    for op in OPS:
+        total = value(samples, "watchman_server_requests_total", op=op)
+        if total == 0:
+            continue
+        rate = None
+        if prev is not None and dt > 0:
+            rate = (total -
+                    value(prev, "watchman_server_requests_total", op=op)) / dt
+        hist = "watchman_server_request_seconds"
+        lines.append("%-20s %8d %8s %7s %7s %7s %7s" % (
+            op, total, fmt_rate(rate),
+            fmt_seconds(histogram_quantile(samples, hist, 0.50, op=op)),
+            fmt_seconds(histogram_quantile(samples, hist, 0.95, op=op)),
+            fmt_seconds(histogram_quantile(samples, hist, 0.99, op=op)),
+            fmt_seconds(histogram_quantile(samples, hist, 1.00, op=op))))
+
+    qw = histogram_quantile(samples, "watchman_server_queue_wait_seconds", 0.95)
+    rp = histogram_quantile(samples, "watchman_server_reply_seconds", 0.95)
+    inline = value(samples, "watchman_server_inline_dispatched_total")
+    served = value(samples, "watchman_server_requests_served_total")
+    lines.append("queue-wait p95 %s   reply p95 %s   inline %d/%d" %
+                 (fmt_seconds(qw), fmt_seconds(rp), inline, served))
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9090)
+    parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit")
+    args = parser.parse_args()
+    url = "http://%s:%d/metrics" % (args.host, args.port)
+
+    prev, prev_t = None, None
+    while True:
+        try:
+            samples = scrape(url)
+        except (urllib.error.URLError, OSError) as e:
+            print("scrape %s failed: %s" % (url, e), file=sys.stderr)
+            return 1
+        now = time.monotonic()
+        dt = (now - prev_t) if prev_t is not None else 0.0
+        out = render(samples, prev, dt)
+        if args.once:
+            print(out)
+            return 0
+        sys.stdout.write("\x1b[2J\x1b[H" + url + "\n" + out + "\n")
+        sys.stdout.flush()
+        prev, prev_t = samples, now
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,139 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace watchman {
+
+namespace {
+constexpr double kNsPerSec = 1e9;
+}  // namespace
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kPeerQuota:
+      return "peer_quota";
+    case ShedReason::kPeerConnections:
+      return "peer_connections";
+    case ShedReason::kGlobalInflight:
+      return "global_inflight";
+    case ShedReason::kGlobalBytes:
+      return "global_bytes";
+    case ShedReason::kNumReasons:
+      break;
+  }
+  return "?";
+}
+
+void TokenBucket::Refill(int64_t now_ns) {
+  if (now_ns <= last_ns_) return;
+  tokens_ = std::min(
+      burst_, tokens_ + rate_ * (static_cast<double>(now_ns - last_ns_) /
+                                 kNsPerSec));
+  last_ns_ = now_ns;
+}
+
+double TokenBucket::tokens_at(int64_t now_ns) const {
+  if (now_ns <= last_ns_) return tokens_;
+  return std::min(burst_,
+                  tokens_ + rate_ * (static_cast<double>(now_ns - last_ns_) /
+                                     kNsPerSec));
+}
+
+bool TokenBucket::TryAcquire(int64_t now_ns, uint32_t* retry_after_ms) {
+  Refill(now_ns);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  // Time until the deficit refills, rounded up to a whole millisecond
+  // so a client that honors the hint exactly does not race the refill.
+  const double deficit = 1.0 - tokens_;
+  const double ms = rate_ > 0 ? deficit * 1000.0 / rate_ : 1000.0;
+  *retry_after_ms =
+      static_cast<uint32_t>(std::min(std::ceil(std::max(ms, 1.0)), 60000.0));
+  return false;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options),
+      effective_burst_(options.peer_burst > 0
+                           ? options.peer_burst
+                           : std::max(options.peer_requests_per_sec, 1.0)) {}
+
+AdmissionController::PeerState& AdmissionController::PeerFor(
+    uint64_t peer_key, int64_t now_ns) {
+  auto it = peers_.find(peer_key);
+  if (it == peers_.end()) {
+    it = peers_
+             .emplace(peer_key,
+                      PeerState{TokenBucket(options_.peer_requests_per_sec,
+                                            effective_burst_, now_ns),
+                                0, now_ns})
+             .first;
+  }
+  return it->second;
+}
+
+ShedReason AdmissionController::AdmitConnection(uint64_t peer_key,
+                                                uint32_t* retry_after_ms) {
+  if (options_.max_connections_per_peer == 0) return ShedReason::kNone;
+  PeerState& peer = PeerFor(peer_key, 0);
+  if (peer.connections >= options_.max_connections_per_peer) {
+    *retry_after_ms = options_.retry_after_ms;
+    return ShedReason::kPeerConnections;
+  }
+  ++peer.connections;
+  return ShedReason::kNone;
+}
+
+void AdmissionController::ConnectionClosed(uint64_t peer_key) {
+  if (options_.max_connections_per_peer == 0) return;
+  auto it = peers_.find(peer_key);
+  if (it != peers_.end() && it->second.connections > 0) {
+    --it->second.connections;
+  }
+}
+
+ShedReason AdmissionController::AdmitRequest(uint64_t peer_key,
+                                             uint64_t global_inflight,
+                                             uint64_t global_output_bytes,
+                                             int64_t now_ns,
+                                             uint32_t* retry_after_ms) {
+  if (options_.max_global_inflight > 0 &&
+      global_inflight >= options_.max_global_inflight) {
+    *retry_after_ms = options_.retry_after_ms;
+    return ShedReason::kGlobalInflight;
+  }
+  if (options_.max_global_output_bytes > 0 &&
+      global_output_bytes >= options_.max_global_output_bytes) {
+    *retry_after_ms = options_.retry_after_ms;
+    return ShedReason::kGlobalBytes;
+  }
+  if (options_.peer_requests_per_sec > 0) {
+    PeerState& peer = PeerFor(peer_key, now_ns);
+    peer.last_request_ns = now_ns;
+    if (!peer.bucket.TryAcquire(now_ns, retry_after_ms)) {
+      return ShedReason::kPeerQuota;
+    }
+  }
+  return ShedReason::kNone;
+}
+
+size_t AdmissionController::GcIdlePeers(int64_t now_ns, int64_t idle_ns) {
+  size_t dropped = 0;
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (it->second.connections == 0 &&
+        now_ns - it->second.last_request_ns > idle_ns) {
+      it = peers_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace watchman

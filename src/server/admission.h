@@ -1,0 +1,143 @@
+// Admission control for watchmand: per-peer token-bucket request
+// quotas, per-peer connection caps and global inflight/memory budgets.
+//
+// The daemon's existing flow control (per-connection read pause at
+// max_inflight_frames) protects it from ONE fast pipelining peer, but
+// an abusive or misconfigured fleet can still queue unboundedly across
+// connections. The admission layer turns that into explicit load
+// shedding: a request over budget is answered immediately with
+// kShedRetryLater and a retry-after hint instead of being queued, and a
+// peer over its connection cap gets the same status on a connection
+// that then closes. Shedding happens BEFORE dispatch, so a shed request
+// was never executed and is always safe to retry -- even INVALIDATE.
+//
+// Everything here runs on the server's IO thread only (frames are
+// admitted where they are parsed), so there are no locks; the
+// controller is a plain map of per-peer state. TokenBucket is a pure
+// function of explicit timestamps, unit-testable without a clock.
+
+#ifndef WATCHMAN_SERVER_ADMISSION_H_
+#define WATCHMAN_SERVER_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace watchman {
+
+/// Budgets enforced by the admission layer. Every limit defaults to 0 =
+/// unlimited, so a default-constructed server sheds nothing.
+struct AdmissionOptions {
+  /// Simultaneous connections allowed per peer address (0 = unlimited).
+  /// A connection over the cap is answered with kShedRetryLater
+  /// (request id 0) and closed after the response drains.
+  uint32_t max_connections_per_peer = 0;
+  /// Sustained request rate allowed per peer address, across all of its
+  /// connections (0 = unlimited).
+  double peer_requests_per_sec = 0;
+  /// Burst allowance of the per-peer bucket; 0 derives a burst of
+  /// max(peer_requests_per_sec, 1).
+  double peer_burst = 0;
+  /// Global cap on frames admitted but not yet answered (ready-queue +
+  /// worker inflight). 0 = unlimited.
+  uint64_t max_global_inflight = 0;
+  /// Global cap on response bytes buffered across all connections --
+  /// the memory budget for peers that send but do not read. 0 =
+  /// unlimited.
+  uint64_t max_global_output_bytes = 0;
+  /// Retry-after hint for global-budget sheds (per-peer quota sheds
+  /// hint the bucket's actual refill time instead).
+  uint32_t retry_after_ms = 50;
+
+  bool any_enabled() const {
+    return max_connections_per_peer > 0 || peer_requests_per_sec > 0 ||
+           max_global_inflight > 0 || max_global_output_bytes > 0;
+  }
+};
+
+/// Why a request or connection was shed (kNone = admitted).
+enum class ShedReason : uint8_t {
+  kNone = 0,
+  kPeerQuota,        // per-peer token bucket empty
+  kPeerConnections,  // peer over its connection cap
+  kGlobalInflight,   // server-wide inflight budget exhausted
+  kGlobalBytes,      // server-wide buffered-output budget exhausted
+  kNumReasons,
+};
+
+inline constexpr size_t kNumShedReasons =
+    static_cast<size_t>(ShedReason::kNumReasons);
+
+/// Stable label value ("peer_quota", ...); "none" for kNone.
+const char* ShedReasonName(ShedReason reason);
+
+/// Classic token bucket over an explicit nanosecond clock: capacity
+/// `burst`, refilled at `rate` tokens/sec, one token per request.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst, int64_t now_ns)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst), last_ns_(now_ns) {}
+
+  /// Consumes one token; on failure leaves the bucket untouched and
+  /// sets *retry_after_ms to when one token will have accumulated
+  /// (rounded up, >= 1).
+  bool TryAcquire(int64_t now_ns, uint32_t* retry_after_ms);
+
+  double tokens_at(int64_t now_ns) const;
+
+ private:
+  void Refill(int64_t now_ns);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  int64_t last_ns_;
+};
+
+/// IO-thread-only admission state: one TokenBucket + connection count
+/// per peer address, plus the global budget checks.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  bool enabled() const { return options_.any_enabled(); }
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Connection-level admission at accept time. kNone admits and counts
+  /// the connection (balance with ConnectionClosed); kPeerConnections
+  /// rejects without counting and sets the retry hint.
+  ShedReason AdmitConnection(uint64_t peer_key, uint32_t* retry_after_ms);
+
+  /// Releases one counted connection of `peer_key`.
+  void ConnectionClosed(uint64_t peer_key);
+
+  /// Frame-level admission: global budgets first (cheapest and most
+  /// urgent), then the peer's bucket. Sets *retry_after_ms on any shed.
+  ShedReason AdmitRequest(uint64_t peer_key, uint64_t global_inflight,
+                          uint64_t global_output_bytes, int64_t now_ns,
+                          uint32_t* retry_after_ms);
+
+  /// Drops bucket state of peers with no connections and no request for
+  /// `idle_ns` (bounds the map under address churn). Returns peers
+  /// dropped.
+  size_t GcIdlePeers(int64_t now_ns, int64_t idle_ns);
+
+  size_t tracked_peers() const { return peers_.size(); }
+
+ private:
+  struct PeerState {
+    TokenBucket bucket;
+    uint32_t connections = 0;
+    int64_t last_request_ns = 0;
+  };
+
+  PeerState& PeerFor(uint64_t peer_key, int64_t now_ns);
+
+  AdmissionOptions options_;
+  double effective_burst_;
+  std::unordered_map<uint64_t, PeerState> peers_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_SERVER_ADMISSION_H_

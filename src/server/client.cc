@@ -14,10 +14,41 @@
 #include <thread>
 #include <utility>
 
+#include "util/fault.h"
+
 namespace watchman {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// SplitMix64: backoff jitter hashing (pure, no global state).
+uint64_t JitterMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Equal jitter: spread `backoff` uniformly over [backoff/2, backoff],
+/// deterministically from (seed, attempt). Seed 0 = no jitter.
+int ApplyJitter(int backoff, int attempt, uint64_t jitter_seed) {
+  if (jitter_seed == 0 || backoff <= 1) return backoff;
+  const int half = backoff / 2;
+  const uint64_t h =
+      JitterMix(jitter_seed ^ (static_cast<uint64_t>(attempt) + 1) *
+                                  0x9e3779b97f4a7c15ull);
+  return half + static_cast<int>(
+                    h % (static_cast<uint64_t>(backoff - half) + 1));
+}
+
+/// A per-process-instance jitter seed (never 0).
+uint64_t FreshJitterSeed() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t tick = static_cast<uint64_t>(
+      Clock::now().time_since_epoch().count());
+  return JitterMix(tick ^ counter.fetch_add(1, std::memory_order_relaxed))
+         | 1;
+}
 
 /// A time_point far enough out to mean "no deadline".
 constexpr Clock::duration kForever = std::chrono::hours(24 * 365);
@@ -60,8 +91,8 @@ Status SendAllFd(int fd, std::string_view bytes, Clock::time_point deadline,
                  size_t* sent) {
   *sent = 0;
   while (*sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + *sent, bytes.size() - *sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = FaultSend(fd, bytes.data() + *sent,
+                                bytes.size() - *sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -80,7 +111,7 @@ Status SendAllFd(int fd, std::string_view bytes, Clock::time_point deadline,
 Status RecvSomeFd(int fd, char* buf, size_t cap, Clock::time_point deadline,
                   size_t* n) {
   while (true) {
-    const ssize_t got = ::recv(fd, buf, cap, 0);
+    const ssize_t got = FaultRecv(fd, buf, cap, 0);
     if (got >= 0) {
       *n = static_cast<size_t>(got);
       return Status::OK();
@@ -96,11 +127,28 @@ Status RecvSomeFd(int fd, char* buf, size_t cap, Clock::time_point deadline,
 
 /// One non-blocking connect attempt with a poll-enforced deadline.
 /// Returns the connected fd (left non-blocking) or an error.
-StatusOr<int> ConnectOnce(const sockaddr_in& addr, int io_timeout_ms) {
+StatusOr<int> ConnectOnce(const sockaddr_in& addr,
+                          const std::string& local_addr, int io_timeout_ms) {
   const int fd =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (!local_addr.empty()) {
+    sockaddr_in local{};
+    local.sin_family = AF_INET;
+    local.sin_port = 0;  // ephemeral; only the address matters
+    if (::inet_pton(AF_INET, local_addr.c_str(), &local.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad local address: " + local_addr);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&local),
+               sizeof(local)) != 0) {
+      const Status status = Status::IOError(
+          "bind " + local_addr + ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
   }
   const auto deadline = DeadlineIn(io_timeout_ms);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -145,14 +193,16 @@ StatusOr<int> DialFd(const WatchmanClient::Options& options) {
   const int attempts =
       options.connect_attempts < 1 ? 1 : options.connect_attempts;
   std::string last_error = "no attempt made";
+  const uint64_t jitter_seed = FreshJitterSeed();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     const int backoff =
         DialBackoffMs(options.retry_backoff_ms, options.max_backoff_ms,
-                      attempt);
+                      attempt, jitter_seed);
     if (backoff > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
-    StatusOr<int> fd = ConnectOnce(addr, options.io_timeout_ms);
+    StatusOr<int> fd =
+        ConnectOnce(addr, options.local_addr, options.io_timeout_ms);
     if (fd.ok()) return fd;
     last_error = fd.status().message();
   }
@@ -207,19 +257,36 @@ StatusOr<WireStats> ToStats(WireResponse&& response) {
 
 }  // namespace
 
-int DialBackoffMs(int base_ms, int max_ms, int attempt) {
+int DialBackoffMs(int base_ms, int max_ms, int attempt,
+                  uint64_t jitter_seed) {
   if (attempt <= 0 || base_ms <= 0) return 0;
   if (max_ms < base_ms) max_ms = base_ms;
   long long backoff = base_ms;
   for (int i = 1; i < attempt; ++i) {
     backoff *= 2;
-    if (backoff >= max_ms) return max_ms;
+    if (backoff >= max_ms) {
+      backoff = max_ms;
+      break;
+    }
   }
-  return backoff >= max_ms ? max_ms : static_cast<int>(backoff);
+  const int capped = backoff >= max_ms ? max_ms : static_cast<int>(backoff);
+  return ApplyJitter(capped, attempt, jitter_seed);
+}
+
+int ShedBackoffMs(int hint_ms, int max_ms, int attempt,
+                  uint64_t jitter_seed) {
+  if (max_ms < 1) max_ms = 1;
+  long long backoff = hint_ms > 0 ? hint_ms : 10;
+  for (int i = 0; i < attempt; ++i) {
+    backoff *= 2;
+    if (backoff >= max_ms) break;
+  }
+  const int capped = backoff >= max_ms ? max_ms : static_cast<int>(backoff);
+  return ApplyJitter(capped, attempt, jitter_seed);
 }
 
 WatchmanClient::WatchmanClient(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), shed_jitter_seed_(FreshJitterSeed()) {}
 
 WatchmanClient::~WatchmanClient() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -276,6 +343,25 @@ StatusOr<std::string> WatchmanClient::ReadFrameBody(
 
 StatusOr<WireResponse> WatchmanClient::RoundTrip(WireRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Shed-retry loop: a kShedRetryLater answer means the daemon refused
+  // the request BEFORE executing it, so retrying (with a fresh id)
+  // after the hinted backoff is always safe -- even for INVALIDATE.
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<WireResponse> response = RoundTripLocked(request);
+    if (!response.ok() ||
+        response->code != StatusCode::kShedRetryLater ||
+        attempt >= options_.shed_retries) {
+      return response;
+    }
+    const int backoff =
+        ShedBackoffMs(static_cast<int>(response->retry_after_ms),
+                      options_.max_shed_backoff_ms, attempt,
+                      shed_jitter_seed_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+}
+
+StatusOr<WireResponse> WatchmanClient::RoundTripLocked(WireRequest& request) {
   request.request_id = ++next_request_id_;
   const std::string frame = EncodeRequest(request);
   // One redial: a pooled connection may have died since the last call.
@@ -411,7 +497,7 @@ Status WatchmanClient::Compact() {
 // --------------------------------------------------- MultiplexedClient
 
 MultiplexedClient::MultiplexedClient(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), shed_jitter_seed_(FreshJitterSeed()) {}
 
 StatusOr<std::unique_ptr<MultiplexedClient>> MultiplexedClient::Connect(
     const Options& options) {
@@ -598,7 +684,7 @@ void MultiplexedClient::ReaderLoop() {
       return;
     }
     if (ready == 0) continue;
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = FaultRecv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
       Break(Status::IOError("connection closed by the daemon"));
       return;
@@ -675,28 +761,48 @@ StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartCompact() {
   return StartRequest(request);
 }
 
+// Start + Await with the same shed-retry semantics as the blocking
+// client: each retry re-encodes under a fresh id after the hinted,
+// jittered backoff. Callers driving StartX()/Await() directly see the
+// shed response verbatim and schedule their own retries.
+StatusOr<WireResponse> MultiplexedClient::CallBlocking(
+    const std::function<StatusOr<Ticket>()>& start) {
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<Ticket> ticket = start();
+    if (!ticket.ok()) return ticket.status();
+    StatusOr<WireResponse> response = Await(*ticket);
+    if (!response.ok() ||
+        response->code != StatusCode::kShedRetryLater ||
+        attempt >= options_.shed_retries) {
+      return response;
+    }
+    const int backoff =
+        ShedBackoffMs(static_cast<int>(response->retry_after_ms),
+                      options_.max_shed_backoff_ms, attempt,
+                      shed_jitter_seed_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+}
+
 Status MultiplexedClient::Ping() {
-  StatusOr<Ticket> ticket = StartPing();
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([this] { return StartPing(); });
   if (!response.ok()) return response.status();
   return StatusFromWire(response->code, response->message);
 }
 
 StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Get(
     const std::string& query_text) {
-  StatusOr<Ticket> ticket = StartGet(query_text);
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([&] { return StartGet(query_text); });
   if (!response.ok()) return response.status();
   return ToFetchResult(std::move(*response));
 }
 
 StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Execute(
     const std::string& query_text) {
-  StatusOr<Ticket> ticket = StartExecute(query_text);
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([&] { return StartExecute(query_text); });
   if (!response.ok()) return response.status();
   return ToFetchResult(std::move(*response));
 }
@@ -704,44 +810,39 @@ StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Execute(
 StatusOr<MultiplexedClient::FetchResult> MultiplexedClient::Execute(
     const std::string& query_text, const std::string& fill_payload,
     uint64_t fill_cost, std::vector<std::string> fill_relations) {
-  StatusOr<Ticket> ticket = StartExecute(query_text, fill_payload, fill_cost,
-                                         std::move(fill_relations));
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response = CallBlocking([&] {
+    return StartExecute(query_text, fill_payload, fill_cost, fill_relations);
+  });
   if (!response.ok()) return response.status();
   return ToFetchResult(std::move(*response));
 }
 
 StatusOr<uint64_t> MultiplexedClient::Invalidate(
     const std::string& query_text) {
-  StatusOr<Ticket> ticket = StartInvalidate(query_text);
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([&] { return StartInvalidate(query_text); });
   if (!response.ok()) return response.status();
   return ToDropped(std::move(*response));
 }
 
 StatusOr<uint64_t> MultiplexedClient::InvalidateRelation(
     const std::string& relation) {
-  StatusOr<Ticket> ticket = StartInvalidateRelation(relation);
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([&] { return StartInvalidateRelation(relation); });
   if (!response.ok()) return response.status();
   return ToDropped(std::move(*response));
 }
 
 StatusOr<WireStats> MultiplexedClient::Stats() {
-  StatusOr<Ticket> ticket = StartStats();
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([this] { return StartStats(); });
   if (!response.ok()) return response.status();
   return ToStats(std::move(*response));
 }
 
 Status MultiplexedClient::Compact() {
-  StatusOr<Ticket> ticket = StartCompact();
-  if (!ticket.ok()) return ticket.status();
-  StatusOr<WireResponse> response = Await(*ticket);
+  StatusOr<WireResponse> response =
+      CallBlocking([this] { return StartCompact(); });
   if (!response.ok()) return response.status();
   return StatusFromWire(response->code, response->message);
 }

@@ -39,6 +39,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,7 +56,21 @@ namespace watchman {
 /// Backoff in milliseconds slept before dial attempt `attempt`
 /// (0-based; attempt 0 never sleeps). Doubles from `base_ms`, capped at
 /// `max_ms`; immune to overflow however many attempts are configured.
-int DialBackoffMs(int base_ms, int max_ms, int attempt);
+/// A nonzero `jitter_seed` spreads the result uniformly over
+/// [backoff/2, backoff] ("equal jitter") so a fleet restarting against
+/// one daemon does not redial in lockstep; the function stays pure --
+/// the same (args, seed) always yields the same value. Seed 0 disables
+/// jitter.
+int DialBackoffMs(int base_ms, int max_ms, int attempt,
+                  uint64_t jitter_seed = 0);
+
+/// Backoff in milliseconds before retrying a request the daemon shed
+/// (kShedRetryLater). Starts from the daemon's retry-after hint
+/// (`hint_ms`; <=0 falls back to 10ms), doubles per attempt (0-based),
+/// caps at `max_ms`, and applies the same equal-jitter spread as
+/// DialBackoffMs. Pure function; seed 0 disables jitter.
+int ShedBackoffMs(int hint_ms, int max_ms, int attempt,
+                  uint64_t jitter_seed = 0);
 
 /// Blocking request/response client for one watchmand connection.
 class WatchmanClient {
@@ -74,6 +89,17 @@ class WatchmanClient {
     /// the deadline (waits forever, pre-v3 behavior).
     int io_timeout_ms = 30000;
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Automatic retries of a request the daemon shed (kShedRetryLater),
+    /// each after a capped, jittered backoff seeded by the daemon's
+    /// retry-after hint. Always safe: a shed request was never
+    /// executed. 0 surfaces the shed status to the caller instead.
+    int shed_retries = 3;
+    /// Cap on one shed-retry backoff sleep.
+    int max_shed_backoff_ms = 1000;
+    /// When non-empty, bind the local end of the connection to this
+    /// address before connecting (port stays ephemeral). Tests use
+    /// distinct loopback addresses to exercise per-peer quotas.
+    std::string local_addr;
   };
 
   /// What a GET / EXECUTE round trip produced.
@@ -128,9 +154,13 @@ class WatchmanClient {
 
   /// (Re)connects fd_, with retry/backoff.
   Status Dial();
+  /// One RoundTripLocked per shed-retry attempt (Options::shed_retries),
+  /// sleeping the hinted, jittered backoff between attempts.
+  StatusOr<WireResponse> RoundTrip(WireRequest& request);
   /// Stamps a fresh request id, sends `request` and reads the matching
   /// response; redials once only when the replay is provably safe.
-  StatusOr<WireResponse> RoundTrip(WireRequest& request);
+  /// Requires mu_ held.
+  StatusOr<WireResponse> RoundTripLocked(WireRequest& request);
   StatusOr<std::string> ReadFrameBody(
       std::chrono::steady_clock::time_point deadline);
   void CloseLocked();
@@ -139,6 +169,8 @@ class WatchmanClient {
   std::mutex mu_;
   int fd_ = -1;
   uint64_t next_request_id_ = 0;
+  /// Jitter seed for shed-retry backoff (fixed per client instance).
+  uint64_t shed_jitter_seed_ = 0;
   /// Bytes received but not yet consumed as a frame.
   std::string inbuf_;
 };
@@ -217,6 +249,9 @@ class MultiplexedClient {
   explicit MultiplexedClient(Options options);
 
   StatusOr<Ticket> StartRequest(WireRequest& request);
+  /// Start + Await with shed-retry backoff (the blocking wrappers).
+  StatusOr<WireResponse> CallBlocking(
+      const std::function<StatusOr<Ticket>()>& start);
   void ReaderLoop();
   /// Marks the transport broken and fails every pending call.
   void Break(const Status& status);
@@ -243,6 +278,8 @@ class MultiplexedClient {
   Status broken_;
 
   std::atomic<uint64_t> next_id_{0};
+  /// Jitter seed for shed-retry backoff (fixed per client instance).
+  uint64_t shed_jitter_seed_ = 0;
 };
 
 /// Drop-in remote counterpart of the Watchman facade's query API.

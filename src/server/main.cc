@@ -33,16 +33,33 @@
 // --log-level caps log verbosity (--verbose = --log-level=debug);
 // --log-json switches stderr logging to single-line JSON.
 // SIGINT/SIGTERM shut down gracefully and print a final stats report.
+//
+// Overload protection (all off by default): --peer-rps caps each peer
+// address's sustained request rate (--peer-burst sets the bucket
+// burst), --max-conns-per-peer caps simultaneous connections per peer,
+// --max-inflight caps globally admitted-but-unanswered frames, and
+// --max-output-bytes caps response bytes buffered across all
+// connections. Over-budget requests answer kShedRetryLater with a
+// retry-after hint instead of queuing. --breaker-threshold /
+// --breaker-cooldown-ms tune the payload-store circuit breaker
+// (threshold 0 disables it).
+//
+// Fault injection (tests/chaos only): --faults=SPEC -- or the
+// WATCHMAN_FAULTS environment variable; the flag wins -- installs a
+// deterministic fault schedule ("seed=42,recv_short=0.1,stall_ms=5",
+// see util/fault.h). Zero cost when not set.
 
 #include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
 #include "server/server.h"
 #include "sim/policy_config.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "watchman/watchman.h"
@@ -74,6 +91,17 @@ struct Flags {
   uint64_t slow_request_ms = 0;
   std::string log_level;  // empty = derived from --verbose
   bool log_json = false;
+  // Overload protection (0 = unlimited).
+  uint64_t peer_rps = 0;
+  uint64_t peer_burst = 0;
+  uint64_t max_conns_per_peer = 0;
+  uint64_t max_inflight = 0;
+  std::string max_output_bytes;  // byte-size syntax; empty = unlimited
+  // Payload-store circuit breaker (threshold 0 disables).
+  uint64_t breaker_threshold = 5;
+  uint64_t breaker_cooldown_ms = 2000;
+  /// Deterministic fault schedule; empty = WATCHMAN_FAULTS env or off.
+  std::string faults;
 };
 
 int Usage(const char* argv0) {
@@ -86,7 +114,12 @@ int Usage(const char* argv0) {
       "       [--io-timeout=<ms>] [--normalize] "
       "[--stats-interval=<seconds>] [--verbose]\n"
       "       [--admin-port=<p>] [--no-metrics] [--slow-request-ms=<ms>]\n"
-      "       [--log-level=debug|info|warn|error|off] [--log-json]\n",
+      "       [--log-level=debug|info|warn|error|off] [--log-json]\n"
+      "       [--peer-rps=<n>] [--peer-burst=<n>] "
+      "[--max-conns-per-peer=<n>]\n"
+      "       [--max-inflight=<n>] [--max-output-bytes=<bytes|k|m|g>]\n"
+      "       [--breaker-threshold=<n>] [--breaker-cooldown-ms=<ms>]\n"
+      "       [--faults=<spec>]\n",
       argv0);
   return 2;
 }
@@ -247,6 +280,51 @@ int Run(int argc, char** argv) {
                      value.c_str());
         return 2;
       }
+    } else if (ParseFlag(arg, "peer-rps", &value)) {
+      if (!ParseUint(value, 10000000, &flags.peer_rps)) {
+        std::fprintf(stderr, "--peer-rps: expected 0..10000000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "peer-burst", &value)) {
+      if (!ParseUint(value, 10000000, &flags.peer_burst)) {
+        std::fprintf(stderr, "--peer-burst: expected 0..10000000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "max-conns-per-peer", &value)) {
+      if (!ParseUint(value, 1000000, &flags.max_conns_per_peer)) {
+        std::fprintf(stderr,
+                     "--max-conns-per-peer: expected 0..1000000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "max-inflight", &value)) {
+      if (!ParseUint(value, 100000000, &flags.max_inflight)) {
+        std::fprintf(stderr,
+                     "--max-inflight: expected 0..100000000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "max-output-bytes", &value)) {
+      flags.max_output_bytes = value;
+    } else if (ParseFlag(arg, "breaker-threshold", &value)) {
+      if (!ParseUint(value, 1000000, &flags.breaker_threshold)) {
+        std::fprintf(stderr,
+                     "--breaker-threshold: expected 0..1000000, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "breaker-cooldown-ms", &value)) {
+      if (!ParseUint(value, 86400000, &flags.breaker_cooldown_ms)) {
+        std::fprintf(stderr,
+                     "--breaker-cooldown-ms: expected ms 0..86400000, got "
+                     "'%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "faults", &value)) {
+      flags.faults = value;
     } else if (ParseFlag(arg, "log-level", &value)) {
       LogLevel parsed;
       if (!ParseLogLevel(value, &parsed)) {
@@ -287,11 +365,31 @@ int Run(int argc, char** argv) {
                  capacity.status().ToString().c_str());
     return 2;
   }
+  // Fault injection: the --faults flag wins over WATCHMAN_FAULTS.
+  std::string fault_spec = flags.faults;
+  if (fault_spec.empty()) {
+    const char* env = std::getenv("WATCHMAN_FAULTS");
+    if (env != nullptr) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    const Status configured = FaultInjector::Global().Configure(fault_spec);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "--faults: %s\n",
+                   configured.ToString().c_str());
+      return 2;
+    }
+    WATCHMAN_LOG(Warning) << "fault injection enabled: " << fault_spec;
+  }
+
   Watchman::Options options;
   options.capacity_bytes = *capacity;
   options.policy = *policy;
   options.num_shards = flags.shards;
   options.normalize_queries = flags.normalize;
+  options.store_breaker.failure_threshold =
+      static_cast<int>(flags.breaker_threshold);
+  options.store_breaker.cooldown_ms =
+      static_cast<int64_t>(flags.breaker_cooldown_ms);
   Watchman cache(std::move(options), WatchmanServer::MissFillExecutor());
 
   WatchmanServer::Options server_options;
@@ -309,6 +407,22 @@ int Run(int argc, char** argv) {
   server_options.metrics = flags.metrics;
   server_options.slow_request_us =
       static_cast<int64_t>(flags.slow_request_ms) * 1000;
+  server_options.admission.peer_requests_per_sec =
+      static_cast<double>(flags.peer_rps);
+  server_options.admission.peer_burst =
+      static_cast<double>(flags.peer_burst);
+  server_options.admission.max_connections_per_peer =
+      static_cast<uint32_t>(flags.max_conns_per_peer);
+  server_options.admission.max_global_inflight = flags.max_inflight;
+  if (!flags.max_output_bytes.empty()) {
+    StatusOr<uint64_t> budget = ParseByteSize(flags.max_output_bytes);
+    if (!budget.ok()) {
+      std::fprintf(stderr, "--max-output-bytes: %s\n",
+                   budget.status().ToString().c_str());
+      return 2;
+    }
+    server_options.admission.max_global_output_bytes = *budget;
+  }
   WatchmanServer server(&cache, server_options);
   Status started = server.Start();
   if (!started.ok()) {

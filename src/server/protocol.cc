@@ -367,6 +367,7 @@ void AppendResponse(const WireResponse& response, std::string* out) {
   PutU64(out, response.request_id);
   PutU8(out, static_cast<uint8_t>(response.code));
   PutString(out, response.message);
+  PutU32(out, response.retry_after_ms);
   switch (response.op) {
     case OpCode::kPing:
     case OpCode::kCompact:
@@ -402,12 +403,13 @@ StatusOr<WireResponse> DecodeResponse(std::string_view body) {
   WATCHMAN_RETURN_IF_ERROR(
       ReadPrologue(&r, &response.op, &response.request_id));
   const uint8_t raw_code = r.U8();
-  if (r.ok() && raw_code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (r.ok() && raw_code > static_cast<uint8_t>(StatusCode::kShedRetryLater)) {
     return Status::Corruption("unknown status code " +
                               std::to_string(raw_code));
   }
   response.code = static_cast<StatusCode>(raw_code);
   response.message = r.String();
+  response.retry_after_ms = r.U32();
   switch (response.op) {
     case OpCode::kPing:
     case OpCode::kCompact:
@@ -478,6 +480,8 @@ Status StatusFromWire(StatusCode code, const std::string& message) {
       return Status::NotSupported(message);
     case StatusCode::kInternal:
       return Status::Internal(message);
+    case StatusCode::kShedRetryLater:
+      return Status::ShedRetryLater(message);
   }
   return Status::Internal("unrepresentable wire status: " + message);
 }

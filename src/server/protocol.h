@@ -42,7 +42,13 @@ namespace watchman {
 /// v4: adds the COMPACT opcode (force metadata compaction) and extends
 /// the STATS payload with compaction counters and the serving backend
 /// name.
-inline constexpr uint8_t kWireVersion = 4;
+///
+/// v5: responses carry a u32 retry_after_ms hint right after the status
+/// message, and the status byte may be kShedRetryLater — the server's
+/// admission layer refused the request before dispatch (per-peer quota,
+/// connection cap, or global budget), so retrying after the hinted
+/// backoff is always safe, even for non-replay-safe ops.
+inline constexpr uint8_t kWireVersion = 5;
 
 /// Upper bound both sides place on one frame's body (guards the length
 /// prefix against garbage and bounds per-connection memory).
@@ -171,6 +177,10 @@ struct WireResponse {
   uint64_t request_id = 0;
   StatusCode code = StatusCode::kOk;
   std::string message;
+  /// With code == kShedRetryLater: how long the server suggests the
+  /// client wait before retrying (0 = "immediately"). Zero on every
+  /// other status.
+  uint32_t retry_after_ms = 0;
   /// kExecute / kGet: true when the payload came from the cache rather
   /// than a fill/execution.
   bool cache_hit = false;
@@ -186,6 +196,7 @@ struct WireResponse {
     request_id = 0;
     code = StatusCode::kOk;
     message.clear();
+    retry_after_ms = 0;
     cache_hit = false;
     payload.clear();
     dropped = 0;

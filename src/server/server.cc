@@ -16,6 +16,7 @@
 
 #include "obs/admin_http.h"
 #include "server/uring.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace watchman {
@@ -94,7 +95,9 @@ bool ParseServerBackend(std::string_view text, ServerBackend* out) {
 }
 
 WatchmanServer::WatchmanServer(Watchman* cache, Options options)
-    : cache_(cache), options_(std::move(options)) {
+    : cache_(cache),
+      options_(std::move(options)),
+      admission_(options_.admission) {
   BuildMetricsRegistry();
 }
 
@@ -454,10 +457,9 @@ void WatchmanServer::IoLoop() {
 void WatchmanServer::AcceptReady(bool admin) {
   const int lfd = admin ? admin_listen_fd_ : listen_fd_;
   while (true) {
-    const int conn_fd =
-        ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int conn_fd = FaultAccept4(lfd, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (conn_fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
         // Fd/memory exhaustion: the pending connection stays in the
@@ -474,6 +476,15 @@ void WatchmanServer::AcceptReady(bool admin) {
 }
 
 void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
+  if (is_admin && options_.max_admin_connections > 0 &&
+      admin_conns_active_ >= options_.max_admin_connections) {
+    // The admin plane must stay scrapeable while being hammered: refuse
+    // at accept instead of buffering another (possibly slowloris)
+    // request.
+    admin_rejected_.fetch_add(1, std::memory_order_relaxed);
+    ::close(conn_fd);
+    return;
+  }
   const int one = 1;
   ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (options_.sndbuf_bytes > 0) {
@@ -483,6 +494,13 @@ void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
   auto conn = std::make_shared<Connection>();
   conn->fd = conn_fd;
   conn->is_admin = is_admin;
+  uint32_t shed_hint = 0;
+  ShedReason conn_shed = ShedReason::kNone;
+  if (!is_admin && admission_.enabled()) {
+    conn->peer_key = PeerKeyFor(conn_fd);
+    conn_shed = admission_.AdmitConnection(conn->peer_key, &shed_hint);
+    conn->peer_counted = conn_shed == ShedReason::kNone;
+  }
   conn->inbuf = body_pool_.Acquire();
   conn->outbuf = body_pool_.Acquire();
   conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
@@ -504,6 +522,57 @@ void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
   conns_.emplace(conn_fd, conn);
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   connections_active_.fetch_add(1, std::memory_order_relaxed);
+  if (is_admin) {
+    ++admin_conns_active_;
+    if (options_.admin_header_timeout_ms > 0) {
+      conn->admin_deadline_ms = NowMs() + options_.admin_header_timeout_ms;
+      admin_pending_.push_back(conn);
+    }
+  }
+  if (conn_shed != ShedReason::kNone) {
+    // Peer over its connection cap: tell it so on the wire (request id
+    // 0 = attributed to the connection, not a request), then close
+    // through the normal drain machinery so the response survives.
+    RecordShed(conn_shed, shed_hint);
+    WireResponse err;
+    err.code = StatusCode::kShedRetryLater;
+    err.message = "per-peer connection cap reached";
+    err.retry_after_ms = shed_hint;
+    std::string encoded;
+    AppendResponse(err, &encoded);
+    conn->draining.store(true, std::memory_order_release);
+    QueueOutput(conn, encoded);
+    FinishConnection(conn);
+  }
+}
+
+uint64_t WatchmanServer::PeerKeyFor(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return 0;
+  }
+  // Key on the address only (never the port): every connection of a
+  // host shares one quota, however many ephemeral ports it burns.
+  const unsigned char* bytes = nullptr;
+  size_t n = 0;
+  if (ss.ss_family == AF_INET) {
+    bytes = reinterpret_cast<const unsigned char*>(
+        &reinterpret_cast<const sockaddr_in*>(&ss)->sin_addr);
+    n = sizeof(in_addr);
+  } else if (ss.ss_family == AF_INET6) {
+    bytes = reinterpret_cast<const unsigned char*>(
+        &reinterpret_cast<const sockaddr_in6*>(&ss)->sin6_addr);
+    n = sizeof(in6_addr);
+  } else {
+    return 1;  // non-IP peers share one bucket
+  }
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash != 0 ? hash : 1;
 }
 
 void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
@@ -514,7 +583,7 @@ void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
   // other connection, the dirty sweep and Stop().
   int budget = 8;
   while (conn->fd >= 0 && budget-- > 0) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = FaultRecv(conn->fd, chunk, sizeof(chunk), 0);
     if (n == 0) {
       conn->input_closed.store(true, std::memory_order_release);
       RearmInterest(conn);  // EOF is permanently readable: disarm reads
@@ -580,7 +649,12 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
     PeekPrologue(body, &err.op, &err.request_id);
     conn->draining.store(true, std::memory_order_release);
     std::lock_guard<std::mutex> lock(conn->out_mu);
-    if (!conn->send_error) AppendResponse(err, &conn->outbuf);
+    if (!conn->send_error) {
+      const size_t before = conn->outbuf.size();
+      AppendResponse(err, &conn->outbuf);
+      output_bytes_.fetch_add(conn->outbuf.size() - before,
+                              std::memory_order_relaxed);
+    }
     return;
   }
   const int64_t begin_ns = NowNs();
@@ -600,7 +674,36 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
   // (inflight == 0 gated) so the lock is uncontended, and the response
   // never exists as a separate copy.
   std::lock_guard<std::mutex> lock(conn->out_mu);
-  if (!conn->send_error) AppendResponse(io_response_, &conn->outbuf);
+  if (!conn->send_error) {
+    const size_t before = conn->outbuf.size();
+    AppendResponse(io_response_, &conn->outbuf);
+    output_bytes_.fetch_add(conn->outbuf.size() - before,
+                            std::memory_order_relaxed);
+  }
+}
+
+void WatchmanServer::RecordShed(ShedReason reason, uint32_t retry_after_ms) {
+  shed_counters_[static_cast<size_t>(reason)].Inc();
+  if (options_.metrics) shed_retry_hint_ms_.Record(retry_after_ms);
+}
+
+// IO thread only. Like InlineDispatch's error path, but the connection
+// stays open: a shed is an answer, not a protocol violation.
+void WatchmanServer::ShedFrame(const std::shared_ptr<Connection>& conn,
+                               std::string_view body, ShedReason reason,
+                               uint32_t retry_after_ms) {
+  RecordShed(reason, retry_after_ms);
+  WireResponse err;
+  err.code = StatusCode::kShedRetryLater;
+  err.message = std::string("shed: ") + ShedReasonName(reason);
+  err.retry_after_ms = retry_after_ms;
+  PeekPrologue(body, &err.op, &err.request_id);
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->send_error) return;
+  const size_t before = conn->outbuf.size();
+  AppendResponse(err, &conn->outbuf);
+  output_bytes_.fetch_add(conn->outbuf.size() - before,
+                          std::memory_order_relaxed);
 }
 
 void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
@@ -639,6 +742,21 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
       break;
     }
     if (!*extracted) break;
+    if (admission_.enabled()) {
+      uint32_t hint = 0;
+      const ShedReason reason = admission_.AdmitRequest(
+          conn->peer_key, inflight_frames_.load(std::memory_order_relaxed),
+          output_bytes_.load(std::memory_order_relaxed), NowNs(), &hint);
+      if (reason != ShedReason::kNone) {
+        // Over budget: answer now (never queue), keep the connection.
+        // Shedding precedes dispatch, so the request never executed and
+        // a retry is always safe -- even for INVALIDATE.
+        ShedFrame(conn, body, reason, hint);
+        inlined = true;  // batch-flush the shed responses below
+        consumed += frame_size;
+        continue;
+      }
+    }
     if (options_.inline_dispatch && CanInline(conn, body)) {
       ++inline_budget_used_;
       inline_dispatched_.fetch_add(1, std::memory_order_relaxed);
@@ -935,6 +1053,38 @@ void WatchmanServer::SweepConnections() {
     }
     for (const auto& conn : to_close) CloseConnection(conn);
   }
+  // Slowloris guard: an admin connection that still has not delivered
+  // complete HTTP headers by its deadline is dropped. Entries leave the
+  // list as soon as a response is queued (draining) or the fd closed,
+  // so the scan only ever covers truly pending admin connections.
+  if (!admin_pending_.empty()) {
+    const int64_t now_ms = NowMs();
+    for (size_t i = 0; i < admin_pending_.size();) {
+      const std::shared_ptr<Connection> conn = admin_pending_[i];
+      if (conn->fd < 0 || conn->draining.load(std::memory_order_acquire)) {
+        admin_pending_[i] = admin_pending_.back();
+        admin_pending_.pop_back();
+        continue;
+      }
+      if (now_ms > conn->admin_deadline_ms) {
+        admin_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn);
+        admin_pending_[i] = admin_pending_.back();
+        admin_pending_.pop_back();
+        continue;
+      }
+      ++i;
+    }
+  }
+  // Bound the admission controller's per-peer map under address churn:
+  // peers with no connection and no request for 60s lose their bucket.
+  if (admission_.enabled()) {
+    const int64_t now_ms = NowMs();
+    if (now_ms - last_admission_gc_ms_ >= 1000) {
+      last_admission_gc_ms_ = now_ms;
+      admission_.GcIdlePeers(NowNs(), int64_t{60} * 1000 * 1000 * 1000);
+    }
+  }
   MaybeCompactIdle();
 }
 
@@ -977,12 +1127,24 @@ void WatchmanServer::CloseConnection(
 
 void WatchmanServer::ReleaseConnectionBuffers(
     const std::shared_ptr<Connection>& conn) {
+  // Single final-close hook shared by both backends: release the
+  // admission slot and the never-flushed output bytes here so every
+  // close path balances the books exactly once.
+  if (conn->peer_counted) {
+    conn->peer_counted = false;
+    admission_.ConnectionClosed(conn->peer_key);
+  }
+  if (conn->is_admin && admin_conns_active_ > 0) --admin_conns_active_;
   body_pool_.Release(std::move(conn->inbuf));
   conn->inbuf = std::string();
   std::string out;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     out.swap(conn->outbuf);
+    if (out.size() > conn->out_off) {
+      output_bytes_.fetch_sub(out.size() - conn->out_off,
+                              std::memory_order_relaxed);
+    }
     conn->out_off = 0;
   }
   body_pool_.Release(std::move(out));
@@ -1309,6 +1471,7 @@ bool WatchmanServer::QueueOutput(const std::shared_ptr<Connection>& conn,
   std::lock_guard<std::mutex> lock(conn->out_mu);
   if (conn->send_error) return true;  // dropping; close is imminent
   conn->outbuf.append(bytes);
+  output_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
   return FlushLocked(conn.get());
 }
 
@@ -1316,8 +1479,8 @@ bool WatchmanServer::FlushLocked(Connection* conn) {
   if (conn->send_error) return true;
   while (conn->out_off < conn->outbuf.size()) {
     const ssize_t n =
-        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
-               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+        FaultSend(conn->fd, conn->outbuf.data() + conn->out_off,
+                  conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
@@ -1325,6 +1488,8 @@ bool WatchmanServer::FlushLocked(Connection* conn) {
       return false;
     }
     conn->out_off += static_cast<size_t>(n);
+    output_bytes_.fetch_sub(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
     conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
   }
   conn->outbuf.clear();
@@ -1419,7 +1584,10 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
   bool flushed;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
-    if (!conn->send_error) conn->outbuf.append(*encoded);
+    if (!conn->send_error) {
+      conn->outbuf.append(*encoded);
+      output_bytes_.fetch_add(encoded->size(), std::memory_order_relaxed);
+    }
     flushed = sole_inflight ? FlushLocked(conn.get()) : false;
   }
   if (timed && options_.metrics) {
@@ -1725,6 +1893,67 @@ void WatchmanServer::BuildMetricsRegistry() {
                                                 1000.0
                                           : 0.0;
                        });
+
+  // Overload-protection families: sheds by reason, the retry hints
+  // attached to them, and the buffered-output gauge the byte budget
+  // watches.
+  for (size_t i = 1; i < kNumShedReasons; ++i) {
+    registry_.AddCounter(
+        "watchman_server_shed_total",
+        "Requests and connections shed by the admission layer, by reason.",
+        {{"reason", ShedReasonName(static_cast<ShedReason>(i))}},
+        &shed_counters_[i]);
+  }
+  registry_.AddHistogram(
+      "watchman_server_shed_retry_hint_ms",
+      "Retry-after hints attached to shed responses (milliseconds).", {},
+      &shed_retry_hint_ms_);
+  registry_.AddGaugeFn(
+      "watchman_server_output_buffered_bytes",
+      "Response bytes buffered across all connections (the "
+      "max_global_output_bytes budget watches this).",
+      {}, [this]() -> double {
+        return static_cast<double>(
+            output_bytes_.load(std::memory_order_relaxed));
+      });
+  registry_.AddCounterFn(
+      "watchman_server_admin_rejected_total",
+      "Admin connections refused at accept (connection cap).", {},
+      [this] { return admin_rejected_.load(std::memory_order_relaxed); });
+  registry_.AddCounterFn(
+      "watchman_server_admin_timeouts_total",
+      "Admin connections closed by the header-read deadline.", {},
+      [this] { return admin_timeouts_.load(std::memory_order_relaxed); });
+
+  // Degradation families: executor/store failures the facade absorbed
+  // and the payload-store circuit breaker's live state.
+  registry_.AddCounter(
+      "watchman_facade_executor_failures_total",
+      "Warehouse executions that failed or threw (absorbed as errors).",
+      {}, &fm.executor_failures);
+  registry_.AddCounter(
+      "watchman_facade_store_failures_total",
+      "Payload-store operations that failed (NotFound excluded).", {},
+      &fm.store_failures);
+  registry_.AddCounter(
+      "watchman_facade_degraded_passthrough_total",
+      "Misses served uncached because storing the result failed.", {},
+      &fm.degraded_passthrough);
+  registry_.AddGaugeFn(
+      "watchman_store_breaker_state",
+      "Payload-store circuit breaker state (0=closed, 1=open, "
+      "2=half-open).",
+      {}, [facade]() -> double {
+        return static_cast<double>(facade->store_breaker_state());
+      });
+  registry_.AddCounterFn(
+      "watchman_store_breaker_trips_total",
+      "Times the payload-store breaker tripped open.", {},
+      [facade] { return facade->store_breaker().trips(); });
+  registry_.AddCounterFn(
+      "watchman_store_breaker_rejected_total",
+      "Payload-store calls short-circuited while the breaker was open.",
+      {}, [facade] { return facade->store_breaker().rejected(); });
 }
 
 WireStats WatchmanServer::StatsSnapshot() const {

@@ -98,6 +98,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "server/admission.h"
 #include "server/frame_pool.h"
 #include "server/protocol.h"
 #include "util/status.h"
@@ -184,6 +185,19 @@ class WatchmanServer {
     /// Test hook: pretend the kernel has no io_uring so the fallback
     /// path is exercised deterministically.
     bool simulate_io_uring_unavailable = false;
+    /// Admission budgets (per-peer quotas, connection caps, global
+    /// inflight/memory budgets). All default to unlimited; over-budget
+    /// requests are answered with kShedRetryLater BEFORE dispatch, so a
+    /// shed request was never executed and is always safe to retry.
+    AdmissionOptions admission;
+    /// Concurrent admin HTTP connections allowed (0 = unlimited).
+    /// Connections over the cap are refused at accept time -- the admin
+    /// plane must stay responsive even when being hammered.
+    size_t max_admin_connections = 8;
+    /// Closes an admin connection whose HTTP headers have not fully
+    /// arrived within this long of accept (slowloris guard). 0
+    /// disables.
+    int admin_header_timeout_ms = 5000;
   };
 
   /// Snapshot of one op's throughput/latency counters, derived from the
@@ -260,6 +274,34 @@ class WatchmanServer {
     return compactions_.load(std::memory_order_relaxed);
   }
 
+  /// Requests/connections shed by the admission layer, by reason.
+  uint64_t sheds(ShedReason reason) const {
+    return shed_counters_[static_cast<size_t>(reason)].Value();
+  }
+
+  /// Total sheds across every reason.
+  uint64_t sheds_total() const {
+    uint64_t total = 0;
+    for (const obs::Counter& c : shed_counters_) total += c.Value();
+    return total;
+  }
+
+  /// Response bytes buffered across all connections right now (the
+  /// quantity max_global_output_bytes budgets).
+  uint64_t output_bytes_pending() const {
+    return output_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Admin connections refused at accept (max_admin_connections).
+  uint64_t admin_rejected() const {
+    return admin_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Admin connections closed by the header-read deadline (slowloris).
+  uint64_t admin_timeouts() const {
+    return admin_timeouts_.load(std::memory_order_relaxed);
+  }
+
   /// The frame-body / connection-buffer recycler (tests).
   const FramePool& frame_pool() const { return body_pool_; }
 
@@ -280,6 +322,15 @@ class WatchmanServer {
     /// Accepted on the admin HTTP listener: inbuf holds an HTTP request
     /// instead of wire frames and the reply closes the connection.
     bool is_admin = false;
+    /// Hash of the peer's address (port excluded): the admission
+    /// layer's quota key. 0 when getpeername failed (IO thread only).
+    uint64_t peer_key = 0;
+    /// This connection holds a slot in the admission controller's
+    /// per-peer connection count (balanced at final close).
+    bool peer_counted = false;
+    /// Admin connections: NowMs() deadline for complete HTTP headers
+    /// (slowloris guard); 0 = none / already satisfied.
+    int64_t admin_deadline_ms = 0;
     std::string inbuf;  // IO thread only
     std::mutex out_mu;
     std::string outbuf;   // pending output bytes (out_mu)
@@ -347,6 +398,16 @@ class WatchmanServer {
   /// ParseFrames flushes once per batch).
   void InlineDispatch(const std::shared_ptr<Connection>& conn,
                       std::string_view body);
+  /// Answers one parsed-but-not-admitted frame with kShedRetryLater
+  /// (echoing the frame's op and id) and records the shed; the
+  /// connection stays open (IO thread only).
+  void ShedFrame(const std::shared_ptr<Connection>& conn,
+                 std::string_view body, ShedReason reason,
+                 uint32_t retry_after_ms);
+  /// Records a shed in the per-reason counter + retry-hint histogram.
+  void RecordShed(ShedReason reason, uint32_t retry_after_ms);
+  /// Hash of the socket's peer address, port excluded (0 on failure).
+  static uint64_t PeerKeyFor(int fd);
   /// Recomputes and applies the connection's read-side interest.
   void RearmInterest(const std::shared_ptr<Connection>& conn);
   void UpdateWriteInterest(const std::shared_ptr<Connection>& conn);
@@ -433,10 +494,21 @@ class WatchmanServer {
   /// of busy-spinning (IO thread only).
   bool accept_paused_ = false;
 
+  /// Admission state: per-peer buckets + connection counts (IO thread
+  /// only -- frames are admitted where they are parsed, so no locks).
+  AdmissionController admission_;
+  /// NowMs() of the last idle-peer GC pass over admission_.
+  int64_t last_admission_gc_ms_ = 0;
+
   // Admin HTTP listener state (IO thread only except the bound port).
   int admin_listen_fd_ = -1;
   uint16_t admin_bound_port_ = 0;
   bool admin_accept_paused_ = false;
+  /// Open admin connections (IO thread only; max_admin_connections).
+  size_t admin_conns_active_ = 0;
+  /// Admin connections still awaiting complete HTTP headers, scanned by
+  /// the sweep against their deadline (IO thread only).
+  std::vector<std::shared_ptr<Connection>> admin_pending_;
   /// Scratch for rendering admin responses (reused across requests).
   std::string admin_body_;
   std::string admin_response_;
@@ -487,8 +559,14 @@ class WatchmanServer {
   WireRequest io_request_;
   WireResponse io_response_;
 
+  /// Response bytes appended to connection out-buffers and not yet on
+  /// the wire, across all connections (max_global_output_bytes).
+  std::atomic<uint64_t> output_bytes_{0};
+
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> admin_rejected_{0};
+  std::atomic<uint64_t> admin_timeouts_{0};
   /// High-water mark of the ready-queue (frames extracted but not yet
   /// claimed by a worker): worker-pool saturation visibility.
   std::atomic<uint64_t> connections_queued_peak_{0};
@@ -515,6 +593,10 @@ class WatchmanServer {
   /// response on the wire or queued).
   obs::LogHistogram queue_wait_ns_;
   obs::LogHistogram reply_ns_;
+  /// Sheds by reason (index = ShedReason; kNone slot stays 0).
+  std::array<obs::Counter, kNumShedReasons> shed_counters_;
+  /// Retry-after hints attached to shed responses (milliseconds).
+  obs::LogHistogram shed_retry_hint_ms_;
 
   /// Every metric family (cache, facade, server) for /metrics.
   obs::MetricsRegistry registry_;

@@ -1,0 +1,246 @@
+#include "util/fault.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+namespace watchman {
+namespace {
+
+/// SplitMix64 finalizer: the decision hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProbabilityToThreshold(double p) {
+  if (p <= 0) return 0;
+  if (p >= 1) return 1ull << 32;
+  return static_cast<uint64_t>(p * 4294967296.0);
+}
+
+}  // namespace
+
+const char* FaultName(Fault f) {
+  switch (f) {
+    case Fault::kSendShort:
+      return "send_short";
+    case Fault::kSendEagain:
+      return "send_eagain";
+    case Fault::kSendReset:
+      return "send_reset";
+    case Fault::kSendStall:
+      return "send_stall";
+    case Fault::kRecvShort:
+      return "recv_short";
+    case Fault::kRecvEagain:
+      return "recv_eagain";
+    case Fault::kRecvReset:
+      return "recv_reset";
+    case Fault::kRecvStall:
+      return "recv_stall";
+    case Fault::kAcceptFail:
+      return "accept_fail";
+    case Fault::kStorePutFail:
+      return "store_put_fail";
+    case Fault::kStoreGetFail:
+      return "store_get_fail";
+    case Fault::kExecFail:
+      return "exec_fail";
+    case Fault::kExecThrow:
+      return "exec_throw";
+    case Fault::kAllocFail:
+      return "alloc_fail";
+    case Fault::kNumFaults:
+      break;
+  }
+  return "?";
+}
+
+Status ParseFaultSpec(std::string_view spec, FaultConfig* out) {
+  *out = FaultConfig{};
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                item.front()))) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.remove_suffix(1);
+    }
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec item without '=': \"" +
+                                     std::string(item) + "\"");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string value(item.substr(eq + 1));
+    if (value.empty()) {
+      return Status::InvalidArgument("fault spec key \"" + key +
+                                     "\" has empty value");
+    }
+    char* value_end = nullptr;
+    if (key == "seed") {
+      const unsigned long long v = std::strtoull(value.c_str(), &value_end, 10);
+      if (*value_end != '\0') {
+        return Status::InvalidArgument("malformed seed \"" + value + "\"");
+      }
+      out->seed = v;
+      continue;
+    }
+    if (key == "stall_ms") {
+      const long v = std::strtol(value.c_str(), &value_end, 10);
+      if (*value_end != '\0' || v < 0 || v > 60000) {
+        return Status::InvalidArgument("stall_ms out of [0,60000]: \"" +
+                                       value + "\"");
+      }
+      out->stall_ms = static_cast<int>(v);
+      continue;
+    }
+    bool matched = false;
+    for (size_t i = 0; i < kNumFaults; ++i) {
+      if (key != FaultName(static_cast<Fault>(i))) continue;
+      const double p = std::strtod(value.c_str(), &value_end);
+      if (*value_end != '\0' || !std::isfinite(p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("probability for \"" + key +
+                                       "\" not in [0,1]: \"" + value + "\"");
+      }
+      out->probability[i] = p;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      return Status::InvalidArgument("unknown fault spec key \"" + key + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+Status FaultInjector::Configure(std::string_view spec) {
+  FaultConfig config;
+  WATCHMAN_RETURN_IF_ERROR(ParseFaultSpec(spec, &config));
+  Install(config);
+  return Status::OK();
+}
+
+void FaultInjector::Install(const FaultConfig& config) {
+  // Disable first so concurrent Trip calls short-circuit while the
+  // table is being swapped.
+  enabled_.store(false, std::memory_order_relaxed);
+  seed_.store(config.seed, std::memory_order_relaxed);
+  stall_ms_.store(config.stall_ms, std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumFaults; ++i) {
+    threshold_[i].store(ProbabilityToThreshold(config.probability[i]),
+                        std::memory_order_relaxed);
+    calls_[i].store(0, std::memory_order_relaxed);
+    injected_[i].store(0, std::memory_order_relaxed);
+  }
+  enabled_.store(config.any_enabled(), std::memory_order_release);
+}
+
+void FaultInjector::Reset() { Install(FaultConfig{}); }
+
+bool FaultInjector::Trip(Fault f) {
+  if (!enabled()) return false;
+  const size_t i = static_cast<size_t>(f);
+  const uint64_t threshold = threshold_[i].load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  const uint64_t n = calls_[i].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t seed = seed_.load(std::memory_order_relaxed);
+  const uint64_t h = Mix(seed ^ Mix((i + 1) * 0x9e3779b97f4a7c15ull + n));
+  const bool hit = (h >> 32) < threshold;
+  if (hit) injected_[i].fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+uint64_t FaultInjector::injected_total() const {
+  uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+namespace {
+
+void Stall(FaultInjector& fi) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(fi.stall_ms()));
+}
+
+}  // namespace
+
+ssize_t FaultSend(int fd, const void* buf, size_t len, int flags) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.enabled()) {
+    if (fi.Trip(Fault::kSendStall)) Stall(fi);
+    if (fi.Trip(Fault::kSendReset)) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (fi.Trip(Fault::kSendEagain)) {
+      errno = EAGAIN;
+      return -1;
+    }
+    if (len > 1 && fi.Trip(Fault::kSendShort)) len = 1;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t FaultRecv(int fd, void* buf, size_t len, int flags) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.enabled()) {
+    if (fi.Trip(Fault::kRecvStall)) Stall(fi);
+    if (fi.Trip(Fault::kRecvReset)) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (fi.Trip(Fault::kRecvEagain)) {
+      errno = EAGAIN;
+      return -1;
+    }
+    if (len > 1 && fi.Trip(Fault::kRecvShort)) len = 1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+int FaultAccept4(int fd, int flags) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.enabled() && fi.Trip(Fault::kAcceptFail)) {
+    errno = ECONNABORTED;
+    return -1;
+  }
+  return ::accept4(fd, nullptr, nullptr, flags);
+}
+
+Status FaultPoint(Fault f, const char* what) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.enabled() || !fi.Trip(f)) return Status::OK();
+  std::string msg = std::string("injected fault at ") + what;
+  switch (f) {
+    case Fault::kExecFail:
+      return Status::Internal(std::move(msg));
+    case Fault::kAllocFail:
+      return Status::CapacityExceeded(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
+}
+
+}  // namespace watchman

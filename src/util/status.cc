@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kShedRetryLater:
+      return "ShedRetryLater";
   }
   return "Unknown";
 }

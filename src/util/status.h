@@ -26,6 +26,10 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  /// The server refused the request because an admission budget (per-peer
+  /// quota, connection cap, or global inflight/memory budget) is exhausted.
+  /// The request was NOT executed; retrying after a backoff is always safe.
+  kShedRetryLater,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -67,6 +71,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ShedRetryLater(std::string msg) {
+    return Status(StatusCode::kShedRetryLater, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

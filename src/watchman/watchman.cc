@@ -1,9 +1,12 @@
 #include "watchman/watchman.h"
 
 #include <cassert>
+#include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "cache/query_descriptor.h"
+#include "util/fault.h"
 #include "util/hash.h"
 #include "util/query_normalizer.h"
 #include "util/string_util.h"
@@ -11,6 +14,13 @@
 namespace watchman {
 
 namespace {
+
+/// Wall-time for the store breaker (monotonic ms; origin irrelevant).
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Per-thread request scratch: the compressed query ID and the probe
 /// descriptor carrying its QueryKey. Reused across calls, so the
@@ -31,7 +41,9 @@ RequestScratch& Scratch() {
 }  // namespace
 
 Watchman::Watchman(Options options, Executor executor)
-    : options_(std::move(options)), executor_(std::move(executor)) {
+    : options_(std::move(options)),
+      executor_(std::move(executor)),
+      store_breaker_(options_.store_breaker) {
   assert(executor_ != nullptr);
   PolicyConfig policy;
   if (options_.policy.has_value()) {
@@ -66,6 +78,29 @@ Watchman::Watchman(Options options, Executor executor)
 Timestamp Watchman::NowTick() {
   if (options_.clock) return options_.clock();
   return internal_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+StatusOr<Watchman::ExecutionResult> Watchman::RunExecutor(
+    const std::string& query_text) {
+  StatusOr<ExecutionResult> result = ExecutionResult{};
+  const Status injected = FaultPoint(Fault::kExecFail, "warehouse executor");
+  if (!injected.ok()) {
+    result = injected;
+  } else {
+    try {
+      FaultInjector& fi = FaultInjector::Global();
+      if (fi.enabled() && fi.Trip(Fault::kExecThrow)) {
+        throw std::runtime_error("injected executor exception");
+      }
+      result = executor_(query_text);
+    } catch (const std::exception& e) {
+      result = Status::Internal(std::string("executor threw: ") + e.what());
+    } catch (...) {
+      result = Status::Internal("executor threw a non-standard exception");
+    }
+  }
+  if (!result.ok()) metrics_.executor_failures.Inc();
+  return result;
 }
 
 std::string Watchman::MakeQueryId(const std::string& query_text) const {
@@ -106,15 +141,46 @@ void Watchman::RegisterDependencies(
 }
 
 StatusOr<std::string> Watchman::GetPayload(const std::string& query_id) {
-  // Reader lock: payload fetches (the hit path) proceed concurrently.
-  std::shared_lock<std::shared_mutex> lock(payload_mu_);
-  return payloads_->Get(query_id);
+  if (!store_breaker_.Allow(SteadyNowMs())) {
+    return Status::IOError("payload store circuit open");
+  }
+  Status st = FaultPoint(Fault::kStoreGetFail, "payload store Get");
+  StatusOr<std::string> result = std::string();
+  if (st.ok()) {
+    // Reader lock: payload fetches (the hit path) proceed concurrently.
+    std::shared_lock<std::shared_mutex> lock(payload_mu_);
+    result = payloads_->Get(query_id);
+    st = result.status();
+  } else {
+    result = st;
+  }
+  // NotFound is a normal miss, not a store failure.
+  if (st.ok() || st.code() == StatusCode::kNotFound) {
+    store_breaker_.RecordSuccess();
+  } else {
+    store_breaker_.RecordFailure(SteadyNowMs());
+    metrics_.store_failures.Inc();
+  }
+  return result;
 }
 
 Status Watchman::GetPayloadInto(const std::string& query_id,
                                 std::string* out) {
-  std::shared_lock<std::shared_mutex> lock(payload_mu_);
-  return payloads_->GetInto(query_id, out);
+  if (!store_breaker_.Allow(SteadyNowMs())) {
+    return Status::IOError("payload store circuit open");
+  }
+  Status st = FaultPoint(Fault::kStoreGetFail, "payload store Get");
+  if (st.ok()) {
+    std::shared_lock<std::shared_mutex> lock(payload_mu_);
+    st = payloads_->GetInto(query_id, out);
+  }
+  if (st.ok() || st.code() == StatusCode::kNotFound) {
+    store_breaker_.RecordSuccess();
+  } else {
+    store_breaker_.RecordFailure(SteadyNowMs());
+    metrics_.store_failures.Inc();
+  }
+  return st;
 }
 
 bool Watchman::HasPayload(const std::string& query_id) const {
@@ -124,8 +190,25 @@ bool Watchman::HasPayload(const std::string& query_id) const {
 
 Status Watchman::PutPayload(const std::string& query_id,
                             const std::string& payload) {
-  std::unique_lock<std::shared_mutex> lock(payload_mu_);
-  return payloads_->Put(query_id, payload);
+  if (!store_breaker_.Allow(SteadyNowMs())) {
+    return Status::IOError("payload store circuit open");
+  }
+  Status st = FaultPoint(Fault::kStorePutFail, "payload store Put");
+  if (st.ok()) {
+    std::unique_lock<std::shared_mutex> lock(payload_mu_);
+    st = payloads_->Put(query_id, payload);
+  }
+  if (st.ok()) {
+    store_breaker_.RecordSuccess();
+  } else {
+    store_breaker_.RecordFailure(SteadyNowMs());
+    metrics_.store_failures.Inc();
+  }
+  return st;
+}
+
+int Watchman::store_breaker_state() const {
+  return static_cast<int>(store_breaker_.state(SteadyNowMs()));
 }
 
 void Watchman::ErasePayload(const std::string& query_id) {
@@ -171,11 +254,14 @@ void Watchman::OfferToCache(const QueryDescriptor& desc,
     // nothing left to publish.
     return;
   }
-  Status stored = PutPayload(query_id, result.payload);
+  Status stored = FaultPoint(Fault::kAllocFail, "cache entry allocation");
+  if (stored.ok()) stored = PutPayload(query_id, result.payload);
   if (!stored.ok()) {
-    // Storage failure: keep the cache metadata consistent by dropping
-    // the entry; the caller still serves the fresh result.
+    // Storage/allocation failure: keep the cache metadata consistent by
+    // dropping the entry; the caller still serves the fresh result
+    // uncached (degraded pass-through).
     cache_->Erase(desc.key);
+    metrics_.degraded_passthrough.Inc();
     return;
   }
   RegisterDependencies(query_id, result.relations);
@@ -254,7 +340,7 @@ StatusOr<std::string> Watchman::Execute(const std::string& query_text) {
           auto out = std::make_shared<FlightOutcome>();
           out->epoch_at_start =
               invalidation_epoch_.load(std::memory_order_acquire);
-          out->result = executor_(query_text);
+          out->result = RunExecutor(query_text);
           if (out->result.ok()) {
             QueryDescriptor desc = probe;
             desc.result_bytes = out->result->payload.size();

@@ -49,6 +49,7 @@
 #include "cache/sharded_query_cache.h"
 #include "obs/metrics.h"
 #include "sim/policy_config.h"
+#include "util/circuit_breaker.h"
 #include "util/clock.h"
 #include "util/single_flight.h"
 #include "util/status.h"
@@ -112,6 +113,13 @@ class Watchman {
     /// the hit path is never instrumented here -- but embedders chasing
     /// the last nanosecond can disable it.
     bool metrics = true;
+    /// Payload-store circuit breaker: after `failure_threshold`
+    /// consecutive store failures (Put or Get errors other than
+    /// NotFound) the facade stops calling the store for `cooldown_ms`,
+    /// serving misses uncached (pass-through) and reporting cached
+    /// entries whose payload is unreachable as misses. A threshold of 0
+    /// disables the breaker.
+    CircuitBreaker::Options store_breaker;
   };
 
   /// Facade-level observability: what the admission decision actually
@@ -129,14 +137,28 @@ class Watchman {
     obs::LogHistogram rejected_cost;
     obs::LogHistogram admitted_profit_ppm;
     obs::LogHistogram rejected_profit_ppm;
+    /// Degradation counters (always recorded, independent of
+    /// Options::metrics -- operators need these precisely when things
+    /// go wrong). Executor failures: the warehouse callback returned an
+    /// error or threw (the exception is converted to a typed Status
+    /// instead of unwinding through the caller). Store failures: payload
+    /// store Put/Get errors other than NotFound. Degraded pass-through:
+    /// misses served fresh but uncached because the store failed, its
+    /// breaker was open, or entry allocation failed.
+    obs::Counter executor_failures;
+    obs::Counter store_failures;
+    obs::Counter degraded_passthrough;
   };
 
   /// `executor` must be valid for the lifetime of the Watchman.
   Watchman(Options options, Executor executor);
 
   /// Looks up the retrieved set of `query_text`, executing the query on
-  /// a miss. Returns the payload (from cache or fresh). Errors from the
-  /// executor propagate unchanged; failed executions are not cached.
+  /// a miss. Returns the payload (from cache or fresh). Executor errors
+  /// surface as their Status; an executor that THROWS is converted to
+  /// an Internal status (counted in FacadeMetrics::executor_failures)
+  /// rather than unwinding -- a daemon worker thread must never die to
+  /// one bad warehouse callback. Failed executions are not cached.
   ///
   /// Thread-safe: the lookup takes only the owning shard's lock, the
   /// miss executes with no lock held, and concurrent misses on the same
@@ -195,6 +217,10 @@ class Watchman {
   const PayloadStore& payload_store() const { return *payloads_; }
   const ShardedQueryCache& cache() const { return *cache_; }
   const FacadeMetrics& facade_metrics() const { return metrics_; }
+  /// The payload-store breaker, for observability (state/trips/rejects).
+  const CircuitBreaker& store_breaker() const { return store_breaker_; }
+  /// Breaker state at this instant: 0 closed, 1 open, 2 half-open.
+  int store_breaker_state() const;
 
   double cost_savings_ratio() const {
     return cache_->stats().cost_savings_ratio();
@@ -211,6 +237,9 @@ class Watchman {
   };
 
   Timestamp NowTick();
+  /// Runs the warehouse executor with fault-point and exception
+  /// containment: a throwing executor becomes an Internal status.
+  StatusOr<ExecutionResult> RunExecutor(const std::string& query_text);
   std::string MakeQueryId(const std::string& query_text) const;
   /// MakeQueryId into a caller-owned buffer (per-thread scratch reuse).
   void MakeQueryIdInto(const std::string& query_text, std::string* out) const;
@@ -253,6 +282,9 @@ class Watchman {
   /// be safe to call concurrently with itself, which both built-in
   /// stores are -- while Put/Erase are exclusive.
   mutable std::shared_mutex payload_mu_;
+  /// Trips on consecutive store failures; while open, Put/Get short-
+  /// circuit and misses are served uncached (Options::store_breaker).
+  CircuitBreaker store_breaker_;
   /// Guards dependents_ / reads_. Lock order: shard lock, then this
   /// (taken by the eviction listener); never call into the cache while
   /// holding it.

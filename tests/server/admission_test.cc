@@ -1,0 +1,174 @@
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace watchman {
+namespace {
+
+constexpr int64_t kNs = 1;
+constexpr int64_t kMs = 1000 * 1000;
+constexpr int64_t kSec = 1000 * kMs;
+
+TEST(TokenBucketTest, BurstThenEmpty) {
+  TokenBucket bucket(/*rate_per_sec=*/10, /*burst=*/3, /*now_ns=*/0);
+  uint32_t hint = 0;
+  EXPECT_TRUE(bucket.TryAcquire(0, &hint));
+  EXPECT_TRUE(bucket.TryAcquire(0, &hint));
+  EXPECT_TRUE(bucket.TryAcquire(0, &hint));
+  EXPECT_FALSE(bucket.TryAcquire(0, &hint));
+  // One token at 10/s refills in 100ms.
+  EXPECT_EQ(hint, 100u);
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(/*rate_per_sec=*/10, /*burst=*/1, /*now_ns=*/0);
+  uint32_t hint = 0;
+  EXPECT_TRUE(bucket.TryAcquire(0, &hint));
+  EXPECT_FALSE(bucket.TryAcquire(50 * kMs, &hint));  // only half a token
+  EXPECT_EQ(hint, 50u);                              // the other half: 50ms
+  EXPECT_TRUE(bucket.TryAcquire(100 * kMs, &hint));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/100, /*burst=*/2, /*now_ns=*/0);
+  uint32_t hint = 0;
+  // A long idle period must not bank more than `burst` tokens.
+  EXPECT_TRUE(bucket.TryAcquire(10 * kSec, &hint));
+  EXPECT_TRUE(bucket.TryAcquire(10 * kSec, &hint));
+  EXPECT_FALSE(bucket.TryAcquire(10 * kSec, &hint));
+}
+
+TEST(TokenBucketTest, HintIsAtLeastOneMs) {
+  TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/1, /*now_ns=*/0);
+  uint32_t hint = 0;
+  EXPECT_TRUE(bucket.TryAcquire(0, &hint));
+  EXPECT_FALSE(bucket.TryAcquire(0, &hint));
+  EXPECT_GE(hint, 1u);  // sub-millisecond refill still hints >= 1
+}
+
+TEST(TokenBucketTest, TimeNeverRunsBackwards) {
+  TokenBucket bucket(/*rate_per_sec=*/10, /*burst=*/1, /*now_ns=*/kSec);
+  uint32_t hint = 0;
+  EXPECT_TRUE(bucket.TryAcquire(kSec, &hint));
+  // An earlier timestamp must not mint tokens or crash.
+  EXPECT_FALSE(bucket.TryAcquire(0, &hint));
+}
+
+TEST(AdmissionTest, DefaultOptionsDisabled) {
+  AdmissionOptions options;
+  EXPECT_FALSE(options.any_enabled());
+  AdmissionController admission(options);
+  EXPECT_FALSE(admission.enabled());
+  uint32_t hint = 0;
+  EXPECT_EQ(admission.AdmitRequest(1, 1 << 20, 1 << 30, 0, &hint),
+            ShedReason::kNone);
+}
+
+TEST(AdmissionTest, ShedReasonNamesAreStable) {
+  EXPECT_STREQ(ShedReasonName(ShedReason::kNone), "none");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kPeerQuota), "peer_quota");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kPeerConnections),
+               "peer_connections");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kGlobalInflight),
+               "global_inflight");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kGlobalBytes), "global_bytes");
+}
+
+TEST(AdmissionTest, PeerQuotaShedsAndRefills) {
+  AdmissionOptions options;
+  options.peer_requests_per_sec = 10;
+  options.peer_burst = 2;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.enabled());
+
+  uint32_t hint = 0;
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 0, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 0, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 0, &hint),
+            ShedReason::kPeerQuota);
+  EXPECT_EQ(hint, 100u);  // 1 token at 10/s
+  // After the hinted wait the same peer is admitted again.
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 100 * kMs, &hint),
+            ShedReason::kNone);
+}
+
+TEST(AdmissionTest, PeersHaveIndependentBuckets) {
+  AdmissionOptions options;
+  options.peer_requests_per_sec = 1;
+  options.peer_burst = 1;
+  AdmissionController admission(options);
+
+  uint32_t hint = 0;
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 0, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 0, 0, &hint),
+            ShedReason::kPeerQuota);
+  // A different peer still has its full burst.
+  EXPECT_EQ(admission.AdmitRequest(2, 0, 0, 0, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.tracked_peers(), 2u);
+}
+
+TEST(AdmissionTest, GlobalBudgetsCheckedBeforePeerBucket) {
+  AdmissionOptions options;
+  options.peer_requests_per_sec = 100;
+  options.max_global_inflight = 4;
+  options.max_global_output_bytes = 1024;
+  options.retry_after_ms = 75;
+  AdmissionController admission(options);
+
+  uint32_t hint = 0;
+  EXPECT_EQ(admission.AdmitRequest(1, 4, 0, 0, &hint),
+            ShedReason::kGlobalInflight);
+  EXPECT_EQ(hint, 75u);
+  EXPECT_EQ(admission.AdmitRequest(1, 0, 1024, 0, &hint),
+            ShedReason::kGlobalBytes);
+  EXPECT_EQ(hint, 75u);
+  // A global shed never consumed a peer token.
+  EXPECT_EQ(admission.AdmitRequest(1, 3, 1023, 0, &hint), ShedReason::kNone);
+}
+
+TEST(AdmissionTest, ConnectionCapCountsAndReleases) {
+  AdmissionOptions options;
+  options.max_connections_per_peer = 2;
+  options.retry_after_ms = 40;
+  AdmissionController admission(options);
+
+  uint32_t hint = 0;
+  EXPECT_EQ(admission.AdmitConnection(7, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.AdmitConnection(7, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.AdmitConnection(7, &hint),
+            ShedReason::kPeerConnections);
+  EXPECT_EQ(hint, 40u);
+  // Another peer is unaffected.
+  EXPECT_EQ(admission.AdmitConnection(8, &hint), ShedReason::kNone);
+  // Releasing a counted connection frees a slot; the rejected
+  // connection was never counted so the cap stays balanced.
+  admission.ConnectionClosed(7);
+  EXPECT_EQ(admission.AdmitConnection(7, &hint), ShedReason::kNone);
+}
+
+TEST(AdmissionTest, GcDropsIdlePeersButKeepsConnected) {
+  AdmissionOptions options;
+  options.max_connections_per_peer = 4;
+  options.peer_requests_per_sec = 100;
+  AdmissionController admission(options);
+
+  uint32_t hint = 0;
+  // Peer 1: connected. Peer 2: only made a request long ago.
+  ASSERT_EQ(admission.AdmitConnection(1, &hint), ShedReason::kNone);
+  ASSERT_EQ(admission.AdmitRequest(2, 0, 0, 0, &hint), ShedReason::kNone);
+  EXPECT_EQ(admission.tracked_peers(), 2u);
+
+  EXPECT_EQ(admission.GcIdlePeers(/*now_ns=*/10 * kSec,
+                                  /*idle_ns=*/5 * kSec),
+            1u);
+  EXPECT_EQ(admission.tracked_peers(), 1u);
+  // The connected peer survives even when idle past the horizon.
+  admission.ConnectionClosed(1);
+  EXPECT_EQ(admission.GcIdlePeers(/*now_ns=*/20 * kSec,
+                                  /*idle_ns=*/5 * kSec),
+            1u);
+  EXPECT_EQ(admission.tracked_peers(), 0u);
+}
+
+}  // namespace
+}  // namespace watchman

@@ -114,6 +114,55 @@ TEST(DialBackoffTest, ScheduleIsCappedAndNeverOverflows) {
   EXPECT_EQ(DialBackoffMs(500, 100, 5), 500);  // cap below base: base wins
 }
 
+TEST(DialBackoffTest, JitterStaysInEqualJitterBandAndIsDeterministic) {
+  // A nonzero seed spreads each sleep uniformly over [backoff/2,
+  // backoff] so a restarting fleet does not redial in lockstep.
+  for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    for (int attempt = 1; attempt < 32; ++attempt) {
+      const int plain = DialBackoffMs(20, 2000, attempt);
+      const int jittered = DialBackoffMs(20, 2000, attempt, seed);
+      EXPECT_GE(jittered, plain / 2) << "seed " << seed << " attempt "
+                                     << attempt;
+      EXPECT_LE(jittered, plain) << "seed " << seed << " attempt " << attempt;
+      // Pure function: the same (args, seed) always yields the same
+      // value.
+      EXPECT_EQ(jittered, DialBackoffMs(20, 2000, attempt, seed));
+    }
+  }
+  // Attempt 0 never sleeps, jitter or not.
+  EXPECT_EQ(DialBackoffMs(20, 2000, 0, 42), 0);
+  // Different seeds actually land on different schedules.
+  bool diverged = false;
+  for (int attempt = 3; attempt < 16 && !diverged; ++attempt) {
+    diverged = DialBackoffMs(20, 2000, attempt, 1) !=
+               DialBackoffMs(20, 2000, attempt, 2);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ShedBackoffTest, StartsFromHintDoublesAndCaps) {
+  // The daemon's retry-after hint seeds the schedule...
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 0), 50);
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 1), 100);
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 2), 200);
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 4), 800);
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 5), 1000);  // capped
+  EXPECT_EQ(ShedBackoffMs(50, 1000, 1000000), 1000);
+  // ...and a missing hint falls back to 10ms.
+  EXPECT_EQ(ShedBackoffMs(0, 1000, 0), 10);
+  EXPECT_EQ(ShedBackoffMs(-5, 1000, 1), 20);
+  // A hint above the cap is clamped to it.
+  EXPECT_EQ(ShedBackoffMs(5000, 1000, 0), 1000);
+  // Jitter obeys the same equal-jitter band as DialBackoffMs.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int plain = ShedBackoffMs(50, 1000, attempt);
+    const int jittered = ShedBackoffMs(50, 1000, attempt, 42);
+    EXPECT_GE(jittered, plain / 2) << attempt;
+    EXPECT_LE(jittered, plain) << attempt;
+    EXPECT_EQ(jittered, ShedBackoffMs(50, 1000, attempt, 42));
+  }
+}
+
 TEST(ClientDeadlineTest, StalledDaemonFailsTheCallWithinTheDeadline) {
   // The daemon accepts and reads but never replies: pre-v3 the client
   // blocked in ::recv forever (holding mu_, wedging every sharing

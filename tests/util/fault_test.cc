@@ -1,0 +1,159 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace watchman {
+namespace {
+
+// The global injector is process-wide state; every test leaves it
+// disabled so neighbours (and the rest of the suite) see no faults.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultTest, ParseEmptySpecIsAllOff) {
+  FaultConfig config;
+  ASSERT_TRUE(ParseFaultSpec("", &config).ok());
+  EXPECT_FALSE(config.any_enabled());
+  EXPECT_EQ(config.seed, 1u);
+  EXPECT_EQ(config.stall_ms, 1);
+}
+
+TEST_F(FaultTest, ParseFullSpec) {
+  FaultConfig config;
+  ASSERT_TRUE(ParseFaultSpec(
+                  "seed=42, recv_short=0.25,store_put_fail=1, stall_ms=7",
+                  &config)
+                  .ok());
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_EQ(config.stall_ms, 7);
+  EXPECT_DOUBLE_EQ(
+      config.probability[static_cast<size_t>(Fault::kRecvShort)], 0.25);
+  EXPECT_DOUBLE_EQ(
+      config.probability[static_cast<size_t>(Fault::kStorePutFail)], 1.0);
+  EXPECT_DOUBLE_EQ(config.probability[static_cast<size_t>(Fault::kSendShort)],
+                   0.0);
+  EXPECT_TRUE(config.any_enabled());
+}
+
+TEST_F(FaultTest, EveryFaultNameRoundTrips) {
+  for (size_t i = 0; i < kNumFaults; ++i) {
+    const Fault f = static_cast<Fault>(i);
+    FaultConfig config;
+    const std::string spec = std::string(FaultName(f)) + "=0.5";
+    ASSERT_TRUE(ParseFaultSpec(spec, &config).ok()) << spec;
+    EXPECT_DOUBLE_EQ(config.probability[i], 0.5) << spec;
+  }
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
+  FaultConfig config;
+  EXPECT_EQ(ParseFaultSpec("bogus_fault=0.5", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("recv_short", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("recv_short=", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("recv_short=1.5", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("recv_short=-0.1", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("recv_short=abc", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("seed=abc", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("stall_ms=-1", &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("stall_ms=60001", &config).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultTest, DisabledInjectorNeverTrips) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Reset();
+  EXPECT_FALSE(fi.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.Trip(Fault::kRecvShort));
+  }
+  EXPECT_EQ(fi.injected_total(), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.Configure("seed=7,send_reset=1,recv_reset=0").ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(fi.Trip(Fault::kSendReset));
+    EXPECT_FALSE(fi.Trip(Fault::kRecvReset));
+  }
+  EXPECT_EQ(fi.injected(Fault::kSendReset), 64u);
+  EXPECT_EQ(fi.injected(Fault::kRecvReset), 0u);
+  EXPECT_EQ(fi.decisions(Fault::kSendReset), 64u);
+  // A zero-probability fault short-circuits before the ordinal advances.
+  EXPECT_EQ(fi.decisions(Fault::kRecvReset), 0u);
+}
+
+TEST_F(FaultTest, SameSeedReplaysSameSchedule) {
+  FaultInjector& fi = FaultInjector::Global();
+  std::vector<bool> first;
+  ASSERT_TRUE(fi.Configure("seed=1234,recv_short=0.3").ok());
+  for (int i = 0; i < 200; ++i) first.push_back(fi.Trip(Fault::kRecvShort));
+
+  // Re-installing the same config restarts the ordinal: identical run.
+  ASSERT_TRUE(fi.Configure("seed=1234,recv_short=0.3").ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(fi.Trip(Fault::kRecvShort), first[i]) << "at call " << i;
+  }
+}
+
+TEST_F(FaultTest, DifferentSeedsDiverge) {
+  FaultInjector& fi = FaultInjector::Global();
+  std::vector<bool> a, b;
+  ASSERT_TRUE(fi.Configure("seed=1,recv_short=0.5").ok());
+  for (int i = 0; i < 200; ++i) a.push_back(fi.Trip(Fault::kRecvShort));
+  ASSERT_TRUE(fi.Configure("seed=2,recv_short=0.5").ok());
+  for (int i = 0; i < 200; ++i) b.push_back(fi.Trip(Fault::kRecvShort));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, MidProbabilityLandsNearExpectation) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.Configure("seed=99,store_get_fail=0.2").ok());
+  for (int i = 0; i < 2000; ++i) fi.Trip(Fault::kStoreGetFail);
+  const uint64_t hits = fi.injected(Fault::kStoreGetFail);
+  // 2000 * 0.2 = 400 expected; allow a wide deterministic band.
+  EXPECT_GT(hits, 300u);
+  EXPECT_LT(hits, 500u);
+  EXPECT_EQ(fi.injected_total(), hits);
+}
+
+TEST_F(FaultTest, FaultPointTypesStatusByFault) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(
+      fi.Configure("exec_fail=1,alloc_fail=1,store_put_fail=1").ok());
+  EXPECT_EQ(FaultPoint(Fault::kExecFail, "executor").code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(FaultPoint(Fault::kAllocFail, "alloc").code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(FaultPoint(Fault::kStorePutFail, "store put").code(),
+            StatusCode::kIOError);
+  fi.Reset();
+  EXPECT_TRUE(FaultPoint(Fault::kExecFail, "executor").ok());
+}
+
+TEST_F(FaultTest, ResetClearsCountersAndDisables) {
+  FaultInjector& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.Configure("send_short=1").ok());
+  fi.Trip(Fault::kSendShort);
+  EXPECT_EQ(fi.injected(Fault::kSendShort), 1u);
+  fi.Reset();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_EQ(fi.injected(Fault::kSendShort), 0u);
+  EXPECT_EQ(fi.decisions(Fault::kSendShort), 0u);
+  EXPECT_EQ(fi.injected_total(), 0u);
+}
+
+}  // namespace
+}  // namespace watchman

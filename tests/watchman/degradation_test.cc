@@ -1,0 +1,200 @@
+// Graceful-degradation tests: executor and payload-store failures must
+// degrade to typed errors or pass-through (fresh result served
+// uncached), never crash, hang or poison the cache -- with every event
+// visible in FacadeMetrics and the store circuit breaker.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/fault.h"
+#include "watchman/watchman.h"
+
+namespace watchman {
+namespace {
+
+Watchman::Options SmallOptions() {
+  Watchman::Options opts;
+  opts.capacity_bytes = 1 << 20;
+  opts.k = 4;
+  return opts;
+}
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(DegradationTest, ExecutorErrorIsTypedAndCounted) {
+  int calls = 0;
+  Watchman wm(SmallOptions(), [&calls](const std::string&)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    ++calls;
+    if (calls == 1) return Status::IOError("warehouse down");
+    return Watchman::ExecutionResult{"recovered", 16, {}};
+  });
+
+  auto r1 = wm.Execute("select a from t");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(wm.facade_metrics().executor_failures.Value(), 1u);
+  EXPECT_FALSE(wm.IsCached("select a from t"));
+
+  // The failure is not sticky: the next miss re-runs the executor.
+  auto r2 = wm.Execute("select a from t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, "recovered");
+  EXPECT_EQ(wm.facade_metrics().executor_failures.Value(), 1u);
+}
+
+TEST_F(DegradationTest, ExecutorThrowBecomesInternalStatus) {
+  int calls = 0;
+  Watchman wm(SmallOptions(), [&calls](const std::string&)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    ++calls;
+    if (calls == 1) throw std::runtime_error("warehouse exploded");
+    if (calls == 2) throw 42;  // non-standard exception
+    return Watchman::ExecutionResult{"fine", 8, {}};
+  });
+
+  auto r1 = wm.Execute("select b from t");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r1.status().message().find("warehouse exploded"),
+            std::string::npos);
+
+  auto r2 = wm.Execute("select b from t");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(wm.facade_metrics().executor_failures.Value(), 2u);
+  EXPECT_FALSE(wm.IsCached("select b from t"));
+
+  // The worker thread survived both throws; normal service resumes.
+  auto r3 = wm.Execute("select b from t");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, "fine");
+}
+
+TEST_F(DegradationTest, InjectedExecutorFaultsDegrade) {
+  Watchman wm(SmallOptions(), [](const std::string&)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    return Watchman::ExecutionResult{"payload", 8, {}};
+  });
+  ASSERT_TRUE(FaultInjector::Global().Configure("exec_fail=1").ok());
+  EXPECT_EQ(wm.Execute("select c").status().code(), StatusCode::kInternal);
+  ASSERT_TRUE(FaultInjector::Global().Configure("exec_throw=1").ok());
+  EXPECT_EQ(wm.Execute("select c").status().code(), StatusCode::kInternal);
+  EXPECT_EQ(wm.facade_metrics().executor_failures.Value(), 2u);
+
+  FaultInjector::Global().Reset();
+  EXPECT_TRUE(wm.Execute("select c").ok());
+}
+
+TEST_F(DegradationTest, AllocFailureServesFreshUncached) {
+  int executions = 0;
+  Watchman wm(SmallOptions(), [&executions](const std::string& text)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    ++executions;
+    return Watchman::ExecutionResult{"fresh " + text, 64, {}};
+  });
+  ASSERT_TRUE(FaultInjector::Global().Configure("alloc_fail=1").ok());
+
+  // The miss is served fresh but the entry never sticks.
+  auto r1 = wm.Execute("select d");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, "fresh select d");
+  EXPECT_FALSE(wm.IsCached("select d"));
+  EXPECT_GE(wm.facade_metrics().degraded_passthrough.Value(), 1u);
+
+  FaultInjector::Global().Reset();
+  auto r2 = wm.Execute("select d");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(executions, 2);  // first fill was dropped, so re-executed
+  EXPECT_TRUE(wm.IsCached("select d"));
+}
+
+TEST_F(DegradationTest, StorePutFailureDegradesAndTripsBreaker) {
+  Watchman::Options opts = SmallOptions();
+  opts.store_breaker.failure_threshold = 3;
+  opts.store_breaker.cooldown_ms = 50;
+  int executions = 0;
+  Watchman wm(std::move(opts), [&executions](const std::string& text)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    ++executions;
+    return Watchman::ExecutionResult{"fresh " + text, 64, {}};
+  });
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_put_fail=1").ok());
+
+  // Every miss is still answered, every fill degrades to pass-through.
+  for (int i = 0; i < 5; ++i) {
+    auto r = wm.Execute("select e" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_FALSE(wm.IsCached("select e" + std::to_string(i)));
+  }
+  EXPECT_GE(wm.facade_metrics().store_failures.Value(), 3u);
+  EXPECT_GE(wm.facade_metrics().degraded_passthrough.Value(), 5u);
+  EXPECT_GE(wm.store_breaker().trips(), 1u);
+  EXPECT_EQ(wm.store_breaker_state(), 1);  // open
+
+  // While open the store is not called at all: failures stop growing,
+  // rejected grows instead, and service continues.
+  const uint64_t failures_when_open = wm.facade_metrics().store_failures.Value();
+  auto r = wm.Execute("select f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(wm.facade_metrics().store_failures.Value(), failures_when_open);
+  EXPECT_GE(wm.store_breaker().rejected(), 1u);
+
+  // Once the faults clear and the cooldown elapses, a probe closes the
+  // breaker and caching resumes.
+  FaultInjector::Global().Reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  auto r2 = wm.Execute("select g");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(wm.IsCached("select g"));
+  EXPECT_EQ(wm.store_breaker_state(), 0);  // closed again
+}
+
+TEST_F(DegradationTest, StoreGetFailureReportsMissNotError) {
+  Watchman::Options opts = SmallOptions();
+  opts.store_breaker.failure_threshold = 0;  // isolate the Get path
+  int executions = 0;
+  Watchman wm(std::move(opts), [&executions](const std::string& text)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    ++executions;
+    return Watchman::ExecutionResult{"fresh " + text, 64, {}};
+  });
+  ASSERT_TRUE(wm.Execute("select h").ok());
+  ASSERT_EQ(executions, 1);
+
+  // With Get failing, the cached entry's payload is unreachable; the
+  // caller sees a served result (re-executed), not an IO error.
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_get_fail=1").ok());
+  auto r = wm.Execute("select h");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "fresh select h");
+  EXPECT_EQ(executions, 2);
+  EXPECT_GE(wm.facade_metrics().store_failures.Value(), 1u);
+}
+
+TEST_F(DegradationTest, BreakerDisabledKeepsRetryingStore) {
+  Watchman::Options opts = SmallOptions();
+  opts.store_breaker.failure_threshold = 0;
+  Watchman wm(std::move(opts), [](const std::string& text)
+                  -> StatusOr<Watchman::ExecutionResult> {
+    return Watchman::ExecutionResult{"fresh " + text, 64, {}};
+  });
+  ASSERT_TRUE(FaultInjector::Global().Configure("store_put_fail=1").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wm.Execute("select i" + std::to_string(i)).ok());
+  }
+  // Every fill hit the store (no breaker short-circuit) and failed.
+  EXPECT_GE(wm.facade_metrics().store_failures.Value(), 10u);
+  EXPECT_EQ(wm.store_breaker().trips(), 0u);
+  EXPECT_EQ(wm.store_breaker_state(), 0);
+}
+
+}  // namespace
+}  // namespace watchman

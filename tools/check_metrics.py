@@ -24,7 +24,27 @@ REQUIRED_FAMILIES = (
     "watchman_server_request_seconds",
     "watchman_server_connections_active",
     "watchman_server_info",
+    # Overload protection / graceful degradation (PR 8): load-shed
+    # counters by reason, the buffered-output memory gauge, admin
+    # listener hardening counters, facade degradation counters and the
+    # payload-store circuit breaker.
+    "watchman_server_shed_total",
+    "watchman_server_shed_retry_hint_ms",
+    "watchman_server_output_buffered_bytes",
+    "watchman_server_admin_rejected_total",
+    "watchman_server_admin_timeouts_total",
+    "watchman_facade_executor_failures_total",
+    "watchman_facade_store_failures_total",
+    "watchman_facade_degraded_passthrough_total",
+    "watchman_store_breaker_state",
+    "watchman_store_breaker_trips_total",
+    "watchman_store_breaker_rejected_total",
 )
+
+# Series that must be present (with any value) when --require-shed is
+# passed: the CI chaos job drives a quota-exceeding client first, so a
+# scrape that cannot see the shed path means the counters are not wired.
+SHED_SERIES_PREFIX = 'watchman_server_shed_total{reason="'
 
 
 def fail(reason):
@@ -37,6 +57,10 @@ def main():
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument(
+        "--require-shed", action="store_true",
+        help="additionally require a non-zero peer_quota shed counter "
+             "(the caller must have driven a quota-exceeding client)")
     args = parser.parse_args()
     url = "http://%s:%d/metrics" % (args.host, args.port)
 
@@ -112,6 +136,15 @@ def main():
     missing = [f for f in REQUIRED_FAMILIES if f not in declared]
     if missing:
         fail("missing metric families: %s" % ", ".join(missing))
+
+    if args.require_shed:
+        shed = 0.0
+        for line in text.splitlines():
+            if line.startswith(SHED_SERIES_PREFIX + 'peer_quota"'):
+                shed += float(line.rpartition(" ")[2])
+        if shed <= 0:
+            fail("--require-shed: peer_quota shed counter is zero "
+                 "(did the quota-exceeding client run?)")
 
     print("check_metrics: OK (%d families, %d series)" %
           (len(declared), len(seen_samples)))

@@ -84,7 +84,7 @@ void ShardedQueryCache::Compact() {
 void ShardedQueryCache::SetEvictionListener(
     std::function<void(const QueryDescriptor&)> listener) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->cache->SetEvictionListener(listener);
   }
 }
@@ -92,21 +92,21 @@ void ShardedQueryCache::SetEvictionListener(
 CacheStats ShardedQueryCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.Accumulate(shard->cache->stats());
   }
   return total;
 }
 
 CacheStats ShardedQueryCache::shard_stats(size_t shard) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  MutexLock lock(shards_[shard]->mu);
   return shards_[shard]->cache->stats();
 }
 
 uint64_t ShardedQueryCache::used_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->cache->used_bytes();
   }
   return total;
@@ -115,7 +115,7 @@ uint64_t ShardedQueryCache::used_bytes() const {
 size_t ShardedQueryCache::entry_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->cache->entry_count();
   }
   return total;
@@ -124,14 +124,14 @@ size_t ShardedQueryCache::entry_count() const {
 size_t ShardedQueryCache::retained_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->cache->retained_count();
   }
   return total;
 }
 
 std::string ShardedQueryCache::name() const {
-  std::lock_guard<std::mutex> lock(shards_[0]->mu);
+  MutexLock lock(shards_[0]->mu);
   std::string base = shards_[0]->cache->name();
   if (shards_.size() > 1) {
     base += "x" + std::to_string(shards_.size());
@@ -141,7 +141,7 @@ std::string ShardedQueryCache::name() const {
 
 Status ShardedQueryCache::CheckInvariants() const {
   for (size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    MutexLock lock(shards_[i]->mu);
     Status st = shards_[i]->cache->CheckInvariants();
     if (!st.ok()) {
       return Status::Internal("shard " + std::to_string(i) + ": " +

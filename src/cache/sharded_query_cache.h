@@ -23,13 +23,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cache/query_cache.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace watchman {
@@ -122,9 +122,14 @@ class ShardedQueryCache {
   std::string name() const;
 
   /// Direct access to one shard's policy (tests and benches; the caller
-  /// must synchronize externally or reach quiescence first).
-  QueryCache& shard(size_t i) { return *shards_[i]->cache; }
-  const QueryCache& shard(size_t i) const { return *shards_[i]->cache; }
+  /// must synchronize externally or reach quiescence first -- hence the
+  /// analysis opt-out: the guarantee is the caller's, not a lock's).
+  QueryCache& shard(size_t i) NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_[i]->cache;
+  }
+  const QueryCache& shard(size_t i) const NO_THREAD_SAFETY_ANALYSIS {
+    return *shards_[i]->cache;
+  }
 
   /// Verifies every shard's invariants.
   Status CheckInvariants() const;
@@ -136,8 +141,8 @@ class ShardedQueryCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unique_ptr<QueryCache> cache;
+    mutable Mutex mu;
+    std::unique_ptr<QueryCache> cache GUARDED_BY(mu);
     /// Lock counters (relaxed: they order nothing, they only count).
     mutable std::atomic<uint64_t> lock_acquisitions{0};
     mutable std::atomic<uint64_t> lock_contended{0};
@@ -145,25 +150,31 @@ class ShardedQueryCache {
 
   /// lock_guard that takes the shard lock via the try_lock fast path
   /// and maintains the shard's contention counters.
-  class CountedLock {
+  class SCOPED_CAPABILITY CountedLock {
    public:
-    explicit CountedLock(const Shard& shard) : mu_(shard.mu) {
+    explicit CountedLock(const Shard& shard) ACQUIRE(shard.mu)
+        : mu_(shard.mu) {
       // Count the acquisition before the contended counter so a
       // concurrent stats reader can never observe contended >
       // acquisitions (uncontended() would underflow).
       shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
-      if (!mu_.try_lock()) {
+      if (!mu_.TryLock()) {
         shard.lock_contended.fetch_add(1, std::memory_order_relaxed);
-        mu_.lock();
+        mu_.Lock();
       }
     }
-    ~CountedLock() { mu_.unlock(); }
+    ~CountedLock() RELEASE() { mu_.Unlock(); }
     CountedLock(const CountedLock&) = delete;
     CountedLock& operator=(const CountedLock&) = delete;
 
    private:
-    std::mutex& mu_;
+    Mutex& mu_;
   };
+
+  /// Probe for the negative-compile harness (tests/negative_compile):
+  /// reaches a GUARDED_BY member without its lock to prove the
+  /// -Werror=thread-safety gate rejects exactly that.
+  friend class ShardedQueryCacheUnguardedProbe;
 
   size_t ShardIndexOf(Signature signature) const;
 

@@ -11,6 +11,8 @@ namespace internal {
 
 uint32_t ThreadSlot() {
   static std::atomic<uint32_t> g_next{0};
+  // relaxed: only the uniqueness of the ticket matters; no data is
+  // published through the counter.
   static thread_local uint32_t t_slot =
       g_next.fetch_add(1, std::memory_order_relaxed);
   return t_slot;
@@ -20,6 +22,7 @@ uint32_t ThreadSlot() {
 
 // ---------------------------------------------------------- LogHistogram
 
+// alloc-ok: construction-time cell arrays; Record() never allocates
 LogHistogram::LogHistogram() : slots_(new Slot[kSlots]) {}
 
 uint32_t LogHistogram::BucketIndex(uint64_t v) {
@@ -48,6 +51,10 @@ uint64_t LogHistogram::BucketUpperBound(uint32_t idx) {
   return BucketLowerBound(idx) + (1ull << (exp - kSubBits));
 }
 
+// All loads below are relaxed: scrape-time merges of racy-but-monotone
+// cells (the header's documented snapshot contract); concurrent
+// Record()s may or may not be included, and nothing else is read
+// through these atomics that would need an acquire edge.
 void LogHistogram::SnapshotInto(Snapshot* out) const {
   out->counts.assign(kNumBuckets, 0);
   out->count = 0;

@@ -64,6 +64,8 @@ class Counter {
 
   void Inc() { Add(1); }
   void Add(uint64_t n) {
+    // relaxed: independent per-slot tally; nothing is published under
+    // this add, and Value() tolerates mid-update skew by contract.
     cells_[internal::ThreadSlot() & (kCells - 1)].v.fetch_add(
         n, std::memory_order_relaxed);
   }
@@ -71,6 +73,8 @@ class Counter {
   uint64_t Value() const {
     uint64_t total = 0;
     for (const Cell& cell : cells_) {
+      // relaxed: scrape-time merge of monotone cells; any interleaving
+      // yields a value between "before" and "after" the racing adds.
       total += cell.v.load(std::memory_order_relaxed);
     }
     return total;
@@ -92,6 +96,8 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
+  // relaxed (all three): one standalone cell with no cross-variable
+  // invariant; readers only need *some* recent value, not ordering.
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
   int64_t Value() const { return v_.load(std::memory_order_relaxed); }
@@ -132,8 +138,13 @@ class LogHistogram {
   /// Records one sample. No allocation, no locks.
   void Record(uint64_t v) {
     Slot& slot = slots_[internal::ThreadSlot() & (kSlots - 1)];
+    // relaxed: count and sum are independent tallies; a snapshot may
+    // see a sample in one but not yet the other (documented as "racy
+    // but monotone"), so no release pairing is required.
     slot.counts[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
     slot.sum.fetch_add(v, std::memory_order_relaxed);
+    // relaxed CAS loops: min/max only march monotonically under the
+    // retry loop, and they publish no other data.
     uint64_t cur = min_.load(std::memory_order_relaxed);
     while (v < cur &&
            !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {

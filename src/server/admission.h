@@ -12,9 +12,13 @@
 // was never executed and is always safe to retry -- even INVALIDATE.
 //
 // Everything here runs on the server's IO thread only (frames are
-// admitted where they are parsed), so there are no locks; the
-// controller is a plain map of per-peer state. TokenBucket is a pure
-// function of explicit timestamps, unit-testable without a clock.
+// admitted where they are parsed), so there are no locks AND no
+// atomics (memory-order audit: nothing to order -- single-threaded by
+// construction). That confinement is compiler-enforced at the call
+// site: Server::admission_ is GUARDED_BY(io_thread_role), so a worker
+// touching the controller fails -Werror=thread-safety. TokenBucket is
+// a pure function of explicit timestamps, unit-testable without a
+// clock.
 
 #ifndef WATCHMAN_SERVER_ADMISSION_H_
 #define WATCHMAN_SERVER_ADMISSION_H_

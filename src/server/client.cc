@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/errno_string.h"
 #include "util/fault.h"
 
 namespace watchman {
@@ -77,7 +78,7 @@ Status PollFd(int fd, short events, Clock::time_point deadline,
         ::poll(&pfd, 1, static_cast<int>(ms > 60000 ? 60000 : ms));
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      return Status::IOError(std::string("poll: ") + ErrnoString(errno));
     }
     if (ready > 0) return Status::OK();
   }
@@ -99,7 +100,7 @@ Status SendAllFd(int fd, std::string_view bytes, Clock::time_point deadline,
         WATCHMAN_RETURN_IF_ERROR(PollFd(fd, POLLOUT, deadline, "send"));
         continue;
       }
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
+      return Status::IOError(std::string("send: ") + ErrnoString(errno));
     }
     *sent += static_cast<size_t>(n);
   }
@@ -121,7 +122,7 @@ Status RecvSomeFd(int fd, char* buf, size_t cap, Clock::time_point deadline,
       WATCHMAN_RETURN_IF_ERROR(PollFd(fd, POLLIN, deadline, "recv"));
       continue;
     }
-    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    return Status::IOError(std::string("recv: ") + ErrnoString(errno));
   }
 }
 
@@ -132,7 +133,7 @@ StatusOr<int> ConnectOnce(const sockaddr_in& addr,
   const int fd =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return Status::IOError(std::string("socket: ") + ErrnoString(errno));
   }
   if (!local_addr.empty()) {
     sockaddr_in local{};
@@ -145,7 +146,7 @@ StatusOr<int> ConnectOnce(const sockaddr_in& addr,
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&local),
                sizeof(local)) != 0) {
       const Status status = Status::IOError(
-          "bind " + local_addr + ": " + std::strerror(errno));
+          "bind " + local_addr + ": " + ErrnoString(errno));
       ::close(fd);
       return status;
     }
@@ -155,7 +156,7 @@ StatusOr<int> ConnectOnce(const sockaddr_in& addr,
                 sizeof(addr)) != 0 &&
       errno != EINPROGRESS) {
     const Status status =
-        Status::IOError(std::string("connect: ") + std::strerror(errno));
+        Status::IOError(std::string("connect: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
@@ -170,7 +171,7 @@ StatusOr<int> ConnectOnce(const sockaddr_in& addr,
     }
     if (so_error != 0) {
       ready = Status::IOError(std::string("connect: ") +
-                              std::strerror(so_error));
+                              ErrnoString(so_error));
     }
   }
   if (!ready.ok()) {
@@ -289,14 +290,15 @@ WatchmanClient::WatchmanClient(Options options)
     : options_(std::move(options)), shed_jitter_seed_(FreshJitterSeed()) {}
 
 WatchmanClient::~WatchmanClient() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CloseLocked();
 }
 
 StatusOr<std::unique_ptr<WatchmanClient>> WatchmanClient::Connect(
     const Options& options) {
+  // alloc-ok: one client object per Connect() (setup, not per request)
   std::unique_ptr<WatchmanClient> client(new WatchmanClient(options));
-  std::lock_guard<std::mutex> lock(client->mu_);
+  MutexLock lock(client->mu_);
   WATCHMAN_RETURN_IF_ERROR(client->Dial());
   return client;
 }
@@ -342,7 +344,7 @@ StatusOr<std::string> WatchmanClient::ReadFrameBody(
 }
 
 StatusOr<WireResponse> WatchmanClient::RoundTrip(WireRequest& request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Shed-retry loop: a kShedRetryLater answer means the daemon refused
   // the request BEFORE executing it, so retrying (with a fresh id)
   // after the hinted backoff is always safe -- even for INVALIDATE.
@@ -503,6 +505,7 @@ StatusOr<std::unique_ptr<MultiplexedClient>> MultiplexedClient::Connect(
     const Options& options) {
   StatusOr<int> fd = DialFd(options);
   if (!fd.ok()) return fd.status();
+  // alloc-ok: one client object per Connect() (setup, not per request)
   std::unique_ptr<MultiplexedClient> client(new MultiplexedClient(options));
   client->fd_ = *fd;
   client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
@@ -520,16 +523,16 @@ MultiplexedClient::~MultiplexedClient() {
 void MultiplexedClient::Break(const Status& status) {
   std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> orphans;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (broken_.ok()) broken_ = status;
     orphans.swap(pending_);
   }
   for (auto& [id, call] : orphans) {
-    std::lock_guard<std::mutex> lock(call->mu);
+    MutexLock lock(call->mu);
     if (call->done) continue;
     call->error = status;
     call->done = true;
-    call->cv.notify_all();
+    call->cv.NotifyAll();
   }
 }
 
@@ -537,14 +540,17 @@ StatusOr<MultiplexedClient::Ticket> MultiplexedClient::StartRequest(
     WireRequest& request) {
   const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   request.request_id = id;
+  // One waiter record per pipelined request -- client-side only; the
+  // daemon's steady-state request path stays allocation-free.
+  // alloc-ok: client-side per-request waiter record
   auto call = std::make_shared<PendingCall>();
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (!broken_.ok()) return broken_;
     pending_.emplace(id, call);
   }
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    MutexLock lock(send_mu_);
     AppendRequest(request, &outbuf_);
   }
   return id;
@@ -554,17 +560,17 @@ Status MultiplexedClient::Flush() {
   // flush_mu_ serializes socket writers; send_mu_ is held only for the
   // batch swap, so StartX() on other threads keeps buffering while this
   // thread is (possibly slowly) driving the socket.
-  std::lock_guard<std::mutex> io_lock(flush_mu_);
+  MutexLock io_lock(flush_mu_);
   {
     // Sticky-failure fast path: flushes queued behind the send that
     // broke the transport must not each burn another io_timeout_ms on
     // the dead socket.
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     if (!broken_.ok()) return broken_;
   }
   std::string batch;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    MutexLock lock(send_mu_);
     batch.swap(outbuf_);
   }
   if (batch.empty()) return Status::OK();
@@ -582,7 +588,7 @@ StatusOr<WireResponse> MultiplexedClient::Await(Ticket ticket) {
   WATCHMAN_RETURN_IF_ERROR(Flush());
   std::shared_ptr<PendingCall> call;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     auto it = pending_.find(ticket);
     if (it == pending_.end()) {
       if (!broken_.ok()) return broken_;
@@ -594,24 +600,31 @@ StatusOr<WireResponse> MultiplexedClient::Await(Ticket ticket) {
   const auto deadline = DeadlineIn(options_.io_timeout_ms);
   bool completed;
   {
-    std::unique_lock<std::mutex> lock(call->mu);
-    completed = call->cv.wait_until(lock, deadline,
-                                    [&call] { return call->done; });
+    // Explicit deadline loop instead of wait_until-with-predicate: the
+    // predicate lambda would be analyzed as a separate function not
+    // holding call->mu, punching a hole in the thread-safety proof.
+    MutexLock lock(call->mu);
+    while (!call->done) {
+      if (call->cv.WaitUntil(call->mu, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    completed = call->done;
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_.erase(ticket);
   }
   if (!completed) {
     // Re-check: the response may have landed between the timed wait and
     // the erase above.
-    std::lock_guard<std::mutex> lock(call->mu);
+    MutexLock lock(call->mu);
     if (!call->done) {
       return Status::IOError("deadline exceeded awaiting response " +
                              std::to_string(ticket));
     }
   }
-  std::lock_guard<std::mutex> lock(call->mu);
+  MutexLock lock(call->mu);
   if (!call->error.ok()) return call->error;
   return std::move(call->response);
 }
@@ -649,15 +662,15 @@ void MultiplexedClient::ReaderLoop() {
       }
       std::shared_ptr<PendingCall> call;
       {
-        std::lock_guard<std::mutex> lock(pending_mu_);
+        MutexLock lock(pending_mu_);
         auto it = pending_.find(response->request_id);
         if (it != pending_.end()) call = it->second;
       }
       if (call != nullptr) {
-        std::lock_guard<std::mutex> lock(call->mu);
+        MutexLock lock(call->mu);
         call->response = std::move(*response);
         call->done = true;
-        call->cv.notify_all();
+        call->cv.NotifyAll();
       } else if (response->code != StatusCode::kOk &&
                  response->request_id == 0) {
         // A framing-level error the daemon could not attribute to one
@@ -680,7 +693,7 @@ void MultiplexedClient::ReaderLoop() {
     const int ready = ::poll(&pfd, 1, 50);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      Break(Status::IOError(std::string("poll: ") + std::strerror(errno)));
+      Break(Status::IOError(std::string("poll: ") + ErrnoString(errno)));
       return;
     }
     if (ready == 0) continue;
@@ -691,7 +704,7 @@ void MultiplexedClient::ReaderLoop() {
     }
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      Break(Status::IOError(std::string("recv: ") + std::strerror(errno)));
+      Break(Status::IOError(std::string("recv: ") + ErrnoString(errno)));
       return;
     }
     inbuf.append(chunk, static_cast<size_t>(n));
@@ -858,6 +871,7 @@ StatusOr<std::unique_ptr<RemoteWatchman>> RemoteWatchman::Connect(
   StatusOr<std::unique_ptr<WatchmanClient>> client =
       WatchmanClient::Connect(options);
   if (!client.ok()) return client.status();
+  // alloc-ok: one wrapper per Connect() (setup, not per request)
   return std::make_unique<RemoteWatchman>(std::move(*client),
                                           std::move(executor));
 }

@@ -37,17 +37,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "watchman/watchman.h"
 
@@ -153,26 +152,25 @@ class WatchmanClient {
   explicit WatchmanClient(Options options);
 
   /// (Re)connects fd_, with retry/backoff.
-  Status Dial();
+  Status Dial() REQUIRES(mu_);
   /// One RoundTripLocked per shed-retry attempt (Options::shed_retries),
   /// sleeping the hinted, jittered backoff between attempts.
-  StatusOr<WireResponse> RoundTrip(WireRequest& request);
+  StatusOr<WireResponse> RoundTrip(WireRequest& request) EXCLUDES(mu_);
   /// Stamps a fresh request id, sends `request` and reads the matching
   /// response; redials once only when the replay is provably safe.
-  /// Requires mu_ held.
-  StatusOr<WireResponse> RoundTripLocked(WireRequest& request);
+  StatusOr<WireResponse> RoundTripLocked(WireRequest& request) REQUIRES(mu_);
   StatusOr<std::string> ReadFrameBody(
-      std::chrono::steady_clock::time_point deadline);
-  void CloseLocked();
+      std::chrono::steady_clock::time_point deadline) REQUIRES(mu_);
+  void CloseLocked() REQUIRES(mu_);
 
   Options options_;
-  std::mutex mu_;
-  int fd_ = -1;
-  uint64_t next_request_id_ = 0;
+  Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+  uint64_t next_request_id_ GUARDED_BY(mu_) = 0;
   /// Jitter seed for shed-retry backoff (fixed per client instance).
   uint64_t shed_jitter_seed_ = 0;
   /// Bytes received but not yet consumed as a frame.
-  std::string inbuf_;
+  std::string inbuf_ GUARDED_BY(mu_);
 };
 
 /// One connection shared by many application threads: requests are
@@ -239,11 +237,13 @@ class MultiplexedClient {
 
  private:
   struct PendingCall {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status error;           // transport-level failure (response invalid)
-    WireResponse response;  // valid when done && error.ok()
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    // Transport-level failure (response invalid).
+    Status error GUARDED_BY(mu);
+    // Valid when done && error.ok().
+    WireResponse response GUARDED_BY(mu);
   };
 
   explicit MultiplexedClient(Options options);
@@ -257,6 +257,11 @@ class MultiplexedClient {
   void Break(const Status& status);
 
   Options options_;
+  /// Deliberately unguarded: written exactly once (in Connect, before
+  /// the reader thread spawns and before the client pointer escapes),
+  /// then only read -- by flushers, the reader's poll/recv, and the
+  /// destructor's shutdown/close after the reader is joined. The
+  /// thread-spawn and unique_ptr handoffs publish it.
   int fd_ = -1;
   std::thread reader_;
   std::atomic<bool> stopping_{false};
@@ -267,15 +272,17 @@ class MultiplexedClient {
   /// never blocks) while another thread's flush is stalled on the
   /// socket; flush_mu_ serializes senders so batches hit the wire
   /// whole. Lock order: flush_mu_ before send_mu_, never both held
-  /// across a syscall.
-  std::mutex flush_mu_;
-  std::mutex send_mu_;
-  std::string outbuf_;
+  /// across a syscall (ACQUIRED_BEFORE turns a violation into a
+  /// compile error under -Werror=thread-safety).
+  Mutex flush_mu_ ACQUIRED_BEFORE(send_mu_);
+  Mutex send_mu_;
+  std::string outbuf_ GUARDED_BY(send_mu_);
 
   /// Waiter registry; broken_ is the sticky transport failure.
-  std::mutex pending_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
-  Status broken_;
+  Mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_
+      GUARDED_BY(pending_mu_);
+  Status broken_ GUARDED_BY(pending_mu_);
 
   std::atomic<uint64_t> next_id_{0};
   /// Jitter seed for shed-retry backoff (fixed per client instance).

@@ -29,10 +29,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace watchman {
 
@@ -58,7 +59,7 @@ class FramePool {
   /// Returns an empty buffer, reusing pooled capacity when available.
   std::string Acquire() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!free_.empty()) {
         std::string out = std::move(free_.back());
         free_.pop_back();
@@ -79,7 +80,7 @@ class FramePool {
       return;  // dropped frees here
     }
     buffer.clear();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (free_.size() >= options_.max_buffers) {
       discards_.fetch_add(1, std::memory_order_relaxed);
       return;  // buffer frees on scope exit (outside would be nicer,
@@ -89,7 +90,7 @@ class FramePool {
   }
 
   size_t free_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return free_.size();
   }
   /// Acquires served from the free list.
@@ -103,8 +104,8 @@ class FramePool {
 
  private:
   const Options options_;
-  mutable std::mutex mu_;
-  std::vector<std::string> free_;
+  mutable Mutex mu_;
+  std::vector<std::string> free_ GUARDED_BY(mu_);
   std::atomic<uint64_t> reuses_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> discards_{0};

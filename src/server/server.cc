@@ -16,6 +16,7 @@
 
 #include "obs/admin_http.h"
 #include "server/uring.h"
+#include "util/errno_string.h"
 #include "util/fault.h"
 #include "util/logging.h"
 
@@ -133,12 +134,17 @@ int64_t WatchmanServer::NowNs() const {
 }
 
 Status WatchmanServer::Start() {
+  // Role grant justification: the IO thread is spawned at the very end
+  // of this function, and after the spawn Start() touches no
+  // role-guarded state -- so the setup writes below (accept flags,
+  // info gauge registration) cannot race the loop.
+  ThreadRoleGrant io_role(io_thread_role);
   if (running_.load(std::memory_order_acquire) || listen_fd_ >= 0) {
     return Status::Internal("server already started");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return Status::IOError(std::string("socket: ") + ErrnoString(errno));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -156,13 +162,13 @@ Status WatchmanServer::Start() {
       0) {
     const Status status = Status::IOError(
         "bind " + options_.bind_address + ":" +
-        std::to_string(options_.port) + ": " + std::strerror(errno));
+        std::to_string(options_.port) + ": " + ErrnoString(errno));
     ::close(fd);
     return status;
   }
   if (::listen(fd, 512) != 0) {
     const Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
+        Status::IOError(std::string("listen: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
@@ -171,13 +177,13 @@ Status WatchmanServer::Start() {
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
       0) {
     const Status status =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+        Status::IOError(std::string("getsockname: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
   if (!SetNonBlocking(fd)) {
     const Status status =
-        Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+        Status::IOError(std::string("fcntl: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
@@ -189,7 +195,7 @@ Status WatchmanServer::Start() {
   if (options_.backend != ServerBackend::kEpoll) {
     std::unique_ptr<Uring> ring;
     if (!options_.simulate_io_uring_unavailable && Uring::KernelSupported()) {
-      ring = std::make_unique<Uring>();
+      ring = std::make_unique<Uring>();  // alloc-ok: Start()-time backend probe
       const Status ring_status = ring->Init(kUringSqDepth);
       if (!ring_status.ok()) ring.reset();
     }
@@ -207,7 +213,7 @@ Status WatchmanServer::Start() {
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wake_fd_ < 0) {
     const Status status =
-        Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+        Status::IOError(std::string("eventfd: ") + ErrnoString(errno));
     uring_.reset();
     ::close(fd);
     return status;
@@ -216,7 +222,7 @@ Status WatchmanServer::Start() {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) {
       const Status status =
-          Status::IOError(std::string("epoll: ") + std::strerror(errno));
+          Status::IOError(std::string("epoll: ") + ErrnoString(errno));
       ::close(wake_fd_);
       wake_fd_ = -1;
       ::close(fd);
@@ -231,7 +237,7 @@ Status WatchmanServer::Start() {
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
     if (add_listen != 0 || add_wake != 0) {
       const Status status =
-          Status::IOError(std::string("epoll_ctl: ") + std::strerror(errno));
+          Status::IOError(std::string("epoll_ctl: ") + ErrnoString(errno));
       ::close(epoll_fd_);
       ::close(wake_fd_);
       epoll_fd_ = wake_fd_ = -1;
@@ -244,7 +250,7 @@ Status WatchmanServer::Start() {
   if (options_.admin_port >= 0) {
     const auto fail = [&](const std::string& what) {
       const Status status = Status::IOError(what + ": " +
-                                            std::strerror(errno));
+                                            ErrnoString(errno));
       if (admin_listen_fd_ >= 0) {
         ::close(admin_listen_fd_);
         admin_listen_fd_ = -1;
@@ -339,10 +345,10 @@ void WatchmanServer::Stop() {
   {
     // Set under ready_mu_: a worker that just evaluated the wait
     // predicate (and is about to block) must not miss the notify.
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    MutexLock lock(ready_mu_);
     stop_.store(true, std::memory_order_release);
   }
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
   if (wake_fd_ >= 0) {
     const uint64_t one = 1;
     [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -352,6 +358,10 @@ void WatchmanServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Role grant justification: the IO thread and every worker are
+  // joined above, so no other thread can hold the role (or touch any
+  // guarded state) during teardown.
+  ThreadRoleGrant io_role(io_thread_role);
   // All threads are gone: tear down every remaining socket. Closing the
   // ring cancels whatever SQEs still reference these fds.
   for (auto& [fd, conn] : conns_) {
@@ -372,11 +382,14 @@ void WatchmanServer::Stop() {
   finishing_.clear();
   paused_reads_.clear();
   {
-    std::lock_guard<std::mutex> lock(ready_mu_);
+    MutexLock lock(ready_mu_);
     ready_.clear();
     ready_depth_.store(0, std::memory_order_relaxed);
   }
-  dirty_.clear();
+  {
+    MutexLock lock(dirty_mu_);
+    dirty_.clear();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -399,6 +412,10 @@ void WatchmanServer::Stop() {
 // ------------------------------------------------------------ IO thread
 
 void WatchmanServer::IoLoop() {
+  // This thread IS the IO thread: it holds the role for the loop's
+  // lifetime, which is what lets it call every REQUIRES(io_thread_role)
+  // helper and touch the guarded connection state.
+  ThreadRoleGrant io_role(io_thread_role);
   std::vector<epoll_event> events(128);
   while (!stop_.load(std::memory_order_acquire)) {
     inline_budget_used_ = 0;
@@ -435,13 +452,13 @@ void WatchmanServer::IoLoop() {
         conn->input_closed.store(true, std::memory_order_release);
         RearmInterest(conn);
         {
-          std::lock_guard<std::mutex> lock(conn->out_mu);
+          MutexLock lock(conn->out_mu);
           conn->send_error = true;
         }
       }
       if ((ev & EPOLLIN) != 0) ReadReady(conn);
       if ((ev & EPOLLOUT) != 0 && conn->fd >= 0) {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        MutexLock lock(conn->out_mu);
         FlushLocked(conn.get());
       }
       if (conn->fd >= 0) {
@@ -491,7 +508,7 @@ void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
     ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
                  sizeof(options_.sndbuf_bytes));
   }
-  auto conn = std::make_shared<Connection>();
+  auto conn = std::make_shared<Connection>();  // alloc-ok: per accepted connection, not per frame
   conn->fd = conn_fd;
   conn->is_admin = is_admin;
   uint32_t shed_hint = 0;
@@ -502,7 +519,12 @@ void WatchmanServer::AdoptConnection(int conn_fd, bool is_admin) {
     conn->peer_counted = conn_shed == ShedReason::kNone;
   }
   conn->inbuf = body_pool_.Acquire();
-  conn->outbuf = body_pool_.Acquire();
+  {
+    // Uncontended by construction (the connection is not shared yet);
+    // taken so the guarded-outbuf proof holds here too.
+    MutexLock lock(conn->out_mu);
+    conn->outbuf = body_pool_.Acquire();
+  }
   conn->last_progress_ms.store(NowMs(), std::memory_order_relaxed);
   if (effective_backend_ == ServerBackend::kIoUring) {
     uring_conns_.emplace(conn.get(), conn);
@@ -597,7 +619,7 @@ void WatchmanServer::ReadReady(const std::shared_ptr<Connection>& conn) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       conn->input_closed.store(true, std::memory_order_release);
       RearmInterest(conn);
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      MutexLock lock(conn->out_mu);
       conn->send_error = true;
       break;
     }
@@ -648,7 +670,7 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
     err.message = decoded.message();
     PeekPrologue(body, &err.op, &err.request_id);
     conn->draining.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     if (!conn->send_error) {
       const size_t before = conn->outbuf.size();
       AppendResponse(err, &conn->outbuf);
@@ -673,7 +695,7 @@ void WatchmanServer::InlineDispatch(const std::shared_ptr<Connection>& conn,
   // Encode straight into the out-buffer: no worker can be appending
   // (inflight == 0 gated) so the lock is uncontended, and the response
   // never exists as a separate copy.
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   if (!conn->send_error) {
     const size_t before = conn->outbuf.size();
     AppendResponse(io_response_, &conn->outbuf);
@@ -698,7 +720,7 @@ void WatchmanServer::ShedFrame(const std::shared_ptr<Connection>& conn,
   err.message = std::string("shed: ") + ShedReasonName(reason);
   err.retry_after_ms = retry_after_ms;
   PeekPrologue(body, &err.op, &err.request_id);
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   if (conn->send_error) return;
   const size_t before = conn->outbuf.size();
   AppendResponse(err, &conn->outbuf);
@@ -773,7 +795,7 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     inflight_frames_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(ready_mu_);
+      MutexLock lock(ready_mu_);
       ready_.push_back(std::move(work));
       const uint64_t depth = ready_.size();
       ready_depth_.store(depth, std::memory_order_relaxed);
@@ -786,16 +808,16 @@ void WatchmanServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   }
   if (consumed > 0) conn->inbuf.erase(0, consumed);
   if (enqueued == 1) {
-    ready_cv_.notify_one();
+    ready_cv_.NotifyOne();
   } else if (enqueued > 1) {
-    ready_cv_.notify_all();
+    ready_cv_.NotifyAll();
   }
   if (inlined) {
     // One flush per batch: every inline response of a pipelined burst
     // leaves in a single send.
     bool flushed;
     {
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      MutexLock lock(conn->out_mu);
       flushed = FlushLocked(conn.get());
     }
     if (!flushed) UpdateWriteInterest(conn);
@@ -883,7 +905,7 @@ void WatchmanServer::UpdateWriteInterest(
   if (conn->fd < 0) return;
   bool pending;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     pending = !conn->send_error && conn->out_off < conn->outbuf.size();
   }
   if (effective_backend_ == ServerBackend::kIoUring) {
@@ -916,7 +938,7 @@ void WatchmanServer::FinishConnection(
   bool flushed;
   bool send_error;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     flushed = conn->out_off >= conn->outbuf.size();
     send_error = conn->send_error;
   }
@@ -1040,7 +1062,7 @@ void WatchmanServer::SweepConnections() {
     for (auto& [fd, conn] : conns_) {
       bool output_pending;
       {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        MutexLock lock(conn->out_mu);
         output_pending = conn->out_off < conn->outbuf.size();
       }
       const bool work_pending = output_pending || !conn->inbuf.empty();
@@ -1093,7 +1115,7 @@ void WatchmanServer::ProcessDirtyConnections() {
   // done, protocol violation).
   dirty_scratch_.clear();
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    MutexLock lock(dirty_mu_);
     dirty_scratch_.swap(dirty_);
   }
   for (const auto& conn : dirty_scratch_) {
@@ -1101,7 +1123,7 @@ void WatchmanServer::ProcessDirtyConnections() {
     if (conn->fd < 0) continue;
     {
       // Batched flush: whatever workers appended since the wake.
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      MutexLock lock(conn->out_mu);
       FlushLocked(conn.get());
     }
     UpdateWriteInterest(conn);
@@ -1139,7 +1161,7 @@ void WatchmanServer::ReleaseConnectionBuffers(
   conn->inbuf = std::string();
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     out.swap(conn->outbuf);
     if (out.size() > conn->out_off) {
       output_bytes_.fetch_sub(out.size() - conn->out_off,
@@ -1179,6 +1201,8 @@ void WatchmanServer::RunCompaction() {
 // --------------------------------------------------- io_uring IO thread
 
 void WatchmanServer::UringLoop() {
+  // This thread IS the IO thread (io_uring flavour); see IoLoop().
+  ThreadRoleGrant io_role(io_thread_role);
   UringArmAccept(/*admin=*/false);
   UringArmAccept(/*admin=*/true);
   UringArmWake();
@@ -1221,7 +1245,7 @@ void WatchmanServer::UringLoop() {
           if (conn->uring_inflight > 0) --conn->uring_inflight;
           conn->pollout_armed = false;
           if (conn->fd >= 0 && c.res >= 0) {
-            std::lock_guard<std::mutex> lock(conn->out_mu);
+            MutexLock lock(conn->out_mu);
             FlushLocked(conn.get());
           }
           if (conn->fd >= 0) uring_rearm_.push_back(conn);
@@ -1404,7 +1428,7 @@ void WatchmanServer::HandleRecvCqe(const std::shared_ptr<Connection>& conn,
       uring_multishot_recv_ok_ = false;
     } else {
       conn->input_closed.store(true, std::memory_order_release);
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      MutexLock lock(conn->out_mu);
       conn->send_error = true;
     }
   }
@@ -1468,7 +1492,7 @@ void WatchmanServer::ReapUringClosing() {
 
 bool WatchmanServer::QueueOutput(const std::shared_ptr<Connection>& conn,
                                  std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   if (conn->send_error) return true;  // dropping; close is imminent
   conn->outbuf.append(bytes);
   output_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
@@ -1502,7 +1526,7 @@ void WatchmanServer::MarkDirty(const std::shared_ptr<Connection>& conn) {
     return;  // already queued; one IO-thread pass covers both causes
   }
   {
-    std::lock_guard<std::mutex> lock(dirty_mu_);
+    MutexLock lock(dirty_mu_);
     dirty_.push_back(conn);
   }
   const uint64_t one = 1;
@@ -1520,10 +1544,13 @@ void WatchmanServer::WorkerLoop() {
   while (true) {
     Work work;
     {
-      std::unique_lock<std::mutex> lock(ready_mu_);
-      ready_cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_acquire) || !ready_.empty();
-      });
+      MutexLock lock(ready_mu_);
+      // Explicit predicate loop: a wait-with-lambda would be analyzed
+      // as a separate function not holding ready_mu_, hiding the
+      // guarded ready_ access from the thread-safety proof.
+      while (!stop_.load(std::memory_order_acquire) && ready_.empty()) {
+        ready_cv_.Wait(ready_mu_);
+      }
       if (stop_.load(std::memory_order_acquire)) return;
       work = std::move(ready_.front());
       ready_.pop_front();
@@ -1583,7 +1610,7 @@ void WatchmanServer::ProcessFrame(Work& work, WireRequest* request,
       conn->inflight.load(std::memory_order_acquire) == 1;
   bool flushed;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     if (!conn->send_error) {
       conn->outbuf.append(*encoded);
       output_bytes_.fetch_add(encoded->size(), std::memory_order_relaxed);

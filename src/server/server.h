@@ -87,10 +87,8 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -101,12 +99,24 @@
 #include "server/admission.h"
 #include "server/frame_pool.h"
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "watchman/watchman.h"
 
 namespace watchman {
 
 class Uring;
+
+/// Capability token for "owned by the server's IO thread" state: the
+/// admission layer, connection registries and per-connection parse
+/// buffers are GUARDED_BY(io_thread_role), so a worker-side touch is a
+/// compile error under -Werror=thread-safety. The IO loop holds a
+/// ThreadRoleGrant for its lifetime; Start() (before any thread is
+/// spawned) and Stop() (after every thread is joined) take justified
+/// transient grants. One token serves every WatchmanServer instance:
+/// the analysis is per-function, and a thread only ever runs one
+/// server's loop.
+inline ThreadRole io_thread_role;
 
 /// Event backend the IO thread runs on.
 enum class ServerBackend {
@@ -318,38 +328,47 @@ class WatchmanServer {
   /// inflight frame count (release/acquire ordered), so a socket is
   /// only closed when no worker can still touch it.
   struct Connection {
+    /// Written only by the IO thread (adopt / close); read by workers
+    /// inside FlushLocked. Not capability-guarded: its stability for a
+    /// worker is the inflight-count protocol (the IO thread never
+    /// closes while inflight > 0, release/acquire ordered), which the
+    /// analysis cannot express.
     int fd = -1;
     /// Accepted on the admin HTTP listener: inbuf holds an HTTP request
     /// instead of wire frames and the reply closes the connection.
-    bool is_admin = false;
+    bool is_admin GUARDED_BY(io_thread_role) = false;
     /// Hash of the peer's address (port excluded): the admission
-    /// layer's quota key. 0 when getpeername failed (IO thread only).
-    uint64_t peer_key = 0;
+    /// layer's quota key. 0 when getpeername failed.
+    uint64_t peer_key GUARDED_BY(io_thread_role) = 0;
     /// This connection holds a slot in the admission controller's
     /// per-peer connection count (balanced at final close).
-    bool peer_counted = false;
+    bool peer_counted GUARDED_BY(io_thread_role) = false;
     /// Admin connections: NowMs() deadline for complete HTTP headers
     /// (slowloris guard); 0 = none / already satisfied.
-    int64_t admin_deadline_ms = 0;
-    std::string inbuf;  // IO thread only
-    std::mutex out_mu;
-    std::string outbuf;   // pending output bytes (out_mu)
-    size_t out_off = 0;   // flushed prefix of outbuf (out_mu)
-    bool send_error = false;  // a send failed; close without flushing
-    bool want_write = false;  // EPOLLOUT armed        (IO thread only)
-    bool read_paused = false;  // reads disarmed       (IO thread only)
-    bool output_shutdown = false;  // SHUT_WR sent     (IO thread only)
-    bool in_finishing = false;  // listed in finishing_ (IO thread only)
+    int64_t admin_deadline_ms GUARDED_BY(io_thread_role) = 0;
+    std::string inbuf GUARDED_BY(io_thread_role);
+    Mutex out_mu;
+    /// Pending output bytes / flushed prefix.
+    std::string outbuf GUARDED_BY(out_mu);
+    size_t out_off GUARDED_BY(out_mu) = 0;
+    /// A send failed; close without flushing.
+    bool send_error GUARDED_BY(out_mu) = false;
+    bool want_write GUARDED_BY(io_thread_role) = false;  // EPOLLOUT armed
+    bool read_paused GUARDED_BY(io_thread_role) = false;  // reads disarmed
+    bool output_shutdown GUARDED_BY(io_thread_role) = false;  // SHUT_WR sent
+    /// Listed in finishing_.
+    bool in_finishing GUARDED_BY(io_thread_role) = false;
     // io_uring bookkeeping (IO thread only). The fd of a logically
     // closed connection moves to defunct_fd until every outstanding
     // SQE's completion has drained (uring_inflight), so a stale CQE can
     // never be misattributed to a reused fd.
-    std::string chunk;  // one-shot recv buffer (no provided-buffer ring)
-    int defunct_fd = -1;
-    uint32_t uring_inflight = 0;
-    bool recv_armed = false;
-    bool recv_cancel_pending = false;
-    bool pollout_armed = false;
+    std::string chunk
+        GUARDED_BY(io_thread_role);  // one-shot recv buffer (no buffer ring)
+    int defunct_fd GUARDED_BY(io_thread_role) = -1;
+    uint32_t uring_inflight GUARDED_BY(io_thread_role) = 0;
+    bool recv_armed GUARDED_BY(io_thread_role) = false;
+    bool recv_cancel_pending GUARDED_BY(io_thread_role) = false;
+    bool pollout_armed GUARDED_BY(io_thread_role) = false;
     /// Read EOF/error seen (written by the IO thread; workers read it
     /// to decide whether the IO thread needs a wake-up).
     std::atomic<bool> input_closed{false};
@@ -380,75 +399,94 @@ class WatchmanServer {
   void UringLoop();
   void WorkerLoop();
 
-  // IO-thread helpers (backend-shared unless noted).
+  // IO-thread helpers (backend-shared unless noted). REQUIRES the IO
+  // role: a call from a worker path is a compile error.
   /// epoll: drain accept4 until EAGAIN on the wire or admin listener.
-  void AcceptReady(bool admin);
+  void AcceptReady(bool admin) REQUIRES(io_thread_role);
   /// Registers one accepted socket (socket options, pooled buffers,
   /// read arming) on the active backend.
-  void AdoptConnection(int conn_fd, bool is_admin);
-  void ReadReady(const std::shared_ptr<Connection>& conn);  // epoll
-  void ParseFrames(const std::shared_ptr<Connection>& conn);
-  /// Parses + answers the HTTP request buffered on an admin connection
-  /// (IO thread only); every response transitions to draining/close.
-  void HandleAdminData(const std::shared_ptr<Connection>& conn);
+  void AdoptConnection(int conn_fd, bool is_admin)
+      REQUIRES(io_thread_role);
+  void ReadReady(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);  // epoll
+  void ParseFrames(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  /// Parses + answers the HTTP request buffered on an admin connection;
+  /// every response transitions to draining/close.
+  void HandleAdminData(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// True when `body` may run inline on the IO thread right now.
   bool CanInline(const std::shared_ptr<Connection>& conn,
-                 std::string_view body) const;
+                 std::string_view body) const REQUIRES(io_thread_role);
   /// Decode + dispatch + append-response on the IO thread (no flush;
   /// ParseFrames flushes once per batch).
   void InlineDispatch(const std::shared_ptr<Connection>& conn,
-                      std::string_view body);
+                      std::string_view body) REQUIRES(io_thread_role);
   /// Answers one parsed-but-not-admitted frame with kShedRetryLater
   /// (echoing the frame's op and id) and records the shed; the
-  /// connection stays open (IO thread only).
+  /// connection stays open.
   void ShedFrame(const std::shared_ptr<Connection>& conn,
                  std::string_view body, ShedReason reason,
-                 uint32_t retry_after_ms);
+                 uint32_t retry_after_ms) REQUIRES(io_thread_role);
   /// Records a shed in the per-reason counter + retry-hint histogram.
   void RecordShed(ShedReason reason, uint32_t retry_after_ms);
   /// Hash of the socket's peer address, port excluded (0 on failure).
   static uint64_t PeerKeyFor(int fd);
   /// Recomputes and applies the connection's read-side interest.
-  void RearmInterest(const std::shared_ptr<Connection>& conn);
-  void UpdateWriteInterest(const std::shared_ptr<Connection>& conn);
+  void RearmInterest(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void UpdateWriteInterest(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Close / half-close state machine for one connection.
-  void FinishConnection(const std::shared_ptr<Connection>& conn);
+  void FinishConnection(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Adds conn to finishing_ (deduplicated) for sweep re-examination.
-  void EnqueueFinishing(const std::shared_ptr<Connection>& conn);
-  void SweepConnections();
+  void EnqueueFinishing(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void SweepConnections() REQUIRES(io_thread_role);
   /// Flushes/finishes connections workers flagged via MarkDirty.
-  void ProcessDirtyConnections();
-  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void ProcessDirtyConnections() REQUIRES(io_thread_role);
+  void CloseConnection(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Returns the connection's pooled buffers to body_pool_ (final
   /// close only).
-  void ReleaseConnectionBuffers(const std::shared_ptr<Connection>& conn);
+  void ReleaseConnectionBuffers(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Runs CompactMetadata() once per idle period (compact_idle_ms).
-  void MaybeCompactIdle();
+  void MaybeCompactIdle() REQUIRES(io_thread_role);
+  /// Also the COMPACT op's handler, so callable from any worker.
   void RunCompaction();
 
   // io_uring-loop helpers (IO thread only).
-  void UringArmAccept(bool admin);
-  void UringArmWake();
-  void UringArmRecv(const std::shared_ptr<Connection>& conn);
-  void UringCancelRecv(const std::shared_ptr<Connection>& conn);
-  void UringArmPollOut(const std::shared_ptr<Connection>& conn);
-  void UringUpdateReadInterest(const std::shared_ptr<Connection>& conn);
-  void UringCloseConnection(const std::shared_ptr<Connection>& conn);
+  void UringArmAccept(bool admin) REQUIRES(io_thread_role);
+  void UringArmWake() REQUIRES(io_thread_role);
+  void UringArmRecv(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void UringCancelRecv(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void UringArmPollOut(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void UringUpdateReadInterest(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
+  void UringCloseConnection(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Final teardown once no SQE references the connection.
-  void UringFinalClose(const std::shared_ptr<Connection>& conn);
+  void UringFinalClose(const std::shared_ptr<Connection>& conn)
+      REQUIRES(io_thread_role);
   /// Closes deferred-close connections whose completions drained.
-  void ReapUringClosing();
-  void HandleAcceptCqe(int32_t res, uint32_t flags, bool admin);
+  void ReapUringClosing() REQUIRES(io_thread_role);
+  void HandleAcceptCqe(int32_t res, uint32_t flags, bool admin)
+      REQUIRES(io_thread_role);
   void HandleRecvCqe(const std::shared_ptr<Connection>& conn, int32_t res,
-                     uint32_t flags);
+                     uint32_t flags) REQUIRES(io_thread_role);
 
   /// Appends `bytes` to conn's output and attempts a direct
   /// non-blocking send; returns true when everything is on the wire
   /// (callable from workers and the IO thread).
   bool QueueOutput(const std::shared_ptr<Connection>& conn,
-                   std::string_view bytes);
-  /// The send loop of QueueOutput; requires conn->out_mu held.
-  bool FlushLocked(Connection* conn);
+                   std::string_view bytes) EXCLUDES(conn->out_mu);
+  /// The send loop of QueueOutput.
+  bool FlushLocked(Connection* conn) REQUIRES(conn->out_mu);
   /// Asks the IO thread to re-examine `conn` (arm write interest,
   /// close, ...).
   void MarkDirty(const std::shared_ptr<Connection>& conn);
@@ -480,67 +518,76 @@ class WatchmanServer {
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point start_time_;
 
-  /// Live connections, keyed by fd (IO thread only).
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  /// Live connections, keyed by fd.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_
+      GUARDED_BY(io_thread_role);
   /// Connections in a terminal state (EOF seen / draining / send
   /// error) whose close could not complete yet; re-examined each tick
-  /// so the idle steady state never scans the whole map (IO thread
-  /// only).
-  std::vector<std::shared_ptr<Connection>> finishing_;
-  /// Connections whose reads are paused for backpressure (IO thread
-  /// only).
-  std::vector<std::shared_ptr<Connection>> paused_reads_;
+  /// so the idle steady state never scans the whole map.
+  std::vector<std::shared_ptr<Connection>> finishing_
+      GUARDED_BY(io_thread_role);
+  /// Connections whose reads are paused for backpressure.
+  std::vector<std::shared_ptr<Connection>> paused_reads_
+      GUARDED_BY(io_thread_role);
   /// Accepting paused after fd exhaustion; retried each tick instead
-  /// of busy-spinning (IO thread only).
-  bool accept_paused_ = false;
+  /// of busy-spinning.
+  bool accept_paused_ GUARDED_BY(io_thread_role) = false;
 
-  /// Admission state: per-peer buckets + connection counts (IO thread
-  /// only -- frames are admitted where they are parsed, so no locks).
-  AdmissionController admission_;
+  /// Admission state: per-peer buckets + connection counts. Guarded by
+  /// the IO role, not a mutex -- frames are admitted where they are
+  /// parsed, so the layer stays lock-free by construction.
+  AdmissionController admission_ GUARDED_BY(io_thread_role);
   /// NowMs() of the last idle-peer GC pass over admission_.
-  int64_t last_admission_gc_ms_ = 0;
+  int64_t last_admission_gc_ms_ GUARDED_BY(io_thread_role) = 0;
 
-  // Admin HTTP listener state (IO thread only except the bound port).
+  // Admin HTTP listener state (IO thread only except the bound port;
+  // the listener fd itself is set up in Start() / torn down in Stop()).
   int admin_listen_fd_ = -1;
   uint16_t admin_bound_port_ = 0;
-  bool admin_accept_paused_ = false;
-  /// Open admin connections (IO thread only; max_admin_connections).
-  size_t admin_conns_active_ = 0;
+  bool admin_accept_paused_ GUARDED_BY(io_thread_role) = false;
+  /// Open admin connections (max_admin_connections).
+  size_t admin_conns_active_ GUARDED_BY(io_thread_role) = 0;
   /// Admin connections still awaiting complete HTTP headers, scanned by
-  /// the sweep against their deadline (IO thread only).
-  std::vector<std::shared_ptr<Connection>> admin_pending_;
+  /// the sweep against their deadline.
+  std::vector<std::shared_ptr<Connection>> admin_pending_
+      GUARDED_BY(io_thread_role);
   /// Scratch for rendering admin responses (reused across requests).
-  std::string admin_body_;
-  std::string admin_response_;
+  std::string admin_body_ GUARDED_BY(io_thread_role);
+  std::string admin_response_ GUARDED_BY(io_thread_role);
   /// The backend/policy info gauge registers in Start() (once the
   /// effective backend is known), at most once per server instance.
-  bool info_registered_ = false;
+  bool info_registered_ GUARDED_BY(io_thread_role) = false;
 
-  // io_uring backend state (IO thread only unless noted).
+  // io_uring backend state (IO thread only; the ring itself is created
+  // in Start() and destroyed in Stop(), both outside the role's reign).
   std::unique_ptr<Uring> uring_;
-  bool accept_armed_ = false;
-  bool admin_accept_armed_ = false;
-  bool wake_armed_ = false;
+  bool accept_armed_ GUARDED_BY(io_thread_role) = false;
+  bool admin_accept_armed_ GUARDED_BY(io_thread_role) = false;
+  bool wake_armed_ GUARDED_BY(io_thread_role) = false;
   /// Cleared when the kernel answers a multishot arm with EINVAL; the
   /// loop then degrades to one-shot re-arming for that op.
-  bool uring_multishot_accept_ok_ = true;
-  bool uring_multishot_recv_ok_ = true;
+  bool uring_multishot_accept_ok_ GUARDED_BY(io_thread_role) = true;
+  bool uring_multishot_recv_ok_ GUARDED_BY(io_thread_role) = true;
   /// Keeps every SQE-referenced connection alive until its completions
   /// drain; CQE user_data pointers resolve here.
-  std::unordered_map<Connection*, std::shared_ptr<Connection>> uring_conns_;
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> uring_conns_
+      GUARDED_BY(io_thread_role);
   /// Logically closed connections awaiting completion drain.
-  std::vector<std::shared_ptr<Connection>> uring_closing_;
+  std::vector<std::shared_ptr<Connection>> uring_closing_
+      GUARDED_BY(io_thread_role);
   /// Connections touched by this CQE batch (re-arm + finish once at
   /// batch end).
-  std::vector<std::shared_ptr<Connection>> uring_rearm_;
+  std::vector<std::shared_ptr<Connection>> uring_rearm_
+      GUARDED_BY(io_thread_role);
 
-  /// Recycled frame bodies, connection buffers and recv chunks.
+  /// Recycled frame bodies, connection buffers and recv chunks
+  /// (internally synchronized: workers release, the IO thread acquires).
   FramePool body_pool_;
 
   /// Decoded frames awaiting a worker.
-  mutable std::mutex ready_mu_;
-  std::condition_variable ready_cv_;
-  FrameQueue<Work> ready_;
+  mutable Mutex ready_mu_;
+  CondVar ready_cv_;
+  FrameQueue<Work> ready_ GUARDED_BY(ready_mu_);
   /// ready_.size() mirror readable without ready_mu_ (inline-dispatch
   /// gate, stats).
   std::atomic<uint64_t> ready_depth_{0};
@@ -549,15 +596,16 @@ class WatchmanServer {
   std::atomic<uint64_t> inflight_frames_{0};
 
   /// Connections workers want the IO thread to re-examine.
-  std::mutex dirty_mu_;
-  std::vector<std::shared_ptr<Connection>> dirty_;
+  Mutex dirty_mu_;
+  std::vector<std::shared_ptr<Connection>> dirty_ GUARDED_BY(dirty_mu_);
   /// IO-thread scratch the dirty list swaps into (capacity reuse).
-  std::vector<std::shared_ptr<Connection>> dirty_scratch_;
+  std::vector<std::shared_ptr<Connection>> dirty_scratch_
+      GUARDED_BY(io_thread_role);
 
   // Inline fast-path state (IO thread only).
-  uint32_t inline_budget_used_ = 0;
-  WireRequest io_request_;
-  WireResponse io_response_;
+  uint32_t inline_budget_used_ GUARDED_BY(io_thread_role) = 0;
+  WireRequest io_request_ GUARDED_BY(io_thread_role);
+  WireResponse io_response_ GUARDED_BY(io_thread_role);
 
   /// Response bytes appended to connection out-buffers and not yet on
   /// the wire, across all connections (max_global_output_bytes).

@@ -1,5 +1,7 @@
 #include "server/uring.h"
 
+#include "util/errno_string.h"
+
 #include <errno.h>
 #include <string.h>
 #include <sys/mman.h>
@@ -60,7 +62,7 @@ Status Uring::Init(unsigned entries) {
   int fd = SysIoUringSetup(entries, &params);
   if (fd < 0) {
     return Status::Internal(std::string("io_uring_setup: ") +
-                            strerror(errno));
+                            ErrnoString(errno));
   }
   ring_fd_ = fd;
   sq_entries_ = params.sq_entries;

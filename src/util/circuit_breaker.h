@@ -45,6 +45,7 @@ class CircuitBreaker {
     const int64_t until = open_until_ms_.load(std::memory_order_acquire);
     if (until == 0) return true;
     if (now_ms < until) {
+      // relaxed: stats counter only; no reader pairs it with other data.
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -53,18 +54,27 @@ class CircuitBreaker {
                                                 std::memory_order_acq_rel)) {
       return true;
     }
+    // relaxed: stats counter only.
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
   void RecordSuccess() {
+    // relaxed: the probe flag gates concurrency but publishes no data;
+    // a racer that sees the release late merely stays rejected for one
+    // more Allow(), which the half-open design already tolerates.
     probe_inflight_.store(false, std::memory_order_relaxed);
+    // relaxed: heuristic tally; the open/closed decision other threads
+    // act on is published solely through open_until_ms_ below.
     consecutive_failures_.store(0, std::memory_order_relaxed);
     open_until_ms_.store(0, std::memory_order_release);
   }
 
   void RecordFailure(int64_t now_ms) {
+    // relaxed: same probe-flag rationale as RecordSuccess.
     probe_inflight_.store(false, std::memory_order_relaxed);
+    // relaxed: consecutive-failure counting is a heuristic; interleaved
+    // counts can only trip the breaker a call early or late.
     const int failures =
         consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (!enabled() || failures < options_.failure_threshold) return;
@@ -74,6 +84,7 @@ class CircuitBreaker {
     // Count a trip only on the closed/half-open -> open transition, not
     // when concurrent failures extend an already-open window.
     if (prev == 0 || prev <= now_ms) {
+      // relaxed: stats counter only.
       trips_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -85,6 +96,7 @@ class CircuitBreaker {
   }
 
   /// Times the breaker transitioned into the open state.
+  /// (relaxed loads here and below: scrape-time stats reads.)
   uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
   /// Calls rejected while open (or while a half-open probe was out).
   uint64_t rejected() const {

@@ -1,0 +1,43 @@
+// ErrnoString: thread-safe replacement for std::strerror.
+//
+// ::strerror may format into a shared static buffer (it is on the
+// clang-tidy concurrency-mt-unsafe list), and the daemon builds error
+// messages from worker threads, the IO thread and client reader
+// threads concurrently. strerror_r writes into a caller-owned buffer
+// instead; the overload dance below absorbs the GNU (returns char*,
+// possibly a static immutable string) vs XSI (returns int) signature
+// difference without a feature-macro #if.
+
+#ifndef WATCHMAN_UTIL_ERRNO_STRING_H_
+#define WATCHMAN_UTIL_ERRNO_STRING_H_
+
+#include <string.h>
+
+#include <string>
+
+namespace watchman {
+
+namespace internal {
+
+// GNU strerror_r: the returned pointer is the message (it may or may
+// not be `buf`).
+inline const char* StrerrorResult(const char* r, const char* /*buf*/) {
+  return r;
+}
+// XSI strerror_r: 0 means the message was written into `buf`.
+inline const char* StrerrorResult(int r, const char* buf) {
+  return r == 0 ? buf : "unknown error";
+}
+
+}  // namespace internal
+
+/// The message for `err` (an errno value), as a thread-safe std::string.
+inline std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return internal::StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+}
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_ERRNO_STRING_H_

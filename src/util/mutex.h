@@ -1,0 +1,198 @@
+// Annotated synchronization primitives: zero-overhead wrappers over the
+// std:: types that carry Clang thread-safety-analysis attributes
+// (util/thread_annotations.h), so the compiler proves at build time
+// that guarded state is only touched under its lock.
+//
+// Every wrapper is a set of always-inlined forwarding calls -- the
+// generated code is identical to using std::mutex directly; only the
+// type carries extra (compile-time) meaning.
+//
+//  * Mutex / MutexLock          -- std::mutex + std::lock_guard.
+//  * SharedMutex / SharedMutexLock / SharedReaderLock
+//                               -- std::shared_mutex and its two modes.
+//  * CondVar                    -- std::condition_variable waiting on a
+//                                  Mutex (adopt/release shuffle keeps
+//                                  the native cv; no
+//                                  condition_variable_any overhead).
+//  * ThreadRole / ThreadRoleGrant
+//                               -- a runtime-free capability modelling
+//                                  thread-affinity invariants ("IO
+//                                  thread only"): state GUARDED_BY a
+//                                  role can only be touched by code
+//                                  that provably runs on the thread
+//                                  holding the role.
+
+#ifndef WATCHMAN_UTIL_MUTEX_H_
+#define WATCHMAN_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace watchman {
+
+/// Annotated exclusive mutex (std::mutex underneath).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop that the analysis cannot see
+  /// (CondVar's adopt/release shuffle). Handle with care: locking
+  /// through this bypasses the proof.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated shared (reader/writer) mutex.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (writer side).
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexLock() RELEASE() { mu_.Unlock(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex (reader side).
+class SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedReaderLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable waiting on an (already held) Mutex. The wait
+/// methods temporarily hand the native mutex to a std::unique_lock via
+/// adopt/release, so the fast std::condition_variable is used -- no
+/// condition_variable_any fallback -- while the analysis still sees the
+/// capability held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One blocking wait (callers loop on their predicate themselves:
+  /// a predicate lambda would be analyzed as a separate function that
+  /// does not hold `mu`, so guarded state tested in the loop condition
+  /// stays visible to the analysis only with an explicit while-loop).
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// One blocking wait with a deadline; std::cv_status::timeout when
+  /// the deadline passed before a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime state modelling a thread-affinity
+/// invariant: data GUARDED_BY(role) may only be touched by functions
+/// that REQUIRES(role), and only the owning thread's top-level loop
+/// "acquires" the role (ThreadRoleGrant). The grant costs nothing at
+/// runtime -- the proof is entirely static -- so "IO thread only"
+/// comments become compile errors when a worker-side path reaches for
+/// IO-thread state.
+///
+/// One role token may describe many instances' affinity (every
+/// WatchmanServer's IO thread holds `io_thread_role`): the analysis is
+/// per-function, and a thread only ever sees the instance it serves.
+class CAPABILITY("role") ThreadRole {
+ public:
+  constexpr ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// No-op acquire/release: only the analysis observes them.
+  void Acquire() ACQUIRE() {}
+  void Release() RELEASE() {}
+};
+
+/// Scoped role grant for a thread's top-level function, or for setup /
+/// teardown code that runs while the role's thread provably does not
+/// (constructor before spawn, Stop() after join) -- each such use
+/// carries a comment justifying the exclusivity.
+class SCOPED_CAPABILITY ThreadRoleGrant {
+ public:
+  explicit ThreadRoleGrant(ThreadRole& role) ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~ThreadRoleGrant() RELEASE() { role_.Release(); }
+
+  ThreadRoleGrant(const ThreadRoleGrant&) = delete;
+  ThreadRoleGrant& operator=(const ThreadRoleGrant&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace watchman
+
+#endif  // WATCHMAN_UTIL_MUTEX_H_

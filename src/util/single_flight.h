@@ -7,11 +7,11 @@
 #ifndef WATCHMAN_UTIL_SINGLE_FLIGHT_H_
 #define WATCHMAN_UTIL_SINGLE_FLIGHT_H_
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace watchman {
 
@@ -29,7 +29,7 @@ class SingleFlight {
     std::shared_ptr<Call> call;
     bool is_leader = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = calls_.find(key);
       if (it == calls_.end()) {
         call = std::make_shared<Call>();
@@ -55,39 +55,39 @@ class SingleFlight {
       Finish(key, call, value);
       return value;
     }
-    std::unique_lock<std::mutex> lock(call->mu);
-    call->cv.wait(lock, [&call] { return call->done; });
+    MutexLock lock(call->mu);
+    while (!call->done) call->cv.Wait(call->mu);
     return call->value;
   }
 
   /// In-flight calls right now (for tests).
   size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return calls_.size();
   }
 
  private:
   struct Call {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Value value{};
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Value value GUARDED_BY(mu) = Value{};
   };
 
   void Finish(const Key& key, const std::shared_ptr<Call>& call,
               const Value& value) {
     {
-      std::lock_guard<std::mutex> lock(call->mu);
+      MutexLock lock(call->mu);
       call->value = value;
       call->done = true;
     }
-    call->cv.notify_all();
-    std::lock_guard<std::mutex> lock(mu_);
+    call->cv.NotifyAll();
+    MutexLock lock(mu_);
     calls_.erase(key);
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<Call>> calls_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Call>> calls_ GUARDED_BY(mu_);
 };
 
 }  // namespace watchman

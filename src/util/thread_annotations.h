@@ -1,0 +1,92 @@
+// Clang thread-safety-analysis macros (no-ops on other compilers).
+//
+// These expand to Clang's `capability` attribute family so the locking
+// discipline documented in comments becomes machine-checked: a member
+// declared GUARDED_BY(mu) cannot be touched without holding mu, a
+// function annotated REQUIRES(mu) cannot be called without it, and the
+// dedicated CI configuration (-Werror=thread-safety, clang) turns any
+// violation into a build failure. See src/util/mutex.h for the
+// annotated synchronization primitives, and
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+// analysis semantics.
+//
+// On GCC (the default local toolchain) every macro expands to nothing,
+// so the annotations cost zero at runtime and zero on non-Clang builds.
+
+#ifndef WATCHMAN_UTIL_THREAD_ANNOTATIONS_H_
+#define WATCHMAN_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WATCHMAN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WATCHMAN_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a synchronization capability (a mutex, or a pure
+/// compile-time token such as ThreadRole).
+#define CAPABILITY(x) WATCHMAN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock and friends).
+#define SCOPED_CAPABILITY WATCHMAN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) WATCHMAN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define PT_GUARDED_BY(x) WATCHMAN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a required lock-acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) \
+  WATCHMAN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  WATCHMAN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) on entry; it
+/// is still held on exit.
+#define REQUIRES(...) \
+  WATCHMAN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WATCHMAN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  WATCHMAN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WATCHMAN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define RELEASE(...) \
+  WATCHMAN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WATCHMAN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  WATCHMAN_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(...) \
+  WATCHMAN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  WATCHMAN_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for functions
+/// that acquire it themselves).
+#define EXCLUDES(...) WATCHMAN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// trust the caller past this point).
+#define ASSERT_CAPABILITY(x) \
+  WATCHMAN_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  WATCHMAN_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) WATCHMAN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking pattern is correct but not
+/// expressible (every use carries a comment saying why).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WATCHMAN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // WATCHMAN_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "watchman/payload_store.h"
 
+#include "util/errno_string.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -60,7 +62,7 @@ StatusOr<std::unique_ptr<FilePayloadStore>> FilePayloadStore::Open(
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open payload log: " + path + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
   }
   return std::unique_ptr<FilePayloadStore>(
       new FilePayloadStore(path, options, fd));

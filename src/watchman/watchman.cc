@@ -118,7 +118,7 @@ void Watchman::MakeQueryIdInto(const std::string& query_text,
 }
 
 void Watchman::ForgetDependencies(const std::string& query_id) {
-  std::lock_guard<std::mutex> lock(coherence_mu_);
+  MutexLock lock(coherence_mu_);
   auto it = reads_.find(query_id);
   if (it == reads_.end()) return;
   for (const std::string& relation : it->second) {
@@ -133,7 +133,7 @@ void Watchman::ForgetDependencies(const std::string& query_id) {
 void Watchman::RegisterDependencies(
     const std::string& query_id, const std::vector<std::string>& relations) {
   if (relations.empty()) return;
-  std::lock_guard<std::mutex> lock(coherence_mu_);
+  MutexLock lock(coherence_mu_);
   reads_[query_id] = relations;
   for (const std::string& relation : relations) {
     dependents_[relation].insert(query_id);
@@ -148,7 +148,7 @@ StatusOr<std::string> Watchman::GetPayload(const std::string& query_id) {
   StatusOr<std::string> result = std::string();
   if (st.ok()) {
     // Reader lock: payload fetches (the hit path) proceed concurrently.
-    std::shared_lock<std::shared_mutex> lock(payload_mu_);
+    SharedReaderLock lock(payload_mu_);
     result = payloads_->Get(query_id);
     st = result.status();
   } else {
@@ -171,7 +171,7 @@ Status Watchman::GetPayloadInto(const std::string& query_id,
   }
   Status st = FaultPoint(Fault::kStoreGetFail, "payload store Get");
   if (st.ok()) {
-    std::shared_lock<std::shared_mutex> lock(payload_mu_);
+    SharedReaderLock lock(payload_mu_);
     st = payloads_->GetInto(query_id, out);
   }
   if (st.ok() || st.code() == StatusCode::kNotFound) {
@@ -184,7 +184,7 @@ Status Watchman::GetPayloadInto(const std::string& query_id,
 }
 
 bool Watchman::HasPayload(const std::string& query_id) const {
-  std::shared_lock<std::shared_mutex> lock(payload_mu_);
+  SharedReaderLock lock(payload_mu_);
   return payloads_->Contains(query_id);
 }
 
@@ -195,7 +195,7 @@ Status Watchman::PutPayload(const std::string& query_id,
   }
   Status st = FaultPoint(Fault::kStorePutFail, "payload store Put");
   if (st.ok()) {
-    std::unique_lock<std::shared_mutex> lock(payload_mu_);
+    SharedMutexLock lock(payload_mu_);
     st = payloads_->Put(query_id, payload);
   }
   if (st.ok()) {
@@ -212,14 +212,14 @@ int Watchman::store_breaker_state() const {
 }
 
 void Watchman::ErasePayload(const std::string& query_id) {
-  std::unique_lock<std::shared_mutex> lock(payload_mu_);
+  SharedMutexLock lock(payload_mu_);
   payloads_->Erase(query_id);
 }
 
 bool Watchman::InvalidatedSince(const std::string& query_id,
                                 const std::vector<std::string>& relations,
                                 uint64_t epoch) const {
-  std::lock_guard<std::mutex> lock(coherence_mu_);
+  MutexLock lock(coherence_mu_);
   auto invalidated_after = [epoch](const auto& map, const std::string& key) {
     auto it = map.find(key);
     return it != map.end() && it->second > epoch;
@@ -402,7 +402,7 @@ void Watchman::ReleaseInflightOffer() {
     // Last overlapping execution finished: every future flight will
     // snapshot an epoch at least as new as anything recorded, so the
     // per-relation records can no longer change a staleness check.
-    std::lock_guard<std::mutex> lock(coherence_mu_);
+    MutexLock lock(coherence_mu_);
     if (inflight_offers_.load(std::memory_order_acquire) == 0) {
       relation_invalidation_epoch_.clear();
       query_invalidation_epoch_.clear();
@@ -467,7 +467,7 @@ bool Watchman::Invalidate(const std::string& query_text) {
   const uint64_t epoch =
       invalidation_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   {
-    std::lock_guard<std::mutex> lock(coherence_mu_);
+    MutexLock lock(coherence_mu_);
     query_invalidation_epoch_[query_id] = epoch;
   }
   const bool erased = cache_->Erase(query_id);
@@ -486,7 +486,7 @@ size_t Watchman::InvalidateRelation(const std::string& relation) {
   // which re-acquires the coherence lock).
   std::vector<std::string> ids;
   {
-    std::lock_guard<std::mutex> lock(coherence_mu_);
+    MutexLock lock(coherence_mu_);
     relation_invalidation_epoch_[relation] = epoch;
     auto it = dependents_.find(relation);
     if (it == dependents_.end()) return 0;

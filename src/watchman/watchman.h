@@ -38,9 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,6 +49,7 @@
 #include "sim/policy_config.h"
 #include "util/circuit_breaker.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/single_flight.h"
 #include "util/status.h"
 #include "watchman/payload_store.h"
@@ -280,25 +279,29 @@ class Watchman {
   /// Guards payloads_ (the built-in stores are not thread-safe):
   /// concurrent Gets share the lock -- PayloadStore::Get must therefore
   /// be safe to call concurrently with itself, which both built-in
-  /// stores are -- while Put/Erase are exclusive.
-  mutable std::shared_mutex payload_mu_;
+  /// stores are -- while Put/Erase are exclusive. (The pointee, not the
+  /// unique_ptr, is the guarded object; the analysis tracks the lock
+  /// sites in the payload helpers rather than a PT_GUARDED_BY member.)
+  mutable SharedMutex payload_mu_;
   /// Trips on consecutive store failures; while open, Put/Get short-
   /// circuit and misses are served uncached (Options::store_breaker).
   CircuitBreaker store_breaker_;
   /// Guards dependents_ / reads_. Lock order: shard lock, then this
   /// (taken by the eviction listener); never call into the cache while
   /// holding it.
-  mutable std::mutex coherence_mu_;
+  mutable Mutex coherence_mu_;
   /// relation -> query IDs of cached sets that read it.
   std::unordered_map<std::string, std::unordered_set<std::string>>
-      dependents_;
+      dependents_ GUARDED_BY(coherence_mu_);
   /// query ID -> relations it read (only for cached sets).
-  std::unordered_map<std::string, std::vector<std::string>> reads_;
+  std::unordered_map<std::string, std::vector<std::string>> reads_
+      GUARDED_BY(coherence_mu_);
   /// relation / query ID -> epoch of its latest invalidation (coherence
-  /// vs. in-flight executions); guarded by coherence_mu_, pruned when
-  /// no execution is in flight.
-  std::unordered_map<std::string, uint64_t> relation_invalidation_epoch_;
-  std::unordered_map<std::string, uint64_t> query_invalidation_epoch_;
+  /// vs. in-flight executions); pruned when no execution is in flight.
+  std::unordered_map<std::string, uint64_t> relation_invalidation_epoch_
+      GUARDED_BY(coherence_mu_);
+  std::unordered_map<std::string, uint64_t> query_invalidation_epoch_
+      GUARDED_BY(coherence_mu_);
   AdmissionListener admission_listener_;
   /// Miss-path observability (Options::metrics).
   FacadeMetrics metrics_;

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety (see README.md).
+//
+// Gate sanity check with no repo types beyond util/mutex.h: reading a
+// GUARDED_BY member without holding its Mutex must be rejected. If this
+// TU ever compiles, the annotation macros are expanding to nothing
+// under a compiler the harness believed was Clang.
+
+#include "util/mutex.h"
+
+namespace {
+
+struct Guarded {
+  watchman::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(Guarded& g) {
+  return g.value;  // no MutexLock -> -Wthread-safety-analysis error
+}
+
+}  // namespace
+
+int Drive(Guarded& g) { return ReadWithoutLock(g); }

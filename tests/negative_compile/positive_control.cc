@@ -1,0 +1,25 @@
+// MUST COMPILE cleanly under -Werror=thread-safety (see README.md).
+//
+// The same shard access as unguarded_shard_access.cc, but holding the
+// shard mutex through MutexLock. If this TU fails, the negative tests
+// are failing for the wrong reason (includes, flags), not because the
+// analysis caught the missing lock.
+
+#include "cache/sharded_query_cache.h"
+
+namespace watchman {
+
+class ShardedQueryCacheUnguardedProbe {
+ public:
+  static const QueryCache* Peek(const ShardedQueryCache& sharded) {
+    const ShardedQueryCache::Shard& shard = *sharded.shards_[0];
+    MutexLock lock(shard.mu);
+    return shard.cache.get();
+  }
+};
+
+const QueryCache* DriveProbe(const ShardedQueryCache& sharded) {
+  return ShardedQueryCacheUnguardedProbe::Peek(sharded);
+}
+
+}  // namespace watchman

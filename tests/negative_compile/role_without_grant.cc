@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety (see README.md).
+//
+// The ThreadRole capability is how the server marks IO-thread-only
+// state (Server::admission_, conns_, ...): code running without a
+// ThreadRoleGrant -- i.e. worker-side code -- must fail to compile when
+// it touches role-guarded state. This TU models exactly that misuse.
+
+#include "util/mutex.h"
+
+namespace {
+
+watchman::ThreadRole io_role;
+int io_confined_state GUARDED_BY(io_role) = 0;
+
+void WorkerSideTouch() {
+  // No ThreadRoleGrant in scope -> -Wthread-safety-analysis error.
+  io_confined_state += 1;
+}
+
+}  // namespace
+
+void Drive() { WorkerSideTouch(); }

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety (see README.md).
+//
+// Simulates deleting the MutexLock from an annotated ShardedQueryCache
+// accessor: the probe (a friend of the cache, declared exactly for this
+// harness) reads the GUARDED_BY(mu) shard state without holding mu.
+// Expected diagnostic: "reading variable 'cache' requires holding
+// mutex 'shard.mu'".
+
+#include "cache/sharded_query_cache.h"
+
+namespace watchman {
+
+class ShardedQueryCacheUnguardedProbe {
+ public:
+  static const QueryCache* Peek(const ShardedQueryCache& sharded) {
+    const ShardedQueryCache::Shard& shard = *sharded.shards_[0];
+    // Deliberately NO MutexLock lock(shard.mu) here.
+    return shard.cache.get();
+  }
+};
+
+const QueryCache* DriveProbe(const ShardedQueryCache& sharded) {
+  return ShardedQueryCacheUnguardedProbe::Peek(sharded);
+}
+
+}  // namespace watchman

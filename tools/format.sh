@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Formats (or with --check, verifies) every C++ source in the repo with
 # clang-format, using the checked-in .clang-format.
+#
+# --check mode formats nothing: it exits non-zero listing every file
+# that would change (clang-format --dry-run -Werror), which is what the
+# CI format job runs. CLANG_FORMAT=... selects a specific binary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,11 +15,29 @@ if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
   exit 1
 fi
 
-mode="-i"
+mode=(-i)
 if [[ "${1:-}" == "--check" ]]; then
-  mode="--dry-run -Werror"
+  mode=(--dry-run -Werror)
 fi
 
-find src tests bench tools examples \
-  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
-  xargs -0 "$CLANG_FORMAT" $mode
+# Every C++ source the build can see: library + daemon (src/, including
+# src/obs/), tests (tests/, including tests/chaos/ and the
+# negative-compile probes -- broken for the *analyzer*, still
+# format-clean), benches, tools (the .cc utilities), examples.
+dirs=(src tests bench tools examples)
+for d in "${dirs[@]}"; do
+  if [[ ! -d "$d" ]]; then
+    echo "error: expected source dir '$d' missing (run from repo root?)" >&2
+    exit 1
+  fi
+done
+
+mapfile -d '' files < <(find "${dirs[@]}" \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0)
+
+if ((${#files[@]} == 0)); then
+  echo "error: no C++ sources found under: ${dirs[*]}" >&2
+  exit 1
+fi
+
+printf '%s\0' "${files[@]}" | xargs -0 "$CLANG_FORMAT" "${mode[@]}"

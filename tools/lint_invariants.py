@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for watchman: cross-file consistency the compiler
+cannot see.
+
+Checks enforced (each one has bitten or nearly bitten a past PR):
+
+ 1. Every `OpCode` enumerator (src/server/protocol.h) is handled in the
+    codec switches (src/server/protocol.cc), the server dispatch switch
+    (src/server/server.cc) and the client replay-safety switch
+    (src/server/client.cc), and its wire name (UPPER_SNAKE) appears in
+    the README protocol documentation.
+ 2. Every `StatusCode` enumerator (src/util/status.h) is handled in the
+    wire conversion switch (src/server/protocol.cc) and the name switch
+    (src/util/status.cc).
+ 3. Every `Fault` enumerator (src/util/fault.h) has its spec-string key
+    ("send_short", ...) in src/util/fault.cc, so a fault added to the
+    enum cannot silently be unaddressable from --fault specs.
+ 4. Hot-path allocation budget: src/server/ and src/obs/ sources must
+    not gain a steady-state allocation call (new / make_shared /
+    make_unique / malloc / calloc) outside a line carrying an
+    `// alloc-ok:` pragma (same line or the line above) naming why the
+    site is cold or amortized.
+
+Exit code 0 when every invariant holds; 1 with one line per violation
+otherwise. `--self-test` runs the checkers against synthetic fixtures
+(clean and deliberately broken) and is wired into ctest so the gate
+itself cannot rot.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files each enum's handlers must live in, relative to the repo root.
+OPCODE_ENUM_FILE = "src/server/protocol.h"
+OPCODE_SWITCH_FILES = [
+    "src/server/protocol.cc",  # codec + OpCodeName switches
+    "src/server/server.cc",    # dispatch switch
+    "src/server/client.cc",    # replay-safety switch
+]
+STATUS_ENUM_FILE = "src/util/status.h"
+STATUS_SWITCH_FILES = [
+    "src/server/protocol.cc",  # StatusFromWire
+    "src/util/status.cc",      # StatusCodeName
+]
+FAULT_ENUM_FILE = "src/util/fault.h"
+FAULT_SPEC_FILE = "src/util/fault.cc"
+README_FILE = "README.md"
+
+# Directories whose sources are under the steady-state allocation
+# budget, and the calls banned there without an alloc-ok pragma.
+ALLOC_SCAN_DIRS = ["src/server", "src/obs"]
+ALLOC_PRAGMA = "alloc-ok:"
+ALLOC_BANNED = re.compile(
+    r"std::make_shared\s*<"
+    r"|std::make_unique\s*<"
+    r"|(?:^|[^\w.:])new\s+[A-Za-z_(:]"
+    r"|(?:^|[^\w.])(?:malloc|calloc)\s*\("
+)
+
+# Enumerators excluded from handler checks (sentinels, not values).
+ENUM_SENTINELS = {"kNumFaults", "kNumOpCodes"}
+
+
+def parse_enum(text, enum_name, path):
+    """Returns the enumerator names of `enum class <enum_name>`."""
+    m = re.search(r"enum\s+class\s+" + re.escape(enum_name) +
+                  r"\b[^{]*\{(.*?)\};", text, re.DOTALL)
+    if not m:
+        raise ValueError(f"{path}: enum class {enum_name} not found")
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    names = re.findall(r"\b(k[A-Za-z0-9_]+)\b\s*(?:=\s*[^,]+)?(?:,|$)", body)
+    return [n for n in names if n not in ENUM_SENTINELS]
+
+
+def camel_to_snake(enumerator):
+    """kInvalidateRelation -> invalidate_relation."""
+    assert enumerator.startswith("k")
+    words = re.findall(r"[A-Z][a-z0-9]*", enumerator[1:])
+    return "_".join(w.lower() for w in words)
+
+
+def strip_line_comment(line):
+    return line.split("//", 1)[0]
+
+
+def check_enum_switches(files, enum_name, enum_file, switch_files):
+    """Every enumerator must appear as `case <Enum>::<name>` in each
+    switch file."""
+    errors = []
+    enumerators = parse_enum(files[enum_file], enum_name, enum_file)
+    for path in switch_files:
+        for name in enumerators:
+            needle = re.compile(r"case\s+" + re.escape(enum_name) +
+                                r"\s*::\s*" + re.escape(name) + r"\b")
+            if not needle.search(files[path]):
+                errors.append(
+                    f"{path}: no `case {enum_name}::{name}` -- the "
+                    f"enumerator added in {enum_file} is unhandled here")
+    return errors
+
+
+def check_opcode_readme(files):
+    """Every op's wire name (UPPER_SNAKE) must be documented in the
+    README protocol section."""
+    errors = []
+    enumerators = parse_enum(files[OPCODE_ENUM_FILE], "OpCode",
+                             OPCODE_ENUM_FILE)
+    readme = files[README_FILE]
+    for name in enumerators:
+        wire = camel_to_snake(name).upper()
+        if wire not in readme:
+            errors.append(
+                f"{README_FILE}: wire op `{wire}` ({name} in "
+                f"{OPCODE_ENUM_FILE}) is not documented")
+    return errors
+
+
+def check_fault_specs(files):
+    """Every Fault enumerator must have its spec-string key in
+    util/fault.cc (the snake_case of the enumerator)."""
+    errors = []
+    enumerators = parse_enum(files[FAULT_ENUM_FILE], "Fault",
+                             FAULT_ENUM_FILE)
+    spec_text = files[FAULT_SPEC_FILE]
+    for name in enumerators:
+        key = f'"{camel_to_snake(name)}"'
+        if key not in spec_text:
+            errors.append(
+                f"{FAULT_SPEC_FILE}: fault {name} has no spec-string "
+                f"key {key} -- it cannot be injected from a --fault spec")
+    return errors
+
+
+def check_alloc_budget(files, scan_paths):
+    """Banned steady-state allocation calls in hot-path sources must
+    carry an alloc-ok pragma on the same or the preceding line."""
+    errors = []
+    for path in scan_paths:
+        lines = files[path].split("\n")
+        for i, raw in enumerate(lines):
+            code = strip_line_comment(raw)
+            if not ALLOC_BANNED.search(code):
+                continue
+            here = ALLOC_PRAGMA in raw
+            above = i > 0 and ALLOC_PRAGMA in lines[i - 1]
+            if not (here or above):
+                errors.append(
+                    f"{path}:{i + 1}: steady-state allocation call "
+                    f"without an `// {ALLOC_PRAGMA}` pragma: "
+                    f"{raw.strip()}")
+    return errors
+
+
+def run_all(files, scan_paths):
+    errors = []
+    errors += check_enum_switches(files, "OpCode", OPCODE_ENUM_FILE,
+                                  OPCODE_SWITCH_FILES)
+    errors += check_opcode_readme(files)
+    errors += check_enum_switches(files, "StatusCode", STATUS_ENUM_FILE,
+                                  STATUS_SWITCH_FILES)
+    errors += check_fault_specs(files)
+    errors += check_alloc_budget(files, scan_paths)
+    return errors
+
+
+def load_repo(root):
+    files = {}
+    needed = ([OPCODE_ENUM_FILE, STATUS_ENUM_FILE, FAULT_ENUM_FILE,
+               FAULT_SPEC_FILE, README_FILE] + OPCODE_SWITCH_FILES +
+              STATUS_SWITCH_FILES)
+    for rel in needed:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            files[rel] = f.read()
+    scan_paths = []
+    for d in ALLOC_SCAN_DIRS:
+        for entry in sorted(os.listdir(os.path.join(root, d))):
+            if not entry.endswith((".h", ".cc")):
+                continue
+            rel = f"{d}/{entry}"
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                files[rel] = f.read()
+            scan_paths.append(rel)
+    return files, scan_paths
+
+
+# ----------------------------------------------------------- self-test
+
+def self_test():
+    failures = []
+
+    def expect(label, got_errors, want_substr):
+        if want_substr is None:
+            if got_errors:
+                failures.append(f"{label}: expected clean, got {got_errors}")
+        elif not any(want_substr in e for e in got_errors):
+            failures.append(
+                f"{label}: expected an error containing {want_substr!r}, "
+                f"got {got_errors}")
+
+    enum_h = ("enum class OpCode : uint8_t {\n"
+              "  kPing = 1,  // liveness\n  kGetThing = 2,\n};\n")
+    switch_ok = "case OpCode::kPing: case OpCode::kGetThing: break;"
+    switch_missing = "case OpCode::kPing: break;"
+    files = {"e.h": enum_h, "s1.cc": switch_ok, "s2.cc": switch_ok}
+    expect("switch clean",
+           check_enum_switches(files, "OpCode", "e.h", ["s1.cc", "s2.cc"]),
+           None)
+    files["s2.cc"] = switch_missing
+    expect("switch missing case",
+           check_enum_switches(files, "OpCode", "e.h", ["s1.cc", "s2.cc"]),
+           "case OpCode::kGetThing")
+
+    readme = {"e.h": enum_h, README_FILE: "ops: `PING`, `GET_THING`"}
+    globals_backup = OPCODE_ENUM_FILE
+    files_r = {OPCODE_ENUM_FILE: enum_h,
+               README_FILE: "ops: `PING`, `GET_THING`"}
+    expect("readme clean", check_opcode_readme(files_r), None)
+    files_r[README_FILE] = "ops: `PING`"
+    expect("readme missing op", check_opcode_readme(files_r), "GET_THING")
+    del readme, globals_backup
+
+    fault_h = "enum class Fault : uint8_t {\n  kSendShort = 0,\n  kNumFaults,\n};\n"
+    files_f = {FAULT_ENUM_FILE: fault_h,
+               FAULT_SPEC_FILE: 'return "send_short";'}
+    expect("fault clean", check_fault_specs(files_f), None)
+    files_f[FAULT_SPEC_FILE] = 'return "?";'
+    expect("fault missing key", check_fault_specs(files_f), '"send_short"')
+
+    clean_src = ("void F() {\n"
+                 "  auto c = std::make_shared<C>();  // alloc-ok: per-conn\n"
+                 "  // alloc-ok: startup only\n"
+                 "  auto u = std::make_unique<U>();\n"
+                 "  // a new connection arrives (comment mention is fine)\n"
+                 "  renewed += 1;  // identifier containing 'new'\n"
+                 "}\n")
+    expect("alloc clean", check_alloc_budget({"a.cc": clean_src}, ["a.cc"]),
+           None)
+    dirty_src = "void F() {\n  auto c = std::make_shared<C>();\n}\n"
+    expect("alloc unpragma'd",
+           check_alloc_budget({"a.cc": dirty_src}, ["a.cc"]),
+           "without an")
+    dirty_new = "void F() {\n  auto* s = new Slot[4];\n}\n"
+    expect("raw new caught",
+           check_alloc_budget({"a.cc": dirty_new}, ["a.cc"]),
+           "without an")
+
+    snake_cases = [("kPing", "ping"), ("kInvalidateRelation",
+                                       "invalidate_relation"),
+                   ("kStorePutFail", "store_put_fail")]
+    for enum_name, want in snake_cases:
+        got = camel_to_snake(enum_name)
+        if got != want:
+            failures.append(f"camel_to_snake({enum_name}) = {got}, "
+                            f"want {want}")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("lint_invariants self-test: all checks OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the tools/ parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checkers against synthetic fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files, scan_paths = load_repo(root)
+    errors = run_all(files, scan_paths)
+    if errors:
+        for e in errors:
+            print(f"lint_invariants: {e}", file=sys.stderr)
+        print(f"lint_invariants: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({len(scan_paths)} hot-path files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
